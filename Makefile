@@ -1,0 +1,43 @@
+# PULSE reproduction — developer targets. Everything is stdlib Go; the only
+# prerequisite is a Go ≥ 1.22 toolchain.
+
+GO ?= go
+
+.PHONY: all build vet test race bench experiments report examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+	gofmt -l . | tee /dev/stderr | wc -l | grep -q '^0$$'
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/runtime/ ./internal/sim/
+
+# Quick-scale benchmark pass over every table/figure harness.
+bench:
+	$(GO) test -bench=. -benchmem -run xxx .
+
+# Full experiment suite at paper-like scale (hours on a small machine).
+experiments:
+	$(GO) run ./cmd/experiments -exp all -days 14 -runs 1000
+
+# Regenerate EXPERIMENTS.md (paper-vs-measured) at a moderate scale.
+report:
+	$(GO) run ./cmd/experiments -report EXPERIMENTS.md -days 7 -runs 30
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/peaksmoothing
+	$(GO) run ./examples/integration
+	$(GO) run ./examples/tracereplay
+	$(GO) run ./examples/checkpoint
+
+clean:
+	$(GO) clean ./...

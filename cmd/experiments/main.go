@@ -1,0 +1,112 @@
+// Command experiments regenerates the paper's tables and figures (see
+// DESIGN.md §4 for the experiment index).
+//
+// Usage:
+//
+//	experiments -exp all -days 14 -runs 1000        # paper scale
+//	experiments -exp fig6a -days 3 -runs 30         # quick check
+//
+// Experiments: tableI tableII tableIII fig1 fig2 fig4 fig5 fig6a fig6b
+// fig7 fig8 fig9 fig10 fig11 fig12 ablations all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/pulse-serverless/pulse/internal/experiments"
+	"github.com/pulse-serverless/pulse/internal/trace"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	exp := flag.String("exp", "all", "experiment to run")
+	seed := flag.Int64("seed", 1, "trace and assignment seed")
+	days := flag.Int("days", 3, "trace length in days (paper: 14)")
+	runs := flag.Int("runs", 30, "simulation runs for multi-run experiments (paper: 1000)")
+	workers := flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+	reportPath := flag.String("report", "", "run the full suite and write a paper-vs-measured markdown report to this path")
+	flag.Parse()
+
+	opts := experiments.Options{
+		Seed:           *seed,
+		HorizonMinutes: *days * trace.MinutesPerDay,
+		Runs:           *runs,
+		Workers:        *workers,
+		Out:            os.Stdout,
+	}
+
+	if *reportPath != "" {
+		f, err := os.Create(*reportPath)
+		if err != nil {
+			return err
+		}
+		if err := experiments.WriteMarkdownReport(opts, f, time.Now); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+
+	table := map[string]func(experiments.Options) error{
+		"tableI":      wrap(experiments.TableI),
+		"tableII":     wrap(experiments.TableII),
+		"tableIII":    wrap(experiments.TableIII),
+		"fig1":        wrap(experiments.Figure1),
+		"fig2":        wrap(experiments.Figure2),
+		"fig4":        wrap(experiments.Figure4),
+		"fig5":        wrap(experiments.Figure5),
+		"fig6a":       wrap(experiments.Figure6a),
+		"fig6b":       wrap(experiments.Figure6b),
+		"fig7":        wrap(experiments.Figure7),
+		"fig8":        wrap(experiments.Figure8),
+		"fig9":        wrap(experiments.Figure9),
+		"fig10":       wrap(experiments.Figure10),
+		"fig11":       wrap(experiments.Figure11),
+		"fig12":       wrap(experiments.Figure12),
+		"holtwinters": wrap(experiments.ExtensionHoltWinters),
+		"capacity":    wrap(experiments.CapacityAnalysis),
+		"windows":     wrap(experiments.ExtensionWindowSweep),
+		"tails":       wrap(experiments.ExtensionTailLatency),
+		"ablations": func(o experiments.Options) error {
+			for _, f := range []func(experiments.Options) ([]experiments.SweepPoint, error){
+				experiments.AblationHistoryBlend,
+				experiments.AblationPriorityTerm,
+				experiments.AblationPriorKaM,
+				experiments.AblationDowngradeStep,
+				experiments.AblationDowngradeSelection,
+			} {
+				if _, err := f(o); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+		"all": experiments.RunAll,
+	}
+	f, ok := table[*exp]
+	if !ok {
+		names := make([]string, 0, len(table))
+		for k := range table {
+			names = append(names, k)
+		}
+		return fmt.Errorf("unknown experiment %q (want one of %v)", *exp, names)
+	}
+	return f(opts)
+}
+
+// wrap adapts the typed experiment functions to a uniform signature.
+func wrap[T any](f func(experiments.Options) (T, error)) func(experiments.Options) error {
+	return func(o experiments.Options) error {
+		_, err := f(o)
+		return err
+	}
+}

@@ -1,0 +1,181 @@
+// Command pulsed is a live PULSE-managed serverless daemon: it registers
+// the paper's model catalog behind 12 functions, runs the PULSE keep-alive
+// controller on a (time-compressed) minute tick, and serves invocations
+// over HTTP.
+//
+//	pulsed -addr :8080 -compress 60     # one simulated minute per second
+//
+// Then:
+//
+//	curl -X POST 'localhost:8080/invoke?fn=3'
+//	curl localhost:8080/functions
+//	curl localhost:8080/stats
+//
+// With -demo, a background workload generator issues invocations drawn from
+// the synthetic trace archetypes so the keep-alive behaviour is visible
+// without external traffic.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	pulse "github.com/pulse-serverless/pulse"
+	"github.com/pulse-serverless/pulse/internal/core"
+	"github.com/pulse-serverless/pulse/internal/metastore"
+	"github.com/pulse-serverless/pulse/internal/runtime"
+	"github.com/pulse-serverless/pulse/internal/trace"
+)
+
+func main() {
+	if err := run(); err != nil && err != context.Canceled {
+		fmt.Fprintln(os.Stderr, "pulsed:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	addr := flag.String("addr", ":8080", "listen address")
+	compress := flag.Float64("compress", 60, "time compression (60 = one simulated minute per wall second)")
+	policyName := flag.String("policy", "pulse", "keep-alive policy: pulse or openwhisk")
+	demo := flag.Bool("demo", false, "generate background demo traffic")
+	seed := flag.Int64("seed", 1, "demo traffic seed")
+	stateDir := flag.String("statedir", "", "metadata store directory: PULSE state is restored on start and saved on shutdown")
+	flag.Parse()
+
+	cat := pulse.Catalog()
+	const nFunctions = 12
+	asg := pulse.UniformAssignment(cat, nFunctions)
+
+	var p pulse.Policy
+	var err error
+	var store *metastore.Store
+	var controller *core.Pulse
+	const snapshotName = "pulsed"
+	switch *policyName {
+	case "pulse":
+		cfg := core.Config{Catalog: cat, Assignment: asg}
+		if *stateDir != "" {
+			if store, err = metastore.Open(*stateDir); err != nil {
+				return err
+			}
+			controller, err = store.LoadController(snapshotName, cfg)
+			switch {
+			case err == nil:
+				log.Printf("pulsed: restored PULSE state from %s (resume minute %d)", *stateDir, controller.ResumeMinute())
+			case os.IsNotExist(err):
+				controller, err = core.New(cfg)
+			}
+		} else {
+			controller, err = core.New(cfg)
+		}
+		p = controller
+	case "openwhisk":
+		p, err = pulse.NewBaseline(pulse.BaselineOpenWhisk, cat, asg)
+	default:
+		return fmt.Errorf("unknown policy %q", *policyName)
+	}
+	if err != nil {
+		return err
+	}
+
+	rt, err := runtime.New(runtime.Config{
+		Catalog:    cat,
+		Assignment: asg,
+		Policy:     p,
+		Clock:      runtime.WallClock{Compression: *compress},
+	})
+	if err != nil {
+		return err
+	}
+	api, err := runtime.NewAPI(rt)
+	if err != nil {
+		return err
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	// Minute ticker, compressed.
+	tickEvery := time.Duration(float64(time.Minute) / *compress)
+	go func() {
+		if err := runtime.Ticker(ctx, rt, tickEvery); err != nil && err != context.Canceled {
+			log.Println("ticker:", err)
+		}
+	}()
+
+	if *demo {
+		go demoTraffic(ctx, rt, *seed, tickEvery)
+	}
+
+	srv := &http.Server{Addr: *addr, Handler: api, ReadHeaderTimeout: 5 * time.Second}
+	go func() {
+		<-ctx.Done()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(shutdownCtx)
+	}()
+	log.Printf("pulsed: %d functions, policy %s, %s per simulated minute, listening on %s",
+		nFunctions, p.Name(), tickEvery, *addr)
+	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		return err
+	}
+	st := rt.Stats()
+	log.Printf("pulsed: served %d invocations (%d warm, %d cold), keep-alive $%.4f, accuracy %.2f%%",
+		st.Invocations, st.WarmStarts, st.ColdStarts, st.KeepAliveCostUSD, st.MeanAccuracyPct())
+	if store != nil && controller != nil {
+		if err := store.SaveController(snapshotName, controller); err != nil {
+			return fmt.Errorf("saving state: %w", err)
+		}
+		log.Printf("pulsed: saved PULSE state to %s", *stateDir)
+	}
+	return nil
+}
+
+// demoTraffic issues invocations per simulated minute, drawn from the
+// default synthetic archetype mix.
+func demoTraffic(ctx context.Context, rt *runtime.Runtime, seed int64, tickEvery time.Duration) {
+	archetypes := trace.AzureLikeArchetypes()
+	rngs := make([]*rand.Rand, len(archetypes))
+	series := make([][]int, len(archetypes))
+	const chunk = 24 * 60 // pre-generate a day at a time
+	for i := range archetypes {
+		rngs[i] = rand.New(rand.NewSource(seed + int64(i)))
+		series[i] = archetypes[i].Generate(rngs[i], chunk)
+	}
+	minute := 0
+	tick := time.NewTicker(tickEvery)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+			idx := minute % chunk
+			if idx == 0 && minute > 0 {
+				for i := range archetypes {
+					series[i] = archetypes[i].Generate(rngs[i], chunk)
+				}
+			}
+			for fn := range series {
+				if fn >= rt.NumFunctions() {
+					break
+				}
+				for n := 0; n < series[fn][idx]; n++ {
+					if _, err := rt.Invoke(fn); err != nil {
+						log.Println("demo invoke:", err)
+					}
+				}
+			}
+			minute++
+		}
+	}
+}

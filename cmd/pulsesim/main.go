@@ -1,0 +1,133 @@
+// Command pulsesim runs a single keep-alive simulation over a synthetic
+// (or CSV-loaded) trace and prints the three paper metrics — service time,
+// keep-alive cost, accuracy — plus the keep-alive memory timeline.
+//
+// Usage:
+//
+//	pulsesim -policy pulse -days 3 -seed 7
+//	pulsesim -policy all -trace trace.csv
+//
+// Policies: pulse, pulse-t2, pulse-noglobal, openwhisk, all-low, wild,
+// wild+pulse, icebreaker, icebreaker+pulse, milp, or all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	pulse "github.com/pulse-serverless/pulse"
+	"github.com/pulse-serverless/pulse/internal/core"
+	"github.com/pulse-serverless/pulse/internal/models"
+	"github.com/pulse-serverless/pulse/internal/report"
+	"github.com/pulse-serverless/pulse/internal/trace"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "pulsesim:", err)
+		os.Exit(1)
+	}
+}
+
+var policyNames = []string{
+	"pulse", "pulse-t2", "pulse-noglobal", "openwhisk", "all-low",
+	"wild", "wild+pulse", "icebreaker", "icebreaker+pulse",
+	"holtwinters", "holtwinters+pulse", "milp",
+}
+
+func newPolicy(name string, cat *pulse.ModelCatalog, asg pulse.Assignment) (pulse.Policy, error) {
+	switch name {
+	case "pulse":
+		return pulse.New(pulse.Config{Catalog: cat, Assignment: asg})
+	case "pulse-t2":
+		return pulse.New(pulse.Config{Catalog: cat, Assignment: asg, Technique: core.TechniqueT2{}})
+	case "pulse-noglobal":
+		return pulse.New(pulse.Config{Catalog: cat, Assignment: asg, DisableGlobalOpt: true})
+	case "openwhisk":
+		return pulse.NewBaseline(pulse.BaselineOpenWhisk, cat, asg)
+	case "all-low":
+		return pulse.NewBaseline(pulse.BaselineAllLow, cat, asg)
+	case "wild":
+		return pulse.NewBaseline(pulse.BaselineWild, cat, asg)
+	case "wild+pulse":
+		return pulse.NewIntegrated(pulse.BaselineWild, cat, asg)
+	case "icebreaker":
+		return pulse.NewBaseline(pulse.BaselineIceBreaker, cat, asg)
+	case "icebreaker+pulse":
+		return pulse.NewIntegrated(pulse.BaselineIceBreaker, cat, asg)
+	case "holtwinters":
+		return pulse.NewBaseline(pulse.BaselineHoltWinters, cat, asg)
+	case "holtwinters+pulse":
+		return pulse.NewIntegrated(pulse.BaselineHoltWinters, cat, asg)
+	case "milp":
+		return pulse.NewBaseline(pulse.BaselineMILP, cat, asg)
+	default:
+		return nil, fmt.Errorf("unknown policy %q (want one of %v or all)", name, policyNames)
+	}
+}
+
+func run() error {
+	policyFlag := flag.String("policy", "pulse", "policy to simulate, or 'all'")
+	seed := flag.Int64("seed", 1, "trace seed")
+	days := flag.Int("days", 3, "synthetic trace length in days")
+	tracePath := flag.String("trace", "", "load trace from CSV instead of generating")
+	catalogPath := flag.String("catalog", "", "load a model catalog JSON instead of the paper catalog")
+	flag.Parse()
+
+	var tr *pulse.Trace
+	var err error
+	if *tracePath != "" {
+		f, err := os.Open(*tracePath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if tr, err = trace.ReadCSV(f); err != nil {
+			return err
+		}
+	} else if tr, err = pulse.GenerateTrace(pulse.TraceConfig{Seed: *seed, Horizon: *days * trace.MinutesPerDay}); err != nil {
+		return err
+	}
+
+	cat := pulse.Catalog()
+	if *catalogPath != "" {
+		f, err := os.Open(*catalogPath)
+		if err != nil {
+			return err
+		}
+		cat, err = models.ReadCatalog(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+	}
+	asg := pulse.UniformAssignment(cat, len(tr.Functions))
+
+	names := []string{*policyFlag}
+	if *policyFlag == "all" {
+		names = policyNames
+	}
+	t := report.NewTable(
+		fmt.Sprintf("simulation: %d functions, %d minutes, %d invocations",
+			len(tr.Functions), tr.Horizon, tr.TotalInvocations()),
+		"policy", "service (s)", "keep-alive ($)", "accuracy (%)", "warm rate", "cold starts")
+	for _, name := range names {
+		p, err := newPolicy(name, cat, asg)
+		if err != nil {
+			return err
+		}
+		res, err := pulse.Simulate(pulse.SimulationConfig{Trace: tr, Catalog: cat, Assignment: asg}, p)
+		if err != nil {
+			return err
+		}
+		if err := t.AddRow(res.Policy, report.F(res.TotalServiceSec), report.F4(res.KeepAliveCostUSD),
+			report.F(res.MeanAccuracyPct()), report.F(res.WarmStartRate()),
+			fmt.Sprintf("%d", res.ColdStarts)); err != nil {
+			return err
+		}
+		fmt.Printf("%-20s KaM %s\n", res.Policy, report.Sparkline(res.PerMinuteKaMMB, 72))
+	}
+	fmt.Println()
+	return t.Render(os.Stdout)
+}

@@ -1,0 +1,106 @@
+// Command tracegen generates a synthetic Azure-like serverless invocation
+// trace (see internal/trace) and writes it as CSV, printing a per-function
+// summary to stderr.
+//
+// Usage:
+//
+//	tracegen -seed 42 -days 14 -out trace.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/pulse-serverless/pulse/internal/report"
+	"github.com/pulse-serverless/pulse/internal/trace"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	seed := flag.Int64("seed", 1, "generator seed")
+	days := flag.Int("days", 14, "trace length in days")
+	out := flag.String("out", "-", "output CSV path ('-' for stdout)")
+	specPath := flag.String("spec", "", "JSON workload spec (see internal/trace.Spec); overrides -seed/-days")
+	azure := flag.Bool("azure", false, "write in the Azure Functions day-file format (out becomes a filename prefix)")
+	flag.Parse()
+
+	cfg := trace.GeneratorConfig{Seed: *seed, Horizon: *days * trace.MinutesPerDay}
+	if *specPath != "" {
+		f, err := os.Open(*specPath)
+		if err != nil {
+			return err
+		}
+		spec, err := trace.ParseSpec(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		if cfg, err = spec.Build(); err != nil {
+			return err
+		}
+	}
+	tr, err := trace.Generate(cfg)
+	if err != nil {
+		return err
+	}
+
+	t := report.NewTable(fmt.Sprintf("trace: %d functions, %d days, %d invocations",
+		len(tr.Functions), tr.Horizon/trace.MinutesPerDay, tr.TotalInvocations()),
+		"fn", "archetype", "invocations", "mean IA (min)", "CV", "≤10 min (%)")
+	for _, s := range trace.SummarizeAll(tr) {
+		if err := t.AddRow(s.Name, s.Archetype, fmt.Sprintf("%d", s.Invocations),
+			report.F(s.MeanInterArriv), report.F(s.CVInterArriv), report.F(s.WithinWindowPct)); err != nil {
+			return err
+		}
+	}
+	if err := t.Render(os.Stderr); err != nil {
+		return err
+	}
+
+	if *azure {
+		if *out == "-" {
+			return fmt.Errorf("-azure needs -out as a filename prefix")
+		}
+		nDays := tr.Horizon / trace.MinutesPerDay
+		writers := make([]io.Writer, nDays)
+		files := make([]*os.File, nDays)
+		for d := 0; d < nDays; d++ {
+			f, err := os.Create(fmt.Sprintf("%s.day%02d.csv", *out, d+1))
+			if err != nil {
+				return err
+			}
+			files[d] = f
+			writers[d] = f
+		}
+		err := trace.WriteAzureCSV(tr, writers...)
+		for _, f := range files {
+			if cerr := f.Close(); cerr != nil && err == nil {
+				err = cerr
+			}
+		}
+		return err
+	}
+
+	w := os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			if cerr := f.Close(); cerr != nil && err == nil {
+				err = cerr
+			}
+		}()
+		w = f
+	}
+	return trace.WriteCSV(w, tr)
+}

@@ -1,0 +1,75 @@
+package pulse_test
+
+import (
+	"fmt"
+	"log"
+
+	pulse "github.com/pulse-serverless/pulse"
+)
+
+// Example runs PULSE and the OpenWhisk fixed policy on the same workload
+// and reports the keep-alive cost relationship — the library's two-minute
+// tour.
+func Example() {
+	tr, err := pulse.GenerateTrace(pulse.TraceConfig{Seed: 7, Horizon: 6 * 60})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cat := pulse.Catalog()
+	asg := pulse.UniformAssignment(cat, len(tr.Functions))
+
+	ow, err := pulse.NewBaseline(pulse.BaselineOpenWhisk, cat, asg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	p, err := pulse.New(pulse.Config{Catalog: cat, Assignment: asg})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := pulse.SimulationConfig{Trace: tr, Catalog: cat, Assignment: asg}
+	rOW, err := pulse.Simulate(cfg, ow)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rPulse, err := pulse.Simulate(cfg, p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("PULSE cheaper than fixed keep-alive:", rPulse.KeepAliveCostUSD < rOW.KeepAliveCostUSD)
+	fmt.Println("same warm starts:", rPulse.WarmStarts == rOW.WarmStarts)
+	// Output:
+	// PULSE cheaper than fixed keep-alive: true
+	// same warm starts: true
+}
+
+// ExampleCatalog shows the model families the paper evaluates with.
+func ExampleCatalog() {
+	cat := pulse.Catalog()
+	for _, fam := range cat.Families {
+		fmt.Printf("%s: %d variants (%.2f%%..%.2f%%)\n",
+			fam.Name, fam.NumVariants(), fam.Lowest().AccuracyPct, fam.Highest().AccuracyPct)
+	}
+	// Output:
+	// GPT: 3 variants (87.65%..93.45%)
+	// BERT: 2 variants (79.60%..82.10%)
+	// YOLO: 3 variants (56.80%..68.90%)
+	// ResNet: 3 variants (76.13%..78.31%)
+	// DenseNet: 3 variants (74.98%..77.42%)
+}
+
+// ExampleGenerateTrace demonstrates deterministic trace generation.
+func ExampleGenerateTrace() {
+	a, err := pulse.GenerateTrace(pulse.TraceConfig{Seed: 1, Horizon: 60})
+	if err != nil {
+		log.Fatal(err)
+	}
+	b, err := pulse.GenerateTrace(pulse.TraceConfig{Seed: 1, Horizon: 60})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("functions:", len(a.Functions))
+	fmt.Println("same seed, same trace:", a.TotalInvocations() == b.TotalInvocations())
+	// Output:
+	// functions: 12
+	// same seed, same trace: true
+}

@@ -1,0 +1,61 @@
+// Integration: reproduce the paper's Figure 8 scenario on a single trace —
+// take the two state-of-the-art warm-up strategies (Serverless in the
+// Wild's hybrid histogram + ARIMA, IceBreaker's FFT forecaster), run each
+// standalone (always high-quality models, no memory constraint) and with
+// PULSE integrated (PULSE picks the variant and flattens memory peaks),
+// and compare keep-alive cost, service time, and accuracy.
+//
+//	go run ./examples/integration
+package main
+
+import (
+	"fmt"
+	"log"
+
+	pulse "github.com/pulse-serverless/pulse"
+)
+
+func main() {
+	tr, err := pulse.GenerateTrace(pulse.TraceConfig{Seed: 21, Horizon: 3 * 24 * 60})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cat := pulse.Catalog()
+	asg := pulse.UniformAssignment(cat, len(tr.Functions))
+	simCfg := pulse.SimulationConfig{Trace: tr, Catalog: cat, Assignment: asg}
+
+	run := func(p pulse.Policy) *pulse.SimulationResult {
+		res, err := pulse.Simulate(simCfg, p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res
+	}
+	build := func(b pulse.Baseline, integrated bool) pulse.Policy {
+		var p pulse.Policy
+		var err error
+		if integrated {
+			p, err = pulse.NewIntegrated(b, cat, asg)
+		} else {
+			p, err = pulse.NewBaseline(b, cat, asg)
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		return p
+	}
+
+	fmt.Printf("%-24s %14s %16s %12s\n", "configuration", "service (s)", "keep-alive ($)", "accuracy (%)")
+	for _, b := range []pulse.Baseline{pulse.BaselineWild, pulse.BaselineIceBreaker} {
+		orig := run(build(b, false))
+		integ := run(build(b, true))
+		for _, r := range []*pulse.SimulationResult{orig, integ} {
+			fmt.Printf("%-24s %12.0f   %14.4f   %10.2f\n",
+				r.Policy, r.TotalServiceSec, r.KeepAliveCostUSD, r.MeanAccuracyPct())
+		}
+		fmt.Printf("  → integrating PULSE: %+.1f%% keep-alive cost, %+.1f%% service time, %+.2f%% accuracy\n\n",
+			(1-integ.KeepAliveCostUSD/orig.KeepAliveCostUSD)*100,
+			(1-integ.TotalServiceSec/orig.TotalServiceSec)*100,
+			(integ.MeanAccuracyPct()/orig.MeanAccuracyPct()-1)*100)
+	}
+}

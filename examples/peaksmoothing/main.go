@@ -1,0 +1,93 @@
+// Peak smoothing: build a deliberately bursty workload (three functions
+// that spike together), then show how PULSE's cross-function optimizer —
+// peak detection (Algorithm 1) plus utility-value downgrades (Algorithm 2)
+// — flattens the keep-alive memory spikes that the fixed policy and even
+// PULSE's individual-only optimizer leave behind.
+//
+//	go run ./examples/peaksmoothing
+package main
+
+import (
+	"fmt"
+	"log"
+
+	pulse "github.com/pulse-serverless/pulse"
+	"github.com/pulse-serverless/pulse/internal/core"
+	"github.com/pulse-serverless/pulse/internal/report"
+	"github.com/pulse-serverless/pulse/internal/trace"
+)
+
+func main() {
+	// A synchronized-burst workload: every function is bursty, so the
+	// cumulative keep-alive memory shows the abrupt spikes of the paper's
+	// Section II motivation.
+	arch := []trace.Archetype{
+		trace.Bursty{BurstsPerDay: 6, BurstLen: 8, BurstRate: 3, QuietRate: 0.01},
+		trace.Bursty{BurstsPerDay: 6, BurstLen: 8, BurstRate: 3, QuietRate: 0.01},
+		trace.Bursty{BurstsPerDay: 4, BurstLen: 10, BurstRate: 4, QuietRate: 0.01},
+		trace.Periodic{Period: 5, Jitter: 1},
+		trace.Poisson{Rate: 0.2},
+		trace.Sporadic{MeanGap: 120},
+	}
+	tr, err := trace.Generate(trace.GeneratorConfig{Seed: 9, Horizon: 24 * 60, Archetypes: arch})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cat := pulse.Catalog()
+	asg := pulse.UniformAssignment(cat, len(tr.Functions))
+	simCfg := pulse.SimulationConfig{Trace: tr, Catalog: cat, Assignment: asg}
+
+	run := func(name string, p pulse.Policy) *pulse.SimulationResult {
+		res, err := pulse.Simulate(simCfg, p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		peak, avg := 0.0, 0.0
+		for _, v := range res.PerMinuteKaMMB {
+			avg += v
+			if v > peak {
+				peak = v
+			}
+		}
+		avg /= float64(len(res.PerMinuteKaMMB))
+		fmt.Printf("%-28s avg %6.0f MB   peak %6.0f MB   accuracy %.2f%%\n", name, avg, peak, res.MeanAccuracyPct())
+		fmt.Printf("  %s\n", report.Sparkline(res.PerMinuteKaMMB, 76))
+		return res
+	}
+
+	ow, err := pulse.NewBaseline(pulse.BaselineOpenWhisk, cat, asg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	run("openwhisk fixed 10-min", ow)
+
+	indiv, err := pulse.New(pulse.Config{Catalog: cat, Assignment: asg, DisableGlobalOpt: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	run("PULSE, individual opt only", indiv)
+
+	full, err := pulse.New(pulse.Config{Catalog: cat, Assignment: asg})
+	if err != nil {
+		log.Fatal(err)
+	}
+	run("PULSE, full (global opt)", full)
+
+	fmt.Printf("\npeaks detected: %d, downgrades applied: %d\n", full.PeakMinutes(), full.TotalDowngrades())
+
+	// The downgrade fairness at work: Algorithm 2's priority structure
+	// spreads downgrades instead of hammering one model.
+	fmt.Println("\nper-function downgrade counts (priority structure):")
+	for fn := range asg {
+		fam := cat.Families[asg[fn]]
+		// Priority counts live inside the policy; expose via the core API.
+		fmt.Printf("  fn-%02d (%-8s): %.0f\n", fn, fam.Name, priorityCount(full, fn))
+	}
+}
+
+func priorityCount(p *core.Pulse, fn int) float64 {
+	// The detector and histories are exported for observability; downgrade
+	// counts are tracked per function in the global optimizer's priority
+	// structure, reachable through the policy's accessors.
+	return p.PriorityCount(fn)
+}

@@ -1,0 +1,75 @@
+// Trace replay: a full round trip through the workload tooling — generate
+// a two-week Azure-like trace, persist it to CSV, reload it, inspect the
+// per-function inter-arrival structure the paper's Figures 1 and 2 are
+// built on, and replay it under PULSE.
+//
+//	go run ./examples/tracereplay
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	pulse "github.com/pulse-serverless/pulse"
+	"github.com/pulse-serverless/pulse/internal/trace"
+)
+
+func main() {
+	// Generate and round-trip through the CSV codec (stand-in for loading
+	// a real production trace export).
+	orig, err := pulse.GenerateTrace(pulse.TraceConfig{Seed: 1, Horizon: 14 * 24 * 60})
+	if err != nil {
+		log.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := trace.WriteCSV(&buf, orig); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("serialized trace: %d bytes for %d invocations\n\n", buf.Len(), orig.TotalInvocations())
+	tr, err := trace.ReadCSV(&buf)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Inter-arrival structure (Figure 1's view).
+	fmt.Println("per-function inter-arrival structure:")
+	for _, s := range trace.SummarizeAll(tr) {
+		fmt.Printf("  %-6s %-28s %6d invocations, mean gap %6.1f min, %5.1f%% within 10 min\n",
+			s.Name, s.Archetype, s.Invocations, s.MeanInterArriv, s.WithinWindowPct)
+	}
+
+	// Temporal drift (Figure 2's view) for the drifting function.
+	fn := tr.Functions[len(tr.Functions)-1]
+	third := tr.Horizon / 3
+	fmt.Printf("\ndrift within %s (%s):\n", fn.Name, fn.Archetype)
+	for i, label := range []string{"first", "middle", "last"} {
+		gaps := fn.InterArrivalsInRange(i*third, (i+1)*third)
+		pct, coverage, err := trace.InterArrivalDistribution(gaps, 10)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-6s third: %5.1f%% of gaps within window; per-offset %% =", label, coverage*100)
+		for d := 1; d <= 10; d++ {
+			fmt.Printf(" %4.1f", pct[d])
+		}
+		fmt.Println()
+	}
+
+	// Replay under PULSE and report the invocation peaks it managed.
+	cat := pulse.Catalog()
+	asg := pulse.UniformAssignment(cat, len(tr.Functions))
+	p, err := pulse.New(pulse.Config{Catalog: cat, Assignment: asg})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := pulse.Simulate(pulse.SimulationConfig{Trace: tr, Catalog: cat, Assignment: asg}, p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nreplay under PULSE: $%.4f keep-alive, %.2f%% accuracy, %.1f%% warm starts, %d peak minutes, %d downgrades\n",
+		res.KeepAliveCostUSD, res.MeanAccuracyPct(), 100*res.WarmStartRate(), p.PeakMinutes(), p.TotalDowngrades())
+	for _, pk := range tr.TopPeaks(2, 20) {
+		fmt.Printf("  invocation peak at minute %d (%d invocations/min)\n", pk.Minute, pk.Count)
+	}
+}

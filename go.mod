@@ -1,0 +1,3 @@
+module github.com/pulse-serverless/pulse
+
+go 1.22

@@ -1,0 +1,74 @@
+package cluster
+
+import (
+	"fmt"
+
+	"github.com/pulse-serverless/pulse/internal/models"
+	"github.com/pulse-serverless/pulse/internal/trace"
+)
+
+// The paper's motivation for cross-function optimization: "The memory, a
+// finite resource for serverless providers, is shared between actual
+// invocations and keep-alive." CapacityReport quantifies that sharing for a
+// finished run: per-minute total demand (keep-alive memory plus the
+// memory of containers actively executing invocations) against a fixed
+// node capacity, with the contention minutes a provider would experience.
+
+// CapacityReport summarizes memory demand against a capacity.
+type CapacityReport struct {
+	CapacityMB        float64
+	PeakDemandMB      float64
+	MeanDemandMB      float64
+	MeanUtilization   float64 // mean demand / capacity
+	ContentionMinutes int     // minutes where demand exceeded capacity
+	OverflowMBMinutes float64 // Σ max(0, demand − capacity)
+	DemandMB          []float64
+}
+
+// AnalyzeCapacity derives the demand profile of a run: the result's
+// keep-alive memory plus, for every minute, the execution memory of the
+// invocations the trace delivered that minute (each invocation occupies its
+// function's serving-variant footprint while executing; at minute
+// resolution that is its arrival minute). The serving variant is
+// approximated by the function's highest variant — the upper envelope a
+// provider must provision for.
+func AnalyzeCapacity(res *Result, tr *trace.Trace, cat *models.Catalog, asg models.Assignment, capacityMB float64) (*CapacityReport, error) {
+	if res == nil {
+		return nil, fmt.Errorf("cluster: nil result")
+	}
+	if capacityMB <= 0 {
+		return nil, fmt.Errorf("cluster: non-positive capacity %v", capacityMB)
+	}
+	if err := (&Config{Trace: tr, Catalog: cat, Assignment: asg, Cost: DefaultCostModel()}).Validate(); err != nil {
+		return nil, err
+	}
+	if len(res.PerMinuteKaMMB) != tr.Horizon {
+		return nil, fmt.Errorf("cluster: result covers %d minutes, trace %d", len(res.PerMinuteKaMMB), tr.Horizon)
+	}
+	rep := &CapacityReport{
+		CapacityMB: capacityMB,
+		DemandMB:   make([]float64, tr.Horizon),
+	}
+	var sum float64
+	for t := 0; t < tr.Horizon; t++ {
+		demand := res.PerMinuteKaMMB[t]
+		for fn := range tr.Functions {
+			if c := tr.Functions[fn].Counts[t]; c > 0 {
+				fam := cat.Families[asg[fn]]
+				demand += float64(c) * fam.Highest().MemoryMB
+			}
+		}
+		rep.DemandMB[t] = demand
+		sum += demand
+		if demand > rep.PeakDemandMB {
+			rep.PeakDemandMB = demand
+		}
+		if demand > capacityMB {
+			rep.ContentionMinutes++
+			rep.OverflowMBMinutes += demand - capacityMB
+		}
+	}
+	rep.MeanDemandMB = sum / float64(tr.Horizon)
+	rep.MeanUtilization = rep.MeanDemandMB / capacityMB
+	return rep, nil
+}

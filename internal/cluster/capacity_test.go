@@ -1,0 +1,101 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+
+	"github.com/pulse-serverless/pulse/internal/models"
+)
+
+func TestAnalyzeCapacity(t *testing.T) {
+	cfg := testConfig([]int{0, 2, 0})
+	p := &fakePolicy{name: "hi", alive: []int{1}, cold: 1}
+	res, err := Run(cfg, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Keep-alive: 1024 MB every minute. Minute 1 adds 2 invocations of the
+	// highest variant (1024 MB each) → demand 3072.
+	rep, err := AnalyzeCapacity(res, cfg.Trace, cfg.Catalog, cfg.Assignment, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1024, 3072, 1024}
+	for tt, w := range want {
+		if rep.DemandMB[tt] != w {
+			t.Errorf("demand[%d] = %v, want %v", tt, rep.DemandMB[tt], w)
+		}
+	}
+	if rep.PeakDemandMB != 3072 {
+		t.Errorf("peak = %v", rep.PeakDemandMB)
+	}
+	if rep.ContentionMinutes != 1 {
+		t.Errorf("contention minutes = %d, want 1", rep.ContentionMinutes)
+	}
+	if rep.OverflowMBMinutes != 3072-2000 {
+		t.Errorf("overflow = %v, want %v", rep.OverflowMBMinutes, 3072-2000)
+	}
+	wantMean := (1024.0 + 3072 + 1024) / 3
+	if math.Abs(rep.MeanDemandMB-wantMean) > 1e-9 {
+		t.Errorf("mean = %v, want %v", rep.MeanDemandMB, wantMean)
+	}
+	if math.Abs(rep.MeanUtilization-wantMean/2000) > 1e-9 {
+		t.Errorf("utilization = %v", rep.MeanUtilization)
+	}
+}
+
+func TestAnalyzeCapacityValidation(t *testing.T) {
+	cfg := testConfig([]int{1})
+	p := &fakePolicy{name: "x", alive: []int{NoVariant}, cold: 0}
+	res, err := Run(cfg, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := AnalyzeCapacity(nil, cfg.Trace, cfg.Catalog, cfg.Assignment, 100); err == nil {
+		t.Error("nil result accepted")
+	}
+	if _, err := AnalyzeCapacity(res, cfg.Trace, cfg.Catalog, cfg.Assignment, 0); err == nil {
+		t.Error("zero capacity accepted")
+	}
+	if _, err := AnalyzeCapacity(res, cfg.Trace, cfg.Catalog, models.Assignment{9}, 100); err == nil {
+		t.Error("bad assignment accepted")
+	}
+	short := &Result{PerMinuteKaMMB: []float64{1, 2}}
+	if _, err := AnalyzeCapacity(short, cfg.Trace, cfg.Catalog, cfg.Assignment, 100); err == nil {
+		t.Error("horizon mismatch accepted")
+	}
+}
+
+// PULSE's peak smoothing must translate into less capacity contention than
+// the fixed policy on the same tight capacity.
+func TestCapacityContentionOrdering(t *testing.T) {
+	cfg := testConfig([]int{0, 1, 0, 1, 0, 1, 0, 0, 0, 0, 1, 0})
+	hi := &fakePolicy{name: "always-hi", alive: []int{1}, cold: 1}
+	lo := &fakePolicy{name: "always-lo", alive: []int{0}, cold: 0}
+	rHi, err := Run(cfg, hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rLo, err := Run(cfg, lo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1500 MB sits between the low policy's busiest minute (256 keep-alive
+	// + 1024 executing = 1280) and the high policy's (1024 + 1024 = 2048).
+	capn := 1500.0
+	repHi, err := AnalyzeCapacity(rHi, cfg.Trace, cfg.Catalog, cfg.Assignment, capn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repLo, err := AnalyzeCapacity(rLo, cfg.Trace, cfg.Catalog, cfg.Assignment, capn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repLo.ContentionMinutes >= repHi.ContentionMinutes {
+		t.Errorf("low-quality keep-alive should contend less: %d vs %d",
+			repLo.ContentionMinutes, repHi.ContentionMinutes)
+	}
+	if repLo.MeanUtilization >= repHi.MeanUtilization {
+		t.Errorf("low-quality utilization %v not below %v", repLo.MeanUtilization, repHi.MeanUtilization)
+	}
+}

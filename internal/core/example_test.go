@@ -1,0 +1,78 @@
+package core_test
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/pulse-serverless/pulse/internal/core"
+	"github.com/pulse-serverless/pulse/internal/models"
+)
+
+// ExampleTechniqueT1 shows the paper's greedy probability-threshold rule:
+// N variants divide the probability space into N equal areas.
+func ExampleTechniqueT1() {
+	t1 := core.TechniqueT1{}
+	for _, p := range []float64{0.0, 0.2, 0.4, 0.7, 1.0} {
+		fmt.Printf("P=%.1f → variant %d\n", p, t1.Select(p, 3))
+	}
+	// Output:
+	// P=0.0 → variant 0
+	// P=0.2 → variant 0
+	// P=0.4 → variant 1
+	// P=0.7 → variant 2
+	// P=1.0 → variant 2
+}
+
+// ExampleHistory demonstrates the dual-history inter-arrival probability
+// estimate behind the function-centric optimizer.
+func ExampleHistory() {
+	h, err := core.NewHistory(60)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// A function invoked every 2 minutes.
+	for _, minute := range []int{0, 2, 4, 6, 8} {
+		if err := h.Record(minute); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("P(next gap = 2) = %.2f\n", h.Probability(2, core.BlendBoth))
+	fmt.Printf("P(next gap = 5) = %.2f\n", h.Probability(5, core.BlendBoth))
+	// Output:
+	// P(next gap = 2) = 1.00
+	// P(next gap = 5) = 0.00
+}
+
+// ExampleGlobalOptimizer walks Algorithm 2: during a peak the model with
+// the lowest utility value Uv = Ai + Pr + Ip is downgraded first.
+func ExampleGlobalOptimizer() {
+	cat := &models.Catalog{Families: []models.Family{
+		{Name: "GPT", Variants: []models.Variant{
+			{Name: "small", AccuracyPct: 87, ExecSec: 12, MemoryMB: 1000},
+			{Name: "large", AccuracyPct: 93, ExecSec: 24, MemoryMB: 3500},
+		}},
+		{Name: "YOLO", Variants: []models.Variant{
+			{Name: "s", AccuracyPct: 57, ExecSec: 1, MemoryMB: 340},
+			{Name: "x", AccuracyPct: 69, ExecSec: 3, MemoryMB: 1400},
+		}},
+	}}
+	g, err := core.NewGlobalOptimizer(cat, models.Assignment{0, 1}, core.StepByOne, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	decisions := []int{1, 1}  // both at highest quality: 4900 MB
+	ip := []float64{0.9, 0.2} // GPT far likelier to be invoked
+	target := 3000.0          // the peak detector's flatten target
+	downs, err := g.Flatten(decisions, ip, target)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, d := range downs {
+		fmt.Printf("downgraded function %d: variant %d → %d\n", d.Function, d.FromVariant, d.ToVariant)
+	}
+	fmt.Println("final decisions:", decisions)
+	// Output:
+	// downgraded function 1: variant 1 → 0
+	// downgraded function 0: variant 1 → 0
+	// final decisions: [0 0]
+}

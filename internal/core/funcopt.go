@@ -1,0 +1,234 @@
+// Package core implements PULSE, the paper's primary contribution: a
+// dynamic keep-alive controller for serverless ML inference that blends
+// model quality variants inside the 10-minute keep-alive window.
+//
+// It has two cooperating parts, mirroring Figure 3:
+//
+//   - the function-centric optimizer (funcopt.go): per-function
+//     inter-arrival probability estimation over two histories and a greedy
+//     probability-threshold rule selecting which variant to keep alive at
+//     each minute of the window;
+//   - the global optimizer (peak.go, globalopt.go): keep-alive-memory peak
+//     detection (Algorithm 1) and the utility-value downgrade loop
+//     (Algorithm 2) that flattens peaks without bias.
+//
+// pulse.go assembles both into a cluster.Policy.
+package core
+
+import (
+	"fmt"
+
+	"github.com/pulse-serverless/pulse/internal/stats"
+)
+
+// HistoryBlend selects which inter-arrival histories feed the probability
+// estimate. The paper uses both ("we employ two time periods"); the
+// single-history modes exist for the ablation benchmarks.
+type HistoryBlend int
+
+// History blending modes.
+const (
+	BlendBoth HistoryBlend = iota // average of local-window and full-history probabilities (paper)
+	BlendLocalOnly
+	BlendGlobalOnly
+)
+
+// timedGap is an inter-arrival observation tagged with the minute it was
+// observed, so local-window observations can age out.
+type timedGap struct {
+	minute int
+	gap    int
+}
+
+// History tracks one function's inter-arrival observations over the two
+// periods the paper uses: the full operating history and a sliding local
+// window of the immediate past.
+type History struct {
+	localWindow int
+	global      *stats.IntHistogram
+	local       *stats.IntHistogram
+	localQueue  []timedGap
+	lastInv     int // minute of most recent invocation, -1 before any
+}
+
+// NewHistory creates a history with the given local window length in
+// minutes. Non-positive lengths are rejected.
+func NewHistory(localWindow int) (*History, error) {
+	if localWindow <= 0 {
+		return nil, fmt.Errorf("core: non-positive local window %d", localWindow)
+	}
+	return &History{
+		localWindow: localWindow,
+		global:      stats.NewIntHistogram(),
+		local:       stats.NewIntHistogram(),
+		lastInv:     -1,
+	}, nil
+}
+
+// LastInvocation returns the minute of the most recent recorded
+// invocation, or -1 before any.
+func (h *History) LastInvocation() int { return h.lastInv }
+
+// Observations returns the number of inter-arrival observations in the
+// full history.
+func (h *History) Observations() int { return h.global.Total() }
+
+// Record registers an invocation at minute t (t must not decrease across
+// calls). The inter-arrival gap since the previous invocation, measured in
+// minutes, enters both histories; observations older than the local window
+// age out of the local history.
+func (h *History) Record(t int) error {
+	if t < 0 {
+		return fmt.Errorf("core: negative minute %d", t)
+	}
+	if h.lastInv >= 0 {
+		if t < h.lastInv {
+			return fmt.Errorf("core: time went backwards: %d after %d", t, h.lastInv)
+		}
+		gap := t - h.lastInv
+		if err := h.global.Add(gap); err != nil {
+			return err
+		}
+		if err := h.local.Add(gap); err != nil {
+			return err
+		}
+		h.localQueue = append(h.localQueue, timedGap{minute: t, gap: gap})
+	}
+	h.lastInv = t
+	h.evictLocal(t)
+	return nil
+}
+
+// evictLocal drops local observations recorded before t−localWindow.
+func (h *History) evictLocal(t int) {
+	cut := t - h.localWindow
+	i := 0
+	for ; i < len(h.localQueue) && h.localQueue[i].minute < cut; i++ {
+		// Remove cannot fail: every queued gap was added to the histogram.
+		if err := h.local.Remove(h.localQueue[i].gap); err != nil {
+			panic("core: local histogram out of sync: " + err.Error())
+		}
+	}
+	if i > 0 {
+		h.localQueue = h.localQueue[i:]
+	}
+}
+
+// Probability estimates the probability that the function's next
+// inter-arrival equals gap minutes: the average of the empirical
+// probabilities from the local window and the full history ("we calculate
+// the average of the probabilities obtained for both periods"). An empty
+// history contributes zero to the average, so a function with no local
+// observations falls back to half its global estimate — conservative
+// toward cheaper variants.
+func (h *History) Probability(gap int, blend HistoryBlend) float64 {
+	switch blend {
+	case BlendLocalOnly:
+		return h.local.Probability(gap)
+	case BlendGlobalOnly:
+		return h.global.Probability(gap)
+	default:
+		return (h.local.Probability(gap) + h.global.Probability(gap)) / 2
+	}
+}
+
+// Probabilities evaluates Probability for every offset 1..window and
+// returns them indexed by offset (index 0 unused).
+func (h *History) Probabilities(window int, blend HistoryBlend) []float64 {
+	out := make([]float64, window+1)
+	for d := 1; d <= window; d++ {
+		out[d] = h.Probability(d, blend)
+	}
+	return out
+}
+
+// ThresholdTechnique maps an invocation probability to the variant index to
+// keep alive, for a family with n variants. Implementations must respect
+// the paper's general principle: higher probability never selects a
+// lower-quality variant.
+type ThresholdTechnique interface {
+	// Name identifies the technique in reports ("T1", "T2").
+	Name() string
+	// Select returns the variant index in [0, n) for probability p ∈ [0,1].
+	Select(p float64, n int) int
+}
+
+// TechniqueT1 is the paper's primary greedy rule: the probability space
+// [0,1] is divided into n equal areas by the n−1 thresholds 1/n, 2/n, …,
+// (n−1)/n, and "the lowest accuracy variant is assigned to the area with
+// the lowest probabilities and so on".
+type TechniqueT1 struct{}
+
+// Name implements ThresholdTechnique.
+func (TechniqueT1) Name() string { return "T1" }
+
+// Select implements ThresholdTechnique.
+func (TechniqueT1) Select(p float64, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	p = stats.Clamp01(p)
+	idx := int(p * float64(n))
+	if idx >= n {
+		idx = n - 1 // p == 1 belongs to the top area
+	}
+	return idx
+}
+
+// TechniqueT2 is the evaluation's alternative rule (Figure 10): the lowest
+// variant is reserved for probability exactly zero, and the remaining
+// (0, 1] range is divided into n−1 areas over the n−1 higher variants
+// using n−2 thresholds.
+type TechniqueT2 struct{}
+
+// Name implements ThresholdTechnique.
+func (TechniqueT2) Name() string { return "T2" }
+
+// Select implements ThresholdTechnique.
+func (TechniqueT2) Select(p float64, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	p = stats.Clamp01(p)
+	if p == 0 {
+		return 0
+	}
+	if n == 2 {
+		return 1
+	}
+	idx := 1 + int(p*float64(n-1))
+	if idx >= n {
+		idx = n - 1
+	}
+	return idx
+}
+
+// Schedule computes the keep-alive plan for one keep-alive window following
+// an invocation: for each offset minute 1..window, the variant index to
+// keep alive, selected by the technique from the offset's invocation
+// probability. Every offset keeps at least the lowest variant alive —
+// "PULSE ensures that at least the container with low-quality model is
+// kept alive every 10 minutes after an invocation".
+//
+// The returned slice is indexed by offset (index 0 unused, set to -1).
+func Schedule(probs []float64, tech ThresholdTechnique, numVariants int) ([]int, error) {
+	if numVariants <= 0 {
+		return nil, fmt.Errorf("core: schedule needs ≥1 variant, got %d", numVariants)
+	}
+	if tech == nil {
+		return nil, fmt.Errorf("core: nil threshold technique")
+	}
+	if len(probs) < 2 {
+		return nil, fmt.Errorf("core: probabilities cover no offsets")
+	}
+	out := make([]int, len(probs))
+	out[0] = -1
+	for d := 1; d < len(probs); d++ {
+		v := tech.Select(probs[d], numVariants)
+		if v < 0 || v >= numVariants {
+			return nil, fmt.Errorf("core: technique %s selected invalid variant %d of %d", tech.Name(), v, numVariants)
+		}
+		out[d] = v
+	}
+	return out, nil
+}

@@ -1,0 +1,251 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewHistoryValidation(t *testing.T) {
+	if _, err := NewHistory(0); err == nil {
+		t.Error("zero local window accepted")
+	}
+	h, err := NewHistory(60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.LastInvocation() != -1 || h.Observations() != 0 {
+		t.Error("fresh history not empty")
+	}
+}
+
+func TestHistoryRecordAndProbability(t *testing.T) {
+	h, err := NewHistory(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Invocations at 0, 2, 4, 6, 9: gaps 2,2,2,3.
+	for _, m := range []int{0, 2, 4, 6, 9} {
+		if err := h.Record(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if h.Observations() != 4 {
+		t.Errorf("observations = %d, want 4", h.Observations())
+	}
+	if h.LastInvocation() != 9 {
+		t.Errorf("last invocation = %d", h.LastInvocation())
+	}
+	// With the local window covering everything, local == global, so the
+	// average equals the plain empirical probability.
+	if got := h.Probability(2, BlendBoth); math.Abs(got-0.75) > 1e-12 {
+		t.Errorf("P(2) = %v, want 0.75", got)
+	}
+	if got := h.Probability(3, BlendBoth); math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("P(3) = %v, want 0.25", got)
+	}
+	if got := h.Probability(7, BlendBoth); got != 0 {
+		t.Errorf("P(unseen) = %v, want 0", got)
+	}
+}
+
+func TestHistoryRecordErrors(t *testing.T) {
+	h, _ := NewHistory(10)
+	if err := h.Record(-1); err == nil {
+		t.Error("negative minute accepted")
+	}
+	if err := h.Record(5); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Record(3); err == nil {
+		t.Error("time going backwards accepted")
+	}
+}
+
+func TestHistoryLocalEviction(t *testing.T) {
+	h, err := NewHistory(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Early phase: gaps of 1 (minutes 0..5).
+	for m := 0; m <= 5; m++ {
+		if err := h.Record(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Late phase: one invocation at 100, then gaps of 5.
+	for _, m := range []int{100, 105, 110, 115} {
+		if err := h.Record(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The local window (10 min) now holds only the gap-5 observations, so
+	// the local probability of gap 1 is zero while the global still
+	// remembers it: the blended estimate is half the global.
+	global := h.Probability(1, BlendGlobalOnly)
+	if global == 0 {
+		t.Fatal("global history lost early gaps")
+	}
+	if got := h.Probability(1, BlendLocalOnly); got != 0 {
+		t.Errorf("local P(1) = %v, want 0 after eviction", got)
+	}
+	if got := h.Probability(1, BlendBoth); math.Abs(got-global/2) > 1e-12 {
+		t.Errorf("blended P(1) = %v, want %v", got, global/2)
+	}
+	// And gap 5 dominates locally.
+	if got := h.Probability(5, BlendLocalOnly); got != 1 {
+		t.Errorf("local P(5) = %v, want 1", got)
+	}
+}
+
+func TestHistoryProbabilities(t *testing.T) {
+	h, _ := NewHistory(100)
+	for _, m := range []int{0, 2, 4} {
+		_ = h.Record(m)
+	}
+	ps := h.Probabilities(10, BlendBoth)
+	if len(ps) != 11 {
+		t.Fatalf("len = %d", len(ps))
+	}
+	if ps[2] != 1 {
+		t.Errorf("P(2) = %v, want 1", ps[2])
+	}
+	for _, d := range []int{1, 3, 10} {
+		if ps[d] != 0 {
+			t.Errorf("P(%d) = %v, want 0", d, ps[d])
+		}
+	}
+}
+
+func TestTechniqueT1Bands(t *testing.T) {
+	t1 := TechniqueT1{}
+	if t1.Name() != "T1" {
+		t.Errorf("name = %q", t1.Name())
+	}
+	// n=3: thresholds at 1/3 and 2/3 divide [0,1] into 3 areas.
+	cases := []struct {
+		p    float64
+		want int
+	}{
+		{0, 0}, {0.2, 0}, {1.0 / 3, 1}, {0.5, 1}, {2.0 / 3, 2}, {0.9, 2}, {1, 2},
+	}
+	for _, c := range cases {
+		if got := t1.Select(c.p, 3); got != c.want {
+			t.Errorf("T1.Select(%v, 3) = %d, want %d", c.p, got, c.want)
+		}
+	}
+	// Single variant: always 0.
+	if got := t1.Select(0.9, 1); got != 0 {
+		t.Errorf("T1 single variant = %d", got)
+	}
+	// Out-of-range probabilities clamp.
+	if got := t1.Select(-0.5, 3); got != 0 {
+		t.Errorf("T1 clamp low = %d", got)
+	}
+	if got := t1.Select(1.5, 3); got != 2 {
+		t.Errorf("T1 clamp high = %d", got)
+	}
+}
+
+func TestTechniqueT2Bands(t *testing.T) {
+	t2 := TechniqueT2{}
+	if t2.Name() != "T2" {
+		t.Errorf("name = %q", t2.Name())
+	}
+	// n=3: p=0 → lowest; (0,1] split into 2 areas with threshold at 1/2.
+	cases := []struct {
+		p    float64
+		want int
+	}{
+		{0, 0}, {0.1, 1}, {0.49, 1}, {0.5, 2}, {0.8, 2}, {1, 2},
+	}
+	for _, c := range cases {
+		if got := t2.Select(c.p, 3); got != c.want {
+			t.Errorf("T2.Select(%v, 3) = %d, want %d", c.p, got, c.want)
+		}
+	}
+	// n=2: p=0 → 0, anything positive → 1.
+	if got := t2.Select(0, 2); got != 0 {
+		t.Errorf("T2(0, 2) = %d", got)
+	}
+	if got := t2.Select(0.01, 2); got != 1 {
+		t.Errorf("T2(0.01, 2) = %d", got)
+	}
+	if got := t2.Select(0.7, 1); got != 0 {
+		t.Errorf("T2 single variant = %d", got)
+	}
+}
+
+// Property: both techniques are monotone in p and always in range — the
+// paper's "general principle of keeping alive the variant with the highest
+// accuracy at higher invocation probabilities".
+func TestTechniquesMonotone(t *testing.T) {
+	for _, tech := range []ThresholdTechnique{TechniqueT1{}, TechniqueT2{}} {
+		f := func(a, b float64, nRaw uint8) bool {
+			n := int(nRaw)%6 + 1
+			pa := math.Abs(math.Mod(a, 1))
+			pb := math.Abs(math.Mod(b, 1))
+			if pa > pb {
+				pa, pb = pb, pa
+			}
+			va := tech.Select(pa, n)
+			vb := tech.Select(pb, n)
+			if va < 0 || va >= n || vb < 0 || vb >= n {
+				return false
+			}
+			return va <= vb
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+			t.Errorf("%s: %v", tech.Name(), err)
+		}
+	}
+}
+
+func TestSchedule(t *testing.T) {
+	probs := []float64{0, 0.9, 0.5, 0, 0, 0, 0, 0, 0, 0, 0.01}
+	sched, err := Schedule(probs, TechniqueT1{}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sched[0] != -1 {
+		t.Errorf("offset 0 = %d, want -1 sentinel", sched[0])
+	}
+	if sched[1] != 2 { // p=0.9 → highest
+		t.Errorf("offset 1 = %d, want 2", sched[1])
+	}
+	if sched[2] != 1 { // p=0.5 → middle
+		t.Errorf("offset 2 = %d, want 1", sched[2])
+	}
+	// The low-probability guarantee: every offset keeps at least the
+	// lowest variant alive (no -1 beyond index 0).
+	for d := 1; d < len(sched); d++ {
+		if sched[d] < 0 {
+			t.Errorf("offset %d has no variant", d)
+		}
+	}
+}
+
+func TestScheduleErrors(t *testing.T) {
+	probs := []float64{0, 0.5}
+	if _, err := Schedule(probs, TechniqueT1{}, 0); err == nil {
+		t.Error("zero variants accepted")
+	}
+	if _, err := Schedule(probs, nil, 2); err == nil {
+		t.Error("nil technique accepted")
+	}
+	if _, err := Schedule([]float64{0}, TechniqueT1{}, 2); err == nil {
+		t.Error("empty probability vector accepted")
+	}
+}
+
+// badTechnique returns out-of-range variants to exercise Schedule's guard.
+type badTechnique struct{}
+
+func (badTechnique) Name() string            { return "bad" }
+func (badTechnique) Select(float64, int) int { return 99 }
+
+func TestScheduleRejectsBadTechnique(t *testing.T) {
+	if _, err := Schedule([]float64{0, 0.5}, badTechnique{}, 2); err == nil {
+		t.Error("out-of-range technique output accepted")
+	}
+}

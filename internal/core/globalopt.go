@@ -1,0 +1,265 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/pulse-serverless/pulse/internal/models"
+	"github.com/pulse-serverless/pulse/internal/stats"
+)
+
+// DowngradeStep selects what a downgrade does.
+//
+// StepByOne is the default: "the model with the lowest utility value is
+// downgraded by one variant", flooring at the lowest variant. The floor is
+// what preserves PULSE's warm-start parity with OpenWhisk ("maintaining an
+// equivalent number of warm starts") — a sustained demand ramp downgrades
+// qualities but never evicts the low-quality guarantee.
+//
+// StepByOneEvict is the literal Algorithm 2 reading ("warm starts with
+// models having lower accuracy, or even cold starts"): a model already at
+// its lowest variant is evicted entirely.
+//
+// StepEvict jumps straight to eviction and exists for the ablation
+// benchmark.
+type DowngradeStep int
+
+// Downgrade step modes.
+const (
+	StepByOne DowngradeStep = iota
+	StepByOneEvict
+	StepEvict
+)
+
+// Priority is Algorithm 2's priority structure: a per-model count of past
+// downgrades, "implemented as an array" to minimize memory overhead. When a
+// peak occurs the counts are min–max normalized (Equation 1) so the most
+// frequently downgraded model gets priority 1, protecting it from being
+// downgraded again — the unbiasedness mechanism.
+type Priority struct {
+	counts []float64
+	norm   []float64
+}
+
+// NewPriority creates the structure "initialized … with zeros for all
+// models … immediately after the system has started".
+func NewPriority(nModels int) (*Priority, error) {
+	if nModels <= 0 {
+		return nil, fmt.Errorf("core: priority structure needs ≥1 model, got %d", nModels)
+	}
+	return &Priority{
+		counts: make([]float64, nModels),
+		norm:   make([]float64, nModels),
+	}, nil
+}
+
+// Bump adds one downgrade to model m's count.
+func (p *Priority) Bump(m int) error {
+	if m < 0 || m >= len(p.counts) {
+		return fmt.Errorf("core: priority bump of invalid model %d", m)
+	}
+	p.counts[m]++
+	return nil
+}
+
+// Count returns model m's raw downgrade count.
+func (p *Priority) Count(m int) float64 {
+	if m < 0 || m >= len(p.counts) {
+		return 0
+	}
+	return p.counts[m]
+}
+
+// Normalize recomputes and returns the normalized priorities (Equation 1)
+// over all models. The returned slice is reused across calls.
+func (p *Priority) Normalize() []float64 {
+	copy(p.norm, p.counts)
+	stats.MinMaxNormalizeInPlace(p.norm)
+	return p.norm
+}
+
+// UtilityTerms breaks a utility value into its Algorithm 2 components for
+// observability.
+type UtilityTerms struct {
+	Function int
+	Variant  int
+	Ai       float64 // accuracy improvement of current variant over next lower
+	Pr       float64 // normalized downgrade priority
+	Ip       float64 // invocation probability
+}
+
+// Uv returns the utility value Ai + Pr + Ip (Equation 2).
+func (u UtilityTerms) Uv() float64 { return u.Ai + u.Pr + u.Ip }
+
+// Downgrade records one applied downgrade.
+type Downgrade struct {
+	Function    int
+	FromVariant int
+	ToVariant   int // -1 when evicted entirely (cold start risk)
+	Uv          float64
+}
+
+// GlobalOptimizer runs Algorithm 2's downgrade loop during peaks.
+type GlobalOptimizer struct {
+	catalog         *models.Catalog
+	assignment      models.Assignment
+	priority        *Priority
+	step            DowngradeStep
+	disablePriority bool       // ablation: Uv = Ai + Ip
+	randomPick      *rand.Rand // non-nil: pick downgrade victims at random (strawman)
+	terms           []UtilityTerms
+}
+
+// UseRandomSelection switches the optimizer to the strawman the paper
+// argues against ("random functions/models are downgraded, which may
+// result in models with higher-chance of invocation being downgraded"):
+// during a peak the victim is drawn uniformly from the downgradable models
+// instead of by lowest utility value. Seeded for reproducibility.
+func (g *GlobalOptimizer) UseRandomSelection(seed int64) {
+	g.randomPick = rand.New(rand.NewSource(seed))
+}
+
+// NewGlobalOptimizer builds the optimizer for a fixed catalog/assignment.
+func NewGlobalOptimizer(cat *models.Catalog, asg models.Assignment, step DowngradeStep, disablePriority bool) (*GlobalOptimizer, error) {
+	if cat == nil {
+		return nil, fmt.Errorf("core: nil catalog")
+	}
+	if err := cat.Validate(); err != nil {
+		return nil, err
+	}
+	if err := asg.Validate(cat, len(asg)); err != nil {
+		return nil, err
+	}
+	if len(asg) == 0 {
+		return nil, fmt.Errorf("core: empty assignment")
+	}
+	pr, err := NewPriority(len(asg))
+	if err != nil {
+		return nil, err
+	}
+	return &GlobalOptimizer{
+		catalog:         cat,
+		assignment:      asg,
+		priority:        pr,
+		step:            step,
+		disablePriority: disablePriority,
+	}, nil
+}
+
+// Priority exposes the priority structure (read-mostly; tests and reports).
+func (g *GlobalOptimizer) Priority() *Priority { return g.priority }
+
+// KeptAliveMemoryMB sums the memory of a decision vector (variant per
+// function, -1 = none).
+func (g *GlobalOptimizer) KeptAliveMemoryMB(decisions []int) (float64, error) {
+	if len(decisions) != len(g.assignment) {
+		return 0, fmt.Errorf("core: %d decisions for %d functions", len(decisions), len(g.assignment))
+	}
+	var total float64
+	for fn, vi := range decisions {
+		if vi < 0 {
+			continue
+		}
+		fam := g.catalog.Families[g.assignment[fn]]
+		if vi >= fam.NumVariants() {
+			return 0, fmt.Errorf("core: function %d keeps invalid variant %d", fn, vi)
+		}
+		total += fam.Variants[vi].MemoryMB
+	}
+	return total, nil
+}
+
+// Flatten applies Algorithm 2 to the decision vector in place: while the
+// kept-alive memory exceeds targetKaM, the kept-alive model with the
+// lowest utility value Uv = Ai + Pr + Ip is downgraded by one variant (or
+// evicted from its lowest variant) and its priority count incremented. The
+// invocation probabilities ip (one per function, valid for the functions
+// currently kept alive) supply the Ip term.
+//
+// It returns the applied downgrades in order. The loop terminates when the
+// peak is flattened or nothing remains to downgrade.
+func (g *GlobalOptimizer) Flatten(decisions []int, ip []float64, targetKaM float64) ([]Downgrade, error) {
+	if len(decisions) != len(g.assignment) {
+		return nil, fmt.Errorf("core: %d decisions for %d functions", len(decisions), len(g.assignment))
+	}
+	if len(ip) != len(g.assignment) {
+		return nil, fmt.Errorf("core: %d probabilities for %d functions", len(ip), len(g.assignment))
+	}
+	kam, err := g.KeptAliveMemoryMB(decisions)
+	if err != nil {
+		return nil, err
+	}
+	var applied []Downgrade
+	for kam > targetKaM {
+		// Normalize the priority structure (Algorithm 2 line 4).
+		norm := g.priority.Normalize()
+
+		// Compute Uv for every model currently kept alive that can still
+		// be downgraded (lines 5–8). Under StepByOne a model at its lowest
+		// variant is no longer a candidate — the low-quality floor stays.
+		g.terms = g.terms[:0]
+		for fn, vi := range decisions {
+			if vi < 0 {
+				continue
+			}
+			if vi == 0 && g.step == StepByOne {
+				continue
+			}
+			fam := g.catalog.Families[g.assignment[fn]]
+			ai, err := fam.AccuracyImprovement(vi)
+			if err != nil {
+				return nil, err
+			}
+			pr := norm[fn]
+			if g.disablePriority {
+				pr = 0
+			}
+			g.terms = append(g.terms, UtilityTerms{
+				Function: fn,
+				Variant:  vi,
+				Ai:       ai,
+				Pr:       pr,
+				Ip:       stats.Clamp01(ip[fn]),
+			})
+		}
+		if len(g.terms) == 0 {
+			break // nothing left to downgrade; peak cannot be flattened further
+		}
+
+		// Downgrade the model with the lowest Uv (line 9), breaking ties
+		// toward the lowest function index for determinism — or, in the
+		// strawman mode, a uniformly random victim.
+		best := 0
+		if g.randomPick != nil {
+			best = g.randomPick.Intn(len(g.terms))
+		} else {
+			for i := 1; i < len(g.terms); i++ {
+				if g.terms[i].Uv() < g.terms[best].Uv() {
+					best = i
+				}
+			}
+		}
+		chosen := g.terms[best]
+		fn := chosen.Function
+		fam := g.catalog.Families[g.assignment[fn]]
+		from := decisions[fn]
+		to := from - 1
+		if g.step == StepEvict || from == 0 {
+			to = -1
+		}
+		decisions[fn] = to
+
+		freed := fam.Variants[from].MemoryMB
+		if to >= 0 {
+			freed -= fam.Variants[to].MemoryMB
+		}
+		kam -= freed
+
+		// Update the priority structure (line 10).
+		if err := g.priority.Bump(fn); err != nil {
+			return nil, err
+		}
+		applied = append(applied, Downgrade{Function: fn, FromVariant: from, ToVariant: to, Uv: chosen.Uv()})
+	}
+	return applied, nil
+}

@@ -1,0 +1,196 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/pulse-serverless/pulse/internal/cluster"
+	"github.com/pulse-serverless/pulse/internal/models"
+)
+
+// driveRandom pushes a random invocation sequence through a PULSE instance
+// and checks the per-minute invariants. Returns false on any violation.
+func driveRandom(seed int64, cfg Config, minutes int) bool {
+	p, err := New(cfg)
+	if err != nil {
+		return false
+	}
+	rng := rand.New(rand.NewSource(seed))
+	n := len(cfg.Assignment)
+	counts := make([]int, n)
+	lastInv := make([]int, n)
+	for i := range lastInv {
+		lastInv[i] = -1
+	}
+	window := p.Config().Window
+	for t := 0; t < minutes; t++ {
+		decisions := p.KeepAlive(t)
+		if len(decisions) != n {
+			return false
+		}
+		var kam float64
+		for fn, vi := range decisions {
+			fam := cfg.Catalog.Families[cfg.Assignment[fn]]
+			// Invariant: decisions are NoVariant or valid indices.
+			if vi != cluster.NoVariant && (vi < 0 || vi >= fam.NumVariants()) {
+				return false
+			}
+			if vi != cluster.NoVariant {
+				kam += fam.Variants[vi].MemoryMB
+			}
+			// Invariant: without the global optimizer, the low-quality
+			// floor holds — some variant is alive at every minute within
+			// the window after an invocation.
+			if cfg.DisableGlobalOpt && lastInv[fn] >= 0 &&
+				t > lastInv[fn] && t-lastInv[fn] <= window && vi == cluster.NoVariant {
+				return false
+			}
+			// Invariant: nothing is alive outside any window.
+			if (lastInv[fn] < 0 || t-lastInv[fn] > window) && vi != cluster.NoVariant {
+				return false
+			}
+		}
+		if kam < 0 {
+			return false
+		}
+		for fn := range counts {
+			counts[fn] = 0
+			if rng.Float64() < 0.3 {
+				counts[fn] = rng.Intn(3) + 1
+				lastInv[fn] = t
+			}
+		}
+		p.RecordInvocations(t, counts)
+	}
+	return true
+}
+
+func propertyCatalog() *models.Catalog {
+	return models.PaperCatalog()
+}
+
+// Property: PULSE never emits invalid decisions, never violates the
+// low-quality floor (global opt off), and never keeps dead functions alive,
+// across random workloads.
+func TestPulseInvariantsUnderRandomWorkloads(t *testing.T) {
+	cat := propertyCatalog()
+	f := func(seed int64, disableGlobal bool, techSel bool) bool {
+		asg := models.Assignment{0, 1, 2, 3, 4}
+		var tech ThresholdTechnique = TechniqueT1{}
+		if techSel {
+			tech = TechniqueT2{}
+		}
+		return driveRandom(seed, Config{
+			Catalog:          cat,
+			Assignment:       asg,
+			Technique:        tech,
+			DisableGlobalOpt: disableGlobal,
+		}, 200)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the global optimizer only ever removes memory relative to the
+// individual-only plan, minute by minute, for identical workloads.
+func TestGlobalOptOnlyRemovesMemory(t *testing.T) {
+	cat := propertyCatalog()
+	asg := models.Assignment{0, 1, 2, 3, 4, 0, 1}
+	f := func(seed int64) bool {
+		pFull, err := New(Config{Catalog: cat, Assignment: asg})
+		if err != nil {
+			return false
+		}
+		pIndiv, err := New(Config{Catalog: cat, Assignment: asg, DisableGlobalOpt: true})
+		if err != nil {
+			return false
+		}
+		rng := rand.New(rand.NewSource(seed))
+		counts := make([]int, len(asg))
+		for t := 0; t < 150; t++ {
+			dFull := pFull.KeepAlive(t)
+			dIndiv := pIndiv.KeepAlive(t)
+			var kamFull, kamIndiv float64
+			for fn := range asg {
+				fam := cat.Families[asg[fn]]
+				if dFull[fn] >= 0 {
+					kamFull += fam.Variants[dFull[fn]].MemoryMB
+				}
+				if dIndiv[fn] >= 0 {
+					kamIndiv += fam.Variants[dIndiv[fn]].MemoryMB
+				}
+				// Per-function: the full policy's variant is never higher
+				// quality than the individual plan's.
+				if dFull[fn] > dIndiv[fn] {
+					return false
+				}
+			}
+			if kamFull > kamIndiv+1e-9 {
+				return false
+			}
+			for fn := range counts {
+				counts[fn] = 0
+				if rng.Float64() < 0.4 {
+					counts[fn] = 1
+				}
+			}
+			pFull.RecordInvocations(t, counts)
+			pIndiv.RecordInvocations(t, counts)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: snapshots taken at arbitrary points always restore and resume
+// with identical decisions (plans included).
+func TestSnapshotAnywhereResumes(t *testing.T) {
+	cat := propertyCatalog()
+	asg := models.Assignment{0, 2, 4}
+	f := func(seed int64, cutRaw uint8) bool {
+		cut := int(cutRaw)%80 + 10
+		total := cut + 40
+		rng := rand.New(rand.NewSource(seed))
+		invocations := make([][]int, total)
+		for t := range invocations {
+			invocations[t] = make([]int, len(asg))
+			for fn := range asg {
+				if rng.Float64() < 0.35 {
+					invocations[t][fn] = 1
+				}
+			}
+		}
+		cfg := Config{Catalog: cat, Assignment: asg}
+		pA, err := New(cfg)
+		if err != nil {
+			return false
+		}
+		for t := 0; t < cut; t++ {
+			pA.KeepAlive(t)
+			pA.RecordInvocations(t, invocations[t])
+		}
+		pB, err := Restore(cfg, pA.Snapshot())
+		if err != nil {
+			return false
+		}
+		for t := cut; t < total; t++ {
+			a := append([]int(nil), pA.KeepAlive(t)...)
+			b := pB.KeepAlive(t)
+			for fn := range a {
+				if a[fn] != b[fn] {
+					return false
+				}
+			}
+			pA.RecordInvocations(t, invocations[t])
+			pB.RecordInvocations(t, invocations[t])
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,263 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/pulse-serverless/pulse/internal/cluster"
+	"github.com/pulse-serverless/pulse/internal/models"
+)
+
+// Config parameterizes a PULSE instance. Zero values select the paper's
+// defaults where they exist.
+type Config struct {
+	Catalog    *models.Catalog
+	Assignment models.Assignment
+
+	// Window is the keep-alive period in minutes (default 10).
+	Window int
+	// LocalWindow is the sliding local history length in minutes used by
+	// both the function-centric probabilities and Algorithm 1's prior
+	// keep-alive memory (default 60; Figure 12 sweeps 10/60/120).
+	LocalWindow int
+	// KaMThreshold is Algorithm 1's KM_T as a fraction (default 0.10;
+	// Figure 11 sweeps 0.05/0.10/0.15).
+	KaMThreshold float64
+	// Technique is the probability-threshold rule (default TechniqueT1;
+	// Figure 10 compares T1 and T2).
+	Technique ThresholdTechnique
+
+	// DisableGlobalOpt turns off cross-function optimization, leaving only
+	// the function-centric optimizer — the Figure 4(b) configuration.
+	DisableGlobalOpt bool
+	// DisablePriorityTerm drops Pr from Uv (ablation).
+	DisablePriorityTerm bool
+	// Blend selects the history mix feeding probabilities (ablation).
+	Blend HistoryBlend
+	// PriorMode selects Algorithm 1's prior derivation (ablation).
+	PriorMode PriorMode
+	// Step selects the downgrade granularity (ablation).
+	Step DowngradeStep
+	// RandomDowngradeSeed, when non-zero, replaces utility-based victim
+	// selection with the paper's strawman of random downgrades during
+	// peaks (ablation). The seed keeps runs reproducible.
+	RandomDowngradeSeed int64
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.Window <= 0 {
+		out.Window = cluster.DefaultKeepAliveWindow
+	}
+	if out.LocalWindow <= 0 {
+		out.LocalWindow = 60
+	}
+	if out.KaMThreshold <= 0 {
+		out.KaMThreshold = 0.10
+	}
+	if out.Technique == nil {
+		out.Technique = TechniqueT1{}
+	}
+	return out
+}
+
+// planRing stores one value per absolute minute over a sliding horizon of
+// window+1 minutes — the furthest ahead a keep-alive plan can reach.
+type planRing struct {
+	minutes  []int
+	variants []int
+	probs    []float64
+}
+
+func newPlanRing(window int) planRing {
+	r := planRing{
+		minutes:  make([]int, window+1),
+		variants: make([]int, window+1),
+		probs:    make([]float64, window+1),
+	}
+	for i := range r.minutes {
+		r.minutes[i] = -1
+	}
+	return r
+}
+
+func (r *planRing) set(minute, variant int, prob float64) {
+	i := minute % len(r.minutes)
+	r.minutes[i] = minute
+	r.variants[i] = variant
+	r.probs[i] = prob
+}
+
+func (r *planRing) get(minute int) (variant int, prob float64, ok bool) {
+	i := minute % len(r.minutes)
+	if r.minutes[i] != minute {
+		return cluster.NoVariant, 0, false
+	}
+	return r.variants[i], r.probs[i], true
+}
+
+// Pulse is the full PULSE keep-alive policy (Figure 3): function-centric
+// optimization plans a variant per minute of each function's keep-alive
+// window; when Algorithm 1 detects a keep-alive memory peak, Algorithm 2's
+// utility-driven downgrades flatten it. Pulse implements cluster.Policy.
+type Pulse struct {
+	cfg       Config
+	histories []*History
+	detector  *PeakDetector
+	global    *GlobalOptimizer
+	plans     []planRing
+	out       []int
+	ip        []float64
+
+	totalDowngrades int
+	peakMinutes     int
+}
+
+// New builds a PULSE policy instance.
+func New(cfg Config) (*Pulse, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Catalog == nil {
+		return nil, fmt.Errorf("core: nil catalog")
+	}
+	if err := cfg.Catalog.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.Assignment.Validate(cfg.Catalog, len(cfg.Assignment)); err != nil {
+		return nil, err
+	}
+	if len(cfg.Assignment) == 0 {
+		return nil, fmt.Errorf("core: empty assignment")
+	}
+	n := len(cfg.Assignment)
+	p := &Pulse{
+		cfg:       cfg,
+		histories: make([]*History, n),
+		plans:     make([]planRing, n),
+		out:       make([]int, n),
+		ip:        make([]float64, n),
+	}
+	var err error
+	for i := range p.histories {
+		if p.histories[i], err = NewHistory(cfg.LocalWindow); err != nil {
+			return nil, err
+		}
+		p.plans[i] = newPlanRing(cfg.Window)
+	}
+	if p.detector, err = NewPeakDetector(cfg.KaMThreshold, cfg.LocalWindow, cfg.PriorMode); err != nil {
+		return nil, err
+	}
+	if p.global, err = NewGlobalOptimizer(cfg.Catalog, cfg.Assignment, cfg.Step, cfg.DisablePriorityTerm); err != nil {
+		return nil, err
+	}
+	if cfg.RandomDowngradeSeed != 0 {
+		p.global.UseRandomSelection(cfg.RandomDowngradeSeed)
+	}
+	return p, nil
+}
+
+// Name implements cluster.Policy.
+func (p *Pulse) Name() string {
+	name := "pulse-" + p.cfg.Technique.Name()
+	if p.cfg.DisableGlobalOpt {
+		name += "-noglobal"
+	}
+	return name
+}
+
+// Config returns the effective (defaulted) configuration.
+func (p *Pulse) Config() Config { return p.cfg }
+
+// TotalDowngrades returns the number of Algorithm 2 downgrades applied so
+// far.
+func (p *Pulse) TotalDowngrades() int { return p.totalDowngrades }
+
+// PeakMinutes returns the number of minutes in which a peak was detected
+// and flattening ran.
+func (p *Pulse) PeakMinutes() int { return p.peakMinutes }
+
+// KeepAlive implements cluster.Policy: it assembles the minute's candidate
+// keep-alive set from the per-function plans, runs the global optimizer if
+// the minute is a peak, commits the final keep-alive memory to the peak
+// detector, and returns the decisions.
+func (p *Pulse) KeepAlive(t int) []int {
+	for fn := range p.out {
+		v, prob, ok := p.plans[fn].get(t)
+		if !ok {
+			v, prob = cluster.NoVariant, 0
+		}
+		p.out[fn] = v
+		p.ip[fn] = prob
+	}
+
+	if !p.cfg.DisableGlobalOpt {
+		kam, err := p.global.KeptAliveMemoryMB(p.out)
+		if err != nil {
+			// Plans only ever hold validated variant indices.
+			panic("core: invalid internal plan: " + err.Error())
+		}
+		if p.detector.IsPeak(kam) {
+			p.peakMinutes++
+			downs, err := p.global.Flatten(p.out, p.ip, p.detector.FlattenTarget())
+			if err != nil {
+				panic("core: flatten failed on validated state: " + err.Error())
+			}
+			p.totalDowngrades += len(downs)
+		}
+	}
+
+	kam, err := p.global.KeptAliveMemoryMB(p.out)
+	if err != nil {
+		panic("core: invalid final decisions: " + err.Error())
+	}
+	if err := p.detector.Record(kam); err != nil {
+		panic("core: detector record: " + err.Error())
+	}
+	return p.out
+}
+
+// ColdVariant implements cluster.Policy: invocations that arrive cold run
+// the function's standard (highest-quality) model, matching the fixed
+// policy's behaviour so accuracy differences come only from keep-alive
+// decisions.
+func (p *Pulse) ColdVariant(_, fn int) int {
+	return p.cfg.Catalog.Families[p.cfg.Assignment[fn]].NumVariants() - 1
+}
+
+// RecordInvocations implements cluster.Policy: every function invoked this
+// minute gets its history updated and a fresh keep-alive plan for the next
+// window minutes, one variant per offset, from the threshold technique.
+func (p *Pulse) RecordInvocations(t int, counts []int) {
+	for fn, c := range counts {
+		if c == 0 {
+			continue
+		}
+		h := p.histories[fn]
+		if err := h.Record(t); err != nil {
+			panic("core: history record: " + err.Error())
+		}
+		fam := p.cfg.Catalog.Families[p.cfg.Assignment[fn]]
+		probs := h.Probabilities(p.cfg.Window, p.cfg.Blend)
+		sched, err := Schedule(probs, p.cfg.Technique, fam.NumVariants())
+		if err != nil {
+			panic("core: schedule: " + err.Error())
+		}
+		for d := 1; d <= p.cfg.Window; d++ {
+			p.plans[fn].set(t+d, sched[d], probs[d])
+		}
+	}
+}
+
+// History exposes function fn's inter-arrival history (for reports/tests).
+func (p *Pulse) History(fn int) *History {
+	if fn < 0 || fn >= len(p.histories) {
+		return nil
+	}
+	return p.histories[fn]
+}
+
+// Detector exposes the peak detector (for reports/tests).
+func (p *Pulse) Detector() *PeakDetector { return p.detector }
+
+// PriorityCount returns function fn's downgrade count from Algorithm 2's
+// priority structure — how often its model has been downgraded during
+// peaks.
+func (p *Pulse) PriorityCount(fn int) float64 { return p.global.Priority().Count(fn) }

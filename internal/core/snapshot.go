@@ -1,0 +1,263 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/pulse-serverless/pulse/internal/cluster"
+)
+
+// This file implements state checkpointing for PULSE — the persistence
+// behind Figure 3's "Metadata Store". A snapshot captures everything the
+// controller has learned (inter-arrival histories, downgrade priorities,
+// peak-detector state) plus the in-flight keep-alive plans, so a restored
+// controller continues with decisions bit-identical to an uninterrupted
+// one.
+
+// SnapshotVersion identifies the snapshot schema.
+const SnapshotVersion = 1
+
+// GapCount is one histogram bucket: Count observations of Gap minutes.
+type GapCount struct {
+	Gap   int `json:"gap"`
+	Count int `json:"count"`
+}
+
+// TimedGapSnapshot is one local-window observation.
+type TimedGapSnapshot struct {
+	Minute int `json:"minute"`
+	Gap    int `json:"gap"`
+}
+
+// HistorySnapshot captures one function's History.
+type HistorySnapshot struct {
+	LastInvocation int                `json:"lastInvocation"`
+	Global         []GapCount         `json:"global"`
+	LocalQueue     []TimedGapSnapshot `json:"localQueue"`
+}
+
+// Snapshot captures the history's state.
+func (h *History) Snapshot() HistorySnapshot {
+	s := HistorySnapshot{LastInvocation: h.lastInv}
+	for _, gap := range h.global.Values() {
+		s.Global = append(s.Global, GapCount{Gap: gap, Count: h.global.Count(gap)})
+	}
+	for _, tg := range h.localQueue {
+		s.LocalQueue = append(s.LocalQueue, TimedGapSnapshot{Minute: tg.minute, Gap: tg.gap})
+	}
+	return s
+}
+
+// restoreHistory rebuilds a History from a snapshot.
+func restoreHistory(localWindow int, s HistorySnapshot) (*History, error) {
+	h, err := NewHistory(localWindow)
+	if err != nil {
+		return nil, err
+	}
+	h.lastInv = s.LastInvocation
+	for _, gc := range s.Global {
+		if gc.Count <= 0 {
+			return nil, fmt.Errorf("core: snapshot has non-positive count %d for gap %d", gc.Count, gc.Gap)
+		}
+		for i := 0; i < gc.Count; i++ {
+			if err := h.global.Add(gc.Gap); err != nil {
+				return nil, fmt.Errorf("core: snapshot gap %d: %w", gc.Gap, err)
+			}
+		}
+	}
+	for _, tg := range s.LocalQueue {
+		if err := h.local.Add(tg.Gap); err != nil {
+			return nil, fmt.Errorf("core: snapshot local gap %d: %w", tg.Gap, err)
+		}
+		h.localQueue = append(h.localQueue, timedGap{minute: tg.Minute, gap: tg.Gap})
+	}
+	return h, nil
+}
+
+// DetectorSnapshot captures a PeakDetector.
+type DetectorSnapshot struct {
+	Elapsed     int       `json:"elapsed"`
+	PrevKaM     float64   `json:"prevKaM"`
+	LastNonZero float64   `json:"lastNonZero"` // +Inf encoded as -1
+	Window      []float64 `json:"window"`
+}
+
+// Snapshot captures the detector's state.
+func (p *PeakDetector) Snapshot() DetectorSnapshot {
+	s := DetectorSnapshot{
+		Elapsed: p.elapsed,
+		PrevKaM: p.prevKaM,
+		Window:  p.window.Values(),
+	}
+	if p.elapsed == 0 {
+		s.PrevKaM = 0
+	}
+	s.LastNonZero = p.lastNonZero
+	if s.LastNonZero > 1e300 { // +Inf is not JSON-encodable
+		s.LastNonZero = -1
+	}
+	return s
+}
+
+// restoreDetector rebuilds a PeakDetector from a snapshot.
+func restoreDetector(threshold float64, localWindow int, mode PriorMode, s DetectorSnapshot) (*PeakDetector, error) {
+	d, err := NewPeakDetector(threshold, localWindow, mode)
+	if err != nil {
+		return nil, err
+	}
+	if s.Elapsed < 0 {
+		return nil, fmt.Errorf("core: snapshot has negative elapsed %d", s.Elapsed)
+	}
+	if len(s.Window) > localWindow {
+		return nil, fmt.Errorf("core: snapshot window of %d exceeds local window %d", len(s.Window), localWindow)
+	}
+	for _, v := range s.Window {
+		if v < 0 {
+			return nil, fmt.Errorf("core: snapshot window has negative keep-alive memory %v", v)
+		}
+		d.window.Push(v)
+	}
+	d.elapsed = s.Elapsed
+	if s.Elapsed > 0 {
+		d.prevKaM = s.PrevKaM
+	}
+	if s.LastNonZero >= 0 {
+		d.lastNonZero = s.LastNonZero
+	}
+	return d, nil
+}
+
+// PlanEntry is one in-flight keep-alive commitment: variant to keep alive
+// at an absolute minute, with the invocation probability that chose it.
+type PlanEntry struct {
+	Minute  int     `json:"minute"`
+	Variant int     `json:"variant"`
+	Prob    float64 `json:"prob"`
+}
+
+// PulseSnapshot captures a full PULSE controller.
+type PulseSnapshot struct {
+	Version int `json:"version"`
+
+	// Configuration fingerprint: restoring requires a matching config.
+	Window       int     `json:"window"`
+	LocalWindow  int     `json:"localWindow"`
+	KaMThreshold float64 `json:"kamThreshold"`
+	Technique    string  `json:"technique"`
+	Functions    int     `json:"functions"`
+
+	Histories       []HistorySnapshot `json:"histories"`
+	Plans           [][]PlanEntry     `json:"plans"`
+	PriorityCounts  []float64         `json:"priorityCounts"`
+	Detector        DetectorSnapshot  `json:"detector"`
+	TotalDowngrades int               `json:"totalDowngrades"`
+	PeakMinutes     int               `json:"peakMinutes"`
+}
+
+// Snapshot captures the controller's learned state.
+func (p *Pulse) Snapshot() PulseSnapshot {
+	s := PulseSnapshot{
+		Version:         SnapshotVersion,
+		Window:          p.cfg.Window,
+		LocalWindow:     p.cfg.LocalWindow,
+		KaMThreshold:    p.cfg.KaMThreshold,
+		Technique:       p.cfg.Technique.Name(),
+		Functions:       len(p.cfg.Assignment),
+		Detector:        p.detector.Snapshot(),
+		TotalDowngrades: p.totalDowngrades,
+		PeakMinutes:     p.peakMinutes,
+	}
+	for _, h := range p.histories {
+		s.Histories = append(s.Histories, h.Snapshot())
+	}
+	for fn := range p.cfg.Assignment {
+		ring := &p.plans[fn]
+		var entries []PlanEntry
+		for i, minute := range ring.minutes {
+			if minute >= 0 {
+				entries = append(entries, PlanEntry{
+					Minute:  minute,
+					Variant: ring.variants[i],
+					Prob:    ring.probs[i],
+				})
+			}
+		}
+		s.Plans = append(s.Plans, entries)
+		s.PriorityCounts = append(s.PriorityCounts, p.global.Priority().Count(fn))
+	}
+	return s
+}
+
+// Restore builds a PULSE controller from a configuration and a snapshot
+// previously taken with a compatible configuration.
+func Restore(cfg Config, s PulseSnapshot) (*Pulse, error) {
+	if s.Version != SnapshotVersion {
+		return nil, fmt.Errorf("core: snapshot version %d, want %d", s.Version, SnapshotVersion)
+	}
+	p, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	eff := p.Config()
+	if s.Window != eff.Window || s.LocalWindow != eff.LocalWindow ||
+		s.KaMThreshold != eff.KaMThreshold || s.Technique != eff.Technique.Name() {
+		return nil, fmt.Errorf("core: snapshot taken under different configuration (window %d/%d, local %d/%d, KM_T %v/%v, technique %s/%s)",
+			s.Window, eff.Window, s.LocalWindow, eff.LocalWindow,
+			s.KaMThreshold, eff.KaMThreshold, s.Technique, eff.Technique.Name())
+	}
+	if s.Functions != len(eff.Assignment) || len(s.Histories) != s.Functions || len(s.PriorityCounts) != s.Functions {
+		return nil, fmt.Errorf("core: snapshot covers %d functions (%d histories, %d priorities), config has %d",
+			s.Functions, len(s.Histories), len(s.PriorityCounts), len(eff.Assignment))
+	}
+	if len(s.Plans) != 0 && len(s.Plans) != s.Functions {
+		return nil, fmt.Errorf("core: snapshot has %d plan sets for %d functions", len(s.Plans), s.Functions)
+	}
+	for fn, hs := range s.Histories {
+		h, err := restoreHistory(eff.LocalWindow, hs)
+		if err != nil {
+			return nil, fmt.Errorf("core: function %d: %w", fn, err)
+		}
+		p.histories[fn] = h
+	}
+	for fn, entries := range s.Plans {
+		fam := eff.Catalog.Families[eff.Assignment[fn]]
+		for _, e := range entries {
+			if e.Minute < 0 {
+				return nil, fmt.Errorf("core: function %d plan at negative minute %d", fn, e.Minute)
+			}
+			if e.Variant < 0 || e.Variant >= fam.NumVariants() {
+				return nil, fmt.Errorf("core: function %d plan keeps invalid variant %d", fn, e.Variant)
+			}
+			p.plans[fn].set(e.Minute, e.Variant, e.Prob)
+		}
+	}
+	for fn, c := range s.PriorityCounts {
+		if c < 0 {
+			return nil, fmt.Errorf("core: snapshot priority count %v for function %d", c, fn)
+		}
+		for i := 0; i < int(c); i++ {
+			if err := p.global.Priority().Bump(fn); err != nil {
+				return nil, err
+			}
+		}
+	}
+	d, err := restoreDetector(eff.KaMThreshold, eff.LocalWindow, eff.PriorMode, s.Detector)
+	if err != nil {
+		return nil, err
+	}
+	p.detector = d
+	p.totalDowngrades = s.TotalDowngrades
+	p.peakMinutes = s.PeakMinutes
+	return p, nil
+}
+
+// resumeMinute returns the next minute the restored controller expects;
+// exposed for the metastore's convenience API.
+func (p *Pulse) resumeMinute() int { return p.detector.Elapsed() }
+
+// ResumeMinute returns the minute index a restored controller should next
+// be driven at (the number of minutes it has already recorded). Driving it
+// at a later minute is safe — histories treat the gap as inactivity — but
+// an earlier minute would run time backwards.
+func (p *Pulse) ResumeMinute() int { return p.resumeMinute() }
+
+var _ cluster.Policy = (*Pulse)(nil)

@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"github.com/pulse-serverless/pulse/internal/cluster"
+	"github.com/pulse-serverless/pulse/internal/core"
+	"github.com/pulse-serverless/pulse/internal/report"
+)
+
+// CapacityResult quantifies the paper's motivating claim that fixed
+// keep-alive "can potentially strain the system's memory resources": total
+// memory demand (keep-alive + executing invocations) against a provider
+// capacity, under the fixed policy and under PULSE.
+type CapacityResult struct {
+	CapacityMB float64
+	OpenWhisk  *cluster.CapacityReport
+	Pulse      *cluster.CapacityReport
+}
+
+// CapacityAnalysis runs both policies over the trace and reports demand
+// against a capacity provisioned at 80% of the fixed policy's peak — tight
+// enough that the fixed policy's bursts contend, which is exactly the
+// regime PULSE's global optimizer exists for.
+func CapacityAnalysis(opts Options) (*CapacityResult, error) {
+	e, err := newEnv(opts)
+	if err != nil {
+		return nil, err
+	}
+	ow, err := e.newOpenWhisk()
+	if err != nil {
+		return nil, err
+	}
+	rOW, err := e.run(ow, false)
+	if err != nil {
+		return nil, err
+	}
+	pulse, err := e.newPulse(core.Config{})
+	if err != nil {
+		return nil, err
+	}
+	rPulse, err := e.run(pulse, false)
+	if err != nil {
+		return nil, err
+	}
+
+	// Provision at 80% of the fixed policy's peak demand.
+	probe, err := cluster.AnalyzeCapacity(rOW, e.trace, e.catalog, e.asg, 1) // capacity irrelevant for peak
+	if err != nil {
+		return nil, err
+	}
+	capacity := 0.8 * probe.PeakDemandMB
+
+	res := &CapacityResult{CapacityMB: capacity}
+	if res.OpenWhisk, err = cluster.AnalyzeCapacity(rOW, e.trace, e.catalog, e.asg, capacity); err != nil {
+		return nil, err
+	}
+	if res.Pulse, err = cluster.AnalyzeCapacity(rPulse, e.trace, e.catalog, e.asg, capacity); err != nil {
+		return nil, err
+	}
+
+	t := report.NewTable("Capacity — memory demand vs provider capacity (keep-alive + executing invocations)",
+		"policy", "mean demand (MB)", "peak demand (MB)", "mean utilization", "contention minutes", "overflow (MB·min)")
+	for _, row := range []struct {
+		name string
+		rep  *cluster.CapacityReport
+	}{
+		{"openwhisk", res.OpenWhisk},
+		{"pulse", res.Pulse},
+	} {
+		if err := t.AddRow(row.name,
+			report.F(row.rep.MeanDemandMB), report.F(row.rep.PeakDemandMB),
+			report.F(row.rep.MeanUtilization),
+			report.F(float64(row.rep.ContentionMinutes)),
+			report.F(row.rep.OverflowMBMinutes)); err != nil {
+			return nil, err
+		}
+	}
+	if err := t.Render(e.opts.Out); err != nil {
+		return nil, err
+	}
+	return res, nil
+}

@@ -1,0 +1,32 @@
+package experiments
+
+import "testing"
+
+func TestCapacityAnalysis(t *testing.T) {
+	res, err := CapacityAnalysis(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CapacityMB <= 0 {
+		t.Fatal("no capacity derived")
+	}
+	// The capacity is 80% of the fixed policy's peak, so the fixed policy
+	// must contend.
+	if res.OpenWhisk.ContentionMinutes == 0 {
+		t.Error("fixed policy never contends at 80% of its own peak")
+	}
+	// PULSE's whole point: lower demand and less contention on the same
+	// capacity.
+	if res.Pulse.MeanDemandMB >= res.OpenWhisk.MeanDemandMB {
+		t.Errorf("PULSE mean demand %v not below fixed %v",
+			res.Pulse.MeanDemandMB, res.OpenWhisk.MeanDemandMB)
+	}
+	if res.Pulse.ContentionMinutes >= res.OpenWhisk.ContentionMinutes {
+		t.Errorf("PULSE contention %d not below fixed %d",
+			res.Pulse.ContentionMinutes, res.OpenWhisk.ContentionMinutes)
+	}
+	if res.Pulse.OverflowMBMinutes >= res.OpenWhisk.OverflowMBMinutes {
+		t.Errorf("PULSE overflow %v not below fixed %v",
+			res.Pulse.OverflowMBMinutes, res.OpenWhisk.OverflowMBMinutes)
+	}
+}

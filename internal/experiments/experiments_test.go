@@ -1,0 +1,252 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/pulse-serverless/pulse/internal/trace"
+)
+
+// quickOpts keeps experiment tests fast: one simulated day, few runs.
+func quickOpts() Options {
+	return Options{Seed: 11, HorizonMinutes: trace.MinutesPerDay, Runs: 3}
+}
+
+func TestTableIShape(t *testing.T) {
+	var sb strings.Builder
+	opts := quickOpts()
+	opts.Out = &sb
+	rows, err := TableI(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 14 { // 3+2+3+3+3 variants across the 5 families
+		t.Fatalf("rows = %d, want 14", len(rows))
+	}
+	byName := map[string]TableIResult{}
+	for _, r := range rows {
+		byName[r.Variant] = r
+		if r.MeanColdSec <= r.MeanWarmSec {
+			t.Errorf("%s: cold %v not above warm %v", r.Variant, r.MeanColdSec, r.MeanWarmSec)
+		}
+	}
+	// Table I anchor values (±5% with measurement noise).
+	if r := byName["GPT-Small"]; math.Abs(r.MeanWarmSec-12.90) > 0.65 {
+		t.Errorf("GPT-Small warm = %v, want ≈12.90 (Table I)", r.MeanWarmSec)
+	}
+	if r := byName["GPT-Large"]; math.Abs(r.KeepAliveCentsPerHour-41.71) > 0.1 {
+		t.Errorf("GPT-Large cost = %v, want ≈41.71 ¢/h (Table I)", r.KeepAliveCentsPerHour)
+	}
+	if !strings.Contains(sb.String(), "Table I") {
+		t.Error("rendition missing title")
+	}
+}
+
+func TestTableIIAndIIIShape(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		run  func(Options) ([]PeakApproachResult, error)
+	}{
+		{"Table II", TableII},
+		{"Table III", TableIII},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			var sb strings.Builder
+			opts := quickOpts()
+			opts.Out = &sb
+			rows, err := tc.run(opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(rows) != 4 {
+				t.Fatalf("approaches = %d, want 4", len(rows))
+			}
+			hi, lo, mix, oracle := rows[0], rows[1], rows[2], rows[3]
+			// Paper ordering: cost hi > mix > lo; accuracy hi > oracle ≥
+			// mix > lo; equal warm starts across approaches.
+			if !(hi.KeepAliveUSD > mix.KeepAliveUSD && mix.KeepAliveUSD > lo.KeepAliveUSD) {
+				t.Errorf("cost ordering: hi=%v mix=%v lo=%v", hi.KeepAliveUSD, mix.KeepAliveUSD, lo.KeepAliveUSD)
+			}
+			if !(hi.AccuracyPct >= oracle.AccuracyPct && oracle.AccuracyPct > lo.AccuracyPct) {
+				t.Errorf("accuracy ordering: hi=%v oracle=%v lo=%v", hi.AccuracyPct, oracle.AccuracyPct, lo.AccuracyPct)
+			}
+			if hi.WarmStarts != lo.WarmStarts || hi.WarmStarts != mix.WarmStarts || hi.WarmStarts != oracle.WarmStarts {
+				t.Errorf("warm starts differ: %+v", rows)
+			}
+			// Service time: all-high slowest, all-low fastest (big models
+			// execute slower).
+			if !(hi.ServiceTimeSec > lo.ServiceTimeSec) {
+				t.Errorf("service ordering: hi=%v lo=%v", hi.ServiceTimeSec, lo.ServiceTimeSec)
+			}
+		})
+	}
+}
+
+func TestFigure1And2Shape(t *testing.T) {
+	var sb strings.Builder
+	opts := quickOpts()
+	opts.Out = &sb
+	rows, err := Figure1(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("figure 1 series = %d, want 5", len(rows))
+	}
+	// Diversity: the five distributions must not all be identical.
+	distinct := false
+	var first []float64
+	for _, pct := range rows {
+		if first == nil {
+			first = pct
+			continue
+		}
+		for d := range pct {
+			if math.Abs(pct[d]-first[d]) > 1 {
+				distinct = true
+			}
+		}
+	}
+	if !distinct {
+		t.Error("figure 1 series all identical — no inter-arrival diversity")
+	}
+
+	opts.HorizonMinutes = 6 * trace.MinutesPerDay // drift needs room
+	rows2, err := Figure2(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows2) != 3 {
+		t.Fatalf("figure 2 periods = %d, want 3", len(rows2))
+	}
+	// Drift: first and middle periods of the drifting function differ.
+	a := rows2["1 first period"]
+	b := rows2["2 middle period"]
+	diff := 0.0
+	for d := range a {
+		diff += math.Abs(a[d] - b[d])
+	}
+	if diff < 10 {
+		t.Errorf("figure 2 shows no drift (Σ|Δ| = %v)", diff)
+	}
+}
+
+func TestFigure4And7Shape(t *testing.T) {
+	opts := quickOpts()
+	rows4, err := Figure4(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows4) != 2 {
+		t.Fatalf("figure 4 rows = %d", len(rows4))
+	}
+	ow, indiv := rows4[0], rows4[1]
+	if indiv.AvgKaMMB >= ow.AvgKaMMB {
+		t.Errorf("individual optimization avg KaM %v not below fixed %v", indiv.AvgKaMMB, ow.AvgKaMMB)
+	}
+
+	rows7, err := Figure7(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	owFull, pulse := rows7[0], rows7[1]
+	if pulse.AvgKaMMB >= owFull.AvgKaMMB {
+		t.Errorf("PULSE avg KaM %v not below fixed %v", pulse.AvgKaMMB, owFull.AvgKaMMB)
+	}
+	if pulse.PeakKaMMB >= owFull.PeakKaMMB {
+		t.Errorf("PULSE peak KaM %v not below fixed %v (peaks not smoothed)", pulse.PeakKaMMB, owFull.PeakKaMMB)
+	}
+	accDrop := owFull.AccuracyPct - pulse.AccuracyPct
+	if accDrop < 0 || accDrop > 8 {
+		t.Errorf("figure 7 accuracy drop = %v, want small and non-negative", accDrop)
+	}
+	// Full PULSE flattens at least as much as individual-only.
+	if pulse.PeakKaMMB > indiv.PeakKaMMB+1e-9 {
+		t.Errorf("global optimization raised the peak: %v > %v", pulse.PeakKaMMB, indiv.PeakKaMMB)
+	}
+}
+
+func TestFigure5Shape(t *testing.T) {
+	pts, err := Figure5(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	lo, hi, pulse := pts[0], pts[1], pts[2]
+	// PULSE sits between the extremes on both axes, nearer low-quality
+	// cost and nearer high-quality accuracy.
+	if !(pulse.KeepAliveUSD > lo.KeepAliveUSD && pulse.KeepAliveUSD < hi.KeepAliveUSD) {
+		t.Errorf("PULSE cost %v outside (%v, %v)", pulse.KeepAliveUSD, lo.KeepAliveUSD, hi.KeepAliveUSD)
+	}
+	if !(pulse.AccuracyPct > lo.AccuracyPct && pulse.AccuracyPct <= hi.AccuracyPct) {
+		t.Errorf("PULSE accuracy %v outside (%v, %v]", pulse.AccuracyPct, lo.AccuracyPct, hi.AccuracyPct)
+	}
+	costPosition := (pulse.KeepAliveUSD - lo.KeepAliveUSD) / (hi.KeepAliveUSD - lo.KeepAliveUSD)
+	accPosition := (pulse.AccuracyPct - lo.AccuracyPct) / (hi.AccuracyPct - lo.AccuracyPct)
+	if accPosition <= costPosition {
+		t.Errorf("PULSE not on the favorable side of the trade-off: cost position %.2f, accuracy position %.2f",
+			costPosition, accPosition)
+	}
+}
+
+func TestFigure6aHeadline(t *testing.T) {
+	imp, err := Figure6a(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if imp.CostPct <= 10 {
+		t.Errorf("cost improvement = %v%%, want substantial (paper: 39.5%%)", imp.CostPct)
+	}
+	if imp.AccuracyPct > 0 || imp.AccuracyPct < -8 {
+		t.Errorf("accuracy change = %v%%, want small negative (paper: -0.6%%)", imp.AccuracyPct)
+	}
+}
+
+func TestFigure6bShape(t *testing.T) {
+	res, err := Figure6b(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PulseErrorPct) != len(res.OpenWhiskErrorPct) || len(res.PulseErrorPct) == 0 {
+		t.Fatal("error series empty or mismatched")
+	}
+	// PULSE tracks the ideal more closely than the fixed policy.
+	if res.PulseMAE >= res.OpenWhiskMAE {
+		t.Errorf("PULSE MAE %v not below OpenWhisk %v", res.PulseMAE, res.OpenWhiskMAE)
+	}
+}
+
+func TestFigure10To12Sweeps(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		run  func(Options) ([]SweepPoint, error)
+		want int
+	}{
+		{"Figure10", Figure10, 2},
+		{"Figure11", Figure11, 3},
+		{"Figure12", Figure12, 3},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			pts, err := tc.run(quickOpts())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(pts) != tc.want {
+				t.Fatalf("points = %d, want %d", len(pts), tc.want)
+			}
+			for _, p := range pts {
+				// Robustness claim: every configuration keeps a
+				// substantial cost improvement with small accuracy cost.
+				if p.CostPct <= 5 {
+					t.Errorf("%s: cost improvement %v%% too small", p.Label, p.CostPct)
+				}
+				if p.AccuracyPct < -8 {
+					t.Errorf("%s: accuracy drop %v%% too large", p.Label, p.AccuracyPct)
+				}
+			}
+		})
+	}
+}

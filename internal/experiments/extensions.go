@@ -1,0 +1,147 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/pulse-serverless/pulse/internal/cluster"
+	"github.com/pulse-serverless/pulse/internal/core"
+	"github.com/pulse-serverless/pulse/internal/models"
+	"github.com/pulse-serverless/pulse/internal/policy"
+	"github.com/pulse-serverless/pulse/internal/report"
+	"github.com/pulse-serverless/pulse/internal/sim"
+)
+
+// WindowSweepPoint compares PULSE to a fixed policy with the *same*
+// keep-alive window, for one window length.
+type WindowSweepPoint struct {
+	WindowMinutes int
+	sim.Improvement
+}
+
+// ExtensionWindowSweep evaluates the paper's closing claim that "the core
+// idea and design behind PULSE are flexible and can be adapted to different
+// keep-alive durations": for each window length, both the fixed baseline
+// and PULSE use that window, so the improvement isolates the mixed-quality
+// mechanism from the window choice itself.
+func ExtensionWindowSweep(opts Options) ([]WindowSweepPoint, error) {
+	e, err := newEnv(opts)
+	if err != nil {
+		return nil, err
+	}
+	windows := []int{5, 10, 20}
+	var factories []sim.NamedFactory
+	for _, w := range windows {
+		w := w
+		factories = append(factories,
+			sim.NamedFactory{
+				Name: fmt.Sprintf("openwhisk-w%d", w),
+				New: func(_ int, asg models.Assignment) (cluster.Policy, error) {
+					return policy.NewFixed(e.catalog, asg, w, policy.QualityHighest)
+				},
+			},
+			sim.NamedFactory{
+				Name: fmt.Sprintf("pulse-w%d", w),
+				New: func(_ int, asg models.Assignment) (cluster.Policy, error) {
+					return core.New(core.Config{Catalog: e.catalog, Assignment: asg, Window: w})
+				},
+			},
+		)
+	}
+	aggs, err := sim.RunExperiment(sim.ExperimentConfig{
+		Trace:   e.trace,
+		Catalog: e.catalog,
+		Cost:    e.cost,
+		Runs:    e.opts.Runs,
+		Seed:    e.opts.Seed,
+		Workers: e.opts.Workers,
+	}, factories)
+	if err != nil {
+		return nil, err
+	}
+	var out []WindowSweepPoint
+	t := report.NewTable("Extension — PULSE vs fixed policy at matched keep-alive windows (% improvement)",
+		"window", "keep-alive cost", "service time", "accuracy")
+	for i, w := range windows {
+		imp, err := sim.ImprovementOver(aggs[2*i], aggs[2*i+1])
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, WindowSweepPoint{WindowMinutes: w, Improvement: imp})
+		if err := t.AddRow(fmt.Sprintf("%d min", w),
+			report.Pct(imp.CostPct), report.Pct(imp.ServiceTimePct), report.Pct(imp.AccuracyPct)); err != nil {
+			return nil, err
+		}
+	}
+	if err := t.Render(e.opts.Out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// TailLatencyRow holds one policy's service-time distribution.
+type TailLatencyRow struct {
+	Policy                 string
+	P50Sec, P95Sec, P99Sec float64
+	MaxSec                 float64
+}
+
+// ExtensionTailLatency reports per-invocation service-time percentiles for
+// the fixed policy and PULSE — the tail view the paper's total-service-time
+// metric hides: PULSE keeps tails in check because the low-quality floor
+// converts would-be cold starts into fast warm starts.
+func ExtensionTailLatency(opts Options) ([]TailLatencyRow, error) {
+	e, err := newEnv(opts)
+	if err != nil {
+		return nil, err
+	}
+	cfg := e.clusterConfig(false)
+	cfg.RecordServiceTimes = true
+
+	run := func(p cluster.Policy) (TailLatencyRow, error) {
+		res, err := cluster.Run(cfg, p)
+		if err != nil {
+			return TailLatencyRow{}, err
+		}
+		row := TailLatencyRow{Policy: res.Policy}
+		for _, q := range []struct {
+			p   float64
+			dst *float64
+		}{{50, &row.P50Sec}, {95, &row.P95Sec}, {99, &row.P99Sec}, {100, &row.MaxSec}} {
+			v, err := res.ServiceTimePercentile(q.p)
+			if err != nil {
+				return TailLatencyRow{}, err
+			}
+			*q.dst = v
+		}
+		return row, nil
+	}
+
+	ow, err := e.newOpenWhisk()
+	if err != nil {
+		return nil, err
+	}
+	rowOW, err := run(ow)
+	if err != nil {
+		return nil, err
+	}
+	pulse, err := e.newPulse(core.Config{})
+	if err != nil {
+		return nil, err
+	}
+	rowPulse, err := run(pulse)
+	if err != nil {
+		return nil, err
+	}
+	rows := []TailLatencyRow{rowOW, rowPulse}
+	t := report.NewTable("Extension — per-invocation service-time percentiles (seconds)",
+		"policy", "P50", "P95", "P99", "max")
+	for _, r := range rows {
+		if err := t.AddRow(r.Policy, report.F(r.P50Sec), report.F(r.P95Sec), report.F(r.P99Sec), report.F(r.MaxSec)); err != nil {
+			return nil, err
+		}
+	}
+	if err := t.Render(e.opts.Out); err != nil {
+		return nil, err
+	}
+	return rows, nil
+}

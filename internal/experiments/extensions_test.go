@@ -1,0 +1,51 @@
+package experiments
+
+import "testing"
+
+func TestExtensionWindowSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run sweep")
+	}
+	opts := quickOpts()
+	opts.Runs = 2
+	pts, err := ExtensionWindowSweep(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	for _, p := range pts {
+		// The mixed-quality win must survive every window length.
+		if p.CostPct <= 5 {
+			t.Errorf("window %d: cost improvement %v%% too small", p.WindowMinutes, p.CostPct)
+		}
+		if p.AccuracyPct < -10 {
+			t.Errorf("window %d: accuracy drop %v%% too large", p.WindowMinutes, p.AccuracyPct)
+		}
+	}
+}
+
+func TestExtensionTailLatency(t *testing.T) {
+	rows, err := ExtensionTailLatency(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	ow, pulse := rows[0], rows[1]
+	for _, r := range rows {
+		if !(r.P50Sec <= r.P95Sec && r.P95Sec <= r.P99Sec && r.P99Sec <= r.MaxSec) {
+			t.Errorf("%s: percentiles not monotone: %+v", r.Policy, r)
+		}
+	}
+	// The median drops under PULSE (cheap variants execute faster), and the
+	// extreme tail must not blow up (warm-start parity).
+	if pulse.P50Sec >= ow.P50Sec {
+		t.Errorf("PULSE P50 %v not below fixed %v", pulse.P50Sec, ow.P50Sec)
+	}
+	if pulse.MaxSec > ow.MaxSec*1.5 {
+		t.Errorf("PULSE max %v blew up vs fixed %v", pulse.MaxSec, ow.MaxSec)
+	}
+}

@@ -1,0 +1,21 @@
+package experiments
+
+import (
+	"testing"
+
+	"github.com/pulse-serverless/pulse/internal/trace"
+)
+
+// TestFigure9OverheadProbe logs the measured overhead ratios so the
+// MILP-vs-PULSE overhead relationship can be inspected.
+func TestFigure9OverheadProbe(t *testing.T) {
+	if testing.Short() {
+		t.Skip("measurement probe")
+	}
+	res, err := Figure9(Options{Seed: 1, HorizonMinutes: 2 * trace.MinutesPerDay, Runs: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("pulse mean ratio %.3e, milp mean ratio %.3e, milp/pulse = %.2fx",
+		res.PulseMeanRatio, res.MILPMeanRatio, res.MILPMeanRatio/res.PulseMeanRatio)
+}

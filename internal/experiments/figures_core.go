@@ -1,0 +1,301 @@
+package experiments
+
+import (
+	"math"
+
+	"github.com/pulse-serverless/pulse/internal/cluster"
+	"github.com/pulse-serverless/pulse/internal/core"
+	"github.com/pulse-serverless/pulse/internal/models"
+	"github.com/pulse-serverless/pulse/internal/policy"
+	"github.com/pulse-serverless/pulse/internal/report"
+	"github.com/pulse-serverless/pulse/internal/sim"
+)
+
+// MemoryFigureResult summarizes one policy's keep-alive memory timeline.
+type MemoryFigureResult struct {
+	Policy      string
+	AvgKaMMB    float64
+	PeakKaMMB   float64
+	AccuracyPct float64
+	Series      []float64
+}
+
+func memoryResult(res *cluster.Result) MemoryFigureResult {
+	out := MemoryFigureResult{
+		Policy:      res.Policy,
+		AccuracyPct: res.MeanAccuracyPct(),
+		Series:      res.PerMinuteKaMMB,
+	}
+	var sum float64
+	for _, v := range res.PerMinuteKaMMB {
+		sum += v
+		if v > out.PeakKaMMB {
+			out.PeakKaMMB = v
+		}
+	}
+	if len(res.PerMinuteKaMMB) > 0 {
+		out.AvgKaMMB = sum / float64(len(res.PerMinuteKaMMB))
+	}
+	return out
+}
+
+func renderMemoryFigure(opts Options, title string, rows []MemoryFigureResult) error {
+	opts = opts.withDefaults()
+	if err := fprintf(opts.Out, "%s\n", title); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if err := fprintf(opts.Out, "  %-28s avg %8.0f MB  peak %8.0f MB  accuracy %.2f%%\n  %s\n",
+			r.Policy, r.AvgKaMMB, r.PeakKaMMB, r.AccuracyPct, report.Sparkline(r.Series, 72)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Figure4 compares keep-alive memory under the fixed policy and under
+// PULSE with only the function-centric optimizer (global optimization
+// disabled): individual optimization reduces memory but peaks persist.
+func Figure4(opts Options) ([]MemoryFigureResult, error) {
+	e, err := newEnv(opts)
+	if err != nil {
+		return nil, err
+	}
+	ow, err := e.newOpenWhisk()
+	if err != nil {
+		return nil, err
+	}
+	rOW, err := e.run(ow, false)
+	if err != nil {
+		return nil, err
+	}
+	indiv, err := e.newPulse(core.Config{DisableGlobalOpt: true})
+	if err != nil {
+		return nil, err
+	}
+	rIndiv, err := e.run(indiv, false)
+	if err != nil {
+		return nil, err
+	}
+	rows := []MemoryFigureResult{memoryResult(rOW), memoryResult(rIndiv)}
+	if err := renderMemoryFigure(opts, "Figure 4 — fixed policy vs individual-only optimization (keep-alive memory)", rows); err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+// Figure7 compares keep-alive memory and accuracy under the fixed policy
+// and full PULSE: lower memory, smoothed peaks, minimal accuracy drop.
+func Figure7(opts Options) ([]MemoryFigureResult, error) {
+	e, err := newEnv(opts)
+	if err != nil {
+		return nil, err
+	}
+	ow, err := e.newOpenWhisk()
+	if err != nil {
+		return nil, err
+	}
+	rOW, err := e.run(ow, false)
+	if err != nil {
+		return nil, err
+	}
+	pulse, err := e.newPulse(core.Config{})
+	if err != nil {
+		return nil, err
+	}
+	rPulse, err := e.run(pulse, false)
+	if err != nil {
+		return nil, err
+	}
+	rows := []MemoryFigureResult{memoryResult(rOW), memoryResult(rPulse)}
+	if err := renderMemoryFigure(opts, "Figure 7 — fixed policy vs full PULSE (keep-alive memory and accuracy)", rows); err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+// TradeoffPoint is one point of Figure 5's accuracy/cost scatter.
+type TradeoffPoint struct {
+	Policy       string
+	KeepAliveUSD float64
+	AccuracyPct  float64
+}
+
+// Figure5 places only-low-quality, only-high-quality, and PULSE on the
+// accuracy vs keep-alive-cost plane: PULSE should sit near low-quality cost
+// at near high-quality accuracy.
+func Figure5(opts Options) ([]TradeoffPoint, error) {
+	e, err := newEnv(opts)
+	if err != nil {
+		return nil, err
+	}
+	var out []TradeoffPoint
+	add := func(p cluster.Policy, err error) error {
+		if err != nil {
+			return err
+		}
+		res, err := e.run(p, false)
+		if err != nil {
+			return err
+		}
+		out = append(out, TradeoffPoint{Policy: res.Policy, KeepAliveUSD: res.KeepAliveCostUSD, AccuracyPct: res.MeanAccuracyPct()})
+		return nil
+	}
+	lo, err := policy.NewFixed(e.catalog, e.asg, cluster.DefaultKeepAliveWindow, policy.QualityLowest)
+	if err := add(lo, err); err != nil {
+		return nil, err
+	}
+	hi, err := policy.NewFixed(e.catalog, e.asg, cluster.DefaultKeepAliveWindow, policy.QualityHighest)
+	if err := add(hi, err); err != nil {
+		return nil, err
+	}
+	pulse, err := e.newPulse(core.Config{})
+	if err := add(pulse, err); err != nil {
+		return nil, err
+	}
+	t := report.NewTable("Figure 5 — accuracy vs keep-alive cost", "policy", "keep-alive ($)", "accuracy (%)")
+	for _, p := range out {
+		if err := t.AddRow(p.Policy, report.F4(p.KeepAliveUSD), report.F(p.AccuracyPct)); err != nil {
+			return nil, err
+		}
+	}
+	if err := t.Render(opts.withDefaults().Out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Figure6a runs the paper's headline multi-run comparison and returns
+// PULSE's improvement over the OpenWhisk fixed policy (paper: 39.5% cost,
+// 8.8% service time, −0.6% accuracy).
+func Figure6a(opts Options) (sim.Improvement, error) {
+	e, err := newEnv(opts)
+	if err != nil {
+		return sim.Improvement{}, err
+	}
+	aggs, err := sim.RunExperiment(sim.ExperimentConfig{
+		Trace:   e.trace,
+		Catalog: e.catalog,
+		Cost:    e.cost,
+		Runs:    e.opts.Runs,
+		Seed:    e.opts.Seed,
+		Workers: e.opts.Workers,
+	}, []sim.NamedFactory{
+		{Name: "openwhisk", New: func(_ int, asg models.Assignment) (cluster.Policy, error) {
+			return policy.NewFixed(e.catalog, asg, cluster.DefaultKeepAliveWindow, policy.QualityHighest)
+		}},
+		{Name: "pulse", New: func(_ int, asg models.Assignment) (cluster.Policy, error) {
+			return core.New(core.Config{Catalog: e.catalog, Assignment: asg})
+		}},
+	})
+	if err != nil {
+		return sim.Improvement{}, err
+	}
+	imp, err := sim.ImprovementOver(aggs[0], aggs[1])
+	if err != nil {
+		return sim.Improvement{}, err
+	}
+	t := report.NewTable("Figure 6a — PULSE % improvement over OpenWhisk fixed 10-minute policy",
+		"metric", "improvement", "paper")
+	_ = t.AddRow("keep-alive cost", report.Pct(imp.CostPct), "+39.5%")
+	_ = t.AddRow("service time", report.Pct(imp.ServiceTimePct), "+8.8%")
+	_ = t.AddRow("accuracy", report.Pct(imp.AccuracyPct), "-0.6%")
+	if err := t.Render(e.opts.Out); err != nil {
+		return sim.Improvement{}, err
+	}
+	return imp, nil
+}
+
+// Figure6bResult carries the per-minute keep-alive-cost error series
+// relative to the ideal (containers alive only during invocation minutes).
+type Figure6bResult struct {
+	PulseErrorPct     []float64
+	OpenWhiskErrorPct []float64
+	PulseMAE          float64 // mean absolute error, % of ideal
+	OpenWhiskMAE      float64
+}
+
+// Figure6b computes each minute's deviation from the ideal keep-alive
+// cost for PULSE and OpenWhisk. Minutes where the ideal is zero are
+// normalized by the trace-wide mean ideal cost to avoid division by zero
+// (the paper leaves the normalization implicit).
+func Figure6b(opts Options) (*Figure6bResult, error) {
+	e, err := newEnv(opts)
+	if err != nil {
+		return nil, err
+	}
+	ideal, err := cluster.IdealCostSeries(e.trace, e.catalog, e.asg, e.cost)
+	if err != nil {
+		return nil, err
+	}
+	var idealMean float64
+	for _, v := range ideal {
+		idealMean += v
+	}
+	idealMean /= float64(len(ideal))
+	if idealMean == 0 {
+		idealMean = 1
+	}
+	ow, err := e.newOpenWhisk()
+	if err != nil {
+		return nil, err
+	}
+	rOW, err := e.run(ow, false)
+	if err != nil {
+		return nil, err
+	}
+	pulse, err := e.newPulse(core.Config{})
+	if err != nil {
+		return nil, err
+	}
+	rPulse, err := e.run(pulse, false)
+	if err != nil {
+		return nil, err
+	}
+	errSeries := func(r *cluster.Result) ([]float64, float64) {
+		out := make([]float64, len(ideal))
+		var mae float64
+		for t := range ideal {
+			denom := ideal[t]
+			if denom == 0 {
+				denom = idealMean
+			}
+			out[t] = (r.PerMinuteCostUSD[t] - ideal[t]) / denom * 100
+			mae += math.Abs(out[t])
+		}
+		return out, mae / float64(len(ideal))
+	}
+	res := &Figure6bResult{}
+	res.PulseErrorPct, res.PulseMAE = errSeries(rPulse)
+	res.OpenWhiskErrorPct, res.OpenWhiskMAE = errSeries(rOW)
+
+	o := opts.withDefaults()
+	if err := fprintf(o.Out, "Figure 6b — per-minute keep-alive-cost error vs ideal\n"); err != nil {
+		return nil, err
+	}
+	if err := fprintf(o.Out, "  %-12s mean |error| %7.1f%%\n", "openwhisk", res.OpenWhiskMAE); err != nil {
+		return nil, err
+	}
+	if err := fprintf(o.Out, "  %-12s mean |error| %7.1f%%\n", "pulse", res.PulseMAE); err != nil {
+		return nil, err
+	}
+	// Plot a downsampled slice of the two error series, mirroring the
+	// paper's first ~300 minutes view.
+	span := 300
+	if span > len(ideal) {
+		span = len(ideal)
+	}
+	plot := report.NewPlot("", 76, 12)
+	plot.XLabel = "minute"
+	plot.YLabel = "keep-alive cost error vs ideal (%)"
+	if err := plot.AddLine("pulse", res.PulseErrorPct[:span]); err != nil {
+		return nil, err
+	}
+	if err := plot.AddLine("openwhisk", res.OpenWhiskErrorPct[:span]); err != nil {
+		return nil, err
+	}
+	if err := plot.Render(o.Out); err != nil {
+		return nil, err
+	}
+	return res, nil
+}

@@ -1,0 +1,235 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/pulse-serverless/pulse/internal/cluster"
+	"github.com/pulse-serverless/pulse/internal/core"
+	"github.com/pulse-serverless/pulse/internal/milp"
+	"github.com/pulse-serverless/pulse/internal/models"
+	"github.com/pulse-serverless/pulse/internal/predict"
+	"github.com/pulse-serverless/pulse/internal/report"
+	"github.com/pulse-serverless/pulse/internal/sim"
+	"github.com/pulse-serverless/pulse/internal/stats"
+)
+
+// Figure8Result holds the improvements from integrating PULSE into the two
+// state-of-the-art warm-up strategies.
+type Figure8Result struct {
+	Wild       sim.Improvement // wild+pulse vs wild-standalone
+	IceBreaker sim.Improvement // icebreaker+pulse vs icebreaker-standalone
+}
+
+// Figure8 integrates PULSE into Wild and IceBreaker and reports the
+// improvement of each integrated configuration over its original technique.
+func Figure8(opts Options) (*Figure8Result, error) {
+	e, err := newEnv(opts)
+	if err != nil {
+		return nil, err
+	}
+	factories := []sim.NamedFactory{
+		{Name: "wild", New: func(_ int, asg models.Assignment) (cluster.Policy, error) {
+			w, err := predict.NewWild(len(asg), predict.DefaultWildConfig())
+			if err != nil {
+				return nil, err
+			}
+			return predict.NewStandalonePolicy(w, e.catalog, asg)
+		}},
+		{Name: "wild+pulse", New: func(_ int, asg models.Assignment) (cluster.Policy, error) {
+			w, err := predict.NewWild(len(asg), predict.DefaultWildConfig())
+			if err != nil {
+				return nil, err
+			}
+			return predict.NewIntegratedPolicy(w, e.catalog, asg, predict.IntegratedConfig{})
+		}},
+		{Name: "icebreaker", New: func(_ int, asg models.Assignment) (cluster.Policy, error) {
+			ib, err := predict.NewIceBreaker(len(asg), predict.DefaultIceBreakerConfig())
+			if err != nil {
+				return nil, err
+			}
+			return predict.NewStandalonePolicy(ib, e.catalog, asg)
+		}},
+		{Name: "icebreaker+pulse", New: func(_ int, asg models.Assignment) (cluster.Policy, error) {
+			ib, err := predict.NewIceBreaker(len(asg), predict.DefaultIceBreakerConfig())
+			if err != nil {
+				return nil, err
+			}
+			return predict.NewIntegratedPolicy(ib, e.catalog, asg, predict.IntegratedConfig{})
+		}},
+	}
+	aggs, err := sim.RunExperiment(sim.ExperimentConfig{
+		Trace:   e.trace,
+		Catalog: e.catalog,
+		Cost:    e.cost,
+		Runs:    e.opts.Runs,
+		Seed:    e.opts.Seed,
+		Workers: e.opts.Workers,
+	}, factories)
+	if err != nil {
+		return nil, err
+	}
+	res := &Figure8Result{}
+	if res.Wild, err = sim.ImprovementOver(aggs[0], aggs[1]); err != nil {
+		return nil, err
+	}
+	if res.IceBreaker, err = sim.ImprovementOver(aggs[2], aggs[3]); err != nil {
+		return nil, err
+	}
+	t := report.NewTable("Figure 8 — integrating PULSE into existing techniques (% improvement over the original)",
+		"technique", "keep-alive cost", "service time", "accuracy", "paper (cost/service/acc)")
+	_ = t.AddRow("Wild + PULSE", report.Pct(res.Wild.CostPct), report.Pct(res.Wild.ServiceTimePct),
+		report.Pct(res.Wild.AccuracyPct), "+99% / -27.1% / -0.6%")
+	_ = t.AddRow("IceBreaker + PULSE", report.Pct(res.IceBreaker.CostPct), report.Pct(res.IceBreaker.ServiceTimePct),
+		report.Pct(res.IceBreaker.AccuracyPct), "+14% / +7% / -0.5%")
+	if err := t.Render(e.opts.Out); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// ExtensionHoltWinters evaluates the repository's extension warm-up
+// strategy (triple exponential smoothing) standalone and PULSE-integrated,
+// the same protocol as Figure 8 — the "other predictors" direction the
+// paper's discussion invites.
+func ExtensionHoltWinters(opts Options) (sim.Improvement, error) {
+	e, err := newEnv(opts)
+	if err != nil {
+		return sim.Improvement{}, err
+	}
+	aggs, err := sim.RunExperiment(sim.ExperimentConfig{
+		Trace:   e.trace,
+		Catalog: e.catalog,
+		Cost:    e.cost,
+		Runs:    e.opts.Runs,
+		Seed:    e.opts.Seed,
+		Workers: e.opts.Workers,
+	}, []sim.NamedFactory{
+		{Name: "holtwinters", New: func(_ int, asg models.Assignment) (cluster.Policy, error) {
+			hw, err := predict.NewHoltWinters(len(asg), predict.DefaultHWConfig())
+			if err != nil {
+				return nil, err
+			}
+			return predict.NewStandalonePolicy(hw, e.catalog, asg)
+		}},
+		{Name: "holtwinters+pulse", New: func(_ int, asg models.Assignment) (cluster.Policy, error) {
+			hw, err := predict.NewHoltWinters(len(asg), predict.DefaultHWConfig())
+			if err != nil {
+				return nil, err
+			}
+			return predict.NewIntegratedPolicy(hw, e.catalog, asg, predict.IntegratedConfig{})
+		}},
+	})
+	if err != nil {
+		return sim.Improvement{}, err
+	}
+	imp, err := sim.ImprovementOver(aggs[0], aggs[1])
+	if err != nil {
+		return sim.Improvement{}, err
+	}
+	t := report.NewTable("Extension — integrating PULSE into a Holt-Winters warm-up strategy (% improvement)",
+		"technique", "keep-alive cost", "service time", "accuracy")
+	_ = t.AddRow("Holt-Winters + PULSE", report.Pct(imp.CostPct), report.Pct(imp.ServiceTimePct), report.Pct(imp.AccuracyPct))
+	if err := t.Render(e.opts.Out); err != nil {
+		return sim.Improvement{}, err
+	}
+	return imp, nil
+}
+
+// Figure9Result compares the MILP optimizer with PULSE on per-decision
+// overhead and delivered accuracy.
+type Figure9Result struct {
+	// OverheadRatio histograms: decision overhead / total service time per
+	// run (Figure 9a's x-axis), log-binned counts plus raw samples.
+	PulseRatios []float64
+	MILPRatios  []float64
+
+	PulseAccuracyPct float64
+	MILPAccuracyPct  float64
+	PulseMeanRatio   float64
+	MILPMeanRatio    float64
+}
+
+// Figure9 runs PULSE and the exact MILP policy over assignment-shuffled
+// runs with overhead measurement enabled.
+func Figure9(opts Options) (*Figure9Result, error) {
+	e, err := newEnv(opts)
+	if err != nil {
+		return nil, err
+	}
+	aggs, err := sim.RunExperiment(sim.ExperimentConfig{
+		Trace:           e.trace,
+		Catalog:         e.catalog,
+		Cost:            e.cost,
+		Runs:            e.opts.Runs,
+		Seed:            e.opts.Seed,
+		Workers:         e.opts.Workers,
+		MeasureOverhead: true,
+	}, []sim.NamedFactory{
+		{Name: "pulse", New: func(_ int, asg models.Assignment) (cluster.Policy, error) {
+			return core.New(core.Config{Catalog: e.catalog, Assignment: asg})
+		}},
+		{Name: "milp", New: func(_ int, asg models.Assignment) (cluster.Policy, error) {
+			return milp.NewPolicy(milp.PolicyConfig{Catalog: e.catalog, Assignment: asg})
+		}},
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &Figure9Result{
+		PulseRatios:      aggs[0].OverheadRatios,
+		MILPRatios:       aggs[1].OverheadRatios,
+		PulseAccuracyPct: aggs[0].MeanAccuracyPct,
+		MILPAccuracyPct:  aggs[1].MeanAccuracyPct,
+		PulseMeanRatio:   stats.Mean(aggs[0].OverheadRatios),
+		MILPMeanRatio:    stats.Mean(aggs[1].OverheadRatios),
+	}
+	t := report.NewTable("Figure 9 — MILP vs PULSE: decision overhead and accuracy",
+		"technique", "mean overhead/service-time", "accuracy (%)")
+	_ = t.AddRow("PULSE", fmt.Sprintf("%.2e", res.PulseMeanRatio), report.F(res.PulseAccuracyPct))
+	_ = t.AddRow("MILP", fmt.Sprintf("%.2e", res.MILPMeanRatio), report.F(res.MILPAccuracyPct))
+	if err := t.Render(e.opts.Out); err != nil {
+		return nil, err
+	}
+	// Figure 9(a)'s histogram of overhead/service-time ratios across runs,
+	// on a log-like binning shared by both techniques.
+	if err := renderOverheadHistogram(e, res); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// renderOverheadHistogram renders the overhead-ratio distribution of both
+// techniques into decade bins.
+func renderOverheadHistogram(e *env, res *Figure9Result) error {
+	decades := []struct {
+		label  string
+		lo, hi float64
+	}{
+		{"<1e-6", 0, 1e-6},
+		{"1e-6..1e-5", 1e-6, 1e-5},
+		{"1e-5..1e-4", 1e-5, 1e-4},
+		{"1e-4..1e-3", 1e-4, 1e-3},
+		{"1e-3..1e-2", 1e-3, 1e-2},
+		{">=1e-2", 1e-2, 1e300},
+	}
+	bin := func(samples []float64) []int {
+		out := make([]int, len(decades))
+		for _, s := range samples {
+			for i, d := range decades {
+				if s >= d.lo && s < d.hi {
+					out[i]++
+					break
+				}
+			}
+		}
+		return out
+	}
+	labels := make([]string, len(decades))
+	for i, d := range decades {
+		labels[i] = d.label
+	}
+	if err := report.HistogramPlot(e.opts.Out, "PULSE overhead/service-time across runs", labels, bin(res.PulseRatios), 40); err != nil {
+		return err
+	}
+	return report.HistogramPlot(e.opts.Out, "MILP overhead/service-time across runs", labels, bin(res.MILPRatios), 40)
+}

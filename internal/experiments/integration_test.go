@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/pulse-serverless/pulse/internal/trace"
+)
+
+func TestFigure8Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-policy multi-run experiment")
+	}
+	opts := quickOpts()
+	opts.Runs = 2
+	res, err := Figure8(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both integrations must reduce keep-alive cost (the paper's central
+	// Figure 8 claim) at a small accuracy cost.
+	if res.Wild.CostPct <= 0 {
+		t.Errorf("Wild+PULSE cost improvement = %v%%, want positive (paper: 99%%)", res.Wild.CostPct)
+	}
+	if res.IceBreaker.CostPct <= 0 {
+		t.Errorf("IceBreaker+PULSE cost improvement = %v%%, want positive (paper: 14%%)", res.IceBreaker.CostPct)
+	}
+	for name, imp := range map[string]float64{
+		"wild":       res.Wild.AccuracyPct,
+		"icebreaker": res.IceBreaker.AccuracyPct,
+	} {
+		if imp > 0.5 || imp < -10 {
+			t.Errorf("%s accuracy change = %v%%, want small non-positive", name, imp)
+		}
+	}
+}
+
+func TestFigure9Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("overhead measurement experiment")
+	}
+	opts := quickOpts()
+	opts.Runs = 3
+	res, err := Figure9(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PulseRatios) != 3 || len(res.MILPRatios) != 3 {
+		t.Fatalf("ratio samples: %d/%d", len(res.PulseRatios), len(res.MILPRatios))
+	}
+	// Figure 9(b): MILP delivers lower accuracy than PULSE.
+	if res.MILPAccuracyPct >= res.PulseAccuracyPct {
+		t.Errorf("MILP accuracy %v not below PULSE %v", res.MILPAccuracyPct, res.PulseAccuracyPct)
+	}
+	// Figure 9(a): the generic MILP machinery costs more per decision than
+	// PULSE's greedy pass.
+	if res.MILPMeanRatio <= res.PulseMeanRatio {
+		t.Errorf("MILP overhead ratio %v not above PULSE %v", res.MILPMeanRatio, res.PulseMeanRatio)
+	}
+	for _, r := range append(append([]float64{}, res.PulseRatios...), res.MILPRatios...) {
+		if r < 0 {
+			t.Error("negative overhead ratio")
+		}
+	}
+}
+
+func TestAblations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-configuration sweeps")
+	}
+	opts := quickOpts()
+	opts.Runs = 2
+	for _, tc := range []struct {
+		name string
+		run  func(Options) ([]SweepPoint, error)
+		want int
+	}{
+		{"history blend", AblationHistoryBlend, 3},
+		{"priority term", AblationPriorityTerm, 2},
+		{"prior KaM", AblationPriorKaM, 2},
+		{"downgrade step", AblationDowngradeStep, 3},
+		{"downgrade selection", AblationDowngradeSelection, 2},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			pts, err := tc.run(opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(pts) != tc.want {
+				t.Fatalf("points = %d, want %d", len(pts), tc.want)
+			}
+			for _, p := range pts {
+				if p.CostPct <= 0 {
+					t.Errorf("%s: no cost improvement (%v%%)", p.Label, p.CostPct)
+				}
+			}
+		})
+	}
+}
+
+func TestRunAllRenders(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment suite")
+	}
+	var sb strings.Builder
+	opts := Options{Seed: 5, HorizonMinutes: trace.MinutesPerDay / 2, Runs: 2, Out: &sb}
+	if err := RunAll(opts); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"Table I", "Table II", "Table III",
+		"Figure 1", "Figure 2", "Figure 4", "Figure 5",
+		"Figure 6a", "Figure 6b", "Figure 7", "Figure 8",
+		"Figure 9", "Figure 10", "Figure 11", "Figure 12",
+		"Ablation",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("RunAll output missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/pulse-serverless/pulse/internal/trace"
+)
+
+func TestWriteMarkdownReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full experiment suite")
+	}
+	var md strings.Builder
+	opts := Options{Seed: 3, HorizonMinutes: trace.MinutesPerDay / 2, Runs: 2}
+	clock := func() time.Time { return time.Date(2026, 7, 6, 12, 0, 0, 0, time.UTC) }
+	if err := WriteMarkdownReport(opts, &md, clock); err != nil {
+		t.Fatal(err)
+	}
+	out := md.String()
+	for _, want := range []string{
+		"# EXPERIMENTS — paper vs measured",
+		"| experiment | metric | paper | measured | shape holds |",
+		"Table I", "Table II", "Table III",
+		"Figure 1", "Figure 2", "Figure 4", "Figure 5",
+		"Figure 6a", "Figure 6b", "Figure 7", "Figure 8",
+		"Figure 9a", "Figure 9b", "Figure 10", "Figure 11", "Figure 12",
+		"Extension",
+		"+39.5%", // the paper's headline appears as the reference value
+		"shape checks hold",
+		"Known divergences",
+		"2026-07-06 12:00 UTC",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+	// At this tiny scale not every check is guaranteed, but the majority
+	// must hold; count the verdict marks.
+	pass := strings.Count(out, "✅")
+	fail := strings.Count(out, "❌")
+	if pass < fail*3 {
+		t.Errorf("too many failing shape checks at test scale: %d pass, %d fail\n%s", pass, fail, out)
+	}
+	// A nil clock omits the timestamp without crashing.
+	var md2 strings.Builder
+	if err := WriteMarkdownReport(opts, &md2, nil); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(md2.String(), "UTC") {
+		t.Error("nil clock still produced a timestamp")
+	}
+}

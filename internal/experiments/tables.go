@@ -1,0 +1,224 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/pulse-serverless/pulse/internal/cluster"
+	"github.com/pulse-serverless/pulse/internal/models"
+	"github.com/pulse-serverless/pulse/internal/policy"
+	"github.com/pulse-serverless/pulse/internal/report"
+	"github.com/pulse-serverless/pulse/internal/trace"
+)
+
+// TableIResult is one regenerated row of Table I.
+type TableIResult = models.Characterization
+
+// TableI regenerates the model characterization table: per variant, warm
+// service time, keep-alive cost, and accuracy, via the paper's measurement
+// protocol (1000 warm runs, memory-toggle cold starts) against the Lambda
+// simulator.
+func TableI(opts Options) ([]TableIResult, error) {
+	opts = opts.withDefaults()
+	cat := models.PaperCatalog()
+	// 1000 warm inputs as in the paper; 50 cold toggles; 3% latency noise.
+	rows, err := models.CharacterizeCatalog(cat, opts.Seed, 0.03, 1000, 50, models.DefaultCentsPerMBHour)
+	if err != nil {
+		return nil, err
+	}
+	t := report.NewTable("Table I — model variants: service time, keep-alive cost, accuracy",
+		"variant", "warm (s)", "cold (s)", "keep-alive (¢/h)", "accuracy (%)", "memory (MB)")
+	for _, r := range rows {
+		if err := t.AddRow(r.Variant, report.F(r.MeanWarmSec), report.F(r.MeanColdSec),
+			report.F(r.KeepAliveCentsPerHour), report.F(r.AccuracyPct), report.F(r.MemoryMB)); err != nil {
+			return nil, err
+		}
+	}
+	if err := t.Render(opts.Out); err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+// PeakApproachResult is one row of Table II/III: one keep-alive approach
+// evaluated over the 10-minute window following a peak.
+type PeakApproachResult struct {
+	Approach       string
+	ServiceTimeSec float64
+	KeepAliveUSD   float64
+	AccuracyPct    float64
+	WarmStarts     int
+}
+
+// peakTable evaluates the motivation study's four approaches on the window
+// following the rank-th highest invocation peak (rank 0 = Peak I).
+func peakTable(opts Options, rank int, title string) ([]PeakApproachResult, error) {
+	e, err := newEnv(opts)
+	if err != nil {
+		return nil, err
+	}
+	peaks := e.trace.TopPeaks(rank+1, 2*cluster.DefaultKeepAliveWindow)
+	if len(peaks) <= rank {
+		return nil, fmt.Errorf("experiments: trace has no peak of rank %d", rank)
+	}
+	peak := peaks[rank]
+	// Window: some lead-in before the peak (so histories exist), plus the
+	// peak minute and the 10-minute keep-alive period after it.
+	lead := 30
+	from := peak.Minute - lead
+	if from < 0 {
+		from = 0
+	}
+	to := peak.Minute + cluster.DefaultKeepAliveWindow + 1
+	if to > e.trace.Horizon {
+		to = e.trace.Horizon
+	}
+	window, err := e.trace.Slice(from, to)
+	if err != nil {
+		return nil, err
+	}
+	cat2 := models.TwoVariantCatalog(e.catalog)
+	cfg := cluster.Config{Trace: window, Catalog: cat2, Assignment: e.asg, Cost: e.cost}
+
+	mk := func(name string, p cluster.Policy, err error) (PeakApproachResult, error) {
+		if err != nil {
+			return PeakApproachResult{}, err
+		}
+		res, err := cluster.Run(cfg, p)
+		if err != nil {
+			return PeakApproachResult{}, err
+		}
+		return PeakApproachResult{
+			Approach:       name,
+			ServiceTimeSec: res.TotalServiceSec,
+			KeepAliveUSD:   res.KeepAliveCostUSD,
+			AccuracyPct:    res.MeanAccuracyPct(),
+			WarmStarts:     res.WarmStarts,
+		}, nil
+	}
+
+	var out []PeakApproachResult
+	hi, err := policy.NewFixed(cat2, e.asg, cluster.DefaultKeepAliveWindow, policy.QualityHighest)
+	r, err := mk("All High Quality", hi, err)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, r)
+	lo, err := policy.NewFixed(cat2, e.asg, cluster.DefaultKeepAliveWindow, policy.QualityLowest)
+	if r, err = mk("All Low Quality", lo, err); err != nil {
+		return nil, err
+	}
+	out = append(out, r)
+	mix, err := policy.NewRandomMix(cat2, e.asg, cluster.DefaultKeepAliveWindow, opts.Seed+99)
+	if r, err = mk("Random High/Low", mix, err); err != nil {
+		return nil, err
+	}
+	out = append(out, r)
+	oracle, err := policy.NewOracle(cat2, e.asg, cluster.DefaultKeepAliveWindow, window, 1)
+	if r, err = mk("Intelligent Solution", oracle, err); err != nil {
+		return nil, err
+	}
+	out = append(out, r)
+
+	t := report.NewTable(fmt.Sprintf("%s (peak at minute %d, %d invocations/min)", title, peak.Minute, peak.Count),
+		"approach", "service time (s)", "keep-alive ($)", "accuracy (%)", "warm starts")
+	for _, r := range out {
+		if err := t.AddRow(r.Approach, report.F(r.ServiceTimeSec), report.F4(r.KeepAliveUSD),
+			report.F(r.AccuracyPct), fmt.Sprintf("%d", r.WarmStarts)); err != nil {
+			return nil, err
+		}
+	}
+	if err := t.Render(opts.withDefaults().Out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// TableII evaluates the four approaches over the highest invocation peak.
+func TableII(opts Options) ([]PeakApproachResult, error) {
+	return peakTable(opts, 0, "Table II — Peak I evaluation")
+}
+
+// TableIII evaluates the four approaches over the second-highest peak.
+func TableIII(opts Options) ([]PeakApproachResult, error) {
+	return peakTable(opts, 1, "Table III — Peak II evaluation")
+}
+
+// interArrivalFigure renders Figure 1/2-style distributions.
+func interArrivalFigure(opts Options, title string, rows map[string][]int) (map[string][]float64, error) {
+	opts = opts.withDefaults()
+	out := make(map[string][]float64, len(rows))
+	t := report.NewTable(title,
+		"series", "≤1", "2", "3", "4", "5", "6", "7", "8", "9", "10")
+	names := make([]string, 0, len(rows))
+	for name := range rows {
+		names = append(names, name)
+	}
+	// Deterministic order for rendering.
+	for i := 0; i < len(names); i++ {
+		for j := i + 1; j < len(names); j++ {
+			if names[j] < names[i] {
+				names[i], names[j] = names[j], names[i]
+			}
+		}
+	}
+	for _, name := range names {
+		pct, _, err := trace.InterArrivalDistribution(rows[name], cluster.DefaultKeepAliveWindow)
+		if err != nil {
+			return nil, err
+		}
+		out[name] = pct
+		cells := []string{name}
+		for d := 1; d <= cluster.DefaultKeepAliveWindow; d++ {
+			cells = append(cells, report.F(pct[d]))
+		}
+		if err := t.AddRow(cells...); err != nil {
+			return nil, err
+		}
+	}
+	if err := t.Render(opts.Out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Figure1 reproduces the inter-arrival diversity figure: for five functions
+// with distinct archetypes, the percentage of within-window invocations at
+// each inter-arrival offset 1..10.
+func Figure1(opts Options) (map[string][]float64, error) {
+	e, err := newEnv(opts)
+	if err != nil {
+		return nil, err
+	}
+	// Five archetypally distinct functions (A–E as in the paper).
+	picks := []int{0, 3, 5, 7, 9}
+	rows := make(map[string][]int, len(picks))
+	for i, fn := range picks {
+		if fn >= len(e.trace.Functions) {
+			continue
+		}
+		f := e.trace.Functions[fn]
+		name := fmt.Sprintf("Function %c (%s)", 'A'+i, f.Archetype)
+		rows[name] = f.InterArrivals()
+	}
+	return interArrivalFigure(opts, "Figure 1 — inter-arrival patterns across functions (% of invocations per offset)", rows)
+}
+
+// Figure2 reproduces the temporal-drift figure: the same (drifting)
+// function's inter-arrival distribution over the first, middle, and last
+// third of the trace.
+func Figure2(opts Options) (map[string][]float64, error) {
+	e, err := newEnv(opts)
+	if err != nil {
+		return nil, err
+	}
+	// The drifting archetype is the last function in the default mix.
+	fn := len(e.trace.Functions) - 1
+	f := e.trace.Functions[fn]
+	third := e.trace.Horizon / 3
+	rows := map[string][]int{
+		"1 first period":  f.InterArrivalsInRange(0, third),
+		"2 middle period": f.InterArrivalsInRange(third, 2*third),
+		"3 last period":   f.InterArrivalsInRange(2*third, e.trace.Horizon),
+	}
+	return interArrivalFigure(opts, "Figure 2 — inter-arrival drift within one function (% of invocations per offset)", rows)
+}

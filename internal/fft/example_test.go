@@ -1,0 +1,45 @@
+package fft_test
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/pulse-serverless/pulse/internal/fft"
+)
+
+// ExampleSpectrum extracts the dominant periodicity of a series — the
+// mechanism behind the IceBreaker invocation forecaster.
+func ExampleSpectrum() {
+	// Two days of hourly samples with a strong 24-hour cycle.
+	series := make([]float64, 48)
+	for i := range series {
+		series[i] = 10 + 4*math.Cos(2*math.Pi*float64(i)/24)
+	}
+	mean, harmonics := fft.Spectrum(series)
+	top := harmonics[0]
+	fmt.Printf("mean %.1f, dominant period %.0f samples, amplitude %.1f\n",
+		mean, top.Period, top.Amplitude)
+	// Output:
+	// mean 10.0, dominant period 24 samples, amplitude 4.0
+}
+
+// ExampleExtrapolate forecasts the next samples of a periodic series from
+// its dominant harmonics.
+func ExampleExtrapolate() {
+	series := make([]float64, 60)
+	for i := range series {
+		series[i] = 5 + 2*math.Cos(2*math.Pi*float64(i)/12)
+	}
+	mean, harmonics := fft.Spectrum(series)
+	forecast, err := fft.Extrapolate(mean, harmonics, len(series), 3, 2)
+	if err != nil {
+		panic(err)
+	}
+	for i, v := range forecast {
+		fmt.Printf("t+%d: %.2f\n", i+1, v)
+	}
+	// Output:
+	// t+1: 7.00
+	// t+2: 6.73
+	// t+3: 6.00
+}

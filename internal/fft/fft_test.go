@@ -1,0 +1,232 @@
+package fft
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// naiveDFT is the O(n²) reference implementation used to validate the fast
+// transforms.
+func naiveDFT(x []complex128) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		var s complex128
+		for t := 0; t < n; t++ {
+			ang := -2 * math.Pi * float64(k) * float64(t) / float64(n)
+			s += x[t] * cmplx.Exp(complex(0, ang))
+		}
+		out[k] = s
+	}
+	return out
+}
+
+func maxDiff(a, b []complex128) float64 {
+	var m float64
+	for i := range a {
+		if d := cmplx.Abs(a[i] - b[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+func randomComplex(n int, seed int64) []complex128 {
+	rng := rand.New(rand.NewSource(seed))
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	return x
+}
+
+func TestIsPowerOfTwo(t *testing.T) {
+	for _, c := range []struct {
+		n    int
+		want bool
+	}{{-4, false}, {0, false}, {1, true}, {2, true}, {3, false}, {1024, true}, {1023, false}} {
+		if got := IsPowerOfTwo(c.n); got != c.want {
+			t.Errorf("IsPowerOfTwo(%d) = %v, want %v", c.n, got, c.want)
+		}
+	}
+}
+
+func TestNextPowerOfTwo(t *testing.T) {
+	for _, c := range []struct{ n, want int }{{1, 1}, {2, 2}, {3, 4}, {5, 8}, {1000, 1024}} {
+		if got := NextPowerOfTwo(c.n); got != c.want {
+			t.Errorf("NextPowerOfTwo(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("NextPowerOfTwo(0) should panic")
+		}
+	}()
+	NextPowerOfTwo(0)
+}
+
+func TestForwardMatchesNaive(t *testing.T) {
+	// Cover radix-2 sizes, Bluestein sizes, primes, and tiny inputs.
+	for _, n := range []int{1, 2, 3, 4, 5, 7, 8, 12, 13, 16, 17, 31, 32, 60, 64, 97, 100} {
+		x := randomComplex(n, int64(n))
+		want := naiveDFT(x)
+		got := Forward(x)
+		if d := maxDiff(got, want); d > 1e-8*float64(n) {
+			t.Errorf("n=%d: max diff vs naive DFT = %g", n, d)
+		}
+	}
+}
+
+func TestInverseRoundTrip(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 8, 15, 64, 100, 129} {
+		x := randomComplex(n, int64(100+n))
+		back := Inverse(Forward(x))
+		if d := maxDiff(back, x); d > 1e-9*float64(n+1) {
+			t.Errorf("n=%d: inverse(forward) max diff = %g", n, d)
+		}
+	}
+}
+
+func TestEmptyAndSingleton(t *testing.T) {
+	if got := Forward(nil); len(got) != 0 {
+		t.Errorf("Forward(nil) len = %d", len(got))
+	}
+	x := []complex128{complex(3, -2)}
+	got := Forward(x)
+	if got[0] != x[0] {
+		t.Errorf("singleton forward = %v, want %v", got[0], x[0])
+	}
+	got = Inverse(x)
+	if got[0] != x[0] {
+		t.Errorf("singleton inverse = %v, want %v", got[0], x[0])
+	}
+}
+
+func TestForwardRealDCComponent(t *testing.T) {
+	x := []float64{5, 5, 5, 5}
+	spec := ForwardReal(x)
+	if math.Abs(real(spec[0])-20) > 1e-12 {
+		t.Errorf("DC bin = %v, want 20", spec[0])
+	}
+	for k := 1; k < 4; k++ {
+		if cmplx.Abs(spec[k]) > 1e-10 {
+			t.Errorf("constant series has nonzero bin %d: %v", k, spec[k])
+		}
+	}
+}
+
+func TestInverseRealRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	x := make([]float64, 37) // non power of two
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	back := InverseReal(ForwardReal(x))
+	for i := range x {
+		if math.Abs(back[i]-x[i]) > 1e-9 {
+			t.Fatalf("real round trip diverges at %d: %v vs %v", i, back[i], x[i])
+		}
+	}
+}
+
+// Property: linearity — FFT(a·x + y) == a·FFT(x) + FFT(y).
+func TestForwardLinearity(t *testing.T) {
+	f := func(seed int64) bool {
+		n := 24 // Bluestein path
+		x := randomComplex(n, seed)
+		y := randomComplex(n, seed+1)
+		a := complex(1.5, -0.5)
+		lhsIn := make([]complex128, n)
+		for i := range lhsIn {
+			lhsIn[i] = a*x[i] + y[i]
+		}
+		lhs := Forward(lhsIn)
+		fx := Forward(x)
+		fy := Forward(y)
+		for i := range lhs {
+			if cmplx.Abs(lhs[i]-(a*fx[i]+fy[i])) > 1e-8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Parseval — Σ|x|² == (1/N)·Σ|X|².
+func TestParseval(t *testing.T) {
+	f := func(seed int64) bool {
+		n := 50
+		x := randomComplex(n, seed)
+		spec := Forward(x)
+		var timeE, freqE float64
+		for i := range x {
+			timeE += real(x[i])*real(x[i]) + imag(x[i])*imag(x[i])
+			freqE += real(spec[i])*real(spec[i]) + imag(spec[i])*imag(spec[i])
+		}
+		return math.Abs(timeE-freqE/float64(n)) < 1e-6*(timeE+1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConvolve(t *testing.T) {
+	// Circular convolution with a unit impulse is the identity.
+	a := []float64{1, 2, 3, 4, 5}
+	impulse := []float64{1, 0, 0, 0, 0}
+	got, err := Convolve(a, impulse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if math.Abs(got[i]-a[i]) > 1e-9 {
+			t.Errorf("conv[%d] = %v, want %v", i, got[i], a[i])
+		}
+	}
+	// Shifted impulse rotates.
+	shift := []float64{0, 1, 0, 0, 0}
+	got, err = Convolve(a, shift)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{5, 1, 2, 3, 4}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-9 {
+			t.Errorf("shifted conv[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if _, err := Convolve(a, []float64{1}); err == nil {
+		t.Error("length mismatch should fail")
+	}
+	if _, err := Convolve(nil, nil); err == nil {
+		t.Error("empty convolve should fail")
+	}
+}
+
+func BenchmarkForward1024(b *testing.B) {
+	x := randomComplex(1024, 1)
+	buf := make([]complex128, len(x))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(buf, x)
+		ForwardInPlace(buf)
+	}
+}
+
+func BenchmarkForwardBluestein1000(b *testing.B) {
+	x := randomComplex(1000, 1)
+	buf := make([]complex128, len(x))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(buf, x)
+		ForwardInPlace(buf)
+	}
+}

@@ -1,0 +1,46 @@
+package fft
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzRoundTrip: Inverse(Forward(x)) == x for arbitrary real series of
+// arbitrary (including non-power-of-two) lengths.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add([]byte{1, 2, 3})
+	f.Add([]byte{0})
+	f.Add([]byte{255, 0, 128, 7, 9, 200, 13})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		if len(raw) == 0 || len(raw) > 512 {
+			return
+		}
+		x := make([]float64, len(raw))
+		for i, b := range raw {
+			x[i] = float64(b) - 128
+		}
+		back := InverseReal(ForwardReal(x))
+		if len(back) != len(x) {
+			t.Fatalf("length changed: %d vs %d", len(back), len(x))
+		}
+		for i := range x {
+			if math.Abs(back[i]-x[i]) > 1e-6 {
+				t.Fatalf("round trip diverged at %d: %v vs %v (n=%d)", i, back[i], x[i], len(x))
+			}
+		}
+		// Spectrum/Extrapolate must not panic or return non-finite values.
+		mean, hs := Spectrum(x)
+		if math.IsNaN(mean) {
+			t.Fatal("NaN mean")
+		}
+		fc, err := Extrapolate(mean, hs, len(x), 4, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range fc {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("non-finite forecast %v", v)
+			}
+		}
+	})
+}

@@ -1,0 +1,166 @@
+// Package lp implements a dense primal simplex solver for linear programs
+// in the inequality form
+//
+//	maximize    c·x
+//	subject to  A·x ≤ b,  x ≥ 0,  b ≥ 0
+//
+// It exists as the relaxation engine for the generic MILP solver in
+// internal/milp (the Figure 9 comparator): the paper evaluates PULSE
+// against "Mixed Integer Linear Programming", whose cost is dominated by
+// exactly this machinery. The b ≥ 0 restriction keeps the all-slack basis
+// feasible, so no phase-1 is needed; the MILP layer arranges its
+// formulations to satisfy it.
+//
+// Bland's rule guards against cycling; an iteration cap guards against
+// pathological inputs.
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrUnbounded is returned when the objective can grow without limit.
+var ErrUnbounded = errors.New("lp: unbounded objective")
+
+// ErrIterationLimit is returned when the simplex fails to converge within
+// the iteration cap.
+var ErrIterationLimit = errors.New("lp: iteration limit exceeded")
+
+const (
+	// eps is the numerical tolerance for pivoting and optimality tests.
+	eps = 1e-9
+	// maxIterationsFactor bounds iterations at factor × (rows + cols).
+	maxIterationsFactor = 50
+)
+
+// Solution is an optimal LP solution.
+type Solution struct {
+	X          []float64
+	Objective  float64
+	Iterations int
+}
+
+// Solve maximizes c·x subject to A·x ≤ b, x ≥ 0. Every b[i] must be
+// non-negative. A must be rectangular with len(A) == len(b) rows and
+// len(c) columns.
+func Solve(c []float64, a [][]float64, b []float64) (Solution, error) {
+	n := len(c)
+	m := len(a)
+	if m != len(b) {
+		return Solution{}, fmt.Errorf("lp: %d constraint rows but %d bounds", m, len(b))
+	}
+	for i, row := range a {
+		if len(row) != n {
+			return Solution{}, fmt.Errorf("lp: row %d has %d coefficients, want %d", i, len(row), n)
+		}
+		if b[i] < 0 {
+			return Solution{}, fmt.Errorf("lp: negative bound b[%d] = %v (phase-1 not supported)", i, b[i])
+		}
+		for j, v := range row {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return Solution{}, fmt.Errorf("lp: non-finite coefficient A[%d][%d]", i, j)
+			}
+		}
+	}
+	for j, v := range c {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return Solution{}, fmt.Errorf("lp: non-finite objective coefficient c[%d]", j)
+		}
+	}
+	if n == 0 {
+		return Solution{X: nil, Objective: 0}, nil
+	}
+
+	// Tableau: m rows × (n + m + 1) columns — structural vars, slacks, rhs.
+	// Row m is the objective row (negated reduced costs convention).
+	width := n + m + 1
+	tab := make([][]float64, m+1)
+	for i := 0; i < m; i++ {
+		tab[i] = make([]float64, width)
+		copy(tab[i], a[i])
+		tab[i][n+i] = 1
+		tab[i][width-1] = b[i]
+	}
+	obj := make([]float64, width)
+	for j := 0; j < n; j++ {
+		obj[j] = -c[j]
+	}
+	tab[m] = obj
+
+	basis := make([]int, m)
+	for i := range basis {
+		basis[i] = n + i // slack basis
+	}
+
+	maxIter := maxIterationsFactor * (m + n)
+	iter := 0
+	for ; iter < maxIter; iter++ {
+		// Entering variable: Bland's rule — lowest index with negative
+		// reduced cost.
+		pivotCol := -1
+		for j := 0; j < n+m; j++ {
+			if tab[m][j] < -eps {
+				pivotCol = j
+				break
+			}
+		}
+		if pivotCol == -1 {
+			break // optimal
+		}
+		// Leaving variable: minimum ratio, ties by lowest basis index
+		// (Bland).
+		pivotRow := -1
+		bestRatio := math.Inf(1)
+		for i := 0; i < m; i++ {
+			if tab[i][pivotCol] > eps {
+				ratio := tab[i][width-1] / tab[i][pivotCol]
+				if ratio < bestRatio-eps ||
+					(math.Abs(ratio-bestRatio) <= eps && (pivotRow == -1 || basis[i] < basis[pivotRow])) {
+					bestRatio = ratio
+					pivotRow = i
+				}
+			}
+		}
+		if pivotRow == -1 {
+			return Solution{}, ErrUnbounded
+		}
+		pivot(tab, basis, pivotRow, pivotCol)
+	}
+	if iter == maxIter {
+		return Solution{}, ErrIterationLimit
+	}
+
+	x := make([]float64, n)
+	for i, bv := range basis {
+		if bv < n {
+			x[bv] = tab[i][width-1]
+		}
+	}
+	return Solution{X: x, Objective: tab[m][width-1], Iterations: iter}, nil
+}
+
+// pivot performs a full tableau pivot on (row, col).
+func pivot(tab [][]float64, basis []int, row, col int) {
+	width := len(tab[row])
+	p := tab[row][col]
+	for j := 0; j < width; j++ {
+		tab[row][j] /= p
+	}
+	for i := range tab {
+		if i == row {
+			continue
+		}
+		f := tab[i][col]
+		if f == 0 {
+			continue
+		}
+		for j := 0; j < width; j++ {
+			tab[i][j] -= f * tab[row][j]
+		}
+	}
+	if row < len(basis) {
+		basis[row] = col
+	}
+}

@@ -1,0 +1,241 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-6 }
+
+func TestSolveTextbook(t *testing.T) {
+	// max 3x + 5y  s.t. x ≤ 4, 2y ≤ 12, 3x + 2y ≤ 18 → optimum 36 at (2,6).
+	sol, err := Solve(
+		[]float64{3, 5},
+		[][]float64{{1, 0}, {0, 2}, {3, 2}},
+		[]float64{4, 12, 18},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(sol.Objective, 36) {
+		t.Errorf("objective = %v, want 36", sol.Objective)
+	}
+	if !almost(sol.X[0], 2) || !almost(sol.X[1], 6) {
+		t.Errorf("x = %v, want [2 6]", sol.X)
+	}
+	if sol.Iterations == 0 {
+		t.Error("no iterations recorded")
+	}
+}
+
+func TestSolveBindingBudget(t *testing.T) {
+	// Knapsack relaxation: max 5x + 4y s.t. 2x + y ≤ 3, x ≤ 1, y ≤ 1.
+	// Optimum: x = 1, y = 1 (weight 3), objective 9.
+	sol, err := Solve(
+		[]float64{5, 4},
+		[][]float64{{2, 1}, {1, 0}, {0, 1}},
+		[]float64{3, 1, 1},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(sol.Objective, 9) {
+		t.Errorf("objective = %v, want 9", sol.Objective)
+	}
+}
+
+func TestSolveFractionalOptimum(t *testing.T) {
+	// max x + y s.t. x + y ≤ 1.5, x ≤ 1, y ≤ 1 → 1.5 (fractional corner).
+	sol, err := Solve(
+		[]float64{1, 1},
+		[][]float64{{1, 1}, {1, 0}, {0, 1}},
+		[]float64{1.5, 1, 1},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(sol.Objective, 1.5) {
+		t.Errorf("objective = %v, want 1.5", sol.Objective)
+	}
+}
+
+func TestSolveZeroAndDegenerate(t *testing.T) {
+	// Empty problem.
+	sol, err := Solve(nil, nil, nil)
+	if err != nil || sol.Objective != 0 {
+		t.Errorf("empty LP: %v, %v", sol, err)
+	}
+	// All-negative objective: optimum at origin.
+	sol, err = Solve([]float64{-1, -2}, [][]float64{{1, 1}}, []float64{5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(sol.Objective, 0) || !almost(sol.X[0], 0) || !almost(sol.X[1], 0) {
+		t.Errorf("negative objective LP: %+v", sol)
+	}
+	// Zero bound forces the variable out.
+	sol, err = Solve([]float64{1}, [][]float64{{1}}, []float64{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(sol.Objective, 0) {
+		t.Errorf("zero-bound LP objective = %v", sol.Objective)
+	}
+}
+
+func TestSolveUnbounded(t *testing.T) {
+	// max x with no binding constraint on x.
+	_, err := Solve([]float64{1, 0}, [][]float64{{0, 1}}, []float64{1})
+	if err != ErrUnbounded {
+		t.Errorf("err = %v, want ErrUnbounded", err)
+	}
+}
+
+func TestSolveValidation(t *testing.T) {
+	if _, err := Solve([]float64{1}, [][]float64{{1}}, []float64{1, 2}); err == nil {
+		t.Error("row/bound mismatch accepted")
+	}
+	if _, err := Solve([]float64{1}, [][]float64{{1, 2}}, []float64{1}); err == nil {
+		t.Error("ragged row accepted")
+	}
+	if _, err := Solve([]float64{1}, [][]float64{{1}}, []float64{-1}); err == nil {
+		t.Error("negative bound accepted")
+	}
+	if _, err := Solve([]float64{math.NaN()}, [][]float64{{1}}, []float64{1}); err == nil {
+		t.Error("NaN objective accepted")
+	}
+	if _, err := Solve([]float64{1}, [][]float64{{math.Inf(1)}}, []float64{1}); err == nil {
+		t.Error("Inf coefficient accepted")
+	}
+}
+
+// Property: the returned solution is primal-feasible and matches its
+// reported objective, on random bounded LPs.
+func TestSolveFeasibility(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(5) + 1
+		m := rng.Intn(5) + 1
+		c := make([]float64, n)
+		for j := range c {
+			c[j] = rng.Float64()*4 - 1
+		}
+		a := make([][]float64, m+n)
+		b := make([]float64, m+n)
+		for i := 0; i < m; i++ {
+			a[i] = make([]float64, n)
+			for j := range a[i] {
+				a[i][j] = rng.Float64()
+			}
+			b[i] = rng.Float64() * 5
+		}
+		// Explicit upper bounds keep the problem bounded.
+		for j := 0; j < n; j++ {
+			row := make([]float64, n)
+			row[j] = 1
+			a[m+j] = row
+			b[m+j] = rng.Float64()*3 + 0.5
+		}
+		sol, err := Solve(c, a, b)
+		if err != nil {
+			return false
+		}
+		var obj float64
+		for j, x := range sol.X {
+			if x < -1e-7 {
+				return false
+			}
+			obj += c[j] * x
+		}
+		if math.Abs(obj-sol.Objective) > 1e-6*(1+math.Abs(obj)) {
+			return false
+		}
+		for i := range a {
+			var lhs float64
+			for j := range sol.X {
+				lhs += a[i][j] * sol.X[j]
+			}
+			if lhs > b[i]+1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: LP optimum bounds from above the best random feasible integer
+// point (it is a relaxation).
+func TestSolveIsUpperBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		n := rng.Intn(4) + 2
+		c := make([]float64, n)
+		w := make([]float64, n)
+		for j := range c {
+			c[j] = rng.Float64() * 10
+			w[j] = rng.Float64()*3 + 0.1
+		}
+		budget := rng.Float64() * 5
+		a := make([][]float64, 1+n)
+		b := make([]float64, 1+n)
+		a[0] = w
+		b[0] = budget
+		for j := 0; j < n; j++ {
+			row := make([]float64, n)
+			row[j] = 1
+			a[1+j] = row
+			b[1+j] = 1
+		}
+		sol, err := Solve(c, a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Brute-force the best 0/1 point.
+		best := 0.0
+		for mask := 0; mask < 1<<n; mask++ {
+			var val, wt float64
+			for j := 0; j < n; j++ {
+				if mask>>j&1 == 1 {
+					val += c[j]
+					wt += w[j]
+				}
+			}
+			if wt <= budget && val > best {
+				best = val
+			}
+		}
+		if sol.Objective < best-1e-6 {
+			t.Fatalf("LP %v below integer optimum %v", sol.Objective, best)
+		}
+	}
+}
+
+func BenchmarkSolve36Vars(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	n, m := 36, 49
+	c := make([]float64, n)
+	for j := range c {
+		c[j] = rng.Float64()
+	}
+	a := make([][]float64, m)
+	bb := make([]float64, m)
+	for i := range a {
+		a[i] = make([]float64, n)
+		for j := range a[i] {
+			a[i][j] = rng.Float64()
+		}
+		bb[i] = float64(n) / 2
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Solve(c, a, bb); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

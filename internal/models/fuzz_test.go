@@ -1,0 +1,40 @@
+package models
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadCatalog: arbitrary JSON must never panic; anything accepted must
+// validate and round-trip to an equivalent catalog.
+func FuzzReadCatalog(f *testing.F) {
+	var seed bytes.Buffer
+	if err := WriteCatalog(&seed, PaperCatalog()); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.String())
+	f.Add(`{"families": []}`)
+	f.Add(`{"families": [{"name": "X", "variants": [{"name": "v", "accuracyPct": 50, "execSec": 1, "memoryMB": 10}]}]}`)
+	f.Add(`{`)
+	f.Fuzz(func(t *testing.T, in string) {
+		c, err := ReadCatalog(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		if verr := c.Validate(); verr != nil {
+			t.Fatalf("ReadCatalog accepted invalid catalog: %v", verr)
+		}
+		var out bytes.Buffer
+		if werr := WriteCatalog(&out, c); werr != nil {
+			t.Fatalf("accepted catalog failed to serialize: %v", werr)
+		}
+		back, rerr := ReadCatalog(&out)
+		if rerr != nil {
+			t.Fatalf("round trip failed: %v", rerr)
+		}
+		if len(back.Families) != len(c.Families) {
+			t.Fatalf("round trip changed family count")
+		}
+	})
+}

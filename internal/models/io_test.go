@@ -1,0 +1,81 @@
+package models
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestCatalogJSONRoundTrip(t *testing.T) {
+	orig := PaperCatalog()
+	var buf bytes.Buffer
+	if err := WriteCatalog(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCatalog(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Families) != len(orig.Families) {
+		t.Fatalf("families: %d vs %d", len(back.Families), len(orig.Families))
+	}
+	for i := range orig.Families {
+		of, bf := orig.Families[i], back.Families[i]
+		if of.Name != bf.Name || of.Task != bf.Task || of.Dataset != bf.Dataset {
+			t.Errorf("family %d metadata: %+v vs %+v", i, of, bf)
+		}
+		if len(of.Variants) != len(bf.Variants) {
+			t.Fatalf("family %d variants: %d vs %d", i, len(of.Variants), len(bf.Variants))
+		}
+		for j := range of.Variants {
+			if of.Variants[j] != bf.Variants[j] {
+				t.Errorf("variant %d/%d: %+v vs %+v", i, j, of.Variants[j], bf.Variants[j])
+			}
+		}
+	}
+}
+
+func TestWriteCatalogRejectsInvalid(t *testing.T) {
+	if err := WriteCatalog(&bytes.Buffer{}, &Catalog{}); err == nil {
+		t.Error("invalid catalog written")
+	}
+}
+
+func TestReadCatalogErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"bad json", "{"},
+		{"unknown field", `{"families": [], "extra": 1}`},
+		{"unknown variant field", `{"families": [{"name": "F", "variants": [{"name": "v", "accuracyPct": 50, "execSec": 1, "memoryMB": 10, "zzz": 1}]}]}`},
+		{"empty catalog", `{"families": []}`},
+		{"invalid ordering", `{"families": [{"name": "F", "variants": [
+			{"name": "a", "accuracyPct": 90, "execSec": 1, "memoryMB": 10},
+			{"name": "b", "accuracyPct": 80, "execSec": 1, "memoryMB": 20}]}]}`},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := ReadCatalog(strings.NewReader(c.in)); err == nil {
+				t.Errorf("ReadCatalog(%s) accepted", c.name)
+			}
+		})
+	}
+}
+
+func TestReadCatalogHandwritten(t *testing.T) {
+	in := `{"families": [
+		{"name": "Tiny", "task": "demo", "variants": [
+			{"name": "t-lo", "accuracyPct": 60, "execSec": 0.5, "coldStartSec": 2, "memoryMB": 100},
+			{"name": "t-hi", "accuracyPct": 80, "execSec": 1.0, "coldStartSec": 4, "memoryMB": 400}
+		]}
+	]}`
+	c, err := ReadCatalog(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := c.FamilyByName("Tiny")
+	if f == nil || f.NumVariants() != 2 || f.Highest().MemoryMB != 400 {
+		t.Errorf("parsed catalog wrong: %+v", c)
+	}
+}

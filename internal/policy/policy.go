@@ -1,0 +1,270 @@
+// Package policy implements the baseline keep-alive policies PULSE is
+// evaluated against: the OpenWhisk-style fixed 10-minute policy (all-high
+// and all-low variants), the random high/low mix, and the look-ahead
+// "intelligent solution" of the paper's motivation study (Tables II/III).
+package policy
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/pulse-serverless/pulse/internal/cluster"
+	"github.com/pulse-serverless/pulse/internal/models"
+	"github.com/pulse-serverless/pulse/internal/trace"
+)
+
+// base carries the state shared by every fixed-window baseline: which
+// family each function serves and the minute of each function's last
+// invocation.
+type base struct {
+	catalog    *models.Catalog
+	assignment models.Assignment
+	window     int
+	lastInv    []int // minute of last invocation per function, -1 before any
+	out        []int // reused decision buffer
+}
+
+func newBase(cat *models.Catalog, asg models.Assignment, window int) (*base, error) {
+	if cat == nil {
+		return nil, fmt.Errorf("policy: nil catalog")
+	}
+	if err := cat.Validate(); err != nil {
+		return nil, err
+	}
+	if err := asg.Validate(cat, len(asg)); err != nil {
+		return nil, err
+	}
+	if len(asg) == 0 {
+		return nil, fmt.Errorf("policy: empty assignment")
+	}
+	if window <= 0 {
+		window = cluster.DefaultKeepAliveWindow
+	}
+	b := &base{
+		catalog:    cat,
+		assignment: asg,
+		window:     window,
+		lastInv:    make([]int, len(asg)),
+		out:        make([]int, len(asg)),
+	}
+	for i := range b.lastInv {
+		b.lastInv[i] = -1
+	}
+	return b, nil
+}
+
+func (b *base) family(fn int) *models.Family {
+	return &b.catalog.Families[b.assignment[fn]]
+}
+
+// withinWindow reports whether minute t falls inside the keep-alive window
+// opened by the function's last invocation: an invocation at minute m keeps
+// the container alive through minute m+window, so an arrival at m+window is
+// still warm (the paper's "invocation in the 2nd minute … active until the
+// 12th minute").
+func (b *base) withinWindow(t, fn int) bool {
+	last := b.lastInv[fn]
+	return last >= 0 && t <= last+b.window
+}
+
+func (b *base) recordInvocations(t int, counts []int) {
+	for fn, c := range counts {
+		if c > 0 {
+			b.lastInv[fn] = t
+		}
+	}
+}
+
+// Fixed is the OpenWhisk-style fixed keep-alive policy: after every
+// invocation the container holding one fixed quality variant stays alive
+// for the full window. With Quality = QualityHighest this is the paper's
+// competing baseline ("All High Quality"); with QualityLowest it is the
+// "All Low Quality" row of Tables II/III.
+type Fixed struct {
+	*base
+	quality Quality
+	name    string
+}
+
+// Quality selects which variant a single-quality policy pins.
+type Quality int
+
+// Quality levels for Fixed and the random mixer.
+const (
+	QualityLowest Quality = iota
+	QualityHighest
+)
+
+func (q Quality) variantIndex(f *models.Family) int {
+	if q == QualityLowest {
+		return 0
+	}
+	return f.NumVariants() - 1
+}
+
+// NewFixed builds a fixed keep-alive policy. window ≤ 0 selects the default
+// 10 minutes.
+func NewFixed(cat *models.Catalog, asg models.Assignment, window int, q Quality) (*Fixed, error) {
+	b, err := newBase(cat, asg, window)
+	if err != nil {
+		return nil, err
+	}
+	name := "openwhisk-fixed-high"
+	if q == QualityLowest {
+		name = "openwhisk-fixed-low"
+	}
+	return &Fixed{base: b, quality: q, name: name}, nil
+}
+
+// Name implements cluster.Policy.
+func (p *Fixed) Name() string { return p.name }
+
+// KeepAlive implements cluster.Policy.
+func (p *Fixed) KeepAlive(t int) []int {
+	for fn := range p.out {
+		if p.withinWindow(t, fn) {
+			p.out[fn] = p.quality.variantIndex(p.family(fn))
+		} else {
+			p.out[fn] = cluster.NoVariant
+		}
+	}
+	return p.out
+}
+
+// ColdVariant implements cluster.Policy.
+func (p *Fixed) ColdVariant(_, fn int) int {
+	return p.quality.variantIndex(p.family(fn))
+}
+
+// RecordInvocations implements cluster.Policy.
+func (p *Fixed) RecordInvocations(t int, counts []int) { p.recordInvocations(t, counts) }
+
+// RandomMix is the motivation study's third approach: a balanced random
+// half of the functions keep their high-quality variant alive, the rest
+// their low-quality variant, within the same fixed window.
+type RandomMix struct {
+	*base
+	high []bool
+}
+
+// NewRandomMix builds the balanced random mixer. The assignment of
+// functions to qualities is drawn once, seeded, with exactly half (rounded
+// up) of the functions on high quality — "we ensured that the number of
+// functions with high-quality and low-quality models kept-alive was
+// balanced".
+func NewRandomMix(cat *models.Catalog, asg models.Assignment, window int, seed int64) (*RandomMix, error) {
+	b, err := newBase(cat, asg, window)
+	if err != nil {
+		return nil, err
+	}
+	n := len(asg)
+	perm := rand.New(rand.NewSource(seed)).Perm(n)
+	high := make([]bool, n)
+	for i, fn := range perm {
+		high[fn] = i < (n+1)/2
+	}
+	return &RandomMix{base: b, high: high}, nil
+}
+
+// Name implements cluster.Policy.
+func (p *RandomMix) Name() string { return "random-mix" }
+
+func (p *RandomMix) variantFor(fn int) int {
+	if p.high[fn] {
+		return QualityHighest.variantIndex(p.family(fn))
+	}
+	return QualityLowest.variantIndex(p.family(fn))
+}
+
+// KeepAlive implements cluster.Policy.
+func (p *RandomMix) KeepAlive(t int) []int {
+	for fn := range p.out {
+		if p.withinWindow(t, fn) {
+			p.out[fn] = p.variantFor(fn)
+		} else {
+			p.out[fn] = cluster.NoVariant
+		}
+	}
+	return p.out
+}
+
+// ColdVariant implements cluster.Policy.
+func (p *RandomMix) ColdVariant(_, fn int) int { return p.variantFor(fn) }
+
+// RecordInvocations implements cluster.Policy.
+func (p *RandomMix) RecordInvocations(t int, counts []int) { p.recordInvocations(t, counts) }
+
+// Oracle is the motivation study's "intelligent solution": it peeks at the
+// trace and, when opening a keep-alive window, pins the high-quality
+// variant for functions that will actually be invoked at least Threshold
+// times within the window, and the low-quality variant otherwise. It is an
+// upper bound used in Tables II/III, not a deployable policy.
+type Oracle struct {
+	*base
+	tr        *trace.Trace
+	threshold int
+	choice    []int // variant chosen for the currently open window, per function
+}
+
+// NewOracle builds the look-ahead policy. threshold ≤ 0 defaults to 1.
+func NewOracle(cat *models.Catalog, asg models.Assignment, window int, tr *trace.Trace, threshold int) (*Oracle, error) {
+	b, err := newBase(cat, asg, window)
+	if err != nil {
+		return nil, err
+	}
+	if tr == nil {
+		return nil, fmt.Errorf("policy: oracle needs a trace")
+	}
+	if len(tr.Functions) != len(asg) {
+		return nil, fmt.Errorf("policy: oracle trace has %d functions, assignment %d", len(tr.Functions), len(asg))
+	}
+	if threshold <= 0 {
+		threshold = 1
+	}
+	o := &Oracle{base: b, tr: tr, threshold: threshold, choice: make([]int, len(asg))}
+	for i := range o.choice {
+		o.choice[i] = cluster.NoVariant
+	}
+	return o, nil
+}
+
+// Name implements cluster.Policy.
+func (p *Oracle) Name() string { return "oracle-intelligent" }
+
+// KeepAlive implements cluster.Policy.
+func (p *Oracle) KeepAlive(t int) []int {
+	for fn := range p.out {
+		if p.withinWindow(t, fn) {
+			p.out[fn] = p.choice[fn]
+		} else {
+			p.out[fn] = cluster.NoVariant
+		}
+	}
+	return p.out
+}
+
+// ColdVariant implements cluster.Policy.
+func (p *Oracle) ColdVariant(_, fn int) int {
+	return QualityHighest.variantIndex(p.family(fn))
+}
+
+// RecordInvocations implements cluster.Policy.
+func (p *Oracle) RecordInvocations(t int, counts []int) {
+	for fn, c := range counts {
+		if c == 0 {
+			continue
+		}
+		// Look ahead: invocations arriving within (t, t+window].
+		future := 0
+		f := &p.tr.Functions[fn]
+		for dt := 1; dt <= p.window && t+dt < len(f.Counts); dt++ {
+			future += f.Counts[t+dt]
+		}
+		if future >= p.threshold {
+			p.choice[fn] = QualityHighest.variantIndex(p.family(fn))
+		} else {
+			p.choice[fn] = QualityLowest.variantIndex(p.family(fn))
+		}
+	}
+	p.recordInvocations(t, counts)
+}

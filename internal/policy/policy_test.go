@@ -1,0 +1,337 @@
+package policy
+
+import (
+	"testing"
+
+	"github.com/pulse-serverless/pulse/internal/cluster"
+	"github.com/pulse-serverless/pulse/internal/models"
+	"github.com/pulse-serverless/pulse/internal/trace"
+)
+
+func testCatalog() *models.Catalog {
+	return &models.Catalog{Families: []models.Family{
+		{
+			Name: "A",
+			Variants: []models.Variant{
+				{Name: "A-lo", AccuracyPct: 70, ExecSec: 1, ColdStartSec: 4, MemoryMB: 256},
+				{Name: "A-mid", AccuracyPct: 80, ExecSec: 1.5, ColdStartSec: 6, MemoryMB: 512},
+				{Name: "A-hi", AccuracyPct: 90, ExecSec: 2, ColdStartSec: 10, MemoryMB: 1024},
+			},
+		},
+		{
+			Name: "B",
+			Variants: []models.Variant{
+				{Name: "B-lo", AccuracyPct: 60, ExecSec: 0.5, ColdStartSec: 3, MemoryMB: 300},
+				{Name: "B-hi", AccuracyPct: 85, ExecSec: 1, ColdStartSec: 8, MemoryMB: 900},
+			},
+		},
+	}}
+}
+
+func mkTrace(countsPerFn ...[]int) *trace.Trace {
+	tr := &trace.Trace{Horizon: len(countsPerFn[0])}
+	for i, c := range countsPerFn {
+		tr.Functions = append(tr.Functions, trace.Function{ID: i, Name: "f", Counts: c})
+	}
+	return tr
+}
+
+func TestNewBaseValidation(t *testing.T) {
+	cat := testCatalog()
+	if _, err := NewFixed(nil, models.Assignment{0}, 10, QualityHighest); err == nil {
+		t.Error("nil catalog accepted")
+	}
+	if _, err := NewFixed(cat, models.Assignment{}, 10, QualityHighest); err == nil {
+		t.Error("empty assignment accepted")
+	}
+	if _, err := NewFixed(cat, models.Assignment{5}, 10, QualityHighest); err == nil {
+		t.Error("out-of-range assignment accepted")
+	}
+	// Non-positive window falls back to the 10-minute default.
+	p, err := NewFixed(cat, models.Assignment{0}, 0, QualityHighest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.window != cluster.DefaultKeepAliveWindow {
+		t.Errorf("default window = %d, want %d", p.window, cluster.DefaultKeepAliveWindow)
+	}
+}
+
+func TestFixedWindowSemantics(t *testing.T) {
+	cat := testCatalog()
+	p, err := NewFixed(cat, models.Assignment{0}, 10, QualityHighest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name() != "openwhisk-fixed-high" {
+		t.Errorf("name = %q", p.Name())
+	}
+	// Before any invocation: nothing alive.
+	if got := p.KeepAlive(0); got[0] != cluster.NoVariant {
+		t.Errorf("pre-invocation alive = %d", got[0])
+	}
+	// Invocation at minute 2 keeps the container alive through minute 12.
+	p.RecordInvocations(2, []int{1})
+	for tt := 3; tt <= 12; tt++ {
+		if got := p.KeepAlive(tt); got[0] != 2 { // highest variant index
+			t.Errorf("minute %d: alive = %d, want 2", tt, got[0])
+		}
+	}
+	if got := p.KeepAlive(13); got[0] != cluster.NoVariant {
+		t.Errorf("minute 13: alive = %d, want none", got[0])
+	}
+	if got := p.ColdVariant(0, 0); got != 2 {
+		t.Errorf("cold variant = %d, want 2", got)
+	}
+}
+
+func TestFixedLowQuality(t *testing.T) {
+	cat := testCatalog()
+	p, err := NewFixed(cat, models.Assignment{0, 1}, 10, QualityLowest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name() != "openwhisk-fixed-low" {
+		t.Errorf("name = %q", p.Name())
+	}
+	p.RecordInvocations(0, []int{1, 1})
+	got := p.KeepAlive(1)
+	if got[0] != 0 || got[1] != 0 {
+		t.Errorf("low-quality alive = %v, want lowest variants", got)
+	}
+	if p.ColdVariant(0, 1) != 0 {
+		t.Error("cold variant should be lowest")
+	}
+}
+
+func TestFixedEndToEnd(t *testing.T) {
+	cat := testCatalog()
+	tr := mkTrace([]int{1, 0, 0, 1, 0}) // second invocation inside window → warm
+	cfg := cluster.Config{Trace: tr, Catalog: cat, Assignment: models.Assignment{0}, Cost: cluster.DefaultCostModel()}
+	p, err := NewFixed(cat, models.Assignment{0}, 10, QualityHighest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := cluster.Run(cfg, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ColdStarts != 1 || res.WarmStarts != 1 {
+		t.Errorf("cold=%d warm=%d, want 1/1", res.ColdStarts, res.WarmStarts)
+	}
+	// Keep-alive minutes: 1,2,3,4 (window from invocation at 0, horizon 5).
+	wantKaM := []float64{0, 1024, 1024, 1024, 1024}
+	for tt, want := range wantKaM {
+		if res.PerMinuteKaMMB[tt] != want {
+			t.Errorf("KaM[%d] = %v, want %v", tt, res.PerMinuteKaMMB[tt], want)
+		}
+	}
+}
+
+func TestRandomMixBalanced(t *testing.T) {
+	cat := testCatalog()
+	asg := models.Assignment{0, 1, 0, 1, 0, 1}
+	p, err := NewRandomMix(cat, asg, 10, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name() != "random-mix" {
+		t.Errorf("name = %q", p.Name())
+	}
+	high := 0
+	for _, h := range p.high {
+		if h {
+			high++
+		}
+	}
+	if high != 3 {
+		t.Errorf("high count = %d, want 3 (balanced)", high)
+	}
+	// Determinism: same seed, same split.
+	q, err := NewRandomMix(cat, asg, 10, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range p.high {
+		if p.high[i] != q.high[i] {
+			t.Fatal("same seed produced different splits")
+		}
+	}
+	// Cold variant matches the per-function split.
+	for fn := range asg {
+		want := 0
+		if p.high[fn] {
+			want = p.family(fn).NumVariants() - 1
+		}
+		if got := p.ColdVariant(0, fn); got != want {
+			t.Errorf("fn %d cold = %d, want %d", fn, got, want)
+		}
+	}
+}
+
+func TestRandomMixOddCount(t *testing.T) {
+	cat := testCatalog()
+	p, err := NewRandomMix(cat, models.Assignment{0, 1, 0}, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	high := 0
+	for _, h := range p.high {
+		if h {
+			high++
+		}
+	}
+	if high != 2 { // ceil(3/2)
+		t.Errorf("high count = %d, want 2", high)
+	}
+}
+
+func TestOracleChoosesByLookahead(t *testing.T) {
+	cat := testCatalog()
+	// fn0: invocation at 0 followed by more inside the window → high.
+	// fn1: lone invocation at 0, nothing after → low.
+	tr := mkTrace(
+		[]int{1, 0, 1, 1, 0, 0, 0, 0, 0, 0, 0, 0},
+		[]int{1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0},
+	)
+	asg := models.Assignment{0, 1}
+	p, err := NewOracle(cat, asg, 10, tr, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name() != "oracle-intelligent" {
+		t.Errorf("name = %q", p.Name())
+	}
+	p.RecordInvocations(0, []int{1, 1})
+	got := p.KeepAlive(1)
+	if got[0] != 2 {
+		t.Errorf("fn0 alive = %d, want high (2)", got[0])
+	}
+	if got[1] != 0 {
+		t.Errorf("fn1 alive = %d, want low (0)", got[1])
+	}
+	// Cold starts run the highest variant.
+	if p.ColdVariant(0, 1) != 1 {
+		t.Errorf("oracle cold variant = %d, want highest", p.ColdVariant(0, 1))
+	}
+}
+
+func TestOracleValidation(t *testing.T) {
+	cat := testCatalog()
+	tr := mkTrace([]int{0})
+	if _, err := NewOracle(cat, models.Assignment{0}, 10, nil, 1); err == nil {
+		t.Error("nil trace accepted")
+	}
+	if _, err := NewOracle(cat, models.Assignment{0, 0}, 10, tr, 1); err == nil {
+		t.Error("mismatched function count accepted")
+	}
+	p, err := NewOracle(cat, models.Assignment{0}, 10, tr, -5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.threshold != 1 {
+		t.Errorf("threshold = %d, want default 1", p.threshold)
+	}
+}
+
+func TestOracleThresholdGate(t *testing.T) {
+	cat := testCatalog()
+	// Two future invocations in the window; thresholds 2 and 3 disagree.
+	tr := mkTrace([]int{1, 0, 1, 1, 0, 0, 0, 0, 0, 0, 0, 0})
+	at2, err := NewOracle(cat, models.Assignment{0}, 10, tr, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	at2.RecordInvocations(0, []int{1})
+	if got := at2.KeepAlive(1); got[0] != 2 {
+		t.Errorf("threshold 2 with 2 future arrivals: alive = %d, want high", got[0])
+	}
+	at3, err := NewOracle(cat, models.Assignment{0}, 10, tr, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	at3.RecordInvocations(0, []int{1})
+	if got := at3.KeepAlive(1); got[0] != 0 {
+		t.Errorf("threshold 3 with 2 future arrivals: alive = %d, want low", got[0])
+	}
+}
+
+func TestOracleLookaheadAtTraceEnd(t *testing.T) {
+	cat := testCatalog()
+	tr := mkTrace([]int{0, 0, 1}) // invocation at the last minute
+	p, err := NewOracle(cat, models.Assignment{0}, 10, tr, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Must not read past the horizon.
+	p.RecordInvocations(2, []int{1})
+	if got := p.KeepAlive(3); got[0] != 0 {
+		t.Errorf("end-of-trace choice = %d, want low (no future arrivals)", got[0])
+	}
+}
+
+// Cost ordering on a shared workload: all-high ≥ random-mix ≥ all-low, and
+// the oracle sits between all-low and all-high — the Table II/III ordering.
+func TestBaselineCostOrdering(t *testing.T) {
+	gen, err := trace.Generate(trace.GeneratorConfig{Seed: 3, Horizon: 2 * trace.MinutesPerDay})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat := testCatalog()
+	asg := make(models.Assignment, len(gen.Functions))
+	for i := range asg {
+		asg[i] = i % 2
+	}
+	cfg := cluster.Config{Trace: gen, Catalog: cat, Assignment: asg, Cost: cluster.DefaultCostModel()}
+
+	run := func(p cluster.Policy) *cluster.Result {
+		t.Helper()
+		res, err := cluster.Run(cfg, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	hi, err := NewFixed(cat, asg, 10, QualityHighest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, err := NewFixed(cat, asg, 10, QualityLowest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mix, err := NewRandomMix(cat, asg, 10, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle, err := NewOracle(cat, asg, 10, gen, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rHi, rLo, rMix, rOracle := run(hi), run(lo), run(mix), run(oracle)
+
+	if !(rHi.KeepAliveCostUSD > rMix.KeepAliveCostUSD && rMix.KeepAliveCostUSD > rLo.KeepAliveCostUSD) {
+		t.Errorf("cost ordering violated: hi=%v mix=%v lo=%v",
+			rHi.KeepAliveCostUSD, rMix.KeepAliveCostUSD, rLo.KeepAliveCostUSD)
+	}
+	if !(rOracle.KeepAliveCostUSD < rHi.KeepAliveCostUSD && rOracle.KeepAliveCostUSD > rLo.KeepAliveCostUSD) {
+		t.Errorf("oracle cost %v outside (lo=%v, hi=%v)",
+			rOracle.KeepAliveCostUSD, rLo.KeepAliveCostUSD, rHi.KeepAliveCostUSD)
+	}
+	if !(rHi.MeanAccuracyPct() > rMix.MeanAccuracyPct() && rMix.MeanAccuracyPct() > rLo.MeanAccuracyPct()) {
+		t.Errorf("accuracy ordering violated: hi=%v mix=%v lo=%v",
+			rHi.MeanAccuracyPct(), rMix.MeanAccuracyPct(), rLo.MeanAccuracyPct())
+	}
+	// "Intelligent" accuracy beats the random mix (paper: "even closer …
+	// to those of high-quality models").
+	if rOracle.MeanAccuracyPct() <= rMix.MeanAccuracyPct() {
+		t.Errorf("oracle accuracy %v not above random mix %v",
+			rOracle.MeanAccuracyPct(), rMix.MeanAccuracyPct())
+	}
+	// All four approaches deliver the same number of warm starts in the
+	// motivation study; with identical windows that holds exactly.
+	if rHi.WarmStarts != rLo.WarmStarts || rHi.WarmStarts != rMix.WarmStarts || rHi.WarmStarts != rOracle.WarmStarts {
+		t.Errorf("warm starts differ: hi=%d lo=%d mix=%d oracle=%d",
+			rHi.WarmStarts, rLo.WarmStarts, rMix.WarmStarts, rOracle.WarmStarts)
+	}
+}

@@ -1,0 +1,302 @@
+// Package predict implements the state-of-the-art serverless warm-up
+// strategies the paper integrates PULSE with:
+//
+//   - Serverless in the Wild [Shahrad et al., ATC'20]: a hybrid
+//     inter-arrival histogram with percentile pre-warm/keep-alive windows,
+//     falling back to an ARIMA forecast for heavy-tailed functions;
+//   - IceBreaker [Roy et al., ASPLOS'22]: an FFT-based invocation forecast
+//     (single node class per the PULSE methodology, so no node-selection
+//     utility function).
+//
+// Both are exposed as Warmers (deciding *when* a function should be warm)
+// and wrapped into cluster policies either standalone (always the
+// high-quality variant, as the originals are model-variant-unaware) or
+// integrated with PULSE's function-centric and global optimization, which
+// is the Figure 8 experiment.
+package predict
+
+import (
+	"fmt"
+	"math"
+)
+
+// ARIMA is an ARIMA(p,d,q) model fit by the Hannan–Rissanen procedure:
+// a long autoregression estimates the innovations, then the AR and MA
+// coefficients come from one least-squares regression on lagged values and
+// lagged innovations. This is the classical two-stage estimator; it needs
+// no numerical optimizer and is deterministic.
+type ARIMA struct {
+	P, D, Q   int
+	Phi       []float64 // AR coefficients φ₁..φ_p
+	Theta     []float64 // MA coefficients θ₁..θ_q
+	Intercept float64
+
+	diffed []float64 // differenced series the model was fit on
+	resid  []float64 // in-sample innovations (aligned with diffed)
+	orig   []float64 // original series tail needed to undifference forecasts
+}
+
+// FitARIMA fits an ARIMA(p,d,q) model to the series. The series must be
+// long enough to support the requested orders.
+func FitARIMA(series []float64, p, d, q int) (*ARIMA, error) {
+	if p < 0 || d < 0 || q < 0 {
+		return nil, fmt.Errorf("predict: negative ARIMA order (%d,%d,%d)", p, d, q)
+	}
+	if p == 0 && q == 0 {
+		return nil, fmt.Errorf("predict: ARIMA needs p+q ≥ 1")
+	}
+	w := difference(series, d)
+	// The long-AR stage needs max(20, p+q+5) lags of headroom.
+	longOrder := p + q + 5
+	if longOrder < 8 {
+		longOrder = 8
+	}
+	minLen := longOrder + p + q + 10
+	if len(w) < minLen {
+		return nil, fmt.Errorf("predict: series of %d too short for ARIMA(%d,%d,%d), need ≥ %d after differencing",
+			len(series), p, d, q, minLen+d)
+	}
+
+	m := &ARIMA{P: p, D: d, Q: q, diffed: w}
+	m.orig = append([]float64(nil), series...)
+
+	// Stage 1: long autoregression to estimate innovations.
+	longPhi, longIntercept, err := fitAR(w, longOrder)
+	if err != nil {
+		return nil, err
+	}
+	resid := make([]float64, len(w))
+	for t := longOrder; t < len(w); t++ {
+		pred := longIntercept
+		for k := 0; k < longOrder; k++ {
+			pred += longPhi[k] * w[t-1-k]
+		}
+		resid[t] = w[t] - pred
+	}
+	m.resid = resid
+
+	// Stage 2: regress w_t on its p lags and q lagged innovations.
+	start := longOrder + max(p, q)
+	rows := len(w) - start
+	cols := 1 + p + q
+	x := make([][]float64, rows)
+	y := make([]float64, rows)
+	for i := 0; i < rows; i++ {
+		t := start + i
+		row := make([]float64, cols)
+		row[0] = 1
+		for k := 0; k < p; k++ {
+			row[1+k] = w[t-1-k]
+		}
+		for k := 0; k < q; k++ {
+			row[1+p+k] = resid[t-1-k]
+		}
+		x[i] = row
+		y[i] = w[t]
+	}
+	beta, err := leastSquares(x, y)
+	if err != nil {
+		return nil, fmt.Errorf("predict: ARIMA stage-2 regression: %w", err)
+	}
+	m.Intercept = beta[0]
+	m.Phi = beta[1 : 1+p]
+	m.Theta = beta[1+p:]
+	return m, nil
+}
+
+// Forecast extrapolates h steps beyond the fitted series, undoing the
+// differencing so forecasts are on the original scale.
+func (m *ARIMA) Forecast(h int) ([]float64, error) {
+	if h < 0 {
+		return nil, fmt.Errorf("predict: negative horizon %d", h)
+	}
+	w := m.diffed
+	resid := m.resid
+	// Extended differenced series; future innovations are zero in
+	// expectation.
+	ext := append([]float64(nil), w...)
+	extResid := append([]float64(nil), resid...)
+	for step := 0; step < h; step++ {
+		t := len(ext)
+		pred := m.Intercept
+		for k := 0; k < m.P; k++ {
+			idx := t - 1 - k
+			if idx >= 0 {
+				pred += m.Phi[k] * ext[idx]
+			}
+		}
+		for k := 0; k < m.Q; k++ {
+			idx := t - 1 - k
+			if idx >= 0 {
+				pred += m.Theta[k] * extResid[idx]
+			}
+		}
+		ext = append(ext, pred)
+		extResid = append(extResid, 0)
+	}
+	// Undifference the forecast tail d times against the original series.
+	fc := ext[len(w):]
+	return undifference(fc, m.orig, m.D), nil
+}
+
+// difference applies the d-th order difference to the series.
+func difference(series []float64, d int) []float64 {
+	w := append([]float64(nil), series...)
+	for i := 0; i < d; i++ {
+		if len(w) < 2 {
+			return nil
+		}
+		next := make([]float64, len(w)-1)
+		for t := 1; t < len(w); t++ {
+			next[t-1] = w[t] - w[t-1]
+		}
+		w = next
+	}
+	return w
+}
+
+// undifference integrates a forecast of the d-times-differenced series back
+// to the original scale, using the tail of the original series as the
+// integration constants.
+func undifference(fc []float64, orig []float64, d int) []float64 {
+	if d == 0 {
+		return append([]float64(nil), fc...)
+	}
+	// Build the ladder of last values at each differencing level.
+	levels := make([][]float64, d+1)
+	levels[0] = orig
+	for i := 1; i <= d; i++ {
+		levels[i] = difference(orig, i)
+	}
+	last := make([]float64, d+1) // last[i] = final value at difference level i
+	for i := 0; i <= d; i++ {
+		if len(levels[i]) == 0 {
+			last[i] = 0
+		} else {
+			last[i] = levels[i][len(levels[i])-1]
+		}
+	}
+	out := make([]float64, len(fc))
+	for step, v := range fc {
+		// v is the next value at level d; integrate up to level 0.
+		for lvl := d - 1; lvl >= 0; lvl-- {
+			v = last[lvl] + v
+			last[lvl] = v
+		}
+		out[step] = v
+	}
+	return out
+}
+
+// fitAR fits an AR(k) model with intercept by least squares.
+func fitAR(w []float64, k int) (phi []float64, intercept float64, err error) {
+	if len(w) <= k+1 {
+		return nil, 0, fmt.Errorf("predict: series too short for AR(%d)", k)
+	}
+	rows := len(w) - k
+	x := make([][]float64, rows)
+	y := make([]float64, rows)
+	for i := 0; i < rows; i++ {
+		t := k + i
+		row := make([]float64, k+1)
+		row[0] = 1
+		for j := 0; j < k; j++ {
+			row[1+j] = w[t-1-j]
+		}
+		x[i] = row
+		y[i] = w[t]
+	}
+	beta, err := leastSquares(x, y)
+	if err != nil {
+		return nil, 0, fmt.Errorf("predict: AR(%d) regression: %w", k, err)
+	}
+	return beta[1:], beta[0], nil
+}
+
+// leastSquares solves min ‖Xβ − y‖² via the normal equations with partial
+// pivoting. Rank-deficient designs get a tiny ridge to stay solvable (the
+// workload series this package sees are frequently constant over stretches).
+func leastSquares(x [][]float64, y []float64) ([]float64, error) {
+	if len(x) == 0 || len(x) != len(y) {
+		return nil, fmt.Errorf("predict: bad regression shape %d×? vs %d", len(x), len(y))
+	}
+	n := len(x[0])
+	if len(x) < n {
+		return nil, fmt.Errorf("predict: underdetermined regression: %d rows, %d cols", len(x), n)
+	}
+	// Form XᵀX and Xᵀy.
+	a := make([][]float64, n)
+	b := make([]float64, n)
+	for i := 0; i < n; i++ {
+		a[i] = make([]float64, n)
+	}
+	for r := range x {
+		if len(x[r]) != n {
+			return nil, fmt.Errorf("predict: ragged design matrix")
+		}
+		for i := 0; i < n; i++ {
+			b[i] += x[r][i] * y[r]
+			for j := i; j < n; j++ {
+				a[i][j] += x[r][i] * x[r][j]
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < i; j++ {
+			a[i][j] = a[j][i]
+		}
+		a[i][i] += 1e-9 // ridge for rank deficiency
+	}
+	return solveLinear(a, b)
+}
+
+// solveLinear solves a·x = b by Gaussian elimination with partial pivoting.
+// a and b are modified.
+func solveLinear(a [][]float64, b []float64) ([]float64, error) {
+	n := len(a)
+	if n == 0 || len(b) != n {
+		return nil, fmt.Errorf("predict: bad linear system shape")
+	}
+	for col := 0; col < n; col++ {
+		// Pivot.
+		pivot := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(a[r][col]) > math.Abs(a[pivot][col]) {
+				pivot = r
+			}
+		}
+		if math.Abs(a[pivot][col]) < 1e-14 {
+			return nil, fmt.Errorf("predict: singular system at column %d", col)
+		}
+		a[col], a[pivot] = a[pivot], a[col]
+		b[col], b[pivot] = b[pivot], b[col]
+		// Eliminate below.
+		for r := col + 1; r < n; r++ {
+			f := a[r][col] / a[col][col]
+			if f == 0 {
+				continue
+			}
+			for c := col; c < n; c++ {
+				a[r][c] -= f * a[col][c]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	// Back-substitute.
+	xs := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := b[i]
+		for j := i + 1; j < n; j++ {
+			s -= a[i][j] * xs[j]
+		}
+		xs[i] = s / a[i][i]
+	}
+	return xs, nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,177 @@
+package predict
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestFitARIMAValidation(t *testing.T) {
+	series := make([]float64, 100)
+	if _, err := FitARIMA(series, -1, 0, 1); err == nil {
+		t.Error("negative order accepted")
+	}
+	if _, err := FitARIMA(series, 0, 0, 0); err == nil {
+		t.Error("p=q=0 accepted")
+	}
+	if _, err := FitARIMA(make([]float64, 5), 2, 0, 1); err == nil {
+		t.Error("too-short series accepted")
+	}
+}
+
+func TestARRecoversCoefficients(t *testing.T) {
+	// Simulate AR(2): x_t = 0.6 x_{t-1} − 0.2 x_{t-2} + ε.
+	rng := rand.New(rand.NewSource(1))
+	n := 4000
+	x := make([]float64, n)
+	for tt := 2; tt < n; tt++ {
+		x[tt] = 0.6*x[tt-1] - 0.2*x[tt-2] + rng.NormFloat64()
+	}
+	m, err := FitARIMA(x, 2, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Phi[0]-0.6) > 0.1 {
+		t.Errorf("phi1 = %v, want ≈0.6", m.Phi[0])
+	}
+	if math.Abs(m.Phi[1]+0.2) > 0.1 {
+		t.Errorf("phi2 = %v, want ≈−0.2", m.Phi[1])
+	}
+}
+
+func TestARIMAForecastTrend(t *testing.T) {
+	// Linear trend: first difference is constant, so ARIMA(1,1,1) should
+	// continue the trend closely.
+	n := 120
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = 5 + 2*float64(i)
+	}
+	m, err := FitARIMA(x, 1, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc, err := m.Forecast(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range fc {
+		want := 5 + 2*float64(n+i)
+		if math.Abs(v-want) > 2 {
+			t.Errorf("forecast[%d] = %v, want ≈%v", i, v, want)
+		}
+	}
+}
+
+func TestARIMAForecastMeanReversion(t *testing.T) {
+	// Stationary AR(1) around mean 10: long-horizon forecasts approach 10.
+	rng := rand.New(rand.NewSource(3))
+	n := 2000
+	x := make([]float64, n)
+	x[0] = 10
+	for tt := 1; tt < n; tt++ {
+		x[tt] = 10 + 0.5*(x[tt-1]-10) + 0.2*rng.NormFloat64()
+	}
+	m, err := FitARIMA(x, 1, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc, err := m.Forecast(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fc[49]-10) > 1 {
+		t.Errorf("long-horizon forecast = %v, want ≈10", fc[49])
+	}
+	if _, err := m.Forecast(-1); err == nil {
+		t.Error("negative horizon accepted")
+	}
+	if fc, err := m.Forecast(0); err != nil || len(fc) != 0 {
+		t.Error("zero horizon should return empty forecast")
+	}
+}
+
+func TestDifferenceUndifferenceRoundTrip(t *testing.T) {
+	x := []float64{3, 1, 4, 1, 5, 9, 2, 6}
+	for d := 0; d <= 2; d++ {
+		w := difference(x, d)
+		if len(w) != len(x)-d {
+			t.Fatalf("d=%d: differenced length %d", d, len(w))
+		}
+	}
+	// Undifferencing the true future differences reproduces the future.
+	full := []float64{1, 4, 9, 16, 25, 36, 49}
+	hist := full[:5]
+	for d := 0; d <= 2; d++ {
+		wFull := difference(full, d)
+		wHist := difference(hist, d)
+		futureDiffs := wFull[len(wHist):]
+		got := undifference(futureDiffs, hist, d)
+		want := full[5:]
+		if len(got) != len(want) {
+			t.Fatalf("d=%d: got %d values", d, len(got))
+		}
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-9 {
+				t.Errorf("d=%d: undiff[%d] = %v, want %v", d, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestSolveLinear(t *testing.T) {
+	a := [][]float64{{2, 1}, {1, 3}}
+	b := []float64{5, 10}
+	xs, err := solveLinear(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(xs[0]-1) > 1e-9 || math.Abs(xs[1]-3) > 1e-9 {
+		t.Errorf("solution = %v, want [1 3]", xs)
+	}
+	// Singular system.
+	if _, err := solveLinear([][]float64{{1, 1}, {1, 1}}, []float64{1, 2}); err == nil {
+		t.Error("singular system accepted")
+	}
+	if _, err := solveLinear(nil, nil); err == nil {
+		t.Error("empty system accepted")
+	}
+}
+
+func TestLeastSquaresFitsLine(t *testing.T) {
+	// y = 3 + 2x exactly.
+	var x [][]float64
+	var y []float64
+	for i := 0; i < 10; i++ {
+		x = append(x, []float64{1, float64(i)})
+		y = append(y, 3+2*float64(i))
+	}
+	beta, err := leastSquares(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(beta[0]-3) > 1e-6 || math.Abs(beta[1]-2) > 1e-6 {
+		t.Errorf("beta = %v, want [3 2]", beta)
+	}
+	if _, err := leastSquares([][]float64{{1, 2}}, []float64{1}); err == nil {
+		t.Error("underdetermined system accepted")
+	}
+	if _, err := leastSquares([][]float64{{1}, {1, 2}}, []float64{1, 2}); err == nil {
+		t.Error("ragged design accepted")
+	}
+}
+
+func BenchmarkFitARIMA(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := make([]float64, 256)
+	for i := 1; i < len(x); i++ {
+		x[i] = 0.7*x[i-1] + rng.NormFloat64()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := FitARIMA(x, 2, 1, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,53 @@
+package predict_test
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/pulse-serverless/pulse/internal/predict"
+)
+
+// ExampleFitARIMA fits an ARIMA model to a trending series and forecasts
+// ahead — the path Serverless-in-the-Wild takes for heavy-tailed functions.
+func ExampleFitARIMA() {
+	// Inter-arrival gaps drifting upward.
+	series := make([]float64, 80)
+	for i := range series {
+		series[i] = 10 + float64(i)/4
+	}
+	m, err := predict.FitARIMA(series, 1, 1, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fc, err := m.Forecast(2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("next gaps ≈ %.0f, %.0f minutes\n", fc[0], fc[1])
+	// Output:
+	// next gaps ≈ 30, 30 minutes
+}
+
+// ExampleWild shows the hybrid-histogram warm window: after enough regular
+// history, the warmer pre-warms exactly around the predicted arrival
+// instead of holding the container for a blanket 10 minutes.
+func ExampleWild() {
+	cfg := predict.DefaultWildConfig()
+	cfg.MinObservations = 5
+	w, err := predict.NewWild(1, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Invocations every 20 minutes.
+	for t := 0; t <= 200; t += 20 {
+		w.Record(t, 0, 1)
+	}
+	lo, hi, _ := w.WindowFor(0)
+	fmt.Printf("after invocation at 200: warm window [%d, %d]\n", lo, hi)
+	fmt.Println("warm at 210:", w.WantWarm(210, 0))
+	fmt.Println("warm at 220:", w.WantWarm(220, 0))
+	// Output:
+	// after invocation at 200: warm window [220, 220]
+	// warm at 210: false
+	// warm at 220: true
+}

@@ -1,0 +1,131 @@
+package predict
+
+import (
+	"fmt"
+	"math"
+)
+
+// HoltWinters implements additive triple exponential smoothing — level,
+// trend, and a daily seasonal profile — over per-minute invocation counts.
+// It is not one of the paper's two comparison techniques; it is the
+// "different keep-alive durations / other predictors" extension the paper's
+// discussion invites, and slots into the same Warmer interface so it can be
+// evaluated standalone or PULSE-integrated like Wild and IceBreaker.
+type HoltWinters struct {
+	cfg     HWConfig
+	level   []float64
+	trend   []float64
+	season  [][]float64 // per function: one slot per minute of the season
+	seen    []int       // samples observed per function
+	lastInv []int
+}
+
+// HWConfig parameterizes the smoother.
+type HWConfig struct {
+	// Alpha, Beta, Gamma are the level, trend, and seasonal smoothing
+	// factors, each in (0, 1).
+	Alpha, Beta, Gamma float64
+	// SeasonLength is the seasonal period in minutes (default one day).
+	SeasonLength int
+	// ActivationThreshold pre-warms a function when its one-step forecast
+	// is at or above it.
+	ActivationThreshold float64
+	// PostInvocationWindow keeps a function warm this many minutes after
+	// an actual invocation, covering forecast misses.
+	PostInvocationWindow int
+}
+
+// DefaultHWConfig returns working defaults for minute-resolution traces.
+func DefaultHWConfig() HWConfig {
+	return HWConfig{
+		Alpha:                0.3,
+		Beta:                 0.05,
+		Gamma:                0.2,
+		SeasonLength:         24 * 60,
+		ActivationThreshold:  0.5,
+		PostInvocationWindow: 3,
+	}
+}
+
+// NewHoltWinters builds the warmer for nFunctions functions.
+func NewHoltWinters(nFunctions int, cfg HWConfig) (*HoltWinters, error) {
+	if nFunctions <= 0 {
+		return nil, fmt.Errorf("predict: need ≥1 function, got %d", nFunctions)
+	}
+	for name, v := range map[string]float64{"alpha": cfg.Alpha, "beta": cfg.Beta, "gamma": cfg.Gamma} {
+		if v <= 0 || v >= 1 {
+			return nil, fmt.Errorf("predict: %s %v outside (0,1)", name, v)
+		}
+	}
+	if cfg.SeasonLength < 2 {
+		return nil, fmt.Errorf("predict: season length %d too short", cfg.SeasonLength)
+	}
+	if cfg.ActivationThreshold <= 0 {
+		return nil, fmt.Errorf("predict: non-positive activation threshold %v", cfg.ActivationThreshold)
+	}
+	if cfg.PostInvocationWindow < 0 {
+		return nil, fmt.Errorf("predict: negative post-invocation window")
+	}
+	hw := &HoltWinters{
+		cfg:     cfg,
+		level:   make([]float64, nFunctions),
+		trend:   make([]float64, nFunctions),
+		season:  make([][]float64, nFunctions),
+		seen:    make([]int, nFunctions),
+		lastInv: make([]int, nFunctions),
+	}
+	for i := range hw.season {
+		hw.season[i] = make([]float64, cfg.SeasonLength)
+		hw.lastInv[i] = -1
+	}
+	return hw, nil
+}
+
+// Name implements Warmer.
+func (hw *HoltWinters) Name() string { return "holtwinters" }
+
+// Record implements Warmer: one observation per function per minute.
+func (hw *HoltWinters) Record(t, fn, count int) {
+	if fn < 0 || fn >= len(hw.level) {
+		return
+	}
+	if count > 0 {
+		hw.lastInv[fn] = t
+	}
+	x := float64(count)
+	si := t % hw.cfg.SeasonLength
+	if hw.seen[fn] == 0 {
+		hw.level[fn] = x
+		hw.season[fn][si] = 0
+		hw.seen[fn]++
+		return
+	}
+	prevLevel := hw.level[fn]
+	seas := hw.season[fn][si]
+	hw.level[fn] = hw.cfg.Alpha*(x-seas) + (1-hw.cfg.Alpha)*(prevLevel+hw.trend[fn])
+	hw.trend[fn] = hw.cfg.Beta*(hw.level[fn]-prevLevel) + (1-hw.cfg.Beta)*hw.trend[fn]
+	hw.season[fn][si] = hw.cfg.Gamma*(x-hw.level[fn]) + (1-hw.cfg.Gamma)*seas
+	hw.seen[fn]++
+}
+
+// Forecast returns the expected invocation count of fn at absolute minute
+// t (clamped at zero), assuming observations have been recorded up to some
+// minute before t.
+func (hw *HoltWinters) Forecast(t, fn int) float64 {
+	if fn < 0 || fn >= len(hw.level) || hw.seen[fn] == 0 {
+		return 0
+	}
+	v := hw.level[fn] + hw.trend[fn] + hw.season[fn][t%hw.cfg.SeasonLength]
+	return math.Max(0, v)
+}
+
+// WantWarm implements Warmer.
+func (hw *HoltWinters) WantWarm(t, fn int) bool {
+	if fn < 0 || fn >= len(hw.level) {
+		return false
+	}
+	if last := hw.lastInv[fn]; last >= 0 && t > last && t-last <= hw.cfg.PostInvocationWindow {
+		return true
+	}
+	return hw.Forecast(t, fn) >= hw.cfg.ActivationThreshold
+}

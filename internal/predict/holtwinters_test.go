@@ -1,0 +1,167 @@
+package predict
+
+import (
+	"testing"
+
+	"github.com/pulse-serverless/pulse/internal/cluster"
+	"github.com/pulse-serverless/pulse/internal/models"
+	"github.com/pulse-serverless/pulse/internal/trace"
+)
+
+func TestNewHoltWintersValidation(t *testing.T) {
+	cfg := DefaultHWConfig()
+	if _, err := NewHoltWinters(0, cfg); err == nil {
+		t.Error("zero functions accepted")
+	}
+	for _, mut := range []func(*HWConfig){
+		func(c *HWConfig) { c.Alpha = 0 },
+		func(c *HWConfig) { c.Alpha = 1 },
+		func(c *HWConfig) { c.Beta = -0.1 },
+		func(c *HWConfig) { c.Gamma = 1.5 },
+		func(c *HWConfig) { c.SeasonLength = 1 },
+		func(c *HWConfig) { c.ActivationThreshold = 0 },
+		func(c *HWConfig) { c.PostInvocationWindow = -1 },
+	} {
+		bad := DefaultHWConfig()
+		mut(&bad)
+		if _, err := NewHoltWinters(1, bad); err == nil {
+			t.Errorf("bad config accepted: %+v", bad)
+		}
+	}
+}
+
+func TestHoltWintersLearnsSeasonalPattern(t *testing.T) {
+	cfg := DefaultHWConfig()
+	cfg.SeasonLength = 60 // one-hour "day" keeps the test small
+	cfg.PostInvocationWindow = 0
+	hw, err := NewHoltWinters(1, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bursts of 3 at minute 30 of every hour, across 30 "days".
+	for tt := 0; tt < 30*60; tt++ {
+		c := 0
+		if tt%60 == 30 {
+			c = 3
+		}
+		hw.Record(tt, 0, c)
+	}
+	next := 30 * 60
+	atBurst := hw.Forecast(next+30-(next%60), 0) // the next minute-30 slot
+	quiet := hw.Forecast(next+10-(next%60), 0)
+	if atBurst < 1 {
+		t.Errorf("forecast at burst slot = %v, want ≥1", atBurst)
+	}
+	if quiet > 0.4 {
+		t.Errorf("forecast at quiet slot = %v, want near 0", quiet)
+	}
+	if !hw.WantWarm(next+30, 0) {
+		t.Error("not warm at predicted burst slot")
+	}
+	if hw.WantWarm(next+10, 0) {
+		t.Error("warm at quiet slot")
+	}
+}
+
+func TestHoltWintersPostInvocationWindow(t *testing.T) {
+	cfg := DefaultHWConfig()
+	cfg.PostInvocationWindow = 2
+	hw, err := NewHoltWinters(1, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tt := 0; tt < 10; tt++ {
+		hw.Record(tt, 0, 0)
+	}
+	hw.Record(10, 0, 1)
+	if !hw.WantWarm(11, 0) || !hw.WantWarm(12, 0) {
+		t.Error("post-invocation window not honored")
+	}
+	if hw.WantWarm(10, 0) {
+		t.Error("warm at the invocation minute itself (t > last required)")
+	}
+}
+
+func TestHoltWintersBounds(t *testing.T) {
+	hw, err := NewHoltWinters(2, DefaultHWConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Out-of-range functions are ignored, never panic.
+	hw.Record(0, -1, 5)
+	hw.Record(0, 9, 5)
+	if hw.Forecast(0, 9) != 0 || hw.Forecast(0, -1) != 0 {
+		t.Error("unknown function forecast nonzero")
+	}
+	if hw.WantWarm(0, 9) {
+		t.Error("unknown function warm")
+	}
+	// Forecast before any observation is zero.
+	if hw.Forecast(5, 0) != 0 {
+		t.Error("forecast before data nonzero")
+	}
+	// Forecasts are never negative even with decaying trends.
+	for tt := 0; tt < 100; tt++ {
+		c := 10 - tt/10
+		if c < 0 {
+			c = 0
+		}
+		hw.Record(tt, 0, c)
+	}
+	for tt := 100; tt < 200; tt++ {
+		if hw.Forecast(tt, 0) < 0 {
+			t.Fatalf("negative forecast at %d", tt)
+		}
+	}
+}
+
+// Holt-Winters as a full policy: standalone and PULSE-integrated runs
+// complete, and the integration reduces keep-alive cost.
+func TestHoltWintersEndToEnd(t *testing.T) {
+	tr, err := trace.Generate(trace.GeneratorConfig{Seed: 88, Horizon: 2 * trace.MinutesPerDay})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat := models.PaperCatalog()
+	asg := make(models.Assignment, len(tr.Functions))
+	for i := range asg {
+		asg[i] = i % len(cat.Families)
+	}
+	cfg := cluster.Config{Trace: tr, Catalog: cat, Assignment: asg, Cost: cluster.DefaultCostModel()}
+
+	hw1, err := NewHoltWinters(len(asg), DefaultHWConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	standalone, err := NewStandalonePolicy(hw1, cat, asg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rStandalone, err := cluster.Run(cfg, standalone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rStandalone.Invocations == 0 || rStandalone.WarmStarts == 0 {
+		t.Fatal("standalone Holt-Winters produced no activity")
+	}
+
+	hw2, err := NewHoltWinters(len(asg), DefaultHWConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	integrated, err := NewIntegratedPolicy(hw2, cat, asg, IntegratedConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if integrated.Name() != "holtwinters+pulse" {
+		t.Errorf("name = %q", integrated.Name())
+	}
+	rIntegrated, err := cluster.Run(cfg, integrated)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rIntegrated.KeepAliveCostUSD >= rStandalone.KeepAliveCostUSD {
+		t.Errorf("integration did not reduce cost: %v vs %v",
+			rIntegrated.KeepAliveCostUSD, rStandalone.KeepAliveCostUSD)
+	}
+}

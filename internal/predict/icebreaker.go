@@ -1,0 +1,178 @@
+package predict
+
+import (
+	"fmt"
+
+	"github.com/pulse-serverless/pulse/internal/fft"
+)
+
+// IceBreakerConfig parameterizes the FFT-based warmer.
+type IceBreakerConfig struct {
+	// HistoryMinutes is the sliding observation window the spectrum is
+	// computed over (default: one day at minute resolution).
+	HistoryMinutes int
+	// RefitInterval is how often (minutes) the harmonic model is refit.
+	RefitInterval int
+	// TopHarmonics bounds how many dominant harmonics are kept.
+	TopHarmonics int
+	// ActivationThreshold is the forecast invocation count above which the
+	// function is predicted active and pre-warmed.
+	ActivationThreshold float64
+	// PostInvocationWindow keeps a function warm this many minutes after
+	// an actual (possibly unpredicted) invocation, covering forecast
+	// misses.
+	PostInvocationWindow int
+	// WarmupMinutes sometimes historians call "fencing": the model warms a
+	// function this many minutes before each predicted-active minute so
+	// the container is ready when the invocation lands.
+	WarmupMinutes int
+}
+
+// DefaultIceBreakerConfig returns working defaults for minute-resolution
+// traces.
+func DefaultIceBreakerConfig() IceBreakerConfig {
+	return IceBreakerConfig{
+		HistoryMinutes:       24 * 60,
+		RefitInterval:        60,
+		TopHarmonics:         8,
+		ActivationThreshold:  0.5,
+		PostInvocationWindow: 3,
+		WarmupMinutes:        1,
+	}
+}
+
+// IceBreaker implements the FFT warmer: per function it maintains the
+// recent invocation-count series, periodically extracts the dominant
+// harmonics, and pre-warms the function during minutes where the harmonic
+// extrapolation predicts invocations. A short post-invocation window covers
+// forecast misses. Node heterogeneity (IceBreaker's utility function) is
+// out of scope per the paper's methodology ("we used only one type of node
+// … eliminating the need for utility function computation").
+type IceBreaker struct {
+	cfg      IceBreakerConfig
+	counts   [][]float64 // ring of recent per-minute counts, per function
+	head     []int       // next write index into the ring
+	filled   []bool      // ring has wrapped at least once
+	lastInv  []int
+	forecast [][]float64 // predicted counts for [fitMinute+1, fitMinute+RefitInterval]
+	fitAt    []int       // minute the current forecast was produced
+}
+
+// NewIceBreaker builds the warmer for nFunctions functions.
+func NewIceBreaker(nFunctions int, cfg IceBreakerConfig) (*IceBreaker, error) {
+	if nFunctions <= 0 {
+		return nil, fmt.Errorf("predict: need ≥1 function, got %d", nFunctions)
+	}
+	if cfg.HistoryMinutes < 16 {
+		return nil, fmt.Errorf("predict: history of %d minutes too short for spectral analysis", cfg.HistoryMinutes)
+	}
+	if cfg.RefitInterval <= 0 {
+		return nil, fmt.Errorf("predict: non-positive refit interval %d", cfg.RefitInterval)
+	}
+	if cfg.ActivationThreshold <= 0 {
+		return nil, fmt.Errorf("predict: non-positive activation threshold %v", cfg.ActivationThreshold)
+	}
+	if cfg.PostInvocationWindow < 0 || cfg.WarmupMinutes < 0 {
+		return nil, fmt.Errorf("predict: negative window in config")
+	}
+	ib := &IceBreaker{
+		cfg:      cfg,
+		counts:   make([][]float64, nFunctions),
+		head:     make([]int, nFunctions),
+		filled:   make([]bool, nFunctions),
+		lastInv:  make([]int, nFunctions),
+		forecast: make([][]float64, nFunctions),
+		fitAt:    make([]int, nFunctions),
+	}
+	for i := range ib.counts {
+		ib.counts[i] = make([]float64, cfg.HistoryMinutes)
+		ib.lastInv[i] = -1
+		ib.fitAt[i] = -1
+	}
+	return ib, nil
+}
+
+// Name implements Warmer.
+func (ib *IceBreaker) Name() string { return "icebreaker" }
+
+// Record implements Warmer. It must be called once per function per minute
+// (count may be zero) so the count series stays dense; the policy wrappers
+// guarantee that.
+func (ib *IceBreaker) Record(t, fn, count int) {
+	if fn < 0 || fn >= len(ib.counts) {
+		return
+	}
+	ring := ib.counts[fn]
+	ring[ib.head[fn]] = float64(count)
+	ib.head[fn]++
+	if ib.head[fn] == len(ring) {
+		ib.head[fn] = 0
+		ib.filled[fn] = true
+	}
+	if count > 0 {
+		ib.lastInv[fn] = t
+	}
+	// Refit the harmonic model on schedule once the ring has data.
+	if ib.fitAt[fn] < 0 || t-ib.fitAt[fn] >= ib.cfg.RefitInterval {
+		ib.refit(t, fn)
+	}
+}
+
+// refit recomputes the harmonic forecast for fn at minute t.
+func (ib *IceBreaker) refit(t, fn int) {
+	series := ib.series(fn)
+	if len(series) < 16 {
+		return
+	}
+	mean, hs := fft.Spectrum(series)
+	fc, err := fft.Extrapolate(mean, hs, len(series), ib.cfg.RefitInterval+ib.cfg.WarmupMinutes+1, ib.cfg.TopHarmonics)
+	if err != nil {
+		return
+	}
+	ib.forecast[fn] = fc
+	ib.fitAt[fn] = t
+}
+
+// series returns the dense recent count series, oldest first.
+func (ib *IceBreaker) series(fn int) []float64 {
+	ring := ib.counts[fn]
+	if !ib.filled[fn] {
+		return ring[:ib.head[fn]]
+	}
+	out := make([]float64, len(ring))
+	n := copy(out, ring[ib.head[fn]:])
+	copy(out[n:], ring[:ib.head[fn]])
+	return out
+}
+
+// predictedCount returns the forecast invocation count at absolute minute
+// t, or 0 when no forecast covers it.
+func (ib *IceBreaker) predictedCount(t, fn int) float64 {
+	fc := ib.forecast[fn]
+	if fc == nil || ib.fitAt[fn] < 0 {
+		return 0
+	}
+	idx := t - ib.fitAt[fn] - 1
+	if idx < 0 || idx >= len(fc) {
+		return 0
+	}
+	return fc[idx]
+}
+
+// WantWarm implements Warmer: warm when the harmonic forecast predicts
+// activity at t (or within the warm-up lead), or within the short window
+// after an actual invocation.
+func (ib *IceBreaker) WantWarm(t, fn int) bool {
+	if fn < 0 || fn >= len(ib.counts) {
+		return false
+	}
+	if last := ib.lastInv[fn]; last >= 0 && t-last <= ib.cfg.PostInvocationWindow && t > last {
+		return true
+	}
+	for lead := 0; lead <= ib.cfg.WarmupMinutes; lead++ {
+		if ib.predictedCount(t+lead, fn) >= ib.cfg.ActivationThreshold {
+			return true
+		}
+	}
+	return false
+}

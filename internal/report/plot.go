@@ -1,0 +1,189 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Plot renders numeric series as a character-cell line/scatter chart — the
+// terminal stand-in for the paper's matplotlib figures. Multiple series
+// share axes; each gets its own glyph.
+type Plot struct {
+	Title         string
+	Width, Height int // character cells for the plot area
+	XLabel        string
+	YLabel        string
+
+	series []plotSeries
+}
+
+type plotSeries struct {
+	name  string
+	glyph rune
+	xs    []float64
+	ys    []float64
+}
+
+// seriesGlyphs are assigned to series in order.
+var seriesGlyphs = []rune{'*', 'o', '+', 'x', '#', '@'}
+
+// NewPlot creates a plot with the given cell dimensions (minimums are
+// enforced so axes always fit).
+func NewPlot(title string, width, height int) *Plot {
+	if width < 20 {
+		width = 20
+	}
+	if height < 5 {
+		height = 5
+	}
+	return &Plot{Title: title, Width: width, Height: height}
+}
+
+// AddSeries adds a named series of (x, y) points. Lengths must match and be
+// non-empty; non-finite values are rejected.
+func (p *Plot) AddSeries(name string, xs, ys []float64) error {
+	if len(xs) == 0 || len(xs) != len(ys) {
+		return fmt.Errorf("report: series %q has %d xs and %d ys", name, len(xs), len(ys))
+	}
+	for i := range xs {
+		if math.IsNaN(xs[i]) || math.IsInf(xs[i], 0) || math.IsNaN(ys[i]) || math.IsInf(ys[i], 0) {
+			return fmt.Errorf("report: series %q has non-finite point at %d", name, i)
+		}
+	}
+	glyph := seriesGlyphs[len(p.series)%len(seriesGlyphs)]
+	p.series = append(p.series, plotSeries{name: name, glyph: glyph, xs: xs, ys: ys})
+	return nil
+}
+
+// AddLine adds a series whose x-values are the indices 0..len-1.
+func (p *Plot) AddLine(name string, ys []float64) error {
+	xs := make([]float64, len(ys))
+	for i := range xs {
+		xs[i] = float64(i)
+	}
+	return p.AddSeries(name, xs, ys)
+}
+
+// Render draws the plot. It fails on an empty plot.
+func (p *Plot) Render(w io.Writer) error {
+	if len(p.series) == 0 {
+		return fmt.Errorf("report: plot %q has no series", p.Title)
+	}
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	for _, s := range p.series {
+		for i := range s.xs {
+			xmin = math.Min(xmin, s.xs[i])
+			xmax = math.Max(xmax, s.xs[i])
+			ymin = math.Min(ymin, s.ys[i])
+			ymax = math.Max(ymax, s.ys[i])
+		}
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+
+	grid := make([][]rune, p.Height)
+	for r := range grid {
+		grid[r] = make([]rune, p.Width)
+		for c := range grid[r] {
+			grid[r][c] = ' '
+		}
+	}
+	for _, s := range p.series {
+		for i := range s.xs {
+			col := int((s.xs[i] - xmin) / (xmax - xmin) * float64(p.Width-1))
+			row := p.Height - 1 - int((s.ys[i]-ymin)/(ymax-ymin)*float64(p.Height-1))
+			grid[row][col] = s.glyph
+		}
+	}
+
+	var b strings.Builder
+	if p.Title != "" {
+		fmt.Fprintf(&b, "%s\n", p.Title)
+	}
+	legend := make([]string, 0, len(p.series))
+	for _, s := range p.series {
+		legend = append(legend, fmt.Sprintf("%c %s", s.glyph, s.name))
+	}
+	fmt.Fprintf(&b, "[%s]\n", strings.Join(legend, "   "))
+
+	yTop := fmt.Sprintf("%.4g", ymax)
+	yBot := fmt.Sprintf("%.4g", ymin)
+	labelW := len(yTop)
+	if len(yBot) > labelW {
+		labelW = len(yBot)
+	}
+	for r := 0; r < p.Height; r++ {
+		label := strings.Repeat(" ", labelW)
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%*s", labelW, yTop)
+		case p.Height - 1:
+			label = fmt.Sprintf("%*s", labelW, yBot)
+		}
+		fmt.Fprintf(&b, "%s |%s\n", label, string(grid[r]))
+	}
+	fmt.Fprintf(&b, "%s +%s\n", strings.Repeat(" ", labelW), strings.Repeat("-", p.Width))
+	xTop := fmt.Sprintf("%.4g", xmin)
+	xEnd := fmt.Sprintf("%.4g", xmax)
+	pad := p.Width - len(xTop) - len(xEnd)
+	if pad < 1 {
+		pad = 1
+	}
+	fmt.Fprintf(&b, "%s  %s%s%s", strings.Repeat(" ", labelW), xTop, strings.Repeat(" ", pad), xEnd)
+	if p.XLabel != "" {
+		fmt.Fprintf(&b, "  (%s)", p.XLabel)
+	}
+	b.WriteByte('\n')
+	if p.YLabel != "" {
+		fmt.Fprintf(&b, "%s  y: %s\n", strings.Repeat(" ", labelW), p.YLabel)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// HistogramPlot renders bin counts as horizontal bars — the terminal
+// rendition of Figure 9(a)'s overhead distribution.
+func HistogramPlot(w io.Writer, title string, binLabels []string, counts []int, maxBar int) error {
+	if len(binLabels) != len(counts) {
+		return fmt.Errorf("report: %d labels for %d bins", len(binLabels), len(counts))
+	}
+	if maxBar < 10 {
+		maxBar = 40
+	}
+	peak := 0
+	labelW := 0
+	for i, c := range counts {
+		if c < 0 {
+			return fmt.Errorf("report: negative count %d in bin %d", c, i)
+		}
+		if c > peak {
+			peak = c
+		}
+		if len(binLabels[i]) > labelW {
+			labelW = len(binLabels[i])
+		}
+	}
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s\n", title)
+	}
+	for i, c := range counts {
+		bar := 0
+		if peak > 0 {
+			bar = c * maxBar / peak
+		}
+		if c > 0 && bar == 0 {
+			bar = 1
+		}
+		fmt.Fprintf(&b, "%*s | %s %d\n", labelW, binLabels[i], strings.Repeat("█", bar), c)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,124 @@
+package report
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestPlotBasics(t *testing.T) {
+	p := NewPlot("Demo", 40, 10)
+	if err := p.AddLine("rising", []float64{0, 1, 2, 3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddSeries("flat", []float64{0, 4}, []float64{2, 2}); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := p.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Demo", "* rising", "o flat", "|", "+"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Rising series: its glyph appears on multiple rows.
+	rows := 0
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "*") && strings.Contains(line, "|") {
+			rows++
+		}
+	}
+	if rows < 3 {
+		t.Errorf("rising series spans %d rows, want ≥3:\n%s", rows, out)
+	}
+}
+
+func TestPlotValidation(t *testing.T) {
+	p := NewPlot("x", 0, 0) // clamped to minimums
+	if p.Width < 20 || p.Height < 5 {
+		t.Errorf("minimums not enforced: %dx%d", p.Width, p.Height)
+	}
+	if err := p.AddSeries("bad", []float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if err := p.AddSeries("bad", nil, nil); err == nil {
+		t.Error("empty series accepted")
+	}
+	if err := p.AddSeries("bad", []float64{math.NaN()}, []float64{1}); err == nil {
+		t.Error("NaN accepted")
+	}
+	if err := p.AddSeries("bad", []float64{1}, []float64{math.Inf(1)}); err == nil {
+		t.Error("Inf accepted")
+	}
+	var sb strings.Builder
+	if err := p.Render(&sb); err == nil {
+		t.Error("empty plot rendered")
+	}
+}
+
+func TestPlotConstantSeries(t *testing.T) {
+	p := NewPlot("const", 30, 6)
+	if err := p.AddLine("c", []float64{5, 5, 5}); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := p.Render(&sb); err != nil {
+		t.Fatalf("constant series should render: %v", err)
+	}
+	if !strings.Contains(sb.String(), "*") {
+		t.Error("constant series lost its points")
+	}
+}
+
+func TestPlotLabels(t *testing.T) {
+	p := NewPlot("labeled", 30, 6)
+	p.XLabel = "minutes"
+	p.YLabel = "MB"
+	_ = p.AddLine("s", []float64{1, 2})
+	var sb strings.Builder
+	if err := p.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "(minutes)") || !strings.Contains(sb.String(), "y: MB") {
+		t.Errorf("labels missing:\n%s", sb.String())
+	}
+}
+
+func TestHistogramPlot(t *testing.T) {
+	var sb strings.Builder
+	err := HistogramPlot(&sb, "Overheads", []string{"1e-4", "1e-3", "1e-2"}, []int{5, 10, 1}, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "Overheads") {
+		t.Error("title missing")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	// The peak bin gets the longest bar; nonzero bins get at least one cell.
+	if strings.Count(lines[2], "█") != 20 {
+		t.Errorf("peak bar = %d cells, want 20", strings.Count(lines[2], "█"))
+	}
+	if strings.Count(lines[3], "█") < 1 {
+		t.Error("small nonzero bin lost its bar")
+	}
+}
+
+func TestHistogramPlotErrors(t *testing.T) {
+	if err := HistogramPlot(&strings.Builder{}, "", []string{"a"}, []int{1, 2}, 10); err == nil {
+		t.Error("label/count mismatch accepted")
+	}
+	if err := HistogramPlot(&strings.Builder{}, "", []string{"a"}, []int{-1}, 10); err == nil {
+		t.Error("negative count accepted")
+	}
+	// All-zero histogram renders without dividing by zero.
+	if err := HistogramPlot(&strings.Builder{}, "", []string{"a"}, []int{0}, 10); err != nil {
+		t.Errorf("zero histogram failed: %v", err)
+	}
+}

@@ -1,0 +1,146 @@
+package runtime
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"github.com/pulse-serverless/pulse/internal/cluster"
+)
+
+// API exposes a Runtime over HTTP — the integration surface an
+// OpenWhisk/Knative operator would script against:
+//
+//	POST /invoke?fn=N      run one invocation, returns the Invocation JSON
+//	GET  /stats            runtime counters
+//	GET  /functions        registered functions, their models and warm state
+//	GET  /healthz          liveness
+type API struct {
+	rt  *Runtime
+	mux *http.ServeMux
+}
+
+// NewAPI wraps a runtime in an HTTP handler.
+func NewAPI(rt *Runtime) (*API, error) {
+	if rt == nil {
+		return nil, fmt.Errorf("runtime: nil runtime")
+	}
+	a := &API{rt: rt, mux: http.NewServeMux()}
+	a.mux.HandleFunc("/invoke", a.handleInvoke)
+	a.mux.HandleFunc("/stats", a.handleStats)
+	a.mux.HandleFunc("/functions", a.handleFunctions)
+	a.mux.HandleFunc("/metrics", a.handleMetrics)
+	a.mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write([]byte("ok\n"))
+	})
+	return a, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (a *API) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	a.mux.ServeHTTP(w, r)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func (a *API) handleInvoke(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, apiError{"POST required"})
+		return
+	}
+	fnStr := r.URL.Query().Get("fn")
+	fn, err := strconv.Atoi(fnStr)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{fmt.Sprintf("bad fn %q", fnStr)})
+		return
+	}
+	inv, err := a.rt.Invoke(fn)
+	if err != nil {
+		writeJSON(w, http.StatusNotFound, apiError{err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, inv)
+}
+
+func (a *API) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeJSON(w, http.StatusMethodNotAllowed, apiError{"GET required"})
+		return
+	}
+	s := a.rt.Stats()
+	writeJSON(w, http.StatusOK, struct {
+		Stats
+		MeanAccuracyPct float64 `json:"MeanAccuracyPct"`
+	}{s, s.MeanAccuracyPct()})
+}
+
+// handleMetrics exposes the counters in the Prometheus text exposition
+// format so standard scrapers can monitor a pulsed deployment.
+func (a *API) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeJSON(w, http.StatusMethodNotAllowed, apiError{"GET required"})
+		return
+	}
+	s := a.rt.Stats()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	write := func(name, help, typ string, v float64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %g\n", name, help, name, typ, name, v)
+	}
+	write("pulse_invocations_total", "Invocations served.", "counter", float64(s.Invocations))
+	write("pulse_warm_starts_total", "Invocations served warm.", "counter", float64(s.WarmStarts))
+	write("pulse_cold_starts_total", "Invocations served cold.", "counter", float64(s.ColdStarts))
+	write("pulse_service_seconds_total", "Modeled service time delivered.", "counter", s.TotalServiceSec)
+	write("pulse_keepalive_cost_usd_total", "Accumulated keep-alive cost.", "counter", s.KeepAliveCostUSD)
+	write("pulse_keepalive_memory_mb", "Keep-alive memory this minute.", "gauge", s.CurrentKaMMB)
+	write("pulse_simulated_minute", "Current simulated minute.", "gauge", float64(s.Minute))
+	write("pulse_mean_accuracy_pct", "Mean accuracy delivered per invocation.", "gauge", s.MeanAccuracyPct())
+}
+
+// functionInfo is one row of GET /functions.
+type functionInfo struct {
+	Function     int     `json:"function"`
+	Family       string  `json:"family"`
+	Task         string  `json:"task"`
+	Variants     int     `json:"variants"`
+	AliveVariant string  `json:"aliveVariant"` // "" when cold
+	AliveMemMB   float64 `json:"aliveMemMB"`
+}
+
+func (a *API) handleFunctions(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeJSON(w, http.StatusMethodNotAllowed, apiError{"GET required"})
+		return
+	}
+	out := make([]functionInfo, a.rt.NumFunctions())
+	for fn := range out {
+		fam, err := a.rt.FamilyOf(fn)
+		if err != nil {
+			writeJSON(w, http.StatusInternalServerError, apiError{err.Error()})
+			return
+		}
+		info := functionInfo{Function: fn, Family: fam.Name, Task: fam.Task, Variants: fam.NumVariants()}
+		vi, err := a.rt.AliveVariant(fn)
+		if err != nil {
+			writeJSON(w, http.StatusInternalServerError, apiError{err.Error()})
+			return
+		}
+		if vi != cluster.NoVariant {
+			info.AliveVariant = fam.Variants[vi].Name
+			info.AliveMemMB = fam.Variants[vi].MemoryMB
+		}
+		out[fn] = info
+	}
+	writeJSON(w, http.StatusOK, out)
+}

@@ -1,0 +1,78 @@
+// Package runtime is a live, event-driven serverless runtime built around
+// the same keep-alive Policy interface the offline simulator uses. Where
+// internal/cluster replays a recorded trace minute by minute, this package
+// accepts invocations as they arrive (e.g. over HTTP, see cmd/pulsed),
+// executes them against warm or cold containers with realistic latencies,
+// and advances the policy on a minute tick — the shape of an OpenWhisk- or
+// Knative-style integration of PULSE.
+//
+// Time is abstracted behind Clock so tests drive the runtime
+// deterministically with a manual clock while cmd/pulsed runs it against
+// wall time (optionally time-compressed).
+package runtime
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Clock abstracts time for the runtime: Now for latency stamps and Sleep
+// for simulated execution delays.
+type Clock interface {
+	Now() time.Time
+	Sleep(d time.Duration)
+}
+
+// WallClock is the real-time clock, optionally compressed: a Compression
+// of 60 makes one simulated minute pass per wall-clock second.
+type WallClock struct {
+	// Compression divides every Sleep; 0 or 1 means real time.
+	Compression float64
+}
+
+// Now implements Clock.
+func (w WallClock) Now() time.Time { return time.Now() }
+
+// Sleep implements Clock.
+func (w WallClock) Sleep(d time.Duration) {
+	if w.Compression > 1 {
+		d = time.Duration(float64(d) / w.Compression)
+	}
+	time.Sleep(d)
+}
+
+// ManualClock is a deterministic test clock: Sleep returns immediately and
+// advances the clock; Advance moves time explicitly.
+type ManualClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+// NewManualClock starts a manual clock at the given instant.
+func NewManualClock(start time.Time) *ManualClock {
+	return &ManualClock{now: start}
+}
+
+// Now implements Clock.
+func (m *ManualClock) Now() time.Time {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.now
+}
+
+// Sleep implements Clock by advancing the clock without blocking.
+func (m *ManualClock) Sleep(d time.Duration) {
+	m.Advance(d)
+}
+
+// Advance moves the clock forward. Negative advances are a programming
+// error and panic.
+func (m *ManualClock) Advance(d time.Duration) {
+	if d < 0 {
+		panic(fmt.Sprintf("runtime: clock advanced by negative duration %v", d))
+	}
+	m.mu.Lock()
+	m.now = m.now.Add(d)
+	m.mu.Unlock()
+}

@@ -1,0 +1,249 @@
+package runtime
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/pulse-serverless/pulse/internal/cluster"
+	"github.com/pulse-serverless/pulse/internal/models"
+)
+
+// Config assembles a live runtime.
+type Config struct {
+	Catalog    *models.Catalog
+	Assignment models.Assignment // one registered function per entry
+	// Policy is the keep-alive controller (PULSE or any baseline). The
+	// runtime owns it after construction; it must not be shared.
+	Policy cluster.Policy
+	// Clock defaults to an uncompressed WallClock.
+	Clock Clock
+	// ExecScale scales simulated execution latencies applied via
+	// Clock.Sleep; 1.0 sleeps full model latencies, 0 disables sleeping
+	// (latencies still reported). Default 0.
+	ExecScale float64
+	// Cost prices keep-alive memory; defaults to the AWS-calibrated model.
+	Cost cluster.CostModel
+}
+
+// Invocation is the outcome of one function invocation.
+type Invocation struct {
+	Function    int
+	Minute      int
+	Variant     string
+	AccuracyPct float64
+	ServiceSec  float64 // modeled service time (cold start + execution if cold)
+	Cold        bool
+}
+
+// Stats is a snapshot of runtime counters.
+type Stats struct {
+	Minute           int
+	Invocations      int
+	WarmStarts       int
+	ColdStarts       int
+	TotalServiceSec  float64
+	AccuracySumPct   float64
+	KeepAliveCostUSD float64
+	CurrentKaMMB     float64
+}
+
+// MeanAccuracyPct returns delivered accuracy per invocation.
+func (s Stats) MeanAccuracyPct() float64 {
+	if s.Invocations == 0 {
+		return 0
+	}
+	return s.AccuracySumPct / float64(s.Invocations)
+}
+
+// Runtime executes invocations against policy-managed warm containers and
+// advances the policy once per simulated minute.
+type Runtime struct {
+	cfg   Config
+	clock Clock
+
+	mu      sync.Mutex
+	minute  int
+	alive   []int // variant kept alive this minute per function, NoVariant if none
+	coldPod []int // variant of a container cold-started earlier this minute, NoVariant if none
+	counts  []int // invocations observed this minute
+	stats   Stats
+	started bool
+}
+
+// New builds a runtime. The policy's decision vector length must match the
+// assignment.
+func New(cfg Config) (*Runtime, error) {
+	if cfg.Policy == nil {
+		return nil, fmt.Errorf("runtime: nil policy")
+	}
+	if cfg.Catalog == nil {
+		return nil, fmt.Errorf("runtime: nil catalog")
+	}
+	if err := cfg.Catalog.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.Assignment.Validate(cfg.Catalog, len(cfg.Assignment)); err != nil {
+		return nil, err
+	}
+	if len(cfg.Assignment) == 0 {
+		return nil, fmt.Errorf("runtime: no functions registered")
+	}
+	if cfg.ExecScale < 0 {
+		return nil, fmt.Errorf("runtime: negative exec scale %v", cfg.ExecScale)
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = WallClock{}
+	}
+	if cfg.Cost.USDPerGBSecond == 0 {
+		cfg.Cost = cluster.DefaultCostModel()
+	}
+	r := &Runtime{
+		cfg:     cfg,
+		clock:   cfg.Clock,
+		alive:   make([]int, len(cfg.Assignment)),
+		coldPod: make([]int, len(cfg.Assignment)),
+		counts:  make([]int, len(cfg.Assignment)),
+	}
+	for i := range r.alive {
+		r.alive[i] = cluster.NoVariant
+		r.coldPod[i] = cluster.NoVariant
+	}
+	return r, nil
+}
+
+// start pulls the first minute's keep-alive decisions. Lazily invoked so
+// construction never calls into the policy.
+func (r *Runtime) startLocked() {
+	if r.started {
+		return
+	}
+	r.applyDecisionsLocked(r.cfg.Policy.KeepAlive(r.minute))
+	r.started = true
+}
+
+func (r *Runtime) applyDecisionsLocked(decisions []int) {
+	if len(decisions) != len(r.alive) {
+		panic(fmt.Sprintf("runtime: policy returned %d decisions for %d functions", len(decisions), len(r.alive)))
+	}
+	copy(r.alive, decisions)
+	var kam float64
+	for fn, vi := range r.alive {
+		if vi == cluster.NoVariant {
+			continue
+		}
+		fam := r.cfg.Catalog.Families[r.cfg.Assignment[fn]]
+		if vi < 0 || vi >= fam.NumVariants() {
+			panic(fmt.Sprintf("runtime: policy kept invalid variant %d for function %d", vi, fn))
+		}
+		kam += fam.Variants[vi].MemoryMB
+	}
+	r.stats.CurrentKaMMB = kam
+	r.stats.KeepAliveCostUSD += r.cfg.Cost.KeepAliveUSDPerMinute(kam)
+}
+
+// NumFunctions returns the number of registered functions.
+func (r *Runtime) NumFunctions() int { return len(r.cfg.Assignment) }
+
+// FamilyOf returns the model family serving function fn.
+func (r *Runtime) FamilyOf(fn int) (models.Family, error) {
+	if fn < 0 || fn >= len(r.cfg.Assignment) {
+		return models.Family{}, fmt.Errorf("runtime: unknown function %d", fn)
+	}
+	return r.cfg.Catalog.Families[r.cfg.Assignment[fn]], nil
+}
+
+// Invoke executes one invocation of function fn during the current minute.
+// Warm invocations run on the kept-alive variant; cold invocations create a
+// container of the policy's cold variant, pay its cold-start latency, and
+// leave it warm for the remainder of the minute.
+func (r *Runtime) Invoke(fn int) (Invocation, error) {
+	r.mu.Lock()
+	if fn < 0 || fn >= len(r.alive) {
+		r.mu.Unlock()
+		return Invocation{}, fmt.Errorf("runtime: unknown function %d", fn)
+	}
+	r.startLocked()
+	fam := r.cfg.Catalog.Families[r.cfg.Assignment[fn]]
+	inv := Invocation{Function: fn, Minute: r.minute}
+	vi := r.alive[fn]
+	if vi == cluster.NoVariant {
+		vi = r.coldPod[fn]
+	}
+	if vi != cluster.NoVariant {
+		v := fam.Variants[vi]
+		inv.Variant = v.Name
+		inv.AccuracyPct = v.AccuracyPct
+		inv.ServiceSec = v.ExecSec
+		r.stats.WarmStarts++
+	} else {
+		cvi := r.cfg.Policy.ColdVariant(r.minute, fn)
+		if cvi < 0 || cvi >= fam.NumVariants() {
+			r.mu.Unlock()
+			return Invocation{}, fmt.Errorf("runtime: policy chose invalid cold variant %d for function %d", cvi, fn)
+		}
+		v := fam.Variants[cvi]
+		inv.Variant = v.Name
+		inv.AccuracyPct = v.AccuracyPct
+		inv.ServiceSec = v.ColdServiceSec()
+		inv.Cold = true
+		r.coldPod[fn] = cvi
+		r.stats.ColdStarts++
+	}
+	r.counts[fn]++
+	r.stats.Invocations++
+	r.stats.TotalServiceSec += inv.ServiceSec
+	r.stats.AccuracySumPct += inv.AccuracyPct
+	scale := r.cfg.ExecScale
+	r.mu.Unlock()
+
+	// Model the execution latency outside the lock so concurrent
+	// invocations of other functions proceed.
+	if scale > 0 {
+		r.clock.Sleep(time.Duration(inv.ServiceSec * scale * float64(time.Second)))
+	}
+	return inv, nil
+}
+
+// Step closes the current minute — reporting its invocation counts to the
+// policy — and opens the next one with fresh keep-alive decisions. A
+// driver (ticker goroutine or test) calls it once per simulated minute.
+func (r *Runtime) Step() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.startLocked()
+	r.cfg.Policy.RecordInvocations(r.minute, r.counts)
+	for i := range r.counts {
+		r.counts[i] = 0
+		r.coldPod[i] = cluster.NoVariant
+	}
+	r.minute++
+	r.stats.Minute = r.minute
+	r.applyDecisionsLocked(r.cfg.Policy.KeepAlive(r.minute))
+}
+
+// Minute returns the current simulated minute.
+func (r *Runtime) Minute() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.minute
+}
+
+// Stats returns a snapshot of the runtime counters.
+func (r *Runtime) Stats() Stats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.stats
+}
+
+// AliveVariant reports which variant of fn is currently kept alive
+// (cluster.NoVariant if none).
+func (r *Runtime) AliveVariant(fn int) (int, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if fn < 0 || fn >= len(r.alive) {
+		return 0, fmt.Errorf("runtime: unknown function %d", fn)
+	}
+	r.startLocked()
+	return r.alive[fn], nil
+}

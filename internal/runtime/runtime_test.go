@@ -1,0 +1,381 @@
+package runtime
+
+import (
+	"context"
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/pulse-serverless/pulse/internal/cluster"
+	"github.com/pulse-serverless/pulse/internal/core"
+	"github.com/pulse-serverless/pulse/internal/models"
+	"github.com/pulse-serverless/pulse/internal/policy"
+	"github.com/pulse-serverless/pulse/internal/trace"
+)
+
+func testSetup(t *testing.T) (*models.Catalog, models.Assignment) {
+	t.Helper()
+	cat := models.PaperCatalog()
+	return cat, models.Assignment{0, 1, 2}
+}
+
+func newFixedRuntime(t *testing.T, cat *models.Catalog, asg models.Assignment) *Runtime {
+	t.Helper()
+	p, err := policy.NewFixed(cat, asg, 10, policy.QualityHighest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := New(Config{Catalog: cat, Assignment: asg, Policy: p, Clock: NewManualClock(time.Unix(0, 0))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestNewValidation(t *testing.T) {
+	cat, asg := testSetup(t)
+	p, err := policy.NewFixed(cat, asg, 10, policy.QualityHighest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(Config{Catalog: cat, Assignment: asg}); err == nil {
+		t.Error("nil policy accepted")
+	}
+	if _, err := New(Config{Policy: p, Assignment: asg}); err == nil {
+		t.Error("nil catalog accepted")
+	}
+	if _, err := New(Config{Policy: p, Catalog: cat}); err == nil {
+		t.Error("empty assignment accepted")
+	}
+	if _, err := New(Config{Policy: p, Catalog: cat, Assignment: asg, ExecScale: -1}); err == nil {
+		t.Error("negative exec scale accepted")
+	}
+}
+
+func TestColdThenWarmWithinMinute(t *testing.T) {
+	cat, asg := testSetup(t)
+	r := newFixedRuntime(t, cat, asg)
+
+	inv, err := r.Invoke(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !inv.Cold {
+		t.Error("first invocation should be cold")
+	}
+	gpt := cat.Families[0]
+	if inv.Variant != gpt.Highest().Name {
+		t.Errorf("cold variant = %q, want highest", inv.Variant)
+	}
+	if inv.ServiceSec != gpt.Highest().ColdServiceSec() {
+		t.Errorf("cold service = %v, want %v", inv.ServiceSec, gpt.Highest().ColdServiceSec())
+	}
+	// Second invocation in the same minute reuses the cold-started pod.
+	inv2, err := r.Invoke(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inv2.Cold {
+		t.Error("second invocation in the minute should be warm")
+	}
+	if inv2.ServiceSec != gpt.Highest().ExecSec {
+		t.Errorf("warm service = %v, want exec only", inv2.ServiceSec)
+	}
+}
+
+func TestKeepAliveAcrossMinutes(t *testing.T) {
+	cat, asg := testSetup(t)
+	r := newFixedRuntime(t, cat, asg)
+	if _, err := r.Invoke(0); err != nil {
+		t.Fatal(err)
+	}
+	r.Step() // minute 1: fixed policy keeps function 0 alive
+	if v, err := r.AliveVariant(0); err != nil || v != cat.Families[0].NumVariants()-1 {
+		t.Errorf("alive variant = %d, %v; want highest", v, err)
+	}
+	inv, err := r.Invoke(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inv.Cold {
+		t.Error("invocation within keep-alive window should be warm")
+	}
+	if inv.Minute != 1 {
+		t.Errorf("minute = %d, want 1", inv.Minute)
+	}
+	// Function 1 was never invoked: nothing alive.
+	if v, err := r.AliveVariant(1); err != nil || v != cluster.NoVariant {
+		t.Errorf("idle function alive variant = %d, %v", v, err)
+	}
+	// 11 quiet minutes later the window has lapsed.
+	for i := 0; i < 11; i++ {
+		r.Step()
+	}
+	inv, err = r.Invoke(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !inv.Cold {
+		t.Error("invocation after window lapse should be cold")
+	}
+}
+
+func TestInvokeErrors(t *testing.T) {
+	cat, asg := testSetup(t)
+	r := newFixedRuntime(t, cat, asg)
+	if _, err := r.Invoke(-1); err == nil {
+		t.Error("negative function accepted")
+	}
+	if _, err := r.Invoke(99); err == nil {
+		t.Error("unknown function accepted")
+	}
+	if _, err := r.AliveVariant(99); err == nil {
+		t.Error("unknown function alive query accepted")
+	}
+	if _, err := r.FamilyOf(99); err == nil {
+		t.Error("unknown function family query accepted")
+	}
+	fam, err := r.FamilyOf(1)
+	if err != nil || fam.Name != cat.Families[1].Name {
+		t.Errorf("FamilyOf = %v, %v", fam.Name, err)
+	}
+	if r.NumFunctions() != 3 {
+		t.Errorf("NumFunctions = %d", r.NumFunctions())
+	}
+}
+
+func TestStatsAccumulate(t *testing.T) {
+	cat, asg := testSetup(t)
+	r := newFixedRuntime(t, cat, asg)
+	if _, err := r.Invoke(0); err != nil {
+		t.Fatal(err)
+	}
+	r.Step()
+	if _, err := r.Invoke(0); err != nil {
+		t.Fatal(err)
+	}
+	s := r.Stats()
+	if s.Invocations != 2 || s.ColdStarts != 1 || s.WarmStarts != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+	if s.Minute != 1 {
+		t.Errorf("minute = %d", s.Minute)
+	}
+	if s.KeepAliveCostUSD <= 0 {
+		t.Error("keep-alive cost not accumulating")
+	}
+	if s.CurrentKaMMB != cat.Families[0].Highest().MemoryMB {
+		t.Errorf("current KaM = %v", s.CurrentKaMMB)
+	}
+	if s.MeanAccuracyPct() <= 0 {
+		t.Error("accuracy not accumulating")
+	}
+	if (Stats{}).MeanAccuracyPct() != 0 {
+		t.Error("empty stats accuracy should be 0")
+	}
+}
+
+func TestExecScaleSleeps(t *testing.T) {
+	cat, asg := testSetup(t)
+	p, err := policy.NewFixed(cat, asg, 10, policy.QualityHighest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock := NewManualClock(time.Unix(0, 0))
+	r, err := New(Config{Catalog: cat, Assignment: asg, Policy: p, Clock: clock, ExecScale: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inv, err := r.Invoke(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := time.Duration(inv.ServiceSec * float64(time.Second))
+	if got := clock.Now().Sub(time.Unix(0, 0)); got != want {
+		t.Errorf("clock advanced %v, want %v", got, want)
+	}
+}
+
+// The live runtime and the offline simulator must agree: replaying the same
+// trace through both with the same (deterministic) policy yields identical
+// warm/cold/service/accuracy accounting.
+func TestReplayMatchesOfflineSimulator(t *testing.T) {
+	tr, err := trace.Generate(trace.GeneratorConfig{Seed: 15, Horizon: 6 * 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat := models.PaperCatalog()
+	asg := make(models.Assignment, len(tr.Functions))
+	for i := range asg {
+		asg[i] = i % len(cat.Families)
+	}
+
+	// Offline.
+	pOff, err := core.New(core.Config{Catalog: cat, Assignment: asg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	offline, err := cluster.Run(cluster.Config{Trace: tr, Catalog: cat, Assignment: asg, Cost: cluster.DefaultCostModel()}, pOff)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Live replay.
+	pLive, err := core.New(core.Config{Catalog: cat, Assignment: asg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := New(Config{Catalog: cat, Assignment: asg, Policy: pLive, Clock: NewManualClock(time.Unix(0, 0))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ReplayTrace(context.Background(), r, tr); err != nil {
+		t.Fatal(err)
+	}
+	live := r.Stats()
+
+	if live.Invocations != offline.Invocations {
+		t.Errorf("invocations: live %d vs offline %d", live.Invocations, offline.Invocations)
+	}
+	if live.WarmStarts != offline.WarmStarts || live.ColdStarts != offline.ColdStarts {
+		t.Errorf("starts: live %d/%d vs offline %d/%d",
+			live.WarmStarts, live.ColdStarts, offline.WarmStarts, offline.ColdStarts)
+	}
+	// The engine multiplies per-minute counts while the runtime adds per
+	// invocation, so sums agree only up to float association order.
+	if math.Abs(live.TotalServiceSec-offline.TotalServiceSec) > 1e-6 {
+		t.Errorf("service: live %v vs offline %v", live.TotalServiceSec, offline.TotalServiceSec)
+	}
+	if math.Abs(live.AccuracySumPct-offline.AccuracySumPct) > 1e-6 {
+		t.Errorf("accuracy sum: live %v vs offline %v", live.AccuracySumPct, offline.AccuracySumPct)
+	}
+	// The replay charges one extra minute (the Step after the final trace
+	// minute opens minute `horizon`); costs otherwise match.
+	if live.KeepAliveCostUSD < offline.KeepAliveCostUSD {
+		t.Errorf("live cost %v below offline %v", live.KeepAliveCostUSD, offline.KeepAliveCostUSD)
+	}
+	maxMinute := cluster.DefaultCostModel().KeepAliveUSDPerMinute(64 * 1024)
+	if live.KeepAliveCostUSD-offline.KeepAliveCostUSD > maxMinute {
+		t.Errorf("cost gap %v exceeds one minute's worth", live.KeepAliveCostUSD-offline.KeepAliveCostUSD)
+	}
+}
+
+func TestReplayValidation(t *testing.T) {
+	cat, asg := testSetup(t)
+	r := newFixedRuntime(t, cat, asg)
+	ctx := context.Background()
+	if err := ReplayTrace(ctx, nil, &trace.Trace{}); err == nil {
+		t.Error("nil runtime accepted")
+	}
+	if err := ReplayTrace(ctx, r, nil); err == nil {
+		t.Error("nil trace accepted")
+	}
+	bad := &trace.Trace{Horizon: 5, Functions: []trace.Function{{ID: 0, Counts: make([]int, 5)}}}
+	if err := ReplayTrace(ctx, r, bad); err == nil {
+		t.Error("function-count mismatch accepted")
+	}
+	cancelled, cancel := context.WithCancel(ctx)
+	cancel()
+	ok := &trace.Trace{Horizon: 5, Functions: []trace.Function{
+		{ID: 0, Counts: make([]int, 5)}, {ID: 1, Counts: make([]int, 5)}, {ID: 2, Counts: make([]int, 5)},
+	}}
+	if err := ReplayTrace(cancelled, r, ok); err != context.Canceled {
+		t.Errorf("cancelled replay err = %v", err)
+	}
+}
+
+func TestTicker(t *testing.T) {
+	cat, asg := testSetup(t)
+	r := newFixedRuntime(t, cat, asg)
+	if err := Ticker(context.Background(), nil, time.Millisecond); err == nil {
+		t.Error("nil runtime accepted")
+	}
+	if err := Ticker(context.Background(), r, 0); err == nil {
+		t.Error("zero interval accepted")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- Ticker(ctx, r, time.Millisecond) }()
+	for r.Minute() < 3 {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if err := <-done; err != context.Canceled {
+		t.Errorf("ticker err = %v", err)
+	}
+	if r.Minute() < 3 {
+		t.Errorf("ticker advanced only to minute %d", r.Minute())
+	}
+}
+
+// Concurrency: parallel invocations across functions must not race or lose
+// counts (run with -race).
+func TestConcurrentInvocations(t *testing.T) {
+	cat, asg := testSetup(t)
+	r := newFixedRuntime(t, cat, asg)
+	const perFn = 50
+	var wg sync.WaitGroup
+	for fn := 0; fn < len(asg); fn++ {
+		wg.Add(1)
+		go func(fn int) {
+			defer wg.Done()
+			for i := 0; i < perFn; i++ {
+				if _, err := r.Invoke(fn); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(fn)
+	}
+	// A stepper runs concurrently, advancing minutes.
+	stop := make(chan struct{})
+	var stepper sync.WaitGroup
+	stepper.Add(1)
+	go func() {
+		defer stepper.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				r.Step()
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	stepper.Wait()
+	if got := r.Stats().Invocations; got != perFn*len(asg) {
+		t.Errorf("invocations = %d, want %d", got, perFn*len(asg))
+	}
+}
+
+func TestManualClock(t *testing.T) {
+	c := NewManualClock(time.Unix(100, 0))
+	if !c.Now().Equal(time.Unix(100, 0)) {
+		t.Error("start time wrong")
+	}
+	c.Sleep(5 * time.Second)
+	if !c.Now().Equal(time.Unix(105, 0)) {
+		t.Error("sleep did not advance")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("negative advance should panic")
+		}
+	}()
+	c.Advance(-time.Second)
+}
+
+func TestWallClockCompression(t *testing.T) {
+	w := WallClock{Compression: 1000}
+	start := time.Now()
+	w.Sleep(200 * time.Millisecond) // compressed to 200µs
+	if elapsed := time.Since(start); elapsed > 100*time.Millisecond {
+		t.Errorf("compressed sleep took %v", elapsed)
+	}
+	if w.Now().IsZero() {
+		t.Error("wall clock returned zero time")
+	}
+}

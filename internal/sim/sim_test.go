@@ -1,0 +1,193 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"github.com/pulse-serverless/pulse/internal/cluster"
+	"github.com/pulse-serverless/pulse/internal/core"
+	"github.com/pulse-serverless/pulse/internal/models"
+	"github.com/pulse-serverless/pulse/internal/policy"
+	"github.com/pulse-serverless/pulse/internal/trace"
+)
+
+func experimentConfig(t *testing.T, runs int) ExperimentConfig {
+	t.Helper()
+	tr, err := trace.Generate(trace.GeneratorConfig{Seed: 9, Horizon: trace.MinutesPerDay / 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ExperimentConfig{
+		Trace:   tr,
+		Catalog: models.PaperCatalog(),
+		Cost:    cluster.DefaultCostModel(),
+		Runs:    runs,
+		Seed:    1234,
+	}
+}
+
+func standardFactories(cfg ExperimentConfig) []NamedFactory {
+	return []NamedFactory{
+		{
+			Name: "openwhisk",
+			New: func(_ int, asg models.Assignment) (cluster.Policy, error) {
+				return policy.NewFixed(cfg.Catalog, asg, 10, policy.QualityHighest)
+			},
+		},
+		{
+			Name: "pulse",
+			New: func(_ int, asg models.Assignment) (cluster.Policy, error) {
+				return core.New(core.Config{Catalog: cfg.Catalog, Assignment: asg})
+			},
+		},
+	}
+}
+
+func TestRunExperimentValidation(t *testing.T) {
+	cfg := experimentConfig(t, 2)
+	fs := standardFactories(cfg)
+	bad := cfg
+	bad.Trace = nil
+	if _, err := RunExperiment(bad, fs); err == nil {
+		t.Error("nil trace accepted")
+	}
+	bad = cfg
+	bad.Runs = 0
+	if _, err := RunExperiment(bad, fs); err == nil {
+		t.Error("zero runs accepted")
+	}
+	bad = cfg
+	bad.Cost = cluster.CostModel{}
+	if _, err := RunExperiment(bad, fs); err == nil {
+		t.Error("zero cost rate accepted")
+	}
+	if _, err := RunExperiment(cfg, nil); err == nil {
+		t.Error("no factories accepted")
+	}
+	if _, err := RunExperiment(cfg, []NamedFactory{{Name: "", New: fs[0].New}}); err == nil {
+		t.Error("empty factory name accepted")
+	}
+	if _, err := RunExperiment(cfg, []NamedFactory{fs[0], fs[0]}); err == nil {
+		t.Error("duplicate factory names accepted")
+	}
+}
+
+func TestRunExperimentAggregates(t *testing.T) {
+	cfg := experimentConfig(t, 4)
+	aggs, err := RunExperiment(cfg, standardFactories(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(aggs) != 2 {
+		t.Fatalf("aggregates = %d", len(aggs))
+	}
+	ow, pulse := aggs[0], aggs[1]
+	if ow.Policy != "openwhisk" || pulse.Policy != "pulse" {
+		t.Errorf("order lost: %q, %q", ow.Policy, pulse.Policy)
+	}
+	if ow.Runs != 4 || pulse.Runs != 4 {
+		t.Errorf("runs: %d, %d", ow.Runs, pulse.Runs)
+	}
+	if ow.MeanCostUSD <= 0 || ow.MeanServiceSec <= 0 || ow.MeanAccuracyPct <= 0 {
+		t.Errorf("degenerate baseline aggregate: %+v", ow)
+	}
+	// Headline shape across assignments: PULSE cheaper, slightly less
+	// accurate, comparable service time.
+	if pulse.MeanCostUSD >= ow.MeanCostUSD {
+		t.Errorf("PULSE mean cost %v not below OpenWhisk %v", pulse.MeanCostUSD, ow.MeanCostUSD)
+	}
+	if pulse.MeanAccuracyPct > ow.MeanAccuracyPct {
+		t.Errorf("PULSE accuracy above all-high baseline")
+	}
+	if len(ow.OverheadRatios) != 4 {
+		t.Errorf("overhead ratios = %d", len(ow.OverheadRatios))
+	}
+	imp, err := ImprovementOver(ow, pulse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if imp.CostPct <= 0 {
+		t.Errorf("cost improvement = %v, want positive", imp.CostPct)
+	}
+	if imp.AccuracyPct > 0 {
+		t.Errorf("accuracy 'improvement' = %v, want ≤ 0", imp.AccuracyPct)
+	}
+	if imp.Policy != "pulse" || imp.Baseline != "openwhisk" {
+		t.Errorf("labels: %+v", imp)
+	}
+}
+
+// Determinism across worker counts: serial and parallel execution must
+// produce identical aggregates.
+func TestRunExperimentDeterministicAcrossWorkers(t *testing.T) {
+	cfg := experimentConfig(t, 4)
+	fs := standardFactories(cfg)
+
+	cfg.Workers = 1
+	serial, err := RunExperiment(cfg, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = 4
+	parallel, err := RunExperiment(cfg, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range serial {
+		a, b := serial[i], parallel[i]
+		if a.MeanCostUSD != b.MeanCostUSD ||
+			a.MeanServiceSec != b.MeanServiceSec ||
+			a.MeanAccuracyPct != b.MeanAccuracyPct {
+			t.Errorf("policy %q: serial and parallel aggregates differ", a.Policy)
+		}
+	}
+}
+
+func TestRunExperimentPropagatesFactoryErrors(t *testing.T) {
+	cfg := experimentConfig(t, 2)
+	fs := []NamedFactory{{
+		Name: "broken",
+		New: func(int, models.Assignment) (cluster.Policy, error) {
+			return nil, errTest
+		},
+	}}
+	if _, err := RunExperiment(cfg, fs); err == nil {
+		t.Error("factory error swallowed")
+	}
+}
+
+var errTest = &testError{}
+
+type testError struct{}
+
+func (*testError) Error() string { return "test error" }
+
+func TestImprovementOverErrors(t *testing.T) {
+	if _, err := ImprovementOver(nil, &Aggregate{}); err == nil {
+		t.Error("nil baseline accepted")
+	}
+	if _, err := ImprovementOver(&Aggregate{}, &Aggregate{}); err == nil {
+		t.Error("degenerate baseline accepted")
+	}
+}
+
+func TestAggregateStatistics(t *testing.T) {
+	rows := []runSummary{
+		{serviceSec: 10, costUSD: 2, accuracyPct: 80, warmRate: 0.9, coldStarts: 5, peakKaMMB: 100},
+		{serviceSec: 20, costUSD: 4, accuracyPct: 90, warmRate: 0.7, coldStarts: 15, peakKaMMB: 300},
+	}
+	a := aggregate("x", rows)
+	if a.MeanServiceSec != 15 || a.MeanCostUSD != 3 || a.MeanAccuracyPct != 85 {
+		t.Errorf("means: %+v", a)
+	}
+	if math.Abs(a.StdServiceSec-5) > 1e-12 {
+		t.Errorf("std service = %v, want 5", a.StdServiceSec)
+	}
+	if a.MeanWarmRate != 0.8 || a.MeanColdStarts != 10 || a.MeanPeakKaMMB != 200 {
+		t.Errorf("aux means: %+v", a)
+	}
+	empty := aggregate("e", nil)
+	if empty.Runs != 0 || empty.MeanCostUSD != 0 {
+		t.Errorf("empty aggregate: %+v", empty)
+	}
+}

@@ -1,0 +1,49 @@
+package stats_test
+
+import (
+	"fmt"
+
+	"github.com/pulse-serverless/pulse/internal/stats"
+)
+
+// ExampleMinMaxNormalize shows the paper's Equation 1, including its
+// degenerate all-equal branch.
+func ExampleMinMaxNormalize() {
+	fmt.Println(stats.MinMaxNormalize([]float64{2, 4, 6}))
+	fmt.Println(stats.MinMaxNormalize([]float64{7, 7, 7}))
+	// Output:
+	// [0 0.5 1]
+	// [0 0 0]
+}
+
+// ExampleIntHistogram computes the inter-arrival probabilities PULSE's
+// function-centric optimizer is built on.
+func ExampleIntHistogram() {
+	h := stats.NewIntHistogram()
+	for _, gap := range []int{2, 2, 2, 5} {
+		if err := h.Add(gap); err != nil {
+			panic(err)
+		}
+	}
+	fmt.Printf("P(gap=2) = %.2f\n", h.Probability(2))
+	fmt.Printf("P(gap=5) = %.2f\n", h.Probability(5))
+	fmt.Printf("P(gap=9) = %.2f\n", h.Probability(9))
+	// Output:
+	// P(gap=2) = 0.75
+	// P(gap=5) = 0.25
+	// P(gap=9) = 0.00
+}
+
+// ExampleRollingWindow shows the sliding average behind Algorithm 1's
+// local-window prior.
+func ExampleRollingWindow() {
+	w := stats.NewRollingWindow(3)
+	for _, kam := range []float64{100, 200, 300, 400} {
+		w.Push(kam)
+	}
+	fmt.Println("window:", w.Values())
+	fmt.Println("mean:", w.Mean())
+	// Output:
+	// window: [200 300 400]
+	// mean: 300
+}

@@ -1,0 +1,248 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestIntHistogramBasics(t *testing.T) {
+	h := NewIntHistogram()
+	if h.Total() != 0 {
+		t.Fatalf("new histogram total = %d", h.Total())
+	}
+	for _, v := range []int{2, 2, 2, 5, 5, 9} {
+		if err := h.Add(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if h.Total() != 6 {
+		t.Errorf("Total = %d, want 6", h.Total())
+	}
+	if h.Count(2) != 3 || h.Count(5) != 2 || h.Count(9) != 1 || h.Count(7) != 0 {
+		t.Errorf("unexpected counts: %v", h)
+	}
+	// The paper's example: value appearing 10 times among total → 10/total.
+	if got := h.Probability(2); !almostEqual(got, 0.5, 1e-12) {
+		t.Errorf("Probability(2) = %v, want 0.5", got)
+	}
+	if got := h.Probability(404); got != 0 {
+		t.Errorf("Probability(absent) = %v, want 0", got)
+	}
+	vs := h.Values()
+	if len(vs) != 3 || vs[0] != 2 || vs[1] != 5 || vs[2] != 9 {
+		t.Errorf("Values = %v", vs)
+	}
+}
+
+func TestIntHistogramAddNegative(t *testing.T) {
+	h := NewIntHistogram()
+	if err := h.Add(-1); err == nil {
+		t.Error("Add(-1) should fail")
+	}
+}
+
+func TestIntHistogramRemove(t *testing.T) {
+	h := NewIntHistogram()
+	_ = h.Add(3)
+	_ = h.Add(3)
+	if err := h.Remove(3); err != nil {
+		t.Fatal(err)
+	}
+	if h.Count(3) != 1 || h.Total() != 1 {
+		t.Errorf("after remove: count=%d total=%d", h.Count(3), h.Total())
+	}
+	if err := h.Remove(3); err != nil {
+		t.Fatal(err)
+	}
+	if h.Count(3) != 0 || h.Total() != 0 {
+		t.Errorf("after second remove: count=%d total=%d", h.Count(3), h.Total())
+	}
+	if err := h.Remove(3); err == nil {
+		t.Error("removing absent value should fail")
+	}
+	if err := h.Remove(99); err == nil {
+		t.Error("removing never-seen value should fail")
+	}
+}
+
+func TestIntHistogramZeroValueUsable(t *testing.T) {
+	var h IntHistogram
+	if err := h.Add(1); err != nil {
+		t.Fatal(err)
+	}
+	if h.Total() != 1 {
+		t.Errorf("zero-value histogram total = %d", h.Total())
+	}
+}
+
+func TestIntHistogramMeanCV(t *testing.T) {
+	h := NewIntHistogram()
+	for _, v := range []int{2, 4, 4, 4, 5, 5, 7, 9} {
+		_ = h.Add(v)
+	}
+	if got := h.Mean(); !almostEqual(got, 5, 1e-12) {
+		t.Errorf("Mean = %v, want 5", got)
+	}
+	if got := h.CV(); !almostEqual(got, 0.4, 1e-12) {
+		t.Errorf("CV = %v, want 0.4", got)
+	}
+	empty := NewIntHistogram()
+	if empty.Mean() != 0 || empty.CV() != 0 {
+		t.Error("empty histogram Mean/CV should be 0")
+	}
+}
+
+func TestIntHistogramPercentile(t *testing.T) {
+	h := NewIntHistogram()
+	for v := 1; v <= 100; v++ {
+		_ = h.Add(v)
+	}
+	for _, c := range []struct {
+		p    float64
+		want int
+	}{{1, 1}, {50, 50}, {99, 99}, {100, 100}} {
+		got, err := h.Percentile(c.p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != c.want {
+			t.Errorf("Percentile(%v) = %d, want %d", c.p, got, c.want)
+		}
+	}
+	if _, err := NewIntHistogram().Percentile(50); err != ErrEmpty {
+		t.Errorf("empty percentile err = %v, want ErrEmpty", err)
+	}
+	if _, err := h.Percentile(-3); err == nil {
+		t.Error("negative percentile should fail")
+	}
+}
+
+func TestIntHistogramCloneReset(t *testing.T) {
+	h := NewIntHistogram()
+	_ = h.Add(1)
+	_ = h.Add(2)
+	c := h.Clone()
+	_ = c.Add(3)
+	if h.Total() != 2 || c.Total() != 3 {
+		t.Errorf("clone not independent: h=%d c=%d", h.Total(), c.Total())
+	}
+	h.Reset()
+	if h.Total() != 0 || h.Count(1) != 0 {
+		t.Error("Reset did not clear histogram")
+	}
+	if c.Total() != 3 {
+		t.Error("Reset of original affected clone")
+	}
+}
+
+// Property: probabilities over observed values always sum to 1 for a
+// non-empty histogram.
+func TestIntHistogramProbabilitySumsToOne(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		h := NewIntHistogram()
+		for _, v := range raw {
+			if err := h.Add(int(v) % 11); err != nil {
+				return false
+			}
+		}
+		var sum float64
+		for _, v := range h.Values() {
+			sum += h.Probability(v)
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Add followed by Remove restores the previous state exactly.
+func TestIntHistogramAddRemoveRoundTrip(t *testing.T) {
+	f := func(raw []uint8, extra uint8) bool {
+		h := NewIntHistogram()
+		for _, v := range raw {
+			_ = h.Add(int(v))
+		}
+		before := h.Clone()
+		v := int(extra)
+		_ = h.Add(v)
+		_ = h.Remove(v)
+		if h.Total() != before.Total() {
+			return false
+		}
+		for _, val := range before.Values() {
+			if h.Count(val) != before.Count(val) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBinnedHistogram(t *testing.T) {
+	h, err := NewBinnedHistogram(0, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []float64{-1, 0, 1.9, 2, 9.99, 10, 42} {
+		h.Add(x)
+	}
+	if h.Underflow() != 1 {
+		t.Errorf("Underflow = %d, want 1", h.Underflow())
+	}
+	if h.Overflow() != 2 {
+		t.Errorf("Overflow = %d, want 2", h.Overflow())
+	}
+	bins := h.Bins()
+	if bins[0] != 2 { // 0 and 1.9
+		t.Errorf("bin0 = %d, want 2", bins[0])
+	}
+	if bins[1] != 1 { // 2
+		t.Errorf("bin1 = %d, want 1", bins[1])
+	}
+	if bins[4] != 1 { // 9.99
+		t.Errorf("bin4 = %d, want 1", bins[4])
+	}
+	if h.Samples() != 7 {
+		t.Errorf("Samples = %d, want 7", h.Samples())
+	}
+	if got := h.BinCenter(0); !almostEqual(got, 1, 1e-12) {
+		t.Errorf("BinCenter(0) = %v, want 1", got)
+	}
+}
+
+func TestBinnedHistogramErrors(t *testing.T) {
+	if _, err := NewBinnedHistogram(5, 5, 3); err == nil {
+		t.Error("equal bounds should fail")
+	}
+	if _, err := NewBinnedHistogram(0, 1, 0); err == nil {
+		t.Error("zero bins should fail")
+	}
+}
+
+// Property: no samples are ever lost — bins + underflow + overflow == Samples.
+func TestBinnedHistogramConservation(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	h, err := NewBinnedHistogram(-5, 5, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10000; i++ {
+		h.Add(rng.NormFloat64() * 4)
+	}
+	total := h.Underflow() + h.Overflow()
+	for _, c := range h.Bins() {
+		total += c
+	}
+	if total != h.Samples() {
+		t.Errorf("conservation violated: %d != %d", total, h.Samples())
+	}
+}

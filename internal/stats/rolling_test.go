@@ -1,0 +1,138 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRollingWindowBasics(t *testing.T) {
+	w := NewRollingWindow(3)
+	if w.Len() != 0 || w.Cap() != 3 || w.Full() {
+		t.Fatalf("fresh window: len=%d cap=%d full=%v", w.Len(), w.Cap(), w.Full())
+	}
+	if w.Mean() != 0 || w.Last() != 0 {
+		t.Error("empty window Mean/Last should be 0")
+	}
+	w.Push(1)
+	w.Push(2)
+	if w.Mean() != 1.5 || w.Last() != 2 {
+		t.Errorf("mean=%v last=%v", w.Mean(), w.Last())
+	}
+	w.Push(3)
+	if !w.Full() {
+		t.Error("window should be full")
+	}
+	w.Push(4) // evicts 1
+	if w.Len() != 3 {
+		t.Errorf("Len = %d, want 3", w.Len())
+	}
+	if w.Mean() != 3 { // (2+3+4)/3
+		t.Errorf("Mean = %v, want 3", w.Mean())
+	}
+	if w.Sum() != 9 {
+		t.Errorf("Sum = %v, want 9", w.Sum())
+	}
+	vals := w.Values()
+	want := []float64{2, 3, 4}
+	for i := range want {
+		if vals[i] != want[i] {
+			t.Errorf("Values = %v, want %v", vals, want)
+			break
+		}
+	}
+	if w.At(0) != 2 || w.At(2) != 4 {
+		t.Errorf("At(0)=%v At(2)=%v", w.At(0), w.At(2))
+	}
+}
+
+func TestRollingWindowPanics(t *testing.T) {
+	for _, cap := range []int{0, -1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewRollingWindow(%d) should panic", cap)
+				}
+			}()
+			NewRollingWindow(cap)
+		}()
+	}
+	w := NewRollingWindow(2)
+	w.Push(1)
+	defer func() {
+		if recover() == nil {
+			t.Error("At out of range should panic")
+		}
+	}()
+	w.At(1)
+}
+
+func TestRollingWindowReset(t *testing.T) {
+	w := NewRollingWindow(2)
+	w.Push(5)
+	w.Push(6)
+	w.Reset()
+	if w.Len() != 0 || w.Sum() != 0 || w.Mean() != 0 {
+		t.Error("Reset did not clear window")
+	}
+	w.Push(9)
+	if w.Mean() != 9 {
+		t.Errorf("window unusable after Reset: mean=%v", w.Mean())
+	}
+}
+
+// Property: the window mean always equals the mean of its Values(), and the
+// values are the last min(cap, pushed) samples in order.
+func TestRollingWindowMatchesNaive(t *testing.T) {
+	f := func(raw []float64, capSeed uint8) bool {
+		capacity := int(capSeed)%8 + 1
+		for i, x := range raw {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				raw[i] = 1
+			}
+			// Keep magnitudes small so the incremental sum stays exact enough.
+			raw[i] = math.Mod(raw[i], 1000)
+		}
+		w := NewRollingWindow(capacity)
+		for _, x := range raw {
+			w.Push(x)
+		}
+		start := len(raw) - capacity
+		if start < 0 {
+			start = 0
+		}
+		expect := raw[start:]
+		if w.Len() != len(expect) {
+			return false
+		}
+		for i, want := range expect {
+			if w.At(i) != want {
+				return false
+			}
+		}
+		if len(expect) > 0 {
+			if math.Abs(w.Mean()-Mean(expect)) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkRollingWindowPush(b *testing.B) {
+	w := NewRollingWindow(60)
+	rng := rand.New(rand.NewSource(1))
+	xs := make([]float64, 1024)
+	for i := range xs {
+		xs[i] = rng.Float64()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.Push(xs[i%len(xs)])
+	}
+}

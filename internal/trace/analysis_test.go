@@ -1,0 +1,112 @@
+package trace
+
+import (
+	"math"
+	"testing"
+)
+
+func TestInterArrivalDistribution(t *testing.T) {
+	gaps := []int{1, 1, 2, 5, 12, 30} // 4 within a 10-minute window
+	pct, coverage, err := InterArrivalDistribution(gaps, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pct) != 11 {
+		t.Fatalf("pct len = %d, want 11", len(pct))
+	}
+	if math.Abs(pct[1]-50) > 1e-9 {
+		t.Errorf("pct[1] = %v, want 50", pct[1])
+	}
+	if math.Abs(pct[2]-25) > 1e-9 || math.Abs(pct[5]-25) > 1e-9 {
+		t.Errorf("pct[2]=%v pct[5]=%v, want 25 each", pct[2], pct[5])
+	}
+	if math.Abs(coverage-4.0/6.0) > 1e-9 {
+		t.Errorf("coverage = %v, want 2/3", coverage)
+	}
+	var sum float64
+	for _, p := range pct {
+		sum += p
+	}
+	if math.Abs(sum-100) > 1e-9 {
+		t.Errorf("percentages sum to %v, want 100", sum)
+	}
+}
+
+func TestInterArrivalDistributionEdge(t *testing.T) {
+	pct, coverage, err := InterArrivalDistribution(nil, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if coverage != 0 {
+		t.Errorf("empty coverage = %v", coverage)
+	}
+	for _, p := range pct {
+		if p != 0 {
+			t.Error("empty distribution should be all zeros")
+		}
+	}
+	if _, _, err := InterArrivalDistribution(nil, 0); err == nil {
+		t.Error("window 0 should fail")
+	}
+	if _, _, err := InterArrivalDistribution([]int{-1}, 10); err == nil {
+		t.Error("negative gap should fail")
+	}
+	// All gaps outside the window: zero percentages, zero coverage.
+	pct, coverage, err = InterArrivalDistribution([]int{50, 60}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if coverage != 0 {
+		t.Errorf("out-of-window coverage = %v, want 0", coverage)
+	}
+	for _, p := range pct {
+		if p != 0 {
+			t.Error("out-of-window distribution should be zeros")
+		}
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	f := Function{ID: 7, Name: "s", Archetype: "test", Counts: []int{1, 0, 1, 0, 0, 1}}
+	s := Summarize(&f)
+	if s.ID != 7 || s.Name != "s" || s.Archetype != "test" {
+		t.Errorf("identity fields lost: %+v", s)
+	}
+	if s.Invocations != 3 || s.ActiveMinutes != 3 {
+		t.Errorf("counts: %+v", s)
+	}
+	// Gaps are 2 and 3: mean 2.5, all within 10 minutes.
+	if math.Abs(s.MeanInterArriv-2.5) > 1e-9 {
+		t.Errorf("mean IA = %v, want 2.5", s.MeanInterArriv)
+	}
+	if s.WithinWindowPct != 100 {
+		t.Errorf("within-window = %v, want 100", s.WithinWindowPct)
+	}
+	if s.P99InterArriv != 3 {
+		t.Errorf("p99 = %d, want 3", s.P99InterArriv)
+	}
+}
+
+func TestSummarizeNoGaps(t *testing.T) {
+	f := Function{Counts: []int{0, 1, 0}}
+	s := Summarize(&f)
+	if s.Invocations != 1 || s.MeanInterArriv != 0 || s.WithinWindowPct != 0 {
+		t.Errorf("degenerate summary: %+v", s)
+	}
+}
+
+func TestSummarizeAll(t *testing.T) {
+	tr, err := Generate(GeneratorConfig{Seed: 5, Horizon: 3 * MinutesPerDay})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sums := SummarizeAll(tr)
+	if len(sums) != len(tr.Functions) {
+		t.Fatalf("summaries = %d, want %d", len(sums), len(tr.Functions))
+	}
+	for i, s := range sums {
+		if s.ID != tr.Functions[i].ID {
+			t.Errorf("summary %d has ID %d", i, s.ID)
+		}
+	}
+}

@@ -1,0 +1,77 @@
+package trace_test
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"github.com/pulse-serverless/pulse/internal/trace"
+)
+
+// ExampleGenerate builds a reproducible synthetic workload from explicit
+// archetypes.
+func ExampleGenerate() {
+	tr, err := trace.Generate(trace.GeneratorConfig{
+		Seed:    7,
+		Horizon: 120,
+		Archetypes: []trace.Archetype{
+			trace.Periodic{Period: 10},
+			trace.Sporadic{MeanGap: 60},
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("functions:", len(tr.Functions))
+	fmt.Println("fn-00 gaps all 10:", allEqual(tr.Functions[0].InterArrivals(), 10))
+	// Output:
+	// functions: 2
+	// fn-00 gaps all 10: true
+}
+
+func allEqual(xs []int, v int) bool {
+	for _, x := range xs {
+		if x != v {
+			return false
+		}
+	}
+	return len(xs) > 0
+}
+
+// ExampleInterArrivalDistribution computes the Figure 1 view: the share of
+// invocations arriving at each gap within the 10-minute keep-alive window.
+func ExampleInterArrivalDistribution() {
+	gaps := []int{2, 2, 2, 5, 30}
+	pct, coverage, err := trace.InterArrivalDistribution(gaps, 10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("gap 2: %.0f%%, gap 5: %.0f%%, within window: %.0f%%\n",
+		pct[2], pct[5], coverage*100)
+	// Output:
+	// gap 2: 75%, gap 5: 25%, within window: 80%
+}
+
+// ExampleParseSpec turns a JSON workload description into a trace.
+func ExampleParseSpec() {
+	spec, err := trace.ParseSpec(strings.NewReader(`{
+	  "seed": 1, "days": 1,
+	  "functions": [{"archetype": "periodic", "params": {"period": 15}}]
+	}`))
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg, err := spec.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	tr, err := trace.Generate(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("horizon minutes:", tr.Horizon)
+	fmt.Println("invocations:", tr.TotalInvocations())
+	// Output:
+	// horizon minutes: 1440
+	// invocations: 95
+}

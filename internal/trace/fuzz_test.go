@@ -1,0 +1,63 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV: arbitrary input must never panic, and anything that parses
+// must validate and round-trip.
+func FuzzReadCSV(f *testing.F) {
+	tr, err := Generate(GeneratorConfig{Seed: 1, Horizon: 120})
+	if err != nil {
+		f.Fatal(err)
+	}
+	var seed bytes.Buffer
+	if err := WriteCSV(&seed, tr); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.String())
+	f.Add("id,name,archetype,horizon\n0,f,a,10,1,1\n")
+	f.Add("")
+	f.Add("id,name,archetype,horizon\n0,f,a,10,1\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		parsed, err := ReadCSV(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		if verr := parsed.Validate(); verr != nil {
+			t.Fatalf("ReadCSV accepted invalid trace: %v", verr)
+		}
+		var out bytes.Buffer
+		if werr := WriteCSV(&out, parsed); werr != nil {
+			t.Fatalf("parsed trace failed to serialize: %v", werr)
+		}
+		back, rerr := ReadCSV(&out)
+		if rerr != nil {
+			t.Fatalf("round trip failed: %v", rerr)
+		}
+		if back.TotalInvocations() != parsed.TotalInvocations() {
+			t.Fatalf("round trip changed invocations: %d vs %d",
+				back.TotalInvocations(), parsed.TotalInvocations())
+		}
+	})
+}
+
+// FuzzReadAzureCSV: arbitrary Azure-format input must never panic, and
+// anything accepted must validate.
+func FuzzReadAzureCSV(f *testing.F) {
+	f.Add("HashOwner,HashApp,HashFunction,Trigger,1,2\no,a,fn,http,3,0\n")
+	f.Add("HashOwner,HashApp,HashFunction,Trigger,1\no,a,fn,http,-1\n")
+	f.Add("")
+	f.Add("x\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		parsed, err := ReadAzureCSV(AzureReadOptions{}, strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		if verr := parsed.Validate(); verr != nil {
+			t.Fatalf("ReadAzureCSV accepted invalid trace: %v", verr)
+		}
+	})
+}

@@ -1,0 +1,271 @@
+package trace
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestGenerateDefaults(t *testing.T) {
+	tr, err := Generate(GeneratorConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Horizon != 14*MinutesPerDay {
+		t.Errorf("default horizon = %d, want 14 days", tr.Horizon)
+	}
+	if len(tr.Functions) != 12 {
+		t.Errorf("default functions = %d, want 12", len(tr.Functions))
+	}
+	if err := tr.Validate(); err != nil {
+		t.Errorf("generated trace invalid: %v", err)
+	}
+	if tr.TotalInvocations() == 0 {
+		t.Error("generated trace has no invocations")
+	}
+	for i := range tr.Functions {
+		if tr.Functions[i].TotalInvocations() == 0 {
+			t.Errorf("function %d (%s) generated zero invocations over 14 days",
+				i, tr.Functions[i].Archetype)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(GeneratorConfig{Seed: 42, Horizon: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(GeneratorConfig{Seed: 42, Horizon: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Functions {
+		for tt := range a.Functions[i].Counts {
+			if a.Functions[i].Counts[tt] != b.Functions[i].Counts[tt] {
+				t.Fatalf("same seed diverged at fn %d minute %d", i, tt)
+			}
+		}
+	}
+	c, err := Generate(GeneratorConfig{Seed: 43, Horizon: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a.Functions {
+		for tt := range a.Functions[i].Counts {
+			if a.Functions[i].Counts[tt] != c.Functions[i].Counts[tt] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical traces")
+	}
+}
+
+func TestPeriodicArchetype(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	counts := Periodic{Period: 10, Jitter: 0}.Generate(rng, 100)
+	f := mkFunc(0, counts)
+	for _, g := range f.InterArrivals() {
+		if g != 10 {
+			t.Errorf("jitter-free periodic gap = %d, want 10", g)
+		}
+	}
+	// Degenerate period clamps to 1 rather than looping forever.
+	counts = Periodic{Period: 0, Jitter: 0}.Generate(rng, 10)
+	if len(counts) != 10 {
+		t.Error("degenerate period produced wrong horizon")
+	}
+}
+
+func TestPeriodicJitterStaysNear(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	counts := Periodic{Period: 20, Jitter: 3}.Generate(rng, 10000)
+	f := mkFunc(0, counts)
+	for _, g := range f.InterArrivals() {
+		if g < 20-6 || g > 20+6 {
+			t.Errorf("jittered gap %d outside [14, 26]", g)
+		}
+	}
+}
+
+func TestPoissonArchetypeRate(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	const horizon = 50000
+	counts := Poisson{Rate: 0.2}.Generate(rng, horizon)
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	mean := float64(total) / horizon
+	if mean < 0.17 || mean > 0.23 {
+		t.Errorf("empirical rate = %v, want ≈0.2", mean)
+	}
+	// Zero rate yields silence.
+	counts = Poisson{Rate: 0}.Generate(rng, 100)
+	for _, c := range counts {
+		if c != 0 {
+			t.Error("zero-rate Poisson produced invocations")
+		}
+	}
+}
+
+func TestDiurnalConcentratesAtPeak(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	peak := 12 * 60
+	counts := Diurnal{Base: 0, Amplitude: 1, PeakMinute: peak}.Generate(rng, 7*MinutesPerDay)
+	nearPeak, offPeak := 0, 0
+	for tt, c := range counts {
+		tod := tt % MinutesPerDay
+		dist := abs(tod - peak)
+		if dist > MinutesPerDay/2 {
+			dist = MinutesPerDay - dist
+		}
+		if dist <= 120 {
+			nearPeak += c
+		}
+		if dist >= 480 {
+			offPeak += c
+		}
+	}
+	if nearPeak <= offPeak*2 {
+		t.Errorf("diurnal not concentrated: near=%d off=%d", nearPeak, offPeak)
+	}
+}
+
+func TestBurstyProducesBursts(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	counts := Bursty{BurstsPerDay: 4, BurstLen: 5, BurstRate: 5, QuietRate: 0}.Generate(rng, 7*MinutesPerDay)
+	busy := 0
+	for _, c := range counts {
+		if c > 0 {
+			busy++
+		}
+	}
+	if busy == 0 {
+		t.Fatal("bursty archetype produced nothing")
+	}
+	// With zero quiet rate, activity is confined to bursts: ~4·5=20
+	// active-ish minutes/day out of 1440, so well under 10% of minutes.
+	if frac := float64(busy) / float64(len(counts)); frac > 0.10 {
+		t.Errorf("bursty active fraction = %v, want < 0.10", frac)
+	}
+}
+
+func TestHeavyTailedHasHighCV(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	counts := HeavyTailed{Alpha: 1.2, Scale: 1}.Generate(rng, 30*MinutesPerDay)
+	f := mkFunc(0, counts)
+	sum := Summarize(&f)
+	if sum.Invocations == 0 {
+		t.Fatal("heavy-tailed produced nothing")
+	}
+	if sum.CVInterArriv < 1.0 {
+		t.Errorf("heavy-tailed CV = %v, want ≥ 1 (heavier than exponential)", sum.CVInterArriv)
+	}
+	// Degenerate parameters fall back to safe defaults.
+	counts = HeavyTailed{Alpha: -1, Scale: -1}.Generate(rng, 1000)
+	if len(counts) != 1000 {
+		t.Error("degenerate heavy-tail wrong horizon")
+	}
+}
+
+func TestSporadicMeanGap(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	counts := Sporadic{MeanGap: 100}.Generate(rng, 200000)
+	f := mkFunc(0, counts)
+	gaps := f.InterArrivals()
+	if len(gaps) < 100 {
+		t.Fatalf("too few sporadic invocations: %d", len(gaps))
+	}
+	var sum float64
+	for _, g := range gaps {
+		sum += float64(g)
+	}
+	mean := sum / float64(len(gaps))
+	if mean < 80 || mean > 120 {
+		t.Errorf("sporadic mean gap = %v, want ≈100", mean)
+	}
+}
+
+func TestDriftingChangesPattern(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	d := Drifting{Phases: []Archetype{
+		Periodic{Period: 2, Jitter: 0},
+		Sporadic{MeanGap: 200},
+	}}
+	counts := d.Generate(rng, 4*MinutesPerDay)
+	f := mkFunc(0, counts)
+	firstHalf := f.InterArrivalsInRange(0, 2*MinutesPerDay)
+	secondHalf := f.InterArrivalsInRange(2*MinutesPerDay, 4*MinutesPerDay)
+	if len(firstHalf) == 0 || len(secondHalf) == 0 {
+		t.Fatal("drifting phase empty")
+	}
+	m1 := meanInts(firstHalf)
+	m2 := meanInts(secondHalf)
+	if m2 < m1*10 {
+		t.Errorf("drift not visible: first mean %v, second mean %v", m1, m2)
+	}
+	// Empty phase list yields silence, not a panic.
+	counts = Drifting{}.Generate(rng, 100)
+	for _, c := range counts {
+		if c != 0 {
+			t.Error("empty drifting produced invocations")
+		}
+	}
+}
+
+func meanInts(xs []int) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0
+	for _, x := range xs {
+		s += x
+	}
+	return float64(s) / float64(len(xs))
+}
+
+func TestSamplePoissonLargeLambda(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	var sum float64
+	const n = 5000
+	for i := 0; i < n; i++ {
+		v := samplePoisson(rng, 100)
+		if v < 0 {
+			t.Fatal("negative Poisson sample")
+		}
+		sum += float64(v)
+	}
+	mean := sum / n
+	if mean < 95 || mean > 105 {
+		t.Errorf("normal-approx Poisson mean = %v, want ≈100", mean)
+	}
+}
+
+func TestGenerateCustomArchetypes(t *testing.T) {
+	tr, err := Generate(GeneratorConfig{
+		Seed:       1,
+		Horizon:    500,
+		Archetypes: []Archetype{Periodic{Period: 5}, Poisson{Rate: 0.5}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Functions) != 2 || tr.Horizon != 500 {
+		t.Errorf("custom generate: %d functions horizon %d", len(tr.Functions), tr.Horizon)
+	}
+	if tr.Functions[0].Archetype != (Periodic{Period: 5}).Name() {
+		t.Errorf("archetype label = %q", tr.Functions[0].Archetype)
+	}
+}
+
+func BenchmarkGenerateTwoWeeks(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Generate(GeneratorConfig{Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,104 @@
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteCSV serializes the trace in a sparse long format:
+//
+//	header:  id,name,archetype,horizon
+//	rows:    one per function, then "minute,count" pairs only for non-zero
+//	         minutes, flattened as alternating columns.
+//
+// The sparse encoding keeps two-week traces compact (most minutes are zero
+// for most functions).
+func WriteCSV(w io.Writer, tr *Trace) error {
+	if err := tr.Validate(); err != nil {
+		return err
+	}
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"id", "name", "archetype", "horizon"}); err != nil {
+		return fmt.Errorf("trace: write header: %w", err)
+	}
+	for i := range tr.Functions {
+		f := &tr.Functions[i]
+		rec := []string{
+			strconv.Itoa(f.ID),
+			f.Name,
+			f.Archetype,
+			strconv.Itoa(tr.Horizon),
+		}
+		for t, c := range f.Counts {
+			if c > 0 {
+				rec = append(rec, strconv.Itoa(t), strconv.Itoa(c))
+			}
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("trace: write function %q: %w", f.Name, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a trace written by WriteCSV.
+func ReadCSV(r io.Reader) (*Trace, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1 // rows have variable length
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("trace: read header: %w", err)
+	}
+	if len(header) < 4 || header[0] != "id" {
+		return nil, fmt.Errorf("trace: unrecognized header %v", header)
+	}
+	tr := &Trace{}
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("trace: read row: %w", err)
+		}
+		if len(rec) < 4 || (len(rec)-4)%2 != 0 {
+			return nil, fmt.Errorf("trace: malformed row of %d fields", len(rec))
+		}
+		id, err := strconv.Atoi(rec[0])
+		if err != nil {
+			return nil, fmt.Errorf("trace: bad id %q: %w", rec[0], err)
+		}
+		horizon, err := strconv.Atoi(rec[3])
+		if err != nil {
+			return nil, fmt.Errorf("trace: bad horizon %q: %w", rec[3], err)
+		}
+		if tr.Horizon == 0 {
+			tr.Horizon = horizon
+		} else if tr.Horizon != horizon {
+			return nil, fmt.Errorf("trace: inconsistent horizons %d and %d", tr.Horizon, horizon)
+		}
+		f := Function{ID: id, Name: rec[1], Archetype: rec[2], Counts: make([]int, horizon)}
+		for i := 4; i < len(rec); i += 2 {
+			t, err := strconv.Atoi(rec[i])
+			if err != nil {
+				return nil, fmt.Errorf("trace: bad minute %q: %w", rec[i], err)
+			}
+			c, err := strconv.Atoi(rec[i+1])
+			if err != nil {
+				return nil, fmt.Errorf("trace: bad count %q: %w", rec[i+1], err)
+			}
+			if t < 0 || t >= horizon {
+				return nil, fmt.Errorf("trace: minute %d outside horizon %d", t, horizon)
+			}
+			f.Counts[t] = c
+		}
+		tr.Functions = append(tr.Functions, f)
+	}
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	return tr, nil
+}

@@ -1,0 +1,88 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	orig, err := Generate(GeneratorConfig{Seed: 11, Horizon: 2 * MinutesPerDay})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Horizon != orig.Horizon || len(back.Functions) != len(orig.Functions) {
+		t.Fatalf("shape mismatch: %d/%d vs %d/%d",
+			back.Horizon, len(back.Functions), orig.Horizon, len(orig.Functions))
+	}
+	for i := range orig.Functions {
+		of, bf := &orig.Functions[i], &back.Functions[i]
+		if of.ID != bf.ID || of.Name != bf.Name || of.Archetype != bf.Archetype {
+			t.Errorf("fn %d metadata mismatch: %+v vs %+v", i, of, bf)
+		}
+		for tt := range of.Counts {
+			if of.Counts[tt] != bf.Counts[tt] {
+				t.Fatalf("fn %d counts diverge at %d: %d vs %d", i, tt, of.Counts[tt], bf.Counts[tt])
+			}
+		}
+	}
+}
+
+func TestWriteCSVInvalidTrace(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, &Trace{Horizon: 0}); err == nil {
+		t.Error("writing invalid trace should fail")
+	}
+}
+
+func TestReadCSVMalformed(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"empty", ""},
+		{"bad header", "x,y,z,w\n"},
+		{"bad id", "id,name,archetype,horizon\nzz,f,a,10,1,1\n"},
+		{"bad horizon", "id,name,archetype,horizon\n0,f,a,nope,1,1\n"},
+		{"odd pairs", "id,name,archetype,horizon\n0,f,a,10,1\n"},
+		{"bad minute", "id,name,archetype,horizon\n0,f,a,10,xx,1\n"},
+		{"bad count", "id,name,archetype,horizon\n0,f,a,10,1,xx\n"},
+		{"minute out of range", "id,name,archetype,horizon\n0,f,a,10,15,1\n"},
+		{"inconsistent horizons", "id,name,archetype,horizon\n0,f,a,10,1,1\n1,g,a,20,1,1\n"},
+		{"duplicate ids", "id,name,archetype,horizon\n0,f,a,10,1,1\n0,g,a,10,2,1\n"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := ReadCSV(strings.NewReader(c.in)); err == nil {
+				t.Errorf("ReadCSV(%q) should fail", c.in)
+			}
+		})
+	}
+}
+
+func TestReadCSVValid(t *testing.T) {
+	in := "id,name,archetype,horizon\n0,f,periodic,10,2,1,5,3\n1,g,,10\n"
+	tr, err := ReadCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Horizon != 10 || len(tr.Functions) != 2 {
+		t.Fatalf("parsed shape: horizon=%d fns=%d", tr.Horizon, len(tr.Functions))
+	}
+	f := tr.FunctionByID(0)
+	if f.Counts[2] != 1 || f.Counts[5] != 3 {
+		t.Errorf("sparse counts wrong: %v", f.Counts)
+	}
+	g := tr.FunctionByID(1)
+	if g.TotalInvocations() != 0 {
+		t.Errorf("empty function has invocations: %v", g.Counts)
+	}
+}

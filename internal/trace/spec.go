@@ -1,0 +1,162 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Spec is a JSON-serializable description of a synthetic workload, letting
+// users define custom archetype mixes without writing Go:
+//
+//	{
+//	  "seed": 42,
+//	  "days": 14,
+//	  "functions": [
+//	    {"archetype": "periodic", "params": {"period": 5, "jitter": 1}},
+//	    {"archetype": "bursty", "params": {"burstsPerDay": 3, "burstLen": 6,
+//	                                       "burstRate": 4, "quietRate": 0.01}},
+//	    {"archetype": "drifting", "phases": [
+//	      {"archetype": "periodic", "params": {"period": 4}},
+//	      {"archetype": "sporadic", "params": {"meanGap": 45}}
+//	    ]}
+//	  ]
+//	}
+type Spec struct {
+	Seed      int64          `json:"seed"`
+	Days      int            `json:"days"`
+	Functions []FunctionSpec `json:"functions"`
+}
+
+// FunctionSpec describes one function's archetype. Params carries the
+// archetype's numeric parameters; Phases is only used by "drifting".
+type FunctionSpec struct {
+	Archetype string             `json:"archetype"`
+	Params    map[string]float64 `json:"params,omitempty"`
+	Phases    []FunctionSpec     `json:"phases,omitempty"`
+}
+
+// ParseSpec decodes a Spec from JSON, rejecting unknown fields.
+func ParseSpec(r io.Reader) (*Spec, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var s Spec
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("trace: parse spec: %w", err)
+	}
+	return &s, nil
+}
+
+// Build converts the spec into a GeneratorConfig, validating every
+// archetype and parameter name.
+func (s *Spec) Build() (GeneratorConfig, error) {
+	if s.Days <= 0 {
+		return GeneratorConfig{}, fmt.Errorf("trace: spec needs positive days, got %d", s.Days)
+	}
+	if len(s.Functions) == 0 {
+		return GeneratorConfig{}, fmt.Errorf("trace: spec has no functions")
+	}
+	archetypes := make([]Archetype, len(s.Functions))
+	for i, fs := range s.Functions {
+		a, err := fs.build()
+		if err != nil {
+			return GeneratorConfig{}, fmt.Errorf("trace: function %d: %w", i, err)
+		}
+		archetypes[i] = a
+	}
+	return GeneratorConfig{
+		Seed:       s.Seed,
+		Horizon:    s.Days * MinutesPerDay,
+		Archetypes: archetypes,
+	}, nil
+}
+
+// paramReader validates parameter names and presence.
+type paramReader struct {
+	params map[string]float64
+	used   map[string]bool
+	errs   []error
+}
+
+func newParamReader(params map[string]float64) *paramReader {
+	return &paramReader{params: params, used: make(map[string]bool)}
+}
+
+func (p *paramReader) get(name string, def float64) float64 {
+	p.used[name] = true
+	if v, ok := p.params[name]; ok {
+		return v
+	}
+	return def
+}
+
+func (p *paramReader) finish() error {
+	if len(p.errs) > 0 {
+		return p.errs[0]
+	}
+	for name := range p.params {
+		if !p.used[name] {
+			return fmt.Errorf("unknown parameter %q", name)
+		}
+	}
+	return nil
+}
+
+func (fs FunctionSpec) build() (Archetype, error) {
+	p := newParamReader(fs.Params)
+	var a Archetype
+	switch fs.Archetype {
+	case "periodic":
+		a = Periodic{
+			Period: int(p.get("period", 10)),
+			Jitter: int(p.get("jitter", 0)),
+		}
+	case "poisson":
+		a = Poisson{Rate: p.get("rate", 0.1)}
+	case "diurnal":
+		a = Diurnal{
+			Base:       p.get("base", 0.02),
+			Amplitude:  p.get("amplitude", 0.5),
+			PeakMinute: int(p.get("peakMinute", 13*60)),
+		}
+	case "bursty":
+		a = Bursty{
+			BurstsPerDay: p.get("burstsPerDay", 3),
+			BurstLen:     int(p.get("burstLen", 6)),
+			BurstRate:    p.get("burstRate", 4),
+			QuietRate:    p.get("quietRate", 0.01),
+		}
+	case "heavytail":
+		a = HeavyTailed{
+			Alpha: p.get("alpha", 1.3),
+			Scale: p.get("scale", 2),
+		}
+	case "sporadic":
+		a = Sporadic{MeanGap: int(p.get("meanGap", 180))}
+	case "drifting":
+		if len(fs.Params) > 0 {
+			return nil, fmt.Errorf("drifting takes phases, not params")
+		}
+		if len(fs.Phases) == 0 {
+			return nil, fmt.Errorf("drifting needs at least one phase")
+		}
+		phases := make([]Archetype, len(fs.Phases))
+		for i, ps := range fs.Phases {
+			sub, err := ps.build()
+			if err != nil {
+				return nil, fmt.Errorf("phase %d: %w", i, err)
+			}
+			phases[i] = sub
+		}
+		return Drifting{Phases: phases}, nil
+	default:
+		return nil, fmt.Errorf("unknown archetype %q", fs.Archetype)
+	}
+	if fs.Phases != nil {
+		return nil, fmt.Errorf("archetype %q does not take phases", fs.Archetype)
+	}
+	if err := p.finish(); err != nil {
+		return nil, fmt.Errorf("archetype %q: %w", fs.Archetype, err)
+	}
+	return a, nil
+}

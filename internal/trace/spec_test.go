@@ -1,0 +1,97 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleSpec = `{
+  "seed": 42,
+  "days": 2,
+  "functions": [
+    {"archetype": "periodic", "params": {"period": 5, "jitter": 1}},
+    {"archetype": "poisson", "params": {"rate": 0.2}},
+    {"archetype": "diurnal", "params": {"base": 0.01, "amplitude": 0.4, "peakMinute": 600}},
+    {"archetype": "bursty", "params": {"burstsPerDay": 3, "burstLen": 6, "burstRate": 4, "quietRate": 0.01}},
+    {"archetype": "heavytail", "params": {"alpha": 1.4, "scale": 2}},
+    {"archetype": "sporadic", "params": {"meanGap": 90}},
+    {"archetype": "drifting", "phases": [
+      {"archetype": "periodic", "params": {"period": 4}},
+      {"archetype": "sporadic", "params": {"meanGap": 45}}
+    ]}
+  ]
+}`
+
+func TestSpecRoundTrip(t *testing.T) {
+	spec, err := ParseSpec(strings.NewReader(sampleSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Seed != 42 || spec.Days != 2 || len(spec.Functions) != 7 {
+		t.Fatalf("parsed spec: %+v", spec)
+	}
+	cfg, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Horizon != 2*MinutesPerDay || len(cfg.Archetypes) != 7 {
+		t.Fatalf("built config: horizon %d, %d archetypes", cfg.Horizon, len(cfg.Archetypes))
+	}
+	tr, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.TotalInvocations() == 0 {
+		t.Error("spec-built trace is silent")
+	}
+	// Archetype names propagate.
+	if !strings.HasPrefix(tr.Functions[0].Archetype, "periodic") {
+		t.Errorf("archetype label = %q", tr.Functions[0].Archetype)
+	}
+	if !strings.HasPrefix(tr.Functions[6].Archetype, "drifting") {
+		t.Errorf("drifting label = %q", tr.Functions[6].Archetype)
+	}
+}
+
+func TestSpecDefaults(t *testing.T) {
+	spec, err := ParseSpec(strings.NewReader(`{"days": 1, "functions": [{"archetype": "periodic"}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Archetypes[0].(Periodic).Period != 10 {
+		t.Errorf("default period = %d, want 10", cfg.Archetypes[0].(Periodic).Period)
+	}
+}
+
+func TestSpecErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"bad json", `{`},
+		{"unknown field", `{"days": 1, "nope": 2, "functions": [{"archetype": "poisson"}]}`},
+		{"no days", `{"functions": [{"archetype": "poisson"}]}`},
+		{"no functions", `{"days": 1, "functions": []}`},
+		{"unknown archetype", `{"days": 1, "functions": [{"archetype": "warp"}]}`},
+		{"unknown param", `{"days": 1, "functions": [{"archetype": "poisson", "params": {"rale": 0.1}}]}`},
+		{"phases on non-drifting", `{"days": 1, "functions": [{"archetype": "poisson", "phases": [{"archetype": "poisson"}]}]}`},
+		{"params on drifting", `{"days": 1, "functions": [{"archetype": "drifting", "params": {"x": 1}, "phases": [{"archetype": "poisson"}]}]}`},
+		{"empty drifting", `{"days": 1, "functions": [{"archetype": "drifting"}]}`},
+		{"bad phase", `{"days": 1, "functions": [{"archetype": "drifting", "phases": [{"archetype": "zzz"}]}]}`},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			spec, err := ParseSpec(strings.NewReader(c.in))
+			if err != nil {
+				return // parse-stage rejection is fine
+			}
+			if _, err := spec.Build(); err == nil {
+				t.Errorf("spec %q accepted", c.name)
+			}
+		})
+	}
+}

@@ -1,0 +1,222 @@
+// Package trace models serverless invocation workloads at minute
+// resolution, the time base PULSE works in ("the time resolution used for
+// inter-arrival time is in minutes").
+//
+// The paper drives its evaluation with the Microsoft Azure Functions
+// production trace [Shahrad et al., ATC'20], selecting the inter-arrival
+// behaviour of 12 functions. That trace cannot be redistributed, so this
+// package also provides a seeded synthetic generator (see generator.go)
+// that reproduces the workload properties PULSE's evaluation depends on:
+// per-function inter-arrival diversity (Fig. 1), temporal drift within a
+// function (Fig. 2), and cumulative invocation peaks (Tables II/III).
+package trace
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// MinutesPerDay is the number of simulation minutes in a day.
+const MinutesPerDay = 24 * 60
+
+// Function is one serverless function's invocation series: Counts[t] is the
+// number of invocations arriving during minute t.
+type Function struct {
+	ID        int
+	Name      string
+	Archetype string // generator archetype that produced it ("" for loaded traces)
+	Counts    []int
+}
+
+// TotalInvocations returns the total invocation count of the function.
+func (f Function) TotalInvocations() int {
+	total := 0
+	for _, c := range f.Counts {
+		total += c
+	}
+	return total
+}
+
+// InvocationMinutes returns the sorted minutes with at least one invocation.
+func (f Function) InvocationMinutes() []int {
+	var out []int
+	for t, c := range f.Counts {
+		if c > 0 {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// InterArrivals returns the gaps, in minutes, between successive invocation
+// minutes. A function with fewer than two active minutes has no
+// inter-arrivals.
+func (f Function) InterArrivals() []int {
+	mins := f.InvocationMinutes()
+	if len(mins) < 2 {
+		return nil
+	}
+	out := make([]int, 0, len(mins)-1)
+	for i := 1; i < len(mins); i++ {
+		out = append(out, mins[i]-mins[i-1])
+	}
+	return out
+}
+
+// InterArrivalsInRange returns inter-arrivals computed only from invocation
+// minutes t with from ≤ t < to. Figure 2 uses this to compare the first,
+// middle, and last four days of the same function.
+func (f Function) InterArrivalsInRange(from, to int) []int {
+	var mins []int
+	for t := from; t < to && t < len(f.Counts); t++ {
+		if t >= 0 && f.Counts[t] > 0 {
+			mins = append(mins, t)
+		}
+	}
+	if len(mins) < 2 {
+		return nil
+	}
+	out := make([]int, 0, len(mins)-1)
+	for i := 1; i < len(mins); i++ {
+		out = append(out, mins[i]-mins[i-1])
+	}
+	return out
+}
+
+// Trace is a fixed-horizon workload over a set of functions. All functions
+// share the same horizon.
+type Trace struct {
+	Horizon   int // minutes
+	Functions []Function
+}
+
+// Validate checks structural invariants: positive horizon, count slices of
+// the right length, non-negative counts, unique IDs.
+func (tr *Trace) Validate() error {
+	if tr.Horizon <= 0 {
+		return fmt.Errorf("trace: non-positive horizon %d", tr.Horizon)
+	}
+	if len(tr.Functions) == 0 {
+		return errors.New("trace: no functions")
+	}
+	seen := make(map[int]bool, len(tr.Functions))
+	for i := range tr.Functions {
+		f := &tr.Functions[i]
+		if seen[f.ID] {
+			return fmt.Errorf("trace: duplicate function ID %d", f.ID)
+		}
+		seen[f.ID] = true
+		if len(f.Counts) != tr.Horizon {
+			return fmt.Errorf("trace: function %q has %d minutes, horizon is %d", f.Name, len(f.Counts), tr.Horizon)
+		}
+		for t, c := range f.Counts {
+			if c < 0 {
+				return fmt.Errorf("trace: function %q has negative count %d at minute %d", f.Name, c, t)
+			}
+		}
+	}
+	return nil
+}
+
+// FunctionByID returns the function with the given ID, or nil.
+func (tr *Trace) FunctionByID(id int) *Function {
+	for i := range tr.Functions {
+		if tr.Functions[i].ID == id {
+			return &tr.Functions[i]
+		}
+	}
+	return nil
+}
+
+// AggregateCounts returns, per minute, the total invocations across all
+// functions — the series in which the paper identifies "numerous peaks in
+// invocations (cumulative for all concurrent functions)".
+func (tr *Trace) AggregateCounts() []int {
+	agg := make([]int, tr.Horizon)
+	for i := range tr.Functions {
+		for t, c := range tr.Functions[i].Counts {
+			agg[t] += c
+		}
+	}
+	return agg
+}
+
+// TotalInvocations returns the total invocation count across functions.
+func (tr *Trace) TotalInvocations() int {
+	total := 0
+	for i := range tr.Functions {
+		total += tr.Functions[i].TotalInvocations()
+	}
+	return total
+}
+
+// Slice returns a sub-trace covering minutes [from, to). Function IDs,
+// names, and archetypes are preserved; counts are copied.
+func (tr *Trace) Slice(from, to int) (*Trace, error) {
+	if from < 0 || to > tr.Horizon || from >= to {
+		return nil, fmt.Errorf("trace: invalid slice [%d, %d) of horizon %d", from, to, tr.Horizon)
+	}
+	out := &Trace{Horizon: to - from, Functions: make([]Function, len(tr.Functions))}
+	for i := range tr.Functions {
+		f := &tr.Functions[i]
+		counts := make([]int, to-from)
+		copy(counts, f.Counts[from:to])
+		out.Functions[i] = Function{ID: f.ID, Name: f.Name, Archetype: f.Archetype, Counts: counts}
+	}
+	return out, nil
+}
+
+// Peak is a local maximum of the aggregate invocation series.
+type Peak struct {
+	Minute int
+	Count  int
+}
+
+// TopPeaks returns the n highest-volume peaks of the aggregate series,
+// separated by at least minGap minutes so that one broad burst does not
+// claim every slot. Peaks are returned by descending count. The paper
+// "designate[s] two prominent peaks, characterized by the highest volume of
+// invocations" — TopPeaks(2, gap) reproduces that selection.
+func (tr *Trace) TopPeaks(n, minGap int) []Peak {
+	if n <= 0 {
+		return nil
+	}
+	if minGap < 0 {
+		minGap = 0
+	}
+	agg := tr.AggregateCounts()
+	order := make([]int, len(agg))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return agg[order[a]] > agg[order[b]] })
+	var peaks []Peak
+	for _, t := range order {
+		if agg[t] == 0 {
+			break
+		}
+		tooClose := false
+		for _, p := range peaks {
+			if abs(p.Minute-t) < minGap {
+				tooClose = true
+				break
+			}
+		}
+		if tooClose {
+			continue
+		}
+		peaks = append(peaks, Peak{Minute: t, Count: agg[t]})
+		if len(peaks) == n {
+			break
+		}
+	}
+	return peaks
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,224 @@
+// Package pulse is the public API of the PULSE reproduction: a dynamic
+// keep-alive controller for serverless ML inference that blends model
+// quality variants within the standard 10-minute keep-alive window to cut
+// keep-alive cost while preserving warm starts and accuracy, plus the full
+// evaluation substrate the paper runs on — a minute-resolution serverless
+// platform simulator, a synthetic Azure-like trace generator, the model
+// catalog, the baseline policies (OpenWhisk fixed, Serverless-in-the-Wild,
+// IceBreaker, MILP), and a multi-run experiment harness.
+//
+// Quick start:
+//
+//	tr, _ := pulse.GenerateTrace(pulse.TraceConfig{Seed: 1})
+//	cat := pulse.Catalog()
+//	asg := pulse.UniformAssignment(cat, len(tr.Functions))
+//	p, _ := pulse.New(pulse.Config{Catalog: cat, Assignment: asg})
+//	res, _ := pulse.Simulate(pulse.SimulationConfig{Trace: tr, Catalog: cat, Assignment: asg}, p)
+//	fmt.Println(res.KeepAliveCostUSD, res.MeanAccuracyPct())
+//
+// See examples/ for runnable programs and cmd/experiments for the
+// table/figure reproduction harness.
+package pulse
+
+import (
+	"fmt"
+
+	"github.com/pulse-serverless/pulse/internal/cluster"
+	"github.com/pulse-serverless/pulse/internal/core"
+	"github.com/pulse-serverless/pulse/internal/milp"
+	"github.com/pulse-serverless/pulse/internal/models"
+	"github.com/pulse-serverless/pulse/internal/policy"
+	"github.com/pulse-serverless/pulse/internal/predict"
+	"github.com/pulse-serverless/pulse/internal/sim"
+	"github.com/pulse-serverless/pulse/internal/trace"
+)
+
+// Re-exported core types. The facade keeps downstream imports to a single
+// package while the implementation lives in internal/ packages.
+type (
+	// Trace is a minute-resolution serverless workload.
+	Trace = trace.Trace
+	// TraceFunction is one function's invocation series.
+	TraceFunction = trace.Function
+	// TraceConfig parameterizes the synthetic trace generator.
+	TraceConfig = trace.GeneratorConfig
+
+	// ModelCatalog is the set of model families with quality variants.
+	ModelCatalog = models.Catalog
+	// ModelFamily is one model with its ordered variants.
+	ModelFamily = models.Family
+	// ModelVariant is one quality level of a family.
+	ModelVariant = models.Variant
+	// Assignment maps function index → family index.
+	Assignment = models.Assignment
+
+	// Policy is the keep-alive controller interface the simulator drives.
+	Policy = cluster.Policy
+	// SimulationResult aggregates one simulated run.
+	SimulationResult = cluster.Result
+	// CostModel prices keep-alive memory.
+	CostModel = cluster.CostModel
+
+	// Config parameterizes a PULSE policy instance.
+	Config = core.Config
+	// Pulse is the PULSE keep-alive policy.
+	Pulse = core.Pulse
+	// ThresholdTechnique maps invocation probability to variant index.
+	ThresholdTechnique = core.ThresholdTechnique
+	// TechniqueT1 divides [0,1] into N probability bands (paper default).
+	TechniqueT1 = core.TechniqueT1
+	// TechniqueT2 reserves the lowest variant for probability zero.
+	TechniqueT2 = core.TechniqueT2
+
+	// ExperimentConfig assembles a multi-run paired experiment.
+	ExperimentConfig = sim.ExperimentConfig
+	// NamedFactory constructs one policy per run.
+	NamedFactory = sim.NamedFactory
+	// Aggregate summarizes a policy across runs.
+	Aggregate = sim.Aggregate
+	// Improvement is the relative change versus a baseline.
+	Improvement = sim.Improvement
+)
+
+// DefaultKeepAliveWindow is the industry-standard fixed keep-alive period
+// in minutes.
+const DefaultKeepAliveWindow = cluster.DefaultKeepAliveWindow
+
+// NoVariant marks "no container kept alive" in policy decisions.
+const NoVariant = cluster.NoVariant
+
+// GenerateTrace builds a synthetic Azure-like workload (12 functions over
+// two weeks by default), seeded and reproducible.
+func GenerateTrace(cfg TraceConfig) (*Trace, error) { return trace.Generate(cfg) }
+
+// Catalog returns the paper's model catalog (Tables I and IV): GPT, BERT,
+// YOLO, ResNet, and DenseNet with their quality variants.
+func Catalog() *ModelCatalog { return models.PaperCatalog() }
+
+// UniformAssignment assigns families to functions round-robin — a fixed,
+// reproducible model-to-function mapping.
+func UniformAssignment(cat *ModelCatalog, nFunctions int) Assignment {
+	asg := make(Assignment, nFunctions)
+	for i := range asg {
+		asg[i] = i % len(cat.Families)
+	}
+	return asg
+}
+
+// DefaultCostModel returns the AWS-Lambda-calibrated keep-alive pricing.
+func DefaultCostModel() CostModel { return cluster.DefaultCostModel() }
+
+// New builds a PULSE policy.
+func New(cfg Config) (*Pulse, error) { return core.New(cfg) }
+
+// SimulationConfig assembles a single simulation run.
+type SimulationConfig struct {
+	Trace      *Trace
+	Catalog    *ModelCatalog
+	Assignment Assignment
+	// Cost defaults to DefaultCostModel when zero.
+	Cost CostModel
+	// MeasureOverhead samples wall-clock time in policy calls.
+	MeasureOverhead bool
+}
+
+// Simulate runs one policy over one trace and returns its metrics.
+func Simulate(cfg SimulationConfig, p Policy) (*SimulationResult, error) {
+	if cfg.Cost.USDPerGBSecond == 0 {
+		cfg.Cost = cluster.DefaultCostModel()
+	}
+	return cluster.Run(cluster.Config{
+		Trace:           cfg.Trace,
+		Catalog:         cfg.Catalog,
+		Assignment:      cfg.Assignment,
+		Cost:            cfg.Cost,
+		MeasureOverhead: cfg.MeasureOverhead,
+	}, p)
+}
+
+// RunExperiment executes a paired multi-run experiment (the paper's
+// 1000-run methodology) and returns per-policy aggregates in factory order.
+func RunExperiment(cfg ExperimentConfig, factories []NamedFactory) ([]*Aggregate, error) {
+	return sim.RunExperiment(cfg, factories)
+}
+
+// ImprovementOver computes relative improvements versus a baseline
+// aggregate in the paper's reporting convention.
+func ImprovementOver(baseline, x *Aggregate) (Improvement, error) {
+	return sim.ImprovementOver(baseline, x)
+}
+
+// Baseline identifies one of the built-in comparison policies.
+type Baseline int
+
+// Built-in baselines.
+const (
+	// BaselineOpenWhisk is the fixed 10-minute all-high-quality policy.
+	BaselineOpenWhisk Baseline = iota
+	// BaselineAllLow is the fixed 10-minute all-low-quality policy.
+	BaselineAllLow
+	// BaselineWild is Serverless-in-the-Wild (hybrid histogram + ARIMA).
+	BaselineWild
+	// BaselineIceBreaker is the FFT-based warm-up strategy.
+	BaselineIceBreaker
+	// BaselineMILP is the exact utility-maximizing optimizer.
+	BaselineMILP
+	// BaselineHoltWinters is this repository's extension warm-up strategy
+	// (triple exponential smoothing); not part of the paper's comparison.
+	BaselineHoltWinters
+)
+
+// NewBaseline constructs one of the built-in comparison policies with its
+// default configuration.
+func NewBaseline(b Baseline, cat *ModelCatalog, asg Assignment) (Policy, error) {
+	switch b {
+	case BaselineOpenWhisk:
+		return policy.NewFixed(cat, asg, DefaultKeepAliveWindow, policy.QualityHighest)
+	case BaselineAllLow:
+		return policy.NewFixed(cat, asg, DefaultKeepAliveWindow, policy.QualityLowest)
+	case BaselineWild:
+		w, err := predict.NewWild(len(asg), predict.DefaultWildConfig())
+		if err != nil {
+			return nil, err
+		}
+		return predict.NewStandalonePolicy(w, cat, asg)
+	case BaselineIceBreaker:
+		ib, err := predict.NewIceBreaker(len(asg), predict.DefaultIceBreakerConfig())
+		if err != nil {
+			return nil, err
+		}
+		return predict.NewStandalonePolicy(ib, cat, asg)
+	case BaselineMILP:
+		return milp.NewPolicy(milp.PolicyConfig{Catalog: cat, Assignment: asg})
+	case BaselineHoltWinters:
+		hw, err := predict.NewHoltWinters(len(asg), predict.DefaultHWConfig())
+		if err != nil {
+			return nil, err
+		}
+		return predict.NewStandalonePolicy(hw, cat, asg)
+	default:
+		return nil, fmt.Errorf("pulse: unknown baseline %d", b)
+	}
+}
+
+// NewIntegrated builds a warm-up strategy with PULSE's variant selection
+// and memory-peak flattening integrated — the paper's Figure 8
+// configurations (Wild, IceBreaker) plus the Holt-Winters extension.
+func NewIntegrated(b Baseline, cat *ModelCatalog, asg Assignment) (Policy, error) {
+	var w predict.Warmer
+	var err error
+	switch b {
+	case BaselineWild:
+		w, err = predict.NewWild(len(asg), predict.DefaultWildConfig())
+	case BaselineIceBreaker:
+		w, err = predict.NewIceBreaker(len(asg), predict.DefaultIceBreakerConfig())
+	case BaselineHoltWinters:
+		w, err = predict.NewHoltWinters(len(asg), predict.DefaultHWConfig())
+	default:
+		return nil, fmt.Errorf("pulse: baseline %d cannot be integrated with PULSE", b)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return predict.NewIntegratedPolicy(w, cat, asg, predict.IntegratedConfig{})
+}

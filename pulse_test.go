@@ -1,0 +1,144 @@
+package pulse_test
+
+import (
+	"testing"
+
+	pulse "github.com/pulse-serverless/pulse"
+)
+
+func setup(t *testing.T) (*pulse.Trace, *pulse.ModelCatalog, pulse.Assignment) {
+	t.Helper()
+	tr, err := pulse.GenerateTrace(pulse.TraceConfig{Seed: 3, Horizon: 12 * 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat := pulse.Catalog()
+	return tr, cat, pulse.UniformAssignment(cat, len(tr.Functions))
+}
+
+func TestQuickstartFlow(t *testing.T) {
+	tr, cat, asg := setup(t)
+	p, err := pulse.New(pulse.Config{Catalog: cat, Assignment: asg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := pulse.Simulate(pulse.SimulationConfig{Trace: tr, Catalog: cat, Assignment: asg}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Invocations == 0 || res.KeepAliveCostUSD <= 0 {
+		t.Errorf("degenerate result: %+v", res)
+	}
+	if res.MeanAccuracyPct() <= 0 || res.MeanAccuracyPct() > 100 {
+		t.Errorf("accuracy = %v", res.MeanAccuracyPct())
+	}
+}
+
+func TestUniformAssignment(t *testing.T) {
+	cat := pulse.Catalog()
+	asg := pulse.UniformAssignment(cat, 12)
+	if len(asg) != 12 {
+		t.Fatalf("len = %d", len(asg))
+	}
+	if err := asg.Validate(cat, 12); err != nil {
+		t.Errorf("uniform assignment invalid: %v", err)
+	}
+	if asg[0] != 0 || asg[5] != 0 || asg[6] != 1 {
+		t.Errorf("round-robin broken: %v", asg)
+	}
+}
+
+func TestAllBaselinesConstructAndRun(t *testing.T) {
+	tr, cat, asg := setup(t)
+	short, err := tr.Slice(0, 240)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range []pulse.Baseline{
+		pulse.BaselineOpenWhisk,
+		pulse.BaselineAllLow,
+		pulse.BaselineWild,
+		pulse.BaselineIceBreaker,
+		pulse.BaselineMILP,
+		pulse.BaselineHoltWinters,
+	} {
+		p, err := pulse.NewBaseline(b, cat, asg)
+		if err != nil {
+			t.Fatalf("baseline %d: %v", b, err)
+		}
+		res, err := pulse.Simulate(pulse.SimulationConfig{Trace: short, Catalog: cat, Assignment: asg}, p)
+		if err != nil {
+			t.Fatalf("baseline %d run: %v", b, err)
+		}
+		if res.Invocations == 0 {
+			t.Errorf("baseline %d served nothing", b)
+		}
+	}
+	if _, err := pulse.NewBaseline(pulse.Baseline(99), cat, asg); err == nil {
+		t.Error("unknown baseline accepted")
+	}
+}
+
+func TestIntegratedConstructors(t *testing.T) {
+	_, cat, asg := setup(t)
+	for _, b := range []pulse.Baseline{pulse.BaselineWild, pulse.BaselineIceBreaker, pulse.BaselineHoltWinters} {
+		if _, err := pulse.NewIntegrated(b, cat, asg); err != nil {
+			t.Errorf("integrated %d: %v", b, err)
+		}
+	}
+	if _, err := pulse.NewIntegrated(pulse.BaselineMILP, cat, asg); err == nil {
+		t.Error("MILP integration should be rejected")
+	}
+}
+
+func TestSimulateDefaultsCostModel(t *testing.T) {
+	tr, cat, asg := setup(t)
+	short, err := tr.Slice(0, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := pulse.NewBaseline(pulse.BaselineOpenWhisk, cat, asg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := pulse.Simulate(pulse.SimulationConfig{Trace: short, Catalog: cat, Assignment: asg}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.KeepAliveCostUSD <= 0 {
+		t.Error("default cost model not applied")
+	}
+}
+
+func TestExperimentThroughFacade(t *testing.T) {
+	tr, cat, asg := setup(t)
+	_ = asg
+	short, err := tr.Slice(0, 360)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aggs, err := pulse.RunExperiment(pulse.ExperimentConfig{
+		Trace:   short,
+		Catalog: cat,
+		Cost:    pulse.DefaultCostModel(),
+		Runs:    2,
+		Seed:    7,
+	}, []pulse.NamedFactory{
+		{Name: "openwhisk", New: func(_ int, a pulse.Assignment) (pulse.Policy, error) {
+			return pulse.NewBaseline(pulse.BaselineOpenWhisk, cat, a)
+		}},
+		{Name: "pulse", New: func(_ int, a pulse.Assignment) (pulse.Policy, error) {
+			return pulse.New(pulse.Config{Catalog: cat, Assignment: a})
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	imp, err := pulse.ImprovementOver(aggs[0], aggs[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if imp.CostPct <= 0 {
+		t.Errorf("facade experiment: cost improvement %v, want positive", imp.CostPct)
+	}
+}
