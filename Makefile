@@ -18,7 +18,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/runtime/ ./internal/sim/
+	$(GO) test -race ./...
 
 # Quick-scale benchmark pass over every table/figure harness.
 bench:

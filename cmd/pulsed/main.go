@@ -10,6 +10,12 @@
 //	curl -X POST 'localhost:8080/invoke?fn=3'
 //	curl localhost:8080/functions
 //	curl localhost:8080/stats
+//	curl localhost:8080/metrics        # Prometheus text exposition
+//	curl localhost:8080/decisions      # Algorithm 1/2 audit log
+//
+// With -debug, the Go pprof and expvar surfaces are mounted under
+// /debug/pprof/ and /debug/vars. With -eventlog FILE, every controller
+// decision event is appended to FILE as JSON lines.
 //
 // With -demo, a background workload generator issues invocations drawn from
 // the synthetic trace archetypes so the keep-alive behaviour is visible
@@ -18,11 +24,13 @@ package main
 
 import (
 	"context"
+	"expvar"
 	"flag"
 	"fmt"
 	"log"
 	"math/rand"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -32,6 +40,7 @@ import (
 	"github.com/pulse-serverless/pulse/internal/core"
 	"github.com/pulse-serverless/pulse/internal/metastore"
 	"github.com/pulse-serverless/pulse/internal/runtime"
+	"github.com/pulse-serverless/pulse/internal/telemetry"
 	"github.com/pulse-serverless/pulse/internal/trace"
 )
 
@@ -49,20 +58,39 @@ func run() error {
 	demo := flag.Bool("demo", false, "generate background demo traffic")
 	seed := flag.Int64("seed", 1, "demo traffic seed")
 	stateDir := flag.String("statedir", "", "metadata store directory: PULSE state is restored on start and saved on shutdown")
+	debug := flag.Bool("debug", false, "expose /debug/pprof/* and /debug/vars")
+	eventCap := flag.Int("event-capacity", telemetry.DefaultEventCapacity, "decision event ring capacity")
+	eventLog := flag.String("eventlog", "", "append decision events as JSON lines to this file")
 	flag.Parse()
 
 	cat := pulse.Catalog()
 	const nFunctions = 12
 	asg := pulse.UniformAssignment(cat, nFunctions)
 
+	var sink *os.File
+	if *eventLog != "" {
+		var err error
+		if sink, err = os.OpenFile(*eventLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644); err != nil {
+			return err
+		}
+		defer sink.Close()
+	}
+	telCfg := telemetry.Config{EventCapacity: *eventCap}
+	if sink != nil {
+		telCfg.EventSink = sink
+	}
+	tel, err := telemetry.New(telCfg)
+	if err != nil {
+		return err
+	}
+
 	var p pulse.Policy
-	var err error
 	var store *metastore.Store
 	var controller *core.Pulse
 	const snapshotName = "pulsed"
 	switch *policyName {
 	case "pulse":
-		cfg := core.Config{Catalog: cat, Assignment: asg}
+		cfg := core.Config{Catalog: cat, Assignment: asg, Observer: tel}
 		if *stateDir != "" {
 			if store, err = metastore.Open(*stateDir); err != nil {
 				return err
@@ -92,13 +120,28 @@ func run() error {
 		Assignment: asg,
 		Policy:     p,
 		Clock:      runtime.WallClock{Compression: *compress},
+		Observer:   tel,
 	})
 	if err != nil {
 		return err
 	}
-	api, err := runtime.NewAPI(rt)
+	api, err := runtime.NewInstrumentedAPI(rt, tel)
 	if err != nil {
 		return err
+	}
+
+	var handler http.Handler = api
+	if *debug {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mux.Handle("/debug/vars", expvar.Handler())
+		mux.Handle("/", api)
+		handler = mux
+		log.Printf("pulsed: debug surface enabled at /debug/pprof and /debug/vars")
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -116,7 +159,7 @@ func run() error {
 		go demoTraffic(ctx, rt, *seed, tickEvery)
 	}
 
-	srv := &http.Server{Addr: *addr, Handler: api, ReadHeaderTimeout: 5 * time.Second}
+	srv := &http.Server{Addr: *addr, Handler: handler, ReadHeaderTimeout: 5 * time.Second}
 	go func() {
 		<-ctx.Done()
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 3*time.Second)

@@ -17,6 +17,7 @@ import (
 
 	"github.com/pulse-serverless/pulse/internal/models"
 	"github.com/pulse-serverless/pulse/internal/stats"
+	"github.com/pulse-serverless/pulse/internal/telemetry"
 	"github.com/pulse-serverless/pulse/internal/trace"
 )
 
@@ -82,6 +83,10 @@ type Config struct {
 	// RecordServiceTimes keeps every invocation's service time in the
 	// result so tail latencies (P95/P99) can be reported, not just totals.
 	RecordServiceTimes bool
+	// Observer, when non-nil, receives per-minute keep-alive and
+	// invocation samples — the same instrumentation surface the live
+	// runtime uses, so simulation runs can be audited identically.
+	Observer telemetry.Observer
 }
 
 // Validate checks the configuration is runnable.
@@ -198,6 +203,9 @@ func Run(cfg Config, p Policy) (*Result, error) {
 		var kamMB, costUSD float64
 		for fn, vi := range alive {
 			if vi == NoVariant {
+				if cfg.Observer != nil {
+					cfg.Observer.ObserveKeepAlive(telemetry.KeepAliveSample{Minute: t, Function: fn, Variant: NoVariant})
+				}
 				continue
 			}
 			fam := &cfg.Catalog.Families[cfg.Assignment[fn]]
@@ -208,10 +216,22 @@ func Run(cfg Config, p Policy) (*Result, error) {
 			mem := fam.Variants[vi].MemoryMB
 			kamMB += mem
 			costUSD += cfg.Cost.KeepAliveUSDPerMinute(mem)
+			if cfg.Observer != nil {
+				cfg.Observer.ObserveKeepAlive(telemetry.KeepAliveSample{
+					Minute:      t,
+					Function:    fn,
+					Variant:     vi,
+					VariantName: fam.Variants[vi].Name,
+					MemMB:       mem,
+				})
+			}
 		}
 		res.PerMinuteKaMMB[t] = kamMB
 		res.PerMinuteCostUSD[t] = costUSD
 		res.KeepAliveCostUSD += costUSD
+		if cfg.Observer != nil {
+			cfg.Observer.ObserveMinute(telemetry.MinuteSample{Minute: t, KeepAliveMB: kamMB, CostUSD: costUSD})
+		}
 
 		// Serve this minute's invocations.
 		for fn := 0; fn < nFn; fn++ {
@@ -233,6 +253,12 @@ func Run(cfg Config, p Policy) (*Result, error) {
 						res.ServiceTimesSec = append(res.ServiceTimesSec, v.ExecSec)
 					}
 				}
+				if cfg.Observer != nil {
+					cfg.Observer.ObserveInvocation(telemetry.InvocationSample{
+						Minute: t, Function: fn, Variant: v.Name,
+						Count: c, ServiceSec: v.ExecSec, AccuracyPct: v.AccuracyPct,
+					})
+				}
 			} else {
 				// Cold: the first invocation pays the cold start and
 				// creates a container that serves the rest of the minute
@@ -249,6 +275,12 @@ func Run(cfg Config, p Policy) (*Result, error) {
 				if cfg.RecordServiceTimes {
 					res.ServiceTimesSec = append(res.ServiceTimesSec, v.ColdServiceSec())
 				}
+				if cfg.Observer != nil {
+					cfg.Observer.ObserveInvocation(telemetry.InvocationSample{
+						Minute: t, Function: fn, Variant: v.Name, Cold: true,
+						Count: 1, ServiceSec: v.ColdServiceSec(), AccuracyPct: v.AccuracyPct,
+					})
+				}
 				if c > 1 {
 					res.WarmStarts += c - 1
 					res.TotalServiceSec += float64(c-1) * v.ExecSec
@@ -257,6 +289,12 @@ func Run(cfg Config, p Policy) (*Result, error) {
 						for i := 1; i < c; i++ {
 							res.ServiceTimesSec = append(res.ServiceTimesSec, v.ExecSec)
 						}
+					}
+					if cfg.Observer != nil {
+						cfg.Observer.ObserveInvocation(telemetry.InvocationSample{
+							Minute: t, Function: fn, Variant: v.Name,
+							Count: c - 1, ServiceSec: v.ExecSec, AccuracyPct: v.AccuracyPct,
+						})
 					}
 				}
 			}

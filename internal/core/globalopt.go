@@ -91,11 +91,15 @@ type UtilityTerms struct {
 // Uv returns the utility value Ai + Pr + Ip (Equation 2).
 func (u UtilityTerms) Uv() float64 { return u.Ai + u.Pr + u.Ip }
 
-// Downgrade records one applied downgrade.
+// Downgrade records one applied downgrade with the utility breakdown that
+// selected the victim, so audit logs can answer "why this model?".
 type Downgrade struct {
 	Function    int
 	FromVariant int
 	ToVariant   int // -1 when evicted entirely (cold start risk)
+	Ai          float64
+	Pr          float64
+	Ip          float64
 	Uv          float64
 }
 
@@ -259,7 +263,15 @@ func (g *GlobalOptimizer) Flatten(decisions []int, ip []float64, targetKaM float
 		if err := g.priority.Bump(fn); err != nil {
 			return nil, err
 		}
-		applied = append(applied, Downgrade{Function: fn, FromVariant: from, ToVariant: to, Uv: chosen.Uv()})
+		applied = append(applied, Downgrade{
+			Function:    fn,
+			FromVariant: from,
+			ToVariant:   to,
+			Ai:          chosen.Ai,
+			Pr:          chosen.Pr,
+			Ip:          chosen.Ip,
+			Uv:          chosen.Uv(),
+		})
 	}
 	return applied, nil
 }

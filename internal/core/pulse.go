@@ -5,6 +5,7 @@ import (
 
 	"github.com/pulse-serverless/pulse/internal/cluster"
 	"github.com/pulse-serverless/pulse/internal/models"
+	"github.com/pulse-serverless/pulse/internal/telemetry"
 )
 
 // Config parameterizes a PULSE instance. Zero values select the paper's
@@ -41,6 +42,12 @@ type Config struct {
 	// selection with the paper's strawman of random downgrades during
 	// peaks (ablation). The seed keeps runs reproducible.
 	RandomDowngradeSeed int64
+
+	// Observer, when non-nil, receives every controller decision: the
+	// per-function keep-alive schedules, Algorithm 1 peak enter/exit
+	// transitions, and each Algorithm 2 downgrade with its utility
+	// breakdown. nil disables instrumentation at zero cost.
+	Observer telemetry.Observer
 }
 
 func (c *Config) withDefaults() Config {
@@ -110,6 +117,7 @@ type Pulse struct {
 
 	totalDowngrades int
 	peakMinutes     int
+	inPeak          bool // inside an Algorithm 1 peak episode (observability only)
 }
 
 // New builds a PULSE policy instance.
@@ -196,11 +204,47 @@ func (p *Pulse) KeepAlive(t int) []int {
 		}
 		if p.detector.IsPeak(kam) {
 			p.peakMinutes++
-			downs, err := p.global.Flatten(p.out, p.ip, p.detector.FlattenTarget())
+			target := p.detector.FlattenTarget()
+			downs, err := p.global.Flatten(p.out, p.ip, target)
 			if err != nil {
 				panic("core: flatten failed on validated state: " + err.Error())
 			}
 			p.totalDowngrades += len(downs)
+			if obs := p.cfg.Observer; obs != nil {
+				if !p.inPeak {
+					obs.ObservePeak(telemetry.PeakSample{
+						Minute:      t,
+						Enter:       true,
+						KeepAliveMB: kam,
+						PriorMB:     p.detector.PriorKaM(),
+						TargetMB:    target,
+						Downgrades:  len(downs),
+					})
+				}
+				for _, d := range downs {
+					obs.ObserveDowngrade(telemetry.DowngradeSample{
+						Minute:      t,
+						Function:    d.Function,
+						FromVariant: d.FromVariant,
+						ToVariant:   d.ToVariant,
+						Ai:          d.Ai,
+						Pr:          d.Pr,
+						Ip:          d.Ip,
+					})
+				}
+			}
+			p.inPeak = true
+		} else if p.inPeak {
+			p.inPeak = false
+			if obs := p.cfg.Observer; obs != nil {
+				obs.ObservePeak(telemetry.PeakSample{
+					Minute:      t,
+					Enter:       false,
+					KeepAliveMB: kam,
+					PriorMB:     p.detector.PriorKaM(),
+					TargetMB:    p.detector.FlattenTarget(),
+				})
+			}
 		}
 	}
 
@@ -242,6 +286,14 @@ func (p *Pulse) RecordInvocations(t int, counts []int) {
 		}
 		for d := 1; d <= p.cfg.Window; d++ {
 			p.plans[fn].set(t+d, sched[d], probs[d])
+		}
+		if obs := p.cfg.Observer; obs != nil {
+			obs.ObserveSchedule(telemetry.ScheduleSample{
+				Minute:   t,
+				Function: fn,
+				Plan:     sched[1:],
+				Probs:    probs[1:],
+			})
 		}
 	}
 }

@@ -14,6 +14,7 @@ import (
 	"github.com/pulse-serverless/pulse/internal/core"
 	"github.com/pulse-serverless/pulse/internal/models"
 	"github.com/pulse-serverless/pulse/internal/policy"
+	"github.com/pulse-serverless/pulse/internal/telemetry"
 	"github.com/pulse-serverless/pulse/internal/trace"
 )
 
@@ -36,6 +37,10 @@ type Options struct {
 	// the prior-KaM ablation uses a sparse mix where platform-wide
 	// inactivity actually occurs).
 	Archetypes []trace.Archetype
+	// Observer, when non-nil, audits experiment runs through the same
+	// telemetry surface the live runtime uses (must be concurrency-safe;
+	// multi-run experiments share it across workers).
+	Observer telemetry.Observer
 }
 
 func (o Options) withDefaults() Options {
@@ -87,6 +92,7 @@ func (e *env) clusterConfig(measure bool) cluster.Config {
 		Assignment:      e.asg,
 		Cost:            e.cost,
 		MeasureOverhead: measure,
+		Observer:        e.opts.Observer,
 	}
 }
 

@@ -174,12 +174,13 @@ func Figure6a(opts Options) (sim.Improvement, error) {
 		return sim.Improvement{}, err
 	}
 	aggs, err := sim.RunExperiment(sim.ExperimentConfig{
-		Trace:   e.trace,
-		Catalog: e.catalog,
-		Cost:    e.cost,
-		Runs:    e.opts.Runs,
-		Seed:    e.opts.Seed,
-		Workers: e.opts.Workers,
+		Trace:    e.trace,
+		Catalog:  e.catalog,
+		Cost:     e.cost,
+		Runs:     e.opts.Runs,
+		Seed:     e.opts.Seed,
+		Workers:  e.opts.Workers,
+		Observer: e.opts.Observer,
 	}, []sim.NamedFactory{
 		{Name: "openwhisk", New: func(_ int, asg models.Assignment) (cluster.Policy, error) {
 			return policy.NewFixed(e.catalog, asg, cluster.DefaultKeepAliveWindow, policy.QualityHighest)

@@ -58,12 +58,13 @@ func Figure8(opts Options) (*Figure8Result, error) {
 		}},
 	}
 	aggs, err := sim.RunExperiment(sim.ExperimentConfig{
-		Trace:   e.trace,
-		Catalog: e.catalog,
-		Cost:    e.cost,
-		Runs:    e.opts.Runs,
-		Seed:    e.opts.Seed,
-		Workers: e.opts.Workers,
+		Trace:    e.trace,
+		Catalog:  e.catalog,
+		Cost:     e.cost,
+		Runs:     e.opts.Runs,
+		Seed:     e.opts.Seed,
+		Workers:  e.opts.Workers,
+		Observer: e.opts.Observer,
 	}, factories)
 	if err != nil {
 		return nil, err
@@ -97,12 +98,13 @@ func ExtensionHoltWinters(opts Options) (sim.Improvement, error) {
 		return sim.Improvement{}, err
 	}
 	aggs, err := sim.RunExperiment(sim.ExperimentConfig{
-		Trace:   e.trace,
-		Catalog: e.catalog,
-		Cost:    e.cost,
-		Runs:    e.opts.Runs,
-		Seed:    e.opts.Seed,
-		Workers: e.opts.Workers,
+		Trace:    e.trace,
+		Catalog:  e.catalog,
+		Cost:     e.cost,
+		Runs:     e.opts.Runs,
+		Seed:     e.opts.Seed,
+		Workers:  e.opts.Workers,
+		Observer: e.opts.Observer,
 	}, []sim.NamedFactory{
 		{Name: "holtwinters", New: func(_ int, asg models.Assignment) (cluster.Policy, error) {
 			hw, err := predict.NewHoltWinters(len(asg), predict.DefaultHWConfig())
@@ -164,6 +166,7 @@ func Figure9(opts Options) (*Figure9Result, error) {
 		Seed:            e.opts.Seed,
 		Workers:         e.opts.Workers,
 		MeasureOverhead: true,
+		Observer:        e.opts.Observer,
 	}, []sim.NamedFactory{
 		{Name: "pulse", New: func(_ int, asg models.Assignment) (cluster.Policy, error) {
 			return core.New(core.Config{Catalog: e.catalog, Assignment: asg})

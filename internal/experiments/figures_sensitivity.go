@@ -48,12 +48,13 @@ func sweep(opts Options, title string, configs []struct {
 		})
 	}
 	aggs, err := sim.RunExperiment(sim.ExperimentConfig{
-		Trace:   e.trace,
-		Catalog: e.catalog,
-		Cost:    e.cost,
-		Runs:    e.opts.Runs,
-		Seed:    e.opts.Seed,
-		Workers: e.opts.Workers,
+		Trace:    e.trace,
+		Catalog:  e.catalog,
+		Cost:     e.cost,
+		Runs:     e.opts.Runs,
+		Seed:     e.opts.Seed,
+		Workers:  e.opts.Workers,
+		Observer: e.opts.Observer,
 	}, factories)
 	if err != nil {
 		return nil, err

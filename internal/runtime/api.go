@@ -7,6 +7,7 @@ import (
 	"strconv"
 
 	"github.com/pulse-serverless/pulse/internal/cluster"
+	"github.com/pulse-serverless/pulse/internal/telemetry"
 )
 
 // API exposes a Runtime over HTTP — the integration surface an
@@ -15,27 +16,85 @@ import (
 //	POST /invoke?fn=N      run one invocation, returns the Invocation JSON
 //	GET  /stats            runtime counters
 //	GET  /functions        registered functions, their models and warm state
+//	GET  /metrics          Prometheus text exposition (labeled series when instrumented)
+//	GET  /events           decision event log (requires telemetry)
+//	GET  /decisions        Algorithm 1/2 audit: downgrades with Uv = Ai+Pr+Ip, peak episodes
 //	GET  /healthz          liveness
 type API struct {
 	rt  *Runtime
+	tel *telemetry.Telemetry
+	reg *telemetry.Registry
 	mux *http.ServeMux
 }
 
-// NewAPI wraps a runtime in an HTTP handler.
+// NewAPI wraps a runtime in an HTTP handler without telemetry: /metrics
+// serves the global runtime counters only, and the decision endpoints
+// report telemetry as disabled.
 func NewAPI(rt *Runtime) (*API, error) {
+	return NewInstrumentedAPI(rt, nil)
+}
+
+// NewInstrumentedAPI wraps a runtime and its telemetry pipeline in an HTTP
+// handler. The telemetry instance should be the same one attached to the
+// runtime (and controller) as Observer, so /metrics exposes the labeled
+// per-function/per-variant series and /events and /decisions serve the
+// decision log. tel may be nil.
+func NewInstrumentedAPI(rt *Runtime, tel *telemetry.Telemetry) (*API, error) {
 	if rt == nil {
 		return nil, fmt.Errorf("runtime: nil runtime")
 	}
-	a := &API{rt: rt, mux: http.NewServeMux()}
+	reg := telemetry.NewRegistry()
+	if tel != nil {
+		reg = tel.Registry()
+	}
+	if err := registerStatsMetrics(reg, rt); err != nil {
+		return nil, err
+	}
+	a := &API{rt: rt, tel: tel, reg: reg, mux: http.NewServeMux()}
 	a.mux.HandleFunc("/invoke", a.handleInvoke)
 	a.mux.HandleFunc("/stats", a.handleStats)
 	a.mux.HandleFunc("/functions", a.handleFunctions)
 	a.mux.HandleFunc("/metrics", a.handleMetrics)
+	a.mux.HandleFunc("/events", a.handleEvents)
+	a.mux.HandleFunc("/decisions", a.handleDecisions)
 	a.mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		_, _ = w.Write([]byte("ok\n"))
 	})
 	return a, nil
+}
+
+// registerStatsMetrics bridges the runtime's global counters into the
+// registry as scrape-time funcs, replacing the former hand-rolled writer.
+func registerStatsMetrics(reg *telemetry.Registry, rt *Runtime) error {
+	type metric struct {
+		name, help string
+		counter    bool
+		value      func(Stats) float64
+	}
+	for _, m := range []metric{
+		{"pulse_invocations_total", "Invocations served.", true, func(s Stats) float64 { return float64(s.Invocations) }},
+		{"pulse_warm_starts_total", "Invocations served warm.", true, func(s Stats) float64 { return float64(s.WarmStarts) }},
+		{"pulse_cold_starts_total", "Invocations served cold.", true, func(s Stats) float64 { return float64(s.ColdStarts) }},
+		{"pulse_service_seconds_total", "Modeled service time delivered.", true, func(s Stats) float64 { return s.TotalServiceSec }},
+		{"pulse_keepalive_cost_usd_total", "Accumulated keep-alive cost.", true, func(s Stats) float64 { return s.KeepAliveCostUSD }},
+		{"pulse_keepalive_memory_mb", "Keep-alive memory this minute.", false, func(s Stats) float64 { return s.CurrentKaMMB }},
+		{"pulse_simulated_minute", "Current simulated minute.", false, func(s Stats) float64 { return float64(s.Minute) }},
+		{"pulse_mean_accuracy_pct", "Mean accuracy delivered per invocation.", false, func(s Stats) float64 { return s.MeanAccuracyPct() }},
+	} {
+		value := m.value
+		fn := func() float64 { return value(rt.Stats()) }
+		var err error
+		if m.counter {
+			err = reg.NewCounterFunc(m.name, m.help, fn)
+		} else {
+			err = reg.NewGaugeFunc(m.name, m.help, fn)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // ServeHTTP implements http.Handler.
@@ -86,26 +145,100 @@ func (a *API) handleStats(w http.ResponseWriter, r *http.Request) {
 	}{s, s.MeanAccuracyPct()})
 }
 
-// handleMetrics exposes the counters in the Prometheus text exposition
-// format so standard scrapers can monitor a pulsed deployment.
+// handleMetrics renders the registry in the Prometheus text exposition
+// format. Errors are plain text, matching the endpoint's content type.
 func (a *API) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET required", http.StatusMethodNotAllowed)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	_ = a.reg.WritePrometheus(w)
+}
+
+// eventsResponse is the GET /events payload.
+type eventsResponse struct {
+	// Total counts every event ever appended; events older than the ring
+	// capacity have been evicted (use a JSONL sink for a full trail).
+	Total  uint64            `json:"total"`
+	Events []telemetry.Event `json:"events"`
+}
+
+// handleEvents serves the decision log. Query parameters: kind (schedule,
+// peak_enter, peak_exit, downgrade, minute), fn (function index), since
+// (minimum sequence number), limit (most recent N; default 256).
+func (a *API) handleEvents(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		writeJSON(w, http.StatusMethodNotAllowed, apiError{"GET required"})
 		return
 	}
-	s := a.rt.Stats()
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	write := func(name, help, typ string, v float64) {
-		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %g\n", name, help, name, typ, name, v)
+	if a.tel == nil {
+		writeJSON(w, http.StatusNotFound, apiError{"telemetry not enabled"})
+		return
 	}
-	write("pulse_invocations_total", "Invocations served.", "counter", float64(s.Invocations))
-	write("pulse_warm_starts_total", "Invocations served warm.", "counter", float64(s.WarmStarts))
-	write("pulse_cold_starts_total", "Invocations served cold.", "counter", float64(s.ColdStarts))
-	write("pulse_service_seconds_total", "Modeled service time delivered.", "counter", s.TotalServiceSec)
-	write("pulse_keepalive_cost_usd_total", "Accumulated keep-alive cost.", "counter", s.KeepAliveCostUSD)
-	write("pulse_keepalive_memory_mb", "Keep-alive memory this minute.", "gauge", s.CurrentKaMMB)
-	write("pulse_simulated_minute", "Current simulated minute.", "gauge", float64(s.Minute))
-	write("pulse_mean_accuracy_pct", "Mean accuracy delivered per invocation.", "gauge", s.MeanAccuracyPct())
+	f := telemetry.Filter{Kind: r.URL.Query().Get("kind"), Limit: 256}
+	if s := r.URL.Query().Get("fn"); s != "" {
+		fn, err := strconv.Atoi(s)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, apiError{fmt.Sprintf("bad fn %q", s)})
+			return
+		}
+		f.HasFunction, f.Function = true, fn
+	}
+	if s := r.URL.Query().Get("since"); s != "" {
+		seq, err := strconv.ParseUint(s, 10, 64)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, apiError{fmt.Sprintf("bad since %q", s)})
+			return
+		}
+		f.SinceSeq = seq
+	}
+	if s := r.URL.Query().Get("limit"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n < 0 {
+			writeJSON(w, http.StatusBadRequest, apiError{fmt.Sprintf("bad limit %q", s)})
+			return
+		}
+		f.Limit = n
+	}
+	log := a.tel.Events()
+	events := log.Select(f)
+	if events == nil {
+		events = []telemetry.Event{}
+	}
+	writeJSON(w, http.StatusOK, eventsResponse{Total: log.Total(), Events: events})
+}
+
+// decisionsResponse is the GET /decisions payload: the controller-decision
+// audit — every buffered Algorithm 2 downgrade with its full utility
+// breakdown, and the Algorithm 1 peak episodes that triggered them.
+type decisionsResponse struct {
+	Downgrades []telemetry.Event `json:"downgrades"`
+	Peaks      []telemetry.Event `json:"peaks"`
+}
+
+func (a *API) handleDecisions(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeJSON(w, http.StatusMethodNotAllowed, apiError{"GET required"})
+		return
+	}
+	if a.tel == nil {
+		writeJSON(w, http.StatusNotFound, apiError{"telemetry not enabled"})
+		return
+	}
+	log := a.tel.Events()
+	resp := decisionsResponse{
+		Downgrades: log.Select(telemetry.Filter{Kind: telemetry.KindDowngrade}),
+		Peaks:      log.Select(telemetry.Filter{Kind: telemetry.KindPeakEnter}),
+	}
+	resp.Peaks = append(resp.Peaks, log.Select(telemetry.Filter{Kind: telemetry.KindPeakExit})...)
+	if resp.Downgrades == nil {
+		resp.Downgrades = []telemetry.Event{}
+	}
+	if resp.Peaks == nil {
+		resp.Peaks = []telemetry.Event{}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // functionInfo is one row of GET /functions.

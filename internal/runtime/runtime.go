@@ -7,6 +7,7 @@ import (
 
 	"github.com/pulse-serverless/pulse/internal/cluster"
 	"github.com/pulse-serverless/pulse/internal/models"
+	"github.com/pulse-serverless/pulse/internal/telemetry"
 )
 
 // Config assembles a live runtime.
@@ -24,6 +25,11 @@ type Config struct {
 	ExecScale float64
 	// Cost prices keep-alive memory; defaults to the AWS-calibrated model.
 	Cost cluster.CostModel
+	// Observer, when non-nil, receives invocation and keep-alive samples
+	// (per-function and per-variant) — attach a *telemetry.Telemetry to
+	// expose labeled metrics and the decision log over the HTTP API. nil
+	// disables instrumentation at zero cost on the invocation hot path.
+	Observer telemetry.Observer
 }
 
 // Invocation is the outcome of one function invocation.
@@ -61,6 +67,7 @@ func (s Stats) MeanAccuracyPct() float64 {
 type Runtime struct {
 	cfg   Config
 	clock Clock
+	obs   telemetry.Observer // nil when uninstrumented
 
 	mu      sync.Mutex
 	minute  int
@@ -101,6 +108,7 @@ func New(cfg Config) (*Runtime, error) {
 	r := &Runtime{
 		cfg:     cfg,
 		clock:   cfg.Clock,
+		obs:     cfg.Observer,
 		alive:   make([]int, len(cfg.Assignment)),
 		coldPod: make([]int, len(cfg.Assignment)),
 		counts:  make([]int, len(cfg.Assignment)),
@@ -130,16 +138,33 @@ func (r *Runtime) applyDecisionsLocked(decisions []int) {
 	var kam float64
 	for fn, vi := range r.alive {
 		if vi == cluster.NoVariant {
+			if r.obs != nil {
+				r.obs.ObserveKeepAlive(telemetry.KeepAliveSample{Minute: r.minute, Function: fn, Variant: cluster.NoVariant})
+			}
 			continue
 		}
 		fam := r.cfg.Catalog.Families[r.cfg.Assignment[fn]]
 		if vi < 0 || vi >= fam.NumVariants() {
 			panic(fmt.Sprintf("runtime: policy kept invalid variant %d for function %d", vi, fn))
 		}
-		kam += fam.Variants[vi].MemoryMB
+		mem := fam.Variants[vi].MemoryMB
+		kam += mem
+		if r.obs != nil {
+			r.obs.ObserveKeepAlive(telemetry.KeepAliveSample{
+				Minute:      r.minute,
+				Function:    fn,
+				Variant:     vi,
+				VariantName: fam.Variants[vi].Name,
+				MemMB:       mem,
+			})
+		}
 	}
+	cost := r.cfg.Cost.KeepAliveUSDPerMinute(kam)
 	r.stats.CurrentKaMMB = kam
-	r.stats.KeepAliveCostUSD += r.cfg.Cost.KeepAliveUSDPerMinute(kam)
+	r.stats.KeepAliveCostUSD += cost
+	if r.obs != nil {
+		r.obs.ObserveMinute(telemetry.MinuteSample{Minute: r.minute, KeepAliveMB: kam, CostUSD: cost})
+	}
 }
 
 // NumFunctions returns the number of registered functions.
@@ -196,6 +221,20 @@ func (r *Runtime) Invoke(fn int) (Invocation, error) {
 	r.stats.AccuracySumPct += inv.AccuracyPct
 	scale := r.cfg.ExecScale
 	r.mu.Unlock()
+
+	// Instrument outside the lock: the observer serializes internally and
+	// must not extend the runtime's critical section.
+	if r.obs != nil {
+		r.obs.ObserveInvocation(telemetry.InvocationSample{
+			Minute:      inv.Minute,
+			Function:    fn,
+			Variant:     inv.Variant,
+			Cold:        inv.Cold,
+			Count:       1,
+			ServiceSec:  inv.ServiceSec,
+			AccuracyPct: inv.AccuracyPct,
+		})
+	}
 
 	// Model the execution latency outside the lock so concurrent
 	// invocations of other functions proceed.

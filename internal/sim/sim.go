@@ -19,6 +19,7 @@ import (
 
 	"github.com/pulse-serverless/pulse/internal/cluster"
 	"github.com/pulse-serverless/pulse/internal/models"
+	"github.com/pulse-serverless/pulse/internal/telemetry"
 	"github.com/pulse-serverless/pulse/internal/trace"
 )
 
@@ -42,6 +43,10 @@ type ExperimentConfig struct {
 	Workers int
 	// MeasureOverhead times policy calls (Figure 9).
 	MeasureOverhead bool
+	// Observer, when non-nil, receives instrumentation samples from every
+	// run. Implementations must be concurrency-safe: runs execute on a
+	// worker pool and share the one observer.
+	Observer telemetry.Observer
 }
 
 func (c *ExperimentConfig) validate() error {
@@ -216,6 +221,7 @@ func RunExperiment(cfg ExperimentConfig, factories []NamedFactory) ([]*Aggregate
 						Assignment:      asg,
 						Cost:            cfg.Cost,
 						MeasureOverhead: cfg.MeasureOverhead,
+						Observer:        cfg.Observer,
 					}, p)
 					if err != nil {
 						fail(fmt.Errorf("sim: run %d policy %q: %w", run, f.Name, err))

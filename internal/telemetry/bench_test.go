@@ -1,0 +1,112 @@
+package telemetry
+
+import (
+	"io"
+	"testing"
+)
+
+// The Nop observer is the uninstrumented baseline: calling it must not
+// allocate, so producers can emit samples unconditionally on hot paths.
+func TestNopObserverZeroAllocs(t *testing.T) {
+	var obs Observer = Nop{}
+	sample := InvocationSample{Minute: 3, Function: 7, Variant: "gpt-small", Count: 1, ServiceSec: 0.25, AccuracyPct: 88}
+	allocs := testing.AllocsPerRun(1000, func() {
+		obs.ObserveInvocation(sample)
+		obs.ObserveKeepAlive(KeepAliveSample{Minute: 3, Function: 7, Variant: 1, VariantName: "gpt-small", MemMB: 512})
+		obs.ObserveMinute(MinuteSample{Minute: 3, KeepAliveMB: 512})
+	})
+	if allocs != 0 {
+		t.Errorf("Nop observer allocates %v per run, want 0", allocs)
+	}
+}
+
+// Steady-state metric updates must not allocate either: series handles are
+// resolved once and then updated with atomics.
+func TestSeriesUpdateZeroAllocs(t *testing.T) {
+	r := NewRegistry()
+	cv, err := r.NewCounterVec("c_total", "c", "l")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hv, err := r.NewHistogramVec("h_seconds", "h", nil, "l")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := cv.With("x")
+	h := hv.With("x")
+	allocs := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		h.Observe(0.3)
+	})
+	if allocs != 0 {
+		t.Errorf("resolved series update allocates %v per run, want 0", allocs)
+	}
+}
+
+func BenchmarkNopObserver(b *testing.B) {
+	var obs Observer = Nop{}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		obs.ObserveInvocation(InvocationSample{Minute: i, Function: 7, Variant: "gpt-small", Count: 1, ServiceSec: 0.25})
+	}
+}
+
+func BenchmarkTelemetryObserveInvocation(b *testing.B) {
+	tel, err := New(Config{EventCapacity: 64})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var obs Observer = tel
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		obs.ObserveInvocation(InvocationSample{Minute: i, Function: 7, Variant: "gpt-small", Count: 1, ServiceSec: 0.25})
+	}
+}
+
+func BenchmarkCounterAdd(b *testing.B) {
+	r := NewRegistry()
+	cv, err := r.NewCounterVec("c_total", "c", "l")
+	if err != nil {
+		b.Fatal(err)
+	}
+	c := cv.With("x")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	r := NewRegistry()
+	hv, err := r.NewHistogramVec("h_seconds", "h", nil, "l")
+	if err != nil {
+		b.Fatal(err)
+	}
+	h := hv.With("x")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i%100) / 10)
+	}
+}
+
+func BenchmarkEventLogAppend(b *testing.B) {
+	l, err := NewEventLog(4096, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		l.Append(Event{Minute: i, Kind: KindMinute, Function: -1, KaMMB: 1024})
+	}
+}
+
+func BenchmarkEventLogAppendJSONLSink(b *testing.B) {
+	l, err := NewEventLog(4096, io.Discard)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		l.Append(Event{Minute: i, Kind: KindMinute, Function: -1, KaMMB: 1024})
+	}
+}

@@ -1,0 +1,140 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestEventLogValidation(t *testing.T) {
+	if _, err := NewEventLog(-1, nil); err == nil {
+		t.Error("negative capacity accepted")
+	}
+	l, err := NewEventLog(0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(l.buf); got != DefaultEventCapacity {
+		t.Errorf("default capacity = %d, want %d", got, DefaultEventCapacity)
+	}
+}
+
+func TestEventLogRingAndSeq(t *testing.T) {
+	l, err := NewEventLog(3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for m := 0; m < 5; m++ {
+		seq := l.Append(Event{Minute: m, Kind: KindMinute, Function: -1})
+		if seq != uint64(m) {
+			t.Errorf("seq = %d, want %d", seq, m)
+		}
+	}
+	if l.Total() != 5 {
+		t.Errorf("total = %d, want 5", l.Total())
+	}
+	got := l.Select(Filter{})
+	if len(got) != 3 {
+		t.Fatalf("buffered = %d, want 3 (ring evicts oldest)", len(got))
+	}
+	for i, e := range got {
+		if e.Minute != i+2 || e.Seq != uint64(i+2) {
+			t.Errorf("event %d = minute %d seq %d, want oldest evicted", i, e.Minute, e.Seq)
+		}
+	}
+}
+
+func TestEventLogSelectFilters(t *testing.T) {
+	l, err := NewEventLog(16, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Append(Event{Minute: 1, Kind: KindSchedule, Function: 0})
+	l.Append(Event{Minute: 1, Kind: KindSchedule, Function: 1})
+	l.Append(Event{Minute: 2, Kind: KindPeakEnter, Function: -1})
+	l.Append(Event{Minute: 2, Kind: KindDowngrade, Function: 0, Ai: 1, Pr: 0.5, Ip: 0.25, Uv: 1.75})
+	l.Append(Event{Minute: 3, Kind: KindPeakExit, Function: -1})
+
+	if got := l.Select(Filter{Kind: KindDowngrade}); len(got) != 1 || got[0].Uv != 1.75 {
+		t.Errorf("kind filter = %+v", got)
+	}
+	if got := l.Select(Filter{HasFunction: true, Function: 0}); len(got) != 2 {
+		t.Errorf("function filter = %d events, want 2", len(got))
+	}
+	if got := l.Select(Filter{SinceSeq: 3}); len(got) != 2 {
+		t.Errorf("since filter = %d events, want 2", len(got))
+	}
+	if got := l.Select(Filter{Limit: 2}); len(got) != 2 || got[1].Kind != KindPeakExit {
+		t.Errorf("limit filter should keep the most recent: %+v", got)
+	}
+	if got := l.Select(Filter{Kind: "nope"}); len(got) != 0 {
+		t.Errorf("unmatched kind returned %d events", len(got))
+	}
+}
+
+func TestEventLogJSONLSink(t *testing.T) {
+	var sink strings.Builder
+	l, err := NewEventLog(2, &sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for m := 0; m < 4; m++ {
+		l.Append(Event{Minute: m, Kind: KindMinute, Function: -1, KaMMB: float64(m) * 100})
+	}
+	// The sink keeps every event even though the ring holds only 2.
+	sc := bufio.NewScanner(strings.NewReader(sink.String()))
+	var n int
+	for sc.Scan() {
+		var e Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("line %d not valid JSON: %v", n, err)
+		}
+		if e.Minute != n || e.KaMMB != float64(n)*100 {
+			t.Errorf("line %d = %+v", n, e)
+		}
+		n++
+	}
+	if n != 4 {
+		t.Errorf("sink lines = %d, want 4", n)
+	}
+	if l.SinkErr() != nil {
+		t.Errorf("sink error = %v", l.SinkErr())
+	}
+}
+
+type failWriter struct{ err error }
+
+func (f failWriter) Write([]byte) (int, error) { return 0, f.err }
+
+func TestEventLogSinkErrorStopsSinkOnly(t *testing.T) {
+	boom := errors.New("disk full")
+	l, err := NewEventLog(4, failWriter{err: boom})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Append(Event{Kind: KindMinute, Function: -1})
+	l.Append(Event{Kind: KindMinute, Function: -1})
+	if !errors.Is(l.SinkErr(), boom) {
+		t.Errorf("sink err = %v, want %v", l.SinkErr(), boom)
+	}
+	// The ring keeps working after the sink dies.
+	if got := l.Select(Filter{}); len(got) != 2 {
+		t.Errorf("ring has %d events, want 2", len(got))
+	}
+}
+
+func TestZeroCapacityLogIsSinkOnly(t *testing.T) {
+	// Capacity 0 means "default", so build a 1-capacity ring and shrink
+	// semantics are covered by the ring test; here check Filter zero value
+	// matches everything including function -1 events.
+	l, err := NewEventLog(8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Append(Event{Kind: KindPeakEnter, Function: -1})
+	if got := l.Select(Filter{}); len(got) != 1 {
+		t.Errorf("zero filter = %d events, want 1", len(got))
+	}
+}

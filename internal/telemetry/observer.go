@@ -1,0 +1,173 @@
+package telemetry
+
+import "sync"
+
+// InvocationSample reports served invocations. The runtime emits one sample
+// per invocation (Count 1); the cluster engine batches a minute's identical
+// invocations into one sample with Count > 1.
+type InvocationSample struct {
+	Minute      int
+	Function    int
+	Variant     string
+	Cold        bool
+	Count       int
+	ServiceSec  float64 // per-invocation service time (cold start included when Cold)
+	AccuracyPct float64
+}
+
+// KeepAliveSample reports, once per function per minute, which variant the
+// policy keeps alive. Variant is -1 (and VariantName empty) when the
+// function is left cold.
+type KeepAliveSample struct {
+	Minute      int
+	Function    int
+	Variant     int
+	VariantName string
+	MemMB       float64
+}
+
+// MinuteSample is the platform's per-minute rollup: total keep-alive
+// memory and the keep-alive cost charged for the minute.
+type MinuteSample struct {
+	Minute      int
+	KeepAliveMB float64
+	CostUSD     float64
+}
+
+// ScheduleSample is one function-centric optimizer decision: after an
+// invocation at Minute, the plan commits Plan[i] (a variant index) for
+// offset minute i+1, chosen from invocation probability Probs[i].
+// Observers must not retain or mutate the slices beyond the call.
+type ScheduleSample struct {
+	Minute   int
+	Function int
+	Plan     []int
+	Probs    []float64
+}
+
+// PeakSample reports an Algorithm 1 peak-episode transition. Enter samples
+// carry the keep-alive memory that tripped the detector, the prior it was
+// compared against, the flatten target, and how many downgrades the episode
+// opened with.
+type PeakSample struct {
+	Minute      int
+	Enter       bool
+	KeepAliveMB float64
+	PriorMB     float64
+	TargetMB    float64
+	Downgrades  int
+}
+
+// DowngradeSample is one Algorithm 2 downgrade with the full utility
+// breakdown that selected the victim. ToVariant is -1 for an eviction.
+type DowngradeSample struct {
+	Minute      int
+	Function    int
+	FromVariant int
+	ToVariant   int
+	Ai          float64
+	Pr          float64
+	Ip          float64
+}
+
+// Uv returns the victim's utility value Ai + Pr + Ip (Equation 2).
+func (d DowngradeSample) Uv() float64 { return d.Ai + d.Pr + d.Ip }
+
+// Observer receives instrumentation events from the core optimizers, the
+// cluster engine, and the live runtime. Implementations must be
+// concurrency-safe and cheap: samples arrive on invocation hot paths.
+//
+// Producers treat observers as nil-safe configuration — a nil Observer
+// field disables instrumentation entirely, and the Nop implementation
+// exists for call sites that want an always-valid value.
+type Observer interface {
+	ObserveInvocation(InvocationSample)
+	ObserveKeepAlive(KeepAliveSample)
+	ObserveMinute(MinuteSample)
+	ObserveSchedule(ScheduleSample)
+	ObservePeak(PeakSample)
+	ObserveDowngrade(DowngradeSample)
+}
+
+// Nop is an Observer that does nothing and allocates nothing — the
+// uninstrumented baseline the benchmark suite compares against.
+type Nop struct{}
+
+// ObserveInvocation implements Observer.
+func (Nop) ObserveInvocation(InvocationSample) {}
+
+// ObserveKeepAlive implements Observer.
+func (Nop) ObserveKeepAlive(KeepAliveSample) {}
+
+// ObserveMinute implements Observer.
+func (Nop) ObserveMinute(MinuteSample) {}
+
+// ObserveSchedule implements Observer.
+func (Nop) ObserveSchedule(ScheduleSample) {}
+
+// ObservePeak implements Observer.
+func (Nop) ObservePeak(PeakSample) {}
+
+// ObserveDowngrade implements Observer.
+func (Nop) ObserveDowngrade(DowngradeSample) {}
+
+var _ Observer = Nop{}
+
+// Recorder is an Observer that retains every sample in memory — a testing
+// and tooling aid for asserting exactly what a controller or runtime
+// reported.
+type Recorder struct {
+	mu          sync.Mutex
+	Invocations []InvocationSample
+	KeepAlives  []KeepAliveSample
+	Minutes     []MinuteSample
+	Schedules   []ScheduleSample
+	Peaks       []PeakSample
+	Downgrades  []DowngradeSample
+}
+
+// ObserveInvocation implements Observer.
+func (r *Recorder) ObserveInvocation(s InvocationSample) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.Invocations = append(r.Invocations, s)
+}
+
+// ObserveKeepAlive implements Observer.
+func (r *Recorder) ObserveKeepAlive(s KeepAliveSample) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.KeepAlives = append(r.KeepAlives, s)
+}
+
+// ObserveMinute implements Observer.
+func (r *Recorder) ObserveMinute(s MinuteSample) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.Minutes = append(r.Minutes, s)
+}
+
+// ObserveSchedule implements Observer.
+func (r *Recorder) ObserveSchedule(s ScheduleSample) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s.Plan = append([]int(nil), s.Plan...)
+	s.Probs = append([]float64(nil), s.Probs...)
+	r.Schedules = append(r.Schedules, s)
+}
+
+// ObservePeak implements Observer.
+func (r *Recorder) ObservePeak(s PeakSample) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.Peaks = append(r.Peaks, s)
+}
+
+// ObserveDowngrade implements Observer.
+func (r *Recorder) ObserveDowngrade(s DowngradeSample) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.Downgrades = append(r.Downgrades, s)
+}
+
+var _ Observer = (*Recorder)(nil)

@@ -1,0 +1,161 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+func newTestTelemetry(t *testing.T) *Telemetry {
+	t.Helper()
+	tel, err := New(Config{EventCapacity: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tel
+}
+
+func render(t *testing.T, tel *Telemetry) string {
+	t.Helper()
+	var b strings.Builder
+	if err := tel.Registry().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+func TestTelemetryInvocationSeries(t *testing.T) {
+	tel := newTestTelemetry(t)
+	tel.ObserveInvocation(InvocationSample{Minute: 0, Function: 3, Variant: "gpt-small", Cold: true, Count: 1, ServiceSec: 4.2})
+	tel.ObserveInvocation(InvocationSample{Minute: 0, Function: 3, Variant: "gpt-small", Count: 5, ServiceSec: 0.3})
+	tel.ObserveInvocation(InvocationSample{Minute: 0, Function: 1, Variant: "yolo-x", ServiceSec: 0.1}) // Count 0 → 1
+
+	out := render(t, tel)
+	for _, want := range []string{
+		`pulse_function_invocations_total{function="3",variant="gpt-small",start="cold"} 1`,
+		`pulse_function_invocations_total{function="3",variant="gpt-small",start="warm"} 5`,
+		`pulse_function_invocations_total{function="1",variant="yolo-x",start="warm"} 1`,
+		`pulse_function_service_seconds_count{function="3"} 6`,
+		`pulse_function_service_seconds_bucket{function="3",le="+Inf"} 6`,
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestTelemetryKeepAliveGaugeZeroesStaleVariant(t *testing.T) {
+	tel := newTestTelemetry(t)
+	tel.ObserveKeepAlive(KeepAliveSample{Minute: 0, Function: 2, Variant: 2, VariantName: "gpt-large", MemMB: 2048})
+	out := render(t, tel)
+	if !strings.Contains(out, `pulse_function_keepalive_mb{function="2",variant="gpt-large"} 2048`) {
+		t.Fatalf("gauge not set:\n%s", out)
+	}
+	// Downgrade to a smaller variant: the old series must drop to zero.
+	tel.ObserveKeepAlive(KeepAliveSample{Minute: 1, Function: 2, Variant: 0, VariantName: "gpt-small", MemMB: 512})
+	out = render(t, tel)
+	if !strings.Contains(out, `pulse_function_keepalive_mb{function="2",variant="gpt-large"} 0`) {
+		t.Errorf("stale variant series not zeroed:\n%s", out)
+	}
+	if !strings.Contains(out, `pulse_function_keepalive_mb{function="2",variant="gpt-small"} 512`) {
+		t.Errorf("new variant series missing:\n%s", out)
+	}
+	// Eviction: everything for the function reads zero.
+	tel.ObserveKeepAlive(KeepAliveSample{Minute: 2, Function: 2, Variant: -1})
+	out = render(t, tel)
+	if !strings.Contains(out, `pulse_function_keepalive_mb{function="2",variant="gpt-small"} 0`) {
+		t.Errorf("evicted variant series not zeroed:\n%s", out)
+	}
+}
+
+func TestTelemetryPeakAndDowngradeFlow(t *testing.T) {
+	tel := newTestTelemetry(t)
+	tel.ObservePeak(PeakSample{Minute: 10, Enter: true, KeepAliveMB: 4608, PriorMB: 2048, TargetMB: 2252.8, Downgrades: 2})
+	tel.ObserveDowngrade(DowngradeSample{Minute: 10, Function: 0, FromVariant: 2, ToVariant: 1, Ai: 1.2, Pr: 0.5, Ip: 0.9})
+	tel.ObserveDowngrade(DowngradeSample{Minute: 10, Function: 0, FromVariant: 1, ToVariant: 0, Ai: 0.8, Pr: 1, Ip: 0.9})
+	tel.ObservePeak(PeakSample{Minute: 11, Enter: false, KeepAliveMB: 3072, PriorMB: 3072, TargetMB: 3379.2})
+
+	out := render(t, tel)
+	for _, want := range []string{
+		`pulse_peaks_total 1`,
+		`pulse_peak_active 0`,
+		`pulse_downgrades_total{function="0"} 2`,
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+
+	events := tel.Events().Select(Filter{Kind: KindDowngrade})
+	if len(events) != 2 {
+		t.Fatalf("downgrade events = %d, want 2", len(events))
+	}
+	first := events[0]
+	if first.Ai != 1.2 || first.Pr != 0.5 || first.Ip != 0.9 || first.Uv != 2.6 {
+		t.Errorf("downgrade terms = %+v, want Uv = Ai+Pr+Ip = 2.6", first)
+	}
+	if first.FromVariant != 2 || first.ToVariant != 1 {
+		t.Errorf("downgrade variants = %+v", first)
+	}
+	if got := tel.Events().Select(Filter{Kind: KindPeakEnter}); len(got) != 1 || got[0].KaMMB != 4608 || got[0].Downgrades != 2 {
+		t.Errorf("peak enter event = %+v", got)
+	}
+	if got := tel.Events().Select(Filter{Kind: KindPeakExit}); len(got) != 1 {
+		t.Errorf("peak exit events = %d, want 1", len(got))
+	}
+}
+
+func TestTelemetryScheduleEvent(t *testing.T) {
+	tel := newTestTelemetry(t)
+	plan := []int{0, 0, 1, 2}
+	probs := []float64{0.1, 0.2, 0.6, 0.9}
+	tel.ObserveSchedule(ScheduleSample{Minute: 5, Function: 4, Plan: plan, Probs: probs})
+	plan[0] = 99 // the log must hold a copy, not the caller's slice
+
+	events := tel.Events().Select(Filter{Kind: KindSchedule})
+	if len(events) != 1 {
+		t.Fatalf("schedule events = %d, want 1", len(events))
+	}
+	e := events[0]
+	if e.Function != 4 || e.Minute != 5 {
+		t.Errorf("event = %+v", e)
+	}
+	if e.Plan[0] != 0 {
+		t.Error("schedule event aliased the caller's plan slice")
+	}
+	if len(e.Plan) != 4 || len(e.Probs) != 4 || e.Probs[3] != 0.9 {
+		t.Errorf("plan/probs = %v / %v", e.Plan, e.Probs)
+	}
+	out := render(t, tel)
+	if !strings.Contains(out, `pulse_schedules_total{function="4"} 1`) {
+		t.Errorf("schedule counter missing:\n%s", out)
+	}
+}
+
+func TestTelemetryMinuteEvent(t *testing.T) {
+	tel := newTestTelemetry(t)
+	tel.ObserveMinute(MinuteSample{Minute: 7, KeepAliveMB: 1024, CostUSD: 0.001})
+	events := tel.Events().Select(Filter{Kind: KindMinute})
+	if len(events) != 1 || events[0].KaMMB != 1024 || events[0].CostUSD != 0.001 || events[0].Function != -1 {
+		t.Errorf("minute events = %+v", events)
+	}
+}
+
+// The Observer contract: Telemetry, Nop, and Recorder are interchangeable.
+func TestObserverImplementations(t *testing.T) {
+	drive := func(o Observer) {
+		o.ObserveInvocation(InvocationSample{Function: 1, Variant: "v", Count: 1})
+		o.ObserveKeepAlive(KeepAliveSample{Function: 1, Variant: 0, VariantName: "v", MemMB: 1})
+		o.ObserveMinute(MinuteSample{Minute: 1})
+		o.ObserveSchedule(ScheduleSample{Function: 1, Plan: []int{0}, Probs: []float64{0.5}})
+		o.ObservePeak(PeakSample{Minute: 1, Enter: true})
+		o.ObserveDowngrade(DowngradeSample{Function: 1, FromVariant: 1, ToVariant: 0})
+	}
+	drive(Nop{})
+	rec := &Recorder{}
+	drive(rec)
+	if len(rec.Invocations) != 1 || len(rec.KeepAlives) != 1 || len(rec.Minutes) != 1 ||
+		len(rec.Schedules) != 1 || len(rec.Peaks) != 1 || len(rec.Downgrades) != 1 {
+		t.Errorf("recorder missed samples: %+v", rec)
+	}
+	drive(newTestTelemetry(t))
+}
