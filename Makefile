@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench experiments report examples clean
+.PHONY: all build vet test test-parallel race bench experiments report examples clean
 
 all: build vet test
 
@@ -19,6 +19,15 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Sharded-controller equivalence proof: the differential harness and every
+# shard test under the race detector, plus short fuzz smoke runs over the
+# optimizer invariants. Mirrors the CI "sharded" job.
+test-parallel:
+	$(GO) test -race ./... -run 'Differential|Sharded'
+	$(GO) test ./internal/core -run '^$$' -fuzz '^FuzzPeakDetector$$' -fuzztime=10s
+	$(GO) test ./internal/core -run '^$$' -fuzz '^FuzzHistoryProbabilities$$' -fuzztime=10s
+	$(GO) test ./internal/core -run '^$$' -fuzz '^FuzzSchedule$$' -fuzztime=10s
 
 # Quick-scale benchmark pass over every table/figure harness.
 bench:

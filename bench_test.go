@@ -13,8 +13,12 @@ package pulse_test
 // 1000 runs).
 
 import (
+	"fmt"
+	"math/rand"
+	"runtime"
 	"testing"
 
+	pulse "github.com/pulse-serverless/pulse"
 	"github.com/pulse-serverless/pulse/internal/experiments"
 	"github.com/pulse-serverless/pulse/internal/trace"
 )
@@ -263,6 +267,49 @@ func BenchmarkAblationDowngradeSelection(b *testing.B) {
 	pts := benchSweep(b, experiments.AblationDowngradeSelection)
 	b.ReportMetric(pts[0].AccuracyPct, "utility-accuracy-change-pct")
 	b.ReportMetric(pts[1].AccuracyPct, "random-accuracy-change-pct")
+}
+
+// BenchmarkPulseSharded measures controller throughput at cluster scale —
+// 10k functions per minute tick — serial versus one shard per CPU. The
+// decisions are bit-identical at every shard count (the differential
+// harness proves it); this benchmark shows what the sharding buys:
+// RecordInvocations fans the per-function optimizer out to the persistent
+// worker pool.
+func BenchmarkPulseSharded(b *testing.B) {
+	const nFunctions = 10_000
+	cat := pulse.Catalog()
+	asg := pulse.UniformAssignment(cat, nFunctions)
+
+	// Pre-generate a cycle of deterministic count vectors (~25% of
+	// functions active per minute) so the benchmark loop measures the
+	// controller, not trace generation.
+	rng := rand.New(rand.NewSource(17))
+	counts := make([][]int, 64)
+	for i := range counts {
+		counts[i] = make([]int, nFunctions)
+		for fn := range counts[i] {
+			if rng.Intn(4) == 0 {
+				counts[i][fn] = 1 + rng.Intn(3)
+			}
+		}
+	}
+
+	for _, shards := range []int{1, runtime.NumCPU()} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			p, err := pulse.New(pulse.Config{Catalog: cat, Assignment: asg, Shards: shards})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer p.Close()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for t := 0; t < b.N; t++ {
+				p.KeepAlive(t)
+				p.RecordInvocations(t, counts[t&63])
+			}
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "sim-minutes/s")
+		})
+	}
 }
 
 // BenchmarkEndToEndSimulationMinute measures raw simulator throughput:

@@ -55,6 +55,7 @@ func run() error {
 	addr := flag.String("addr", ":8080", "listen address")
 	compress := flag.Float64("compress", 60, "time compression (60 = one simulated minute per wall second)")
 	policyName := flag.String("policy", "pulse", "keep-alive policy: pulse or openwhisk")
+	shards := flag.Int("shards", 0, "PULSE controller shards (0 = one per CPU, 1 = serial); decisions are identical at every count")
 	demo := flag.Bool("demo", false, "generate background demo traffic")
 	seed := flag.Int64("seed", 1, "demo traffic seed")
 	stateDir := flag.String("statedir", "", "metadata store directory: PULSE state is restored on start and saved on shutdown")
@@ -90,7 +91,7 @@ func run() error {
 	const snapshotName = "pulsed"
 	switch *policyName {
 	case "pulse":
-		cfg := core.Config{Catalog: cat, Assignment: asg, Observer: tel}
+		cfg := core.Config{Catalog: cat, Assignment: asg, Observer: tel, Shards: *shards}
 		if *stateDir != "" {
 			if store, err = metastore.Open(*stateDir); err != nil {
 				return err
@@ -124,6 +125,10 @@ func run() error {
 	})
 	if err != nil {
 		return err
+	}
+	defer rt.Close() // stops the sharded controller's worker pool
+	if controller != nil {
+		log.Printf("pulsed: PULSE controller running with %d shard(s)", controller.Shards())
 	}
 	api, err := runtime.NewInstrumentedAPI(rt, tel)
 	if err != nil {

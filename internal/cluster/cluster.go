@@ -52,6 +52,9 @@ func (cm CostModel) KeepAliveUSDPerMinute(memMB float64) float64 {
 
 // Policy is a keep-alive controller. The engine drives it minute by
 // minute; implementations must be deterministic for reproducible runs.
+// Policies that own background resources (such as the sharded PULSE
+// controller's worker pool) additionally implement io.Closer; drivers
+// that construct policies should close them when done.
 type Policy interface {
 	// Name identifies the policy in reports.
 	Name() string
@@ -87,6 +90,16 @@ type Config struct {
 	// invocation samples — the same instrumentation surface the live
 	// runtime uses, so simulation runs can be audited identically.
 	Observer telemetry.Observer
+	// Shards is the number of worker goroutines the engine fans the
+	// per-minute function scans out to (keep-alive accounting and
+	// invocation-count loading). 0 or 1 runs serially. Results are
+	// bit-identical at every shard count: workers only precompute
+	// per-function contributions; all floating-point accumulation,
+	// service-time recording, and policy callbacks happen on the driving
+	// goroutine in function order. When an Observer is attached the
+	// engine always uses the serial scan so the audit event stream stays
+	// byte-for-byte identical.
+	Shards int
 }
 
 // Validate checks the configuration is runnable.
@@ -108,6 +121,9 @@ func (c *Config) Validate() error {
 	}
 	if c.Cost.USDPerGBSecond <= 0 {
 		return fmt.Errorf("cluster: non-positive cost rate %v", c.Cost.USDPerGBSecond)
+	}
+	if c.Shards < 0 {
+		return fmt.Errorf("cluster: negative shard count %d", c.Shards)
 	}
 	return nil
 }
@@ -184,6 +200,19 @@ func Run(cfg Config, p Policy) (*Result, error) {
 	}
 	counts := make([]int, nFn)
 
+	// The per-minute function scans fan out to a persistent worker pool
+	// when sharding is enabled; an attached Observer forces the serial
+	// scan so the audit event stream keeps its exact serial order.
+	shards := cfg.Shards
+	if cfg.Observer != nil || shards > nFn {
+		shards = 1
+	}
+	var eng *enginePool
+	if shards > 1 {
+		eng = newEnginePool(&cfg, p.Name(), shards, counts)
+		defer eng.close()
+	}
+
 	for t := 0; t < tr.Horizon; t++ {
 		var start time.Time
 		if cfg.MeasureOverhead {
@@ -199,31 +228,52 @@ func Run(cfg Config, p Policy) (*Result, error) {
 				p.Name(), len(alive), nFn, t)
 		}
 
-		// Keep-alive accounting for this minute.
 		var kamMB, costUSD float64
-		for fn, vi := range alive {
-			if vi == NoVariant {
-				if cfg.Observer != nil {
-					cfg.Observer.ObserveKeepAlive(telemetry.KeepAliveSample{Minute: t, Function: fn, Variant: NoVariant})
+		if eng != nil {
+			// Sharded scan: workers validate decisions, load invocation
+			// counts, and compact the minute's active functions; all
+			// accumulation happens here, in function order, so sums are
+			// bit-identical to the serial scan.
+			eng.scan(t, alive)
+			for _, s := range eng.shards {
+				if s.err != nil {
+					return nil, s.err
 				}
-				continue
 			}
-			fam := &cfg.Catalog.Families[cfg.Assignment[fn]]
-			if vi < 0 || vi >= fam.NumVariants() {
-				return nil, fmt.Errorf("cluster: policy %q kept invalid variant %d of family %q alive for function %d at minute %d",
-					p.Name(), vi, fam.Name, fn, t)
+			for _, s := range eng.shards {
+				for _, ev := range s.events {
+					if ev.vi != NoVariant {
+						kamMB += ev.mem
+						costUSD += cfg.Cost.KeepAliveUSDPerMinute(ev.mem)
+					}
+				}
 			}
-			mem := fam.Variants[vi].MemoryMB
-			kamMB += mem
-			costUSD += cfg.Cost.KeepAliveUSDPerMinute(mem)
-			if cfg.Observer != nil {
-				cfg.Observer.ObserveKeepAlive(telemetry.KeepAliveSample{
-					Minute:      t,
-					Function:    fn,
-					Variant:     vi,
-					VariantName: fam.Variants[vi].Name,
-					MemMB:       mem,
-				})
+		} else {
+			// Keep-alive accounting for this minute.
+			for fn, vi := range alive {
+				if vi == NoVariant {
+					if cfg.Observer != nil {
+						cfg.Observer.ObserveKeepAlive(telemetry.KeepAliveSample{Minute: t, Function: fn, Variant: NoVariant})
+					}
+					continue
+				}
+				fam := &cfg.Catalog.Families[cfg.Assignment[fn]]
+				if vi < 0 || vi >= fam.NumVariants() {
+					return nil, fmt.Errorf("cluster: policy %q kept invalid variant %d of family %q alive for function %d at minute %d",
+						p.Name(), vi, fam.Name, fn, t)
+				}
+				mem := fam.Variants[vi].MemoryMB
+				kamMB += mem
+				costUSD += cfg.Cost.KeepAliveUSDPerMinute(mem)
+				if cfg.Observer != nil {
+					cfg.Observer.ObserveKeepAlive(telemetry.KeepAliveSample{
+						Minute:      t,
+						Function:    fn,
+						Variant:     vi,
+						VariantName: fam.Variants[vi].Name,
+						MemMB:       mem,
+					})
+				}
 			}
 		}
 		res.PerMinuteKaMMB[t] = kamMB
@@ -234,68 +284,26 @@ func Run(cfg Config, p Policy) (*Result, error) {
 		}
 
 		// Serve this minute's invocations.
-		for fn := 0; fn < nFn; fn++ {
-			c := tr.Functions[fn].Counts[t]
-			counts[fn] = c
-			if c == 0 {
-				continue
+		if eng != nil {
+			for _, s := range eng.shards {
+				for _, ev := range s.events {
+					if ev.c == 0 {
+						continue
+					}
+					if err := serveFunction(&cfg, p, res, t, ev.fn, ev.c, ev.vi); err != nil {
+						return nil, err
+					}
+				}
 			}
-			fam := &cfg.Catalog.Families[cfg.Assignment[fn]]
-			res.Invocations += c
-			if vi := alive[fn]; vi != NoVariant {
-				// Warm: the kept-alive variant serves every invocation.
-				v := fam.Variants[vi]
-				res.WarmStarts += c
-				res.TotalServiceSec += float64(c) * v.ExecSec
-				res.AccuracySumPct += float64(c) * v.AccuracyPct
-				if cfg.RecordServiceTimes {
-					for i := 0; i < c; i++ {
-						res.ServiceTimesSec = append(res.ServiceTimesSec, v.ExecSec)
-					}
+		} else {
+			for fn := 0; fn < nFn; fn++ {
+				c := tr.Functions[fn].Counts[t]
+				counts[fn] = c
+				if c == 0 {
+					continue
 				}
-				if cfg.Observer != nil {
-					cfg.Observer.ObserveInvocation(telemetry.InvocationSample{
-						Minute: t, Function: fn, Variant: v.Name,
-						Count: c, ServiceSec: v.ExecSec, AccuracyPct: v.AccuracyPct,
-					})
-				}
-			} else {
-				// Cold: the first invocation pays the cold start and
-				// creates a container that serves the rest of the minute
-				// warm.
-				cvi := p.ColdVariant(t, fn)
-				if cvi < 0 || cvi >= fam.NumVariants() {
-					return nil, fmt.Errorf("cluster: policy %q chose invalid cold variant %d of family %q for function %d at minute %d",
-						p.Name(), cvi, fam.Name, fn, t)
-				}
-				v := fam.Variants[cvi]
-				res.ColdStarts++
-				res.TotalServiceSec += v.ColdServiceSec()
-				res.AccuracySumPct += v.AccuracyPct
-				if cfg.RecordServiceTimes {
-					res.ServiceTimesSec = append(res.ServiceTimesSec, v.ColdServiceSec())
-				}
-				if cfg.Observer != nil {
-					cfg.Observer.ObserveInvocation(telemetry.InvocationSample{
-						Minute: t, Function: fn, Variant: v.Name, Cold: true,
-						Count: 1, ServiceSec: v.ColdServiceSec(), AccuracyPct: v.AccuracyPct,
-					})
-				}
-				if c > 1 {
-					res.WarmStarts += c - 1
-					res.TotalServiceSec += float64(c-1) * v.ExecSec
-					res.AccuracySumPct += float64(c-1) * v.AccuracyPct
-					if cfg.RecordServiceTimes {
-						for i := 1; i < c; i++ {
-							res.ServiceTimesSec = append(res.ServiceTimesSec, v.ExecSec)
-						}
-					}
-					if cfg.Observer != nil {
-						cfg.Observer.ObserveInvocation(telemetry.InvocationSample{
-							Minute: t, Function: fn, Variant: v.Name,
-							Count: c - 1, ServiceSec: v.ExecSec, AccuracyPct: v.AccuracyPct,
-						})
-					}
+				if err := serveFunction(&cfg, p, res, t, fn, c, alive[fn]); err != nil {
+					return nil, err
 				}
 			}
 		}
@@ -309,6 +317,71 @@ func Run(cfg Config, p Policy) (*Result, error) {
 		}
 	}
 	return res, nil
+}
+
+// serveFunction attributes one invoked function's minute: warm service on
+// the kept-alive variant, or a cold start on the policy's cold variant
+// with the remainder of the minute served warm. Shared by the serial and
+// sharded scans so their accounting cannot drift.
+func serveFunction(cfg *Config, p Policy, res *Result, t, fn, c, vi int) error {
+	fam := &cfg.Catalog.Families[cfg.Assignment[fn]]
+	res.Invocations += c
+	if vi != NoVariant {
+		// Warm: the kept-alive variant serves every invocation.
+		v := fam.Variants[vi]
+		res.WarmStarts += c
+		res.TotalServiceSec += float64(c) * v.ExecSec
+		res.AccuracySumPct += float64(c) * v.AccuracyPct
+		if cfg.RecordServiceTimes {
+			for i := 0; i < c; i++ {
+				res.ServiceTimesSec = append(res.ServiceTimesSec, v.ExecSec)
+			}
+		}
+		if cfg.Observer != nil {
+			cfg.Observer.ObserveInvocation(telemetry.InvocationSample{
+				Minute: t, Function: fn, Variant: v.Name,
+				Count: c, ServiceSec: v.ExecSec, AccuracyPct: v.AccuracyPct,
+			})
+		}
+		return nil
+	}
+	// Cold: the first invocation pays the cold start and creates a
+	// container that serves the rest of the minute warm.
+	cvi := p.ColdVariant(t, fn)
+	if cvi < 0 || cvi >= fam.NumVariants() {
+		return fmt.Errorf("cluster: policy %q chose invalid cold variant %d of family %q for function %d at minute %d",
+			p.Name(), cvi, fam.Name, fn, t)
+	}
+	v := fam.Variants[cvi]
+	res.ColdStarts++
+	res.TotalServiceSec += v.ColdServiceSec()
+	res.AccuracySumPct += v.AccuracyPct
+	if cfg.RecordServiceTimes {
+		res.ServiceTimesSec = append(res.ServiceTimesSec, v.ColdServiceSec())
+	}
+	if cfg.Observer != nil {
+		cfg.Observer.ObserveInvocation(telemetry.InvocationSample{
+			Minute: t, Function: fn, Variant: v.Name, Cold: true,
+			Count: 1, ServiceSec: v.ColdServiceSec(), AccuracyPct: v.AccuracyPct,
+		})
+	}
+	if c > 1 {
+		res.WarmStarts += c - 1
+		res.TotalServiceSec += float64(c-1) * v.ExecSec
+		res.AccuracySumPct += float64(c-1) * v.AccuracyPct
+		if cfg.RecordServiceTimes {
+			for i := 1; i < c; i++ {
+				res.ServiceTimesSec = append(res.ServiceTimesSec, v.ExecSec)
+			}
+		}
+		if cfg.Observer != nil {
+			cfg.Observer.ObserveInvocation(telemetry.InvocationSample{
+				Minute: t, Function: fn, Variant: v.Name,
+				Count: c - 1, ServiceSec: v.ExecSec, AccuracyPct: v.AccuracyPct,
+			})
+		}
+	}
+	return nil
 }
 
 // IdealCostSeries returns, per minute, the keep-alive cost of the paper's

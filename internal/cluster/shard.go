@@ -1,0 +1,127 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+)
+
+// This file implements the engine's sharded per-minute function scan.
+// Each simulated minute the engine must walk every function twice: once
+// to account the kept-alive memory and once to serve the minute's
+// invocations. At production scale (tens of thousands of functions) those
+// serial O(nFunctions) walks dominate the engine's share of the minute,
+// so they fan out to a persistent worker pool — one goroutine per shard
+// of contiguous functions, alive for the whole Run, fed over channels
+// with a WaitGroup barrier per minute.
+//
+// Workers only *precompute*: they validate the policy's decision, look up
+// the kept-alive variant's memory, load the minute's invocation count,
+// and compact the shard's active functions into an event list. Every
+// accumulating operation — floating-point sums, service-time recording,
+// ColdVariant policy callbacks — stays on the driving goroutine, which
+// reduces the shard event lists in shard order (and therefore ascending
+// function order). Results are bit-identical to the serial scan at every
+// shard count because no summation is ever re-associated.
+
+// fnMinuteEvent is one active function's precomputed minute: the policy's
+// kept-alive decision with its memory, and the invocation count. Workers
+// emit an event only for functions that are kept alive or invoked, so the
+// reduce step touches active functions rather than all of them.
+type fnMinuteEvent struct {
+	fn  int
+	vi  int     // variant kept alive this minute, NoVariant when none
+	mem float64 // memory of the kept-alive variant (0 when none)
+	c   int     // invocations arriving this minute
+}
+
+// engineShard owns the contiguous function range [lo, hi).
+type engineShard struct {
+	lo, hi int
+	jobs   chan int // minute to scan; closed to stop the worker
+	events []fnMinuteEvent
+	err    error
+}
+
+// enginePool is the per-Run scan pool.
+type enginePool struct {
+	cfg    *Config
+	policy string // policy name, for error messages
+	alive  []int  // the minute's decisions; set by scan before dispatch
+	counts []int  // invocation counts workers load for RecordInvocations
+	shards []*engineShard
+	wg     sync.WaitGroup
+	once   sync.Once
+}
+
+// newEnginePool partitions nFn functions into nShards contiguous ranges
+// (sizes differing by at most one) and starts one worker per shard.
+func newEnginePool(cfg *Config, policy string, nShards int, counts []int) *enginePool {
+	nFn := len(counts)
+	pool := &enginePool{cfg: cfg, policy: policy, counts: counts, shards: make([]*engineShard, nShards)}
+	base, rem := nFn/nShards, nFn%nShards
+	lo := 0
+	for i := range pool.shards {
+		size := base
+		if i < rem {
+			size++
+		}
+		s := &engineShard{lo: lo, hi: lo + size, jobs: make(chan int, 1)}
+		pool.shards[i] = s
+		lo = s.hi
+		go func() {
+			for t := range s.jobs {
+				s.scan(pool, t)
+				pool.wg.Done()
+			}
+		}()
+	}
+	return pool
+}
+
+// scan fans minute t out to the workers and waits for the barrier. The
+// caller owns alive until the next scan call.
+func (pl *enginePool) scan(t int, alive []int) {
+	pl.alive = alive
+	pl.wg.Add(len(pl.shards))
+	for _, s := range pl.shards {
+		s.jobs <- t
+	}
+	pl.wg.Wait()
+}
+
+// close stops the workers. Idempotent.
+func (pl *enginePool) close() {
+	pl.once.Do(func() {
+		for _, s := range pl.shards {
+			close(s.jobs)
+		}
+	})
+}
+
+// scan precomputes the shard's minute: decision validation, kept-alive
+// memory lookup, invocation-count load, and active-function compaction.
+func (s *engineShard) scan(pl *enginePool, t int) {
+	if s.err != nil {
+		return
+	}
+	s.events = s.events[:0]
+	cfg := pl.cfg
+	for fn := s.lo; fn < s.hi; fn++ {
+		c := cfg.Trace.Functions[fn].Counts[t]
+		pl.counts[fn] = c
+		vi := pl.alive[fn]
+		var mem float64
+		if vi != NoVariant {
+			fam := &cfg.Catalog.Families[cfg.Assignment[fn]]
+			if vi < 0 || vi >= fam.NumVariants() {
+				s.err = fmt.Errorf("cluster: policy %q kept invalid variant %d of family %q alive for function %d at minute %d",
+					pl.policy, vi, fam.Name, fn, t)
+				return
+			}
+			mem = fam.Variants[vi].MemoryMB
+		}
+		if vi != NoVariant || c > 0 {
+			s.events = append(s.events, fnMinuteEvent{fn: fn, vi: vi, mem: mem, c: c})
+		}
+	}
+}

@@ -1,0 +1,129 @@
+package cluster
+
+// Differential test for the engine's sharded per-minute scan: the sharded
+// path precomputes per-function events on workers and reduces them on the
+// coordinator in function order, so every Result field must match the
+// serial scan exactly.
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/pulse-serverless/pulse/internal/models"
+	"github.com/pulse-serverless/pulse/internal/trace"
+)
+
+// variedPolicy alternates keep-alive decisions per minute so the scan
+// exercises warm, cold, and idle paths across functions.
+type variedPolicy struct {
+	alive []int
+}
+
+func (v *variedPolicy) Name() string { return "varied" }
+func (v *variedPolicy) KeepAlive(t int) []int {
+	for fn := range v.alive {
+		switch (t + fn) % 3 {
+		case 0:
+			v.alive[fn] = NoVariant
+		case 1:
+			v.alive[fn] = 0
+		default:
+			v.alive[fn] = 1
+		}
+	}
+	return v.alive
+}
+func (v *variedPolicy) ColdVariant(t, fn int) int    { return (t + fn) % 2 }
+func (v *variedPolicy) RecordInvocations(int, []int) {}
+
+func shardTestTrace(t *testing.T, nFn int) *trace.Trace {
+	t.Helper()
+	var arch []trace.Archetype
+	for i := 0; i < nFn; i++ {
+		switch i % 3 {
+		case 0:
+			arch = append(arch, trace.Poisson{Rate: 0.7})
+		case 1:
+			arch = append(arch, trace.Sporadic{MeanGap: 9})
+		default:
+			arch = append(arch, trace.Periodic{Period: 4, Jitter: 1})
+		}
+	}
+	tr, err := trace.Generate(trace.GeneratorConfig{Seed: 3, Horizon: 6 * 60, Archetypes: arch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+// TestShardedEngineMatchesSerial runs the same policy over the same trace
+// with the serial scan and several engine shard counts, requiring exact
+// equality of the complete Result — including the order-sensitive
+// ServiceTimesSec series.
+func TestShardedEngineMatchesSerial(t *testing.T) {
+	const nFn = 11
+	tr := shardTestTrace(t, nFn)
+	cat := testCatalog()
+	asg := make(models.Assignment, nFn)
+	run := func(shards int) *Result {
+		res, err := Run(Config{
+			Trace:              tr,
+			Catalog:            cat,
+			Assignment:         asg,
+			Cost:               DefaultCostModel(),
+			RecordServiceTimes: true,
+			Shards:             shards,
+		}, &variedPolicy{alive: make([]int, nFn)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	base := run(1)
+	for _, shards := range []int{0, 2, 3, 11, 64} {
+		got := run(shards)
+		if !reflect.DeepEqual(got, base) {
+			t.Errorf("shards=%d: Result diverges from serial scan", shards)
+			if got.KeepAliveCostUSD != base.KeepAliveCostUSD {
+				t.Errorf("  cost %v, want %v", got.KeepAliveCostUSD, base.KeepAliveCostUSD)
+			}
+			if got.WarmStarts != base.WarmStarts || got.ColdStarts != base.ColdStarts {
+				t.Errorf("  starts %d/%d, want %d/%d", got.WarmStarts, got.ColdStarts, base.WarmStarts, base.ColdStarts)
+			}
+			if !reflect.DeepEqual(got.ServiceTimesSec, base.ServiceTimesSec) {
+				t.Errorf("  service-time series diverges")
+			}
+		}
+	}
+}
+
+// TestShardedEngineValidation: negative engine shard counts are rejected
+// up front.
+func TestShardedEngineValidation(t *testing.T) {
+	cfg := testConfig([]int{0, 1})
+	cfg.Shards = -1
+	if err := cfg.Validate(); err == nil {
+		t.Error("negative engine shard count accepted")
+	}
+}
+
+// TestShardedEngineReportsBadVariant: validation errors raised on shard
+// workers surface as Run errors, like the serial scan's.
+func TestShardedEngineReportsBadVariant(t *testing.T) {
+	const nFn = 8
+	tr := shardTestTrace(t, nFn)
+	bad := &fakePolicy{name: "bad", alive: make([]int, nFn), cold: 99}
+	for fn := range bad.alive {
+		bad.alive[fn] = NoVariant // every invocation goes cold → invalid variant 99
+	}
+	_, err := Run(Config{
+		Trace:      tr,
+		Catalog:    testCatalog(),
+		Assignment: make(models.Assignment, nFn),
+		Cost:       DefaultCostModel(),
+		Shards:     4,
+	}, bad)
+	if err == nil {
+		t.Error("invalid cold variant not reported through the sharded scan")
+	}
+}

@@ -1,0 +1,368 @@
+package core
+
+// The differential equivalence harness is the proof obligation behind the
+// sharded controller: for a matrix of workloads (seeded synthetic mixes at
+// several scales plus an Azure-CSV-derived trace) and configurations, a
+// controller with shards=1 and a controller with shards=N must produce
+// identical per-minute decisions, keep-alive memory series, cost,
+// downgrade counts, peak minutes, and — when instrumented — an identical
+// audit event stream. CI runs this suite under -race (see the sharded job
+// and `make test-parallel`).
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"github.com/pulse-serverless/pulse/internal/cluster"
+	"github.com/pulse-serverless/pulse/internal/models"
+	"github.com/pulse-serverless/pulse/internal/telemetry"
+	"github.com/pulse-serverless/pulse/internal/trace"
+)
+
+// differentialWorkload is one trace of the equivalence matrix.
+type differentialWorkload struct {
+	name string
+	tr   *trace.Trace
+}
+
+// differentialWorkloads builds the trace matrix: the default Azure-like
+// mix, a bursty/sporadic mix scaled to several functions per shard, and a
+// trace round-tripped through the Azure Functions CSV format.
+func differentialWorkloads(t testing.TB) []differentialWorkload {
+	t.Helper()
+	azureLike, err := trace.Generate(trace.GeneratorConfig{Seed: 7, Horizon: 2 * trace.MinutesPerDay})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var scaled []trace.Archetype
+	for i := 0; i < 4; i++ {
+		scaled = append(scaled,
+			trace.Bursty{BurstsPerDay: 12, BurstLen: 7, BurstRate: 4, QuietRate: 0.05},
+			trace.Sporadic{MeanGap: 37},
+			trace.Periodic{Period: 11, Jitter: 2},
+			trace.Poisson{Rate: 0.4},
+			trace.HeavyTailed{Alpha: 1.6, Scale: 13},
+			trace.Diurnal{Base: 0.02, Amplitude: 1.2, PeakMinute: 600},
+		)
+	}
+	burstySporadic, err := trace.Generate(trace.GeneratorConfig{Seed: 11, Horizon: trace.MinutesPerDay, Archetypes: scaled})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Azure-derived: write the synthetic mix in the Azure Functions CSV
+	// day-file format and read it back, so the replay path users of the
+	// real dataset exercise feeds the matrix too.
+	seed, err := trace.Generate(trace.GeneratorConfig{Seed: 23, Horizon: trace.MinutesPerDay})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var day bytes.Buffer
+	if err := trace.WriteAzureCSV(seed, &day); err != nil {
+		t.Fatal(err)
+	}
+	azureCSV, err := trace.ReadAzureCSV(trace.AzureReadOptions{}, bytes.NewReader(day.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	return []differentialWorkload{
+		{name: "azure-like-2d", tr: azureLike},
+		{name: "bursty-sporadic-24fn", tr: burstySporadic},
+		{name: "azure-csv-derived", tr: azureCSV},
+	}
+}
+
+// differentialConfigs returns the controller configurations of the matrix.
+func differentialConfigs() map[string]Config {
+	return map[string]Config{
+		"default-T1":    {},
+		"T2-evict":      {Technique: TechniqueT2{}, Step: StepByOneEvict},
+		"tight-KM-T":    {KaMThreshold: 0.05, LocalWindow: 30},
+		"random-victim": {RandomDowngradeSeed: 99},
+	}
+}
+
+func differentialShardCounts() []int {
+	counts := []int{2, 7}
+	if n := runtime.NumCPU(); n > 1 && n != 7 {
+		counts = append(counts, n)
+	}
+	return counts
+}
+
+func uniformAssignment(cat *models.Catalog, nFn int) models.Assignment {
+	asg := make(models.Assignment, nFn)
+	for i := range asg {
+		asg[i] = i % len(cat.Families)
+	}
+	return asg
+}
+
+// TestDifferentialShardedDecisions drives a serial and a sharded
+// controller minute by minute over the same workload and requires
+// identical decision vectors and invocation-probability candidates every
+// minute, plus identical downgrade and peak counters at the end.
+func TestDifferentialShardedDecisions(t *testing.T) {
+	cat := models.PaperCatalog()
+	for _, wl := range differentialWorkloads(t) {
+		for cfgName, cfg := range differentialConfigs() {
+			for _, shards := range differentialShardCounts() {
+				t.Run(fmt.Sprintf("%s/%s/shards=%d", wl.name, cfgName, shards), func(t *testing.T) {
+					asg := uniformAssignment(cat, len(wl.tr.Functions))
+					mk := func(shards int) *Pulse {
+						c := cfg
+						c.Catalog = cat
+						c.Assignment = asg
+						c.Shards = shards
+						p, err := New(c)
+						if err != nil {
+							t.Fatal(err)
+						}
+						return p
+					}
+					serial := mk(1)
+					sharded := mk(shards)
+					defer sharded.Close()
+					if got := sharded.Shards(); got != shards && shards <= len(asg) {
+						t.Fatalf("effective shards = %d, want %d", got, shards)
+					}
+
+					counts := make([]int, len(asg))
+					for tm := 0; tm < wl.tr.Horizon; tm++ {
+						a := serial.KeepAlive(tm)
+						b := sharded.KeepAlive(tm)
+						for fn := range a {
+							if a[fn] != b[fn] {
+								t.Fatalf("minute %d function %d: serial keeps %d, sharded keeps %d", tm, fn, a[fn], b[fn])
+							}
+							if serial.ip[fn] != sharded.ip[fn] {
+								t.Fatalf("minute %d function %d: candidate probability %v vs %v", tm, fn, serial.ip[fn], sharded.ip[fn])
+							}
+						}
+						for fn := range counts {
+							counts[fn] = wl.tr.Functions[fn].Counts[tm]
+						}
+						serial.RecordInvocations(tm, counts)
+						sharded.RecordInvocations(tm, counts)
+					}
+					if serial.TotalDowngrades() != sharded.TotalDowngrades() {
+						t.Errorf("downgrades: serial %d, sharded %d", serial.TotalDowngrades(), sharded.TotalDowngrades())
+					}
+					if serial.PeakMinutes() != sharded.PeakMinutes() {
+						t.Errorf("peak minutes: serial %d, sharded %d", serial.PeakMinutes(), sharded.PeakMinutes())
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestDifferentialShardedSimulation runs the full engine over each
+// workload with both controller shard counts and the engine's own scan
+// sharding, requiring the entire Result — cost, per-minute keep-alive
+// memory series, service times, accuracy — to match exactly, not within a
+// tolerance: nothing in the sharded paths may re-associate a float sum.
+func TestDifferentialShardedSimulation(t *testing.T) {
+	cat := models.PaperCatalog()
+	for _, wl := range differentialWorkloads(t) {
+		t.Run(wl.name, func(t *testing.T) {
+			asg := uniformAssignment(cat, len(wl.tr.Functions))
+			run := func(controllerShards, engineShards int) (*cluster.Result, *Pulse) {
+				p, err := New(Config{Catalog: cat, Assignment: asg, Shards: controllerShards})
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := cluster.Run(cluster.Config{
+					Trace:              wl.tr,
+					Catalog:            cat,
+					Assignment:         asg,
+					Cost:               cluster.DefaultCostModel(),
+					RecordServiceTimes: true,
+					Shards:             engineShards,
+				}, p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res, p
+			}
+			base, basePulse := run(1, 1)
+			defer basePulse.Close()
+			for _, shards := range differentialShardCounts() {
+				got, gotPulse := run(shards, shards)
+				if got.KeepAliveCostUSD != base.KeepAliveCostUSD {
+					t.Errorf("shards=%d: cost %v, want %v", shards, got.KeepAliveCostUSD, base.KeepAliveCostUSD)
+				}
+				if got.WarmStarts != base.WarmStarts || got.ColdStarts != base.ColdStarts || got.Invocations != base.Invocations {
+					t.Errorf("shards=%d: starts %d/%d/%d, want %d/%d/%d", shards,
+						got.WarmStarts, got.ColdStarts, got.Invocations,
+						base.WarmStarts, base.ColdStarts, base.Invocations)
+				}
+				if got.TotalServiceSec != base.TotalServiceSec {
+					t.Errorf("shards=%d: service %v, want %v", shards, got.TotalServiceSec, base.TotalServiceSec)
+				}
+				if got.AccuracySumPct != base.AccuracySumPct {
+					t.Errorf("shards=%d: accuracy sum %v, want %v", shards, got.AccuracySumPct, base.AccuracySumPct)
+				}
+				if !reflect.DeepEqual(got.PerMinuteKaMMB, base.PerMinuteKaMMB) {
+					t.Errorf("shards=%d: per-minute KaM series diverges", shards)
+				}
+				if !reflect.DeepEqual(got.PerMinuteCostUSD, base.PerMinuteCostUSD) {
+					t.Errorf("shards=%d: per-minute cost series diverges", shards)
+				}
+				if !reflect.DeepEqual(got.ServiceTimesSec, base.ServiceTimesSec) {
+					t.Errorf("shards=%d: service-time series diverges", shards)
+				}
+				if gotPulse.TotalDowngrades() != basePulse.TotalDowngrades() {
+					t.Errorf("shards=%d: downgrades %d, want %d", shards, gotPulse.TotalDowngrades(), basePulse.TotalDowngrades())
+				}
+				if gotPulse.PeakMinutes() != basePulse.PeakMinutes() {
+					t.Errorf("shards=%d: peak minutes %d, want %d", shards, gotPulse.PeakMinutes(), basePulse.PeakMinutes())
+				}
+				gotPulse.Close()
+			}
+		})
+	}
+}
+
+// TestDifferentialShardedAuditStream attaches a Recorder to serial and
+// sharded controllers and requires the full instrumentation stream —
+// schedules (the shard-buffered kind), peaks, and downgrades — to arrive
+// in the identical order with identical payloads: the per-shard
+// buffering must not reorder the audit log.
+func TestDifferentialShardedAuditStream(t *testing.T) {
+	cat := models.PaperCatalog()
+	wl := differentialWorkloads(t)[0]
+	asg := uniformAssignment(cat, len(wl.tr.Functions))
+	for _, shards := range differentialShardCounts() {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			run := func(shards int) *telemetry.Recorder {
+				rec := &telemetry.Recorder{}
+				p, err := New(Config{Catalog: cat, Assignment: asg, Shards: shards, Observer: rec})
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer p.Close()
+				counts := make([]int, len(asg))
+				for tm := 0; tm < wl.tr.Horizon; tm++ {
+					p.KeepAlive(tm)
+					for fn := range counts {
+						counts[fn] = wl.tr.Functions[fn].Counts[tm]
+					}
+					p.RecordInvocations(tm, counts)
+				}
+				return rec
+			}
+			serial := run(1)
+			sharded := run(shards)
+			if !reflect.DeepEqual(serial.Schedules, sharded.Schedules) {
+				t.Errorf("schedule streams diverge: serial %d samples, sharded %d", len(serial.Schedules), len(sharded.Schedules))
+			}
+			if !reflect.DeepEqual(serial.Peaks, sharded.Peaks) {
+				t.Errorf("peak streams diverge: serial %d samples, sharded %d", len(serial.Peaks), len(sharded.Peaks))
+			}
+			if !reflect.DeepEqual(serial.Downgrades, sharded.Downgrades) {
+				t.Errorf("downgrade streams diverge: serial %d samples, sharded %d", len(serial.Downgrades), len(sharded.Downgrades))
+			}
+		})
+	}
+}
+
+// TestDifferentialShardedSnapshot checks that controller state is
+// portable across shard counts: a snapshot taken mid-run on a sharded
+// controller restores into any other shard count and resumes with
+// identical decisions.
+func TestDifferentialShardedSnapshot(t *testing.T) {
+	cat := models.PaperCatalog()
+	wl := differentialWorkloads(t)[1]
+	asg := uniformAssignment(cat, len(wl.tr.Functions))
+	cfg := Config{Catalog: cat, Assignment: asg}
+
+	cfgA := cfg
+	cfgA.Shards = 4
+	a, err := New(cfgA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	counts := make([]int, len(asg))
+	cut := wl.tr.Horizon / 2
+	for tm := 0; tm < cut; tm++ {
+		a.KeepAlive(tm)
+		for fn := range counts {
+			counts[fn] = wl.tr.Functions[fn].Counts[tm]
+		}
+		a.RecordInvocations(tm, counts)
+	}
+
+	cfgB := cfg
+	cfgB.Shards = 1
+	b, err := Restore(cfgB, a.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	for tm := cut; tm < wl.tr.Horizon; tm++ {
+		da := append([]int(nil), a.KeepAlive(tm)...)
+		db := b.KeepAlive(tm)
+		for fn := range da {
+			if da[fn] != db[fn] {
+				t.Fatalf("minute %d function %d: sharded resumes with %d, serial restore with %d", tm, fn, da[fn], db[fn])
+			}
+		}
+		for fn := range counts {
+			counts[fn] = wl.tr.Functions[fn].Counts[tm]
+		}
+		a.RecordInvocations(tm, counts)
+		b.RecordInvocations(tm, counts)
+	}
+}
+
+// TestDifferentialShardedKaMSeries cross-checks the committed keep-alive
+// memory the peak detector records: both controllers must agree on every
+// minute's final (post-flatten) keep-alive memory, the quantity Algorithm
+// 1 compares priors against.
+func TestDifferentialShardedKaMSeries(t *testing.T) {
+	cat := models.PaperCatalog()
+	wl := differentialWorkloads(t)[2]
+	asg := uniformAssignment(cat, len(wl.tr.Functions))
+	series := func(shards int) []float64 {
+		c := Config{Catalog: cat, Assignment: asg, Shards: shards}
+		p, err := New(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer p.Close()
+		counts := make([]int, len(asg))
+		var out []float64
+		for tm := 0; tm < wl.tr.Horizon; tm++ {
+			decisions := p.KeepAlive(tm)
+			var kam float64
+			for fn, vi := range decisions {
+				if vi >= 0 {
+					kam += cat.Families[asg[fn]].Variants[vi].MemoryMB
+				}
+			}
+			out = append(out, kam)
+			for fn := range counts {
+				counts[fn] = wl.tr.Functions[fn].Counts[tm]
+			}
+			p.RecordInvocations(tm, counts)
+		}
+		return out
+	}
+	base := series(1)
+	for _, shards := range differentialShardCounts() {
+		got := series(shards)
+		for tm := range base {
+			if math.Abs(got[tm]-base[tm]) != 0 {
+				t.Fatalf("shards=%d minute %d: KaM %v, want %v", shards, tm, got[tm], base[tm])
+			}
+		}
+	}
+}

@@ -1,0 +1,204 @@
+package core
+
+// Native Go fuzz targets for the two stateful pieces of the
+// function-centric/global optimizers. CI runs them in short -fuzztime
+// smoke mode (see the sharded job); locally:
+//
+//	go test ./internal/core -run '^$' -fuzz '^FuzzPeakDetector$' -fuzztime 30s
+//	go test ./internal/core -run '^$' -fuzz '^FuzzHistoryProbabilities$' -fuzztime 30s
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzPeakDetector drives Algorithm 1 with an arbitrary keep-alive memory
+// sequence and checks it against a straightforward reference
+// re-implementation of the documented prior rules, plus structural
+// invariants: it never panics, and whenever IsPeak fires the flatten
+// target is finite and strictly below the current keep-alive memory.
+func FuzzPeakDetector(f *testing.F) {
+	f.Add([]byte{10, 0, 0, 0, 200, 0, 0, 90, 95, 250}, 0.10, uint8(10))
+	f.Add([]byte{1, 2, 3}, 0.25, uint8(1))
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0, 7}, 0.05, uint8(3))
+	f.Fuzz(func(t *testing.T, series []byte, threshold float64, window uint8) {
+		if math.IsNaN(threshold) || math.IsInf(threshold, 0) || threshold <= 0 || threshold > 10 {
+			t.Skip()
+		}
+		localWindow := int(window%60) + 1
+		pd, err := NewPeakDetector(threshold, localWindow, PriorAlgorithm1)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Reference mirror of the documented state.
+		var (
+			ring        = make([]float64, 0, localWindow)
+			prevKaM     = math.NaN()
+			lastNonZero = math.Inf(1)
+			elapsed     int
+		)
+		refPrior := func() float64 {
+			if elapsed == 0 {
+				return math.Inf(1)
+			}
+			if prevKaM > 0 {
+				return prevKaM
+			}
+			var sum float64
+			for _, v := range ring {
+				sum += v
+			}
+			avg := 0.0
+			if len(ring) > 0 {
+				avg = sum / float64(len(ring))
+			}
+			if elapsed >= 2*localWindow && avg > 0 {
+				return avg
+			}
+			return lastNonZero
+		}
+
+		for _, b := range series {
+			kam := float64(b) * 8 // MB, spanning idle (0) to ~2 GB
+			prior := pd.PriorKaM()
+			if want := refPrior(); prior != want {
+				t.Fatalf("elapsed %d: PriorKaM = %v, reference %v", elapsed, prior, want)
+			}
+			peak := pd.IsPeak(kam)
+			target := pd.FlattenTarget()
+			if peak {
+				if math.IsInf(target, 1) {
+					t.Fatalf("IsPeak with infinite flatten target (kam=%v)", kam)
+				}
+				if target >= kam {
+					t.Fatalf("IsPeak but flatten target %v ≥ current %v", target, kam)
+				}
+			}
+			if !math.IsInf(target, 1) && kam > target && !peak {
+				t.Fatalf("kam %v above flatten target %v but not a peak", kam, target)
+			}
+			if err := pd.Record(kam); err != nil {
+				t.Fatal(err)
+			}
+			// Advance the reference.
+			if len(ring) == localWindow {
+				ring = ring[1:]
+			}
+			ring = append(ring, kam)
+			prevKaM = kam
+			if kam > 0 {
+				lastNonZero = kam
+			}
+			elapsed++
+			if pd.Elapsed() != elapsed {
+				t.Fatalf("Elapsed = %d, want %d", pd.Elapsed(), elapsed)
+			}
+		}
+	})
+}
+
+// FuzzHistoryProbabilities drives History.Record with an arbitrary
+// invocation pattern and checks Probabilities against a reference
+// (minute, gap) queue that mirrors the documented local-window eviction,
+// plus the structural invariants: every probability is in [0,1], the
+// slice covers exactly the requested window, and index 0 is unused.
+func FuzzHistoryProbabilities(f *testing.F) {
+	f.Add([]byte{1, 0, 3, 3, 0, 0, 9, 1, 1}, uint8(10), uint8(10))
+	f.Add([]byte{255, 255, 0, 255}, uint8(3), uint8(5))
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0}, uint8(1), uint8(1))
+	f.Fuzz(func(t *testing.T, steps []byte, window uint8, localWin uint8) {
+		localWindow := int(localWin%120) + 1
+		probeWindow := int(window%30) + 1
+		h, err := NewHistory(localWindow)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		type obs struct{ minute, gap int }
+		var queue []obs // local-window observations, mirroring evictLocal
+		last := -1
+		now := 0
+		for _, b := range steps {
+			now += int(b % 16) // 0 = same minute again, else advance
+			if last >= 0 {
+				queue = append(queue, obs{minute: now, gap: now - last})
+			}
+			last = now
+			if err := h.Record(now); err != nil {
+				t.Fatal(err)
+			}
+			cut := now - localWindow
+			for len(queue) > 0 && queue[0].minute < cut {
+				queue = queue[1:]
+			}
+
+			probs := h.Probabilities(probeWindow, BlendLocalOnly)
+			if len(probs) != probeWindow+1 {
+				t.Fatalf("Probabilities returned %d entries for window %d", len(probs), probeWindow)
+			}
+			if probs[0] != 0 {
+				t.Fatalf("offset 0 should be unused, got %v", probs[0])
+			}
+			for d := 1; d <= probeWindow; d++ {
+				if probs[d] < 0 || probs[d] > 1 || math.IsNaN(probs[d]) {
+					t.Fatalf("offset %d: probability %v outside [0,1]", d, probs[d])
+				}
+				count := 0
+				for _, o := range queue {
+					if o.gap == d {
+						count++
+					}
+				}
+				want := 0.0
+				if len(queue) > 0 {
+					want = float64(count) / float64(len(queue))
+				}
+				if probs[d] != want {
+					t.Fatalf("minute %d offset %d: probability %v, reference %v (%d/%d)",
+						now, d, probs[d], want, count, len(queue))
+				}
+			}
+			// The blended estimate must also stay a probability.
+			for d := 1; d <= probeWindow; d++ {
+				if p := h.Probability(d, BlendBoth); p < 0 || p > 1 {
+					t.Fatalf("blended probability %v outside [0,1]", p)
+				}
+			}
+			if h.LastInvocation() != last {
+				t.Fatalf("LastInvocation = %d, want %d", h.LastInvocation(), last)
+			}
+		}
+	})
+}
+
+// FuzzSchedule feeds Schedule arbitrary probability bytes and asserts the
+// plan invariants hold for every variant count and both techniques.
+func FuzzSchedule(f *testing.F) {
+	f.Add([]byte{0, 128, 255, 64}, uint8(4))
+	f.Add([]byte{255}, uint8(1))
+	f.Fuzz(func(t *testing.T, raw []byte, nv uint8) {
+		if len(raw) == 0 {
+			t.Skip()
+		}
+		n := int(nv%8) + 1
+		probs := make([]float64, len(raw)+1)
+		for i, b := range raw {
+			probs[i+1] = float64(b) / 255
+		}
+		for _, tech := range []ThresholdTechnique{TechniqueT1{}, TechniqueT2{}} {
+			plan, err := Schedule(probs, tech, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if plan[0] != -1 {
+				t.Fatalf("%s: offset 0 = %d, want -1", tech.Name(), plan[0])
+			}
+			for d := 1; d < len(plan); d++ {
+				if plan[d] < 0 || plan[d] >= n {
+					t.Fatalf("%s: offset %d selected variant %d of %d", tech.Name(), d, plan[d], n)
+				}
+			}
+		}
+	})
+}

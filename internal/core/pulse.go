@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 
 	"github.com/pulse-serverless/pulse/internal/cluster"
 	"github.com/pulse-serverless/pulse/internal/models"
@@ -26,6 +27,16 @@ type Config struct {
 	// Technique is the probability-threshold rule (default TechniqueT1;
 	// Figure 10 compares T1 and T2).
 	Technique ThresholdTechnique
+	// Shards is the number of parallel shards the controller partitions
+	// its functions into. Each shard owns its functions' histories and
+	// plan rings and is served by one persistent worker goroutine; the
+	// global peak-detect/flatten step (Algorithms 1 and 2) always runs
+	// single-threaded on the merged view, so decisions are identical for
+	// every shard count. 0 selects runtime.NumCPU(); 1 runs fully serial
+	// with no worker goroutines; the count is capped at the number of
+	// functions. A controller with more than one shard owns goroutines:
+	// call Close when done (a finalizer reclaims them otherwise).
+	Shards int
 
 	// DisableGlobalOpt turns off cross-function optimization, leaving only
 	// the function-centric optimizer — the Figure 4(b) configuration.
@@ -115,6 +126,10 @@ type Pulse struct {
 	out       []int
 	ip        []float64
 
+	// pool is the shard worker pool; nil when cfg.Shards resolves to 1,
+	// in which case every path runs serially on the calling goroutine.
+	pool *shardPool
+
 	totalDowngrades int
 	peakMinutes     int
 	inPeak          bool // inside an Algorithm 1 peak episode (observability only)
@@ -159,8 +174,41 @@ func New(cfg Config) (*Pulse, error) {
 	if cfg.RandomDowngradeSeed != 0 {
 		p.global.UseRandomSelection(cfg.RandomDowngradeSeed)
 	}
+	if cfg.Shards < 0 {
+		return nil, fmt.Errorf("core: negative shard count %d", cfg.Shards)
+	}
+	shards := cfg.Shards
+	if shards == 0 {
+		shards = runtime.NumCPU()
+	}
+	if shards > n {
+		shards = n
+	}
+	p.cfg.Shards = shards
+	if shards > 1 {
+		p.pool = newShardPool(p.cfg, shards, p.histories, p.plans, p.out, p.ip)
+		// Safety net for callers that drop the controller without Close:
+		// the workers reference only the shard state, never p, so an
+		// unclosed controller still becomes unreachable and its pool is
+		// reclaimed here.
+		runtime.SetFinalizer(p, (*Pulse).Close)
+	}
 	return p, nil
 }
+
+// Close stops the shard worker goroutines. It is idempotent, safe on a
+// serial (single-shard) controller, and must not race with KeepAlive or
+// RecordInvocations; the controller must not be driven afterwards.
+func (p *Pulse) Close() error {
+	if p.pool != nil {
+		runtime.SetFinalizer(p, nil)
+		p.pool.close()
+	}
+	return nil
+}
+
+// Shards returns the effective shard count (≥ 1).
+func (p *Pulse) Shards() int { return p.cfg.Shards }
 
 // Name implements cluster.Policy.
 func (p *Pulse) Name() string {
@@ -187,13 +235,17 @@ func (p *Pulse) PeakMinutes() int { return p.peakMinutes }
 // the minute is a peak, commits the final keep-alive memory to the peak
 // detector, and returns the decisions.
 func (p *Pulse) KeepAlive(t int) []int {
-	for fn := range p.out {
-		v, prob, ok := p.plans[fn].get(t)
-		if !ok {
-			v, prob = cluster.NoVariant, 0
+	if p.pool != nil {
+		p.pool.dispatch(shardJob{op: opGather, t: t})
+	} else {
+		for fn := range p.out {
+			v, prob, ok := p.plans[fn].get(t)
+			if !ok {
+				v, prob = cluster.NoVariant, 0
+			}
+			p.out[fn] = v
+			p.ip[fn] = prob
 		}
-		p.out[fn] = v
-		p.ip[fn] = prob
 	}
 
 	if !p.cfg.DisableGlobalOpt {
@@ -269,7 +321,19 @@ func (p *Pulse) ColdVariant(_, fn int) int {
 // RecordInvocations implements cluster.Policy: every function invoked this
 // minute gets its history updated and a fresh keep-alive plan for the next
 // window minutes, one variant per offset, from the threshold technique.
+//
+// With more than one shard the per-function work fans out to the worker
+// pool; each shard stages its Observer events in a private buffer that is
+// flushed here, in shard order, once the minute barrier is reached — so
+// the audit log sees the exact event sequence a serial controller emits.
 func (p *Pulse) RecordInvocations(t int, counts []int) {
+	if p.pool != nil {
+		p.pool.dispatch(shardJob{op: opRecord, t: t, counts: counts})
+		if obs := p.cfg.Observer; obs != nil {
+			p.pool.flush(obs)
+		}
+		return
+	}
 	for fn, c := range counts {
 		if c == 0 {
 			continue

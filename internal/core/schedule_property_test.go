@@ -1,0 +1,188 @@
+package core
+
+// Property-based tests for the function-centric optimizer's greedy
+// threshold rule: randomized probabilities and variant counts, checked
+// against the paper's invariants rather than hand-picked cases.
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// quickProb draws probabilities covering the interesting structure of
+// [0,1]: exact band boundaries and endpoints appear often, not almost
+// never as with a uniform draw.
+func quickProb(rng *rand.Rand, n int) float64 {
+	switch rng.Intn(4) {
+	case 0:
+		return float64(rng.Intn(n+1)) / float64(n) // exactly on a threshold
+	case 1:
+		return 0
+	case 2:
+		return 1
+	default:
+		return rng.Float64()
+	}
+}
+
+// TestScheduleT1ThresholdProperty: T1 divides [0,1] into n equal areas at
+// thresholds i/n, so a selected variant v must satisfy v ≤ p·n < v+1
+// (with the top area absorbing p = 1).
+func TestScheduleT1ThresholdProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(8)
+		p := quickProb(rng, n)
+		v := TechniqueT1{}.Select(p, n)
+		if v < 0 || v >= n {
+			return false
+		}
+		if n == 1 {
+			return v == 0
+		}
+		scaled := p * float64(n)
+		if v < n-1 {
+			return float64(v) <= scaled && scaled < float64(v+1)
+		}
+		return scaled >= float64(n-1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestScheduleT2ThresholdProperty: T2 reserves the lowest variant for
+// p == 0 and splits (0,1] over the n−1 higher variants.
+func TestScheduleT2ThresholdProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(8)
+		p := quickProb(rng, n)
+		v := TechniqueT2{}.Select(p, n)
+		if v < 0 || v >= n {
+			return false
+		}
+		if n == 1 {
+			return v == 0
+		}
+		if p == 0 {
+			return v == 0
+		}
+		return v >= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestScheduleMonotonicityProperty: for both techniques, a higher
+// invocation probability never selects a lower-quality variant.
+func TestScheduleMonotonicityProperty(t *testing.T) {
+	for _, tech := range []ThresholdTechnique{TechniqueT1{}, TechniqueT2{}} {
+		tech := tech
+		f := func(seed int64) bool {
+			rng := rand.New(rand.NewSource(seed))
+			n := 1 + rng.Intn(8)
+			p1 := quickProb(rng, n)
+			p2 := quickProb(rng, n)
+			if p1 > p2 {
+				p1, p2 = p2, p1
+			}
+			return tech.Select(p1, n) <= tech.Select(p2, n)
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+			t.Errorf("%s: %v", tech.Name(), err)
+		}
+	}
+}
+
+// TestSchedulePlanBoundsProperty: a computed plan marks offset 0 unused
+// and keeps some valid variant — never "nothing" — at every offset of the
+// keep-alive window, for random probability vectors including
+// out-of-range garbage (which Select clamps).
+func TestSchedulePlanBoundsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(6)
+		window := 1 + rng.Intn(20)
+		probs := make([]float64, window+1)
+		for d := 1; d <= window; d++ {
+			switch rng.Intn(5) {
+			case 0:
+				probs[d] = -rng.Float64() // below range: clamps to 0
+			case 1:
+				probs[d] = 1 + rng.Float64() // above range: clamps to 1
+			default:
+				probs[d] = quickProb(rng, n)
+			}
+		}
+		for _, tech := range []ThresholdTechnique{TechniqueT1{}, TechniqueT2{}} {
+			plan, err := Schedule(probs, tech, n)
+			if err != nil {
+				return false
+			}
+			if len(plan) != window+1 || plan[0] != -1 {
+				return false
+			}
+			for d := 1; d <= window; d++ {
+				if plan[d] < 0 || plan[d] >= n {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSchedulePointwiseProperty: Schedule is exactly the pointwise
+// application of the technique — no cross-offset coupling.
+func TestSchedulePointwiseProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(6)
+		window := 1 + rng.Intn(20)
+		probs := make([]float64, window+1)
+		for d := 1; d <= window; d++ {
+			probs[d] = quickProb(rng, n)
+		}
+		plan, err := Schedule(probs, TechniqueT1{}, n)
+		if err != nil {
+			return false
+		}
+		want := make([]int, window+1)
+		want[0] = -1
+		for d := 1; d <= window; d++ {
+			want[d] = TechniqueT1{}.Select(probs[d], n)
+		}
+		return reflect.DeepEqual(plan, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestScheduleExtremesProperty: probability 1 always keeps the highest
+// variant; for T1 a probability strictly below 1/n keeps the lowest.
+func TestScheduleExtremesProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(7)
+		for _, tech := range []ThresholdTechnique{TechniqueT1{}, TechniqueT2{}} {
+			if tech.Select(1, n) != n-1 {
+				return false
+			}
+		}
+		p := rng.Float64() / float64(n)
+		p = math.Nextafter(p, 0) // strictly below the first threshold
+		return TechniqueT1{}.Select(p, n) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

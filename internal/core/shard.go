@@ -1,0 +1,219 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/pulse-serverless/pulse/internal/cluster"
+	"github.com/pulse-serverless/pulse/internal/models"
+	"github.com/pulse-serverless/pulse/internal/telemetry"
+)
+
+// This file implements the sharded execution of the controller's
+// embarrassingly parallel half. Per-function state — inter-arrival
+// histories and keep-alive plan rings — is partitioned into contiguous
+// shards, each owned by one persistent worker goroutine. The per-minute
+// fan-out (RecordInvocations) and fan-in (the plan gather at the start of
+// KeepAlive) run on the pool behind a WaitGroup barrier; the global view —
+// Algorithm 1's peak detection and Algorithm 2's flattening — always runs
+// single-threaded on the merged candidate set, so the paper's semantics
+// are preserved bit for bit at every shard count.
+//
+// Determinism guarantees:
+//
+//   - Shard s exclusively owns functions [lo_s, hi_s); no per-function
+//     state is ever touched by two goroutines.
+//   - Shards are contiguous and flushed in shard order, so buffered
+//     Observer events replay in ascending function order — exactly the
+//     serial emission order.
+//   - All floating-point accumulation happens on the coordinating
+//     goroutine over the merged decision vector, in function order, so no
+//     summation is ever re-associated.
+
+// shardOp selects the work a shard worker performs behind one barrier.
+type shardOp uint8
+
+const (
+	// opRecord runs the function-centric optimizer for the shard's
+	// invoked functions: history update, probability estimation, and a
+	// fresh keep-alive plan.
+	opRecord shardOp = iota
+	// opGather assembles the minute's candidate decisions from the
+	// shard's plan rings into the merged output vector.
+	opGather
+)
+
+// shardJob is one minute's unit of work for one shard.
+type shardJob struct {
+	op     shardOp
+	t      int
+	counts []int // engine-owned; read-only until the barrier (opRecord)
+}
+
+// shard owns the contiguous function range [lo, hi). The state slices
+// alias the controller's own; the worker only ever touches indices inside
+// its range, and the coordinator only reads them after the barrier.
+//
+// A shard never references its *Pulse: workers must not keep the
+// controller reachable, so an unclosed controller can still be finalized.
+type shard struct {
+	lo, hi int
+	jobs   chan shardJob
+
+	histories []*History
+	plans     []planRing
+	out       []int
+	ip        []float64
+
+	catalog    *models.Catalog
+	assignment models.Assignment
+	window     int
+	blend      HistoryBlend
+	technique  ThresholdTechnique
+
+	// observe mirrors Observer != nil; samples are staged in buf and
+	// flushed by the coordinator at the barrier in shard order.
+	observe bool
+	buf     telemetry.Buffer
+
+	// err records the first internal-invariant violation; the coordinator
+	// re-panics with it at the barrier, matching the serial path.
+	err error
+}
+
+// shardPool drives one persistent worker goroutine per shard.
+type shardPool struct {
+	shards    []*shard
+	wg        sync.WaitGroup
+	closeOnce sync.Once
+}
+
+// newShardPool partitions n functions into nShards contiguous ranges
+// (sizes differing by at most one) and starts one worker per shard.
+func newShardPool(cfg Config, nShards int, histories []*History, plans []planRing, out []int, ip []float64) *shardPool {
+	n := len(out)
+	pool := &shardPool{shards: make([]*shard, nShards)}
+	base, rem := n/nShards, n%nShards
+	lo := 0
+	for i := range pool.shards {
+		size := base
+		if i < rem {
+			size++
+		}
+		s := &shard{
+			lo:         lo,
+			hi:         lo + size,
+			jobs:       make(chan shardJob, 1),
+			histories:  histories,
+			plans:      plans,
+			out:        out,
+			ip:         ip,
+			catalog:    cfg.Catalog,
+			assignment: cfg.Assignment,
+			window:     cfg.Window,
+			blend:      cfg.Blend,
+			technique:  cfg.Technique,
+			observe:    cfg.Observer != nil,
+		}
+		pool.shards[i] = s
+		lo = s.hi
+		go s.run(&pool.wg)
+	}
+	return pool
+}
+
+// dispatch fans job out to every shard and waits for the minute barrier.
+// It re-panics any worker error, matching the serial path's panics on
+// impossible internal states.
+func (pl *shardPool) dispatch(job shardJob) {
+	pl.wg.Add(len(pl.shards))
+	for _, s := range pl.shards {
+		s.jobs <- job
+	}
+	pl.wg.Wait()
+	for _, s := range pl.shards {
+		if s.err != nil {
+			panic("core: " + s.err.Error())
+		}
+	}
+}
+
+// flush replays every shard's staged Observer events in shard order —
+// ascending function order, the serial emission order.
+func (pl *shardPool) flush(obs telemetry.Observer) {
+	for _, s := range pl.shards {
+		s.buf.FlushTo(obs)
+	}
+}
+
+// close stops the workers. Idempotent.
+func (pl *shardPool) close() {
+	pl.closeOnce.Do(func() {
+		for _, s := range pl.shards {
+			close(s.jobs)
+		}
+	})
+}
+
+// run is the worker loop: one job per barrier, until the channel closes.
+func (s *shard) run(wg *sync.WaitGroup) {
+	for job := range s.jobs {
+		if s.err == nil {
+			switch job.op {
+			case opRecord:
+				s.record(job.t, job.counts)
+			case opGather:
+				s.gather(job.t)
+			}
+		}
+		wg.Done()
+	}
+}
+
+// record is the shard-local half of RecordInvocations: identical to the
+// serial loop, restricted to [lo, hi), with Observer events staged.
+func (s *shard) record(t int, counts []int) {
+	for fn := s.lo; fn < s.hi; fn++ {
+		c := counts[fn]
+		if c == 0 {
+			continue
+		}
+		h := s.histories[fn]
+		if err := h.Record(t); err != nil {
+			s.err = fmt.Errorf("history record: %w", err)
+			return
+		}
+		fam := s.catalog.Families[s.assignment[fn]]
+		probs := h.Probabilities(s.window, s.blend)
+		sched, err := Schedule(probs, s.technique, fam.NumVariants())
+		if err != nil {
+			s.err = fmt.Errorf("schedule: %w", err)
+			return
+		}
+		for d := 1; d <= s.window; d++ {
+			s.plans[fn].set(t+d, sched[d], probs[d])
+		}
+		if s.observe {
+			s.buf.ObserveSchedule(telemetry.ScheduleSample{
+				Minute:   t,
+				Function: fn,
+				Plan:     sched[1:],
+				Probs:    probs[1:],
+			})
+		}
+	}
+}
+
+// gather is the shard-local half of KeepAlive's candidate assembly: it
+// copies the minute's planned variant and probability for every owned
+// function into the merged vectors.
+func (s *shard) gather(t int) {
+	for fn := s.lo; fn < s.hi; fn++ {
+		v, prob, ok := s.plans[fn].get(t)
+		if !ok {
+			v, prob = cluster.NoVariant, 0
+		}
+		s.out[fn] = v
+		s.ip[fn] = prob
+	}
+}

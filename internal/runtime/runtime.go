@@ -2,6 +2,7 @@ package runtime
 
 import (
 	"fmt"
+	"io"
 	"sync"
 	"time"
 
@@ -165,6 +166,19 @@ func (r *Runtime) applyDecisionsLocked(decisions []int) {
 	if r.obs != nil {
 		r.obs.ObserveMinute(telemetry.MinuteSample{Minute: r.minute, KeepAliveMB: kam, CostUSD: cost})
 	}
+}
+
+// Close releases resources owned by the runtime's policy: the runtime
+// owns its Policy, so if the policy implements io.Closer (the sharded
+// PULSE controller does — its worker goroutines stop here), it is closed.
+// The runtime must not serve invocations or Step afterwards.
+func (r *Runtime) Close() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok := r.cfg.Policy.(io.Closer); ok {
+		return c.Close()
+	}
+	return nil
 }
 
 // NumFunctions returns the number of registered functions.

@@ -379,3 +379,33 @@ func TestWallClockCompression(t *testing.T) {
 		t.Error("wall clock returned zero time")
 	}
 }
+
+// TestRuntimeCloseShardedPolicy: the runtime owns its policy, so Close
+// must propagate to policies owning resources (the sharded PULSE
+// controller's worker pool) and be a no-op for plain policies.
+func TestRuntimeCloseShardedPolicy(t *testing.T) {
+	cat, asg := testSetup(t)
+	ctrl, err := core.New(core.Config{Catalog: cat, Assignment: asg, Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := New(Config{Catalog: cat, Assignment: asg, Policy: ctrl, Clock: NewManualClock(time.Unix(0, 0))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Invoke(0); err != nil {
+		t.Fatal(err)
+	}
+	r.Step()
+	if err := r.Close(); err != nil {
+		t.Fatalf("Close with sharded controller: %v", err)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+
+	fixed := newFixedRuntime(t, cat, asg)
+	if err := fixed.Close(); err != nil {
+		t.Fatalf("Close with non-closer policy: %v", err)
+	}
+}

@@ -11,6 +11,7 @@ package sim
 
 import (
 	"fmt"
+	"io"
 	"math"
 	"math/rand"
 	"runtime"
@@ -223,6 +224,12 @@ func RunExperiment(cfg ExperimentConfig, factories []NamedFactory) ([]*Aggregate
 						MeasureOverhead: cfg.MeasureOverhead,
 						Observer:        cfg.Observer,
 					}, p)
+					// Run-scoped policies are done after their run; a
+					// sharded PULSE controller releases its worker pool
+					// here rather than waiting for its finalizer.
+					if c, ok := p.(io.Closer); ok {
+						_ = c.Close()
+					}
 					if err != nil {
 						fail(fmt.Errorf("sim: run %d policy %q: %w", run, f.Name, err))
 						return

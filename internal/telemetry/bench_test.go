@@ -10,13 +10,44 @@ import (
 func TestNopObserverZeroAllocs(t *testing.T) {
 	var obs Observer = Nop{}
 	sample := InvocationSample{Minute: 3, Function: 7, Variant: "gpt-small", Count: 1, ServiceSec: 0.25, AccuracyPct: 88}
+	plan := []int{0, 1, 2}
+	probs := []float64{0.1, 0.5, 0.9}
 	allocs := testing.AllocsPerRun(1000, func() {
 		obs.ObserveInvocation(sample)
 		obs.ObserveKeepAlive(KeepAliveSample{Minute: 3, Function: 7, Variant: 1, VariantName: "gpt-small", MemMB: 512})
 		obs.ObserveMinute(MinuteSample{Minute: 3, KeepAliveMB: 512})
+		obs.ObserveSchedule(ScheduleSample{Minute: 3, Function: 7, Plan: plan, Probs: probs})
+		obs.ObservePeak(PeakSample{Minute: 3, Enter: true, KeepAliveMB: 512, PriorMB: 256, TargetMB: 282})
+		obs.ObserveDowngrade(DowngradeSample{Minute: 3, Function: 7, FromVariant: 2, ToVariant: 1, Ai: 1, Pr: 0.5, Ip: 0.2})
 	})
 	if allocs != 0 {
 		t.Errorf("Nop observer allocates %v per run, want 0", allocs)
+	}
+}
+
+// The shard buffer stages samples and replays them without allocating
+// once its slices have grown to the per-minute working set: the sharded
+// controller flushes one buffer per shard every minute, so a steady-state
+// allocation here would show up on every minute tick.
+func TestBufferSteadyStateZeroAllocs(t *testing.T) {
+	var buf Buffer
+	plan := []int{0, 1, 2}
+	probs := []float64{0.1, 0.5, 0.9}
+	fill := func() {
+		for i := 0; i < 16; i++ {
+			buf.ObserveSchedule(ScheduleSample{Minute: i, Function: i, Plan: plan, Probs: probs})
+			buf.ObservePeak(PeakSample{Minute: i, Enter: true})
+			buf.ObserveDowngrade(DowngradeSample{Minute: i, Function: i})
+		}
+	}
+	fill()
+	buf.FlushTo(Nop{})
+	allocs := testing.AllocsPerRun(100, func() {
+		fill()
+		buf.FlushTo(Nop{})
+	})
+	if allocs != 0 {
+		t.Errorf("buffer fill+flush allocates %v per run at steady state, want 0", allocs)
 	}
 }
 

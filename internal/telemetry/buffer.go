@@ -1,0 +1,124 @@
+package telemetry
+
+// Buffer is an Observer that stages samples in arrival order for later
+// replay. It is the shard-local staging area behind the sharded PULSE
+// controller's deterministic audit log: each shard worker records into its
+// own Buffer without locking, and the coordinator replays the buffers in
+// shard order at the minute barrier, so downstream observers see exactly
+// the event sequence a serial controller would have produced.
+//
+// Unlike Recorder, Buffer is deliberately not concurrency-safe: it is
+// single-producer by design, and it does not copy sample payloads — the
+// producer retains ownership of ScheduleSample.Plan/Probs and must keep
+// them valid until the replay. Replay preserves arrival order across all
+// sample kinds. Reset keeps capacity, so steady-state buffering does not
+// allocate.
+type Buffer struct {
+	order       []sampleKind
+	invocations []InvocationSample
+	keepAlives  []KeepAliveSample
+	minutes     []MinuteSample
+	schedules   []ScheduleSample
+	peaks       []PeakSample
+	downgrades  []DowngradeSample
+}
+
+type sampleKind uint8
+
+const (
+	kindInvocation sampleKind = iota
+	kindKeepAlive
+	kindMinute
+	kindSchedule
+	kindPeak
+	kindDowngrade
+)
+
+// Len returns the number of buffered samples.
+func (b *Buffer) Len() int { return len(b.order) }
+
+// Reset discards the buffered samples but keeps capacity.
+func (b *Buffer) Reset() {
+	b.order = b.order[:0]
+	b.invocations = b.invocations[:0]
+	b.keepAlives = b.keepAlives[:0]
+	b.minutes = b.minutes[:0]
+	b.schedules = b.schedules[:0]
+	b.peaks = b.peaks[:0]
+	b.downgrades = b.downgrades[:0]
+}
+
+// ReplayTo re-emits every buffered sample to o in arrival order. A nil o
+// is a no-op; the buffer is left intact either way.
+func (b *Buffer) ReplayTo(o Observer) {
+	if o == nil {
+		return
+	}
+	var inv, ka, min, sch, pk, dn int
+	for _, k := range b.order {
+		switch k {
+		case kindInvocation:
+			o.ObserveInvocation(b.invocations[inv])
+			inv++
+		case kindKeepAlive:
+			o.ObserveKeepAlive(b.keepAlives[ka])
+			ka++
+		case kindMinute:
+			o.ObserveMinute(b.minutes[min])
+			min++
+		case kindSchedule:
+			o.ObserveSchedule(b.schedules[sch])
+			sch++
+		case kindPeak:
+			o.ObservePeak(b.peaks[pk])
+			pk++
+		case kindDowngrade:
+			o.ObserveDowngrade(b.downgrades[dn])
+			dn++
+		}
+	}
+}
+
+// FlushTo replays the buffer to o and resets it.
+func (b *Buffer) FlushTo(o Observer) {
+	b.ReplayTo(o)
+	b.Reset()
+}
+
+// ObserveInvocation implements Observer.
+func (b *Buffer) ObserveInvocation(s InvocationSample) {
+	b.invocations = append(b.invocations, s)
+	b.order = append(b.order, kindInvocation)
+}
+
+// ObserveKeepAlive implements Observer.
+func (b *Buffer) ObserveKeepAlive(s KeepAliveSample) {
+	b.keepAlives = append(b.keepAlives, s)
+	b.order = append(b.order, kindKeepAlive)
+}
+
+// ObserveMinute implements Observer.
+func (b *Buffer) ObserveMinute(s MinuteSample) {
+	b.minutes = append(b.minutes, s)
+	b.order = append(b.order, kindMinute)
+}
+
+// ObserveSchedule implements Observer.
+func (b *Buffer) ObserveSchedule(s ScheduleSample) {
+	b.schedules = append(b.schedules, s)
+	b.order = append(b.order, kindSchedule)
+}
+
+// ObservePeak implements Observer.
+func (b *Buffer) ObservePeak(s PeakSample) {
+	b.peaks = append(b.peaks, s)
+	b.order = append(b.order, kindPeak)
+}
+
+// ObserveDowngrade implements Observer.
+func (b *Buffer) ObserveDowngrade(s DowngradeSample) {
+	b.downgrades = append(b.downgrades, s)
+	b.order = append(b.order, kindDowngrade)
+}
+
+var _ Observer = (*Buffer)(nil)
