@@ -3,9 +3,18 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-parallel race bench experiments report examples clean
+.PHONY: all build vet test test-parallel race bench experiments report examples clean verify alloc
 
 all: build vet test
+
+# Everything CI's test job checks, in one target.
+verify: build vet test
+
+# Zero-allocation assertions for the hot paths (controller idle minute,
+# telemetry buffers/fan-out, attribution accountant and ring store).
+# Mirrors the CI "alloc" job.
+alloc:
+	$(GO) test ./... -run 'ZeroAllocs|DoesNotAllocate' -count=1
 
 build:
 	$(GO) build ./...

@@ -72,6 +72,7 @@ func run() error {
 		"fig10":       wrap(experiments.Figure10),
 		"fig11":       wrap(experiments.Figure11),
 		"fig12":       wrap(experiments.Figure12),
+		"attribution": wrap(experiments.AttributionTable),
 		"holtwinters": wrap(experiments.ExtensionHoltWinters),
 		"capacity":    wrap(experiments.CapacityAnalysis),
 		"windows":     wrap(experiments.ExtensionWindowSweep),

@@ -5,17 +5,29 @@
 //
 //	pulsed -addr :8080 -compress 60     # one simulated minute per second
 //
-// Then:
+// The full HTTP surface (runtime.Endpoints is authoritative; a test holds
+// this list in sync):
 //
-//	curl -X POST 'localhost:8080/invoke?fn=3'
-//	curl localhost:8080/functions
-//	curl localhost:8080/stats
-//	curl localhost:8080/metrics        # Prometheus text exposition
-//	curl localhost:8080/decisions      # Algorithm 1/2 audit log
+//	POST /invoke?fn=N      run one invocation, returns the Invocation JSON
+//	GET  /stats            runtime counters
+//	GET  /functions        registered functions, their models and warm state
+//	GET  /metrics          Prometheus text exposition (labeled series when instrumented)
+//	GET  /events           decision event log (requires telemetry)
+//	GET  /decisions        Algorithm 1/2 audit: downgrades with Uv = Ai+Pr+Ip, peak episodes
+//	GET  /attribution      per-function counterfactual savings vs shadow baselines (requires attribution)
+//	GET  /timeseries       attribution series for one metric (?metric=&window=&res=; requires attribution)
+//	GET  /top              text ranking by savings, downgrades, cold-start risk (requires attribution)
+//	GET  /healthz          liveness
 //
 // With -debug, the Go pprof and expvar surfaces are mounted under
 // /debug/pprof/ and /debug/vars. With -eventlog FILE, every controller
 // decision event is appended to FILE as JSON lines.
+//
+// With -attribution, an online counterfactual accountant shadows the live
+// policy against the paper's fixed keep-alive baseline (window set by
+// -attribution-window), a never-keep-alive policy, and a hindsight oracle,
+// serving per-function savings through /attribution, /timeseries, and
+// /top.
 //
 // With -demo, a background workload generator issues invocations drawn from
 // the synthetic trace archetypes so the keep-alive behaviour is visible
@@ -37,6 +49,8 @@ import (
 	"time"
 
 	pulse "github.com/pulse-serverless/pulse"
+	"github.com/pulse-serverless/pulse/internal/attribution"
+	"github.com/pulse-serverless/pulse/internal/cluster"
 	"github.com/pulse-serverless/pulse/internal/core"
 	"github.com/pulse-serverless/pulse/internal/metastore"
 	"github.com/pulse-serverless/pulse/internal/runtime"
@@ -62,6 +76,8 @@ func run() error {
 	debug := flag.Bool("debug", false, "expose /debug/pprof/* and /debug/vars")
 	eventCap := flag.Int("event-capacity", telemetry.DefaultEventCapacity, "decision event ring capacity")
 	eventLog := flag.String("eventlog", "", "append decision events as JSON lines to this file")
+	attrib := flag.Bool("attribution", false, "run counterfactual cost attribution (shadow baselines, /attribution /timeseries /top)")
+	attribWindow := flag.Int("attribution-window", cluster.DefaultKeepAliveWindow, "fixed-baseline keep-alive window in minutes for attribution")
 	flag.Parse()
 
 	cat := pulse.Catalog()
@@ -85,13 +101,26 @@ func run() error {
 		return err
 	}
 
+	// The controller and runtime share one observer; with -attribution the
+	// accountant rides alongside the metrics pipeline on the same stream.
+	var obs telemetry.Observer = tel
+	var acct *attribution.Accountant
+	if *attrib {
+		if acct, err = attribution.New(attribution.Config{
+			Catalog: cat, Assignment: asg, Window: *attribWindow,
+		}); err != nil {
+			return err
+		}
+		obs = telemetry.Multi(tel, acct)
+	}
+
 	var p pulse.Policy
 	var store *metastore.Store
 	var controller *core.Pulse
 	const snapshotName = "pulsed"
 	switch *policyName {
 	case "pulse":
-		cfg := core.Config{Catalog: cat, Assignment: asg, Observer: tel, Shards: *shards}
+		cfg := core.Config{Catalog: cat, Assignment: asg, Observer: obs, Shards: *shards}
 		if *stateDir != "" {
 			if store, err = metastore.Open(*stateDir); err != nil {
 				return err
@@ -121,7 +150,7 @@ func run() error {
 		Assignment: asg,
 		Policy:     p,
 		Clock:      runtime.WallClock{Compression: *compress},
-		Observer:   tel,
+		Observer:   obs,
 	})
 	if err != nil {
 		return err
@@ -133,6 +162,10 @@ func run() error {
 	api, err := runtime.NewInstrumentedAPI(rt, tel)
 	if err != nil {
 		return err
+	}
+	if acct != nil {
+		api.AttachAttribution(acct)
+		log.Printf("pulsed: attribution enabled (fixed baseline window %d min)", acct.Window())
 	}
 
 	var handler http.Handler = api
@@ -179,6 +212,12 @@ func run() error {
 	st := rt.Stats()
 	log.Printf("pulsed: served %d invocations (%d warm, %d cold), keep-alive $%.4f, accuracy %.2f%%",
 		st.Invocations, st.WarmStarts, st.ColdStarts, st.KeepAliveCostUSD, st.MeanAccuracyPct())
+	if acct != nil {
+		rep := acct.Report()
+		log.Printf("pulsed: attribution — $%.4f and %.1f GB-min saved vs fixed-%d-min baseline, %+d cold starts avoided",
+			rep.Total.VsFixed.KeepAliveCostUSD, rep.Total.VsFixed.KeepAliveGBMinutes,
+			acct.Window(), rep.Total.VsFixed.ColdStartsAvoided)
+	}
 	if store != nil && controller != nil {
 		if err := store.SaveController(snapshotName, controller); err != nil {
 			return fmt.Errorf("saving state: %w", err)

@@ -1,0 +1,46 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"github.com/pulse-serverless/pulse/internal/runtime"
+)
+
+// The package doc comment is the operator-facing summary of the HTTP
+// surface; it must list every endpoint the API actually serves
+// (runtime.Endpoints is the single source of truth). This asserts the doc
+// never drifts again the way /events was dropped from it once.
+func TestDocCommentListsEveryEndpoint(t *testing.T) {
+	src, err := os.ReadFile("main.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only the package doc comment counts as documentation: the text
+	// before the package clause.
+	doc, _, found := strings.Cut(string(src), "package main")
+	if !found {
+		t.Fatal("main.go has no package clause")
+	}
+	for _, ep := range runtime.Endpoints() {
+		want := ep.Method + " " + ep.Path
+		// The doc comment tabulates "METHOD /path" with padding between.
+		if !strings.Contains(strings.Join(strings.Fields(doc), " "), want) {
+			t.Errorf("doc comment does not document %q", want)
+		}
+	}
+}
+
+// The attribution flags must exist with the documented defaults.
+func TestAttributionFlagsRegistered(t *testing.T) {
+	src, err := os.ReadFile("main.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, flagName := range []string{`"attribution"`, `"attribution-window"`} {
+		if !strings.Contains(string(src), flagName) {
+			t.Errorf("main.go does not register the %s flag", flagName)
+		}
+	}
+}

@@ -41,9 +41,15 @@ type goldenResult struct {
 	PeakMinutes      int     `json:"peak_minutes"`
 	KaMSumMB         float64 `json:"kam_sum_mb"`
 	KaMPeakMB        float64 `json:"kam_peak_mb"`
+	// Counterfactual attribution aggregates: net keep-alive savings versus
+	// the fixed-10-min high-quality shadow baseline, and the cold-start
+	// ledger on both sides of that comparison.
+	SavingsVsFixedUSD  float64 `json:"savings_vs_fixed_usd"`
+	FixedColdStarts    int     `json:"fixed_cold_starts"`
+	ColdAvoidedVsFixed int     `json:"cold_avoided_vs_fixed"`
 }
 
-func goldenRun(t *testing.T, shards int) (*pulse.SimulationResult, *pulse.Pulse, *pulse.Trace) {
+func goldenRun(t *testing.T, shards int) (*pulse.SimulationResult, *pulse.Pulse, *pulse.Trace, *pulse.Accountant) {
 	t.Helper()
 	const seed, horizon = 42, trace.MinutesPerDay
 	tr, err := pulse.GenerateTrace(pulse.TraceConfig{Seed: seed, Horizon: horizon})
@@ -52,19 +58,23 @@ func goldenRun(t *testing.T, shards int) (*pulse.SimulationResult, *pulse.Pulse,
 	}
 	cat := pulse.Catalog()
 	asg := pulse.UniformAssignment(cat, len(tr.Functions))
+	acct, err := pulse.NewAccountant(pulse.AttributionConfig{Catalog: cat, Assignment: asg})
+	if err != nil {
+		t.Fatal(err)
+	}
 	p, err := pulse.New(pulse.Config{Catalog: cat, Assignment: asg, Shards: shards})
 	if err != nil {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { p.Close() })
-	res, err := pulse.Simulate(pulse.SimulationConfig{Trace: tr, Catalog: cat, Assignment: asg}, p)
+	res, err := pulse.Simulate(pulse.SimulationConfig{Trace: tr, Catalog: cat, Assignment: asg, Observer: acct}, p)
 	if err != nil {
 		t.Fatal(err)
 	}
-	return res, p, tr
+	return res, p, tr, acct
 }
 
-func digest(res *pulse.SimulationResult, p *pulse.Pulse, tr *pulse.Trace) goldenResult {
+func digest(res *pulse.SimulationResult, p *pulse.Pulse, tr *pulse.Trace, acct *pulse.Accountant) goldenResult {
 	g := goldenResult{
 		Seed:             42,
 		HorizonMinutes:   tr.Horizon,
@@ -85,6 +95,10 @@ func digest(res *pulse.SimulationResult, p *pulse.Pulse, tr *pulse.Trace) golden
 			g.KaMPeakMB = v
 		}
 	}
+	rep := acct.Report()
+	g.SavingsVsFixedUSD = rep.Total.VsFixed.KeepAliveCostUSD
+	g.FixedColdStarts = rep.Total.FixedHigh.ColdStarts
+	g.ColdAvoidedVsFixed = rep.Total.VsFixed.ColdStartsAvoided
 	return g
 }
 
@@ -98,8 +112,8 @@ func floatClose(a, b float64) bool {
 }
 
 func TestGoldenResult(t *testing.T) {
-	res, p, tr := goldenRun(t, 1)
-	got := digest(res, p, tr)
+	res, p, tr, acct := goldenRun(t, 1)
+	got := digest(res, p, tr, acct)
 	path := filepath.Join("testdata", "golden.json")
 
 	if *updateGolden {
@@ -137,6 +151,10 @@ func TestGoldenResult(t *testing.T) {
 	if got.PeakMinutes != want.PeakMinutes {
 		t.Errorf("peak minutes: got %d, want %d", got.PeakMinutes, want.PeakMinutes)
 	}
+	if got.FixedColdStarts != want.FixedColdStarts || got.ColdAvoidedVsFixed != want.ColdAvoidedVsFixed {
+		t.Errorf("attribution colds: got %d fixed / %d avoided, want %d / %d",
+			got.FixedColdStarts, got.ColdAvoidedVsFixed, want.FixedColdStarts, want.ColdAvoidedVsFixed)
+	}
 	for _, f := range []struct {
 		name      string
 		got, want float64
@@ -146,6 +164,7 @@ func TestGoldenResult(t *testing.T) {
 		{"accuracy sum pct", got.AccuracySumPct, want.AccuracySumPct},
 		{"KaM sum MB", got.KaMSumMB, want.KaMSumMB},
 		{"KaM peak MB", got.KaMPeakMB, want.KaMPeakMB},
+		{"savings vs fixed USD", got.SavingsVsFixedUSD, want.SavingsVsFixedUSD},
 	} {
 		if !floatClose(f.got, f.want) {
 			t.Errorf("%s: got %.12g, want %.12g", f.name, f.got, f.want)
@@ -157,10 +176,10 @@ func TestGoldenResult(t *testing.T) {
 // numbers: the default shard count (one per CPU) must reproduce the
 // committed serial digest exactly.
 func TestGoldenResultSharded(t *testing.T) {
-	res, p, tr := goldenRun(t, 0)
-	got := digest(res, p, tr)
-	serialRes, serialP, serialTr := goldenRun(t, 1)
-	want := digest(serialRes, serialP, serialTr)
+	res, p, tr, acct := goldenRun(t, 0)
+	got := digest(res, p, tr, acct)
+	serialRes, serialP, serialTr, serialAcct := goldenRun(t, 1)
+	want := digest(serialRes, serialP, serialTr, serialAcct)
 	want.Policy = got.Policy // same by construction; compare the numbers
 	if got != want {
 		t.Errorf("sharded digest diverges from serial:\n got %+v\nwant %+v", got, want)

@@ -1,0 +1,360 @@
+// Package attribution answers, online, the question the paper answers
+// offline: how much is PULSE saving right now, and for which functions?
+//
+// An Accountant is a telemetry.Observer that watches the same sample
+// stream the metrics pipeline sees — keep-alive decisions, invocations,
+// minute rollups — and runs three lightweight *shadow policies* in-stream
+// against the identical invocation feed:
+//
+//   - fixed-high: the OpenWhisk/AWS-style fixed keep-alive of the
+//     highest-quality variant for Config.Window minutes after every
+//     invocation — the paper's competing baseline;
+//   - never: no keep-alive at all — every invoked minute opens with a
+//     cold start on the highest-quality variant;
+//   - oracle: the paper's "ideal" reference (Figure 6b) — a container of
+//     the highest-quality variant is alive exactly during the minutes the
+//     function is invoked, so every invocation is warm and no idle minute
+//     is ever paid for.
+//
+// The shadows never run containers; they are pure accounting derived from
+// the observed invocation counts, with semantics matched line-for-line to
+// the cluster engine's (an invocation at minute m keeps the fixed
+// baseline's container alive through minute m+window; the first cold
+// invocation of a minute pays the cold start and leaves the container warm
+// for the rest of the minute). Per function and cluster-wide, the
+// Accountant tracks keep-alive MB-minutes, cold starts, delivered accuracy
+// (both invocation-weighted and variant-minutes weighted), and the net
+// savings of the live policy versus each baseline, plus a fixed-capacity
+// windowed time-series of per-minute aggregates.
+//
+// Determinism: the Accountant's state is a pure function of the sample
+// stream. Attribution therefore stays on the coordinator — the sharded
+// controller stages its events in per-shard telemetry.Buffers and flushes
+// them at the minute barrier in shard order, and the cluster engine falls
+// back to its serial scan whenever an Observer is attached — so reports
+// are bit-identical at every shard count, and a simulated run and a live
+// runtime fed the same trace produce identical numbers by construction.
+// All hot-path state is preallocated: once constructed, observing a minute
+// allocates nothing.
+package attribution
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/pulse-serverless/pulse/internal/cluster"
+	"github.com/pulse-serverless/pulse/internal/models"
+	"github.com/pulse-serverless/pulse/internal/telemetry"
+)
+
+// Baseline names as they appear in reports.
+const (
+	BaselineFixedHigh = "fixed-high"
+	BaselineNever     = "never"
+	BaselineOracle    = "oracle"
+)
+
+// Config parameterizes an Accountant.
+type Config struct {
+	Catalog    *models.Catalog
+	Assignment models.Assignment
+	// Cost prices keep-alive memory for the live policy and every shadow;
+	// the zero value selects the AWS-calibrated default.
+	Cost cluster.CostModel
+	// Window is the fixed-high shadow's keep-alive period in minutes
+	// (default cluster.DefaultKeepAliveWindow).
+	Window int
+	// SeriesWindow is how many minutes the time-series store retains at
+	// minute resolution (default DefaultSeriesWindow). The hourly rollup
+	// ring holds the same number of buckets, extending the horizon 60×.
+	SeriesWindow int
+}
+
+// famInfo caches the per-variant characteristics of one model family in
+// the form the hot path needs: no catalog traversal per sample.
+type famInfo struct {
+	name       string
+	byName     map[string]int
+	memMB      []float64
+	accPct     []float64
+	costPerMin []float64
+	highest    int
+}
+
+// fnState is one function's attribution state: shadow bookkeeping plus the
+// integer counters everything in a Report is derived from. Keeping counts
+// (minutes per variant, invocations per variant) rather than running float
+// sums makes reports independent of how the feed fragments a minute's
+// invocations into samples — the engine batches warm invocations, the live
+// runtime emits one sample each, and both must account identically.
+type fnState struct {
+	lastInv    int  // minute of the last invocation, -1 before any
+	seenMinute int  // minute of the last invocation sample, -1 before any
+	fixedAlive bool // fixed-high shadow keeps this function alive in the open minute
+
+	invocations   int
+	actualCold    int
+	fixedCold     int
+	neverCold     int
+	invokedMin    int   // minutes with ≥1 invocation (= oracle keep-alive minutes)
+	fixedAliveMin int   // minutes the fixed-high shadow kept alive
+	aliveMin      []int // actual kept-alive minutes, by variant index
+	invByVariant  []int // actual invocations, by variant index
+	downgrades    int
+}
+
+// Accountant is the online counterfactual attribution engine. It
+// implements telemetry.Observer; attach one instance to both the
+// controller (core.Config.Observer) and the platform (cluster.Config /
+// runtime.Config Observer), alongside any other observer via
+// telemetry.Multi.
+type Accountant struct {
+	mu     sync.Mutex
+	cost   cluster.CostModel
+	window int
+
+	fams  []famInfo
+	famOf []int
+	fns   []fnState
+
+	cur   int // open minute, -1 before the first sample
+	store *store
+
+	// Open-minute cluster-wide accumulators, written into the store when
+	// the minute closes. Accumulation happens in function order (the
+	// sample emission order), so the series is deterministic too.
+	minActualKaM, minActualCost float64
+	minFixedKaM, minFixedCost   float64
+	minOracleKaM, minOracleCost float64
+	minActualCold, minFixedCold int
+	minNeverCold, minInv        int
+}
+
+// New builds an Accountant. The catalog and assignment must match the ones
+// driving the policy under observation.
+func New(cfg Config) (*Accountant, error) {
+	if cfg.Catalog == nil {
+		return nil, fmt.Errorf("attribution: nil catalog")
+	}
+	if err := cfg.Catalog.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.Assignment.Validate(cfg.Catalog, len(cfg.Assignment)); err != nil {
+		return nil, err
+	}
+	if len(cfg.Assignment) == 0 {
+		return nil, fmt.Errorf("attribution: empty assignment")
+	}
+	if cfg.Cost.USDPerGBSecond == 0 {
+		cfg.Cost = cluster.DefaultCostModel()
+	}
+	if cfg.Cost.USDPerGBSecond < 0 {
+		return nil, fmt.Errorf("attribution: negative cost rate %v", cfg.Cost.USDPerGBSecond)
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = cluster.DefaultKeepAliveWindow
+	}
+	if cfg.SeriesWindow <= 0 {
+		cfg.SeriesWindow = DefaultSeriesWindow
+	}
+	a := &Accountant{
+		cost:   cfg.Cost,
+		window: cfg.Window,
+		fams:   make([]famInfo, len(cfg.Catalog.Families)),
+		famOf:  make([]int, len(cfg.Assignment)),
+		fns:    make([]fnState, len(cfg.Assignment)),
+		cur:    -1,
+		store:  newStore(cfg.SeriesWindow),
+	}
+	for i := range cfg.Catalog.Families {
+		fam := &cfg.Catalog.Families[i]
+		fi := famInfo{
+			name:       fam.Name,
+			byName:     make(map[string]int, fam.NumVariants()),
+			memMB:      make([]float64, fam.NumVariants()),
+			accPct:     make([]float64, fam.NumVariants()),
+			costPerMin: make([]float64, fam.NumVariants()),
+			highest:    fam.NumVariants() - 1,
+		}
+		for vi, v := range fam.Variants {
+			fi.byName[v.Name] = vi
+			fi.memMB[vi] = v.MemoryMB
+			fi.accPct[vi] = v.AccuracyPct
+			fi.costPerMin[vi] = cfg.Cost.KeepAliveUSDPerMinute(v.MemoryMB)
+		}
+		a.fams[i] = fi
+	}
+	for fn := range cfg.Assignment {
+		a.famOf[fn] = cfg.Assignment[fn]
+		nv := cfg.Catalog.Families[cfg.Assignment[fn]].NumVariants()
+		a.fns[fn] = fnState{
+			lastInv:      -1,
+			seenMinute:   -1,
+			aliveMin:     make([]int, nv),
+			invByVariant: make([]int, nv),
+		}
+	}
+	return a, nil
+}
+
+// Window returns the fixed-high shadow's keep-alive window in minutes.
+func (a *Accountant) Window() int { return a.window }
+
+// roll advances the open minute to m, closing every minute in between.
+// Minutes only move forward; a sample carrying an older minute (possible
+// under live concurrent traffic, where an invocation's sample can be
+// emitted after the tick advanced) is folded into the open minute.
+func (a *Accountant) roll(m int) {
+	if a.cur < 0 {
+		if m < 0 {
+			m = 0
+		}
+		a.open(m)
+		return
+	}
+	for a.cur < m {
+		a.close()
+		a.open(a.cur + 1)
+	}
+}
+
+// open starts minute m: the fixed-high shadow charges keep-alive for every
+// function whose window is still open. Runs in function order.
+func (a *Accountant) open(m int) {
+	a.cur = m
+	for fn := range a.fns {
+		f := &a.fns[fn]
+		alive := f.lastInv >= 0 && m <= f.lastInv+a.window
+		f.fixedAlive = alive
+		if alive {
+			f.fixedAliveMin++
+			fi := &a.fams[a.famOf[fn]]
+			a.minFixedKaM += fi.memMB[fi.highest]
+			a.minFixedCost += fi.costPerMin[fi.highest]
+		}
+	}
+}
+
+// close finalizes the open minute into the time-series store and resets
+// the per-minute accumulators.
+func (a *Accountant) close() {
+	var v [numMetrics]float64
+	v[MetricKaMActualMB] = a.minActualKaM
+	v[MetricKaMFixedMB] = a.minFixedKaM
+	v[MetricKaMOracleMB] = a.minOracleKaM
+	v[MetricCostActualUSD] = a.minActualCost
+	v[MetricCostFixedUSD] = a.minFixedCost
+	v[MetricCostOracleUSD] = a.minOracleCost
+	v[MetricSavingsVsFixedUSD] = a.minFixedCost - a.minActualCost
+	v[MetricColdActual] = float64(a.minActualCold)
+	v[MetricColdFixed] = float64(a.minFixedCold)
+	v[MetricColdNever] = float64(a.minNeverCold)
+	v[MetricInvocations] = float64(a.minInv)
+	a.store.push(a.cur, v)
+	a.minActualKaM, a.minActualCost = 0, 0
+	a.minFixedKaM, a.minFixedCost = 0, 0
+	a.minOracleKaM, a.minOracleCost = 0, 0
+	a.minActualCold, a.minFixedCold = 0, 0
+	a.minNeverCold, a.minInv = 0, 0
+}
+
+// ObserveKeepAlive implements telemetry.Observer: the live policy's
+// keep-alive decision for one function-minute.
+func (a *Accountant) ObserveKeepAlive(s telemetry.KeepAliveSample) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.roll(s.Minute)
+	if s.Function < 0 || s.Function >= len(a.fns) {
+		return
+	}
+	fi := &a.fams[a.famOf[s.Function]]
+	if s.Variant < 0 || s.Variant >= len(fi.memMB) {
+		return
+	}
+	a.fns[s.Function].aliveMin[s.Variant]++
+	a.minActualKaM += fi.memMB[s.Variant]
+	a.minActualCost += fi.costPerMin[s.Variant]
+}
+
+// ObserveInvocation implements telemetry.Observer: one batch of served
+// invocations. The shadows derive their warm/cold attribution here; the
+// first sample of a function-minute marks the minute invoked (the cold
+// start slot for shadows that are cold, the oracle's keep-alive charge).
+func (a *Accountant) ObserveInvocation(s telemetry.InvocationSample) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.roll(s.Minute)
+	if s.Function < 0 || s.Function >= len(a.fns) {
+		return
+	}
+	n := s.Count
+	if n <= 0 {
+		n = 1
+	}
+	f := &a.fns[s.Function]
+	fi := &a.fams[a.famOf[s.Function]]
+	first := f.seenMinute != s.Minute
+	if first {
+		if s.Minute > f.seenMinute {
+			f.seenMinute = s.Minute
+		}
+		f.invokedMin++
+		a.minOracleKaM += fi.memMB[fi.highest]
+		a.minOracleCost += fi.costPerMin[fi.highest]
+	}
+	f.invocations += n
+	a.minInv += n
+	vi, ok := fi.byName[s.Variant]
+	if !ok {
+		// A variant name outside the catalog (foreign feed); attribute to
+		// the highest variant rather than dropping the invocations.
+		vi = fi.highest
+	}
+	f.invByVariant[vi] += n
+	if s.Cold {
+		f.actualCold += n
+		a.minActualCold += n
+	}
+	if first && !f.fixedAlive {
+		f.fixedCold++
+		a.minFixedCold++
+	}
+	if first {
+		f.neverCold++
+		a.minNeverCold++
+	}
+	if s.Minute > f.lastInv {
+		f.lastInv = s.Minute
+	}
+}
+
+// ObserveMinute implements telemetry.Observer. The rollup's payload is
+// recomputed internally (so simulated and live feeds, which price the
+// minute in different float orders, cannot diverge); the sample only
+// advances the clock.
+func (a *Accountant) ObserveMinute(s telemetry.MinuteSample) {
+	a.mu.Lock()
+	a.roll(s.Minute)
+	a.mu.Unlock()
+}
+
+// ObserveSchedule implements telemetry.Observer (ignored: plans are
+// intent, not cost).
+func (a *Accountant) ObserveSchedule(telemetry.ScheduleSample) {}
+
+// ObservePeak implements telemetry.Observer (ignored: peak episodes are
+// visible through the downgrade counts they cause).
+func (a *Accountant) ObservePeak(telemetry.PeakSample) {}
+
+// ObserveDowngrade implements telemetry.Observer: counts Algorithm 2
+// downgrades per function, the /top "downgrades" ranking.
+func (a *Accountant) ObserveDowngrade(s telemetry.DowngradeSample) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.roll(s.Minute)
+	if s.Function >= 0 && s.Function < len(a.fns) {
+		a.fns[s.Function].downgrades++
+	}
+}
+
+var _ telemetry.Observer = (*Accountant)(nil)

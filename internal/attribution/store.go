@@ -1,0 +1,182 @@
+package attribution
+
+import "fmt"
+
+// DefaultSeriesWindow is the minute-resolution retention of the
+// time-series store: one day.
+const DefaultSeriesWindow = 1440
+
+// Metric identifies one per-minute aggregate tracked by the store.
+type Metric int
+
+// The tracked metrics. kam_* are point-in-time gauges (MB kept alive
+// during the minute) and roll up hourly by mean; the rest are per-minute
+// amounts and roll up by sum.
+const (
+	MetricKaMActualMB Metric = iota
+	MetricKaMFixedMB
+	MetricKaMOracleMB
+	MetricCostActualUSD
+	MetricCostFixedUSD
+	MetricCostOracleUSD
+	MetricSavingsVsFixedUSD
+	MetricColdActual
+	MetricColdFixed
+	MetricColdNever
+	MetricInvocations
+	numMetrics
+)
+
+var metricNames = [numMetrics]string{
+	MetricKaMActualMB:       "kam_actual_mb",
+	MetricKaMFixedMB:        "kam_fixed_mb",
+	MetricKaMOracleMB:       "kam_oracle_mb",
+	MetricCostActualUSD:     "cost_actual_usd",
+	MetricCostFixedUSD:      "cost_fixed_usd",
+	MetricCostOracleUSD:     "cost_oracle_usd",
+	MetricSavingsVsFixedUSD: "savings_vs_fixed_usd",
+	MetricColdActual:        "cold_actual",
+	MetricColdFixed:         "cold_fixed",
+	MetricColdNever:         "cold_never",
+	MetricInvocations:       "invocations",
+}
+
+// gauge metrics average (rather than sum) when rolled up hourly.
+var metricGauge = [numMetrics]bool{
+	MetricKaMActualMB: true,
+	MetricKaMFixedMB:  true,
+	MetricKaMOracleMB: true,
+}
+
+// String returns the wire name used by the /timeseries endpoint.
+func (m Metric) String() string {
+	if m < 0 || m >= numMetrics {
+		return fmt.Sprintf("metric(%d)", int(m))
+	}
+	return metricNames[m]
+}
+
+// MetricNames lists every metric wire name, in declaration order.
+func MetricNames() []string {
+	out := make([]string, numMetrics)
+	for i, n := range metricNames {
+		out[i] = n
+	}
+	return out
+}
+
+// ParseMetric resolves a wire name back to its Metric.
+func ParseMetric(name string) (Metric, error) {
+	for i, n := range metricNames {
+		if n == name {
+			return Metric(i), nil
+		}
+	}
+	return 0, fmt.Errorf("attribution: unknown metric %q", name)
+}
+
+// Point is one time-series sample.
+type Point struct {
+	Minute int     `json:"minute"`
+	Value  float64 `json:"value"`
+}
+
+// store is a fixed-capacity windowed time-series: a ring of per-minute
+// aggregates (idx = minute % window, with a stamp array to detect stale
+// slots) plus an hourly rollup ring of the same bucket count, extending
+// the queryable horizon 60×. Pushes allocate nothing; all storage is laid
+// out at construction. Callers synchronize externally (the Accountant's
+// mutex).
+type store struct {
+	window int
+	stamps []int                 // minute stored in each slot, -1 when empty
+	vals   [][numMetrics]float64 // per-minute aggregates
+
+	hourStamps []int // hour (minute/60) stored in each rollup slot
+	hourVals   [][numMetrics]float64
+	hourCnt    []int // minutes folded into the open rollup
+}
+
+func newStore(window int) *store {
+	s := &store{
+		window:     window,
+		stamps:     make([]int, window),
+		vals:       make([][numMetrics]float64, window),
+		hourStamps: make([]int, window),
+		hourVals:   make([][numMetrics]float64, window),
+		hourCnt:    make([]int, window),
+	}
+	for i := range s.stamps {
+		s.stamps[i] = -1
+		s.hourStamps[i] = -1
+	}
+	return s
+}
+
+// push records minute m's aggregates, overwriting whatever the slot held a
+// window ago, and folds the minute into its hourly rollup bucket.
+func (s *store) push(m int, v [numMetrics]float64) {
+	if m < 0 {
+		return
+	}
+	i := m % s.window
+	s.stamps[i] = m
+	s.vals[i] = v
+
+	h := m / 60
+	hi := h % s.window
+	if s.hourStamps[hi] != h {
+		s.hourStamps[hi] = h
+		s.hourVals[hi] = [numMetrics]float64{}
+		s.hourCnt[hi] = 0
+	}
+	for k := range v {
+		s.hourVals[hi][k] += v[k]
+	}
+	s.hourCnt[hi]++
+}
+
+// series appends the most recent points for metric within the trailing
+// window [now-window+1, now] to dst, oldest first. hourly switches to the
+// rollup ring (window then counts hours); gauge metrics report the hourly
+// mean, amounts the hourly sum.
+func (s *store) series(metric Metric, now, window int, hourly bool, dst []Point) []Point {
+	if now < 0 || window <= 0 {
+		return dst
+	}
+	if hourly {
+		nowH := now / 60
+		if window > s.window {
+			window = s.window
+		}
+		for h := nowH - window + 1; h <= nowH; h++ {
+			if h < 0 {
+				continue
+			}
+			hi := h % s.window
+			if s.hourStamps[hi] != h || s.hourCnt[hi] == 0 {
+				continue
+			}
+			v := s.hourVals[hi][metric]
+			if metricGauge[metric] {
+				v /= float64(s.hourCnt[hi])
+			}
+			dst = append(dst, Point{Minute: h * 60, Value: v})
+		}
+		return dst
+	}
+	if window > s.window {
+		window = s.window
+	}
+	for m := now - window + 1; m <= now; m++ {
+		if m < 0 {
+			continue
+		}
+		i := m % s.window
+		if s.stamps[i] != m {
+			continue
+		}
+		dst = append(dst, Point{Minute: m, Value: s.vals[i][metric]})
+	}
+	return dst
+}

@@ -17,6 +17,7 @@ import (
 	"runtime"
 	"testing"
 
+	"github.com/pulse-serverless/pulse/internal/attribution"
 	"github.com/pulse-serverless/pulse/internal/cluster"
 	"github.com/pulse-serverless/pulse/internal/models"
 	"github.com/pulse-serverless/pulse/internal/telemetry"
@@ -364,5 +365,58 @@ func TestDifferentialShardedKaMSeries(t *testing.T) {
 				t.Fatalf("shards=%d minute %d: KaM %v, want %v", shards, tm, got[tm], base[tm])
 			}
 		}
+	}
+}
+
+// TestDifferentialShardedAttribution attaches a counterfactual accountant
+// to serial and sharded runs of the full engine and requires the
+// attribution output — the complete per-function report and every time
+// series — to be deeply equal, not approximately: attribution happens on
+// the coordinator from the shard-ordered event stream, so shard count
+// must be invisible to the savings numbers.
+func TestDifferentialShardedAttribution(t *testing.T) {
+	cat := models.PaperCatalog()
+	for _, wl := range differentialWorkloads(t) {
+		t.Run(wl.name, func(t *testing.T) {
+			asg := uniformAssignment(cat, len(wl.tr.Functions))
+			run := func(shards int) *attribution.Accountant {
+				acct, err := attribution.New(attribution.Config{
+					Catalog: cat, Assignment: asg, Cost: cluster.DefaultCostModel(),
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				p, err := New(Config{Catalog: cat, Assignment: asg, Shards: shards, Observer: acct})
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer p.Close()
+				if _, err := cluster.Run(cluster.Config{
+					Trace: wl.tr, Catalog: cat, Assignment: asg,
+					Cost: cluster.DefaultCostModel(), Shards: shards, Observer: acct,
+				}, p); err != nil {
+					t.Fatal(err)
+				}
+				return acct
+			}
+			base := run(1)
+			baseRep := base.Report()
+			for _, shards := range differentialShardCounts() {
+				got := run(shards)
+				if rep := got.Report(); !reflect.DeepEqual(rep, baseRep) {
+					t.Errorf("shards=%d: attribution report diverges\nserial total:  %+v\nsharded total: %+v",
+						shards, baseRep.Total, rep.Total)
+				}
+				for _, name := range attribution.MetricNames() {
+					m, err := attribution.ParseMetric(name)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !reflect.DeepEqual(got.Series(m, wl.tr.Horizon, false), base.Series(m, wl.tr.Horizon, false)) {
+						t.Errorf("shards=%d: series %s diverges from serial", shards, name)
+					}
+				}
+			}
+		})
 	}
 }

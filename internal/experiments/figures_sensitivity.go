@@ -230,6 +230,7 @@ func RunAll(opts Options) error {
 		{"Figure 10", func(o Options) error { _, err := Figure10(o); return err }},
 		{"Figure 11", func(o Options) error { _, err := Figure11(o); return err }},
 		{"Figure 12", func(o Options) error { _, err := Figure12(o); return err }},
+		{"Attribution", func(o Options) error { _, err := AttributionTable(o); return err }},
 		{"Extension: Holt-Winters", func(o Options) error { _, err := ExtensionHoltWinters(o); return err }},
 		{"Extension: capacity analysis", func(o Options) error { _, err := CapacityAnalysis(o); return err }},
 		{"Extension: window sweep", func(o Options) error { _, err := ExtensionWindowSweep(o); return err }},

@@ -6,12 +6,14 @@ import (
 	"net/http"
 	"strconv"
 
+	"github.com/pulse-serverless/pulse/internal/attribution"
 	"github.com/pulse-serverless/pulse/internal/cluster"
 	"github.com/pulse-serverless/pulse/internal/telemetry"
 )
 
 // API exposes a Runtime over HTTP — the integration surface an
-// OpenWhisk/Knative operator would script against:
+// OpenWhisk/Knative operator would script against. Endpoints() is the
+// authoritative list; in summary:
 //
 //	POST /invoke?fn=N      run one invocation, returns the Invocation JSON
 //	GET  /stats            runtime counters
@@ -19,12 +21,42 @@ import (
 //	GET  /metrics          Prometheus text exposition (labeled series when instrumented)
 //	GET  /events           decision event log (requires telemetry)
 //	GET  /decisions        Algorithm 1/2 audit: downgrades with Uv = Ai+Pr+Ip, peak episodes
+//	GET  /attribution      per-function counterfactual savings vs shadow baselines (requires attribution)
+//	GET  /timeseries       per-minute attribution series for one metric (requires attribution)
+//	GET  /top              text ranking by savings, downgrades, cold-start risk (requires attribution)
 //	GET  /healthz          liveness
 type API struct {
-	rt  *Runtime
-	tel *telemetry.Telemetry
-	reg *telemetry.Registry
-	mux *http.ServeMux
+	rt   *Runtime
+	tel  *telemetry.Telemetry
+	acct *attribution.Accountant
+	reg  *telemetry.Registry
+	mux  *http.ServeMux
+}
+
+// Endpoint describes one API route, for documentation surfaces and the
+// tests that hold them in sync with the mux.
+type Endpoint struct {
+	Method string
+	Path   string
+	Doc    string
+}
+
+// Endpoints returns every route the API serves, in registration order.
+// This is the single source of truth the mux is built from; cmd/pulsed's
+// package comment is asserted against it.
+func Endpoints() []Endpoint {
+	return []Endpoint{
+		{http.MethodPost, "/invoke", "run one invocation (?fn=N), returns the Invocation JSON"},
+		{http.MethodGet, "/stats", "runtime counters"},
+		{http.MethodGet, "/functions", "registered functions, their models and warm state"},
+		{http.MethodGet, "/metrics", "Prometheus text exposition (labeled series when instrumented)"},
+		{http.MethodGet, "/events", "decision event log (requires telemetry)"},
+		{http.MethodGet, "/decisions", "Algorithm 1/2 audit: downgrades with Uv = Ai+Pr+Ip, peak episodes"},
+		{http.MethodGet, "/attribution", "per-function counterfactual savings vs shadow baselines (requires attribution)"},
+		{http.MethodGet, "/timeseries", "attribution series for one metric (?metric=&window=&res=; requires attribution)"},
+		{http.MethodGet, "/top", "text ranking by savings, downgrades, cold-start risk (requires attribution)"},
+		{http.MethodGet, "/healthz", "liveness"},
+	}
 }
 
 // NewAPI wraps a runtime in an HTTP handler without telemetry: /metrics
@@ -51,16 +83,32 @@ func NewInstrumentedAPI(rt *Runtime, tel *telemetry.Telemetry) (*API, error) {
 		return nil, err
 	}
 	a := &API{rt: rt, tel: tel, reg: reg, mux: http.NewServeMux()}
-	a.mux.HandleFunc("/invoke", a.handleInvoke)
-	a.mux.HandleFunc("/stats", a.handleStats)
-	a.mux.HandleFunc("/functions", a.handleFunctions)
-	a.mux.HandleFunc("/metrics", a.handleMetrics)
-	a.mux.HandleFunc("/events", a.handleEvents)
-	a.mux.HandleFunc("/decisions", a.handleDecisions)
-	a.mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
-		w.WriteHeader(http.StatusOK)
-		_, _ = w.Write([]byte("ok\n"))
-	})
+	handlers := map[string]http.HandlerFunc{
+		"/invoke":      a.handleInvoke,
+		"/stats":       a.handleStats,
+		"/functions":   a.handleFunctions,
+		"/metrics":     a.handleMetrics,
+		"/events":      a.handleEvents,
+		"/decisions":   a.handleDecisions,
+		"/attribution": a.handleAttribution,
+		"/timeseries":  a.handleTimeseries,
+		"/top":         a.handleTop,
+		"/healthz": func(w http.ResponseWriter, _ *http.Request) {
+			w.WriteHeader(http.StatusOK)
+			_, _ = w.Write([]byte("ok\n"))
+		},
+	}
+	for _, ep := range Endpoints() {
+		h, ok := handlers[ep.Path]
+		if !ok {
+			return nil, fmt.Errorf("runtime: endpoint %s has no handler", ep.Path)
+		}
+		a.mux.HandleFunc(ep.Path, h)
+		delete(handlers, ep.Path)
+	}
+	if len(handlers) != 0 {
+		return nil, fmt.Errorf("runtime: %d handlers missing from Endpoints()", len(handlers))
+	}
 	return a, nil
 }
 

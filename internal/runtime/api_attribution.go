@@ -1,0 +1,161 @@
+package runtime
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+
+	"github.com/pulse-serverless/pulse/internal/attribution"
+)
+
+// AttachAttribution connects a counterfactual attribution accountant to
+// the API, enabling /attribution, /timeseries, and /top. The accountant
+// should be the same instance attached (via telemetry.Multi) as Observer
+// to both the controller and the runtime, so it sees the full decision and
+// invocation stream. Attach before serving; a nil accountant leaves the
+// endpoints answering 404 "attribution not enabled".
+func (a *API) AttachAttribution(acct *attribution.Accountant) {
+	a.acct = acct
+}
+
+// attributionEnabled gates the attribution endpoints, mirroring the
+// telemetry-nil behavior of /events and /decisions.
+func (a *API) attributionEnabled(w http.ResponseWriter, r *http.Request) bool {
+	if r.Method != http.MethodGet {
+		writeJSON(w, http.StatusMethodNotAllowed, apiError{"GET required"})
+		return false
+	}
+	if a.acct == nil {
+		writeJSON(w, http.StatusNotFound, apiError{"attribution not enabled"})
+		return false
+	}
+	return true
+}
+
+// handleAttribution serves the full per-function counterfactual report.
+func (a *API) handleAttribution(w http.ResponseWriter, r *http.Request) {
+	if !a.attributionEnabled(w, r) {
+		return
+	}
+	writeJSON(w, http.StatusOK, a.acct.Report())
+}
+
+// timeseriesResponse is the GET /timeseries payload.
+type timeseriesResponse struct {
+	Metric     string              `json:"metric"`
+	Window     int                 `json:"window"`
+	Resolution string              `json:"resolution"`
+	Points     []attribution.Point `json:"points"`
+}
+
+// handleTimeseries serves one metric's trailing series. Query parameters:
+// metric (required; see attribution.MetricNames), window (trailing minutes
+// — or hours with res=hour — default 60), res (minute or hour).
+func (a *API) handleTimeseries(w http.ResponseWriter, r *http.Request) {
+	if !a.attributionEnabled(w, r) {
+		return
+	}
+	name := r.URL.Query().Get("metric")
+	metric, err := attribution.ParseMetric(name)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest,
+			apiError{fmt.Sprintf("unknown metric %q (one of %v)", name, attribution.MetricNames())})
+		return
+	}
+	window := 60
+	if s := r.URL.Query().Get("window"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n <= 0 {
+			writeJSON(w, http.StatusBadRequest, apiError{fmt.Sprintf("bad window %q", s)})
+			return
+		}
+		window = n
+	}
+	res := r.URL.Query().Get("res")
+	if res == "" {
+		res = "minute"
+	}
+	var hourly bool
+	switch res {
+	case "minute":
+	case "hour":
+		hourly = true
+	default:
+		writeJSON(w, http.StatusBadRequest, apiError{fmt.Sprintf("bad res %q (minute or hour)", res)})
+		return
+	}
+	points := a.acct.Series(metric, window, hourly)
+	if points == nil {
+		points = []attribution.Point{}
+	}
+	writeJSON(w, http.StatusOK, timeseriesResponse{
+		Metric: metric.String(), Window: window, Resolution: res, Points: points,
+	})
+}
+
+// handleTop renders the human-readable attribution summary: cluster
+// totals, then the functions ranked by savings vs the fixed baseline, by
+// downgrades, and by cold-start risk. Query parameter n caps each ranking
+// (default 10).
+func (a *API) handleTop(w http.ResponseWriter, r *http.Request) {
+	if !a.attributionEnabled(w, r) {
+		return
+	}
+	n := 10
+	if s := r.URL.Query().Get("n"); s != "" {
+		v, err := strconv.Atoi(s)
+		if err != nil || v <= 0 {
+			writeJSON(w, http.StatusBadRequest, apiError{fmt.Sprintf("bad n %q", s)})
+			return
+		}
+		n = v
+	}
+	rep := a.acct.Report()
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	writeTop(w, rep, n)
+}
+
+// writeTop formats the /top view. Split out so tests (and pulsed's demo
+// logging) can render a report without an HTTP round trip.
+func writeTop(w interface{ Write([]byte) (int, error) }, rep attribution.Report, n int) {
+	p := func(format string, args ...any) { fmt.Fprintf(w, format, args...) }
+	t := rep.Total
+	p("PULSE cost attribution — minute %d, fixed baseline window %d min\n\n", rep.Minute, rep.WindowMinutes)
+	p("cluster totals (live policy vs shadows):\n")
+	p("  invocations %d   cold %d (%.2f%%)   keep-alive %.1f GB-min   cost $%.4f   accuracy %.2f%%\n",
+		t.Actual.Invocations, t.Actual.ColdStarts, t.ColdStartPct,
+		t.Actual.KeepAliveMBMinutes/1024, t.Actual.KeepAliveCostUSD, t.Actual.MeanAccuracyPct)
+	p("  vs fixed-high : saved $%.4f and %.1f GB-min, cold starts avoided %+d, accuracy %+.2f%%\n",
+		t.VsFixed.KeepAliveCostUSD, t.VsFixed.KeepAliveGBMinutes, t.VsFixed.ColdStartsAvoided, t.VsFixed.AccuracyDeltaPct)
+	p("  vs never      : saved $%.4f and %.1f GB-min, cold starts avoided %+d, accuracy %+.2f%%\n",
+		t.VsNever.KeepAliveCostUSD, t.VsNever.KeepAliveGBMinutes, t.VsNever.ColdStartsAvoided, t.VsNever.AccuracyDeltaPct)
+	p("  vs oracle     : saved $%.4f and %.1f GB-min, cold starts avoided %+d, accuracy %+.2f%%\n",
+		t.VsOracle.KeepAliveCostUSD, t.VsOracle.KeepAliveGBMinutes, t.VsOracle.ColdStartsAvoided, t.VsOracle.AccuracyDeltaPct)
+
+	rank := func(title, unit string, value func(attribution.FunctionReport) float64) {
+		fns := make([]attribution.FunctionReport, len(rep.Functions))
+		copy(fns, rep.Functions)
+		sort.SliceStable(fns, func(i, j int) bool { return value(fns[i]) > value(fns[j]) })
+		p("\ntop %s:\n", title)
+		shown := 0
+		for _, fr := range fns {
+			if shown >= n {
+				break
+			}
+			if value(fr) == 0 && shown > 0 {
+				break
+			}
+			p("  fn %-5d %-12s %10.4f %s   (inv %d, cold %.2f%%, downgrades %d)\n",
+				fr.Function, fr.Family, value(fr), unit,
+				fr.Actual.Invocations, fr.ColdStartPct, fr.Downgrades)
+			shown++
+		}
+	}
+	rank("savings vs fixed-high", "$",
+		func(fr attribution.FunctionReport) float64 { return fr.VsFixed.KeepAliveCostUSD })
+	rank("downgrades", "downgrades",
+		func(fr attribution.FunctionReport) float64 { return float64(fr.Downgrades) })
+	rank("cold-start risk", "% cold",
+		func(fr attribution.FunctionReport) float64 { return fr.ColdStartPct })
+}

@@ -18,6 +18,7 @@ import (
 	"sort"
 	"sync"
 
+	"github.com/pulse-serverless/pulse/internal/attribution"
 	"github.com/pulse-serverless/pulse/internal/cluster"
 	"github.com/pulse-serverless/pulse/internal/models"
 	"github.com/pulse-serverless/pulse/internal/telemetry"
@@ -48,6 +49,13 @@ type ExperimentConfig struct {
 	// run. Implementations must be concurrency-safe: runs execute on a
 	// worker pool and share the one observer.
 	Observer telemetry.Observer
+	// Attribution attaches a fresh counterfactual accountant — the same
+	// attribution.Accountant pulsed serves live — to every run, and
+	// aggregates each policy's savings versus the shadow baselines.
+	Attribution bool
+	// AttributionWindow is the fixed-baseline window in minutes
+	// (default cluster.DefaultKeepAliveWindow).
+	AttributionWindow int
 }
 
 func (c *ExperimentConfig) validate() error {
@@ -83,6 +91,12 @@ type runSummary struct {
 	overheadSec   float64
 	overheadRatio float64
 	peakKaMMB     float64
+
+	// Attribution digests (zero unless ExperimentConfig.Attribution).
+	savingsVsFixedUSD  float64
+	savingsVsNeverUSD  float64
+	oracleGapUSD       float64 // actual − oracle cost (the price of not knowing the future)
+	coldAvoidedVsFixed int
 }
 
 func summarize(r *cluster.Result) runSummary {
@@ -120,6 +134,14 @@ type Aggregate struct {
 	MeanPeakKaMMB   float64
 	MeanOverheadSec float64
 
+	// Attribution means (populated when ExperimentConfig.Attribution): net
+	// keep-alive savings versus the shadow baselines and the cold starts
+	// the live policy avoided relative to the fixed baseline.
+	MeanSavingsVsFixedUSD  float64
+	MeanSavingsVsNeverUSD  float64
+	MeanOracleGapUSD       float64
+	MeanColdAvoidedVsFixed float64
+
 	// OverheadRatios holds each run's decision-overhead/service-time ratio
 	// — the x-axis samples of Figure 9(a).
 	OverheadRatios []float64
@@ -131,6 +153,7 @@ func aggregate(name string, rows []runSummary) *Aggregate {
 		return a
 	}
 	var sSvc, sCost, sAcc, sWarm, sCold, sPeak, sOvh float64
+	var sFix, sNever, sOracle, sColdAv float64
 	for _, r := range rows {
 		sSvc += r.serviceSec
 		sCost += r.costUSD
@@ -139,6 +162,10 @@ func aggregate(name string, rows []runSummary) *Aggregate {
 		sCold += float64(r.coldStarts)
 		sPeak += r.peakKaMMB
 		sOvh += r.overheadSec
+		sFix += r.savingsVsFixedUSD
+		sNever += r.savingsVsNeverUSD
+		sOracle += r.oracleGapUSD
+		sColdAv += float64(r.coldAvoidedVsFixed)
 		a.OverheadRatios = append(a.OverheadRatios, r.overheadRatio)
 	}
 	n := float64(len(rows))
@@ -149,6 +176,10 @@ func aggregate(name string, rows []runSummary) *Aggregate {
 	a.MeanColdStarts = sCold / n
 	a.MeanPeakKaMMB = sPeak / n
 	a.MeanOverheadSec = sOvh / n
+	a.MeanSavingsVsFixedUSD = sFix / n
+	a.MeanSavingsVsNeverUSD = sNever / n
+	a.MeanOracleGapUSD = sOracle / n
+	a.MeanColdAvoidedVsFixed = sColdAv / n
 	var vSvc, vCost, vAcc float64
 	for _, r := range rows {
 		vSvc += (r.serviceSec - a.MeanServiceSec) * (r.serviceSec - a.MeanServiceSec)
@@ -216,13 +247,31 @@ func RunExperiment(cfg ExperimentConfig, factories []NamedFactory) ([]*Aggregate
 						fail(fmt.Errorf("sim: run %d policy %q: %w", run, f.Name, err))
 						return
 					}
+					// With Attribution, a fresh run-scoped accountant rides
+					// the same observer seam pulsed uses live, so offline
+					// and online savings agree by construction.
+					obs := cfg.Observer
+					var acct *attribution.Accountant
+					if cfg.Attribution {
+						acct, err = attribution.New(attribution.Config{
+							Catalog:    cfg.Catalog,
+							Assignment: asg,
+							Cost:       cfg.Cost,
+							Window:     cfg.AttributionWindow,
+						})
+						if err != nil {
+							fail(fmt.Errorf("sim: run %d policy %q: %w", run, f.Name, err))
+							return
+						}
+						obs = telemetry.Multi(cfg.Observer, acct)
+					}
 					res, err := cluster.Run(cluster.Config{
 						Trace:           cfg.Trace,
 						Catalog:         cfg.Catalog,
 						Assignment:      asg,
 						Cost:            cfg.Cost,
 						MeasureOverhead: cfg.MeasureOverhead,
-						Observer:        cfg.Observer,
+						Observer:        obs,
 					}, p)
 					// Run-scoped policies are done after their run; a
 					// sharded PULSE controller releases its worker pool
@@ -234,7 +283,15 @@ func RunExperiment(cfg ExperimentConfig, factories []NamedFactory) ([]*Aggregate
 						fail(fmt.Errorf("sim: run %d policy %q: %w", run, f.Name, err))
 						return
 					}
-					rows[fi][run] = summarize(res)
+					row := summarize(res)
+					if acct != nil {
+						rep := acct.Report()
+						row.savingsVsFixedUSD = rep.Total.VsFixed.KeepAliveCostUSD
+						row.savingsVsNeverUSD = rep.Total.VsNever.KeepAliveCostUSD
+						row.oracleGapUSD = -rep.Total.VsOracle.KeepAliveCostUSD
+						row.coldAvoidedVsFixed = rep.Total.VsFixed.ColdStartsAvoided
+					}
+					rows[fi][run] = row
 				}
 			}
 		}()

@@ -1,0 +1,104 @@
+package telemetry
+
+import (
+	"reflect"
+	"testing"
+)
+
+// orderObserver logs every sample it sees as a compact (kind, minute)
+// trace, so arrival-order assertions cover interleaving across kinds —
+// which Recorder's per-kind slices cannot express.
+type orderObserver struct {
+	log [][2]int
+}
+
+func (o *orderObserver) ObserveInvocation(s InvocationSample) {
+	o.log = append(o.log, [2]int{int(kindInvocation), s.Minute})
+}
+func (o *orderObserver) ObserveKeepAlive(s KeepAliveSample) {
+	o.log = append(o.log, [2]int{int(kindKeepAlive), s.Minute})
+}
+func (o *orderObserver) ObserveMinute(s MinuteSample) {
+	o.log = append(o.log, [2]int{int(kindMinute), s.Minute})
+}
+func (o *orderObserver) ObserveSchedule(s ScheduleSample) {
+	o.log = append(o.log, [2]int{int(kindSchedule), s.Minute})
+}
+func (o *orderObserver) ObservePeak(s PeakSample) {
+	o.log = append(o.log, [2]int{int(kindPeak), s.Minute})
+}
+func (o *orderObserver) ObserveDowngrade(s DowngradeSample) {
+	o.log = append(o.log, [2]int{int(kindDowngrade), s.Minute})
+}
+
+// fillBuffer stages one sample of every kind, interleaved, twice.
+func fillBuffer(b *Buffer) [][2]int {
+	var want [][2]int
+	for round := 0; round < 2; round++ {
+		m := round * 10
+		b.ObserveKeepAlive(KeepAliveSample{Minute: m})
+		want = append(want, [2]int{int(kindKeepAlive), m})
+		b.ObserveMinute(MinuteSample{Minute: m + 1})
+		want = append(want, [2]int{int(kindMinute), m + 1})
+		b.ObserveInvocation(InvocationSample{Minute: m + 2})
+		want = append(want, [2]int{int(kindInvocation), m + 2})
+		b.ObserveDowngrade(DowngradeSample{Minute: m + 3})
+		want = append(want, [2]int{int(kindDowngrade), m + 3})
+		b.ObservePeak(PeakSample{Minute: m + 4})
+		want = append(want, [2]int{int(kindPeak), m + 4})
+		b.ObserveSchedule(ScheduleSample{Minute: m + 5})
+		want = append(want, [2]int{int(kindSchedule), m + 5})
+	}
+	return want
+}
+
+func TestBufferReplayToPreservesOrder(t *testing.T) {
+	var b Buffer
+	want := fillBuffer(&b)
+	var got orderObserver
+	b.ReplayTo(&got)
+	if !reflect.DeepEqual(got.log, want) {
+		t.Errorf("replay order:\n got %v\nwant %v", got.log, want)
+	}
+}
+
+func TestBufferReplayToDoesNotDrain(t *testing.T) {
+	var b Buffer
+	fillBuffer(&b)
+	n := b.Len()
+	var first orderObserver
+	b.ReplayTo(&first)
+	if b.Len() != n {
+		t.Errorf("Len after ReplayTo = %d, want %d (must not drain)", b.Len(), n)
+	}
+	// Safe to call twice: the second replay emits the identical sequence.
+	var second orderObserver
+	b.ReplayTo(&second)
+	if !reflect.DeepEqual(first.log, second.log) {
+		t.Errorf("second replay diverged:\nfirst  %v\nsecond %v", first.log, second.log)
+	}
+	// A nil observer is a no-op that still leaves the buffer intact.
+	b.ReplayTo(nil)
+	if b.Len() != n {
+		t.Errorf("Len after ReplayTo(nil) = %d, want %d", b.Len(), n)
+	}
+}
+
+func TestBufferFlushToDrainsAfterReplay(t *testing.T) {
+	var b Buffer
+	want := fillBuffer(&b)
+	var got orderObserver
+	b.FlushTo(&got)
+	if !reflect.DeepEqual(got.log, want) {
+		t.Errorf("flush order:\n got %v\nwant %v", got.log, want)
+	}
+	if b.Len() != 0 {
+		t.Errorf("Len after FlushTo = %d, want 0", b.Len())
+	}
+	// Flushing an empty buffer emits nothing.
+	var again orderObserver
+	b.FlushTo(&again)
+	if len(again.log) != 0 {
+		t.Errorf("flush of empty buffer emitted %v", again.log)
+	}
+}

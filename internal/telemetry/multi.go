@@ -1,0 +1,59 @@
+package telemetry
+
+// Multi fans every sample out to each non-nil observer, in argument order.
+// It collapses trivially: no observers (or all nil) yields Nop, a single
+// observer is returned directly (no wrapping cost). The fan-out itself
+// allocates nothing per sample.
+func Multi(obs ...Observer) Observer {
+	kept := make([]Observer, 0, len(obs))
+	for _, o := range obs {
+		if o != nil {
+			kept = append(kept, o)
+		}
+	}
+	switch len(kept) {
+	case 0:
+		return Nop{}
+	case 1:
+		return kept[0]
+	}
+	return multi(kept)
+}
+
+type multi []Observer
+
+func (m multi) ObserveInvocation(s InvocationSample) {
+	for _, o := range m {
+		o.ObserveInvocation(s)
+	}
+}
+
+func (m multi) ObserveKeepAlive(s KeepAliveSample) {
+	for _, o := range m {
+		o.ObserveKeepAlive(s)
+	}
+}
+
+func (m multi) ObserveMinute(s MinuteSample) {
+	for _, o := range m {
+		o.ObserveMinute(s)
+	}
+}
+
+func (m multi) ObserveSchedule(s ScheduleSample) {
+	for _, o := range m {
+		o.ObserveSchedule(s)
+	}
+}
+
+func (m multi) ObservePeak(s PeakSample) {
+	for _, o := range m {
+		o.ObservePeak(s)
+	}
+}
+
+func (m multi) ObserveDowngrade(s DowngradeSample) {
+	for _, o := range m {
+		o.ObserveDowngrade(s)
+	}
+}

@@ -1,0 +1,59 @@
+package telemetry
+
+import (
+	"reflect"
+	"testing"
+)
+
+func feedAll(o Observer) {
+	o.ObserveKeepAlive(KeepAliveSample{Minute: 1})
+	o.ObserveMinute(MinuteSample{Minute: 2})
+	o.ObserveInvocation(InvocationSample{Minute: 3})
+	o.ObserveDowngrade(DowngradeSample{Minute: 4})
+	o.ObservePeak(PeakSample{Minute: 5})
+	o.ObserveSchedule(ScheduleSample{Minute: 6})
+}
+
+func TestMultiFansOutToAllObservers(t *testing.T) {
+	var a, b orderObserver
+	feedAll(Multi(&a, nil, &b))
+	if len(a.log) != 6 {
+		t.Fatalf("first observer saw %d samples, want 6", len(a.log))
+	}
+	if !reflect.DeepEqual(a.log, b.log) {
+		t.Errorf("observers diverged:\na %v\nb %v", a.log, b.log)
+	}
+}
+
+func TestMultiCollapsesTrivially(t *testing.T) {
+	if _, ok := Multi().(Nop); !ok {
+		t.Errorf("Multi() = %T, want Nop", Multi())
+	}
+	if _, ok := Multi(nil, nil).(Nop); !ok {
+		t.Errorf("Multi(nil, nil) = %T, want Nop", Multi(nil, nil))
+	}
+	var r Recorder
+	if got := Multi(nil, &r, nil); got != Observer(&r) {
+		t.Errorf("Multi with one live observer = %T, want the observer itself", got)
+	}
+}
+
+func TestMultiFanOutDoesNotAllocate(t *testing.T) {
+	// The per-sample fan-out must be allocation-free so Multi can sit on
+	// the engine's hot path. Buffers are warmed first so their slices have
+	// steady-state capacity.
+	var b1, b2 Buffer
+	m := Multi(&b1, &b2)
+	for i := 0; i < 64; i++ {
+		feedAll(m)
+	}
+	b1.Reset()
+	b2.Reset()
+	if avg := testing.AllocsPerRun(100, func() {
+		feedAll(m)
+		b1.Reset()
+		b2.Reset()
+	}); avg != 0 {
+		t.Errorf("fan-out allocates %v times per round, want 0", avg)
+	}
+}

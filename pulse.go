@@ -23,6 +23,7 @@ package pulse
 import (
 	"fmt"
 
+	"github.com/pulse-serverless/pulse/internal/attribution"
 	"github.com/pulse-serverless/pulse/internal/cluster"
 	"github.com/pulse-serverless/pulse/internal/core"
 	"github.com/pulse-serverless/pulse/internal/milp"
@@ -30,6 +31,7 @@ import (
 	"github.com/pulse-serverless/pulse/internal/policy"
 	"github.com/pulse-serverless/pulse/internal/predict"
 	"github.com/pulse-serverless/pulse/internal/sim"
+	"github.com/pulse-serverless/pulse/internal/telemetry"
 	"github.com/pulse-serverless/pulse/internal/trace"
 )
 
@@ -78,6 +80,19 @@ type (
 	Aggregate = sim.Aggregate
 	// Improvement is the relative change versus a baseline.
 	Improvement = sim.Improvement
+
+	// Observer receives instrumentation samples from the platform and
+	// policies.
+	Observer = telemetry.Observer
+
+	// AttributionConfig parameterizes a counterfactual accountant.
+	AttributionConfig = attribution.Config
+	// Accountant is the online counterfactual attribution engine: it
+	// shadows the live policy with fixed-high, never-keep-alive, and
+	// hindsight-oracle baselines and accounts per-function savings.
+	Accountant = attribution.Accountant
+	// AttributionReport is a per-function attribution snapshot.
+	AttributionReport = attribution.Report
 )
 
 // DefaultKeepAliveWindow is the industry-standard fixed keep-alive period
@@ -111,6 +126,14 @@ func DefaultCostModel() CostModel { return cluster.DefaultCostModel() }
 // New builds a PULSE policy.
 func New(cfg Config) (*Pulse, error) { return core.New(cfg) }
 
+// NewAccountant builds a counterfactual attribution accountant. Attach it
+// as the Observer of a simulation (or alongside other observers via
+// MultiObserver) and read Report() when the run completes.
+func NewAccountant(cfg AttributionConfig) (*Accountant, error) { return attribution.New(cfg) }
+
+// MultiObserver fans samples out to every non-nil observer in order.
+func MultiObserver(obs ...Observer) Observer { return telemetry.Multi(obs...) }
+
 // SimulationConfig assembles a single simulation run.
 type SimulationConfig struct {
 	Trace      *Trace
@@ -120,6 +143,11 @@ type SimulationConfig struct {
 	Cost CostModel
 	// MeasureOverhead samples wall-clock time in policy calls.
 	MeasureOverhead bool
+	// Observer, when non-nil, receives every instrumentation sample the
+	// platform and policy emit (attach a Telemetry pipeline, an
+	// attribution Accountant, or both via telemetry.Multi re-exported as
+	// MultiObserver).
+	Observer Observer
 }
 
 // Simulate runs one policy over one trace and returns its metrics.
@@ -133,6 +161,7 @@ func Simulate(cfg SimulationConfig, p Policy) (*SimulationResult, error) {
 		Assignment:      cfg.Assignment,
 		Cost:            cfg.Cost,
 		MeasureOverhead: cfg.MeasureOverhead,
+		Observer:        cfg.Observer,
 	}, p)
 }
 
