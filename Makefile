@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-parallel race bench experiments report examples clean verify alloc
+.PHONY: all build vet test test-parallel race bench bench-runtime experiments report examples clean verify alloc
 
 all: build vet test
 
@@ -41,6 +41,14 @@ test-parallel:
 # Quick-scale benchmark pass over every table/figure harness.
 bench:
 	$(GO) test -bench=. -benchmem -run xxx .
+
+# Live-runtime serving benchmark: the load harness hammers the striped and
+# the serial (single-lock) runtime and writes BENCH_runtime.json with
+# throughput, latency percentiles, and the striped/serial speedup (≥2×
+# expected from GOMAXPROCS 4 up; ~1× on one core). Mirrors the CI
+# "bench-runtime" job, which uploads the JSON as an artifact.
+bench-runtime:
+	$(GO) run ./cmd/pulseload -duration 3s -out BENCH_runtime.json
 
 # Full experiment suite at paper-like scale (hours on a small machine).
 experiments:

@@ -36,10 +36,12 @@ package main
 
 import (
 	"context"
+	"errors"
 	"expvar"
 	"flag"
 	"fmt"
 	"log"
+	"math"
 	"math/rand"
 	"net/http"
 	"net/http/pprof"
@@ -65,6 +67,24 @@ func main() {
 	}
 }
 
+// tickInterval converts the -compress factor into the wall-clock interval
+// between simulated minutes. Non-positive and non-finite factors are
+// rejected up front: compress 0 used to overflow into a never-firing
+// ticker, so the daemon served traffic but silently stopped advancing
+// minutes. Factors in (0, 1) are valid slow motion (intervals longer than
+// a minute); absurdly large factors that round the interval down to zero
+// are rejected too.
+func tickInterval(compress float64) (time.Duration, error) {
+	if compress <= 0 || math.IsNaN(compress) || math.IsInf(compress, 0) {
+		return 0, fmt.Errorf("-compress must be a positive, finite factor (got %v): 1 = real time, 60 = one simulated minute per wall second, 0.5 = slow motion", compress)
+	}
+	iv := time.Duration(float64(time.Minute) / compress)
+	if iv <= 0 {
+		return 0, fmt.Errorf("-compress %v is too large: the minute tick interval rounds to zero", compress)
+	}
+	return iv, nil
+}
+
 func run() error {
 	addr := flag.String("addr", ":8080", "listen address")
 	compress := flag.Float64("compress", 60, "time compression (60 = one simulated minute per wall second)")
@@ -78,7 +98,13 @@ func run() error {
 	eventLog := flag.String("eventlog", "", "append decision events as JSON lines to this file")
 	attrib := flag.Bool("attribution", false, "run counterfactual cost attribution (shadow baselines, /attribution /timeseries /top)")
 	attribWindow := flag.Int("attribution-window", cluster.DefaultKeepAliveWindow, "fixed-baseline keep-alive window in minutes for attribution")
+	serial := flag.Bool("serial", false, "use the single-lock serial runtime instead of the lock-striped one (benchmark baseline)")
 	flag.Parse()
+
+	tickEvery, err := tickInterval(*compress)
+	if err != nil {
+		return err
+	}
 
 	cat := pulse.Catalog()
 	const nFunctions = 12
@@ -151,6 +177,7 @@ func run() error {
 		Policy:     p,
 		Clock:      runtime.WallClock{Compression: *compress},
 		Observer:   obs,
+		Serial:     *serial,
 	})
 	if err != nil {
 		return err
@@ -185,10 +212,11 @@ func run() error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	// Minute ticker, compressed.
-	tickEvery := time.Duration(float64(time.Minute) / *compress)
+	// Minute ticker, compressed. The ticker exits cleanly when the
+	// runtime is closed underneath it.
 	go func() {
-		if err := runtime.Ticker(ctx, rt, tickEvery); err != nil && err != context.Canceled {
+		err := runtime.Ticker(ctx, rt, tickEvery)
+		if err != nil && err != context.Canceled && !errors.Is(err, runtime.ErrClosed) {
 			log.Println("ticker:", err)
 		}
 	}()
@@ -198,17 +226,25 @@ func run() error {
 	}
 
 	srv := &http.Server{Addr: *addr, Handler: handler, ReadHeaderTimeout: 5 * time.Second}
+	drained := make(chan struct{})
 	go func() {
+		defer close(drained)
 		<-ctx.Done()
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
 		defer cancel()
 		_ = srv.Shutdown(shutdownCtx)
 	}()
-	log.Printf("pulsed: %d functions, policy %s, %s per simulated minute, listening on %s",
-		nFunctions, p.Name(), tickEvery, *addr)
+	log.Printf("pulsed: %d functions, policy %s, %s runtime, %s per simulated minute, listening on %s",
+		nFunctions, p.Name(), rt.Mode(), tickEvery, *addr)
 	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 		return err
 	}
+	// Shutdown ordering: ListenAndServe returns as soon as Shutdown is
+	// initiated, while in-flight /invoke requests may still be draining.
+	// Wait for the drain to finish before the deferred rt.Close() tears
+	// down the policy (any straggler past the timeout gets ErrClosed from
+	// the runtime's closed guard instead of hitting a closed policy).
+	<-drained
 	st := rt.Stats()
 	log.Printf("pulsed: served %d invocations (%d warm, %d cold), keep-alive $%.4f, accuracy %.2f%%",
 		st.Invocations, st.WarmStarts, st.ColdStarts, st.KeepAliveCostUSD, st.MeanAccuracyPct())
@@ -258,6 +294,9 @@ func demoTraffic(ctx context.Context, rt *runtime.Runtime, seed int64, tickEvery
 				}
 				for n := 0; n < series[fn][idx]; n++ {
 					if _, err := rt.Invoke(fn); err != nil {
+						if errors.Is(err, runtime.ErrClosed) {
+							return
+						}
 						log.Println("demo invoke:", err)
 					}
 				}

@@ -1,9 +1,11 @@
 package main
 
 import (
+	"math"
 	"os"
 	"strings"
 	"testing"
+	"time"
 
 	"github.com/pulse-serverless/pulse/internal/runtime"
 )
@@ -41,6 +43,46 @@ func TestAttributionFlagsRegistered(t *testing.T) {
 	for _, flagName := range []string{`"attribution"`, `"attribution-window"`} {
 		if !strings.Contains(string(src), flagName) {
 			t.Errorf("main.go does not register the %s flag", flagName)
+		}
+	}
+}
+
+// tickInterval guards the -compress flag: compress 0 used to overflow into
+// a never-firing ticker, so the daemon served traffic but never advanced
+// simulated minutes — a silent hang of the whole control loop.
+func TestTickIntervalValidation(t *testing.T) {
+	for _, bad := range []float64{0, -1, -60, math.NaN(), math.Inf(1), math.Inf(-1), 1e30} {
+		if _, err := tickInterval(bad); err == nil {
+			t.Errorf("compress %v accepted", bad)
+		}
+	}
+	for compress, want := range map[float64]time.Duration{
+		1:    time.Minute,
+		60:   time.Second,
+		0.5:  2 * time.Minute, // slow motion is valid
+		1200: 50 * time.Millisecond,
+	} {
+		got, err := tickInterval(compress)
+		if err != nil {
+			t.Errorf("compress %v rejected: %v", compress, err)
+			continue
+		}
+		if got != want {
+			t.Errorf("compress %v: interval %v, want %v", compress, got, want)
+		}
+	}
+}
+
+// The serial-runtime escape hatch and the compress validation must stay
+// wired into the flag surface.
+func TestRuntimeFlagsRegistered(t *testing.T) {
+	src, err := os.ReadFile("main.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"serial"`, "tickInterval(*compress)"} {
+		if !strings.Contains(string(src), want) {
+			t.Errorf("main.go does not contain %s", want)
 		}
 	}
 }

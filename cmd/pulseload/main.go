@@ -1,0 +1,162 @@
+// Command pulseload is the live-runtime load benchmark: it builds an
+// in-process PULSE-managed runtime per locking mode (striped and the
+// single-lock serial baseline), hammers each with concurrent closed-loop
+// callers and a background minute stepper, and reports throughput and
+// Invoke latency percentiles.
+//
+//	pulseload -functions 12 -workers 8 -duration 3s -mix zipf -out BENCH_runtime.json
+//
+// The JSON output (see README "Load benchmark" for the field reference)
+// carries one LoadResult per mode plus the striped-vs-serial throughput
+// ratio — the number CI tracks as the serving-path perf trajectory. The
+// striped speedup needs real parallelism: expect ~1× at GOMAXPROCS 1 and
+// ≥2× from GOMAXPROCS 4 up.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	goruntime "runtime"
+	"strings"
+	"time"
+
+	pulse "github.com/pulse-serverless/pulse"
+	"github.com/pulse-serverless/pulse/internal/core"
+	"github.com/pulse-serverless/pulse/internal/policy"
+	"github.com/pulse-serverless/pulse/internal/runtime"
+)
+
+// benchFile is the BENCH_runtime.json schema.
+type benchFile struct {
+	Bench                  string               `json:"bench"`
+	Policy                 string               `json:"policy"`
+	GOMAXPROCS             int                  `json:"gomaxprocs"`
+	Results                []runtime.LoadResult `json:"results"`
+	SpeedupStripedVsSerial float64              `json:"speedup_striped_vs_serial,omitempty"`
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "pulseload:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	functions := flag.Int("functions", 12, "registered functions")
+	workers := flag.Int("workers", 0, "concurrent closed-loop callers (0 = 2×GOMAXPROCS)")
+	duration := flag.Duration("duration", 3*time.Second, "wall-clock run length per mode")
+	mix := flag.String("mix", runtime.MixZipf, "arrival mix: uniform, zipf, or hotspot")
+	policyName := flag.String("policy", "pulse", "keep-alive policy: pulse or fixed")
+	shards := flag.Int("shards", 0, "PULSE controller shards (0 = one per CPU)")
+	seed := flag.Int64("seed", 1, "worker RNG seed")
+	stepEvery := flag.Duration("step-every", 100*time.Millisecond, "minute-barrier cadence (0 disables stepping)")
+	modes := flag.String("modes", "striped,serial", "comma-separated runtime modes to benchmark")
+	out := flag.String("out", "BENCH_runtime.json", "output file ('-' for stdout only)")
+	flag.Parse()
+
+	if *functions <= 0 {
+		return fmt.Errorf("-functions must be positive (got %d)", *functions)
+	}
+	if *workers <= 0 {
+		*workers = 2 * goruntime.GOMAXPROCS(0)
+	}
+
+	cat := pulse.Catalog()
+	asg := pulse.UniformAssignment(cat, *functions)
+
+	file := benchFile{
+		Bench:      "runtime-serving",
+		Policy:     *policyName,
+		GOMAXPROCS: goruntime.GOMAXPROCS(0),
+	}
+	byMode := map[string]runtime.LoadResult{}
+	for _, mode := range strings.Split(*modes, ",") {
+		mode = strings.TrimSpace(mode)
+		var serial bool
+		switch mode {
+		case "striped":
+			serial = false
+		case "serial":
+			serial = true
+		case "":
+			continue
+		default:
+			return fmt.Errorf("unknown mode %q (want striped or serial)", mode)
+		}
+
+		// Each mode gets a fresh policy: runs must not share state.
+		var p pulse.Policy
+		var err error
+		switch *policyName {
+		case "pulse":
+			p, err = core.New(core.Config{Catalog: cat, Assignment: asg, Shards: *shards})
+		case "fixed":
+			p, err = policy.NewFixed(cat, asg, 0, policy.QualityHighest)
+		default:
+			return fmt.Errorf("unknown policy %q (want pulse or fixed)", *policyName)
+		}
+		if err != nil {
+			return err
+		}
+		rt, err := runtime.New(runtime.Config{
+			Catalog:    cat,
+			Assignment: asg,
+			Policy:     p,
+			Serial:     serial,
+		})
+		if err != nil {
+			return err
+		}
+		res, err := runtime.RunLoad(rt, runtime.LoadConfig{
+			Workers:   *workers,
+			Duration:  *duration,
+			Mix:       *mix,
+			Seed:      *seed,
+			StepEvery: *stepEvery,
+		})
+		closeErr := rt.Close()
+		if err != nil {
+			return err
+		}
+		if closeErr != nil {
+			return closeErr
+		}
+		if res.Errors > 0 {
+			return fmt.Errorf("mode %s: %d failed invocations", mode, res.Errors)
+		}
+		file.Results = append(file.Results, res)
+		byMode[mode] = res
+		fmt.Printf("%-8s %9.0f inv/s  (%d invocations, %d workers, %d fns, %d minutes, p50 %.1fµs p99 %.1fµs max %.1fµs)\n",
+			mode, res.Throughput, res.Invocations, res.Workers, res.Functions,
+			res.MinutesStepped, res.LatencyP50us, res.LatencyP99us, res.LatencyMaxus)
+	}
+	if len(file.Results) == 0 {
+		return fmt.Errorf("no modes selected")
+	}
+
+	if s, ok := byMode["striped"]; ok {
+		if b, ok := byMode["serial"]; ok && b.Throughput > 0 {
+			file.SpeedupStripedVsSerial = s.Throughput / b.Throughput
+			fmt.Printf("striped/serial speedup: %.2f× at GOMAXPROCS %d\n",
+				file.SpeedupStripedVsSerial, file.GOMAXPROCS)
+		}
+	}
+
+	enc, err := json.MarshalIndent(file, "", "  ")
+	if err != nil {
+		return err
+	}
+	enc = append(enc, '\n')
+	if *out == "-" {
+		_, err = os.Stdout.Write(enc)
+		return err
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", *out)
+	return nil
+}

@@ -2,6 +2,7 @@ package runtime
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
@@ -175,7 +176,13 @@ func (a *API) handleInvoke(w http.ResponseWriter, r *http.Request) {
 	}
 	inv, err := a.rt.Invoke(fn)
 	if err != nil {
-		writeJSON(w, http.StatusNotFound, apiError{err.Error()})
+		// A closed runtime is a lifecycle condition (the daemon is
+		// draining), not a bad request.
+		status := http.StatusNotFound
+		if errors.Is(err, ErrClosed) {
+			status = http.StatusServiceUnavailable
+		}
+		writeJSON(w, status, apiError{err.Error()})
 		return
 	}
 	writeJSON(w, http.StatusOK, inv)

@@ -24,10 +24,13 @@ type Clock interface {
 	Sleep(d time.Duration)
 }
 
-// WallClock is the real-time clock, optionally compressed: a Compression
-// of 60 makes one simulated minute pass per wall-clock second.
+// WallClock is the real-time clock, optionally scaled: a Compression of 60
+// makes one simulated minute pass per wall-clock second, and a Compression
+// of 0.5 runs simulated time at half speed (slow motion).
 type WallClock struct {
-	// Compression divides every Sleep; 0 or 1 means real time.
+	// Compression divides every Sleep: values > 1 compress time, values
+	// in (0, 1) stretch it (slow motion), and 0 or 1 mean real time.
+	// Negative values are treated as unset (real time).
 	Compression float64
 }
 
@@ -36,7 +39,7 @@ func (w WallClock) Now() time.Time { return time.Now() }
 
 // Sleep implements Clock.
 func (w WallClock) Sleep(d time.Duration) {
-	if w.Compression > 1 {
+	if w.Compression > 0 && w.Compression != 1 {
 		d = time.Duration(float64(d) / w.Compression)
 	}
 	time.Sleep(d)

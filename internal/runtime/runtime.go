@@ -1,9 +1,11 @@
 package runtime
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/pulse-serverless/pulse/internal/cluster"
@@ -11,12 +13,26 @@ import (
 	"github.com/pulse-serverless/pulse/internal/telemetry"
 )
 
+// ErrClosed is returned by Invoke and Step after Close: the runtime's
+// policy may own resources (the sharded controller's worker pool) that are
+// released on Close, so calling into it afterwards is a lifecycle error,
+// not a panic.
+var ErrClosed = errors.New("runtime: closed")
+
 // Config assembles a live runtime.
 type Config struct {
 	Catalog    *models.Catalog
 	Assignment models.Assignment // one registered function per entry
 	// Policy is the keep-alive controller (PULSE or any baseline). The
 	// runtime owns it after construction; it must not be shared.
+	//
+	// Concurrency contract: KeepAlive and RecordInvocations are only ever
+	// called under the runtime's exclusive minute barrier, one at a time.
+	// ColdVariant, however, is called from concurrent Invokes of
+	// different functions and must be safe for concurrent use against
+	// state that only KeepAlive/RecordInvocations mutate — true of every
+	// policy in this repo, whose ColdVariant reads construction-time or
+	// barrier-updated state only.
 	Policy cluster.Policy
 	// Clock defaults to an uncompressed WallClock.
 	Clock Clock
@@ -30,7 +46,21 @@ type Config struct {
 	// (per-function and per-variant) — attach a *telemetry.Telemetry to
 	// expose labeled metrics and the decision log over the HTTP API. nil
 	// disables instrumentation at zero cost on the invocation hot path.
+	//
+	// Delivery ordering: keep-alive and minute samples are emitted under
+	// the minute barrier and never interleave with each other; invocation
+	// samples are emitted outside every lock and may interleave freely
+	// (implementations must be concurrency-safe, see telemetry.Observer).
 	Observer telemetry.Observer
+	// Serial selects the single-global-lock reference implementation:
+	// every Invoke takes the exclusive minute barrier, as the runtime did
+	// before lock striping. The default (false) stripes per-function
+	// state so invocations of different functions never contend. The two
+	// modes are behaviourally identical — proven by the differential
+	// harness (differential_test.go) — and differ only in throughput;
+	// Serial exists as the differential baseline and the benchmark
+	// comparison point (cmd/pulseload).
+	Serial bool
 }
 
 // Invocation is the outcome of one function invocation.
@@ -63,20 +93,53 @@ func (s Stats) MeanAccuracyPct() float64 {
 	return s.AccuracySumPct / float64(s.Invocations)
 }
 
+// fnState is one function's serving state and counters, guarded by its own
+// lock so invocations of different functions never contend. The struct is
+// padded to a cache line to keep neighbouring functions' locks off each
+// other's lines under heavy cross-core traffic.
+type fnState struct {
+	mu          sync.Mutex
+	alive       int // variant kept alive this minute, NoVariant if none
+	coldPod     int // variant cold-started earlier this minute, NoVariant if none
+	count       int // invocations observed this minute
+	invocations int
+	warm        int
+	cold        int
+	serviceSec  float64
+	accuracySum float64
+	_           [48]byte
+}
+
 // Runtime executes invocations against policy-managed warm containers and
 // advances the policy once per simulated minute.
+//
+// Concurrency: the hot path is lock-striped. A minute barrier (RWMutex)
+// coordinates invocations with minute rollover — Invoke holds it shared,
+// Step/Close hold it exclusively — and each function's state sits behind
+// its own lock, so concurrent invocations of different functions proceed
+// in parallel and only Step serializes the world. Global totals are
+// derived by summing the per-function accumulators in function order,
+// which keeps float sums bit-identical between the serial and striped
+// modes. Stats takes the barrier exclusively to return a consistent
+// cross-function snapshot.
 type Runtime struct {
-	cfg   Config
-	clock Clock
-	obs   telemetry.Observer // nil when uninstrumented
+	cfg    Config
+	clock  Clock
+	obs    telemetry.Observer // nil when uninstrumented
+	serial bool
 
-	mu      sync.Mutex
-	minute  int
-	alive   []int // variant kept alive this minute per function, NoVariant if none
-	coldPod []int // variant of a container cold-started earlier this minute, NoVariant if none
-	counts  []int // invocations observed this minute
-	stats   Stats
-	started bool
+	// barrier is the minute barrier: shared for Invoke (and other reads
+	// of minute-scoped state), exclusive for Step, Close, Stats, and the
+	// lazy start. minute, closed, kaMMB, and kaCostUSD are written only
+	// under the exclusive barrier and may be read under the shared one.
+	barrier   sync.RWMutex
+	started   atomic.Bool
+	closed    bool
+	minute    int
+	fns       []fnState
+	countsBuf []int // reused Step scratch, reported to the policy
+	kaMMB     float64
+	kaCostUSD float64
 }
 
 // New builds a runtime. The policy's decision vector length must match the
@@ -107,37 +170,78 @@ func New(cfg Config) (*Runtime, error) {
 		cfg.Cost = cluster.DefaultCostModel()
 	}
 	r := &Runtime{
-		cfg:     cfg,
-		clock:   cfg.Clock,
-		obs:     cfg.Observer,
-		alive:   make([]int, len(cfg.Assignment)),
-		coldPod: make([]int, len(cfg.Assignment)),
-		counts:  make([]int, len(cfg.Assignment)),
+		cfg:       cfg,
+		clock:     cfg.Clock,
+		obs:       cfg.Observer,
+		serial:    cfg.Serial,
+		fns:       make([]fnState, len(cfg.Assignment)),
+		countsBuf: make([]int, len(cfg.Assignment)),
 	}
-	for i := range r.alive {
-		r.alive[i] = cluster.NoVariant
-		r.coldPod[i] = cluster.NoVariant
+	for i := range r.fns {
+		r.fns[i].alive = cluster.NoVariant
+		r.fns[i].coldPod = cluster.NoVariant
 	}
 	return r, nil
 }
 
-// start pulls the first minute's keep-alive decisions. Lazily invoked so
-// construction never calls into the policy.
+// Mode names the locking architecture: "striped" or "serial".
+func (r *Runtime) Mode() string {
+	if r.serial {
+		return "serial"
+	}
+	return "striped"
+}
+
+// lockShared acquires the minute barrier for an invocation: shared in
+// striped mode, exclusive in the serial reference mode.
+func (r *Runtime) lockShared() {
+	if r.serial {
+		r.barrier.Lock()
+	} else {
+		r.barrier.RLock()
+	}
+}
+
+func (r *Runtime) unlockShared() {
+	if r.serial {
+		r.barrier.Unlock()
+	} else {
+		r.barrier.RUnlock()
+	}
+}
+
+// ensureStarted pulls the first minute's keep-alive decisions exactly once.
+// Lazily invoked so construction never calls into the policy; a closed
+// runtime is never started (the caller will observe closed instead).
+func (r *Runtime) ensureStarted() {
+	if r.started.Load() {
+		return
+	}
+	r.barrier.Lock()
+	if !r.closed {
+		r.startLocked()
+	}
+	r.barrier.Unlock()
+}
+
+// startLocked requires the exclusive barrier.
 func (r *Runtime) startLocked() {
-	if r.started {
+	if r.started.Load() {
 		return
 	}
 	r.applyDecisionsLocked(r.cfg.Policy.KeepAlive(r.minute))
-	r.started = true
+	r.started.Store(true)
 }
 
+// applyDecisionsLocked requires the exclusive barrier: it writes every
+// function's alive variant and the minute's keep-alive cost.
 func (r *Runtime) applyDecisionsLocked(decisions []int) {
-	if len(decisions) != len(r.alive) {
-		panic(fmt.Sprintf("runtime: policy returned %d decisions for %d functions", len(decisions), len(r.alive)))
+	if len(decisions) != len(r.fns) {
+		panic(fmt.Sprintf("runtime: policy returned %d decisions for %d functions", len(decisions), len(r.fns)))
 	}
-	copy(r.alive, decisions)
 	var kam float64
-	for fn, vi := range r.alive {
+	for fn, vi := range decisions {
+		r.fns[fn].alive = vi
 		if vi == cluster.NoVariant {
 			if r.obs != nil {
 				r.obs.ObserveKeepAlive(telemetry.KeepAliveSample{Minute: r.minute, Function: fn, Variant: cluster.NoVariant})
@@ -161,20 +265,26 @@ func (r *Runtime) applyDecisionsLocked(decisions []int) {
 		}
 	}
 	cost := r.cfg.Cost.KeepAliveUSDPerMinute(kam)
-	r.stats.CurrentKaMMB = kam
-	r.stats.KeepAliveCostUSD += cost
+	r.kaMMB = kam
+	r.kaCostUSD += cost
 	if r.obs != nil {
 		r.obs.ObserveMinute(telemetry.MinuteSample{Minute: r.minute, KeepAliveMB: kam, CostUSD: cost})
 	}
 }
 
-// Close releases resources owned by the runtime's policy: the runtime
-// owns its Policy, so if the policy implements io.Closer (the sharded
-// PULSE controller does — its worker goroutines stop here), it is closed.
-// The runtime must not serve invocations or Step afterwards.
+// Close marks the runtime closed and releases resources owned by its
+// policy: the runtime owns its Policy, so if the policy implements
+// io.Closer (the sharded PULSE controller does — its worker goroutines
+// stop here), it is closed. Close waits for in-flight invocations (they
+// hold the barrier shared) and is idempotent. Afterwards Invoke and Step
+// return ErrClosed; Stats, Minute, and AliveVariant remain readable.
 func (r *Runtime) Close() error {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.barrier.Lock()
+	defer r.barrier.Unlock()
+	if r.closed {
+		return nil
+	}
+	r.closed = true
 	if c, ok := r.cfg.Policy.(io.Closer); ok {
 		return c.Close()
 	}
@@ -196,29 +306,40 @@ func (r *Runtime) FamilyOf(fn int) (models.Family, error) {
 // Warm invocations run on the kept-alive variant; cold invocations create a
 // container of the policy's cold variant, pay its cold-start latency, and
 // leave it warm for the remainder of the minute.
+//
+// Invoke is safe for arbitrary concurrency: invocations of different
+// functions only share the minute barrier (held in read mode) and never
+// block each other; invocations of the same function serialize on that
+// function's lock.
 func (r *Runtime) Invoke(fn int) (Invocation, error) {
-	r.mu.Lock()
-	if fn < 0 || fn >= len(r.alive) {
-		r.mu.Unlock()
+	if fn < 0 || fn >= len(r.fns) {
 		return Invocation{}, fmt.Errorf("runtime: unknown function %d", fn)
 	}
-	r.startLocked()
+	r.ensureStarted()
+	r.lockShared()
+	if r.closed {
+		r.unlockShared()
+		return Invocation{}, ErrClosed
+	}
 	fam := r.cfg.Catalog.Families[r.cfg.Assignment[fn]]
 	inv := Invocation{Function: fn, Minute: r.minute}
-	vi := r.alive[fn]
+	st := &r.fns[fn]
+	st.mu.Lock()
+	vi := st.alive
 	if vi == cluster.NoVariant {
-		vi = r.coldPod[fn]
+		vi = st.coldPod
 	}
 	if vi != cluster.NoVariant {
 		v := fam.Variants[vi]
 		inv.Variant = v.Name
 		inv.AccuracyPct = v.AccuracyPct
 		inv.ServiceSec = v.ExecSec
-		r.stats.WarmStarts++
+		st.warm++
 	} else {
-		cvi := r.cfg.Policy.ColdVariant(r.minute, fn)
+		cvi := r.cfg.Policy.ColdVariant(inv.Minute, fn)
 		if cvi < 0 || cvi >= fam.NumVariants() {
-			r.mu.Unlock()
+			st.mu.Unlock()
+			r.unlockShared()
 			return Invocation{}, fmt.Errorf("runtime: policy chose invalid cold variant %d for function %d", cvi, fn)
 		}
 		v := fam.Variants[cvi]
@@ -226,17 +347,18 @@ func (r *Runtime) Invoke(fn int) (Invocation, error) {
 		inv.AccuracyPct = v.AccuracyPct
 		inv.ServiceSec = v.ColdServiceSec()
 		inv.Cold = true
-		r.coldPod[fn] = cvi
-		r.stats.ColdStarts++
+		st.coldPod = cvi
+		st.cold++
 	}
-	r.counts[fn]++
-	r.stats.Invocations++
-	r.stats.TotalServiceSec += inv.ServiceSec
-	r.stats.AccuracySumPct += inv.AccuracyPct
+	st.count++
+	st.invocations++
+	st.serviceSec += inv.ServiceSec
+	st.accuracySum += inv.AccuracyPct
+	st.mu.Unlock()
 	scale := r.cfg.ExecScale
-	r.mu.Unlock()
+	r.unlockShared()
 
-	// Instrument outside the lock: the observer serializes internally and
+	// Instrument outside the locks: the observer serializes internally and
 	// must not extend the runtime's critical section.
 	if r.obs != nil {
 		r.obs.ObserveInvocation(telemetry.InvocationSample{
@@ -250,8 +372,8 @@ func (r *Runtime) Invoke(fn int) (Invocation, error) {
 		})
 	}
 
-	// Model the execution latency outside the lock so concurrent
-	// invocations of other functions proceed.
+	// Model the execution latency outside the locks so concurrent
+	// invocations proceed.
 	if scale > 0 {
 		r.clock.Sleep(time.Duration(inv.ServiceSec * scale * float64(time.Second)))
 	}
@@ -261,42 +383,75 @@ func (r *Runtime) Invoke(fn int) (Invocation, error) {
 // Step closes the current minute — reporting its invocation counts to the
 // policy — and opens the next one with fresh keep-alive decisions. A
 // driver (ticker goroutine or test) calls it once per simulated minute.
-func (r *Runtime) Step() {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+//
+// Step is the minute barrier: it waits for every in-flight invocation and
+// excludes new ones for its duration, so each invocation lands entirely in
+// one minute and the policy sees a consistent count vector. It returns
+// ErrClosed after Close.
+func (r *Runtime) Step() error {
+	r.barrier.Lock()
+	defer r.barrier.Unlock()
+	if r.closed {
+		return ErrClosed
+	}
 	r.startLocked()
-	r.cfg.Policy.RecordInvocations(r.minute, r.counts)
-	for i := range r.counts {
-		r.counts[i] = 0
-		r.coldPod[i] = cluster.NoVariant
+	// The exclusive barrier excludes all invocations (they hold it
+	// shared), so per-function state is ours without taking the stripes.
+	for i := range r.fns {
+		r.countsBuf[i] = r.fns[i].count
+	}
+	r.cfg.Policy.RecordInvocations(r.minute, r.countsBuf)
+	for i := range r.fns {
+		r.fns[i].count = 0
+		r.fns[i].coldPod = cluster.NoVariant
 	}
 	r.minute++
-	r.stats.Minute = r.minute
 	r.applyDecisionsLocked(r.cfg.Policy.KeepAlive(r.minute))
+	return nil
 }
 
 // Minute returns the current simulated minute.
 func (r *Runtime) Minute() int {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.barrier.RLock()
+	defer r.barrier.RUnlock()
 	return r.minute
 }
 
-// Stats returns a snapshot of the runtime counters.
+// Stats returns a consistent snapshot of the runtime counters: it holds
+// the minute barrier exclusively while summing the per-function
+// accumulators in function order (so float totals are identical in serial
+// and striped modes). It remains available after Close.
 func (r *Runtime) Stats() Stats {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.stats
+	r.barrier.Lock()
+	defer r.barrier.Unlock()
+	s := Stats{
+		Minute:           r.minute,
+		KeepAliveCostUSD: r.kaCostUSD,
+		CurrentKaMMB:     r.kaMMB,
+	}
+	for i := range r.fns {
+		st := &r.fns[i]
+		s.Invocations += st.invocations
+		s.WarmStarts += st.warm
+		s.ColdStarts += st.cold
+		s.TotalServiceSec += st.serviceSec
+		s.AccuracySumPct += st.accuracySum
+	}
+	return s
 }
 
 // AliveVariant reports which variant of fn is currently kept alive
-// (cluster.NoVariant if none).
+// (cluster.NoVariant if none). It remains available after Close.
 func (r *Runtime) AliveVariant(fn int) (int, error) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if fn < 0 || fn >= len(r.alive) {
+	if fn < 0 || fn >= len(r.fns) {
 		return 0, fmt.Errorf("runtime: unknown function %d", fn)
 	}
-	r.startLocked()
-	return r.alive[fn], nil
+	r.ensureStarted()
+	r.lockShared()
+	defer r.unlockShared()
+	st := &r.fns[fn]
+	st.mu.Lock()
+	v := st.alive
+	st.mu.Unlock()
+	return v, nil
 }

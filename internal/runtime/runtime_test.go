@@ -2,8 +2,10 @@ package runtime
 
 import (
 	"context"
+	"errors"
 	"math"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -11,6 +13,7 @@ import (
 	"github.com/pulse-serverless/pulse/internal/core"
 	"github.com/pulse-serverless/pulse/internal/models"
 	"github.com/pulse-serverless/pulse/internal/policy"
+	"github.com/pulse-serverless/pulse/internal/telemetry"
 	"github.com/pulse-serverless/pulse/internal/trace"
 )
 
@@ -407,5 +410,252 @@ func TestRuntimeCloseShardedPolicy(t *testing.T) {
 	fixed := newFixedRuntime(t, cat, asg)
 	if err := fixed.Close(); err != nil {
 		t.Fatalf("Close with non-closer policy: %v", err)
+	}
+}
+
+// TestInvokeAfterClose: Close must flip the runtime into a terminal state
+// where Invoke and Step return ErrClosed instead of calling into the
+// closed policy (the sharded controller's worker pool is gone), while the
+// read-only surface stays available for final reporting.
+func TestInvokeAfterClose(t *testing.T) {
+	cat, asg := testSetup(t)
+	ctrl, err := core.New(core.Config{Catalog: cat, Assignment: asg, Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := New(Config{Catalog: cat, Assignment: asg, Policy: ctrl, Clock: NewManualClock(time.Unix(0, 0))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Invoke(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Invoke(0); !errors.Is(err, ErrClosed) {
+		t.Errorf("Invoke after Close = %v, want ErrClosed", err)
+	}
+	if err := r.Step(); !errors.Is(err, ErrClosed) {
+		t.Errorf("Step after Close = %v, want ErrClosed", err)
+	}
+	// The read-only surface survives for final reporting.
+	if st := r.Stats(); st.Invocations != 1 {
+		t.Errorf("Stats after Close = %+v", st)
+	}
+	if r.Minute() != 1 {
+		t.Errorf("Minute after Close = %d", r.Minute())
+	}
+	if _, err := r.AliveVariant(0); err != nil {
+		t.Errorf("AliveVariant after Close: %v", err)
+	}
+	if err := r.Close(); err != nil {
+		t.Errorf("second Close: %v", err)
+	}
+}
+
+// TestCloseNeverStartedRuntime: closing before any Invoke must not start
+// the policy, and a later Invoke must not either.
+func TestCloseNeverStartedRuntime(t *testing.T) {
+	cat, asg := testSetup(t)
+	rec := &telemetry.Recorder{}
+	p, err := policy.NewFixed(cat, asg, 10, policy.QualityHighest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := New(Config{Catalog: cat, Assignment: asg, Policy: p, Clock: NewManualClock(time.Unix(0, 0)), Observer: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Invoke(0); !errors.Is(err, ErrClosed) {
+		t.Errorf("Invoke after Close = %v, want ErrClosed", err)
+	}
+	if len(rec.KeepAlives) != 0 || len(rec.Minutes) != 0 {
+		t.Errorf("closed runtime started its policy: %d keep-alive, %d minute samples",
+			len(rec.KeepAlives), len(rec.Minutes))
+	}
+}
+
+// TestInvokeDuringShutdown races invokers against Close (run with -race):
+// every invocation must either complete normally or fail with ErrClosed —
+// never panic, deadlock, or reach the closed policy — and the counters
+// must account for exactly the successes.
+func TestInvokeDuringShutdown(t *testing.T) {
+	for _, serial := range []bool{false, true} {
+		name := "striped"
+		if serial {
+			name = "serial"
+		}
+		t.Run(name, func(t *testing.T) {
+			cat, asg := testSetup(t)
+			ctrl, err := core.New(core.Config{Catalog: cat, Assignment: asg, Shards: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			r, err := New(Config{Catalog: cat, Assignment: asg, Policy: ctrl, Clock: NewManualClock(time.Unix(0, 0)), Serial: serial})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var successes atomic.Int64
+			var wg sync.WaitGroup
+			for fn := 0; fn < len(asg); fn++ {
+				wg.Add(1)
+				go func(fn int) {
+					defer wg.Done()
+					for {
+						_, err := r.Invoke(fn)
+						if err == nil {
+							successes.Add(1)
+							continue
+						}
+						if !errors.Is(err, ErrClosed) {
+							t.Errorf("Invoke during shutdown: %v", err)
+						}
+						return
+					}
+				}(fn)
+			}
+			go func() {
+				time.Sleep(2 * time.Millisecond)
+				if err := r.Close(); err != nil {
+					t.Errorf("Close: %v", err)
+				}
+			}()
+			wg.Wait()
+			if got := int64(r.Stats().Invocations); got != successes.Load() {
+				t.Errorf("stats count %d successes, invokers saw %d", got, successes.Load())
+			}
+		})
+	}
+}
+
+// TestConcurrentInvokeStepStats hammers Invoke, Step, and Stats from
+// concurrent goroutines in both locking modes (run with -race): counters
+// must end exact, and every Stats snapshot must be internally consistent
+// (warm + cold = invocations).
+func TestConcurrentInvokeStepStats(t *testing.T) {
+	for _, serial := range []bool{false, true} {
+		name := "striped"
+		if serial {
+			name = "serial"
+		}
+		t.Run(name, func(t *testing.T) {
+			cat, asg := testSetup(t)
+			p, err := policy.NewFixed(cat, asg, 10, policy.QualityHighest)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r, err := New(Config{Catalog: cat, Assignment: asg, Policy: p, Clock: NewManualClock(time.Unix(0, 0)), Serial: serial})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer r.Close()
+			const perWorker = 200
+			workers := 2 * len(asg) // two goroutines per function: stripes contend too
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					fn := w % len(asg)
+					for i := 0; i < perWorker; i++ {
+						if _, err := r.Invoke(fn); err != nil {
+							t.Error(err)
+							return
+						}
+					}
+				}(w)
+			}
+			stop := make(chan struct{})
+			var aux sync.WaitGroup
+			aux.Add(2)
+			go func() { // stepper
+				defer aux.Done()
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+						if err := r.Step(); err != nil {
+							t.Error(err)
+							return
+						}
+					}
+				}
+			}()
+			go func() { // stats reader
+				defer aux.Done()
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+						s := r.Stats()
+						if s.WarmStarts+s.ColdStarts != s.Invocations {
+							t.Errorf("inconsistent snapshot: %+v", s)
+							return
+						}
+					}
+				}
+			}()
+			wg.Wait()
+			close(stop)
+			aux.Wait()
+			if got := r.Stats().Invocations; got != perWorker*workers {
+				t.Errorf("invocations = %d, want %d", got, perWorker*workers)
+			}
+		})
+	}
+}
+
+// TestReplayTraceParallelValidation mirrors ReplayTrace's precondition
+// checks on the parallel driver.
+func TestReplayTraceParallelValidation(t *testing.T) {
+	cat, asg := testSetup(t)
+	r := newFixedRuntime(t, cat, asg)
+	ctx := context.Background()
+	if err := ReplayTraceParallel(ctx, nil, &trace.Trace{}); err == nil {
+		t.Error("nil runtime accepted")
+	}
+	if err := ReplayTraceParallel(ctx, r, nil); err == nil {
+		t.Error("nil trace accepted")
+	}
+	bad := &trace.Trace{Horizon: 5, Functions: []trace.Function{{ID: 0, Counts: make([]int, 5)}}}
+	if err := ReplayTraceParallel(ctx, r, bad); err == nil {
+		t.Error("function-count mismatch accepted")
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ok := &trace.Trace{Horizon: 2, Functions: []trace.Function{
+		{ID: 0, Counts: []int{1, 0}}, {ID: 1, Counts: []int{0, 0}}, {ID: 2, Counts: []int{0, 0}},
+	}}
+	if err := ReplayTraceParallel(ctx, r, ok); !errors.Is(err, ErrClosed) {
+		t.Errorf("replay against closed runtime err = %v, want ErrClosed", err)
+	}
+}
+
+// TestWallClockSlowMotion: Compression in (0, 1) stretches simulated time
+// rather than silently running in real time, and negative values fall back
+// to real time as documented.
+func TestWallClockSlowMotion(t *testing.T) {
+	w := WallClock{Compression: 0.25}
+	start := time.Now()
+	w.Sleep(2 * time.Millisecond) // stretched to 8ms
+	if elapsed := time.Since(start); elapsed < 6*time.Millisecond {
+		t.Errorf("slow-motion sleep returned after %v, want ≥ ~8ms", elapsed)
+	}
+
+	w = WallClock{Compression: -5} // treated as unset: real time
+	start = time.Now()
+	w.Sleep(time.Millisecond)
+	if elapsed := time.Since(start); elapsed > 500*time.Millisecond {
+		t.Errorf("negative compression slept %v", elapsed)
 	}
 }

@@ -75,7 +75,14 @@ func (d DowngradeSample) Uv() float64 { return d.Ai + d.Pr + d.Ip }
 
 // Observer receives instrumentation events from the core optimizers, the
 // cluster engine, and the live runtime. Implementations must be
-// concurrency-safe and cheap: samples arrive on invocation hot paths.
+// concurrency-safe and cheap: samples arrive on invocation hot paths, and
+// the lock-striped live runtime delivers them from many goroutines at
+// once. Delivery ordering from that runtime: keep-alive and minute
+// samples are emitted under its minute barrier, so their order is
+// deterministic and identical across locking modes; invocation samples
+// are emitted outside all runtime locks and may interleave across
+// functions (each function's own samples remain in invocation order, and
+// a stable sort by (Minute, Function) reconstructs the serial stream).
 //
 // Producers treat observers as nil-safe configuration — a nil Observer
 // field disables instrumentation entirely, and the Nop implementation
