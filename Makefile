@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-parallel race bench bench-runtime experiments report examples clean verify alloc
+.PHONY: all build vet test test-parallel race bench bench-runtime experiments report examples clean verify alloc lint
 
 all: build vet test
 
@@ -28,6 +28,12 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Staticcheck, pinned so local runs and the CI lint job agree on findings.
+# `go run` fetches the tool on first use (needs network once; cached after).
+STATICCHECK_VERSION ?= 2023.1.7
+lint:
+	$(GO) run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) ./...
 
 # Sharded-controller equivalence proof: the differential harness and every
 # shard test under the race detector, plus short fuzz smoke runs over the
@@ -64,6 +70,7 @@ examples:
 	$(GO) run ./examples/integration
 	$(GO) run ./examples/tracereplay
 	$(GO) run ./examples/checkpoint
+	$(GO) run ./examples/churn
 
 clean:
 	$(GO) clean ./...

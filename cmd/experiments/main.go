@@ -77,6 +77,7 @@ func run() error {
 		"capacity":    wrap(experiments.CapacityAnalysis),
 		"windows":     wrap(experiments.ExtensionWindowSweep),
 		"tails":       wrap(experiments.ExtensionTailLatency),
+		"churn":       wrap(experiments.ExtensionChurn),
 		"ablations": func(o experiments.Options) error {
 			for _, f := range []func(experiments.Options) ([]experiments.SweepPoint, error){
 				experiments.AblationHistoryBlend,

@@ -11,6 +11,8 @@
 //	POST /invoke?fn=N      run one invocation, returns the Invocation JSON
 //	GET  /stats            runtime counters
 //	GET  /functions        registered functions, their models and warm state
+//	POST /functions        register a function online (JSON {"name","family"}), returns its slot
+//	DELETE /functions/{name}  deregister the named function; its slot is tombstoned, later invokes return 410
 //	GET  /metrics          Prometheus text exposition (labeled series when instrumented)
 //	GET  /events           decision event log (requires telemetry)
 //	GET  /decisions        Algorithm 1/2 audit: downgrades with Uv = Ai+Pr+Ip, peak episodes
@@ -85,6 +87,26 @@ func tickInterval(compress float64) (time.Duration, error) {
 	return iv, nil
 }
 
+// loadOrColdController restores the PULSE controller from the metadata
+// store, or builds a fresh one when no usable snapshot exists. Only a
+// missing snapshot is silent; a corrupted, truncated, or
+// schema-incompatible snapshot must not keep the daemon down, so it is
+// logged and the controller relearns from scratch. The bad file stays on
+// disk for inspection until the next successful save replaces it.
+func loadOrColdController(store *metastore.Store, name, dir string, cfg core.Config) (*core.Pulse, error) {
+	controller, err := store.LoadController(name, cfg)
+	switch {
+	case err == nil:
+		log.Printf("pulsed: restored PULSE state from %s (resume minute %d)", dir, controller.ResumeMinute())
+		return controller, nil
+	case os.IsNotExist(err):
+		return core.New(cfg)
+	default:
+		log.Printf("pulsed: cannot restore state from %s (%v); starting cold", dir, err)
+		return core.New(cfg)
+	}
+}
+
 func run() error {
 	addr := flag.String("addr", ":8080", "listen address")
 	compress := flag.Float64("compress", 60, "time compression (60 = one simulated minute per wall second)")
@@ -151,13 +173,7 @@ func run() error {
 			if store, err = metastore.Open(*stateDir); err != nil {
 				return err
 			}
-			controller, err = store.LoadController(snapshotName, cfg)
-			switch {
-			case err == nil:
-				log.Printf("pulsed: restored PULSE state from %s (resume minute %d)", *stateDir, controller.ResumeMinute())
-			case os.IsNotExist(err):
-				controller, err = core.New(cfg)
-			}
+			controller, err = loadOrColdController(store, snapshotName, *stateDir, cfg)
 		} else {
 			controller, err = core.New(cfg)
 		}

@@ -3,10 +3,14 @@ package main
 import (
 	"math"
 	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
 
+	"github.com/pulse-serverless/pulse/internal/core"
+	"github.com/pulse-serverless/pulse/internal/metastore"
+	"github.com/pulse-serverless/pulse/internal/models"
 	"github.com/pulse-serverless/pulse/internal/runtime"
 )
 
@@ -84,5 +88,74 @@ func TestRuntimeFlagsRegistered(t *testing.T) {
 		if !strings.Contains(string(src), want) {
 			t.Errorf("main.go does not contain %s", want)
 		}
+	}
+}
+
+// The daemon must survive any unusable snapshot — corrupted, truncated, or
+// from another schema generation — by logging and starting cold, never by
+// refusing to start. Only genuine I/O setup failures propagate.
+func TestLoadOrColdController(t *testing.T) {
+	dir := t.TempDir()
+	store, err := metastore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.Config{Catalog: models.PaperCatalog(), Assignment: models.Assignment{0, 1}}
+
+	// No snapshot at all: silent cold start.
+	c, err := loadOrColdController(store, "pulsed", dir, cfg)
+	if err != nil || c.ResumeMinute() != 0 {
+		t.Fatalf("missing snapshot: controller %v, err %v", c, err)
+	}
+
+	// A real snapshot restores.
+	warm, err := core.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := []int{1, 0}
+	for m := 0; m < 10; m++ {
+		warm.KeepAlive(m)
+		warm.RecordInvocations(m, counts)
+	}
+	if err := store.SaveController("pulsed", warm); err != nil {
+		t.Fatal(err)
+	}
+	c, err = loadOrColdController(store, "pulsed", dir, cfg)
+	if err != nil || c.ResumeMinute() != 10 {
+		t.Fatalf("valid snapshot: resume minute %d, err %v; want 10", c.ResumeMinute(), err)
+	}
+
+	// Truncate the snapshot mid-file: the daemon logs and starts cold.
+	path := filepath.Join(dir, "pulsed.snapshot.json")
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, blob[:len(blob)/3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c, err = loadOrColdController(store, "pulsed", dir, cfg)
+	if err != nil {
+		t.Fatalf("truncated snapshot killed startup: %v", err)
+	}
+	if c.ResumeMinute() != 0 {
+		t.Errorf("truncated snapshot resumed at minute %d, want cold start", c.ResumeMinute())
+	}
+
+	// Envelope from another schema generation: same cold-start path.
+	doctored := strings.Replace(string(blob), `{"version":2,`, `{"version":99,`, 1)
+	if doctored == string(blob) {
+		t.Fatal("could not doctor envelope version")
+	}
+	if err := os.WriteFile(path, []byte(doctored), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c, err = loadOrColdController(store, "pulsed", dir, cfg)
+	if err != nil {
+		t.Fatalf("version-mismatched snapshot killed startup: %v", err)
+	}
+	if c.ResumeMinute() != 0 {
+		t.Errorf("version-mismatched snapshot resumed at minute %d, want cold start", c.ResumeMinute())
 	}
 }

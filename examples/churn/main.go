@@ -1,0 +1,109 @@
+// Churn: simulate PULSE on a workload whose function population changes
+// while the replay is running — functions register mid-trace (starting with
+// cold histories) and deregister before the horizon (tombstoning their
+// slots). Both PULSE and the fixed baseline are constructed from the
+// minute-0 population only; every later arrival reaches them through the
+// online lifecycle API, the same path pulsed serves at
+// POST /functions and DELETE /functions/{name}.
+//
+//	go run ./examples/churn
+package main
+
+import (
+	"fmt"
+	"log"
+
+	pulse "github.com/pulse-serverless/pulse"
+	"github.com/pulse-serverless/pulse/internal/cluster"
+	"github.com/pulse-serverless/pulse/internal/core"
+	"github.com/pulse-serverless/pulse/internal/policy"
+	"github.com/pulse-serverless/pulse/internal/telemetry"
+)
+
+// lifecycleLog prints the register/deregister event stream the engine
+// emits. It implements the optional telemetry.LifecycleObserver extension;
+// embedding Nop supplies the rest of the Observer surface.
+type lifecycleLog struct {
+	telemetry.Nop
+	shown, total int
+}
+
+const maxShown = 12
+
+func (l *lifecycleLog) ObserveRegister(s telemetry.RegisterSample) {
+	l.total++
+	if l.shown < maxShown {
+		l.shown++
+		fmt.Printf("  minute %5d  + register   %-8s (slot %d, family %d)\n", s.Minute, s.Name, s.Function, s.Family)
+	}
+}
+
+func (l *lifecycleLog) ObserveDeregister(s telemetry.DeregisterSample) {
+	l.total++
+	if l.shown < maxShown {
+		l.shown++
+		fmt.Printf("  minute %5d  - deregister %-8s (slot %d tombstoned)\n", s.Minute, s.Name, s.Function)
+	}
+}
+
+func main() {
+	// 1. A two-day workload where most functions have finite lifetimes:
+	//    Churn is the probability that a function (other than the first)
+	//    arrives after minute 0 and/or departs before the horizon.
+	tr, err := pulse.GenerateTrace(pulse.TraceConfig{Seed: 21, Horizon: 2 * 24 * 60, Churn: 0.6})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cat := pulse.Catalog()
+	asg := pulse.UniformAssignment(cat, len(tr.Functions))
+
+	// 2. Policies know only the minute-0 population. InitialPopulation
+	//    extracts it; the trace's later arrivals will be introduced online.
+	names, initAsg, err := cluster.InitialPopulation(tr, asg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trace: %d functions over %d minutes, %d live at minute 0\n\n",
+		len(tr.Functions), tr.Horizon, len(names))
+
+	ow, err := policy.NewFixedNamed(cat, initAsg, pulse.DefaultKeepAliveWindow, policy.QualityHighest, names)
+	if err != nil {
+		log.Fatal(err)
+	}
+	p, err := core.New(core.Config{Catalog: cat, Assignment: initAsg, Names: names})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Replay. pulse.Simulate detects the churn trace and drives the
+	//    lifecycle-aware engine path; the observer sees each event.
+	events := &lifecycleLog{}
+	fmt.Println("lifecycle events (PULSE run):")
+	rPulse, err := pulse.Simulate(pulse.SimulationConfig{
+		Trace: tr, Catalog: cat, Assignment: asg, Observer: events,
+	}, p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if events.total > events.shown {
+		fmt.Printf("  … %d more lifecycle events\n", events.total-events.shown)
+	}
+	rOW, err := pulse.Simulate(pulse.SimulationConfig{
+		Trace: tr, Catalog: cat, Assignment: asg,
+	}, ow)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 4. The paper's headline metrics still hold with the population in
+	//    flux: arrivals start cold by construction, tombstoned slots cost
+	//    nothing, and the mixed-quality win carries through.
+	fmt.Printf("\n%-22s %14s %16s %14s %11s\n", "policy", "service time", "keep-alive cost", "accuracy", "warm rate")
+	for _, r := range []*pulse.SimulationResult{rOW, rPulse} {
+		fmt.Printf("%-22s %12.0f s %15.4f $ %12.2f %% %10.1f %%\n",
+			r.Policy, r.TotalServiceSec, r.KeepAliveCostUSD, r.MeanAccuracyPct(), 100*r.WarmStartRate())
+	}
+	fmt.Printf("\nPULSE under churn: %.1f%% keep-alive cost reduction, %.1f%% service-time reduction\n",
+		(1-rPulse.KeepAliveCostUSD/rOW.KeepAliveCostUSD)*100,
+		(1-rPulse.TotalServiceSec/rOW.TotalServiceSec)*100)
+}

@@ -91,6 +91,7 @@ type fnState struct {
 	lastInv    int  // minute of the last invocation, -1 before any
 	seenMinute int  // minute of the last invocation sample, -1 before any
 	fixedAlive bool // fixed-high shadow keeps this function alive in the open minute
+	retired    bool // slot deregistered; ledger closed, counters frozen
 
 	invocations   int
 	actualCold    int
@@ -224,7 +225,7 @@ func (a *Accountant) open(m int) {
 	a.cur = m
 	for fn := range a.fns {
 		f := &a.fns[fn]
-		alive := f.lastInv >= 0 && m <= f.lastInv+a.window
+		alive := !f.retired && f.lastInv >= 0 && m <= f.lastInv+a.window
 		f.fixedAlive = alive
 		if alive {
 			f.fixedAliveMin++
@@ -357,4 +358,47 @@ func (a *Accountant) ObserveDowngrade(s telemetry.DowngradeSample) {
 	}
 }
 
-var _ telemetry.Observer = (*Accountant)(nil)
+// ObserveRegister implements telemetry.LifecycleObserver: a new function
+// slot opens a fresh ledger. The sample must carry the next dense slot
+// index (lifecycle events are emitted in slot order by both the cluster
+// engine and the live runtime); anything else is a foreign feed and is
+// dropped rather than corrupting the ledgers.
+func (a *Accountant) ObserveRegister(s telemetry.RegisterSample) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if s.Family < 0 || s.Family >= len(a.fams) || s.Function != len(a.fns) {
+		return
+	}
+	a.roll(s.Minute)
+	nv := len(a.fams[s.Family].memMB)
+	a.famOf = append(a.famOf, s.Family)
+	a.fns = append(a.fns, fnState{
+		lastInv:      -1,
+		seenMinute:   -1,
+		aliveMin:     make([]int, nv),
+		invByVariant: make([]int, nv),
+	})
+}
+
+// ObserveDeregister implements telemetry.LifecycleObserver: the slot's
+// ledger is closed — its counters stay in the report, but the fixed-high
+// shadow stops charging from the sample's minute on (a deleted function
+// would not have been kept alive by any baseline either). Retirement is
+// applied before the clock advances so the minute the sample names is the
+// first one the shadow skips.
+func (a *Accountant) ObserveDeregister(s telemetry.DeregisterSample) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if s.Function < 0 || s.Function >= len(a.fns) {
+		return
+	}
+	f := &a.fns[s.Function]
+	f.retired = true
+	f.fixedAlive = false
+	a.roll(s.Minute)
+}
+
+var (
+	_ telemetry.Observer          = (*Accountant)(nil)
+	_ telemetry.LifecycleObserver = (*Accountant)(nil)
+)

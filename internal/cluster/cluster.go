@@ -190,6 +190,11 @@ func Run(cfg Config, p Policy) (*Result, error) {
 	if p == nil {
 		return nil, fmt.Errorf("cluster: nil policy")
 	}
+	if cfg.Trace.HasChurn() {
+		// Functions register and deregister mid-trace: the lifecycle-aware
+		// serial engine (churn.go) drives the run.
+		return runChurn(cfg, p)
+	}
 	tr := cfg.Trace
 	nFn := len(tr.Functions)
 	res := &Result{
@@ -290,7 +295,7 @@ func Run(cfg Config, p Policy) (*Result, error) {
 					if ev.c == 0 {
 						continue
 					}
-					if err := serveFunction(&cfg, p, res, t, ev.fn, ev.c, ev.vi); err != nil {
+					if err := serveFunction(&cfg, p, res, t, ev.fn, ev.c, ev.vi, cfg.Assignment[ev.fn]); err != nil {
 						return nil, err
 					}
 				}
@@ -302,7 +307,7 @@ func Run(cfg Config, p Policy) (*Result, error) {
 				if c == 0 {
 					continue
 				}
-				if err := serveFunction(&cfg, p, res, t, fn, c, alive[fn]); err != nil {
+				if err := serveFunction(&cfg, p, res, t, fn, c, alive[fn], cfg.Assignment[fn]); err != nil {
 					return nil, err
 				}
 			}
@@ -321,10 +326,12 @@ func Run(cfg Config, p Policy) (*Result, error) {
 
 // serveFunction attributes one invoked function's minute: warm service on
 // the kept-alive variant, or a cold start on the policy's cold variant
-// with the remainder of the minute served warm. Shared by the serial and
-// sharded scans so their accounting cannot drift.
-func serveFunction(cfg *Config, p Policy, res *Result, t, fn, c, vi int) error {
-	fam := &cfg.Catalog.Families[cfg.Assignment[fn]]
+// with the remainder of the minute served warm. Shared by the serial,
+// sharded, and churn scans so their accounting cannot drift. famIdx is
+// passed explicitly because under churn the function slot is not an index
+// into Config.Assignment.
+func serveFunction(cfg *Config, p Policy, res *Result, t, fn, c, vi, famIdx int) error {
+	fam := &cfg.Catalog.Families[famIdx]
 	res.Invocations += c
 	if vi != NoVariant {
 		// Warm: the kept-alive variant serves every invocation.

@@ -1,0 +1,203 @@
+package core
+
+// Churn differential harness: the dynamic-lifecycle analogue of
+// differential_test.go. The engine path for churn traces is always serial,
+// but the controller still shards internally, and online
+// register/deregister triggers shard repartitions mid-run — so the proof
+// obligation is that a serial controller and a sharded controller fed the
+// same churn workload produce identical results, identical audit streams,
+// and identical counterfactual attribution, sample for sample. CI runs
+// this under -race alongside the static differential suite.
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"github.com/pulse-serverless/pulse/internal/attribution"
+	"github.com/pulse-serverless/pulse/internal/cluster"
+	"github.com/pulse-serverless/pulse/internal/models"
+	"github.com/pulse-serverless/pulse/internal/telemetry"
+	"github.com/pulse-serverless/pulse/internal/trace"
+)
+
+// churnWorkloads builds the churn trace matrix: an Azure-like mix with
+// moderate churn and a scaled bursty/sporadic mix with heavy churn.
+func churnWorkloads(t testing.TB) []differentialWorkload {
+	t.Helper()
+	moderate, err := trace.Generate(trace.GeneratorConfig{Seed: 31, Horizon: trace.MinutesPerDay, Churn: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var scaled []trace.Archetype
+	for i := 0; i < 4; i++ {
+		scaled = append(scaled,
+			trace.Bursty{BurstsPerDay: 12, BurstLen: 7, BurstRate: 4, QuietRate: 0.05},
+			trace.Sporadic{MeanGap: 37},
+			trace.Periodic{Period: 11, Jitter: 2},
+			trace.Poisson{Rate: 0.4},
+		)
+	}
+	heavy, err := trace.Generate(trace.GeneratorConfig{Seed: 43, Horizon: trace.MinutesPerDay, Archetypes: scaled, Churn: 0.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wls := []differentialWorkload{
+		{name: "azure-like-churn", tr: moderate},
+		{name: "bursty-16fn-heavy-churn", tr: heavy},
+	}
+	for _, wl := range wls {
+		if !wl.tr.HasChurn() {
+			t.Fatalf("workload %s generated no churn; pick a different seed", wl.name)
+		}
+	}
+	return wls
+}
+
+// churnRun replays one churn workload with a PULSE controller at the given
+// shard count and returns everything comparable: the engine result, the
+// full recorder stream, and the attribution report.
+func churnRun(t *testing.T, wl differentialWorkload, cfg Config, shards int) (*cluster.Result, *telemetry.Recorder, attribution.Report) {
+	t.Helper()
+	cat := models.PaperCatalog()
+	asg := uniformAssignment(cat, len(wl.tr.Functions))
+	names, initAsg, err := cluster.InitialPopulation(wl.tr, asg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := &telemetry.Recorder{}
+	acct, err := attribution.New(attribution.Config{
+		Catalog: cat, Assignment: initAsg, Cost: cluster.DefaultCostModel(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := telemetry.Multi(rec, acct)
+
+	cfg.Catalog = cat
+	cfg.Assignment = initAsg
+	cfg.Names = names
+	cfg.Shards = shards
+	cfg.Observer = obs
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	res, err := cluster.Run(cluster.Config{
+		Trace:              wl.tr,
+		Catalog:            cat,
+		Assignment:         asg,
+		Cost:               cluster.DefaultCostModel(),
+		RecordServiceTimes: true,
+		Observer:           obs,
+	}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, rec, acct.Report()
+}
+
+// TestDifferentialChurnEngine drives serial and sharded PULSE controllers
+// through the churn engine and requires the entire Result, every recorder
+// stream (including the lifecycle samples), and the full attribution
+// report to be deeply equal — shard repartitions on register/deregister
+// must be invisible.
+func TestDifferentialChurnEngine(t *testing.T) {
+	for _, wl := range churnWorkloads(t) {
+		for cfgName, cfg := range differentialConfigs() {
+			t.Run(fmt.Sprintf("%s/%s", wl.name, cfgName), func(t *testing.T) {
+				baseRes, baseRec, baseRep := churnRun(t, wl, cfg, 1)
+				for _, shards := range differentialShardCounts() {
+					res, rec, rep := churnRun(t, wl, cfg, shards)
+					if !reflect.DeepEqual(res, baseRes) {
+						t.Errorf("shards=%d: engine result diverges\nserial:  %+v\nsharded: %+v", shards, baseRes, res)
+					}
+					for _, s := range []struct {
+						kind      string
+						got, want any
+					}{
+						{"invocations", rec.Invocations, baseRec.Invocations},
+						{"keep-alives", rec.KeepAlives, baseRec.KeepAlives},
+						{"minutes", rec.Minutes, baseRec.Minutes},
+						{"schedules", rec.Schedules, baseRec.Schedules},
+						{"peaks", rec.Peaks, baseRec.Peaks},
+						{"downgrades", rec.Downgrades, baseRec.Downgrades},
+						{"registers", rec.Registers, baseRec.Registers},
+						{"deregisters", rec.Deregisters, baseRec.Deregisters},
+					} {
+						if !reflect.DeepEqual(s.got, s.want) {
+							t.Errorf("shards=%d: %s stream diverges from serial", shards, s.kind)
+						}
+					}
+					if !reflect.DeepEqual(rep, baseRep) {
+						t.Errorf("shards=%d: attribution report diverges\nserial total:  %+v\nsharded total: %+v",
+							shards, baseRep.Total, rep.Total)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestChurnColdHistoryByConstruction checks the registration contract: a
+// function that registers mid-trace has no keep-alive plan until its first
+// invocations are recorded, so its first served invocation is a cold start.
+func TestChurnColdHistoryByConstruction(t *testing.T) {
+	wl := churnWorkloads(t)[0]
+	_, rec, _ := churnRun(t, wl, Config{}, 1)
+	if len(rec.Registers) == 0 {
+		t.Fatal("workload produced no mid-trace registrations")
+	}
+	firstInv := map[int]telemetry.InvocationSample{}
+	for _, s := range rec.Invocations {
+		if _, ok := firstInv[s.Function]; !ok {
+			firstInv[s.Function] = s
+		}
+	}
+	checked := 0
+	for _, reg := range rec.Registers {
+		s, ok := firstInv[reg.Function]
+		if !ok {
+			continue // registered but never invoked
+		}
+		checked++
+		if !s.Cold {
+			t.Errorf("function %d (%s) registered at minute %d: first invocation at minute %d was warm, want cold",
+				reg.Function, reg.Name, reg.Minute, s.Minute)
+		}
+		if s.Minute < reg.Minute {
+			t.Errorf("function %d invoked at minute %d before registering at minute %d", reg.Function, s.Minute, reg.Minute)
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no mid-trace registrant was ever invoked; workload too small to prove cold-history")
+	}
+}
+
+// TestChurnTombstoneDecisions checks the deregistration contract on the
+// decision stream: from the minute after a function's last lived minute,
+// every keep-alive sample for its slot is NoVariant and no invocation
+// samples reference it.
+func TestChurnTombstoneDecisions(t *testing.T) {
+	wl := churnWorkloads(t)[1]
+	_, rec, _ := churnRun(t, wl, Config{}, 1)
+	if len(rec.Deregisters) == 0 {
+		t.Fatal("workload produced no deregistrations")
+	}
+	deadFrom := map[int]int{}
+	for _, d := range rec.Deregisters {
+		deadFrom[d.Function] = d.Minute + 1
+	}
+	for _, s := range rec.KeepAlives {
+		if from, dead := deadFrom[s.Function]; dead && s.Minute >= from && s.Variant != cluster.NoVariant {
+			t.Fatalf("slot %d tombstoned from minute %d but kept variant %d at minute %d",
+				s.Function, from, s.Variant, s.Minute)
+		}
+	}
+	for _, s := range rec.Invocations {
+		if from, dead := deadFrom[s.Function]; dead && s.Minute >= from {
+			t.Fatalf("slot %d tombstoned from minute %d but served at minute %d", s.Function, from, s.Minute)
+		}
+	}
+}

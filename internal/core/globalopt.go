@@ -78,6 +78,19 @@ func (p *Priority) Normalize() []float64 {
 	return p.norm
 }
 
+// grow appends one zero-count slot (a freshly registered model).
+func (p *Priority) grow() {
+	p.counts = append(p.counts, 0)
+	p.norm = append(p.norm, 0)
+}
+
+// retire resets a tombstoned slot's count to zero.
+func (p *Priority) retire(m int) {
+	if m >= 0 && m < len(p.counts) {
+		p.counts[m] = 0
+	}
+}
+
 // UtilityTerms breaks a utility value into its Algorithm 2 components for
 // observability.
 type UtilityTerms struct {
@@ -152,6 +165,20 @@ func NewGlobalOptimizer(cat *models.Catalog, asg models.Assignment, step Downgra
 
 // Priority exposes the priority structure (read-mostly; tests and reports).
 func (g *GlobalOptimizer) Priority() *Priority { return g.priority }
+
+// grow extends the optimizer with one freshly registered function slot.
+func (g *GlobalOptimizer) grow(family int) {
+	g.assignment = append(g.assignment, family)
+	g.priority.grow()
+}
+
+// retire zeroes a tombstoned slot's downgrade count. The slot still
+// participates in the min–max normalization, with the same weight as a
+// never-downgraded live model; it can never be a downgrade candidate again
+// because its decision is pinned to NoVariant.
+func (g *GlobalOptimizer) retire(fn int) {
+	g.priority.retire(fn)
+}
 
 // KeptAliveMemoryMB sums the memory of a decision vector (variant per
 // function, -1 = none).

@@ -1,0 +1,89 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/pulse-serverless/pulse/internal/cluster"
+)
+
+// Online function lifecycle for the controller. Slots follow the identity
+// registry's append-only model: registering a function grows every
+// per-function structure (history, plan ring, decision and probability
+// buffers, priority count) by one fresh slot; deregistering tombstones the
+// slot in place. Tombstoned slots behave exactly like never-invoked
+// functions — their plan rings are cleared, so the KeepAlive gather yields
+// NoVariant without any liveness branch in the hot loops, and the global
+// optimizer never sees them as downgrade candidates. That construction is
+// what keeps the static (churn-free) decision path bit-identical to the
+// pre-lifecycle controller.
+//
+// Both methods must be called between minutes, under the same external
+// serialization as KeepAlive and RecordInvocations (the cluster engine's
+// lifecycle step, the live runtime's exclusive barrier).
+
+// RegisterFunction implements cluster.DynamicPolicy: the named function
+// gets the next slot with an empty inter-arrival history and no plan, so it
+// stays cold until its first recorded invocations — the paper's behaviour
+// for a function the controller has never seen. Growing the per-function
+// slices reallocates the state the shard workers alias, so the worker pool
+// is rebuilt (repartitioned) before the call returns.
+func (p *Pulse) RegisterFunction(name string, family int) (int, error) {
+	if family < 0 || family >= len(p.cfg.Catalog.Families) {
+		return 0, fmt.Errorf("core: family %d out of range for %q", family, name)
+	}
+	h, err := NewHistory(p.cfg.LocalWindow)
+	if err != nil {
+		return 0, err
+	}
+	slot, err := p.reg.Register(name)
+	if err != nil {
+		return 0, err
+	}
+	p.cfg.Assignment = append(p.cfg.Assignment, family)
+	p.cfg.Names = append(p.cfg.Names, name)
+	p.histories = append(p.histories, h)
+	p.plans = append(p.plans, newPlanRing(p.cfg.Window))
+	p.out = append(p.out, cluster.NoVariant)
+	p.ip = append(p.ip, 0)
+	p.global.grow(family)
+	p.repartition()
+	return slot, nil
+}
+
+// DeregisterFunction implements cluster.DynamicPolicy: the named function's
+// slot is tombstoned — its plan ring cleared, its decision pinned to
+// NoVariant, its history dropped, and its downgrade priority count zeroed.
+// The slot count does not change, so the shard partition stays as is; the
+// workers observe the tombstone through the active flags they alias.
+func (p *Pulse) DeregisterFunction(name string) error {
+	slot, err := p.reg.Deregister(name)
+	if err != nil {
+		return err
+	}
+	p.plans[slot].reset()
+	p.out[slot] = cluster.NoVariant
+	p.ip[slot] = 0
+	h, err := NewHistory(p.cfg.LocalWindow)
+	if err != nil {
+		return err
+	}
+	p.histories[slot] = h
+	p.global.retire(slot)
+	return nil
+}
+
+// NumFunctions returns the total number of slots ever issued (active and
+// tombstoned) — the length of the decision vector KeepAlive returns.
+func (p *Pulse) NumFunctions() int { return len(p.out) }
+
+// NumActive returns the number of currently registered functions.
+func (p *Pulse) NumActive() int { return p.reg.NumActive() }
+
+// FunctionName returns the name that owns (or owned) the slot; "" when out
+// of range.
+func (p *Pulse) FunctionName(fn int) string { return p.reg.Name(fn) }
+
+// FunctionActive reports whether the slot is currently registered.
+func (p *Pulse) FunctionActive(fn int) bool { return p.reg.Active(fn) }
+
+var _ cluster.DynamicPolicy = (*Pulse)(nil)

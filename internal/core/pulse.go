@@ -5,6 +5,7 @@ import (
 	"runtime"
 
 	"github.com/pulse-serverless/pulse/internal/cluster"
+	"github.com/pulse-serverless/pulse/internal/identity"
 	"github.com/pulse-serverless/pulse/internal/models"
 	"github.com/pulse-serverless/pulse/internal/telemetry"
 )
@@ -14,6 +15,13 @@ import (
 type Config struct {
 	Catalog    *models.Catalog
 	Assignment models.Assignment
+
+	// Names are the functions' stable identities, one per assignment entry
+	// (nil selects fn-0 … fn-{n-1}). Names key snapshots and online
+	// registration: RegisterFunction and DeregisterFunction refer to
+	// functions by name, and Restore maps snapshot state back to slots by
+	// name rather than by index.
+	Names []string
 
 	// Window is the keep-alive period in minutes (default 10).
 	Window int
@@ -113,12 +121,21 @@ func (r *planRing) get(minute int) (variant int, prob float64, ok bool) {
 	return r.variants[i], r.probs[i], true
 }
 
+// reset forgets every in-flight commitment; gather then yields NoVariant
+// for the slot at every minute.
+func (r *planRing) reset() {
+	for i := range r.minutes {
+		r.minutes[i] = -1
+	}
+}
+
 // Pulse is the full PULSE keep-alive policy (Figure 3): function-centric
 // optimization plans a variant per minute of each function's keep-alive
 // window; when Algorithm 1 detects a keep-alive memory peak, Algorithm 2's
 // utility-driven downgrades flatten it. Pulse implements cluster.Policy.
 type Pulse struct {
 	cfg       Config
+	reg       *identity.Registry
 	histories []*History
 	detector  *PeakDetector
 	global    *GlobalOptimizer
@@ -129,6 +146,10 @@ type Pulse struct {
 	// pool is the shard worker pool; nil when cfg.Shards resolves to 1,
 	// in which case every path runs serially on the calling goroutine.
 	pool *shardPool
+	// reqShards is the configured (unresolved) shard count; the effective
+	// count in cfg.Shards is re-resolved against the slot count whenever
+	// registration grows the per-function state.
+	reqShards int
 
 	totalDowngrades int
 	peakMinutes     int
@@ -151,14 +172,29 @@ func New(cfg Config) (*Pulse, error) {
 		return nil, fmt.Errorf("core: empty assignment")
 	}
 	n := len(cfg.Assignment)
+	// Own the per-function config slices: registration appends to them, and
+	// the caller's backing arrays must not be written through.
+	cfg.Assignment = append(models.Assignment(nil), cfg.Assignment...)
+	names := cfg.Names
+	if names == nil {
+		names = identity.DefaultNames(n)
+	}
+	if len(names) != n {
+		return nil, fmt.Errorf("core: %d names for %d functions", len(names), n)
+	}
+	reg, err := identity.NewRegistry(names)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Names = append([]string(nil), names...)
 	p := &Pulse{
 		cfg:       cfg,
+		reg:       reg,
 		histories: make([]*History, n),
 		plans:     make([]planRing, n),
 		out:       make([]int, n),
 		ip:        make([]float64, n),
 	}
-	var err error
 	for i := range p.histories {
 		if p.histories[i], err = NewHistory(cfg.LocalWindow); err != nil {
 			return nil, err
@@ -177,23 +213,37 @@ func New(cfg Config) (*Pulse, error) {
 	if cfg.Shards < 0 {
 		return nil, fmt.Errorf("core: negative shard count %d", cfg.Shards)
 	}
-	shards := cfg.Shards
+	p.reqShards = cfg.Shards
+	p.repartition()
+	return p, nil
+}
+
+// repartition resolves the effective shard count against the current slot
+// count and (re)builds the worker pool. Registration appends to the
+// per-function slices, which reallocates the headers the shard workers
+// alias, so the pool is torn down and rebuilt whenever a slot is added.
+func (p *Pulse) repartition() {
+	if p.pool != nil {
+		runtime.SetFinalizer(p, nil)
+		p.pool.close()
+		p.pool = nil
+	}
+	shards := p.reqShards
 	if shards == 0 {
 		shards = runtime.NumCPU()
 	}
-	if shards > n {
+	if n := len(p.out); shards > n {
 		shards = n
 	}
 	p.cfg.Shards = shards
 	if shards > 1 {
-		p.pool = newShardPool(p.cfg, shards, p.histories, p.plans, p.out, p.ip)
+		p.pool = newShardPool(p.cfg, shards, p.histories, p.plans, p.out, p.ip, p.reg.ActiveSlice())
 		// Safety net for callers that drop the controller without Close:
 		// the workers reference only the shard state, never p, so an
 		// unclosed controller still becomes unreachable and its pool is
 		// reclaimed here.
 		runtime.SetFinalizer(p, (*Pulse).Close)
 	}
-	return p, nil
 }
 
 // Close stops the shard worker goroutines. It is idempotent, safe on a
@@ -334,8 +384,9 @@ func (p *Pulse) RecordInvocations(t int, counts []int) {
 		}
 		return
 	}
+	active := p.reg.ActiveSlice()
 	for fn, c := range counts {
-		if c == 0 {
+		if c == 0 || !active[fn] {
 			continue
 		}
 		h := p.histories[fn]

@@ -64,6 +64,7 @@ type shard struct {
 	plans     []planRing
 	out       []int
 	ip        []float64
+	active    []bool // aliases the identity registry's per-slot live flags
 
 	catalog    *models.Catalog
 	assignment models.Assignment
@@ -90,7 +91,7 @@ type shardPool struct {
 
 // newShardPool partitions n functions into nShards contiguous ranges
 // (sizes differing by at most one) and starts one worker per shard.
-func newShardPool(cfg Config, nShards int, histories []*History, plans []planRing, out []int, ip []float64) *shardPool {
+func newShardPool(cfg Config, nShards int, histories []*History, plans []planRing, out []int, ip []float64, active []bool) *shardPool {
 	n := len(out)
 	pool := &shardPool{shards: make([]*shard, nShards)}
 	base, rem := n/nShards, n%nShards
@@ -108,6 +109,7 @@ func newShardPool(cfg Config, nShards int, histories []*History, plans []planRin
 			plans:      plans,
 			out:        out,
 			ip:         ip,
+			active:     active,
 			catalog:    cfg.Catalog,
 			assignment: cfg.Assignment,
 			window:     cfg.Window,
@@ -175,7 +177,7 @@ func (s *shard) run(wg *sync.WaitGroup) {
 func (s *shard) record(t int, counts []int) {
 	for fn := s.lo; fn < s.hi; fn++ {
 		c := counts[fn]
-		if c == 0 {
+		if c == 0 || !s.active[fn] {
 			continue
 		}
 		h := s.histories[fn]

@@ -13,8 +13,13 @@ import (
 // controller continues with decisions bit-identical to an uninterrupted
 // one.
 
-// SnapshotVersion identifies the snapshot schema.
-const SnapshotVersion = 1
+// SnapshotVersion identifies the snapshot schema. Version 2 keys
+// per-function state by function name (identity) instead of by slot index,
+// so a snapshot survives online registration and deregistration: restore
+// matches entries to the configured population by name, functions present
+// only in the configuration start cold, and entries naming functions absent
+// from the configuration are an error.
+const SnapshotVersion = 2
 
 // GapCount is one histogram bucket: Count observations of Gap minutes.
 type GapCount struct {
@@ -134,6 +139,16 @@ type PlanEntry struct {
 	Prob    float64 `json:"prob"`
 }
 
+// FunctionSnapshot captures one registered function's learned state, keyed
+// by its stable name.
+type FunctionSnapshot struct {
+	Name          string          `json:"name"`
+	Family        int             `json:"family"`
+	History       HistorySnapshot `json:"history"`
+	Plans         []PlanEntry     `json:"plans,omitempty"`
+	PriorityCount float64         `json:"priorityCount"`
+}
+
 // PulseSnapshot captures a full PULSE controller.
 type PulseSnapshot struct {
 	Version int `json:"version"`
@@ -143,14 +158,16 @@ type PulseSnapshot struct {
 	LocalWindow  int     `json:"localWindow"`
 	KaMThreshold float64 `json:"kamThreshold"`
 	Technique    string  `json:"technique"`
-	Functions    int     `json:"functions"`
 
-	Histories       []HistorySnapshot `json:"histories"`
-	Plans           [][]PlanEntry     `json:"plans"`
-	PriorityCounts  []float64         `json:"priorityCounts"`
-	Detector        DetectorSnapshot  `json:"detector"`
-	TotalDowngrades int               `json:"totalDowngrades"`
-	PeakMinutes     int               `json:"peakMinutes"`
+	// Functions holds one identity-keyed entry per *active* function.
+	// Tombstoned slots carry no learned state and are not persisted; a
+	// restored controller renumbers the survivors densely from its
+	// configured population.
+	Functions []FunctionSnapshot `json:"functions"`
+
+	Detector        DetectorSnapshot `json:"detector"`
+	TotalDowngrades int              `json:"totalDowngrades"`
+	PeakMinutes     int              `json:"peakMinutes"`
 }
 
 // Snapshot captures the controller's learned state.
@@ -161,37 +178,44 @@ func (p *Pulse) Snapshot() PulseSnapshot {
 		LocalWindow:     p.cfg.LocalWindow,
 		KaMThreshold:    p.cfg.KaMThreshold,
 		Technique:       p.cfg.Technique.Name(),
-		Functions:       len(p.cfg.Assignment),
 		Detector:        p.detector.Snapshot(),
 		TotalDowngrades: p.totalDowngrades,
 		PeakMinutes:     p.peakMinutes,
 	}
-	for _, h := range p.histories {
-		s.Histories = append(s.Histories, h.Snapshot())
-	}
 	for fn := range p.cfg.Assignment {
+		if !p.reg.Active(fn) {
+			continue
+		}
+		fs := FunctionSnapshot{
+			Name:          p.reg.Name(fn),
+			Family:        p.cfg.Assignment[fn],
+			History:       p.histories[fn].Snapshot(),
+			PriorityCount: p.global.Priority().Count(fn),
+		}
 		ring := &p.plans[fn]
-		var entries []PlanEntry
 		for i, minute := range ring.minutes {
 			if minute >= 0 {
-				entries = append(entries, PlanEntry{
+				fs.Plans = append(fs.Plans, PlanEntry{
 					Minute:  minute,
 					Variant: ring.variants[i],
 					Prob:    ring.probs[i],
 				})
 			}
 		}
-		s.Plans = append(s.Plans, entries)
-		s.PriorityCounts = append(s.PriorityCounts, p.global.Priority().Count(fn))
+		s.Functions = append(s.Functions, fs)
 	}
 	return s
 }
 
 // Restore builds a PULSE controller from a configuration and a snapshot
-// previously taken with a compatible configuration.
+// previously taken with a compatible configuration. Snapshot state is
+// matched to the configured population by function name: a configured
+// function without a snapshot entry starts cold (the rule for functions
+// registered after the snapshot was taken), while a snapshot entry naming a
+// function outside the configuration is an error.
 func Restore(cfg Config, s PulseSnapshot) (*Pulse, error) {
 	if s.Version != SnapshotVersion {
-		return nil, fmt.Errorf("core: snapshot version %d, want %d", s.Version, SnapshotVersion)
+		return nil, fmt.Errorf("core: snapshot schema version %d, this build reads version %d", s.Version, SnapshotVersion)
 	}
 	p, err := New(cfg)
 	if err != nil {
@@ -204,39 +228,53 @@ func Restore(cfg Config, s PulseSnapshot) (*Pulse, error) {
 			s.Window, eff.Window, s.LocalWindow, eff.LocalWindow,
 			s.KaMThreshold, eff.KaMThreshold, s.Technique, eff.Technique.Name())
 	}
-	if s.Functions != len(eff.Assignment) || len(s.Histories) != s.Functions || len(s.PriorityCounts) != s.Functions {
-		return nil, fmt.Errorf("core: snapshot covers %d functions (%d histories, %d priorities), config has %d",
-			s.Functions, len(s.Histories), len(s.PriorityCounts), len(eff.Assignment))
+	byName := make(map[string]*FunctionSnapshot, len(s.Functions))
+	for i := range s.Functions {
+		fs := &s.Functions[i]
+		if _, dup := byName[fs.Name]; dup {
+			return nil, fmt.Errorf("core: snapshot has two entries for function %q", fs.Name)
+		}
+		byName[fs.Name] = fs
 	}
-	if len(s.Plans) != 0 && len(s.Plans) != s.Functions {
-		return nil, fmt.Errorf("core: snapshot has %d plan sets for %d functions", len(s.Plans), s.Functions)
-	}
-	for fn, hs := range s.Histories {
-		h, err := restoreHistory(eff.LocalWindow, hs)
+	restored := 0
+	for fn, name := range eff.Names {
+		fs, ok := byName[name]
+		if !ok {
+			continue // configured but not snapshotted: starts cold
+		}
+		restored++
+		if fs.Family != eff.Assignment[fn] {
+			return nil, fmt.Errorf("core: snapshot assigns function %q family %d, config assigns %d",
+				name, fs.Family, eff.Assignment[fn])
+		}
+		h, err := restoreHistory(eff.LocalWindow, fs.History)
 		if err != nil {
-			return nil, fmt.Errorf("core: function %d: %w", fn, err)
+			return nil, fmt.Errorf("core: function %q: %w", name, err)
 		}
 		p.histories[fn] = h
-	}
-	for fn, entries := range s.Plans {
 		fam := eff.Catalog.Families[eff.Assignment[fn]]
-		for _, e := range entries {
+		for _, e := range fs.Plans {
 			if e.Minute < 0 {
-				return nil, fmt.Errorf("core: function %d plan at negative minute %d", fn, e.Minute)
+				return nil, fmt.Errorf("core: function %q plan at negative minute %d", name, e.Minute)
 			}
 			if e.Variant < 0 || e.Variant >= fam.NumVariants() {
-				return nil, fmt.Errorf("core: function %d plan keeps invalid variant %d", fn, e.Variant)
+				return nil, fmt.Errorf("core: function %q plan keeps invalid variant %d", name, e.Variant)
 			}
 			p.plans[fn].set(e.Minute, e.Variant, e.Prob)
 		}
-	}
-	for fn, c := range s.PriorityCounts {
-		if c < 0 {
-			return nil, fmt.Errorf("core: snapshot priority count %v for function %d", c, fn)
+		if fs.PriorityCount < 0 {
+			return nil, fmt.Errorf("core: snapshot priority count %v for function %q", fs.PriorityCount, name)
 		}
-		for i := 0; i < int(c); i++ {
+		for i := 0; i < int(fs.PriorityCount); i++ {
 			if err := p.global.Priority().Bump(fn); err != nil {
 				return nil, err
+			}
+		}
+	}
+	if restored != len(byName) {
+		for name := range byName {
+			if _, ok := p.reg.Slot(name); !ok {
+				return nil, fmt.Errorf("core: snapshot has state for %q, which the configuration does not register", name)
 			}
 		}
 	}

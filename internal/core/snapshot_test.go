@@ -200,20 +200,35 @@ func TestRestoreRejectsBadPlans(t *testing.T) {
 		t.Fatal(err)
 	}
 	snap := p.Snapshot()
-	bad := snap
-	bad.Plans = [][]PlanEntry{{{Minute: -1, Variant: 0}}}
+	clone := func() PulseSnapshot {
+		c := snap
+		c.Functions = append([]FunctionSnapshot(nil), snap.Functions...)
+		return c
+	}
+	bad := clone()
+	bad.Functions[0].Plans = []PlanEntry{{Minute: -1, Variant: 0}}
 	if _, err := Restore(cfg, bad); err == nil {
 		t.Error("negative plan minute accepted")
 	}
-	bad = snap
-	bad.Plans = [][]PlanEntry{{{Minute: 3, Variant: 99}}}
+	bad = clone()
+	bad.Functions[0].Plans = []PlanEntry{{Minute: 3, Variant: 99}}
 	if _, err := Restore(cfg, bad); err == nil {
 		t.Error("invalid plan variant accepted")
 	}
-	bad = snap
-	bad.Plans = [][]PlanEntry{{}, {}}
+	bad = clone()
+	bad.Functions = append(bad.Functions, FunctionSnapshot{Name: "ghost", Family: 0})
 	if _, err := Restore(cfg, bad); err == nil {
-		t.Error("plan-set count mismatch accepted")
+		t.Error("snapshot entry for an unregistered function accepted")
+	}
+	bad = clone()
+	bad.Functions = append(bad.Functions, bad.Functions[0])
+	if _, err := Restore(cfg, bad); err == nil {
+		t.Error("duplicate snapshot entry accepted")
+	}
+	bad = clone()
+	bad.Functions[0].Family = 1
+	if _, err := Restore(cfg, bad); err == nil {
+		t.Error("family mismatch accepted")
 	}
 }
 
@@ -247,7 +262,8 @@ func TestRestoreRejectsMismatchedConfig(t *testing.T) {
 		t.Error("version mismatch accepted")
 	}
 	negative := snap
-	negative.PriorityCounts = []float64{-1, 0}
+	negative.Functions = append([]FunctionSnapshot(nil), snap.Functions...)
+	negative.Functions[0].PriorityCount = -1
 	if _, err := Restore(cfg, negative); err == nil {
 		t.Error("negative priority count accepted")
 	}

@@ -49,3 +49,31 @@ func TestExtensionTailLatency(t *testing.T) {
 		t.Errorf("PULSE max %v blew up vs fixed %v", pulse.MaxSec, ow.MaxSec)
 	}
 }
+
+func TestExtensionChurn(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run churn experiment")
+	}
+	opts := quickOpts()
+	opts.Runs = 2
+	pt, err := ExtensionChurn(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The generator gives roughly half the functions finite lifetimes; the
+	// experiment is vacuous unless both lifecycle directions actually occur.
+	if pt.Arrivals == 0 || pt.Departures == 0 {
+		t.Fatalf("degenerate churn trace: %+v", pt)
+	}
+	if pt.InitialLive+pt.Arrivals != pt.Functions {
+		t.Errorf("population accounting: %d live + %d arrivals != %d functions",
+			pt.InitialLive, pt.Arrivals, pt.Functions)
+	}
+	// The mixed-quality win must survive a population that changes mid-run.
+	if pt.CostPct <= 5 {
+		t.Errorf("cost improvement %v%% too small under churn", pt.CostPct)
+	}
+	if pt.AccuracyPct < -10 {
+		t.Errorf("accuracy drop %v%% too large under churn", pt.AccuracyPct)
+	}
+}

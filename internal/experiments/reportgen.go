@@ -259,6 +259,16 @@ func WriteMarkdownReport(opts Options, w io.Writer, wallClock func() time.Time) 
 		"warm-start parity", fmt.Sprintf("P99 %.2fs vs fixed %.2fs", tails[1].P99Sec, tails[0].P99Sec),
 		tails[1].MaxSec <= tails[0].MaxSec*1.5)
 
+	churn, err := ExtensionChurn(opts)
+	if err != nil {
+		return fmt.Errorf("extension churn: %w", err)
+	}
+	add("Extension", "cost win survives online register/deregister",
+		"\"flexible\" design (closing claim)",
+		fmt.Sprintf("%s with %d arrivals, %d departures",
+			pct(churn.CostPct), churn.Arrivals, churn.Departures),
+		churn.CostPct > 5 && churn.Arrivals > 0 && churn.Departures > 0)
+
 	// Emit the markdown.
 	now := ""
 	if wallClock != nil {

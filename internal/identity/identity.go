@@ -1,0 +1,143 @@
+// Package identity is the function identity layer: stable, validated
+// function names mapped to dense integer slots. Every per-function slice in
+// the stack (controller histories and plan rings, policy keep-alive windows,
+// runtime stripes, attribution ledgers) is indexed by a slot issued here, so
+// functions can be registered and deregistered while the system runs without
+// renumbering the survivors.
+//
+// Slots are append-only: registering issues the next slot, deregistering
+// tombstones the slot forever. A name that is deregistered and registered
+// again gets a brand-new slot — and therefore brand-new (empty) per-function
+// state everywhere, which is exactly the paper's cold-history rule for fresh
+// functions: no inter-arrival history means no keep-alive plan until the
+// first invocations arrive.
+package identity
+
+import (
+	"fmt"
+	"unicode/utf8"
+)
+
+// MaxNameLen bounds function names. Snapshot files are named after the
+// controller, not its functions, but names still travel through JSON APIs
+// and metrics labels, so an explicit cap keeps them printable and bounded.
+const MaxNameLen = 200
+
+// ValidateName reports whether name is a legal function (or snapshot)
+// identifier: non-empty, at most MaxNameLen bytes, and built only from
+// ASCII letters, digits, '-', '_' and '.'. These are exactly the rune rules
+// the metastore applies to snapshot file names (they exclude path
+// separators, so a name can never traverse out of the store directory);
+// sharing one validator keeps the registry and the metastore in agreement,
+// which FuzzFunctionName asserts.
+func ValidateName(name string) error {
+	if name == "" {
+		return fmt.Errorf("identity: empty name")
+	}
+	if len(name) > MaxNameLen {
+		return fmt.Errorf("identity: name of %d bytes exceeds %d", len(name), MaxNameLen)
+	}
+	for _, r := range name {
+		ok := r == '-' || r == '_' || r == '.' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || (r >= '0' && r <= '9')
+		if !ok {
+			return fmt.Errorf("identity: invalid name %q (rune %q)", name, r)
+		}
+	}
+	if !utf8.ValidString(name) {
+		return fmt.Errorf("identity: invalid name %q (not UTF-8)", name)
+	}
+	return nil
+}
+
+// DefaultNames returns the conventional names fn-0 … fn-{n-1} used when a
+// caller supplies an assignment without explicit names.
+func DefaultNames(n int) []string {
+	names := make([]string, n)
+	for i := range names {
+		names[i] = fmt.Sprintf("fn-%d", i)
+	}
+	return names
+}
+
+// Registry maps function names to slots. It is not concurrency-safe:
+// every owner in the stack already serializes registration behind its own
+// minute barrier (the runtime's exclusive RWMutex side, the controller's
+// between-minutes contract), and the registry inherits that discipline.
+type Registry struct {
+	names  []string       // slot → name (kept for tombstoned slots)
+	active []bool         // slot → live?
+	slots  map[string]int // active name → slot
+}
+
+// NewRegistry builds a registry with every supplied name pre-registered, in
+// order, as slots 0..len(names)-1. Names must be valid and unique.
+func NewRegistry(names []string) (*Registry, error) {
+	r := &Registry{slots: make(map[string]int, len(names))}
+	for _, name := range names {
+		if _, err := r.Register(name); err != nil {
+			return nil, err
+		}
+	}
+	return r, nil
+}
+
+// Register issues the next slot for name. It fails if the name is invalid
+// or already registered and active; a previously deregistered name is
+// accepted and gets a fresh slot.
+func (r *Registry) Register(name string) (int, error) {
+	if err := ValidateName(name); err != nil {
+		return 0, err
+	}
+	if slot, ok := r.slots[name]; ok {
+		return 0, fmt.Errorf("identity: %q already registered as function %d", name, slot)
+	}
+	slot := len(r.names)
+	r.names = append(r.names, name)
+	r.active = append(r.active, true)
+	r.slots[name] = slot
+	return slot, nil
+}
+
+// Deregister tombstones the named function's slot and returns it. The slot
+// is never reused.
+func (r *Registry) Deregister(name string) (int, error) {
+	slot, ok := r.slots[name]
+	if !ok {
+		return 0, fmt.Errorf("identity: %q is not registered", name)
+	}
+	delete(r.slots, name)
+	r.active[slot] = false
+	return slot, nil
+}
+
+// Slot returns the slot of an active name.
+func (r *Registry) Slot(name string) (int, bool) {
+	slot, ok := r.slots[name]
+	return slot, ok
+}
+
+// Name returns the name that owns (or owned) slot; "" when out of range.
+func (r *Registry) Name(slot int) string {
+	if slot < 0 || slot >= len(r.names) {
+		return ""
+	}
+	return r.names[slot]
+}
+
+// Active reports whether slot is in range and currently registered.
+func (r *Registry) Active(slot int) bool {
+	return slot >= 0 && slot < len(r.active) && r.active[slot]
+}
+
+// Len returns the total number of slots ever issued (active + tombstoned).
+func (r *Registry) Len() int { return len(r.names) }
+
+// NumActive returns the number of currently registered functions.
+func (r *Registry) NumActive() int { return len(r.slots) }
+
+// ActiveSlice returns the active flags indexed by slot. The slice aliases
+// the registry's own state and is invalidated by the next Register; it
+// exists so hot loops can gate on activity without a method call per
+// function.
+func (r *Registry) ActiveSlice() []bool { return r.active }

@@ -1,0 +1,102 @@
+package identity
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestValidateName(t *testing.T) {
+	good := []string{"fn-0", "a", "A.b_c-9", strings.Repeat("x", MaxNameLen), "..", "pulsed"}
+	for _, name := range good {
+		if err := ValidateName(name); err != nil {
+			t.Errorf("ValidateName(%q) = %v, want nil", name, err)
+		}
+	}
+	bad := []string{"", "a/b", "a b", "fn\x00", "héllo", "..\\up", strings.Repeat("x", MaxNameLen+1), "名前"}
+	for _, name := range bad {
+		if err := ValidateName(name); err == nil {
+			t.Errorf("ValidateName(%q) accepted", name)
+		}
+	}
+}
+
+func TestDefaultNames(t *testing.T) {
+	names := DefaultNames(3)
+	want := []string{"fn-0", "fn-1", "fn-2"}
+	for i, n := range want {
+		if names[i] != n {
+			t.Errorf("DefaultNames(3)[%d] = %q, want %q", i, names[i], n)
+		}
+		if err := ValidateName(names[i]); err != nil {
+			t.Errorf("default name %q invalid: %v", names[i], err)
+		}
+	}
+}
+
+func TestRegistryLifecycle(t *testing.T) {
+	r, err := NewRegistry([]string{"alpha", "beta"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 2 || r.NumActive() != 2 {
+		t.Fatalf("Len/NumActive = %d/%d, want 2/2", r.Len(), r.NumActive())
+	}
+	if slot, ok := r.Slot("beta"); !ok || slot != 1 {
+		t.Fatalf("Slot(beta) = %d,%v", slot, ok)
+	}
+
+	// Duplicate and invalid registrations fail without issuing slots.
+	if _, err := r.Register("alpha"); err == nil {
+		t.Fatal("duplicate registration accepted")
+	}
+	if _, err := r.Register("no/slash"); err == nil {
+		t.Fatal("invalid name accepted")
+	}
+	if r.Len() != 2 {
+		t.Fatalf("failed registrations issued slots: Len = %d", r.Len())
+	}
+
+	// Deregistering tombstones the slot; the slot keeps its name but is
+	// inactive, and the name is free again.
+	slot, err := r.Deregister("alpha")
+	if err != nil || slot != 0 {
+		t.Fatalf("Deregister(alpha) = %d, %v", slot, err)
+	}
+	if r.Active(0) || !r.Active(1) {
+		t.Fatalf("active flags wrong after deregister: %v", r.ActiveSlice())
+	}
+	if r.Name(0) != "alpha" {
+		t.Fatalf("tombstoned slot lost its name: %q", r.Name(0))
+	}
+	if _, err := r.Deregister("alpha"); err == nil {
+		t.Fatal("double deregister accepted")
+	}
+
+	// Re-registering a dead name issues a fresh slot — never slot reuse.
+	slot, err = r.Register("alpha")
+	if err != nil || slot != 2 {
+		t.Fatalf("re-register alpha = %d, %v (want fresh slot 2)", slot, err)
+	}
+	if !r.Active(2) || r.Active(0) {
+		t.Fatal("re-registration revived the tombstoned slot")
+	}
+	if r.NumActive() != 2 || r.Len() != 3 {
+		t.Fatalf("NumActive/Len = %d/%d, want 2/3", r.NumActive(), r.Len())
+	}
+}
+
+func TestRegistryBounds(t *testing.T) {
+	r, err := NewRegistry(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Active(-1) || r.Active(0) {
+		t.Fatal("out-of-range slots reported active")
+	}
+	if r.Name(-1) != "" || r.Name(0) != "" {
+		t.Fatal("out-of-range slots have names")
+	}
+	if _, err := NewRegistry([]string{"dup", "dup"}); err == nil {
+		t.Fatal("duplicate seed names accepted")
+	}
+}

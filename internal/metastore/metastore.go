@@ -15,10 +15,20 @@ import (
 	"path/filepath"
 
 	"github.com/pulse-serverless/pulse/internal/core"
+	"github.com/pulse-serverless/pulse/internal/identity"
 )
 
-// envelope is the on-disk format: the payload plus an integrity checksum.
+// EnvelopeVersion identifies the on-disk envelope schema. Version 2 added
+// the explicit version field itself and switched payloads to identity-keyed
+// controller snapshots (core.SnapshotVersion 2). A mismatched version is
+// reported as such — distinctly from corruption — so operators know to
+// migrate rather than to restore a backup.
+const EnvelopeVersion = 2
+
+// envelope is the on-disk format: a schema version, the payload, and an
+// integrity checksum over the payload bytes.
 type envelope struct {
+	Version  int             `json:"version"`
 	Checksum string          `json:"checksum"` // hex sha256 of Payload
 	Payload  json.RawMessage `json:"payload"`
 }
@@ -29,7 +39,11 @@ type Store struct {
 	dir string
 }
 
-// Open prepares a store rooted at dir, creating it if needed.
+// Open prepares a store rooted at dir, creating it if needed. Leftover
+// temporary files from a Save interrupted by a crash (written but never
+// renamed into place) are swept away: they were never the authoritative
+// snapshot, and the atomic-rename protocol guarantees the named snapshot
+// file is either the previous complete version or the new complete version.
 func Open(dir string) (*Store, error) {
 	if dir == "" {
 		return nil, fmt.Errorf("metastore: empty directory")
@@ -37,21 +51,23 @@ func Open(dir string) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("metastore: %w", err)
 	}
+	leftovers, err := filepath.Glob(filepath.Join(dir, "*.tmp-*"))
+	if err == nil {
+		for _, tmp := range leftovers {
+			_ = os.Remove(tmp)
+		}
+	}
 	return &Store{dir: dir}, nil
 }
 
-// path maps a controller name to its snapshot file. Names are restricted
-// to avoid path traversal.
+// path maps a controller name to its snapshot file. Names follow the same
+// rune rules as function identities (identity.ValidateName) — they exclude
+// path separators, so a name can never traverse out of the store directory.
+// Sharing the validator keeps the two layers in agreement, which
+// FuzzFunctionName asserts.
 func (s *Store) path(name string) (string, error) {
-	if name == "" {
-		return "", fmt.Errorf("metastore: empty snapshot name")
-	}
-	for _, r := range name {
-		ok := r == '-' || r == '_' || r == '.' ||
-			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || (r >= '0' && r <= '9')
-		if !ok {
-			return "", fmt.Errorf("metastore: invalid snapshot name %q", name)
-		}
+	if err := identity.ValidateName(name); err != nil {
+		return "", fmt.Errorf("metastore: invalid snapshot name: %w", err)
 	}
 	return filepath.Join(s.dir, name+".snapshot.json"), nil
 }
@@ -70,6 +86,7 @@ func (s *Store) Save(name string, snap core.PulseSnapshot) error {
 	// Compact marshal: indentation would rewrite the raw payload bytes and
 	// break the checksum on load.
 	blob, err := json.Marshal(envelope{
+		Version:  EnvelopeVersion,
 		Checksum: hex.EncodeToString(sum[:]),
 		Payload:  payload,
 	})
@@ -114,6 +131,10 @@ func (s *Store) Load(name string) (core.PulseSnapshot, error) {
 	var env envelope
 	if err := json.Unmarshal(blob, &env); err != nil {
 		return snap, fmt.Errorf("metastore: corrupt envelope in %s: %w", p, err)
+	}
+	if env.Version != EnvelopeVersion {
+		return snap, fmt.Errorf("metastore: %s has envelope schema version %d, this build reads version %d — migrate or delete the snapshot",
+			p, env.Version, EnvelopeVersion)
 	}
 	// Hash the canonical (compact) form so cosmetic whitespace differences
 	// in the payload do not read as corruption.

@@ -16,9 +16,11 @@ import (
 // OpenWhisk/Knative operator would script against. Endpoints() is the
 // authoritative list; in summary:
 //
-//	POST /invoke?fn=N      run one invocation, returns the Invocation JSON
-//	GET  /stats            runtime counters
-//	GET  /functions        registered functions, their models and warm state
+//	POST /invoke?fn=N           run one invocation, returns the Invocation JSON
+//	GET  /stats                 runtime counters
+//	GET  /functions             registered functions, their models and warm state
+//	POST /functions             register a function online (JSON {"name","family"})
+//	DELETE /functions/{name}    deregister the named function (slot tombstoned)
 //	GET  /metrics          Prometheus text exposition (labeled series when instrumented)
 //	GET  /events           decision event log (requires telemetry)
 //	GET  /decisions        Algorithm 1/2 audit: downgrades with Uv = Ai+Pr+Ip, peak episodes
@@ -27,11 +29,12 @@ import (
 //	GET  /top              text ranking by savings, downgrades, cold-start risk (requires attribution)
 //	GET  /healthz          liveness
 type API struct {
-	rt   *Runtime
-	tel  *telemetry.Telemetry
-	acct *attribution.Accountant
-	reg  *telemetry.Registry
-	mux  *http.ServeMux
+	rt         *Runtime
+	tel        *telemetry.Telemetry
+	acct       *attribution.Accountant
+	reg        *telemetry.Registry
+	mux        *http.ServeMux
+	registered map[string]bool // paths wired into the mux (multi-verb paths appear once)
 }
 
 // Endpoint describes one API route, for documentation surfaces and the
@@ -50,6 +53,8 @@ func Endpoints() []Endpoint {
 		{http.MethodPost, "/invoke", "run one invocation (?fn=N), returns the Invocation JSON"},
 		{http.MethodGet, "/stats", "runtime counters"},
 		{http.MethodGet, "/functions", "registered functions, their models and warm state"},
+		{http.MethodPost, "/functions", "register a function online (JSON {\"name\",\"family\"}), returns its slot"},
+		{http.MethodDelete, "/functions/{name}", "deregister the named function; its slot is tombstoned, later invokes return 410"},
 		{http.MethodGet, "/metrics", "Prometheus text exposition (labeled series when instrumented)"},
 		{http.MethodGet, "/events", "decision event log (requires telemetry)"},
 		{http.MethodGet, "/decisions", "Algorithm 1/2 audit: downgrades with Uv = Ai+Pr+Ip, peak episodes"},
@@ -84,16 +89,20 @@ func NewInstrumentedAPI(rt *Runtime, tel *telemetry.Telemetry) (*API, error) {
 		return nil, err
 	}
 	a := &API{rt: rt, tel: tel, reg: reg, mux: http.NewServeMux()}
+	// One handler per path; a path serving several verbs (GET and POST
+	// /functions) dispatches on the method inside its handler, so it appears
+	// once here and once in the mux, but once per verb in Endpoints().
 	handlers := map[string]http.HandlerFunc{
-		"/invoke":      a.handleInvoke,
-		"/stats":       a.handleStats,
-		"/functions":   a.handleFunctions,
-		"/metrics":     a.handleMetrics,
-		"/events":      a.handleEvents,
-		"/decisions":   a.handleDecisions,
-		"/attribution": a.handleAttribution,
-		"/timeseries":  a.handleTimeseries,
-		"/top":         a.handleTop,
+		"/invoke":           a.handleInvoke,
+		"/stats":            a.handleStats,
+		"/functions":        a.handleFunctions,
+		"/functions/{name}": a.handleFunctionByName,
+		"/metrics":          a.handleMetrics,
+		"/events":           a.handleEvents,
+		"/decisions":        a.handleDecisions,
+		"/attribution":      a.handleAttribution,
+		"/timeseries":       a.handleTimeseries,
+		"/top":              a.handleTop,
 		"/healthz": func(w http.ResponseWriter, _ *http.Request) {
 			w.WriteHeader(http.StatusOK)
 			_, _ = w.Write([]byte("ok\n"))
@@ -102,9 +111,16 @@ func NewInstrumentedAPI(rt *Runtime, tel *telemetry.Telemetry) (*API, error) {
 	for _, ep := range Endpoints() {
 		h, ok := handlers[ep.Path]
 		if !ok {
+			if _, registered := a.registered[ep.Path]; registered {
+				continue // another verb of an already-wired path
+			}
 			return nil, fmt.Errorf("runtime: endpoint %s has no handler", ep.Path)
 		}
 		a.mux.HandleFunc(ep.Path, h)
+		if a.registered == nil {
+			a.registered = make(map[string]bool)
+		}
+		a.registered[ep.Path] = true
 		delete(handlers, ep.Path)
 	}
 	if len(handlers) != 0 {
@@ -177,10 +193,14 @@ func (a *API) handleInvoke(w http.ResponseWriter, r *http.Request) {
 	inv, err := a.rt.Invoke(fn)
 	if err != nil {
 		// A closed runtime is a lifecycle condition (the daemon is
-		// draining), not a bad request.
+		// draining), not a bad request. A deregistered function is a client
+		// error — the resource is gone, so 410, never a 5xx or a panic.
 		status := http.StatusNotFound
-		if errors.Is(err, ErrClosed) {
+		switch {
+		case errors.Is(err, ErrClosed):
 			status = http.StatusServiceUnavailable
+		case errors.Is(err, ErrDeregistered):
+			status = http.StatusGone
 		}
 		writeJSON(w, status, apiError{err.Error()})
 		return
@@ -299,6 +319,8 @@ func (a *API) handleDecisions(w http.ResponseWriter, r *http.Request) {
 // functionInfo is one row of GET /functions.
 type functionInfo struct {
 	Function     int     `json:"function"`
+	Name         string  `json:"name"`
+	Active       bool    `json:"active"` // false: slot tombstoned by DELETE
 	Family       string  `json:"family"`
 	Task         string  `json:"task"`
 	Variants     int     `json:"variants"`
@@ -306,11 +328,20 @@ type functionInfo struct {
 	AliveMemMB   float64 `json:"aliveMemMB"`
 }
 
+// handleFunctions serves the collection: GET lists every slot ever issued
+// (tombstones included, marked inactive), POST registers a new function.
 func (a *API) handleFunctions(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		writeJSON(w, http.StatusMethodNotAllowed, apiError{"GET required"})
-		return
+	switch r.Method {
+	case http.MethodGet:
+		a.handleFunctionsList(w)
+	case http.MethodPost:
+		a.handleFunctionsRegister(w, r)
+	default:
+		writeJSON(w, http.StatusMethodNotAllowed, apiError{"GET or POST required"})
 	}
+}
+
+func (a *API) handleFunctionsList(w http.ResponseWriter) {
 	out := make([]functionInfo, a.rt.NumFunctions())
 	for fn := range out {
 		fam, err := a.rt.FamilyOf(fn)
@@ -318,7 +349,14 @@ func (a *API) handleFunctions(w http.ResponseWriter, r *http.Request) {
 			writeJSON(w, http.StatusInternalServerError, apiError{err.Error()})
 			return
 		}
-		info := functionInfo{Function: fn, Family: fam.Name, Task: fam.Task, Variants: fam.NumVariants()}
+		info := functionInfo{
+			Function: fn,
+			Name:     a.rt.FunctionName(fn),
+			Active:   a.rt.FunctionActive(fn),
+			Family:   fam.Name,
+			Task:     fam.Task,
+			Variants: fam.NumVariants(),
+		}
 		vi, err := a.rt.AliveVariant(fn)
 		if err != nil {
 			writeJSON(w, http.StatusInternalServerError, apiError{err.Error()})
@@ -331,4 +369,58 @@ func (a *API) handleFunctions(w http.ResponseWriter, r *http.Request) {
 		out[fn] = info
 	}
 	writeJSON(w, http.StatusOK, out)
+}
+
+// registerRequest is the POST /functions body.
+type registerRequest struct {
+	Name   string `json:"name"`
+	Family int    `json:"family"`
+}
+
+// registerResponse is the POST /functions reply.
+type registerResponse struct {
+	Function int    `json:"function"`
+	Name     string `json:"name"`
+	Family   int    `json:"family"`
+}
+
+func (a *API) handleFunctionsRegister(w http.ResponseWriter, r *http.Request) {
+	var req registerRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{fmt.Sprintf("bad body: %v", err)})
+		return
+	}
+	slot, err := a.rt.Register(req.Name, req.Family)
+	if err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, ErrClosed) {
+			status = http.StatusServiceUnavailable
+		}
+		writeJSON(w, status, apiError{err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusCreated, registerResponse{Function: slot, Name: req.Name, Family: req.Family})
+}
+
+// handleFunctionByName serves DELETE /functions/{name}: online
+// deregistration. The slot is tombstoned, never reused; invoking it
+// afterwards returns 410 Gone.
+func (a *API) handleFunctionByName(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodDelete {
+		writeJSON(w, http.StatusMethodNotAllowed, apiError{"DELETE required"})
+		return
+	}
+	name := r.PathValue("name")
+	if err := a.rt.Deregister(name); err != nil {
+		status := http.StatusBadRequest
+		switch {
+		case errors.Is(err, ErrClosed):
+			status = http.StatusServiceUnavailable
+		case errors.Is(err, ErrUnknownFunction):
+			status = http.StatusNotFound
+		}
+		writeJSON(w, status, apiError{err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"deregistered": name})
 }

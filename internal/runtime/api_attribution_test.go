@@ -2,6 +2,7 @@ package runtime
 
 import (
 	"encoding/json"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -181,19 +182,25 @@ func TestEndpointsTableMatchesMux(t *testing.T) {
 	api, _ := newAttributedAPI(t)
 	seen := map[string]bool{}
 	for _, ep := range Endpoints() {
-		if seen[ep.Path] {
-			t.Errorf("duplicate endpoint %s", ep.Path)
+		key := ep.Method + " " + ep.Path
+		if seen[key] {
+			t.Errorf("duplicate endpoint %s", key)
 		}
-		seen[ep.Path] = true
+		seen[key] = true
 		target := ep.Path
-		if ep.Path == "/invoke" {
+		var body io.Reader
+		switch {
+		case ep.Path == "/invoke":
 			target += "?fn=0"
-		}
-		if ep.Path == "/timeseries" {
+		case ep.Path == "/timeseries":
 			target += "?metric=invocations"
+		case ep.Method == http.MethodPost && ep.Path == "/functions":
+			body = strings.NewReader(`{"name":"table-test-fn","family":0}`)
+		case ep.Path == "/functions/{name}":
+			target = "/functions/table-test-fn" // registered by the POST row above
 		}
 		rec := httptest.NewRecorder()
-		api.ServeHTTP(rec, httptest.NewRequest(ep.Method, target, nil))
+		api.ServeHTTP(rec, httptest.NewRequest(ep.Method, target, body))
 		if rec.Code == http.StatusNotFound && ep.Path != "/events" && ep.Path != "/decisions" {
 			t.Errorf("%s %s = 404: endpoint listed but not served", ep.Method, ep.Path)
 		}

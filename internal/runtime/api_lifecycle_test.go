@@ -1,0 +1,153 @@
+package runtime
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestFunctionsRegisterEndpoint drives the online-registration route:
+// a valid body issues the next slot (201), the new function serves
+// immediately, and malformed bodies, bad families, duplicate live names,
+// and invalid names are client errors.
+func TestFunctionsRegisterEndpoint(t *testing.T) {
+	api, rt := newTestAPI(t)
+	before := rt.NumFunctions()
+
+	rec := httptest.NewRecorder()
+	api.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/functions",
+		strings.NewReader(`{"name":"newcomer","family":0}`)))
+	if rec.Code != http.StatusCreated {
+		t.Fatalf("POST /functions = %d: %s", rec.Code, rec.Body.String())
+	}
+	var resp struct {
+		Function int    `json:"function"`
+		Name     string `json:"name"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Function != before || resp.Name != "newcomer" {
+		t.Errorf("register response %+v, want slot %d name newcomer", resp, before)
+	}
+
+	// The fresh slot serves, cold by construction.
+	rec = httptest.NewRecorder()
+	api.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/invoke?fn="+strconv.Itoa(resp.Function), nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("invoking fresh slot = %d: %s", rec.Code, rec.Body.String())
+	}
+	var inv Invocation
+	if err := json.Unmarshal(rec.Body.Bytes(), &inv); err != nil {
+		t.Fatal(err)
+	}
+	if !inv.Cold {
+		t.Error("first invocation of a freshly registered function was warm, want cold")
+	}
+
+	for name, body := range map[string]string{
+		"bad JSON":       `{"name":`,
+		"bad family":     `{"name":"x","family":99}`,
+		"duplicate name": `{"name":"newcomer","family":0}`,
+		"invalid name":   `{"name":"has spaces!","family":0}`,
+		"empty name":     `{"name":"","family":0}`,
+	} {
+		rec := httptest.NewRecorder()
+		api.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/functions", strings.NewReader(body)))
+		if rec.Code != http.StatusBadRequest {
+			t.Errorf("%s: POST /functions = %d, want 400 (%s)", name, rec.Code, rec.Body.String())
+		}
+	}
+
+	// GET /functions reports the newcomer active with its name.
+	rec = httptest.NewRecorder()
+	api.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/functions", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatal(rec.Code)
+	}
+	var list []struct {
+		Function int    `json:"function"`
+		Name     string `json:"name"`
+		Active   bool   `json:"active"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != before+1 || list[before].Name != "newcomer" || !list[before].Active {
+		t.Errorf("GET /functions after register: %+v", list)
+	}
+}
+
+// TestFunctionsDeregisterEndpoint drives DELETE /functions/{name}: the slot
+// tombstones (listed inactive), invoking it returns 410 Gone — never a
+// panic — and deleting an unknown name is 404.
+func TestFunctionsDeregisterEndpoint(t *testing.T) {
+	api, rt := newTestAPI(t)
+	name := rt.FunctionName(0)
+
+	rec := httptest.NewRecorder()
+	api.ServeHTTP(rec, httptest.NewRequest(http.MethodDelete, "/functions/"+name, nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("DELETE /functions/%s = %d: %s", name, rec.Code, rec.Body.String())
+	}
+
+	rec = httptest.NewRecorder()
+	api.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/invoke?fn=0", nil))
+	if rec.Code != http.StatusGone {
+		t.Errorf("invoking deregistered slot = %d, want 410 Gone (%s)", rec.Code, rec.Body.String())
+	}
+
+	rec = httptest.NewRecorder()
+	api.ServeHTTP(rec, httptest.NewRequest(http.MethodDelete, "/functions/"+name, nil))
+	if rec.Code != http.StatusNotFound {
+		t.Errorf("double DELETE = %d, want 404", rec.Code)
+	}
+	rec = httptest.NewRecorder()
+	api.ServeHTTP(rec, httptest.NewRequest(http.MethodDelete, "/functions/never-existed", nil))
+	if rec.Code != http.StatusNotFound {
+		t.Errorf("DELETE unknown = %d, want 404", rec.Code)
+	}
+
+	rec = httptest.NewRecorder()
+	api.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/functions", nil))
+	var list []struct {
+		Active       bool   `json:"active"`
+		AliveVariant string `json:"aliveVariant"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &list); err != nil {
+		t.Fatal(err)
+	}
+	if list[0].Active {
+		t.Error("deregistered slot still listed active")
+	}
+	if list[0].AliveVariant != "" {
+		t.Error("deregistered slot still shows a warm variant")
+	}
+}
+
+// TestFunctionsMethodRejection pins the 405 behaviour of the mutation
+// routes: the collection accepts only GET and POST, the named route only
+// DELETE.
+func TestFunctionsMethodRejection(t *testing.T) {
+	api, rt := newTestAPI(t)
+	name := rt.FunctionName(0)
+	for _, c := range []struct {
+		method, path string
+	}{
+		{http.MethodPut, "/functions"},
+		{http.MethodDelete, "/functions"},
+		{http.MethodPatch, "/functions"},
+		{http.MethodGet, "/functions/" + name},
+		{http.MethodPost, "/functions/" + name},
+		{http.MethodPut, "/functions/" + name},
+	} {
+		rec := httptest.NewRecorder()
+		api.ServeHTTP(rec, httptest.NewRequest(c.method, c.path, nil))
+		if rec.Code != http.StatusMethodNotAllowed {
+			t.Errorf("%s %s = %d, want 405", c.method, c.path, rec.Code)
+		}
+	}
+}

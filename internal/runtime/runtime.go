@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"github.com/pulse-serverless/pulse/internal/cluster"
+	"github.com/pulse-serverless/pulse/internal/identity"
 	"github.com/pulse-serverless/pulse/internal/models"
 	"github.com/pulse-serverless/pulse/internal/telemetry"
 )
@@ -19,10 +20,26 @@ import (
 // not a panic.
 var ErrClosed = errors.New("runtime: closed")
 
+// ErrUnknownFunction is returned for a function index or name that was
+// never registered.
+var ErrUnknownFunction = errors.New("runtime: unknown function")
+
+// ErrDeregistered is returned when an invocation targets a function whose
+// slot has been deregistered — a client error (the function is gone), never
+// a panic.
+var ErrDeregistered = errors.New("runtime: function deregistered")
+
 // Config assembles a live runtime.
 type Config struct {
 	Catalog    *models.Catalog
 	Assignment models.Assignment // one registered function per entry
+	// Names optionally gives the initial functions their stable identities
+	// (one per Assignment entry, validated by the identity package). When
+	// nil, identity.DefaultNames applies. A runtime wrapping a policy that
+	// was itself constructed with names (core.Config.Names, the *Named
+	// baseline constructors) must use the same list, so both sides issue
+	// identical slots during online registration.
+	Names []string
 	// Policy is the keep-alive controller (PULSE or any baseline). The
 	// runtime owns it after construction; it must not be shared.
 	//
@@ -140,6 +157,11 @@ type Runtime struct {
 	countsBuf []int // reused Step scratch, reported to the policy
 	kaMMB     float64
 	kaCostUSD float64
+
+	// reg mirrors the policy's identity registry: name → slot for the API,
+	// per-slot live flags for Invoke's tombstone check. Mutated only under
+	// the exclusive barrier (Register/Deregister), read under the shared one.
+	reg *identity.Registry
 }
 
 // New builds a runtime. The policy's decision vector length must match the
@@ -169,6 +191,18 @@ func New(cfg Config) (*Runtime, error) {
 	if cfg.Cost.USDPerGBSecond == 0 {
 		cfg.Cost = cluster.DefaultCostModel()
 	}
+	if cfg.Names == nil {
+		cfg.Names = identity.DefaultNames(len(cfg.Assignment))
+	}
+	if len(cfg.Names) != len(cfg.Assignment) {
+		return nil, fmt.Errorf("runtime: %d names for %d functions", len(cfg.Names), len(cfg.Assignment))
+	}
+	reg, err := identity.NewRegistry(cfg.Names)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Assignment = append(models.Assignment(nil), cfg.Assignment...)
+	cfg.Names = append([]string(nil), cfg.Names...)
 	r := &Runtime{
 		cfg:       cfg,
 		clock:     cfg.Clock,
@@ -176,6 +210,7 @@ func New(cfg Config) (*Runtime, error) {
 		serial:    cfg.Serial,
 		fns:       make([]fnState, len(cfg.Assignment)),
 		countsBuf: make([]int, len(cfg.Assignment)),
+		reg:       reg,
 	}
 	for i := range r.fns {
 		r.fns[i].alive = cluster.NoVariant
@@ -291,15 +326,51 @@ func (r *Runtime) Close() error {
 	return nil
 }
 
-// NumFunctions returns the number of registered functions.
-func (r *Runtime) NumFunctions() int { return len(r.cfg.Assignment) }
+// NumFunctions returns the total number of function slots ever issued,
+// active and tombstoned alike.
+func (r *Runtime) NumFunctions() int {
+	r.barrier.RLock()
+	defer r.barrier.RUnlock()
+	return len(r.cfg.Assignment)
+}
+
+// NumActive returns the number of currently registered functions.
+func (r *Runtime) NumActive() int {
+	r.barrier.RLock()
+	defer r.barrier.RUnlock()
+	return r.reg.NumActive()
+}
 
 // FamilyOf returns the model family serving function fn.
 func (r *Runtime) FamilyOf(fn int) (models.Family, error) {
+	r.barrier.RLock()
+	defer r.barrier.RUnlock()
 	if fn < 0 || fn >= len(r.cfg.Assignment) {
-		return models.Family{}, fmt.Errorf("runtime: unknown function %d", fn)
+		return models.Family{}, fmt.Errorf("%w %d", ErrUnknownFunction, fn)
 	}
 	return r.cfg.Catalog.Families[r.cfg.Assignment[fn]], nil
+}
+
+// FunctionName returns the name that owns (or owned) slot fn; "" when out
+// of range.
+func (r *Runtime) FunctionName(fn int) string {
+	r.barrier.RLock()
+	defer r.barrier.RUnlock()
+	return r.reg.Name(fn)
+}
+
+// FunctionActive reports whether slot fn is currently registered.
+func (r *Runtime) FunctionActive(fn int) bool {
+	r.barrier.RLock()
+	defer r.barrier.RUnlock()
+	return r.reg.Active(fn)
+}
+
+// LookupFunction returns the slot of an actively registered name.
+func (r *Runtime) LookupFunction(name string) (int, bool) {
+	r.barrier.RLock()
+	defer r.barrier.RUnlock()
+	return r.reg.Slot(name)
 }
 
 // Invoke executes one invocation of function fn during the current minute.
@@ -310,16 +381,23 @@ func (r *Runtime) FamilyOf(fn int) (models.Family, error) {
 // Invoke is safe for arbitrary concurrency: invocations of different
 // functions only share the minute barrier (held in read mode) and never
 // block each other; invocations of the same function serialize on that
-// function's lock.
+// function's lock. Invoking a deregistered function returns an error
+// wrapping ErrDeregistered — the slot check happens under the barrier, so
+// it is race-free against concurrent Deregister calls.
 func (r *Runtime) Invoke(fn int) (Invocation, error) {
-	if fn < 0 || fn >= len(r.fns) {
-		return Invocation{}, fmt.Errorf("runtime: unknown function %d", fn)
-	}
 	r.ensureStarted()
 	r.lockShared()
 	if r.closed {
 		r.unlockShared()
 		return Invocation{}, ErrClosed
+	}
+	if fn < 0 || fn >= len(r.fns) {
+		r.unlockShared()
+		return Invocation{}, fmt.Errorf("%w %d", ErrUnknownFunction, fn)
+	}
+	if !r.reg.Active(fn) {
+		r.unlockShared()
+		return Invocation{}, fmt.Errorf("%w: %q (function %d)", ErrDeregistered, r.reg.Name(fn), fn)
 	}
 	fam := r.cfg.Catalog.Families[r.cfg.Assignment[fn]]
 	inv := Invocation{Function: fn, Minute: r.minute}
@@ -443,12 +521,12 @@ func (r *Runtime) Stats() Stats {
 // AliveVariant reports which variant of fn is currently kept alive
 // (cluster.NoVariant if none). It remains available after Close.
 func (r *Runtime) AliveVariant(fn int) (int, error) {
-	if fn < 0 || fn >= len(r.fns) {
-		return 0, fmt.Errorf("runtime: unknown function %d", fn)
-	}
 	r.ensureStarted()
 	r.lockShared()
 	defer r.unlockShared()
+	if fn < 0 || fn >= len(r.fns) {
+		return 0, fmt.Errorf("%w %d", ErrUnknownFunction, fn)
+	}
 	st := &r.fns[fn]
 	st.mu.Lock()
 	v := st.alive

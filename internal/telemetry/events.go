@@ -24,6 +24,10 @@ const (
 	KindDowngrade = "downgrade"
 	// KindMinute is the platform's per-minute keep-alive rollup.
 	KindMinute = "minute"
+	// KindRegister records a function coming into existence online.
+	KindRegister = "register"
+	// KindDeregister records a function slot being retired online.
+	KindDeregister = "deregister"
 )
 
 // Event is one decision-log record. The struct is flat so the ring buffer
@@ -35,6 +39,9 @@ type Event struct {
 	Kind   string `json:"kind"`
 
 	Function int `json:"function"`
+
+	// Name is the function's registered name (lifecycle events only).
+	Name string `json:"name,omitempty"`
 
 	// Schedule fields: the planned variant per offset minute 1..window and
 	// the invocation probability that chose it.

@@ -131,6 +131,8 @@ type Recorder struct {
 	Schedules   []ScheduleSample
 	Peaks       []PeakSample
 	Downgrades  []DowngradeSample
+	Registers   []RegisterSample
+	Deregisters []DeregisterSample
 }
 
 // ObserveInvocation implements Observer.

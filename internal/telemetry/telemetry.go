@@ -34,6 +34,8 @@ type Telemetry struct {
 	schedules   *CounterVec   // {function}
 	peaks       *Counter
 	peakActive  *Gauge
+	registers   *Counter
+	deregisters *Counter
 
 	mu       sync.Mutex
 	invCache map[invKey]*Counter
@@ -110,6 +112,18 @@ func New(cfg Config) (*Telemetry, error) {
 		return nil, err
 	}
 	t.peakActive = activeVec.With()
+	regVec, err := t.reg.NewCounterVec("pulse_function_registrations_total",
+		"Functions registered online since start.")
+	if err != nil {
+		return nil, err
+	}
+	t.registers = regVec.With()
+	deregVec, err := t.reg.NewCounterVec("pulse_function_deregistrations_total",
+		"Functions deregistered online since start.")
+	if err != nil {
+		return nil, err
+	}
+	t.deregisters = deregVec.With()
 	return t, nil
 }
 

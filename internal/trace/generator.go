@@ -263,6 +263,14 @@ type GeneratorConfig struct {
 	Seed       int64
 	Horizon    int         // minutes; defaults to 14 days if ≤ 0
 	Archetypes []Archetype // one function generated per entry; defaults to AzureLikeArchetypes
+
+	// Churn, when in (0, 1], is the probability that a function (other than
+	// the first, which always spans the whole trace) gets a partial
+	// lifetime: a late registration, an early deregistration, or both.
+	// Lifetimes are drawn from the per-function RNG after the invocation
+	// series, so Churn == 0 reproduces the pre-churn trace bit for bit and
+	// the invocation patterns inside a lifetime are unchanged by churn.
+	Churn float64
 }
 
 // AzureLikeArchetypes returns the default mix of 12 function behaviours
@@ -302,6 +310,9 @@ func Generate(cfg GeneratorConfig) (*Trace, error) {
 	if len(arch) == 0 {
 		arch = AzureLikeArchetypes()
 	}
+	if cfg.Churn < 0 || cfg.Churn > 1 {
+		return nil, fmt.Errorf("trace: churn probability %v outside [0, 1]", cfg.Churn)
+	}
 	tr := &Trace{Horizon: horizon, Functions: make([]Function, len(arch))}
 	for i, a := range arch {
 		rng := rand.New(rand.NewSource(cfg.Seed + int64(i)*1_000_003))
@@ -314,6 +325,20 @@ func Generate(cfg GeneratorConfig) (*Trace, error) {
 			Name:      fmt.Sprintf("fn-%02d", i),
 			Archetype: a.Name(),
 			Counts:    counts,
+		}
+		quarter := horizon / 4
+		if cfg.Churn > 0 && i > 0 && quarter > 0 && rng.Float64() < cfg.Churn {
+			start, end := 0, 0
+			switch rng.Intn(3) {
+			case 0: // late registration
+				start = quarter + rng.Intn(quarter)
+			case 1: // early deregistration
+				end = horizon - quarter - rng.Intn(quarter)
+			default: // mid-trace lifetime window
+				start = 1 + rng.Intn(quarter)
+				end = horizon - 1 - rng.Intn(quarter)
+			}
+			tr.Functions[i].SetLifecycle(start, end)
 		}
 	}
 	if err := tr.Validate(); err != nil {

@@ -22,11 +22,46 @@ const MinutesPerDay = 24 * 60
 
 // Function is one serverless function's invocation series: Counts[t] is the
 // number of invocations arriving during minute t.
+//
+// Start and End bound the function's lifetime for churn workloads: the
+// function registers at the start of minute Start and deregisters at the
+// start of minute End (exclusive; 0 means "lives to the horizon"). The zero
+// value — Start == 0, End == 0 — is a function that exists for the whole
+// trace, so every pre-churn trace is unchanged. Counts outside [Start, End)
+// must be zero.
 type Function struct {
 	ID        int
 	Name      string
 	Archetype string // generator archetype that produced it ("" for loaded traces)
 	Counts    []int
+	Start     int // first minute the function exists (inclusive)
+	End       int // first minute the function no longer exists (0 = horizon)
+}
+
+// EndMinute resolves the exclusive end of the function's lifetime against
+// the trace horizon: an unset (zero) End means the function lives to the
+// end.
+func (f Function) EndMinute(horizon int) int {
+	if f.End == 0 {
+		return horizon
+	}
+	return f.End
+}
+
+// LiveAt reports whether the function exists during minute t.
+func (f Function) LiveAt(t, horizon int) bool {
+	return t >= f.Start && t < f.EndMinute(horizon)
+}
+
+// SetLifecycle bounds the function's lifetime to [start, end) and zeroes
+// every invocation count outside it, keeping the trace self-consistent.
+func (f *Function) SetLifecycle(start, end int) {
+	f.Start, f.End = start, end
+	for t := range f.Counts {
+		if t < start || (end != 0 && t >= end) {
+			f.Counts[t] = 0
+		}
+	}
 }
 
 // TotalInvocations returns the total invocation count of the function.
@@ -115,8 +150,33 @@ func (tr *Trace) Validate() error {
 				return fmt.Errorf("trace: function %q has negative count %d at minute %d", f.Name, c, t)
 			}
 		}
+		if f.Start < 0 || f.Start >= tr.Horizon {
+			return fmt.Errorf("trace: function %q starts at minute %d, horizon is %d", f.Name, f.Start, tr.Horizon)
+		}
+		end := f.EndMinute(tr.Horizon)
+		if end <= f.Start || end > tr.Horizon {
+			return fmt.Errorf("trace: function %q has lifetime [%d, %d), horizon is %d", f.Name, f.Start, end, tr.Horizon)
+		}
+		for t, c := range f.Counts {
+			if c > 0 && (t < f.Start || t >= end) {
+				return fmt.Errorf("trace: function %q invoked at minute %d outside its lifetime [%d, %d)", f.Name, t, f.Start, end)
+			}
+		}
 	}
 	return nil
+}
+
+// HasChurn reports whether any function registers after minute 0 or
+// deregisters before the horizon — i.e. whether replaying the trace requires
+// online lifecycle support.
+func (tr *Trace) HasChurn() bool {
+	for i := range tr.Functions {
+		f := &tr.Functions[i]
+		if f.Start != 0 || f.EndMinute(tr.Horizon) != tr.Horizon {
+			return true
+		}
+	}
+	return false
 }
 
 // FunctionByID returns the function with the given ID, or nil.
@@ -152,10 +212,15 @@ func (tr *Trace) TotalInvocations() int {
 }
 
 // Slice returns a sub-trace covering minutes [from, to). Function IDs,
-// names, and archetypes are preserved; counts are copied.
+// names, and archetypes are preserved; counts are copied. Churn traces
+// cannot be sliced: a lifetime boundary has no meaningful projection onto an
+// arbitrary sub-window.
 func (tr *Trace) Slice(from, to int) (*Trace, error) {
 	if from < 0 || to > tr.Horizon || from >= to {
 		return nil, fmt.Errorf("trace: invalid slice [%d, %d) of horizon %d", from, to, tr.Horizon)
+	}
+	if tr.HasChurn() {
+		return nil, errors.New("trace: cannot slice a trace with function churn")
 	}
 	out := &Trace{Horizon: to - from, Functions: make([]Function, len(tr.Functions))}
 	for i := range tr.Functions {
