@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-parallel race bench bench-runtime experiments report examples clean verify alloc lint
+.PHONY: all build vet test test-parallel race bench bench-runtime experiments report examples clean verify alloc lint e2e
 
 all: build vet test
 
@@ -43,6 +43,12 @@ test-parallel:
 	$(GO) test ./internal/core -run '^$$' -fuzz '^FuzzPeakDetector$$' -fuzztime=10s
 	$(GO) test ./internal/core -run '^$$' -fuzz '^FuzzHistoryProbabilities$$' -fuzztime=10s
 	$(GO) test ./internal/core -run '^$$' -fuzz '^FuzzSchedule$$' -fuzztime=10s
+
+# Live ops smoke test: builds the pulsed binary, runs it with a compressed
+# clock and a webhook sink, and drives an alert through fire and resolve.
+# Mirrors the CI "e2e" job.
+e2e:
+	$(GO) test ./cmd/pulsed -run 'TestE2E' -count=1 -v
 
 # Quick-scale benchmark pass over every table/figure harness.
 bench:

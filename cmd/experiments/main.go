@@ -7,7 +7,8 @@
 //	experiments -exp fig6a -days 3 -runs 30         # quick check
 //
 // Experiments: tableI tableII tableIII fig1 fig2 fig4 fig5 fig6a fig6b
-// fig7 fig8 fig9 fig10 fig11 fig12 ablations all.
+// fig7 fig8 fig9 fig10 fig11 fig12 attribution holtwinters capacity
+// windows tails churn alerts ablations all.
 package main
 
 import (
@@ -78,6 +79,7 @@ func run() error {
 		"windows":     wrap(experiments.ExtensionWindowSweep),
 		"tails":       wrap(experiments.ExtensionTailLatency),
 		"churn":       wrap(experiments.ExtensionChurn),
+		"alerts":      wrap(experiments.ExtensionAlerts),
 		"ablations": func(o experiments.Options) error {
 			for _, f := range []func(experiments.Options) ([]experiments.SweepPoint, error){
 				experiments.AblationHistoryBlend,

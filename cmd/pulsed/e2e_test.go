@@ -1,0 +1,237 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"github.com/pulse-serverless/pulse/internal/alert"
+)
+
+// TestE2EAlertLifecycle is the live ops smoke test: it builds the real
+// pulsed binary, runs it with a compressed clock and a webhook sink
+// pointed at a local test server, drives an alert through its full
+// lifecycle (deregister a function, invoke it until the rule fires, stop
+// until it resolves), and checks the dashboard and SSE stream actually
+// serve. This is the one test where the daemon, rule engine, webhook
+// retry loop, and HTTP surface all meet as separate processes.
+func TestE2EAlertLifecycle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the pulsed binary")
+	}
+
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "pulsed")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	build.Env = os.Environ()
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	// Webhook sink: every POST body is a Notification.
+	hooks := make(chan alert.Notification, 64)
+	hookSrv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var n alert.Notification
+		if err := json.NewDecoder(r.Body).Decode(&n); err != nil {
+			t.Errorf("webhook body: %v", err)
+			http.Error(w, "bad body", http.StatusBadRequest)
+			return
+		}
+		if ct := r.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+			t.Errorf("webhook Content-Type %q", ct)
+		}
+		select {
+		case hooks <- n:
+		default:
+		}
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer hookSrv.Close()
+
+	rules := filepath.Join(dir, "rules.conf")
+	if err := os.WriteFile(rules, []byte("dereg-gone dereg_invokes > 0 for=1 cooldown=2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Grab a free port; the window between Close and the daemon's Listen
+	// is the usual acceptable race for spawned-server tests.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	base := "http://" + addr
+
+	// One simulated minute per 50ms of wall clock.
+	daemon := exec.Command(bin,
+		"-addr", addr,
+		"-compress", "1200",
+		"-alert-rules", rules,
+		"-webhook", hookSrv.URL,
+	)
+	daemon.Stdout = os.Stderr
+	daemon.Stderr = os.Stderr
+	if err := daemon.Start(); err != nil {
+		t.Fatal(err)
+	}
+	exited := make(chan error, 1)
+	go func() { exited <- daemon.Wait() }()
+	defer func() {
+		daemon.Process.Signal(syscall.SIGTERM)
+		select {
+		case <-exited:
+		case <-time.After(10 * time.Second):
+			daemon.Process.Kill()
+			t.Error("daemon did not exit on SIGTERM")
+		}
+	}()
+
+	client := &http.Client{Timeout: 5 * time.Second}
+	waitUp := time.Now()
+	for {
+		resp, err := client.Get(base + "/healthz")
+		if err == nil {
+			var h struct {
+				Status string `json:"status"`
+				Alerts struct {
+					Enabled bool `json:"enabled"`
+					Rules   int  `json:"rules"`
+				} `json:"alerts"`
+			}
+			derr := json.NewDecoder(resp.Body).Decode(&h)
+			resp.Body.Close()
+			if derr != nil {
+				t.Fatalf("healthz decode: %v", derr)
+			}
+			if h.Status != "ok" || !h.Alerts.Enabled || h.Alerts.Rules != 1 {
+				t.Fatalf("healthz %+v: want ok with 1 alert rule", h)
+			}
+			break
+		}
+		if time.Since(waitUp) > 15*time.Second {
+			t.Fatalf("daemon never came up at %s: %v", base, err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// Dashboard serves.
+	resp, err := client.Get(base + "/dashboard")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("GET /dashboard = %d, want 200", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// The SSE stream hands out its handshake and, with minutes ticking
+	// every 50ms and a subscriber attached, a minute event promptly.
+	streamCtx, cancelStream := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancelStream()
+	streamReq, err := http.NewRequestWithContext(streamCtx, http.MethodGet, base+"/stream", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamResp, err := (&http.Client{}).Do(streamReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer streamResp.Body.Close()
+	sc := bufio.NewScanner(streamResp.Body)
+	sawRetry, sawEvent := false, false
+	for sc.Scan() && !sawEvent {
+		line := sc.Text()
+		if strings.HasPrefix(line, "retry:") {
+			sawRetry = true
+		}
+		if strings.HasPrefix(line, "event:") {
+			sawEvent = true
+		}
+	}
+	if !sawRetry || !sawEvent {
+		t.Fatalf("SSE stream: retry line %v, event line %v (scan err %v)", sawRetry, sawEvent, sc.Err())
+	}
+	cancelStream()
+
+	// Deregister fn-0, then hammer its slot: every 410 feeds the
+	// dereg_invokes metric, and the rule fires at the next minute barrier.
+	del, err := http.NewRequest(http.MethodDelete, base+"/functions/fn-0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err = client.Do(del)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("DELETE /functions/fn-0 = %d", resp.StatusCode)
+	}
+
+	waitNotification := func(state string) alert.Notification {
+		t.Helper()
+		deadline := time.After(30 * time.Second)
+		for {
+			select {
+			case n := <-hooks:
+				if n.Rule == "dereg-gone" && n.State == state {
+					return n
+				}
+				t.Logf("webhook: skipping %+v while waiting for %s", n, state)
+			case <-deadline:
+				t.Fatalf("no %s webhook notification within 30s", state)
+			case <-time.After(25 * time.Millisecond):
+				if state == alert.StateFiring {
+					// Keep the metric breached until the barrier fires it.
+					r, err := client.Post(base+"/invoke?fn=0", "", nil)
+					if err != nil {
+						t.Fatal(err)
+					}
+					r.Body.Close()
+					if r.StatusCode != http.StatusGone {
+						t.Fatalf("invoke deregistered fn = %d, want 410", r.StatusCode)
+					}
+				}
+			}
+		}
+	}
+
+	firing := waitNotification(alert.StateFiring)
+	if firing.Metric != "dereg_invokes" || firing.Value <= 0 {
+		t.Errorf("firing notification %+v", firing)
+	}
+	// Stop invoking: the next clean minute resolves the alert.
+	resolved := waitNotification(alert.StateResolved)
+	if resolved.Minute <= firing.Minute {
+		t.Errorf("resolved at minute %d, fired at %d", resolved.Minute, firing.Minute)
+	}
+}
+
+// The alerting flags must stay registered.
+func TestAlertFlagsRegistered(t *testing.T) {
+	src, err := os.ReadFile("main.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, flagName := range []string{`"alerts"`, `"alert-rules"`, `"webhook"`} {
+		if !strings.Contains(string(src), flagName) {
+			t.Errorf("main.go does not register the %s flag", flagName)
+		}
+	}
+	// -alert-rules and -webhook must imply -alerts, or a rule file would
+	// be silently ignored.
+	if !strings.Contains(string(src), `*alerts = *alerts || *alertRules != "" || *webhook != ""`) {
+		t.Error("main.go does not make -alert-rules/-webhook imply -alerts")
+	}
+}

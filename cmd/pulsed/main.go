@@ -18,8 +18,10 @@
 //	GET  /decisions        Algorithm 1/2 audit: downgrades with Uv = Ai+Pr+Ip, peak episodes
 //	GET  /attribution      per-function counterfactual savings vs shadow baselines (requires attribution)
 //	GET  /timeseries       attribution series for one metric (?metric=&window=&res=; requires attribution)
-//	GET  /top              text ranking by savings, downgrades, cold-start risk (requires attribution)
-//	GET  /healthz          liveness
+//	GET  /top              ranking by savings, downgrades, cold-start risk; text or ?format=json (requires attribution)
+//	GET  /stream           live Server-Sent Events: decision log, minute rollups, alert transitions
+//	GET  /dashboard        embedded single-page live ops dashboard
+//	GET  /healthz          daemon health JSON: uptime, go version, population, minute, alert-engine status
 //
 // With -debug, the Go pprof and expvar surfaces are mounted under
 // /debug/pprof/ and /debug/vars. With -eventlog FILE, every controller
@@ -30,6 +32,15 @@
 // -attribution-window), a never-keep-alive policy, and a hindsight oracle,
 // serving per-function savings through /attribution, /timeseries, and
 // /top.
+//
+// With -alerts, a threshold rule engine watches the per-minute stream and
+// emits firing/resolved notifications to the log, the SSE stream, and —
+// with -webhook URL — an HTTP endpoint (JSON POST, retried with backoff).
+// The default rules cover cold-start spikes, keep-alive memory peaks,
+// invocations of deregistered functions, and (with -attribution) savings
+// regressions versus the fixed baseline; -alert-rules FILE replaces them
+// with a rule file (one "<name> <metric> <op> <threshold> [for=N]
+// [cooldown=N]" per line). -alert-rules and -webhook imply -alerts.
 //
 // With -demo, a background workload generator issues invocations drawn from
 // the synthetic trace archetypes so the keep-alive behaviour is visible
@@ -53,6 +64,7 @@ import (
 	"time"
 
 	pulse "github.com/pulse-serverless/pulse"
+	"github.com/pulse-serverless/pulse/internal/alert"
 	"github.com/pulse-serverless/pulse/internal/attribution"
 	"github.com/pulse-serverless/pulse/internal/cluster"
 	"github.com/pulse-serverless/pulse/internal/core"
@@ -121,7 +133,11 @@ func run() error {
 	attrib := flag.Bool("attribution", false, "run counterfactual cost attribution (shadow baselines, /attribution /timeseries /top)")
 	attribWindow := flag.Int("attribution-window", cluster.DefaultKeepAliveWindow, "fixed-baseline keep-alive window in minutes for attribution")
 	serial := flag.Bool("serial", false, "use the single-lock serial runtime instead of the lock-striped one (benchmark baseline)")
+	alerts := flag.Bool("alerts", false, "evaluate threshold alert rules at the minute barrier (default rules unless -alert-rules)")
+	alertRules := flag.String("alert-rules", "", "alert rule file (one '<name> <metric> <op> <threshold> [for=N] [cooldown=N]' per line); implies -alerts")
+	webhook := flag.String("webhook", "", "POST alert notifications as JSON to this URL (retried with backoff); implies -alerts")
 	flag.Parse()
+	*alerts = *alerts || *alertRules != "" || *webhook != ""
 
 	tickEvery, err := tickInterval(*compress)
 	if err != nil {
@@ -149,9 +165,18 @@ func run() error {
 		return err
 	}
 
-	// The controller and runtime share one observer; with -attribution the
-	// accountant rides alongside the metrics pipeline on the same stream.
-	var obs telemetry.Observer = tel
+	// The live-event broadcaster is always on: with no /stream subscribers
+	// a publish is one atomic load, and the tap republishes every decision
+	// event to whoever is watching.
+	stream := alert.NewBroadcaster()
+	tel.Events().Tap(stream.EventTap())
+
+	// The controller and runtime share one observer chain; with
+	// -attribution the accountant rides alongside the metrics pipeline on
+	// the same stream, and with -alerts the rule engine is attached LAST,
+	// so by the time it closes a minute the accountant has already priced
+	// it (the savings rule reads the accountant's ring).
+	chain := []telemetry.Observer{tel}
 	var acct *attribution.Accountant
 	if *attrib {
 		if acct, err = attribution.New(attribution.Config{
@@ -159,7 +184,38 @@ func run() error {
 		}); err != nil {
 			return err
 		}
-		obs = telemetry.Multi(tel, acct)
+		chain = append(chain, acct)
+	}
+	var engine *alert.Engine
+	if *alerts {
+		rules := alert.DefaultRules(*attrib)
+		if *alertRules != "" {
+			f, err := os.Open(*alertRules)
+			if err != nil {
+				return err
+			}
+			rules, err = alert.ParseRules(f)
+			f.Close()
+			if err != nil {
+				return err
+			}
+		}
+		sinks := []alert.Sink{&alert.LogSink{}}
+		if *webhook != "" {
+			sinks = append(sinks, alert.NewWebhookSink(*webhook))
+		}
+		if engine, err = alert.NewEngine(alert.Config{
+			Rules: rules, Sinks: sinks, Attribution: acct, Stream: stream,
+		}); err != nil {
+			return err
+		}
+		defer engine.Close() // after rt.Close: producers stop before the queue drains
+		chain = append(chain, engine)
+		log.Printf("pulsed: alerting enabled (%d rules, webhook %v)", len(rules), *webhook != "")
+	}
+	var obs telemetry.Observer = tel
+	if len(chain) > 1 {
+		obs = telemetry.Multi(chain...)
 	}
 
 	var p pulse.Policy
@@ -210,6 +266,8 @@ func run() error {
 		api.AttachAttribution(acct)
 		log.Printf("pulsed: attribution enabled (fixed baseline window %d min)", acct.Window())
 	}
+	api.AttachStream(stream)
+	api.AttachAlerts(engine)
 
 	var handler http.Handler = api
 	if *debug {

@@ -1,0 +1,218 @@
+package alert
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/pulse-serverless/pulse/internal/telemetry"
+)
+
+// Stream event types, carried in the SSE "event:" field.
+const (
+	// StreamDecision is one decision-log event (telemetry.Event JSON),
+	// published by the EventTap.
+	StreamDecision = "decision"
+	// StreamMinute is the engine's per-minute rollup (MinutePoint JSON).
+	StreamMinute = "minute"
+	// StreamAlert is one alert transition (Notification JSON).
+	StreamAlert = "alert"
+	// StreamDropped is the broadcaster telling a subscriber how many
+	// events its queue has discarded so far ({"dropped":N}).
+	StreamDropped = "dropped"
+)
+
+// DefaultSubscriberBuffer is the per-subscriber queue depth when
+// Subscribe is called with a non-positive buffer.
+const DefaultSubscriberBuffer = 256
+
+// heartbeatInterval paces the SSE comment lines that keep intermediaries
+// from timing out an idle stream and let the server notice dead peers.
+const heartbeatInterval = 15 * time.Second
+
+// StreamEvent is one fanned-out event: a type tag and its pre-marshaled
+// JSON payload (marshaled once per publish, shared by every subscriber).
+type StreamEvent struct {
+	Type string
+	Data []byte
+}
+
+// Broadcaster fans events out to subscribers with bounded per-subscriber
+// queues. Publishing never blocks: a subscriber whose queue is full has
+// the event dropped and counted, so a stalled SSE consumer can never
+// back-pressure the serving path. With no subscribers a publish is one
+// atomic load — attaching the broadcaster to a hot path costs nothing
+// until someone is actually listening.
+type Broadcaster struct {
+	mu        sync.Mutex
+	subs      map[*Subscription]struct{}
+	nsubs     atomic.Int32
+	published atomic.Uint64
+	dropped   atomic.Uint64
+}
+
+// NewBroadcaster returns an empty broadcaster.
+func NewBroadcaster() *Broadcaster {
+	return &Broadcaster{subs: make(map[*Subscription]struct{})}
+}
+
+// Subscription is one subscriber's bounded event queue.
+type Subscription struct {
+	b       *Broadcaster
+	ch      chan StreamEvent
+	dropped atomic.Uint64
+	once    sync.Once
+}
+
+// Subscribe registers a new subscriber with the given queue depth (≤ 0
+// selects DefaultSubscriberBuffer). The caller must Close the
+// subscription when done.
+func (b *Broadcaster) Subscribe(buffer int) *Subscription {
+	if buffer <= 0 {
+		buffer = DefaultSubscriberBuffer
+	}
+	s := &Subscription{b: b, ch: make(chan StreamEvent, buffer)}
+	b.mu.Lock()
+	b.subs[s] = struct{}{}
+	b.nsubs.Add(1)
+	b.mu.Unlock()
+	return s
+}
+
+// C is the subscriber's event channel. It is closed by Close.
+func (s *Subscription) C() <-chan StreamEvent { return s.ch }
+
+// Dropped returns how many events this subscriber has lost to a full queue.
+func (s *Subscription) Dropped() uint64 { return s.dropped.Load() }
+
+// Close removes the subscription and closes its channel. Idempotent.
+func (s *Subscription) Close() {
+	s.once.Do(func() {
+		s.b.mu.Lock()
+		delete(s.b.subs, s)
+		s.b.nsubs.Add(-1)
+		// Closing under the lock is safe: sends only happen under the
+		// same lock, and the map no longer contains s.
+		close(s.ch)
+		s.b.mu.Unlock()
+	})
+}
+
+// Publish marshals v once and fans it out to every subscriber,
+// non-blocking. With no subscribers it returns before marshaling. nil-safe.
+func (b *Broadcaster) Publish(typ string, v any) {
+	if b == nil || b.nsubs.Load() == 0 {
+		return
+	}
+	data, err := json.Marshal(v)
+	if err != nil {
+		return
+	}
+	ev := StreamEvent{Type: typ, Data: data}
+	b.mu.Lock()
+	for s := range b.subs {
+		select {
+		case s.ch <- ev:
+		default:
+			s.dropped.Add(1)
+			b.dropped.Add(1)
+		}
+	}
+	b.mu.Unlock()
+	b.published.Add(1)
+}
+
+// EventTap returns a telemetry.EventLog tap that republishes every
+// decision-log event on the stream as a "decision" event. The tap is
+// non-blocking by construction (Publish never blocks), as the EventLog
+// contract requires, and with no subscribers it costs one atomic load —
+// the subscriber check happens before the event is boxed into an
+// interface, so an idle tap allocates nothing.
+func (b *Broadcaster) EventTap() func(telemetry.Event) {
+	return func(ev telemetry.Event) {
+		if b.nsubs.Load() == 0 {
+			return
+		}
+		b.Publish(StreamDecision, ev)
+	}
+}
+
+// BroadcastStats is the broadcaster's health summary for /healthz.
+type BroadcastStats struct {
+	// Subscribers is the number of currently attached subscribers.
+	Subscribers int `json:"subscribers"`
+	// Published counts fan-outs performed (events published while at
+	// least one subscriber was attached).
+	Published uint64 `json:"published"`
+	// Dropped counts subscriber-events discarded on full queues, summed
+	// over all subscribers past and present.
+	Dropped uint64 `json:"dropped"`
+}
+
+// Stats returns the broadcaster's counters. nil-safe (all zeros).
+func (b *Broadcaster) Stats() BroadcastStats {
+	if b == nil {
+		return BroadcastStats{}
+	}
+	return BroadcastStats{
+		Subscribers: int(b.nsubs.Load()),
+		Published:   b.published.Load(),
+		Dropped:     b.dropped.Load(),
+	}
+}
+
+// ServeHTTP streams events to one subscriber as Server-Sent Events
+// (GET /stream). Delivery is at-most-once: events dropped on this
+// subscriber's full queue are gone, and the stream tells it so with a
+// "dropped" event carrying the running total. The handler exits when the
+// client disconnects.
+func (b *Broadcaster) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET required", http.StatusMethodNotAllowed)
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	sub := b.Subscribe(0)
+	defer sub.Close()
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+	// Tell EventSource clients how fast to reconnect, and flush the
+	// headers so the client sees the stream is live before any event.
+	_, _ = io.WriteString(w, "retry: 2000\n\n")
+	fl.Flush()
+
+	heartbeat := time.NewTicker(heartbeatInterval)
+	defer heartbeat.Stop()
+	var reportedDrops uint64
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-heartbeat.C:
+			if _, err := io.WriteString(w, ": heartbeat\n\n"); err != nil {
+				return
+			}
+			fl.Flush()
+		case ev := <-sub.ch:
+			if d := sub.Dropped(); d > reportedDrops {
+				fmt.Fprintf(w, "event: %s\ndata: {\"dropped\":%d}\n\n", StreamDropped, d)
+				reportedDrops = d
+			}
+			if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Type, ev.Data); err != nil {
+				return
+			}
+			fl.Flush()
+		}
+	}
+}

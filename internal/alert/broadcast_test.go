@@ -1,0 +1,232 @@
+package alert
+
+import (
+	"bufio"
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/pulse-serverless/pulse/internal/telemetry"
+)
+
+func TestBroadcastFanOut(t *testing.T) {
+	b := NewBroadcaster()
+	s1 := b.Subscribe(4)
+	s2 := b.Subscribe(4)
+	defer s1.Close()
+	defer s2.Close()
+	b.Publish(StreamAlert, map[string]int{"x": 1})
+	for i, s := range []*Subscription{s1, s2} {
+		select {
+		case ev := <-s.C():
+			if ev.Type != StreamAlert || string(ev.Data) != `{"x":1}` {
+				t.Errorf("sub %d: got %q %q", i, ev.Type, ev.Data)
+			}
+		default:
+			t.Errorf("sub %d: no event", i)
+		}
+	}
+	if st := b.Stats(); st.Subscribers != 2 || st.Published != 1 || st.Dropped != 0 {
+		t.Errorf("stats %+v", st)
+	}
+}
+
+// A subscriber that stops draining loses events — counted, never blocked
+// on — while a healthy subscriber on the same broadcaster loses nothing.
+func TestBroadcastSlowConsumerDrops(t *testing.T) {
+	b := NewBroadcaster()
+	stalled := b.Subscribe(2)
+	healthy := b.Subscribe(64)
+	defer stalled.Close()
+	defer healthy.Close()
+
+	const events = 10
+	done := make(chan struct{})
+	go func() { // Publish must complete regardless of the stalled queue.
+		for i := 0; i < events; i++ {
+			b.Publish(StreamMinute, MinutePoint{Minute: i})
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Publish blocked on a stalled subscriber")
+	}
+
+	if got := stalled.Dropped(); got != events-2 {
+		t.Errorf("stalled subscriber dropped %d, want %d", got, events-2)
+	}
+	if got := healthy.Dropped(); got != 0 {
+		t.Errorf("healthy subscriber dropped %d", got)
+	}
+	if st := b.Stats(); st.Dropped != events-2 || st.Published != events {
+		t.Errorf("stats %+v", st)
+	}
+	n := len(healthy.ch)
+	for i := 0; i < n; i++ {
+		<-healthy.C()
+	}
+	if n != events {
+		t.Errorf("healthy subscriber received %d, want %d", n, events)
+	}
+}
+
+// Subscribers coming and going while publishers hammer the broadcaster:
+// the race detector is the assertion.
+func TestBroadcastChurnConcurrent(t *testing.T) {
+	b := NewBroadcaster()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for p := 0; p < 4; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+					b.Publish(StreamDecision, telemetry.Event{Minute: i})
+				}
+			}
+		}()
+	}
+	for c := 0; c < 4; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				s := b.Subscribe(1)
+				select {
+				case <-s.C():
+				default:
+				}
+				s.Close()
+			}
+		}()
+	}
+	time.Sleep(50 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	if n := b.Stats().Subscribers; n != 0 {
+		t.Errorf("%d subscribers left after churn", n)
+	}
+}
+
+func TestPublishNoSubscribersAllocatesNothing(t *testing.T) {
+	b := NewBroadcaster()
+	// Pre-boxed: the fast path under test is Publish's own (the engine and
+	// the EventTap both check for subscribers before boxing a value).
+	var v any = MinutePoint{Minute: 1, KeepAliveMB: 512}
+	allocs := testing.AllocsPerRun(1000, func() { b.Publish(StreamMinute, v) })
+	if allocs != 0 {
+		t.Errorf("Publish with no subscribers allocates %.1f/op, want 0", allocs)
+	}
+	var nilB *Broadcaster
+	nilB.Publish(StreamMinute, v) // must not panic
+	if st := nilB.Stats(); st != (BroadcastStats{}) {
+		t.Errorf("nil broadcaster stats %+v", st)
+	}
+}
+
+// The idle event tap (no subscribers) must cost nothing per event: it is
+// wired into every EventLog.Append a live daemon performs.
+func TestEventTapIdleAllocatesNothing(t *testing.T) {
+	tap := NewBroadcaster().EventTap()
+	ev := telemetry.Event{Kind: telemetry.KindMinute, Minute: 1}
+	allocs := testing.AllocsPerRun(1000, func() { tap(ev) })
+	if allocs != 0 {
+		t.Errorf("idle tap allocates %.1f/op, want 0", allocs)
+	}
+}
+
+func TestServeHTTPStreamsSSE(t *testing.T) {
+	b := NewBroadcaster()
+	srv := httptest.NewServer(b)
+	defer srv.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, "GET", srv.URL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := srv.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type %q", ct)
+	}
+
+	// The subscriber registers before the handler writes the retry line,
+	// so once we've read it the publish below is guaranteed to fan out.
+	r := bufio.NewReader(resp.Body)
+	line, err := r.ReadString('\n')
+	if err != nil || !strings.HasPrefix(line, "retry:") {
+		t.Fatalf("first line %q, err %v", line, err)
+	}
+	for b.Stats().Subscribers == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	b.Publish(StreamAlert, Notification{Rule: "r1", State: StateFiring})
+
+	var got []string
+	for len(got) < 2 {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			t.Fatalf("read: %v (got %q)", err, got)
+		}
+		if line = strings.TrimSpace(line); line != "" {
+			got = append(got, line)
+		}
+	}
+	if got[0] != "event: alert" {
+		t.Errorf("event line %q", got[0])
+	}
+	if !strings.HasPrefix(got[1], `data: {"rule":"r1"`) {
+		t.Errorf("data line %q", got[1])
+	}
+	cancel() // disconnect; the handler must unsubscribe
+	for i := 0; b.Stats().Subscribers != 0 && i < 500; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	if n := b.Stats().Subscribers; n != 0 {
+		t.Errorf("%d subscribers after disconnect", n)
+	}
+}
+
+func TestServeHTTPRejectsPost(t *testing.T) {
+	b := NewBroadcaster()
+	rec := httptest.NewRecorder()
+	b.ServeHTTP(rec, httptest.NewRequest("POST", "/stream", nil))
+	if rec.Code != 405 {
+		t.Errorf("POST /stream: %d, want 405", rec.Code)
+	}
+}
+
+func TestEventTapRepublishes(t *testing.T) {
+	b := NewBroadcaster()
+	log, err := telemetry.NewEventLog(16, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log.Tap(b.EventTap())
+	s := b.Subscribe(4)
+	defer s.Close()
+	log.Append(telemetry.Event{Kind: telemetry.KindDowngrade, Minute: 3, Function: 1})
+	select {
+	case ev := <-s.C():
+		if ev.Type != StreamDecision || !strings.Contains(string(ev.Data), `"kind":"downgrade"`) {
+			t.Errorf("got %q %q", ev.Type, ev.Data)
+		}
+	default:
+		t.Fatal("tap did not republish")
+	}
+}

@@ -1,0 +1,30 @@
+package alert
+
+import (
+	_ "embed"
+	"net/http"
+	"strconv"
+)
+
+// dashboardHTML is the single-page live ops dashboard. It is plain HTML +
+// vanilla JS: an EventSource on /stream for the live feed, plus polls of
+// /healthz, /timeseries, and /top?format=json for state the stream does
+// not carry. Embedding keeps pulsed a single static binary.
+//
+//go:embed dashboard.html
+var dashboardHTML []byte
+
+// DashboardHandler serves the embedded dashboard page (GET /dashboard).
+func DashboardHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "GET required", http.StatusMethodNotAllowed)
+			return
+		}
+		h := w.Header()
+		h.Set("Content-Type", "text/html; charset=utf-8")
+		h.Set("Content-Length", strconv.Itoa(len(dashboardHTML)))
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write(dashboardHTML)
+	})
+}

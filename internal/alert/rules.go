@@ -1,0 +1,150 @@
+package alert
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Rule is one threshold condition over a per-minute metric.
+//
+// Semantics (Prometheus-style "for", plus an anti-flap cooldown):
+//
+//   - the rule breaches at a closed minute when value Op Threshold holds;
+//   - it fires after For consecutive breached minutes;
+//   - once firing, the first non-breached minute resolves it;
+//   - after resolving, the rule cannot fire again for Cooldown minutes —
+//     the hysteresis that keeps a value oscillating around the threshold
+//     from paging every minute.
+type Rule struct {
+	// Name identifies the rule in notifications; unique within an engine.
+	Name      string
+	Metric    Metric
+	Op        Op
+	Threshold float64
+	// For is how many consecutive breached minutes arm the rule (≥ 1).
+	For int
+	// Cooldown is how many minutes after a resolve the rule stays quiet.
+	Cooldown int
+}
+
+// String renders the rule in the rule-file syntax it parses from.
+func (r Rule) String() string {
+	return fmt.Sprintf("%s %s %s %g for=%d cooldown=%d",
+		r.Name, r.Metric, r.Op, r.Threshold, r.For, r.Cooldown)
+}
+
+// Validate checks one rule in isolation.
+func (r Rule) Validate() error {
+	if r.Name == "" || strings.ContainsAny(r.Name, " \t\n") {
+		return fmt.Errorf("alert: bad rule name %q (non-empty, no whitespace)", r.Name)
+	}
+	if r.Metric < 0 || r.Metric >= numMetrics {
+		return fmt.Errorf("alert: rule %q: metric out of range", r.Name)
+	}
+	if r.Op != OpAbove && r.Op != OpBelow {
+		return fmt.Errorf("alert: rule %q: bad operator", r.Name)
+	}
+	if !finite(r.Threshold) {
+		return fmt.Errorf("alert: rule %q: threshold must be finite", r.Name)
+	}
+	if r.For < 1 {
+		return fmt.Errorf("alert: rule %q: for=%d (must be ≥ 1)", r.Name, r.For)
+	}
+	if r.Cooldown < 0 {
+		return fmt.Errorf("alert: rule %q: cooldown=%d (must be ≥ 0)", r.Name, r.Cooldown)
+	}
+	return nil
+}
+
+// ParseRules reads a rule file: one rule per line,
+//
+//	<name> <metric> <op> <threshold> [for=<minutes>] [cooldown=<minutes>]
+//
+// where <op> is > or <, for defaults to 1, and cooldown to 0. Blank lines
+// and lines starting with # are ignored. Example:
+//
+//	# page when over half the minute's invocations start cold
+//	cold-spike   cold_rate_pct        >  50  for=3  cooldown=5
+//	savings-reg  savings_vs_fixed_usd <  0   for=5  cooldown=10
+func ParseRules(r io.Reader) ([]Rule, error) {
+	var rules []Rule
+	seen := map[string]bool{}
+	sc := bufio.NewScanner(r)
+	for lineno := 1; sc.Scan(); lineno++ {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 {
+			return nil, fmt.Errorf("alert: line %d: want <name> <metric> <op> <threshold> [for=N] [cooldown=N], got %q", lineno, line)
+		}
+		rule := Rule{Name: fields[0], For: 1}
+		var err error
+		if rule.Metric, err = ParseMetric(fields[1]); err != nil {
+			return nil, fmt.Errorf("alert: line %d: %w", lineno, err)
+		}
+		switch fields[2] {
+		case ">":
+			rule.Op = OpAbove
+		case "<":
+			rule.Op = OpBelow
+		default:
+			return nil, fmt.Errorf("alert: line %d: bad operator %q (want > or <)", lineno, fields[2])
+		}
+		if rule.Threshold, err = strconv.ParseFloat(fields[3], 64); err != nil {
+			return nil, fmt.Errorf("alert: line %d: bad threshold %q", lineno, fields[3])
+		}
+		for _, opt := range fields[4:] {
+			k, v, ok := strings.Cut(opt, "=")
+			if !ok {
+				return nil, fmt.Errorf("alert: line %d: bad option %q (want key=value)", lineno, opt)
+			}
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				return nil, fmt.Errorf("alert: line %d: bad %s value %q", lineno, k, v)
+			}
+			switch k {
+			case "for":
+				rule.For = n
+			case "cooldown":
+				rule.Cooldown = n
+			default:
+				return nil, fmt.Errorf("alert: line %d: unknown option %q (want for= or cooldown=)", lineno, k)
+			}
+		}
+		if err := rule.Validate(); err != nil {
+			return nil, fmt.Errorf("alert: line %d: %w", lineno, err)
+		}
+		if seen[rule.Name] {
+			return nil, fmt.Errorf("alert: line %d: duplicate rule %q", lineno, rule.Name)
+		}
+		seen[rule.Name] = true
+		rules = append(rules, rule)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return rules, nil
+}
+
+// DefaultRules is the rule set pulsed -alerts installs when no rule file
+// is given. withSavings adds the savings-regression rule, which requires
+// the attribution accountant (-attribution).
+func DefaultRules(withSavings bool) []Rule {
+	rules := []Rule{
+		{Name: "cold-spike", Metric: MetricColdRatePct, Op: OpAbove, Threshold: 50, For: 3, Cooldown: 5},
+		{Name: "kam-peak", Metric: MetricKaMMB, Op: OpAbove, Threshold: 8192, For: 1, Cooldown: 10},
+		{Name: "dereg-invokes", Metric: MetricDeregInvokes, Op: OpAbove, Threshold: 0, For: 1, Cooldown: 5},
+	}
+	if withSavings {
+		rules = append(rules, Rule{
+			Name: "savings-regression", Metric: MetricSavingsVsFixedUSD,
+			Op: OpBelow, Threshold: 0, For: 5, Cooldown: 10,
+		})
+	}
+	return rules
+}

@@ -1,0 +1,122 @@
+package alert
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Sink receives alert notifications. Deliver is called from the engine's
+// single delivery goroutine, one notification at a time, so sinks need no
+// internal ordering; a sink that blocks delays later deliveries (and
+// eventually overflows the engine queue) but never the serving path.
+type Sink interface {
+	Deliver(Notification)
+}
+
+// LogSink writes one line per notification to a standard logger.
+type LogSink struct {
+	// Logger receives the lines; nil selects log.Default().
+	Logger *log.Logger
+}
+
+// Deliver implements Sink.
+func (s *LogSink) Deliver(n Notification) {
+	l := s.Logger
+	if l == nil {
+		l = log.Default()
+	}
+	l.Printf("alert %s: rule=%s minute=%d %s %s %g (value %.4f, since minute %d)",
+		n.State, n.Rule, n.Minute, n.Metric, n.Op, n.Threshold, n.Value, n.SinceMinute)
+}
+
+// Webhook retry schedule: per-attempt timeout, attempt count, and the
+// initial backoff (doubled between attempts).
+const (
+	webhookTimeout  = 5 * time.Second
+	webhookAttempts = 3
+	webhookBackoff  = 250 * time.Millisecond
+)
+
+// WebhookSink POSTs each notification as JSON to a fixed URL, retrying
+// with doubling backoff on connection errors and non-2xx responses.
+// Delivery is at-least-once: a receiver that times out after processing
+// the POST will see the same notification again.
+type WebhookSink struct {
+	URL string
+	// Client is the HTTP client to use; nil selects a private client with
+	// a per-attempt timeout of webhookTimeout.
+	Client *http.Client
+	// Logger receives delivery failures; nil selects log.Default().
+	Logger *log.Logger
+
+	delivered, failed uint64 // delivery-goroutine only
+}
+
+// NewWebhookSink returns a sink POSTing to url with the default client.
+func NewWebhookSink(url string) *WebhookSink {
+	return &WebhookSink{URL: url}
+}
+
+// Deliver implements Sink.
+func (s *WebhookSink) Deliver(n Notification) {
+	body, err := json.Marshal(n)
+	if err != nil {
+		return
+	}
+	client := s.Client
+	if client == nil {
+		client = &http.Client{Timeout: webhookTimeout}
+	}
+	backoff := webhookBackoff
+	var lastErr error
+	for attempt := 0; attempt < webhookAttempts; attempt++ {
+		if attempt > 0 {
+			time.Sleep(backoff)
+			backoff *= 2
+		}
+		resp, err := client.Post(s.URL, "application/json", bytes.NewReader(body))
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		code := resp.StatusCode
+		resp.Body.Close()
+		if code >= 200 && code < 300 {
+			s.delivered++
+			return
+		}
+		lastErr = fmt.Errorf("status %d", code)
+	}
+	s.failed++
+	l := s.Logger
+	if l == nil {
+		l = log.Default()
+	}
+	l.Printf("alert webhook: giving up on %s %s after %d attempts: %v", n.State, n.Rule, webhookAttempts, lastErr)
+}
+
+// CollectorSink records every notification in memory — the deterministic
+// sink the replay harness and tests assert against.
+type CollectorSink struct {
+	mu sync.Mutex
+	ns []Notification
+}
+
+// Deliver implements Sink.
+func (s *CollectorSink) Deliver(n Notification) {
+	s.mu.Lock()
+	s.ns = append(s.ns, n)
+	s.mu.Unlock()
+}
+
+// Notifications returns a copy of everything delivered so far, in order.
+func (s *CollectorSink) Notifications() []Notification {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Notification(nil), s.ns...)
+}

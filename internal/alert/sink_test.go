@@ -1,0 +1,96 @@
+package alert
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWebhookSinkDelivers(t *testing.T) {
+	var got Notification
+	var hits atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		if ct := r.Header.Get("Content-Type"); ct != "application/json" {
+			t.Errorf("Content-Type %q", ct)
+		}
+		body, _ := io.ReadAll(r.Body)
+		if err := json.Unmarshal(body, &got); err != nil {
+			t.Errorf("bad payload %q: %v", body, err)
+		}
+	}))
+	defer srv.Close()
+
+	s := NewWebhookSink(srv.URL)
+	n := Notification{Rule: "r1", Metric: "kam_mb", State: StateFiring, Minute: 7, Value: 9000, Op: ">", Threshold: 8192, SinceMinute: 7}
+	s.Deliver(n)
+	if hits.Load() != 1 {
+		t.Fatalf("%d requests, want 1", hits.Load())
+	}
+	if got != n {
+		t.Errorf("payload %+v, want %+v", got, n)
+	}
+}
+
+// A flapping receiver: the sink retries with backoff until a 2xx.
+func TestWebhookSinkRetries(t *testing.T) {
+	var hits atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1) < 3 {
+			w.WriteHeader(http.StatusBadGateway)
+		}
+	}))
+	defer srv.Close()
+
+	s := NewWebhookSink(srv.URL)
+	s.Deliver(Notification{Rule: "r1"})
+	if hits.Load() != 3 {
+		t.Errorf("%d attempts, want 3 (two failures then success)", hits.Load())
+	}
+	if s.delivered != 1 || s.failed != 0 {
+		t.Errorf("delivered %d failed %d", s.delivered, s.failed)
+	}
+}
+
+// A dead receiver: the sink gives up after its attempt budget and logs,
+// without hanging the delivery goroutine forever.
+func TestWebhookSinkGivesUp(t *testing.T) {
+	var hits atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		w.WriteHeader(http.StatusInternalServerError)
+	}))
+	defer srv.Close()
+
+	var buf bytes.Buffer
+	s := NewWebhookSink(srv.URL)
+	s.Logger = log.New(&buf, "", 0)
+	s.Deliver(Notification{Rule: "r1", State: StateFiring})
+	if hits.Load() != webhookAttempts {
+		t.Errorf("%d attempts, want %d", hits.Load(), webhookAttempts)
+	}
+	if s.failed != 1 {
+		t.Errorf("failed %d, want 1", s.failed)
+	}
+	if !strings.Contains(buf.String(), "giving up") {
+		t.Errorf("no give-up log line: %q", buf.String())
+	}
+}
+
+func TestLogSink(t *testing.T) {
+	var buf bytes.Buffer
+	s := &LogSink{Logger: log.New(&buf, "", 0)}
+	s.Deliver(Notification{Rule: "cold-spike", Metric: "cold_rate_pct", State: StateFiring, Minute: 12, Value: 75, Op: ">", Threshold: 50, SinceMinute: 10})
+	line := buf.String()
+	for _, want := range []string{"alert firing", "rule=cold-spike", "minute=12", "cold_rate_pct"} {
+		if !strings.Contains(line, want) {
+			t.Errorf("log line %q missing %q", line, want)
+		}
+	}
+}

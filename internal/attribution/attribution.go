@@ -236,9 +236,9 @@ func (a *Accountant) open(m int) {
 	}
 }
 
-// close finalizes the open minute into the time-series store and resets
-// the per-minute accumulators.
-func (a *Accountant) close() {
+// openValues snapshots the open minute's cluster-wide accumulators in
+// store layout — the values close() will push when the minute ends.
+func (a *Accountant) openValues() [numMetrics]float64 {
 	var v [numMetrics]float64
 	v[MetricKaMActualMB] = a.minActualKaM
 	v[MetricKaMFixedMB] = a.minFixedKaM
@@ -251,12 +251,37 @@ func (a *Accountant) close() {
 	v[MetricColdFixed] = float64(a.minFixedCold)
 	v[MetricColdNever] = float64(a.minNeverCold)
 	v[MetricInvocations] = float64(a.minInv)
-	a.store.push(a.cur, v)
+	return v
+}
+
+// close finalizes the open minute into the time-series store and resets
+// the per-minute accumulators.
+func (a *Accountant) close() {
+	a.store.push(a.cur, a.openValues())
 	a.minActualKaM, a.minActualCost = 0, 0
 	a.minFixedKaM, a.minFixedCost = 0, 0
 	a.minOracleKaM, a.minOracleCost = 0, 0
 	a.minActualCold, a.minFixedCold = 0, 0
 	a.minNeverCold, a.minInv = 0, 0
+}
+
+// MetricAt returns one cluster-wide metric's value at a single minute:
+// the stored value for a closed minute still inside the series window, or
+// the live accumulators when the minute is the currently open one — what
+// close() would push if the minute ended now. The open-minute path is what
+// lets an alert engine flushing its final minute price it without waiting
+// for a rollup that will never come. Reports false for minutes never seen
+// or already evicted from the ring.
+func (a *Accountant) MetricAt(metric Metric, minute int) (float64, bool) {
+	if metric < 0 || metric >= numMetrics || minute < 0 {
+		return 0, false
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if minute == a.cur {
+		return a.openValues()[metric], true
+	}
+	return a.store.at(metric, minute)
 }
 
 // ObserveKeepAlive implements telemetry.Observer: the live policy's

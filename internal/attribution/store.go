@@ -136,6 +136,19 @@ func (s *store) push(m int, v [numMetrics]float64) {
 	s.hourCnt[hi]++
 }
 
+// at returns metric's value for one closed minute, reporting false when
+// the slot is empty or has been overwritten by a newer minute.
+func (s *store) at(metric Metric, m int) (float64, bool) {
+	if m < 0 {
+		return 0, false
+	}
+	i := m % s.window
+	if s.stamps[i] != m {
+		return 0, false
+	}
+	return s.vals[i][metric], true
+}
+
 // series appends the most recent points for metric within the trailing
 // window [now-window+1, now] to dst, oldest first. hourly switches to the
 // rollup ring (window then counts hours); gauge metrics report the hourly

@@ -2,13 +2,17 @@ package experiments
 
 import (
 	"fmt"
+	"reflect"
 
+	"github.com/pulse-serverless/pulse/internal/alert"
+	"github.com/pulse-serverless/pulse/internal/attribution"
 	"github.com/pulse-serverless/pulse/internal/cluster"
 	"github.com/pulse-serverless/pulse/internal/core"
 	"github.com/pulse-serverless/pulse/internal/models"
 	"github.com/pulse-serverless/pulse/internal/policy"
 	"github.com/pulse-serverless/pulse/internal/report"
 	"github.com/pulse-serverless/pulse/internal/sim"
+	"github.com/pulse-serverless/pulse/internal/telemetry"
 	"github.com/pulse-serverless/pulse/internal/trace"
 )
 
@@ -244,6 +248,123 @@ func ExtensionChurn(opts Options) (ChurnPoint, error) {
 	}
 	if err := t.Render(opts.Out); err != nil {
 		return ChurnPoint{}, err
+	}
+	return pt, nil
+}
+
+// AlertReplayPoint summarizes the alert-determinism extension: the alert
+// transitions produced by replaying one trace through the cluster engine,
+// plus the proof that a 4-shard PULSE controller produces the identical
+// sequence.
+type AlertReplayPoint struct {
+	Rules       int // rules evaluated
+	Transitions int // firing + resolved transitions over the horizon
+	Firing      int
+	Resolved    int
+	// Deterministic is true when the serial and 4-shard controllers
+	// produced byte-for-byte identical notification sequences.
+	Deterministic bool
+	Notifications []alert.Notification
+}
+
+// ExtensionAlerts replays the default trace through the cluster engine
+// with the live alert pipeline attached — attribution accountant feeding a
+// rule engine, exactly as pulsed wires it — twice: once with a serial
+// PULSE controller and once with a 4-shard controller. Alert firings are
+// part of the platform's deterministic surface, so both replays must
+// produce the identical transition sequence (same rules, same minutes,
+// same values); any divergence fails the experiment. The table lists the
+// transitions, i.e. the pages an operator would have received.
+func ExtensionAlerts(opts Options) (AlertReplayPoint, error) {
+	e, err := newEnv(opts)
+	if err != nil {
+		return AlertReplayPoint{}, err
+	}
+	rules := []alert.Rule{
+		{Name: "kam-live", Metric: alert.MetricKaMMB, Op: alert.OpAbove, Threshold: 1, For: 1, Cooldown: 120},
+		{Name: "cold-spike", Metric: alert.MetricColdRatePct, Op: alert.OpAbove, Threshold: 50, For: 3, Cooldown: 30},
+		{Name: "savings-regression", Metric: alert.MetricSavingsVsFixedUSD, Op: alert.OpBelow, Threshold: 0, For: 5, Cooldown: 60},
+	}
+
+	replay := func(shards int) ([]alert.Notification, error) {
+		acct, err := attribution.New(attribution.Config{Catalog: e.catalog, Assignment: e.asg, Cost: e.cost})
+		if err != nil {
+			return nil, err
+		}
+		sink := &alert.CollectorSink{}
+		// Size the sink queue to the workload: a replay outpaces the
+		// dispatcher, and a full queue drops notifications by design.
+		engine, err := alert.NewEngine(alert.Config{
+			Rules: rules, Sinks: []alert.Sink{sink}, Attribution: acct, QueueSize: 1 << 14,
+		})
+		if err != nil {
+			return nil, err
+		}
+		p, err := core.New(core.Config{Catalog: e.catalog, Assignment: e.asg, Shards: shards})
+		if err != nil {
+			return nil, err
+		}
+		cfg := e.clusterConfig(false)
+		cfg.Observer = telemetry.Multi(acct, engine)
+		if _, err := cluster.Run(cfg, p); err != nil {
+			return nil, err
+		}
+		engine.Flush() // the final minute never sees a successor rollup
+		if err := engine.Close(); err != nil {
+			return nil, err
+		}
+		return sink.Notifications(), nil
+	}
+
+	serial, err := replay(1)
+	if err != nil {
+		return AlertReplayPoint{}, err
+	}
+	sharded, err := replay(4)
+	if err != nil {
+		return AlertReplayPoint{}, err
+	}
+
+	pt := AlertReplayPoint{
+		Rules:         len(rules),
+		Transitions:   len(serial),
+		Deterministic: reflect.DeepEqual(serial, sharded),
+		Notifications: serial,
+	}
+	for _, n := range serial {
+		if n.State == alert.StateFiring {
+			pt.Firing++
+		} else {
+			pt.Resolved++
+		}
+	}
+	if !pt.Deterministic {
+		return pt, fmt.Errorf("experiments: alert replay diverged: serial produced %d transitions, 4-shard %d",
+			len(serial), len(sharded))
+	}
+	if pt.Transitions == 0 {
+		return pt, fmt.Errorf("experiments: alert replay produced no transitions; the rule set is vacuous on this trace")
+	}
+
+	const maxRows = 12
+	t := report.NewTable("Extension — deterministic alert replay (serial == 4-shard controller)",
+		"minute", "rule", "state", "value")
+	for i, n := range pt.Notifications {
+		if i >= maxRows {
+			break
+		}
+		if err := t.AddRow(fmt.Sprintf("%d", n.Minute), n.Rule, n.State, report.F(n.Value)); err != nil {
+			return pt, err
+		}
+	}
+	if err := t.Render(e.opts.Out); err != nil {
+		return pt, err
+	}
+	if pt.Transitions > maxRows {
+		if err := fprintf(e.opts.Out, "(%d of %d transitions shown; %d firing, %d resolved over %d minutes)\n",
+			maxRows, pt.Transitions, pt.Firing, pt.Resolved, e.opts.HorizonMinutes); err != nil {
+			return pt, err
+		}
 	}
 	return pt, nil
 }

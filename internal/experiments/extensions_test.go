@@ -1,6 +1,12 @@
 package experiments
 
-import "testing"
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"github.com/pulse-serverless/pulse/internal/alert"
+)
 
 func TestExtensionWindowSweep(t *testing.T) {
 	if testing.Short() {
@@ -75,5 +81,43 @@ func TestExtensionChurn(t *testing.T) {
 	}
 	if pt.AccuracyPct < -10 {
 		t.Errorf("accuracy drop %v%% too large under churn", pt.AccuracyPct)
+	}
+}
+
+func TestExtensionAlerts(t *testing.T) {
+	var sb strings.Builder
+	opts := quickOpts()
+	opts.Out = &sb
+	pt, err := ExtensionAlerts(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pt.Deterministic {
+		t.Error("serial and 4-shard replays diverged")
+	}
+	if pt.Transitions == 0 || pt.Firing == 0 {
+		t.Errorf("transitions %d (firing %d): rule set never fired", pt.Transitions, pt.Firing)
+	}
+	if pt.Transitions != pt.Firing+pt.Resolved {
+		t.Errorf("transitions %d != firing %d + resolved %d", pt.Transitions, pt.Firing, pt.Resolved)
+	}
+	if len(pt.Notifications) != pt.Transitions {
+		t.Errorf("%d notifications for %d transitions", len(pt.Notifications), pt.Transitions)
+	}
+	// The first transition must be a firing (nothing can resolve first).
+	if pt.Notifications[0].State != alert.StateFiring {
+		t.Errorf("first transition is %q", pt.Notifications[0].State)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "deterministic alert replay") {
+		t.Errorf("table missing from output:\n%s", out)
+	}
+	// Replaying the identical options must reproduce the identical pages.
+	pt2, err := ExtensionAlerts(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(pt.Notifications, pt2.Notifications) {
+		t.Error("same options, different alert transitions")
 	}
 }

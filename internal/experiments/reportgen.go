@@ -269,6 +269,16 @@ func WriteMarkdownReport(opts Options, w io.Writer, wallClock func() time.Time) 
 			pct(churn.CostPct), churn.Arrivals, churn.Departures),
 		churn.CostPct > 5 && churn.Arrivals > 0 && churn.Departures > 0)
 
+	alerts, err := ExtensionAlerts(opts)
+	if err != nil {
+		return fmt.Errorf("extension alerts: %w", err)
+	}
+	add("Extension", "alert firings deterministic across shard counts",
+		"same trace ⇒ same pages",
+		fmt.Sprintf("%d transitions (%d firing, %d resolved), serial == 4-shard",
+			alerts.Transitions, alerts.Firing, alerts.Resolved),
+		alerts.Deterministic && alerts.Transitions > 0)
+
 	// Emit the markdown.
 	now := ""
 	if wallClock != nil {

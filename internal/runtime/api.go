@@ -6,7 +6,9 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"time"
 
+	"github.com/pulse-serverless/pulse/internal/alert"
 	"github.com/pulse-serverless/pulse/internal/attribution"
 	"github.com/pulse-serverless/pulse/internal/cluster"
 	"github.com/pulse-serverless/pulse/internal/telemetry"
@@ -26,15 +28,20 @@ import (
 //	GET  /decisions        Algorithm 1/2 audit: downgrades with Uv = Ai+Pr+Ip, peak episodes
 //	GET  /attribution      per-function counterfactual savings vs shadow baselines (requires attribution)
 //	GET  /timeseries       per-minute attribution series for one metric (requires attribution)
-//	GET  /top              text ranking by savings, downgrades, cold-start risk (requires attribution)
-//	GET  /healthz          liveness
+//	GET  /top              ranking by savings, downgrades, cold-start risk; text or ?format=json (requires attribution)
+//	GET  /stream           live Server-Sent Events: decisions, minute rollups, alerts (requires streaming)
+//	GET  /dashboard        embedded single-page live ops dashboard (requires streaming)
+//	GET  /healthz          daemon health JSON: uptime, population, minute, alert status
 type API struct {
 	rt         *Runtime
 	tel        *telemetry.Telemetry
 	acct       *attribution.Accountant
+	stream     *alert.Broadcaster
+	alerts     *alert.Engine
 	reg        *telemetry.Registry
 	mux        *http.ServeMux
 	registered map[string]bool // paths wired into the mux (multi-verb paths appear once)
+	started    time.Time
 }
 
 // Endpoint describes one API route, for documentation surfaces and the
@@ -60,8 +67,10 @@ func Endpoints() []Endpoint {
 		{http.MethodGet, "/decisions", "Algorithm 1/2 audit: downgrades with Uv = Ai+Pr+Ip, peak episodes"},
 		{http.MethodGet, "/attribution", "per-function counterfactual savings vs shadow baselines (requires attribution)"},
 		{http.MethodGet, "/timeseries", "attribution series for one metric (?metric=&window=&res=; requires attribution)"},
-		{http.MethodGet, "/top", "text ranking by savings, downgrades, cold-start risk (requires attribution)"},
-		{http.MethodGet, "/healthz", "liveness"},
+		{http.MethodGet, "/top", "ranking by savings, downgrades, cold-start risk; text or ?format=json (requires attribution)"},
+		{http.MethodGet, "/stream", "live Server-Sent Events: decision log, minute rollups, alert transitions (requires streaming)"},
+		{http.MethodGet, "/dashboard", "embedded single-page live ops dashboard (requires streaming)"},
+		{http.MethodGet, "/healthz", "daemon health JSON: uptime, go version, population, minute, alert-engine status"},
 	}
 }
 
@@ -88,7 +97,7 @@ func NewInstrumentedAPI(rt *Runtime, tel *telemetry.Telemetry) (*API, error) {
 	if err := registerStatsMetrics(reg, rt); err != nil {
 		return nil, err
 	}
-	a := &API{rt: rt, tel: tel, reg: reg, mux: http.NewServeMux()}
+	a := &API{rt: rt, tel: tel, reg: reg, mux: http.NewServeMux(), started: time.Now()}
 	// One handler per path; a path serving several verbs (GET and POST
 	// /functions) dispatches on the method inside its handler, so it appears
 	// once here and once in the mux, but once per verb in Endpoints().
@@ -103,10 +112,9 @@ func NewInstrumentedAPI(rt *Runtime, tel *telemetry.Telemetry) (*API, error) {
 		"/attribution":      a.handleAttribution,
 		"/timeseries":       a.handleTimeseries,
 		"/top":              a.handleTop,
-		"/healthz": func(w http.ResponseWriter, _ *http.Request) {
-			w.WriteHeader(http.StatusOK)
-			_, _ = w.Write([]byte("ok\n"))
-		},
+		"/stream":           a.handleStream,
+		"/dashboard":        a.handleDashboard,
+		"/healthz":          a.handleHealthz,
 	}
 	for _, ep := range Endpoints() {
 		h, ok := handlers[ep.Path]
@@ -201,6 +209,10 @@ func (a *API) handleInvoke(w http.ResponseWriter, r *http.Request) {
 			status = http.StatusServiceUnavailable
 		case errors.Is(err, ErrDeregistered):
 			status = http.StatusGone
+			// Feed the alert engine's dereg_invokes metric: clients still
+			// hitting a deleted function is exactly the regression the rule
+			// pages on. Nil-safe when alerting is off.
+			a.alerts.RecordDeregisteredInvoke()
 		}
 		writeJSON(w, status, apiError{err.Error()})
 		return

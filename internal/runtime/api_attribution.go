@@ -94,10 +94,75 @@ func (a *API) handleTimeseries(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// handleTop renders the human-readable attribution summary: cluster
-// totals, then the functions ranked by savings vs the fixed baseline, by
-// downgrades, and by cold-start risk. Query parameter n caps each ranking
-// (default 10).
+// topEntry is one ranked function in the /top JSON payload.
+type topEntry struct {
+	Function     int     `json:"function"`
+	Family       string  `json:"family"`
+	Value        float64 `json:"value"`
+	Invocations  int     `json:"invocations"`
+	ColdStartPct float64 `json:"coldStartPct"`
+	Downgrades   int     `json:"downgrades"`
+}
+
+// topRanking is one of the three /top rankings.
+type topRanking struct {
+	Title   string     `json:"title"`
+	Unit    string     `json:"unit"`
+	Entries []topEntry `json:"entries"`
+}
+
+// topResponse is the GET /top?format=json payload.
+type topResponse struct {
+	Minute        int                        `json:"minute"`
+	WindowMinutes int                        `json:"windowMinutes"`
+	Total         attribution.FunctionReport `json:"total"`
+	Rankings      []topRanking               `json:"rankings"`
+}
+
+// topRankings computes the three /top rankings — by savings vs the fixed
+// baseline, by downgrades, and by cold-start risk — each capped at n
+// entries and truncated at the first zero-valued row past the leader. Both
+// the text and JSON renderings are built from this, so they can never rank
+// differently.
+func topRankings(rep attribution.Report, n int) []topRanking {
+	rank := func(title, unit string, value func(attribution.FunctionReport) float64) topRanking {
+		fns := make([]attribution.FunctionReport, len(rep.Functions))
+		copy(fns, rep.Functions)
+		sort.SliceStable(fns, func(i, j int) bool { return value(fns[i]) > value(fns[j]) })
+		rk := topRanking{Title: title, Unit: unit, Entries: []topEntry{}}
+		for _, fr := range fns {
+			if len(rk.Entries) >= n {
+				break
+			}
+			if value(fr) == 0 && len(rk.Entries) > 0 {
+				break
+			}
+			rk.Entries = append(rk.Entries, topEntry{
+				Function:     fr.Function,
+				Family:       fr.Family,
+				Value:        value(fr),
+				Invocations:  fr.Actual.Invocations,
+				ColdStartPct: fr.ColdStartPct,
+				Downgrades:   fr.Downgrades,
+			})
+		}
+		return rk
+	}
+	return []topRanking{
+		rank("savings vs fixed-high", "$",
+			func(fr attribution.FunctionReport) float64 { return fr.VsFixed.KeepAliveCostUSD }),
+		rank("downgrades", "downgrades",
+			func(fr attribution.FunctionReport) float64 { return float64(fr.Downgrades) }),
+		rank("cold-start risk", "% cold",
+			func(fr attribution.FunctionReport) float64 { return fr.ColdStartPct }),
+	}
+}
+
+// handleTop renders the attribution summary: cluster totals, then the
+// functions ranked by savings vs the fixed baseline, by downgrades, and by
+// cold-start risk. Query parameters: n caps each ranking (default 10);
+// format=json selects the machine-readable payload the dashboard consumes
+// (default is the human-readable text table).
 func (a *API) handleTop(w http.ResponseWriter, r *http.Request) {
 	if !a.attributionEnabled(w, r) {
 		return
@@ -111,7 +176,24 @@ func (a *API) handleTop(w http.ResponseWriter, r *http.Request) {
 		}
 		n = v
 	}
+	format := r.URL.Query().Get("format")
+	switch format {
+	case "", "text":
+	case "json":
+	default:
+		writeJSON(w, http.StatusBadRequest, apiError{fmt.Sprintf("bad format %q (text or json)", format)})
+		return
+	}
 	rep := a.acct.Report()
+	if format == "json" {
+		writeJSON(w, http.StatusOK, topResponse{
+			Minute:        rep.Minute,
+			WindowMinutes: rep.WindowMinutes,
+			Total:         rep.Total,
+			Rankings:      topRankings(rep, n),
+		})
+		return
+	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	writeTop(w, rep, n)
 }
@@ -133,29 +215,12 @@ func writeTop(w interface{ Write([]byte) (int, error) }, rep attribution.Report,
 	p("  vs oracle     : saved $%.4f and %.1f GB-min, cold starts avoided %+d, accuracy %+.2f%%\n",
 		t.VsOracle.KeepAliveCostUSD, t.VsOracle.KeepAliveGBMinutes, t.VsOracle.ColdStartsAvoided, t.VsOracle.AccuracyDeltaPct)
 
-	rank := func(title, unit string, value func(attribution.FunctionReport) float64) {
-		fns := make([]attribution.FunctionReport, len(rep.Functions))
-		copy(fns, rep.Functions)
-		sort.SliceStable(fns, func(i, j int) bool { return value(fns[i]) > value(fns[j]) })
-		p("\ntop %s:\n", title)
-		shown := 0
-		for _, fr := range fns {
-			if shown >= n {
-				break
-			}
-			if value(fr) == 0 && shown > 0 {
-				break
-			}
+	for _, rk := range topRankings(rep, n) {
+		p("\ntop %s:\n", rk.Title)
+		for _, e := range rk.Entries {
 			p("  fn %-5d %-12s %10.4f %s   (inv %d, cold %.2f%%, downgrades %d)\n",
-				fr.Function, fr.Family, value(fr), unit,
-				fr.Actual.Invocations, fr.ColdStartPct, fr.Downgrades)
-			shown++
+				e.Function, e.Family, e.Value, rk.Unit,
+				e.Invocations, e.ColdStartPct, e.Downgrades)
 		}
 	}
-	rank("savings vs fixed-high", "$",
-		func(fr attribution.FunctionReport) float64 { return fr.VsFixed.KeepAliveCostUSD })
-	rank("downgrades", "downgrades",
-		func(fr attribution.FunctionReport) float64 { return float64(fr.Downgrades) })
-	rank("cold-start risk", "% cold",
-		func(fr attribution.FunctionReport) float64 { return fr.ColdStartPct })
 }

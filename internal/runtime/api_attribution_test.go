@@ -1,6 +1,7 @@
 package runtime
 
 import (
+	"context"
 	"encoding/json"
 	"io"
 	"net/http"
@@ -9,6 +10,7 @@ import (
 	"testing"
 	"time"
 
+	"github.com/pulse-serverless/pulse/internal/alert"
 	"github.com/pulse-serverless/pulse/internal/attribution"
 	"github.com/pulse-serverless/pulse/internal/policy"
 	"github.com/pulse-serverless/pulse/internal/telemetry"
@@ -180,6 +182,7 @@ func TestTopEndpoint(t *testing.T) {
 // attached.
 func TestEndpointsTableMatchesMux(t *testing.T) {
 	api, _ := newAttributedAPI(t)
+	api.AttachStream(alert.NewBroadcaster()) // /stream and /dashboard require it
 	seen := map[string]bool{}
 	for _, ep := range Endpoints() {
 		key := ep.Method + " " + ep.Path
@@ -199,8 +202,16 @@ func TestEndpointsTableMatchesMux(t *testing.T) {
 		case ep.Path == "/functions/{name}":
 			target = "/functions/table-test-fn" // registered by the POST row above
 		}
+		req := httptest.NewRequest(ep.Method, target, body)
+		if ep.Path == "/stream" {
+			// The SSE handler streams until the client goes away; a
+			// pre-canceled context makes it return after the handshake.
+			ctx, cancel := context.WithCancel(req.Context())
+			cancel()
+			req = req.WithContext(ctx)
+		}
 		rec := httptest.NewRecorder()
-		api.ServeHTTP(rec, httptest.NewRequest(ep.Method, target, body))
+		api.ServeHTTP(rec, req)
 		if rec.Code == http.StatusNotFound && ep.Path != "/events" && ep.Path != "/decisions" {
 			t.Errorf("%s %s = 404: endpoint listed but not served", ep.Method, ep.Path)
 		}

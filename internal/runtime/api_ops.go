@@ -1,0 +1,94 @@
+package runtime
+
+import (
+	"net/http"
+	goruntime "runtime"
+	"time"
+
+	"github.com/pulse-serverless/pulse/internal/alert"
+)
+
+// AttachStream connects the live-event broadcaster to the API, enabling
+// GET /stream and GET /dashboard. The broadcaster should be the same
+// instance tapped into the telemetry event log and handed to the alert
+// engine, so one stream carries decisions, minute rollups, and alerts.
+// Attach before serving; nil leaves both endpoints answering 404.
+func (a *API) AttachStream(b *alert.Broadcaster) {
+	a.stream = b
+}
+
+// AttachAlerts connects the alert engine to the API: /healthz reports its
+// status, and invocations of deregistered functions feed its
+// dereg_invokes metric. The engine must also be attached as Observer to
+// the runtime (via telemetry.Multi, after the attribution accountant) to
+// see the minute stream. Attach before serving; nil is valid (alerting
+// disabled, /healthz says so).
+func (a *API) AttachAlerts(e *alert.Engine) {
+	a.alerts = e
+}
+
+// handleStream serves the SSE event stream (GET /stream).
+func (a *API) handleStream(w http.ResponseWriter, r *http.Request) {
+	if a.stream == nil {
+		writeJSON(w, http.StatusNotFound, apiError{"streaming not enabled"})
+		return
+	}
+	a.stream.ServeHTTP(w, r)
+}
+
+// handleDashboard serves the embedded live ops page (GET /dashboard). It
+// requires the stream: a dashboard with nothing to watch is a 404, not a
+// dead page.
+func (a *API) handleDashboard(w http.ResponseWriter, r *http.Request) {
+	if a.stream == nil {
+		writeJSON(w, http.StatusNotFound, apiError{"streaming not enabled"})
+		return
+	}
+	alert.DashboardHandler().ServeHTTP(w, r)
+}
+
+// healthzResponse is the GET /healthz payload.
+type healthzResponse struct {
+	Status    string  `json:"status"`
+	GoVersion string  `json:"goVersion"`
+	UptimeSec float64 `json:"uptimeSec"`
+	// Minute is the current simulated minute.
+	Minute int `json:"minute"`
+	// Functions counts every slot ever issued; Active excludes tombstones.
+	Functions int `json:"functions"`
+	Active    int `json:"active"`
+	// Telemetry and Attribution report which optional pipelines are wired.
+	Telemetry   bool `json:"telemetry"`
+	Attribution bool `json:"attribution"`
+	// Stream is the broadcaster's fan-out counters (zeros when disabled).
+	Stream alert.BroadcastStats `json:"stream"`
+	// Alerts is the rule engine's status (enabled false when disabled).
+	Alerts alert.Status `json:"alerts"`
+}
+
+// handleHealthz serves the daemon health summary (GET /healthz).
+func (a *API) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeJSON(w, http.StatusMethodNotAllowed, apiError{"GET required"})
+		return
+	}
+	active := 0
+	n := a.rt.NumFunctions()
+	for fn := 0; fn < n; fn++ {
+		if a.rt.FunctionActive(fn) {
+			active++
+		}
+	}
+	writeJSON(w, http.StatusOK, healthzResponse{
+		Status:      "ok",
+		GoVersion:   goruntime.Version(),
+		UptimeSec:   time.Since(a.started).Seconds(),
+		Minute:      a.rt.Stats().Minute,
+		Functions:   n,
+		Active:      active,
+		Telemetry:   a.tel != nil,
+		Attribution: a.acct != nil,
+		Stream:      a.stream.Stats(),
+		Alerts:      a.alerts.Status(),
+	})
+}

@@ -76,6 +76,7 @@ type EventLog struct {
 	seq     uint64 // total events ever appended
 	sink    io.Writer
 	sinkErr error
+	taps    []func(Event)
 }
 
 // DefaultEventCapacity bounds the ring when no capacity is configured.
@@ -121,7 +122,23 @@ func (l *EventLog) Append(e Event) uint64 {
 			l.sinkErr = err
 		}
 	}
+	for _, tap := range l.taps {
+		tap(e)
+	}
 	return e.Seq
+}
+
+// Tap registers fn to be called with every subsequently appended event,
+// after it is stamped and buffered. Taps run under the log's lock on the
+// appender's goroutine — they MUST NOT block or call back into the log
+// (a live-stream broadcaster with non-blocking fan-out is the intended
+// consumer). Register taps before the feed starts; Tap is not safe
+// concurrently with Append.
+func (l *EventLog) Tap(fn func(Event)) {
+	if fn == nil {
+		return
+	}
+	l.taps = append(l.taps, fn)
 }
 
 // Total returns the number of events ever appended (buffered or evicted).

@@ -138,3 +138,34 @@ func TestZeroCapacityLogIsSinkOnly(t *testing.T) {
 		t.Errorf("zero filter = %d events, want 1", len(got))
 	}
 }
+
+// Taps see every appended event, stamped, in order, after buffering — and
+// a nil tap is ignored rather than registered.
+func TestEventLogTap(t *testing.T) {
+	l, err := NewEventLog(2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tapped []Event
+	l.Tap(func(e Event) { tapped = append(tapped, e) })
+	l.Tap(nil) // must not panic on a later Append
+	var second int
+	l.Tap(func(Event) { second++ })
+
+	for m := 0; m < 4; m++ {
+		l.Append(Event{Minute: m, Kind: KindMinute, Function: -1})
+	}
+	if len(tapped) != 4 || second != 4 {
+		t.Fatalf("taps saw %d and %d events, want 4 each", len(tapped), second)
+	}
+	for i, e := range tapped {
+		if e.Minute != i || e.Seq != uint64(i) {
+			t.Errorf("tap event %d = minute %d seq %d", i, e.Minute, e.Seq)
+		}
+	}
+	// The tap fires even for events the 2-slot ring has already evicted;
+	// the ring holds only the newest two, the tap saw all four.
+	if evs := l.Select(Filter{}); len(evs) != 2 {
+		t.Errorf("ring holds %d events, want 2", len(evs))
+	}
+}
