@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-parallel race bench bench-runtime experiments report examples clean verify alloc lint e2e
+.PHONY: all build vet test test-parallel race stress bench bench-runtime bench-matrix experiments report examples clean verify alloc lint e2e
 
 all: build vet test
 
@@ -43,6 +43,14 @@ test-parallel:
 	$(GO) test ./internal/core -run '^$$' -fuzz '^FuzzPeakDetector$$' -fuzztime=10s
 	$(GO) test ./internal/core -run '^$$' -fuzz '^FuzzHistoryProbabilities$$' -fuzztime=10s
 	$(GO) test ./internal/core -run '^$$' -fuzz '^FuzzSchedule$$' -fuzztime=10s
+	$(GO) test ./internal/runtime -run '^$$' -fuzz '^FuzzInvokeStepSchedule$$' -fuzztime=10s
+
+# Seqlock/epoch stress battery: the runtime package's concurrency tests
+# (differential, torn-read, conservation, churn) repeated under the race
+# detector at contrasting parallelism levels. Mirrors the CI "stress" job.
+stress:
+	GOMAXPROCS=1 $(GO) test -race -count=5 -timeout=25m ./internal/runtime
+	GOMAXPROCS=4 $(GO) test -race -count=5 -timeout=25m ./internal/runtime
 
 # Live ops smoke test: builds the pulsed binary, runs it with a compressed
 # clock and a webhook sink, and drives an alert through fire and resolve.
@@ -54,13 +62,16 @@ e2e:
 bench:
 	$(GO) test -bench=. -benchmem -run xxx .
 
-# Live-runtime serving benchmark: the load harness hammers the striped and
-# the serial (single-lock) runtime and writes BENCH_runtime.json with
-# throughput, latency percentiles, and the striped/serial speedup (≥2×
-# expected from GOMAXPROCS 4 up; ~1× on one core). Mirrors the CI
-# "bench-runtime" job, which uploads the JSON as an artifact.
-bench-runtime:
-	$(GO) run ./cmd/pulseload -duration 3s -out BENCH_runtime.json
+# Live-runtime serving benchmark matrix: the load harness sweeps GOMAXPROCS
+# × functions × mixes × modes (serial, striped, epoch) and writes the
+# multi-point BENCH_runtime.json with per-cell throughput, latency
+# percentiles, and per-shape speedup ratios. Mirrors the CI "bench-matrix"
+# job, which uploads the JSON as an artifact. bench-runtime is kept as an
+# alias for muscle memory.
+bench-matrix:
+	$(GO) run ./cmd/pulseload -gomaxprocs 1,4 -functions 12,96 -mixes hotspot,zipf -duration 2s -out BENCH_runtime.json
+
+bench-runtime: bench-matrix
 
 # Full experiment suite at paper-like scale (hours on a small machine).
 experiments:

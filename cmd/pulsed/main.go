@@ -132,7 +132,8 @@ func run() error {
 	eventLog := flag.String("eventlog", "", "append decision events as JSON lines to this file")
 	attrib := flag.Bool("attribution", false, "run counterfactual cost attribution (shadow baselines, /attribution /timeseries /top)")
 	attribWindow := flag.Int("attribution-window", cluster.DefaultKeepAliveWindow, "fixed-baseline keep-alive window in minutes for attribution")
-	serial := flag.Bool("serial", false, "use the single-lock serial runtime instead of the lock-striped one (benchmark baseline)")
+	mode := flag.String("mode", "", "runtime serving mode: epoch (lock-free, default), striped, or serial")
+	serial := flag.Bool("serial", false, "shorthand for -mode serial (single-lock benchmark baseline)")
 	alerts := flag.Bool("alerts", false, "evaluate threshold alert rules at the minute barrier (default rules unless -alert-rules)")
 	alertRules := flag.String("alert-rules", "", "alert rule file (one '<name> <metric> <op> <threshold> [for=N] [cooldown=N]' per line); implies -alerts")
 	webhook := flag.String("webhook", "", "POST alert notifications as JSON to this URL (retried with backoff); implies -alerts")
@@ -249,6 +250,7 @@ func run() error {
 		Policy:     p,
 		Clock:      runtime.WallClock{Compression: *compress},
 		Observer:   obs,
+		Mode:       *mode,
 		Serial:     *serial,
 	})
 	if err != nil {

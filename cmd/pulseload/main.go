@@ -1,16 +1,17 @@
-// Command pulseload is the live-runtime load benchmark: it builds an
-// in-process PULSE-managed runtime per locking mode (striped and the
-// single-lock serial baseline), hammers each with concurrent closed-loop
-// callers and a background minute stepper, and reports throughput and
-// Invoke latency percentiles.
+// Command pulseload is the live-runtime load benchmark matrix: it sweeps
+// GOMAXPROCS × functions × mixes × workers × serving modes (serial, striped,
+// epoch), builds a fresh in-process PULSE-managed runtime per cell, hammers
+// it with concurrent closed-loop callers and a background minute stepper,
+// and reports throughput and Invoke latency percentiles for every cell.
 //
-//	pulseload -functions 12 -workers 8 -duration 3s -mix zipf -out BENCH_runtime.json
+//	pulseload -gomaxprocs 1,4 -functions 12,96 -mixes hotspot,zipf -duration 2s -out BENCH_runtime.json
 //
 // The JSON output (see README "Load benchmark" for the field reference)
-// carries one LoadResult per mode plus the striped-vs-serial throughput
-// ratio — the number CI tracks as the serving-path perf trajectory. The
-// striped speedup needs real parallelism: expect ~1× at GOMAXPROCS 1 and
-// ≥2× from GOMAXPROCS 4 up.
+// carries every cell's LoadResult plus a per-shape summary with the
+// striped/serial, epoch/serial, and epoch/striped throughput ratios — the
+// scaling curve CI tracks as the serving-path perf trajectory. The epoch
+// mode's advantage needs parallelism and contention: expect parity at
+// GOMAXPROCS 1 and a growing lead on the hotspot mix from GOMAXPROCS 4 up.
 package main
 
 import (
@@ -19,6 +20,7 @@ import (
 	"fmt"
 	"os"
 	goruntime "runtime"
+	"strconv"
 	"strings"
 	"time"
 
@@ -28,13 +30,14 @@ import (
 	"github.com/pulse-serverless/pulse/internal/runtime"
 )
 
-// benchFile is the BENCH_runtime.json schema.
+// benchFile is the BENCH_runtime.json schema: raw per-cell results plus the
+// grouped per-shape mode comparison.
 type benchFile struct {
-	Bench                  string               `json:"bench"`
-	Policy                 string               `json:"policy"`
-	GOMAXPROCS             int                  `json:"gomaxprocs"`
-	Results                []runtime.LoadResult `json:"results"`
-	SpeedupStripedVsSerial float64              `json:"speedup_striped_vs_serial,omitempty"`
+	Bench    string                `json:"bench"`
+	Policy   string                `json:"policy"`
+	HostCPUs int                   `json:"host_cpus"`
+	Results  []runtime.LoadResult  `json:"results"`
+	Summary  []runtime.MatrixPoint `json:"summary"`
 }
 
 func main() {
@@ -44,50 +47,75 @@ func main() {
 	}
 }
 
+// intList parses a comma-separated list of integers.
+func intList(flagName, s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, fmt.Errorf("-%s: bad entry %q", flagName, part)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-%s: empty list", flagName)
+	}
+	return out, nil
+}
+
+func strList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
 func run() error {
-	functions := flag.Int("functions", 12, "registered functions")
-	workers := flag.Int("workers", 0, "concurrent closed-loop callers (0 = 2×GOMAXPROCS)")
-	duration := flag.Duration("duration", 3*time.Second, "wall-clock run length per mode")
-	mix := flag.String("mix", runtime.MixZipf, "arrival mix: uniform, zipf, or hotspot")
+	gomaxprocs := flag.String("gomaxprocs", "", "comma-separated GOMAXPROCS sweep (default: current value)")
+	functions := flag.String("functions", "12", "comma-separated registered-function counts")
+	workers := flag.String("workers", "0", "comma-separated worker counts (0 = 2×GOMAXPROCS per cell)")
+	duration := flag.Duration("duration", 2*time.Second, "wall-clock run length per cell")
+	mixes := flag.String("mixes", runtime.MixHotspot, "comma-separated arrival mixes: uniform, zipf, hotspot")
 	policyName := flag.String("policy", "pulse", "keep-alive policy: pulse or fixed")
 	shards := flag.Int("shards", 0, "PULSE controller shards (0 = one per CPU)")
 	seed := flag.Int64("seed", 1, "worker RNG seed")
 	stepEvery := flag.Duration("step-every", 100*time.Millisecond, "minute-barrier cadence (0 disables stepping)")
-	modes := flag.String("modes", "striped,serial", "comma-separated runtime modes to benchmark")
+	modes := flag.String("modes", strings.Join([]string{runtime.ModeSerial, runtime.ModeStriped, runtime.ModeEpoch}, ","),
+		"comma-separated runtime modes to benchmark")
 	out := flag.String("out", "BENCH_runtime.json", "output file ('-' for stdout only)")
 	flag.Parse()
 
-	if *functions <= 0 {
-		return fmt.Errorf("-functions must be positive (got %d)", *functions)
+	fnCounts, err := intList("functions", *functions)
+	if err != nil {
+		return err
 	}
-	if *workers <= 0 {
-		*workers = 2 * goruntime.GOMAXPROCS(0)
+	for _, n := range fnCounts {
+		if n <= 0 {
+			return fmt.Errorf("-functions entries must be positive (got %d)", n)
+		}
+	}
+	workerCounts, err := intList("workers", *workers)
+	if err != nil {
+		return err
+	}
+	var gmps []int
+	if *gomaxprocs != "" {
+		if gmps, err = intList("gomaxprocs", *gomaxprocs); err != nil {
+			return err
+		}
 	}
 
 	cat := pulse.Catalog()
-	asg := pulse.UniformAssignment(cat, *functions)
-
-	file := benchFile{
-		Bench:      "runtime-serving",
-		Policy:     *policyName,
-		GOMAXPROCS: goruntime.GOMAXPROCS(0),
-	}
-	byMode := map[string]runtime.LoadResult{}
-	for _, mode := range strings.Split(*modes, ",") {
-		mode = strings.TrimSpace(mode)
-		var serial bool
-		switch mode {
-		case "striped":
-			serial = false
-		case "serial":
-			serial = true
-		case "":
-			continue
-		default:
-			return fmt.Errorf("unknown mode %q (want striped or serial)", mode)
-		}
-
-		// Each mode gets a fresh policy: runs must not share state.
+	newRuntime := func(fns int, mode string) (*runtime.Runtime, error) {
+		asg := pulse.UniformAssignment(cat, fns)
+		// Each cell gets a fresh policy: runs must not share state.
 		var p pulse.Policy
 		var err error
 		switch *policyName {
@@ -96,52 +124,56 @@ func run() error {
 		case "fixed":
 			p, err = policy.NewFixed(cat, asg, 0, policy.QualityHighest)
 		default:
-			return fmt.Errorf("unknown policy %q (want pulse or fixed)", *policyName)
+			err = fmt.Errorf("unknown policy %q (want pulse or fixed)", *policyName)
 		}
 		if err != nil {
-			return err
+			return nil, err
 		}
-		rt, err := runtime.New(runtime.Config{
+		return runtime.New(runtime.Config{
 			Catalog:    cat,
 			Assignment: asg,
 			Policy:     p,
-			Serial:     serial,
+			Mode:       mode,
 		})
-		if err != nil {
-			return err
-		}
-		res, err := runtime.RunLoad(rt, runtime.LoadConfig{
-			Workers:   *workers,
-			Duration:  *duration,
-			Mix:       *mix,
-			Seed:      *seed,
-			StepEvery: *stepEvery,
-		})
-		closeErr := rt.Close()
-		if err != nil {
-			return err
-		}
-		if closeErr != nil {
-			return closeErr
-		}
-		if res.Errors > 0 {
-			return fmt.Errorf("mode %s: %d failed invocations", mode, res.Errors)
-		}
-		file.Results = append(file.Results, res)
-		byMode[mode] = res
-		fmt.Printf("%-8s %9.0f inv/s  (%d invocations, %d workers, %d fns, %d minutes, p50 %.1fµs p99 %.1fµs max %.1fµs)\n",
-			mode, res.Throughput, res.Invocations, res.Workers, res.Functions,
-			res.MinutesStepped, res.LatencyP50us, res.LatencyP99us, res.LatencyMaxus)
-	}
-	if len(file.Results) == 0 {
-		return fmt.Errorf("no modes selected")
 	}
 
-	if s, ok := byMode["striped"]; ok {
-		if b, ok := byMode["serial"]; ok && b.Throughput > 0 {
-			file.SpeedupStripedVsSerial = s.Throughput / b.Throughput
-			fmt.Printf("striped/serial speedup: %.2f× at GOMAXPROCS %d\n",
-				file.SpeedupStripedVsSerial, file.GOMAXPROCS)
+	var failed int64
+	results, err := runtime.RunMatrix(runtime.MatrixConfig{
+		GOMAXPROCS: gmps,
+		Functions:  fnCounts,
+		Mixes:      strList(*mixes),
+		Workers:    workerCounts,
+		Modes:      strList(*modes),
+		Duration:   *duration,
+		Seed:       *seed,
+		StepEvery:  *stepEvery,
+		NewRuntime: newRuntime,
+		Progress: func(res runtime.LoadResult) {
+			failed += res.Errors
+			fmt.Printf("gmp %-2d fns %-4d %-8s %-8s %9.0f inv/s  (%d invocations, %d workers, %d minutes, p50 %.1fµs p99 %.1fµs)\n",
+				res.GOMAXPROCS, res.Functions, res.Mix, res.Mode, res.Throughput,
+				res.Invocations, res.Workers, res.MinutesStepped, res.LatencyP50us, res.LatencyP99us)
+		},
+	})
+	if err != nil {
+		return err
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d failed invocations across the matrix", failed)
+	}
+
+	file := benchFile{
+		Bench:    "runtime-serving-matrix",
+		Policy:   *policyName,
+		HostCPUs: goruntime.NumCPU(),
+		Results:  results,
+		Summary:  runtime.SummarizeMatrix(results),
+	}
+	for _, p := range file.Summary {
+		if p.SpeedupEpochVsStriped > 0 {
+			fmt.Printf("gmp %-2d fns %-4d %-8s epoch/striped %.2f×  epoch/serial %.2f×  striped/serial %.2f×\n",
+				p.GOMAXPROCS, p.Functions, p.Mix,
+				p.SpeedupEpochVsStriped, p.SpeedupEpochVsSerial, p.SpeedupStripedVsSerial)
 		}
 	}
 

@@ -74,7 +74,9 @@ func (p *alertProbe) finish(t testing.TB) []alert.Notification {
 // replayAlertRuntime feeds a trace through a live Runtime observing probe:
 // every feed steps Horizon-1 times so minute H-1 ends open, matching the
 // cluster engine's feed shape, and Flush closes it identically everywhere.
-func replayAlertRuntime(t *testing.T, cat *models.Catalog, asg models.Assignment, tr *trace.Trace, serial bool) []alert.Notification {
+// Serial-mode feeds replay sequentially; striped and epoch feeds replay
+// with one goroutine per function.
+func replayAlertRuntime(t *testing.T, cat *models.Catalog, asg models.Assignment, tr *trace.Trace, mode string) []alert.Notification {
 	t.Helper()
 	probe := newAlertProbe(t, cat, asg)
 	p, err := core.New(core.Config{Catalog: cat, Assignment: asg})
@@ -88,14 +90,14 @@ func replayAlertRuntime(t *testing.T, cat *models.Catalog, asg models.Assignment
 		Clock:      NewManualClock(time.Unix(0, 0)),
 		Cost:       cluster.DefaultCostModel(),
 		Observer:   probe.obs,
-		Serial:     serial,
+		Mode:       mode,
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer rt.Close()
 	for m := 0; m < tr.Horizon; m++ {
-		if serial {
+		if mode == ModeSerial {
 			for fn := range tr.Functions {
 				for i := 0; i < tr.Functions[fn].Counts[m]; i++ {
 					if _, err := rt.Invoke(fn); err != nil {
@@ -135,13 +137,13 @@ func replayAlertRuntime(t *testing.T, cat *models.Catalog, asg models.Assignment
 	return probe.finish(t)
 }
 
-// TestDifferentialAlertFirings replays the harness workloads through three
-// feeds — the serial runtime, the lock-striped runtime under per-function
-// goroutines, and the cluster engine driven by a 4-shard PULSE controller
-// — and requires the exact same alert transition sequence (rule, state,
-// minute, value, everything) from each. Alert firings are part of the
-// deterministic surface: same trace ⇒ same firing minutes, no matter how
-// the platform is parallelized.
+// TestDifferentialAlertFirings replays the harness workloads through four
+// feeds — the serial runtime, the lock-striped and lock-free epoch
+// runtimes under per-function goroutines, and the cluster engine driven by
+// a 4-shard PULSE controller — and requires the exact same alert
+// transition sequence (rule, state, minute, value, everything) from each.
+// Alert firings are part of the deterministic surface: same trace ⇒ same
+// firing minutes, no matter how the platform is parallelized.
 func TestDifferentialAlertFirings(t *testing.T) {
 	cat := models.PaperCatalog()
 	fired := false
@@ -152,8 +154,9 @@ func TestDifferentialAlertFirings(t *testing.T) {
 				asg[i] = i % len(cat.Families)
 			}
 
-			serial := replayAlertRuntime(t, cat, asg, wl.tr, true)
-			striped := replayAlertRuntime(t, cat, asg, wl.tr, false)
+			serial := replayAlertRuntime(t, cat, asg, wl.tr, ModeSerial)
+			striped := replayAlertRuntime(t, cat, asg, wl.tr, ModeStriped)
+			epoch := replayAlertRuntime(t, cat, asg, wl.tr, ModeEpoch)
 
 			simProbe := newAlertProbe(t, cat, asg)
 			p, err := core.New(core.Config{Catalog: cat, Assignment: asg, Shards: 4})
@@ -171,6 +174,10 @@ func TestDifferentialAlertFirings(t *testing.T) {
 			if !reflect.DeepEqual(serial, striped) {
 				t.Errorf("serial vs striped firings diverge:\nserial:  %s\nstriped: %s",
 					describeNotifications(serial), describeNotifications(striped))
+			}
+			if !reflect.DeepEqual(serial, epoch) {
+				t.Errorf("serial vs epoch firings diverge:\nserial: %s\nepoch:  %s",
+					describeNotifications(serial), describeNotifications(epoch))
 			}
 			if !reflect.DeepEqual(serial, sim) {
 				t.Errorf("runtime vs sharded-sim firings diverge:\nruntime: %s\nsim:     %s",
@@ -199,11 +206,11 @@ func describeNotifications(ns []alert.Notification) string {
 
 // TestDifferentialAlertsWithStalledSubscriber attaches the full live ops
 // surface — broadcaster with a stalled 1-slot subscriber, alert engine
-// publishing to it — to the striped runtime and proves the serving path is
-// unperturbed: stats and alert transitions still match a bare serial
-// replay exactly, and the stalled subscriber's queue really did overflow
-// (so the drop path, not a conveniently idle stream, is what's under
-// test). Run under -race by the sharded CI job.
+// publishing to it — to the default (epoch) runtime and proves the serving
+// path is unperturbed: stats and alert transitions still match a bare
+// serial replay exactly, and the stalled subscriber's queue really did
+// overflow (so the drop path, not a conveniently idle stream, is what's
+// under test). Run under -race by the sharded CI job.
 func TestDifferentialAlertsWithStalledSubscriber(t *testing.T) {
 	cat := models.PaperCatalog()
 	wl := runtimeWorkloads(t)[0]
@@ -212,7 +219,7 @@ func TestDifferentialAlertsWithStalledSubscriber(t *testing.T) {
 		asg[i] = i % len(cat.Families)
 	}
 
-	serialFirings := replayAlertRuntime(t, cat, asg, wl.tr, true)
+	serialFirings := replayAlertRuntime(t, cat, asg, wl.tr, ModeSerial)
 	serialStats := func() Stats {
 		p, err := core.New(core.Config{Catalog: cat, Assignment: asg})
 		if err != nil {
@@ -220,7 +227,7 @@ func TestDifferentialAlertsWithStalledSubscriber(t *testing.T) {
 		}
 		rt, err := New(Config{
 			Catalog: cat, Assignment: asg, Policy: p,
-			Clock: NewManualClock(time.Unix(0, 0)), Cost: cluster.DefaultCostModel(), Serial: true,
+			Clock: NewManualClock(time.Unix(0, 0)), Cost: cluster.DefaultCostModel(), Mode: ModeSerial,
 		})
 		if err != nil {
 			t.Fatal(err)

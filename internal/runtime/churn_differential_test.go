@@ -203,10 +203,10 @@ func assignFor(tr *trace.Trace, ti int, r *Runtime) int {
 }
 
 // TestDifferentialChurnRuntime drives the churn workload through a serial
-// runtime replayed sequentially, a striped runtime replayed sequentially,
-// and a striped runtime replayed with per-function goroutines, for each
-// policy. All three must land on identical Stats and identical per-slot
-// invocation streams; the two sequential replays must additionally produce
+// runtime replayed sequentially and, for each of the striped and epoch
+// modes, a sequential and a per-function-goroutine replay, for each
+// policy. All five must land on identical Stats and identical per-slot
+// invocation streams; the sequential replays must additionally produce
 // identical observer streams (lifecycle samples included).
 func TestDifferentialChurnRuntime(t *testing.T) {
 	cat := models.PaperCatalog()
@@ -214,7 +214,7 @@ func TestDifferentialChurnRuntime(t *testing.T) {
 	policies, names, initAsg := churnRuntimePolicies(t, cat, tr)
 	for polName, mkPolicy := range policies {
 		t.Run(polName, func(t *testing.T) {
-			run := func(serial, parallel bool) (Stats, [][]Invocation, *telemetry.Recorder) {
+			run := func(mode string, parallel bool) (Stats, [][]Invocation, *telemetry.Recorder) {
 				rec := &telemetry.Recorder{}
 				r, err := New(Config{
 					Catalog:    cat,
@@ -223,7 +223,7 @@ func TestDifferentialChurnRuntime(t *testing.T) {
 					Policy:     mkPolicy(nil),
 					Clock:      NewManualClock(time.Unix(0, 0)),
 					Observer:   rec,
-					Serial:     serial,
+					Mode:       mode,
 				})
 				if err != nil {
 					t.Fatal(err)
@@ -232,45 +232,48 @@ func TestDifferentialChurnRuntime(t *testing.T) {
 				stats, streams := replayChurn(t, r, tr, parallel)
 				return stats, streams, rec
 			}
-			baseStats, baseStreams, baseRec := run(true, false)
-			stripedStats, stripedStreams, stripedRec := run(false, false)
-			parStats, parStreams, _ := run(false, true)
+			baseStats, baseStreams, baseRec := run(ModeSerial, false)
 
 			for _, cmp := range []struct {
-				mode    string
-				stats   Stats
-				streams [][]Invocation
+				name     string
+				mode     string
+				parallel bool
 			}{
-				{"striped-sequential", stripedStats, stripedStreams},
-				{"striped-parallel", parStats, parStreams},
+				{"striped-sequential", ModeStriped, false},
+				{"striped-parallel", ModeStriped, true},
+				{"epoch-sequential", ModeEpoch, false},
+				{"epoch-parallel", ModeEpoch, true},
 			} {
-				if !reflect.DeepEqual(cmp.stats, baseStats) {
-					t.Errorf("%s stats diverge:\nserial: %+v\n%s: %+v", cmp.mode, baseStats, cmp.mode, cmp.stats)
+				stats, streams, rec := run(cmp.mode, cmp.parallel)
+				if !reflect.DeepEqual(stats, baseStats) {
+					t.Errorf("%s stats diverge:\nserial: %+v\n%s: %+v", cmp.name, baseStats, cmp.name, stats)
 				}
-				if len(cmp.streams) != len(baseStreams) {
-					t.Fatalf("%s issued %d slots, serial issued %d", cmp.mode, len(cmp.streams), len(baseStreams))
+				if len(streams) != len(baseStreams) {
+					t.Fatalf("%s issued %d slots, serial issued %d", cmp.name, len(streams), len(baseStreams))
 				}
 				for slot := range baseStreams {
-					if !reflect.DeepEqual(cmp.streams[slot], baseStreams[slot]) {
+					if !reflect.DeepEqual(streams[slot], baseStreams[slot]) {
 						t.Errorf("%s: slot %d invocation stream diverges (%d vs %d invocations)",
-							cmp.mode, slot, len(cmp.streams[slot]), len(baseStreams[slot]))
+							cmp.name, slot, len(streams[slot]), len(baseStreams[slot]))
 					}
 				}
-			}
-
-			// Sequential replays must agree on the entire observer stream.
-			for _, s := range []struct {
-				kind      string
-				got, want any
-			}{
-				{"invocations", stripedRec.Invocations, baseRec.Invocations},
-				{"keep-alives", stripedRec.KeepAlives, baseRec.KeepAlives},
-				{"minutes", stripedRec.Minutes, baseRec.Minutes},
-				{"registers", stripedRec.Registers, baseRec.Registers},
-				{"deregisters", stripedRec.Deregisters, baseRec.Deregisters},
-			} {
-				if !reflect.DeepEqual(s.got, s.want) {
-					t.Errorf("striped-sequential %s stream diverges from serial", s.kind)
+				if cmp.parallel {
+					continue
+				}
+				// Sequential replays must agree on the entire observer stream.
+				for _, s := range []struct {
+					kind      string
+					got, want any
+				}{
+					{"invocations", rec.Invocations, baseRec.Invocations},
+					{"keep-alives", rec.KeepAlives, baseRec.KeepAlives},
+					{"minutes", rec.Minutes, baseRec.Minutes},
+					{"registers", rec.Registers, baseRec.Registers},
+					{"deregisters", rec.Deregisters, baseRec.Deregisters},
+				} {
+					if !reflect.DeepEqual(s.got, s.want) {
+						t.Errorf("%s %s stream diverges from serial", cmp.name, s.kind)
+					}
 				}
 			}
 		})
@@ -308,12 +311,15 @@ func TestDifferentialChurnAttribution(t *testing.T) {
 			simRep := simAcct.Report()
 
 			for _, mode := range []struct {
-				name             string
-				serial, parallel bool
+				name     string
+				mode     string
+				parallel bool
 			}{
-				{"serial", true, false},
-				{"striped", false, false},
-				{"striped-parallel", false, true},
+				{"serial", ModeSerial, false},
+				{"striped", ModeStriped, false},
+				{"striped-parallel", ModeStriped, true},
+				{"epoch", ModeEpoch, false},
+				{"epoch-parallel", ModeEpoch, true},
 			} {
 				liveAcct := newAcct()
 				r, err := New(Config{
@@ -324,7 +330,7 @@ func TestDifferentialChurnAttribution(t *testing.T) {
 					Clock:      NewManualClock(time.Unix(0, 0)),
 					Cost:       cost,
 					Observer:   liveAcct,
-					Serial:     mode.serial,
+					Mode:       mode.mode,
 				})
 				if err != nil {
 					t.Fatal(err)
@@ -411,18 +417,25 @@ func TestChurnInvokeDeregistered(t *testing.T) {
 	}
 }
 
-// TestChurnLifecycleRaceClean hammers the striped runtime with concurrent
-// invokes, minute steps, and register/deregister churn. Run under -race it
-// proves the lifecycle path takes the exclusive barrier correctly; the only
-// acceptable invoke failures are the lifecycle sentinels.
+// TestChurnLifecycleRaceClean hammers the concurrent runtime modes with
+// concurrent invokes, minute steps, and register/deregister churn. Run
+// under -race it proves the lifecycle path takes the exclusive barrier and
+// the epoch write window correctly; the only acceptable invoke failures
+// are the lifecycle sentinels.
 func TestChurnLifecycleRaceClean(t *testing.T) {
+	for _, mode := range []string{ModeStriped, ModeEpoch} {
+		t.Run(mode, func(t *testing.T) { churnLifecycleRace(t, mode) })
+	}
+}
+
+func churnLifecycleRace(t *testing.T, mode string) {
 	cat := models.PaperCatalog()
 	asg := models.Assignment{0, 1, 0, 1}
 	p, err := core.New(core.Config{Catalog: cat, Assignment: asg, Shards: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
-	r, err := New(Config{Catalog: cat, Assignment: asg, Policy: p, Clock: NewManualClock(time.Unix(0, 0))})
+	r, err := New(Config{Catalog: cat, Assignment: asg, Policy: p, Clock: NewManualClock(time.Unix(0, 0)), Mode: mode})
 	if err != nil {
 		t.Fatal(err)
 	}

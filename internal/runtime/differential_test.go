@@ -1,13 +1,14 @@
 package runtime
 
 // The differential equivalence harness is the proof obligation behind the
-// lock-striped serving path: for a matrix of trace workloads and policies,
-// a serial (single global lock) runtime replayed sequentially and a
-// striped runtime replayed with one goroutine per function must produce
-// identical Stats and identical per-function invocation streams — and,
-// when instrumented, identical barrier-ordered observer streams. CI runs
-// this suite under -race (the sharded job's 'Differential|Sharded' regex
-// picks it up).
+// serving path: for a matrix of trace workloads and policies, a serial
+// (single global lock) runtime replayed sequentially, a striped runtime
+// replayed with one goroutine per function, and an epoch (lock-free fast
+// path) runtime replayed the same way must produce identical Stats and
+// identical per-function invocation streams — and, when instrumented,
+// identical barrier-ordered observer streams. CI runs this suite under
+// -race (the sharded job's 'Differential|Sharded' regex picks it up, and
+// the stress job repeats it at GOMAXPROCS 1 and 4).
 
 import (
 	"bytes"
@@ -160,13 +161,15 @@ func replayCapture(t *testing.T, r *Runtime, tr *trace.Trace, parallel bool) (St
 	return r.Stats(), streams
 }
 
-// TestDifferentialStripedRuntime drives a serial runtime sequentially and
-// a striped runtime with per-function goroutines over the same workloads
-// and policies, requiring reflect.DeepEqual on the final Stats (float sums
-// included — both modes accumulate per function, in function order) and on
-// every per-function invocation stream. Run under -race, this is the
-// striped serving path's equivalence proof.
-func TestDifferentialStripedRuntime(t *testing.T) {
+// TestDifferentialRuntimeModes drives a serial runtime sequentially and a
+// striped and an epoch runtime with per-function goroutines over the same
+// workloads and policies, requiring reflect.DeepEqual on the final Stats
+// (float sums included — every mode accumulates per function, in function
+// order) and on every per-function invocation stream. Run under -race,
+// this three-way comparison is the serving path's equivalence proof: the
+// serial mode is the ground truth, and the lock-free epoch mode must match
+// it as exactly as the striped mode always has.
+func TestDifferentialRuntimeModes(t *testing.T) {
 	cat := models.PaperCatalog()
 	for _, wl := range runtimeWorkloads(t) {
 		asg := make(models.Assignment, len(wl.tr.Functions))
@@ -175,37 +178,38 @@ func TestDifferentialStripedRuntime(t *testing.T) {
 		}
 		for polName, mkPolicy := range runtimePolicies(cat, asg) {
 			t.Run(fmt.Sprintf("%s/%s", wl.name, polName), func(t *testing.T) {
-				mk := func(serial bool) *Runtime {
+				mk := func(mode string) *Runtime {
 					r, err := New(Config{
 						Catalog:    cat,
 						Assignment: asg,
 						Policy:     mkPolicy(t, nil),
 						Clock:      NewManualClock(time.Unix(0, 0)),
-						Serial:     serial,
+						Mode:       mode,
 					})
 					if err != nil {
 						t.Fatal(err)
 					}
+					if r.Mode() != mode {
+						t.Fatalf("mode = %q, want %q", r.Mode(), mode)
+					}
 					return r
 				}
-				serial := mk(true)
+				serial := mk(ModeSerial)
 				defer serial.Close()
-				striped := mk(false)
-				defer striped.Close()
-				if serial.Mode() != "serial" || striped.Mode() != "striped" {
-					t.Fatalf("modes = %q/%q", serial.Mode(), striped.Mode())
-				}
-
 				serialStats, serialStreams := replayCapture(t, serial, wl.tr, false)
-				stripedStats, stripedStreams := replayCapture(t, striped, wl.tr, true)
 
-				if !reflect.DeepEqual(serialStats, stripedStats) {
-					t.Errorf("stats diverge:\nserial:  %+v\nstriped: %+v", serialStats, stripedStats)
-				}
-				for fn := range serialStreams {
-					if !reflect.DeepEqual(serialStreams[fn], stripedStreams[fn]) {
-						t.Errorf("function %d invocation stream diverges (%d vs %d invocations)",
-							fn, len(serialStreams[fn]), len(stripedStreams[fn]))
+				for _, mode := range []string{ModeStriped, ModeEpoch} {
+					r := mk(mode)
+					stats, streams := replayCapture(t, r, wl.tr, true)
+					r.Close()
+					if !reflect.DeepEqual(serialStats, stats) {
+						t.Errorf("%s stats diverge:\nserial: %+v\n%s: %+v", mode, serialStats, mode, stats)
+					}
+					for fn := range serialStreams {
+						if !reflect.DeepEqual(serialStreams[fn], streams[fn]) {
+							t.Errorf("%s: function %d invocation stream diverges (%d vs %d invocations)",
+								mode, fn, len(serialStreams[fn]), len(streams[fn]))
+						}
 					}
 				}
 			})
@@ -213,21 +217,24 @@ func TestDifferentialStripedRuntime(t *testing.T) {
 	}
 }
 
-// TestDifferentialStripedObserverStream attaches Recorders to a serial and
-// a striped replay and checks the observer seam's ordering guarantees:
-// keep-alive and minute samples are emitted under the minute barrier and
-// must arrive in the identical order with identical payloads; invocation
-// samples may interleave across functions, but a stable sort by (minute,
-// function) — which preserves each function's own emission order — must
-// reconstruct the exact serial stream.
-func TestDifferentialStripedObserverStream(t *testing.T) {
+// TestDifferentialObserverStream attaches Recorders to replays in every
+// mode and checks the observer seam's ordering guarantees: keep-alive and
+// minute samples are emitted inside the minute write window and must
+// arrive in the identical order with identical payloads in every mode;
+// invocation samples may interleave across functions under parallel
+// replay, but a stable sort by (minute, function) — which preserves each
+// function's own emission order — must reconstruct the exact serial
+// stream. Sequential replays (no goroutines) must reproduce the serial
+// invocation stream exactly, unsorted, in the striped and epoch modes
+// alike.
+func TestDifferentialObserverStream(t *testing.T) {
 	cat := models.PaperCatalog()
 	wl := runtimeWorkloads(t)[0]
 	asg := make(models.Assignment, len(wl.tr.Functions))
 	for i := range asg {
 		asg[i] = i % len(cat.Families)
 	}
-	run := func(serial bool) *telemetry.Recorder {
+	run := func(mode string, parallel bool) *telemetry.Recorder {
 		rec := &telemetry.Recorder{}
 		p, err := core.New(core.Config{Catalog: cat, Assignment: asg})
 		if err != nil {
@@ -239,23 +246,14 @@ func TestDifferentialStripedObserverStream(t *testing.T) {
 			Policy:     p,
 			Clock:      NewManualClock(time.Unix(0, 0)),
 			Observer:   rec,
-			Serial:     serial,
+			Mode:       mode,
 		})
 		if err != nil {
 			t.Fatal(err)
 		}
 		defer r.Close()
-		replayCapture(t, r, wl.tr, !serial)
+		replayCapture(t, r, wl.tr, parallel)
 		return rec
-	}
-	serial := run(true)
-	striped := run(false)
-
-	if !reflect.DeepEqual(serial.KeepAlives, striped.KeepAlives) {
-		t.Errorf("keep-alive streams diverge: %d vs %d samples", len(serial.KeepAlives), len(striped.KeepAlives))
-	}
-	if !reflect.DeepEqual(serial.Minutes, striped.Minutes) {
-		t.Errorf("minute streams diverge: %d vs %d samples", len(serial.Minutes), len(striped.Minutes))
 	}
 	canon := func(s []telemetry.InvocationSample) []telemetry.InvocationSample {
 		out := append([]telemetry.InvocationSample(nil), s...)
@@ -267,9 +265,34 @@ func TestDifferentialStripedObserverStream(t *testing.T) {
 		})
 		return out
 	}
-	if !reflect.DeepEqual(canon(serial.Invocations), canon(striped.Invocations)) {
-		t.Errorf("invocation sample streams diverge under canonical order: %d vs %d samples",
-			len(serial.Invocations), len(striped.Invocations))
+
+	serial := run(ModeSerial, false)
+	for _, cmp := range []struct {
+		name     string
+		mode     string
+		parallel bool
+	}{
+		{"striped-parallel", ModeStriped, true},
+		{"epoch-parallel", ModeEpoch, true},
+		{"striped-sequential", ModeStriped, false},
+		{"epoch-sequential", ModeEpoch, false},
+	} {
+		got := run(cmp.mode, cmp.parallel)
+		if !reflect.DeepEqual(serial.KeepAlives, got.KeepAlives) {
+			t.Errorf("%s: keep-alive streams diverge: %d vs %d samples", cmp.name, len(serial.KeepAlives), len(got.KeepAlives))
+		}
+		if !reflect.DeepEqual(serial.Minutes, got.Minutes) {
+			t.Errorf("%s: minute streams diverge: %d vs %d samples", cmp.name, len(serial.Minutes), len(got.Minutes))
+		}
+		if cmp.parallel {
+			if !reflect.DeepEqual(canon(serial.Invocations), canon(got.Invocations)) {
+				t.Errorf("%s: invocation sample streams diverge under canonical order: %d vs %d samples",
+					cmp.name, len(serial.Invocations), len(got.Invocations))
+			}
+		} else if !reflect.DeepEqual(serial.Invocations, got.Invocations) {
+			t.Errorf("%s: invocation sample streams diverge: %d vs %d samples",
+				cmp.name, len(serial.Invocations), len(got.Invocations))
+		}
 	}
 }
 

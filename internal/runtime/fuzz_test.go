@@ -1,0 +1,141 @@
+package runtime
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/pulse-serverless/pulse/internal/core"
+	"github.com/pulse-serverless/pulse/internal/models"
+)
+
+// fuzzOp is one decoded schedule entry. The decoder is deterministic in the
+// input bytes alone, so both runtimes replay the exact same schedule.
+type fuzzOp struct {
+	kind int // 0 invoke, 1 step, 2 register, 3 deregister, 4 stats, 5 close
+	fn   int // invoke target
+	fam  int // register family
+	name string
+}
+
+const maxFuzzOps = 512
+
+// decodeSchedule turns fuzz bytes into an op schedule. Each byte's low
+// three bits pick the op (invokes weighted 3/8 so schedules actually serve
+// traffic) and the high five bits pick the operand. Invoke targets range
+// over the current population plus two, so out-of-range and tombstoned
+// slots are exercised; deregister draws from every name ever issued, so
+// double-deregisters are too. Close is rare (one specific byte pattern) but
+// present, pinning the ErrClosed surface.
+func decodeSchedule(data []byte) []fuzzOp {
+	ops := make([]fuzzOp, 0, len(data))
+	slots := 3 // mirrors the initial assignment below
+	names := []string{"fn-0", "fn-1", "fn-2"}
+	issued := 0
+	for _, b := range data {
+		if len(ops) == maxFuzzOps {
+			break
+		}
+		arg := int(b >> 3)
+		switch b & 7 {
+		case 0, 1, 2:
+			ops = append(ops, fuzzOp{kind: 0, fn: arg % (slots + 2)})
+		case 3:
+			ops = append(ops, fuzzOp{kind: 1})
+		case 4:
+			name := fmt.Sprintf("fz-%d", issued)
+			issued++
+			ops = append(ops, fuzzOp{kind: 2, fam: arg % 3, name: name})
+			names = append(names, name)
+			slots++
+		case 5:
+			ops = append(ops, fuzzOp{kind: 3, name: names[arg%len(names)]})
+		case 6:
+			ops = append(ops, fuzzOp{kind: 4})
+		case 7:
+			if b == 255 {
+				ops = append(ops, fuzzOp{kind: 5})
+			} else {
+				ops = append(ops, fuzzOp{kind: 1})
+			}
+		}
+	}
+	return ops
+}
+
+// replaySchedule applies the schedule to a fresh runtime in the given mode
+// and returns a transcript: one line per op recording the full result —
+// invocation value or error (with its errors.Is classification), stats
+// snapshot, lifecycle outcome. Two modes are behaviorally identical iff
+// their transcripts match byte for byte.
+func replaySchedule(t *testing.T, ops []fuzzOp, mode string) string {
+	t.Helper()
+	cat := models.PaperCatalog()
+	asg := models.Assignment{0, 1, 2}
+	pol, err := core.New(core.Config{Catalog: cat, Assignment: asg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := New(Config{Catalog: cat, Assignment: asg, Policy: pol, Clock: NewManualClock(time.Unix(0, 0)), Mode: mode})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	var sb strings.Builder
+	errClass := func(err error) string {
+		if err == nil {
+			return "nil"
+		}
+		return fmt.Sprintf("%v closed=%v dereg=%v unknown=%v",
+			err, errors.Is(err, ErrClosed), errors.Is(err, ErrDeregistered), errors.Is(err, ErrUnknownFunction))
+	}
+	for i, op := range ops {
+		switch op.kind {
+		case 0:
+			inv, err := r.Invoke(op.fn)
+			fmt.Fprintf(&sb, "%d invoke(%d) -> %+v err=%s\n", i, op.fn, inv, errClass(err))
+		case 1:
+			fmt.Fprintf(&sb, "%d step -> err=%s\n", i, errClass(r.Step()))
+		case 2:
+			slot, err := r.Register(op.name, op.fam)
+			fmt.Fprintf(&sb, "%d register(%s,%d) -> %d err=%s\n", i, op.name, op.fam, slot, errClass(err))
+		case 3:
+			fmt.Fprintf(&sb, "%d deregister(%s) -> err=%s\n", i, op.name, errClass(r.Deregister(op.name)))
+		case 4:
+			fmt.Fprintf(&sb, "%d stats -> %+v\n", i, r.Stats())
+		case 5:
+			fmt.Fprintf(&sb, "%d close -> err=%s\n", i, errClass(r.Close()))
+		}
+	}
+	fmt.Fprintf(&sb, "final minute=%d stats=%+v active=%d/%d\n",
+		r.Minute(), r.Stats(), r.NumActive(), r.NumFunctions())
+	return sb.String()
+}
+
+// FuzzInvokeStepSchedule replays fuzz-generated interleavings of
+// invoke/step/register/deregister/stats/close against the serial reference
+// runtime and the lock-free epoch runtime and requires identical
+// transcripts: every invocation value, every stats snapshot, every error —
+// including the ErrClosed/ErrDeregistered/ErrUnknownFunction sentinels —
+// must match. The schedules are sequential, so any divergence is a real
+// semantic difference in the epoch path, not a concurrency artifact (the
+// concurrency side is covered by the differential and torn-read tests).
+func FuzzInvokeStepSchedule(f *testing.F) {
+	f.Add([]byte{0, 8, 3, 16, 3, 6})                                // invoke, invoke, step, invoke, step, stats
+	f.Add([]byte{4, 0, 3, 5, 0, 6})                                 // register, invoke, step, deregister, invoke, stats
+	f.Add([]byte{0, 255, 0, 3, 4, 6})                               // close mid-schedule, then everything fails alike
+	f.Add([]byte{13, 21, 5, 5, 4, 12, 3, 0, 1, 2, 3, 6, 255, 0})    // churn, double deregister, rollover, close
+	f.Add([]byte{4, 4, 4, 3, 0, 8, 16, 24, 32, 40, 3, 5, 13, 3, 6}) // grow population, serve the tail, retire
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ops := decodeSchedule(data)
+		serial := replaySchedule(t, ops, ModeSerial)
+		epoch := replaySchedule(t, ops, ModeEpoch)
+		if serial != epoch {
+			t.Errorf("serial and epoch transcripts diverge for schedule %v:\n--- serial ---\n%s--- epoch ---\n%s",
+				ops, serial, epoch)
+		}
+	})
+}

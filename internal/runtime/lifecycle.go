@@ -8,11 +8,14 @@ import (
 )
 
 // Online function lifecycle for the live runtime. Register and Deregister
-// take the exclusive side of the minute barrier — the same lock Step holds —
-// so they are serialized against every invocation and every minute rollover.
-// Under that lock no stripe mutex is held by anyone, which is what makes
-// growing the fnState slice (an append that copies the per-function locks)
-// safe.
+// take the exclusive barrier and open a write window — the same discipline
+// Step uses — so they are serialized against every invocation and every
+// minute rollover in all three serving modes. Inside the window no stripe
+// mutex is held by anyone and no invocation body is in flight, which is
+// what makes mutating the policy and growing the population safe; stripes
+// themselves are heap-allocated and reached through a pointer slice, so
+// growth appends a pointer and never moves a stripe out from under a
+// lock-free reader holding the previous slice.
 //
 // The runtime delegates slot issuance to its policy first and mirrors the
 // result in its own registry; a disagreement between the two is an invariant
@@ -27,7 +30,7 @@ import (
 func (r *Runtime) Register(name string, family int) (int, error) {
 	r.barrier.Lock()
 	defer r.barrier.Unlock()
-	if r.closed {
+	if r.closed.Load() {
 		return 0, ErrClosed
 	}
 	dp, ok := r.cfg.Policy.(cluster.DynamicPolicy)
@@ -37,6 +40,10 @@ func (r *Runtime) Register(name string, family int) (int, error) {
 	if family < 0 || family >= len(r.cfg.Catalog.Families) {
 		return 0, fmt.Errorf("runtime: family %d out of range for %q", family, name)
 	}
+	// The window must open before the policy call: ColdVariant from a
+	// concurrent invocation may read the arrays RegisterFunction grows.
+	r.beginWrite()
+	defer r.endWrite()
 	slot, err := dp.RegisterFunction(name, family)
 	if err != nil {
 		return 0, err
@@ -52,7 +59,15 @@ func (r *Runtime) Register(name string, family int) (int, error) {
 	}
 	r.cfg.Assignment = append(r.cfg.Assignment, family)
 	r.cfg.Names = append(r.cfg.Names, name)
-	r.fns = append(r.fns, fnState{alive: cluster.NoVariant, coldPod: cluster.NoVariant})
+	r.fns = append(r.fns, &fnState{
+		family:  family,
+		name:    name,
+		active:  true,
+		alive:   cluster.NoVariant,
+		coldPod: cluster.NoVariant,
+	})
+	fns := r.fns
+	r.fnsA.Store(&fns)
 	r.countsBuf = append(r.countsBuf, 0)
 	if r.obs != nil {
 		telemetry.ObserveLifecycle(r.obs, telemetry.RegisterSample{
@@ -73,7 +88,7 @@ func (r *Runtime) Register(name string, family int) (int, error) {
 func (r *Runtime) Deregister(name string) error {
 	r.barrier.Lock()
 	defer r.barrier.Unlock()
-	if r.closed {
+	if r.closed.Load() {
 		return ErrClosed
 	}
 	dp, ok := r.cfg.Policy.(cluster.DynamicPolicy)
@@ -84,13 +99,16 @@ func (r *Runtime) Deregister(name string) error {
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrUnknownFunction, name)
 	}
+	r.beginWrite()
+	defer r.endWrite()
 	if err := dp.DeregisterFunction(name); err != nil {
 		return err
 	}
 	if _, err := r.reg.Deregister(name); err != nil {
 		return fmt.Errorf("runtime: registry out of sync with policy: %w", err)
 	}
-	st := &r.fns[slot]
+	st := r.fns[slot]
+	st.active = false
 	st.alive = cluster.NoVariant
 	st.coldPod = cluster.NoVariant
 	if r.obs != nil {

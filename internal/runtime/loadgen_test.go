@@ -8,14 +8,14 @@ import (
 	"github.com/pulse-serverless/pulse/internal/policy"
 )
 
-func newLoadRuntime(t *testing.T, serial bool) *Runtime {
+func newLoadRuntime(t *testing.T, mode string) *Runtime {
 	t.Helper()
 	cat, asg := testSetup(t)
 	p, err := policy.NewFixed(cat, asg, 10, policy.QualityHighest)
 	if err != nil {
 		t.Fatal(err)
 	}
-	r, err := New(Config{Catalog: cat, Assignment: asg, Policy: p, Clock: NewManualClock(time.Unix(0, 0)), Serial: serial})
+	r, err := New(Config{Catalog: cat, Assignment: asg, Policy: p, Clock: NewManualClock(time.Unix(0, 0)), Mode: mode})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -26,7 +26,7 @@ func TestRunLoadValidation(t *testing.T) {
 	if _, err := RunLoad(nil, LoadConfig{Duration: time.Millisecond}); err == nil {
 		t.Error("nil runtime accepted")
 	}
-	r := newLoadRuntime(t, false)
+	r := newLoadRuntime(t, ModeEpoch)
 	defer r.Close()
 	if _, err := RunLoad(r, LoadConfig{}); err == nil {
 		t.Error("zero duration accepted")
@@ -36,17 +36,14 @@ func TestRunLoadValidation(t *testing.T) {
 	}
 }
 
-// TestRunLoadSmoke runs the harness briefly in both modes with a live
-// stepper and checks the result's internal consistency: successful
-// invocations counted, percentiles monotone, totals agreeing with the
-// runtime's own counters.
+// TestRunLoadSmoke runs the harness briefly in all three serving modes
+// with a live stepper and checks the result's internal consistency:
+// successful invocations counted, percentiles monotone, totals agreeing
+// with the runtime's own counters.
 func TestRunLoadSmoke(t *testing.T) {
-	for _, mode := range []struct {
-		name   string
-		serial bool
-	}{{"striped", false}, {"serial", true}} {
-		t.Run(mode.name, func(t *testing.T) {
-			r := newLoadRuntime(t, mode.serial)
+	for _, mode := range []string{ModeSerial, ModeStriped, ModeEpoch} {
+		t.Run(mode, func(t *testing.T) {
+			r := newLoadRuntime(t, mode)
 			defer r.Close()
 			res, err := RunLoad(r, LoadConfig{
 				Workers:   4,
@@ -58,8 +55,8 @@ func TestRunLoadSmoke(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			if res.Mode != mode.name {
-				t.Errorf("mode = %q, want %q", res.Mode, mode.name)
+			if res.Mode != mode {
+				t.Errorf("mode = %q, want %q", res.Mode, mode)
 			}
 			if res.Invocations == 0 {
 				t.Fatal("no invocations recorded")
@@ -87,7 +84,7 @@ func TestRunLoadSmoke(t *testing.T) {
 // TestRunLoadClosedRuntime: workers hitting a closed runtime must bail out
 // immediately with errors counted, not spin or panic.
 func TestRunLoadClosedRuntime(t *testing.T) {
-	r := newLoadRuntime(t, false)
+	r := newLoadRuntime(t, ModeEpoch)
 	if err := r.Close(); err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,196 @@
+package runtime
+
+import (
+	"fmt"
+	goruntime "runtime"
+	"sort"
+	"time"
+)
+
+// MatrixConfig configures a serving-path benchmark matrix: the cross
+// product of GOMAXPROCS × functions × mixes × workers × modes, each cell
+// one RunLoad call. The matrix is what turns a single flattering sample
+// into a scaling curve — BENCH_runtime.json is written from its output.
+type MatrixConfig struct {
+	// GOMAXPROCS values to sweep. Each cell sets the process-wide value
+	// for its duration (restored when RunMatrix returns). Defaults to the
+	// current setting only.
+	GOMAXPROCS []int
+	// Functions values to sweep: the number of registered functions (and
+	// so stripes) per cell. Required via NewRuntime's domain; defaults to
+	// {12}.
+	Functions []int
+	// Mixes to sweep (MixUniform/MixZipf/MixHotspot). Defaults to
+	// {MixHotspot} — the stripe-contention worst case.
+	Mixes []string
+	// Workers values to sweep. A zero entry means 2× the cell's
+	// GOMAXPROCS, keeping the runnable-goroutine pressure proportional to
+	// the parallelism under test. Defaults to {0}.
+	Workers []int
+	// Modes to sweep. Defaults to all three serving modes.
+	Modes []string
+	// Duration, Seed, StepEvery are passed through to each cell's
+	// LoadConfig. Duration is required.
+	Duration  time.Duration
+	Seed      int64
+	StepEvery time.Duration
+	// NewRuntime constructs the runtime under test for one cell. Required.
+	NewRuntime func(functions int, mode string) (*Runtime, error)
+	// Progress, when set, is called with each cell's result as it lands.
+	Progress func(LoadResult)
+}
+
+// MatrixPoint is one comparison row of the summarized matrix: a fixed
+// (gomaxprocs, functions, mix, workers) shape with per-mode throughput and
+// the speedup ratios the README quotes.
+type MatrixPoint struct {
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	Functions  int    `json:"functions"`
+	Mix        string `json:"mix"`
+	Workers    int    `json:"workers"`
+	// Throughput maps mode → invocations/sec for this shape.
+	Throughput map[string]float64 `json:"throughput_inv_per_sec"`
+	// Speedups are ratios of the above (0 when a mode is missing).
+	SpeedupStripedVsSerial float64 `json:"speedup_striped_vs_serial,omitempty"`
+	SpeedupEpochVsSerial   float64 `json:"speedup_epoch_vs_serial,omitempty"`
+	SpeedupEpochVsStriped  float64 `json:"speedup_epoch_vs_striped,omitempty"`
+}
+
+// RunMatrix executes every cell of the matrix in a deterministic order
+// (GOMAXPROCS, then functions, mix, workers, mode) and returns the raw
+// results. GOMAXPROCS is mutated per sweep value and restored before
+// returning; cells within one GOMAXPROCS value run consecutively so the
+// scheduler state is comparable across the modes being contrasted.
+func RunMatrix(cfg MatrixConfig) ([]LoadResult, error) {
+	if cfg.NewRuntime == nil {
+		return nil, fmt.Errorf("runtime: matrix needs a NewRuntime constructor")
+	}
+	if cfg.Duration <= 0 {
+		return nil, fmt.Errorf("runtime: non-positive matrix cell duration %v", cfg.Duration)
+	}
+	if len(cfg.GOMAXPROCS) == 0 {
+		cfg.GOMAXPROCS = []int{goruntime.GOMAXPROCS(0)}
+	}
+	if len(cfg.Functions) == 0 {
+		cfg.Functions = []int{12}
+	}
+	if len(cfg.Mixes) == 0 {
+		cfg.Mixes = []string{MixHotspot}
+	}
+	if len(cfg.Workers) == 0 {
+		cfg.Workers = []int{0}
+	}
+	if len(cfg.Modes) == 0 {
+		cfg.Modes = []string{ModeSerial, ModeStriped, ModeEpoch}
+	}
+	for _, gmp := range cfg.GOMAXPROCS {
+		if gmp <= 0 {
+			return nil, fmt.Errorf("runtime: non-positive GOMAXPROCS %d in matrix", gmp)
+		}
+	}
+	for _, mode := range cfg.Modes {
+		switch mode {
+		case ModeSerial, ModeStriped, ModeEpoch:
+		default:
+			return nil, fmt.Errorf("runtime: unknown mode %q in matrix (want %s, %s, or %s)", mode, ModeSerial, ModeStriped, ModeEpoch)
+		}
+	}
+
+	prev := goruntime.GOMAXPROCS(0)
+	defer goruntime.GOMAXPROCS(prev)
+
+	var results []LoadResult
+	for _, gmp := range cfg.GOMAXPROCS {
+		goruntime.GOMAXPROCS(gmp)
+		for _, fns := range cfg.Functions {
+			for _, mix := range cfg.Mixes {
+				for _, workers := range cfg.Workers {
+					w := workers
+					if w == 0 {
+						w = 2 * gmp
+					}
+					for _, mode := range cfg.Modes {
+						rt, err := cfg.NewRuntime(fns, mode)
+						if err != nil {
+							return nil, fmt.Errorf("runtime: matrix cell (%d fns, %s): %w", fns, mode, err)
+						}
+						res, err := RunLoad(rt, LoadConfig{
+							Workers:   w,
+							Duration:  cfg.Duration,
+							Mix:       mix,
+							Seed:      cfg.Seed,
+							StepEvery: cfg.StepEvery,
+						})
+						rt.Close()
+						if err != nil {
+							return nil, err
+						}
+						results = append(results, res)
+						if cfg.Progress != nil {
+							cfg.Progress(res)
+						}
+					}
+				}
+			}
+		}
+	}
+	return results, nil
+}
+
+// SummarizeMatrix groups raw matrix results by run shape and computes the
+// per-shape mode comparison. Rows come back in the matrix's own sweep order
+// (GOMAXPROCS, functions, mix, workers).
+func SummarizeMatrix(results []LoadResult) []MatrixPoint {
+	type key struct {
+		gmp, fns, workers int
+		mix               string
+	}
+	order := make([]key, 0, len(results))
+	points := make(map[key]*MatrixPoint)
+	for _, r := range results {
+		k := key{r.GOMAXPROCS, r.Functions, r.Workers, r.Mix}
+		p, ok := points[k]
+		if !ok {
+			p = &MatrixPoint{
+				GOMAXPROCS: r.GOMAXPROCS,
+				Functions:  r.Functions,
+				Mix:        r.Mix,
+				Workers:    r.Workers,
+				Throughput: map[string]float64{},
+			}
+			points[k] = p
+			order = append(order, k)
+		}
+		p.Throughput[r.Mode] = r.Throughput
+	}
+	// Stable row order regardless of result interleaving.
+	sort.SliceStable(order, func(i, j int) bool {
+		a, b := order[i], order[j]
+		if a.gmp != b.gmp {
+			return a.gmp < b.gmp
+		}
+		if a.fns != b.fns {
+			return a.fns < b.fns
+		}
+		if a.mix != b.mix {
+			return a.mix < b.mix
+		}
+		return a.workers < b.workers
+	})
+	out := make([]MatrixPoint, 0, len(order))
+	for _, k := range order {
+		p := points[k]
+		serial, striped, epoch := p.Throughput[ModeSerial], p.Throughput[ModeStriped], p.Throughput[ModeEpoch]
+		if serial > 0 && striped > 0 {
+			p.SpeedupStripedVsSerial = striped / serial
+		}
+		if serial > 0 && epoch > 0 {
+			p.SpeedupEpochVsSerial = epoch / serial
+		}
+		if striped > 0 && epoch > 0 {
+			p.SpeedupEpochVsStriped = epoch / striped
+		}
+		out = append(out, *p)
+	}
+	return out
+}

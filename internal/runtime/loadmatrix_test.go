@@ -1,0 +1,78 @@
+package runtime
+
+import (
+	goruntime "runtime"
+	"testing"
+	"time"
+)
+
+func TestRunMatrixValidation(t *testing.T) {
+	mk := func(fns int, mode string) (*Runtime, error) { return newLoadRuntime(t, mode), nil }
+	if _, err := RunMatrix(MatrixConfig{Duration: time.Millisecond}); err == nil {
+		t.Error("matrix without a constructor accepted")
+	}
+	if _, err := RunMatrix(MatrixConfig{NewRuntime: mk}); err == nil {
+		t.Error("zero cell duration accepted")
+	}
+	if _, err := RunMatrix(MatrixConfig{NewRuntime: mk, Duration: time.Millisecond, Modes: []string{"nope"}}); err == nil {
+		t.Error("unknown mode accepted")
+	}
+	if _, err := RunMatrix(MatrixConfig{NewRuntime: mk, Duration: time.Millisecond, GOMAXPROCS: []int{0}}); err == nil {
+		t.Error("non-positive GOMAXPROCS accepted")
+	}
+}
+
+// TestRunMatrixSmoke runs a tiny 2×1×1×3 matrix and checks the sweep
+// produced every cell, restored GOMAXPROCS, and summarized into rows with
+// all three modes and populated speedups.
+func TestRunMatrixSmoke(t *testing.T) {
+	prev := goruntime.GOMAXPROCS(0)
+	var cells int
+	results, err := RunMatrix(MatrixConfig{
+		GOMAXPROCS: []int{1, 2},
+		Functions:  []int{3},
+		Mixes:      []string{MixHotspot},
+		Duration:   10 * time.Millisecond,
+		Seed:       1,
+		StepEvery:  5 * time.Millisecond,
+		NewRuntime: func(fns int, mode string) (*Runtime, error) {
+			if fns != 3 {
+				t.Errorf("cell asked for %d functions, want 3", fns)
+			}
+			return newLoadRuntime(t, mode), nil
+		},
+		Progress: func(LoadResult) { cells++ },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := goruntime.GOMAXPROCS(0); got != prev {
+		t.Errorf("GOMAXPROCS left at %d, want %d restored", got, prev)
+	}
+	if want := 2 * 1 * 1 * 3; len(results) != want || cells != want {
+		t.Fatalf("matrix produced %d results (%d progress calls), want %d", len(results), cells, want)
+	}
+	for _, r := range results {
+		if r.Invocations == 0 || r.Errors != 0 {
+			t.Errorf("cell %s/gmp%d: %d invocations, %d errors", r.Mode, r.GOMAXPROCS, r.Invocations, r.Errors)
+		}
+		if r.Workers != 2*r.GOMAXPROCS {
+			t.Errorf("cell %s/gmp%d: workers %d, want default 2×GOMAXPROCS", r.Mode, r.GOMAXPROCS, r.Workers)
+		}
+	}
+	points := SummarizeMatrix(results)
+	if len(points) != 2 {
+		t.Fatalf("summary has %d rows, want 2", len(points))
+	}
+	if points[0].GOMAXPROCS != 1 || points[1].GOMAXPROCS != 2 {
+		t.Errorf("summary rows out of sweep order: %+v", points)
+	}
+	for _, p := range points {
+		if len(p.Throughput) != 3 {
+			t.Errorf("row %+v missing modes", p)
+		}
+		if p.SpeedupStripedVsSerial <= 0 || p.SpeedupEpochVsSerial <= 0 || p.SpeedupEpochVsStriped <= 0 {
+			t.Errorf("row %+v has unpopulated speedups", p)
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	goruntime "runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -29,6 +30,18 @@ var ErrUnknownFunction = errors.New("runtime: unknown function")
 // a panic.
 var ErrDeregistered = errors.New("runtime: function deregistered")
 
+// Serving-path concurrency modes. ModeEpoch is the default: the Invoke
+// fast path takes no global lock at all — one seqlock read, one stripe
+// lock, one seqlock re-check. ModeStriped is the previous architecture
+// (shared RWMutex minute barrier + per-function stripes) and ModeSerial
+// the single-global-lock reference; both survive as differential baselines
+// and benchmark comparison points (cmd/pulseload).
+const (
+	ModeSerial  = "serial"
+	ModeStriped = "striped"
+	ModeEpoch   = "epoch"
+)
+
 // Config assembles a live runtime.
 type Config struct {
 	Catalog    *models.Catalog
@@ -44,12 +57,15 @@ type Config struct {
 	// runtime owns it after construction; it must not be shared.
 	//
 	// Concurrency contract: KeepAlive and RecordInvocations are only ever
-	// called under the runtime's exclusive minute barrier, one at a time.
-	// ColdVariant, however, is called from concurrent Invokes of
-	// different functions and must be safe for concurrent use against
-	// state that only KeepAlive/RecordInvocations mutate — true of every
-	// policy in this repo, whose ColdVariant reads construction-time or
-	// barrier-updated state only.
+	// called inside the runtime's exclusive write window, one at a time,
+	// with no invocation body in flight (in every mode — the epoch mode's
+	// quiesce protocol re-establishes exactly the exclusion the RWMutex
+	// barrier used to provide, see DESIGN.md §6.6). ColdVariant, however,
+	// is called from concurrent Invokes of different functions and must be
+	// safe for concurrent use against state that only
+	// KeepAlive/RecordInvocations mutate — true of every policy in this
+	// repo, whose ColdVariant reads construction-time or barrier-updated
+	// state only.
 	Policy cluster.Policy
 	// Clock defaults to an uncompressed WallClock.
 	Clock Clock
@@ -64,19 +80,21 @@ type Config struct {
 	// expose labeled metrics and the decision log over the HTTP API. nil
 	// disables instrumentation at zero cost on the invocation hot path.
 	//
-	// Delivery ordering: keep-alive and minute samples are emitted under
-	// the minute barrier and never interleave with each other; invocation
-	// samples are emitted outside every lock and may interleave freely
-	// (implementations must be concurrency-safe, see telemetry.Observer).
+	// Delivery ordering: keep-alive and minute samples are emitted inside
+	// the minute write window and never interleave with each other;
+	// invocation samples are emitted outside every lock and may interleave
+	// freely (implementations must be concurrency-safe, see
+	// telemetry.Observer).
 	Observer telemetry.Observer
-	// Serial selects the single-global-lock reference implementation:
-	// every Invoke takes the exclusive minute barrier, as the runtime did
-	// before lock striping. The default (false) stripes per-function
-	// state so invocations of different functions never contend. The two
-	// modes are behaviourally identical — proven by the differential
-	// harness (differential_test.go) — and differ only in throughput;
-	// Serial exists as the differential baseline and the benchmark
-	// comparison point (cmd/pulseload).
+	// Mode selects the serving-path architecture: ModeEpoch (default),
+	// ModeStriped, or ModeSerial. The three modes are behaviourally
+	// identical — proven by the differential harness (differential_test.go,
+	// churn_differential_test.go, alert_differential_test.go) — and differ
+	// only in how Invoke synchronizes with the minute rollover.
+	Mode string
+	// Serial is the legacy selector for ModeSerial, kept for callers that
+	// predate Mode. Setting it together with a conflicting Mode is an
+	// error.
 	Serial bool
 }
 
@@ -111,11 +129,28 @@ func (s Stats) MeanAccuracyPct() float64 {
 }
 
 // fnState is one function's serving state and counters, guarded by its own
-// lock so invocations of different functions never contend. The struct is
-// padded to a cache line to keep neighbouring functions' locks off each
-// other's lines under heavy cross-core traffic.
+// lock so invocations of different functions never contend. Stripes are
+// heap-allocated individually and reached through a pointer slice: growing
+// the population appends a pointer, never moves a stripe, so an epoch-mode
+// reader holding yesterday's slice still mutates today's stripe. The
+// struct is padded to a cache line to keep neighbouring stripes' locks off
+// each other's lines under heavy cross-core traffic.
 type fnState struct {
-	mu          sync.Mutex
+	mu sync.Mutex
+
+	// Identity, immutable once the slot is issued: the serving family and
+	// the owning name (kept for ErrDeregistered messages — the registry's
+	// slices may be appended to concurrently and are off-limits to
+	// lock-free readers).
+	family int
+	name   string
+
+	// active is the slot's tombstone flag, written only inside write
+	// windows and read under the stripe lock (epoch mode) or the shared
+	// barrier (striped/serial modes).
+	active bool
+
+	// Minute-scoped serving state and cumulative counters, guarded by mu.
 	alive       int // variant kept alive this minute, NoVariant if none
 	coldPod     int // variant cold-started earlier this minute, NoVariant if none
 	count       int // invocations observed this minute
@@ -124,43 +159,64 @@ type fnState struct {
 	cold        int
 	serviceSec  float64
 	accuracySum float64
-	_           [48]byte
+	_           [24]byte
 }
 
 // Runtime executes invocations against policy-managed warm containers and
 // advances the policy once per simulated minute.
 //
-// Concurrency: the hot path is lock-striped. A minute barrier (RWMutex)
-// coordinates invocations with minute rollover — Invoke holds it shared,
-// Step/Close hold it exclusively — and each function's state sits behind
-// its own lock, so concurrent invocations of different functions proceed
-// in parallel and only Step serializes the world. Global totals are
-// derived by summing the per-function accumulators in function order,
-// which keeps float sums bit-identical between the serial and striped
-// modes. Stats takes the barrier exclusively to return a consistent
-// cross-function snapshot.
+// Concurrency: the hot path is lock-free in the default epoch mode. A
+// seqlock-style epoch counter (seq) is even while the world is stable and
+// odd while a writer (Step, Stats, Close, Register, Deregister) owns it.
+// Invoke loads an even seq, takes only its function's stripe lock,
+// re-checks that seq is unchanged, and serves; if the re-check fails it
+// releases and retries. Writers flip seq odd and then drain every stripe
+// lock once: any invocation that passed its re-check before the flip holds
+// its stripe lock and finishes first, and every later invocation observes
+// the odd (or advanced) seq and retries — so after the drain the writer
+// owns all stripe and global state with no invocation body in flight,
+// exactly the exclusion the old RWMutex minute barrier provided. Policy
+// calls and Observer minute/keep-alive samples therefore keep their
+// serialized ordering contracts unchanged. Global totals are derived by
+// summing the per-function accumulators in function order, which keeps
+// float sums bit-identical across all three modes. See DESIGN.md §6.6 for
+// the memory-ordering argument.
+//
+// ModeStriped (Invoke holds an RWMutex barrier shared) and ModeSerial
+// (every Invoke takes the barrier exclusively) survive as reference modes;
+// the differential harness proves all three agree exactly.
 type Runtime struct {
-	cfg    Config
-	clock  Clock
-	obs    telemetry.Observer // nil when uninstrumented
-	serial bool
+	cfg   Config
+	clock Clock
+	obs   telemetry.Observer // nil when uninstrumented
+	mode  string
 
-	// barrier is the minute barrier: shared for Invoke (and other reads
-	// of minute-scoped state), exclusive for Step, Close, Stats, and the
-	// lazy start. minute, closed, kaMMB, and kaCostUSD are written only
-	// under the exclusive barrier and may be read under the shared one.
-	barrier   sync.RWMutex
-	started   atomic.Bool
-	closed    bool
+	// barrier serializes writers against each other and against the
+	// read-only accessor surface (Minute, NumFunctions, lookups — all
+	// RLock). In striped/serial modes it is additionally the minute
+	// barrier for Invoke: shared in striped mode, exclusive in serial. In
+	// epoch mode Invoke never touches it.
+	barrier sync.RWMutex
+	started atomic.Bool
+	closed  atomic.Bool
+
+	// seq is the seqlock epoch: even = stable, odd = write window open.
+	// minuteA mirrors minute for the lock-free fast path; both are written
+	// only inside write windows.
+	seq     atomic.Uint64
+	minuteA atomic.Int64
+
 	minute    int
-	fns       []fnState
-	countsBuf []int // reused Step scratch, reported to the policy
+	fns       []*fnState
+	fnsA      atomic.Pointer[[]*fnState] // epoch readers' view of fns
+	countsBuf []int                      // reused Step scratch, reported to the policy
 	kaMMB     float64
 	kaCostUSD float64
 
 	// reg mirrors the policy's identity registry: name → slot for the API,
-	// per-slot live flags for Invoke's tombstone check. Mutated only under
-	// the exclusive barrier (Register/Deregister), read under the shared one.
+	// per-slot live flags. Mutated only under the exclusive barrier
+	// (Register/Deregister), read under the shared one; the fast path uses
+	// the per-stripe mirror (fnState.active/name) instead.
 	reg *identity.Registry
 }
 
@@ -185,6 +241,21 @@ func New(cfg Config) (*Runtime, error) {
 	if cfg.ExecScale < 0 {
 		return nil, fmt.Errorf("runtime: negative exec scale %v", cfg.ExecScale)
 	}
+	mode := cfg.Mode
+	switch mode {
+	case "":
+		if cfg.Serial {
+			mode = ModeSerial
+		} else {
+			mode = ModeEpoch
+		}
+	case ModeSerial, ModeStriped, ModeEpoch:
+		if cfg.Serial && mode != ModeSerial {
+			return nil, fmt.Errorf("runtime: Serial conflicts with Mode %q", mode)
+		}
+	default:
+		return nil, fmt.Errorf("runtime: unknown mode %q (want %s, %s, or %s)", mode, ModeEpoch, ModeStriped, ModeSerial)
+	}
 	if cfg.Clock == nil {
 		cfg.Clock = WallClock{}
 	}
@@ -207,30 +278,38 @@ func New(cfg Config) (*Runtime, error) {
 		cfg:       cfg,
 		clock:     cfg.Clock,
 		obs:       cfg.Observer,
-		serial:    cfg.Serial,
-		fns:       make([]fnState, len(cfg.Assignment)),
+		mode:      mode,
+		fns:       make([]*fnState, len(cfg.Assignment)),
 		countsBuf: make([]int, len(cfg.Assignment)),
 		reg:       reg,
 	}
 	for i := range r.fns {
-		r.fns[i].alive = cluster.NoVariant
-		r.fns[i].coldPod = cluster.NoVariant
+		r.fns[i] = &fnState{
+			family:  cfg.Assignment[i],
+			name:    cfg.Names[i],
+			active:  true,
+			alive:   cluster.NoVariant,
+			coldPod: cluster.NoVariant,
+		}
 	}
+	fns := r.fns
+	r.fnsA.Store(&fns)
 	return r, nil
 }
 
-// Mode names the locking architecture: "striped" or "serial".
+// Mode names the serving-path architecture: "epoch", "striped", or
+// "serial".
 func (r *Runtime) Mode() string {
-	if r.serial {
-		return "serial"
-	}
-	return "striped"
+	return r.mode
 }
 
-// lockShared acquires the minute barrier for an invocation: shared in
-// striped mode, exclusive in the serial reference mode.
+// lockShared acquires the minute barrier for a minute-scoped read: shared
+// in striped and epoch modes, exclusive in the serial reference mode.
+// (Epoch-mode Invoke does not come through here — only slow accessors
+// like AliveVariant do, and those coexist with lock-free invocations
+// because they read only writer-owned or stripe-locked state.)
 func (r *Runtime) lockShared() {
-	if r.serial {
+	if r.mode == ModeSerial {
 		r.barrier.Lock()
 	} else {
 		r.barrier.RLock()
@@ -238,10 +317,41 @@ func (r *Runtime) lockShared() {
 }
 
 func (r *Runtime) unlockShared() {
-	if r.serial {
+	if r.mode == ModeSerial {
 		r.barrier.Unlock()
 	} else {
 		r.barrier.RUnlock()
+	}
+}
+
+// beginWrite opens a write window: with the exclusive barrier held, it
+// flips the seqlock odd and drains every stripe. On return no invocation
+// body is in flight and none can start until endWrite, so the caller owns
+// all stripe and global state without taking stripe locks.
+func (r *Runtime) beginWrite() {
+	r.seq.Add(1)
+	r.drainStripes()
+}
+
+// endWrite closes the write window, publishing every mutation made inside
+// it: the seq store is the release the fast path's acquire loads pair
+// with.
+func (r *Runtime) endWrite() {
+	r.seq.Add(1)
+}
+
+// drainStripes acquires and releases every stripe lock once. Called with
+// the seqlock odd: any invocation already past its seq re-check holds its
+// stripe lock and is waited out here; any invocation not yet past it will
+// observe the odd (or advanced) seq and retry. The lock acquisition also
+// carries the happens-before edge that makes those final bodies' writes
+// visible to the writer.
+func (r *Runtime) drainStripes() {
+	for _, st := range r.fns {
+		st.mu.Lock()
+		//lint:ignore SA2001 the empty critical section is the point: the
+		// acquire waits out the last in-flight invocation of this stripe.
+		st.mu.Unlock()
 	}
 }
 
@@ -253,7 +363,7 @@ func (r *Runtime) ensureStarted() {
 		return
 	}
 	r.barrier.Lock()
-	if !r.closed {
+	if !r.closed.Load() {
 		r.startLocked()
 	}
 	r.barrier.Unlock()
@@ -264,12 +374,14 @@ func (r *Runtime) startLocked() {
 	if r.started.Load() {
 		return
 	}
+	r.beginWrite()
 	r.applyDecisionsLocked(r.cfg.Policy.KeepAlive(r.minute))
+	r.endWrite()
 	r.started.Store(true)
 }
 
-// applyDecisionsLocked requires the exclusive barrier: it writes every
-// function's alive variant and the minute's keep-alive cost.
+// applyDecisionsLocked requires an open write window (beginWrite): it
+// writes every function's alive variant and the minute's keep-alive cost.
 func (r *Runtime) applyDecisionsLocked(decisions []int) {
 	if len(decisions) != len(r.fns) {
 		panic(fmt.Sprintf("runtime: policy returned %d decisions for %d functions", len(decisions), len(r.fns)))
@@ -283,7 +395,7 @@ func (r *Runtime) applyDecisionsLocked(decisions []int) {
 			}
 			continue
 		}
-		fam := r.cfg.Catalog.Families[r.cfg.Assignment[fn]]
+		fam := r.cfg.Catalog.Families[r.fns[fn].family]
 		if vi < 0 || vi >= fam.NumVariants() {
 			panic(fmt.Sprintf("runtime: policy kept invalid variant %d for function %d", vi, fn))
 		}
@@ -310,16 +422,20 @@ func (r *Runtime) applyDecisionsLocked(decisions []int) {
 // Close marks the runtime closed and releases resources owned by its
 // policy: the runtime owns its Policy, so if the policy implements
 // io.Closer (the sharded PULSE controller does — its worker goroutines
-// stop here), it is closed. Close waits for in-flight invocations (they
-// hold the barrier shared) and is idempotent. Afterwards Invoke and Step
+// stop here), it is closed. Close waits for in-flight invocations (the
+// write window drains them) and is idempotent. Afterwards Invoke and Step
 // return ErrClosed; Stats, Minute, and AliveVariant remain readable.
 func (r *Runtime) Close() error {
 	r.barrier.Lock()
 	defer r.barrier.Unlock()
-	if r.closed {
+	if r.closed.Load() {
 		return nil
 	}
-	r.closed = true
+	r.beginWrite()
+	r.closed.Store(true)
+	r.endWrite()
+	// The policy is closed outside the window: every retrying invocation
+	// observes closed before it can reach ColdVariant again.
 	if c, ok := r.cfg.Policy.(io.Closer); ok {
 		return c.Close()
 	}
@@ -373,36 +489,16 @@ func (r *Runtime) LookupFunction(name string) (int, bool) {
 	return r.reg.Slot(name)
 }
 
-// Invoke executes one invocation of function fn during the current minute.
-// Warm invocations run on the kept-alive variant; cold invocations create a
-// container of the policy's cold variant, pay its cold-start latency, and
-// leave it warm for the remainder of the minute.
-//
-// Invoke is safe for arbitrary concurrency: invocations of different
-// functions only share the minute barrier (held in read mode) and never
-// block each other; invocations of the same function serialize on that
-// function's lock. Invoking a deregistered function returns an error
-// wrapping ErrDeregistered — the slot check happens under the barrier, so
-// it is race-free against concurrent Deregister calls.
-func (r *Runtime) Invoke(fn int) (Invocation, error) {
-	r.ensureStarted()
-	r.lockShared()
-	if r.closed {
-		r.unlockShared()
-		return Invocation{}, ErrClosed
+// serveLocked executes the invocation body for minute `minute` with st.mu
+// held: tombstone check, warm/cold decision, counter updates. It is the
+// single body shared by all three modes, so behavioural equivalence is by
+// construction.
+func (r *Runtime) serveLocked(st *fnState, fn, minute int) (Invocation, error) {
+	if !st.active {
+		return Invocation{}, fmt.Errorf("%w: %q (function %d)", ErrDeregistered, st.name, fn)
 	}
-	if fn < 0 || fn >= len(r.fns) {
-		r.unlockShared()
-		return Invocation{}, fmt.Errorf("%w %d", ErrUnknownFunction, fn)
-	}
-	if !r.reg.Active(fn) {
-		r.unlockShared()
-		return Invocation{}, fmt.Errorf("%w: %q (function %d)", ErrDeregistered, r.reg.Name(fn), fn)
-	}
-	fam := r.cfg.Catalog.Families[r.cfg.Assignment[fn]]
-	inv := Invocation{Function: fn, Minute: r.minute}
-	st := &r.fns[fn]
-	st.mu.Lock()
+	fam := r.cfg.Catalog.Families[st.family]
+	inv := Invocation{Function: fn, Minute: minute}
 	vi := st.alive
 	if vi == cluster.NoVariant {
 		vi = st.coldPod
@@ -414,10 +510,8 @@ func (r *Runtime) Invoke(fn int) (Invocation, error) {
 		inv.ServiceSec = v.ExecSec
 		st.warm++
 	} else {
-		cvi := r.cfg.Policy.ColdVariant(inv.Minute, fn)
+		cvi := r.cfg.Policy.ColdVariant(minute, fn)
 		if cvi < 0 || cvi >= fam.NumVariants() {
-			st.mu.Unlock()
-			r.unlockShared()
 			return Invocation{}, fmt.Errorf("runtime: policy chose invalid cold variant %d for function %d", cvi, fn)
 		}
 		v := fam.Variants[cvi]
@@ -432,9 +526,94 @@ func (r *Runtime) Invoke(fn int) (Invocation, error) {
 	st.invocations++
 	st.serviceSec += inv.ServiceSec
 	st.accuracySum += inv.AccuracyPct
+	return inv, nil
+}
+
+// invokeEpoch is the lock-free fast path: load an even seq, take the
+// stripe lock, re-check seq, serve. A failed re-check means a write window
+// opened (or completed) in between — release and retry, so a counted
+// invocation is guaranteed to have executed entirely inside one stable
+// epoch, i.e. entirely inside one minute. The retry loop allocates
+// nothing (pinned by TestEpochInvokeZeroAllocs).
+func (r *Runtime) invokeEpoch(fn int) (Invocation, error) {
+	for {
+		e := r.seq.Load()
+		if e&1 != 0 {
+			goruntime.Gosched()
+			continue
+		}
+		if r.closed.Load() {
+			return Invocation{}, ErrClosed
+		}
+		fns := *r.fnsA.Load()
+		if fn < 0 || fn >= len(fns) {
+			return Invocation{}, fmt.Errorf("%w %d", ErrUnknownFunction, fn)
+		}
+		st := fns[fn]
+		st.mu.Lock()
+		if r.seq.Load() != e {
+			st.mu.Unlock()
+			goruntime.Gosched()
+			continue
+		}
+		// Stable epoch: the writer that will end this minute must drain
+		// st.mu before touching anything, so minuteA, st.alive, and the
+		// counters below all belong to the same minute for the duration of
+		// this body.
+		inv, err := r.serveLocked(st, fn, int(r.minuteA.Load()))
+		st.mu.Unlock()
+		return inv, err
+	}
+}
+
+// invokeBarrier is the striped/serial path: the minute barrier held shared
+// (striped) or exclusive (serial), then the stripe lock.
+func (r *Runtime) invokeBarrier(fn int) (Invocation, error) {
+	r.lockShared()
+	if r.closed.Load() {
+		r.unlockShared()
+		return Invocation{}, ErrClosed
+	}
+	if fn < 0 || fn >= len(r.fns) {
+		r.unlockShared()
+		return Invocation{}, fmt.Errorf("%w %d", ErrUnknownFunction, fn)
+	}
+	st := r.fns[fn]
+	st.mu.Lock()
+	inv, err := r.serveLocked(st, fn, r.minute)
 	st.mu.Unlock()
-	scale := r.cfg.ExecScale
 	r.unlockShared()
+	return inv, err
+}
+
+// Invoke executes one invocation of function fn during the current minute.
+// Warm invocations run on the kept-alive variant; cold invocations create a
+// container of the policy's cold variant, pay its cold-start latency, and
+// leave it warm for the remainder of the minute.
+//
+// Invoke is safe for arbitrary concurrency: in the default epoch mode it
+// takes no global lock — invocations of different functions share nothing
+// but a read of the epoch counter, and invocations of the same function
+// serialize on that function's stripe. Every invocation lands in exactly
+// one minute (the seqlock re-check retries any invocation that straddles a
+// minute rollover). Invoking a deregistered function returns an error
+// wrapping ErrDeregistered — the tombstone flag is read under the stripe
+// lock inside a stable epoch, so it is race-free against concurrent
+// Deregister calls.
+func (r *Runtime) Invoke(fn int) (Invocation, error) {
+	r.ensureStarted()
+	var (
+		inv Invocation
+		err error
+	)
+	if r.mode == ModeEpoch {
+		inv, err = r.invokeEpoch(fn)
+	} else {
+		inv, err = r.invokeBarrier(fn)
+	}
+	if err != nil {
+		return Invocation{}, err
+	}
 
 	// Instrument outside the locks: the observer serializes internally and
 	// must not extend the runtime's critical section.
@@ -452,7 +631,7 @@ func (r *Runtime) Invoke(fn int) (Invocation, error) {
 
 	// Model the execution latency outside the locks so concurrent
 	// invocations proceed.
-	if scale > 0 {
+	if scale := r.cfg.ExecScale; scale > 0 {
 		r.clock.Sleep(time.Duration(inv.ServiceSec * scale * float64(time.Second)))
 	}
 	return inv, nil
@@ -462,29 +641,33 @@ func (r *Runtime) Invoke(fn int) (Invocation, error) {
 // policy — and opens the next one with fresh keep-alive decisions. A
 // driver (ticker goroutine or test) calls it once per simulated minute.
 //
-// Step is the minute barrier: it waits for every in-flight invocation and
-// excludes new ones for its duration, so each invocation lands entirely in
-// one minute and the policy sees a consistent count vector. It returns
-// ErrClosed after Close.
+// Step is the minute barrier: its write window waits for every in-flight
+// invocation and excludes new ones for its duration, so each invocation
+// lands entirely in one minute and the policy sees a consistent count
+// vector. It returns ErrClosed after Close.
 func (r *Runtime) Step() error {
 	r.barrier.Lock()
 	defer r.barrier.Unlock()
-	if r.closed {
+	if r.closed.Load() {
 		return ErrClosed
 	}
 	r.startLocked()
-	// The exclusive barrier excludes all invocations (they hold it
-	// shared), so per-function state is ours without taking the stripes.
-	for i := range r.fns {
-		r.countsBuf[i] = r.fns[i].count
+	// Open the window manually: the harvest loop below is the drain — each
+	// stripe lock acquisition waits out that stripe's last in-flight
+	// invocation, and once seq is odd no new body can start.
+	r.seq.Add(1)
+	for i, st := range r.fns {
+		st.mu.Lock()
+		r.countsBuf[i] = st.count
+		st.count = 0
+		st.coldPod = cluster.NoVariant
+		st.mu.Unlock()
 	}
 	r.cfg.Policy.RecordInvocations(r.minute, r.countsBuf)
-	for i := range r.fns {
-		r.fns[i].count = 0
-		r.fns[i].coldPod = cluster.NoVariant
-	}
 	r.minute++
+	r.minuteA.Store(int64(r.minute))
 	r.applyDecisionsLocked(r.cfg.Policy.KeepAlive(r.minute))
+	r.endWrite()
 	return nil
 }
 
@@ -495,10 +678,11 @@ func (r *Runtime) Minute() int {
 	return r.minute
 }
 
-// Stats returns a consistent snapshot of the runtime counters: it holds
-// the minute barrier exclusively while summing the per-function
-// accumulators in function order (so float totals are identical in serial
-// and striped modes). It remains available after Close.
+// Stats returns a consistent snapshot of the runtime counters: it opens a
+// write window (so no invocation is mid-body anywhere) and sums the
+// per-function accumulators in function order, which keeps float totals
+// identical across the serial, striped, and epoch modes. It remains
+// available after Close.
 func (r *Runtime) Stats() Stats {
 	r.barrier.Lock()
 	defer r.barrier.Unlock()
@@ -507,14 +691,20 @@ func (r *Runtime) Stats() Stats {
 		KeepAliveCostUSD: r.kaCostUSD,
 		CurrentKaMMB:     r.kaMMB,
 	}
-	for i := range r.fns {
-		st := &r.fns[i]
+	// The summing pass is the drain: locking stripe i waits out its last
+	// in-flight invocation, and the odd seq keeps every stripe read below
+	// consistent with the ones already taken.
+	r.seq.Add(1)
+	for _, st := range r.fns {
+		st.mu.Lock()
 		s.Invocations += st.invocations
 		s.WarmStarts += st.warm
 		s.ColdStarts += st.cold
 		s.TotalServiceSec += st.serviceSec
 		s.AccuracySumPct += st.accuracySum
+		st.mu.Unlock()
 	}
+	r.endWrite()
 	return s
 }
 
@@ -527,7 +717,7 @@ func (r *Runtime) AliveVariant(fn int) (int, error) {
 	if fn < 0 || fn >= len(r.fns) {
 		return 0, fmt.Errorf("%w %d", ErrUnknownFunction, fn)
 	}
-	st := &r.fns[fn]
+	st := r.fns[fn]
 	st.mu.Lock()
 	v := st.alive
 	st.mu.Unlock()

@@ -487,18 +487,14 @@ func TestCloseNeverStartedRuntime(t *testing.T) {
 // never panic, deadlock, or reach the closed policy — and the counters
 // must account for exactly the successes.
 func TestInvokeDuringShutdown(t *testing.T) {
-	for _, serial := range []bool{false, true} {
-		name := "striped"
-		if serial {
-			name = "serial"
-		}
-		t.Run(name, func(t *testing.T) {
+	for _, mode := range []string{ModeSerial, ModeStriped, ModeEpoch} {
+		t.Run(mode, func(t *testing.T) {
 			cat, asg := testSetup(t)
 			ctrl, err := core.New(core.Config{Catalog: cat, Assignment: asg, Shards: 2})
 			if err != nil {
 				t.Fatal(err)
 			}
-			r, err := New(Config{Catalog: cat, Assignment: asg, Policy: ctrl, Clock: NewManualClock(time.Unix(0, 0)), Serial: serial})
+			r, err := New(Config{Catalog: cat, Assignment: asg, Policy: ctrl, Clock: NewManualClock(time.Unix(0, 0)), Mode: mode})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -536,22 +532,18 @@ func TestInvokeDuringShutdown(t *testing.T) {
 }
 
 // TestConcurrentInvokeStepStats hammers Invoke, Step, and Stats from
-// concurrent goroutines in both locking modes (run with -race): counters
-// must end exact, and every Stats snapshot must be internally consistent
-// (warm + cold = invocations).
+// concurrent goroutines in all three serving modes (run with -race):
+// counters must end exact, and every Stats snapshot must be internally
+// consistent (warm + cold = invocations).
 func TestConcurrentInvokeStepStats(t *testing.T) {
-	for _, serial := range []bool{false, true} {
-		name := "striped"
-		if serial {
-			name = "serial"
-		}
-		t.Run(name, func(t *testing.T) {
+	for _, mode := range []string{ModeSerial, ModeStriped, ModeEpoch} {
+		t.Run(mode, func(t *testing.T) {
 			cat, asg := testSetup(t)
 			p, err := policy.NewFixed(cat, asg, 10, policy.QualityHighest)
 			if err != nil {
 				t.Fatal(err)
 			}
-			r, err := New(Config{Catalog: cat, Assignment: asg, Policy: p, Clock: NewManualClock(time.Unix(0, 0)), Serial: serial})
+			r, err := New(Config{Catalog: cat, Assignment: asg, Policy: p, Clock: NewManualClock(time.Unix(0, 0)), Mode: mode})
 			if err != nil {
 				t.Fatal(err)
 			}
