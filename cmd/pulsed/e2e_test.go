@@ -79,6 +79,7 @@ func TestE2EAlertLifecycle(t *testing.T) {
 		"-compress", "1200",
 		"-alert-rules", rules,
 		"-webhook", hookSrv.URL,
+		"-trace-sample", "4",
 	)
 	daemon.Stdout = os.Stderr
 	daemon.Stderr = os.Stderr
@@ -103,7 +104,13 @@ func TestE2EAlertLifecycle(t *testing.T) {
 		resp, err := client.Get(base + "/healthz")
 		if err == nil {
 			var h struct {
-				Status string `json:"status"`
+				Status     string `json:"status"`
+				Mode       string `json:"mode"`
+				Provenance bool   `json:"provenance"`
+				Tracer     struct {
+					Enabled bool  `json:"enabled"`
+					Stride  int64 `json:"stride"`
+				} `json:"tracer"`
 				Alerts struct {
 					Enabled bool `json:"enabled"`
 					Rules   int  `json:"rules"`
@@ -116,6 +123,15 @@ func TestE2EAlertLifecycle(t *testing.T) {
 			}
 			if h.Status != "ok" || !h.Alerts.Enabled || h.Alerts.Rules != 1 {
 				t.Fatalf("healthz %+v: want ok with 1 alert rule", h)
+			}
+			if h.Mode != "epoch" {
+				t.Fatalf("healthz mode %q, want epoch (the default runtime)", h.Mode)
+			}
+			if !h.Provenance {
+				t.Fatal("healthz provenance false: -provenance-window should default on")
+			}
+			if !h.Tracer.Enabled || h.Tracer.Stride != 4 {
+				t.Fatalf("healthz tracer %+v, want enabled with stride 4", h.Tracer)
 			}
 			break
 		}
@@ -215,6 +231,54 @@ func TestE2EAlertLifecycle(t *testing.T) {
 	resolved := waitNotification(alert.StateResolved)
 	if resolved.Minute <= firing.Minute {
 		t.Errorf("resolved at minute %d, fired at %d", resolved.Minute, firing.Minute)
+	}
+
+	// Provenance: /why explains a live function by name, with the minute
+	// barrier having closed plenty of decisions by now.
+	resp, err = client.Get(base + "/why?fn=fn-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ex struct {
+		Function string `json:"function"`
+		Active   bool   `json:"active"`
+	}
+	werr := json.NewDecoder(resp.Body).Decode(&ex)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || werr != nil {
+		t.Fatalf("GET /why?fn=fn-1 = %d (decode %v), want 200", resp.StatusCode, werr)
+	}
+	if ex.Function != "fn-1" || !ex.Active {
+		t.Errorf("/why explanation %+v, want active fn-1", ex)
+	}
+
+	// Tracing: drive a handful of live invocations so the stride-4 sampler
+	// is guaranteed to fire, then read the spans back.
+	for i := 0; i < 8; i++ {
+		r, err := client.Post(base+"/invoke?fn=1", "", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Body.Close()
+		if r.StatusCode != http.StatusOK {
+			t.Fatalf("invoke fn=1 = %d, want 200", r.StatusCode)
+		}
+	}
+	resp, err = client.Get(base + "/traces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var traces struct {
+		Enabled bool `json:"enabled"`
+		Sampled int  `json:"sampled"`
+	}
+	terr := json.NewDecoder(resp.Body).Decode(&traces)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || terr != nil {
+		t.Fatalf("GET /traces = %d (decode %v), want 200", resp.StatusCode, terr)
+	}
+	if !traces.Enabled || traces.Sampled == 0 {
+		t.Errorf("/traces %+v, want enabled with sampled spans", traces)
 	}
 }
 

@@ -19,9 +19,11 @@
 //	GET  /attribution      per-function counterfactual savings vs shadow baselines (requires attribution)
 //	GET  /timeseries       attribution series for one metric (?metric=&window=&res=; requires attribution)
 //	GET  /top              ranking by savings, downgrades, cold-start risk; text or ?format=json (requires attribution)
-//	GET  /stream           live Server-Sent Events: decision log, minute rollups, alert transitions
+//	GET  /why              decision provenance for one function: Algorithm 1/2 inputs and outputs behind its recent keep-alive choices (?fn=&minute=&n=; requires provenance)
+//	GET  /traces           sampled invocation spans: minute, variant, cold/warm, seqlock retries, latency (requires -trace-sample)
+//	GET  /stream           live Server-Sent Events: decision log, minute rollups, alert transitions, sampled traces
 //	GET  /dashboard        embedded single-page live ops dashboard
-//	GET  /healthz          daemon health JSON: uptime, go version, population, minute, alert-engine status
+//	GET  /healthz          daemon health JSON: uptime, go version, runtime mode, population, minute, tracer and alert-engine status
 //
 // With -debug, the Go pprof and expvar surfaces are mounted under
 // /debug/pprof/ and /debug/vars. With -eventlog FILE, every controller
@@ -32,6 +34,17 @@
 // -attribution-window), a never-keep-alive policy, and a hindsight oracle,
 // serving per-function savings through /attribution, /timeseries, and
 // /top.
+//
+// With -provenance-window N (the default is 64; 0 disables), a decision
+// provenance recorder rides the observer chain and retains each function's
+// last N keep-alive decisions — the invocation probabilities, peak window,
+// priority rank, and memory budget Algorithms 1 and 2 saw, and the variant
+// they chose versus the unconstrained plan — served as GET /why. It also
+// carries the runtime's self-observability series (step_latency_us,
+// seqlock_retries) on /timeseries. With -trace-sample K, one in K
+// invocations is traced through the serving fast path (cold/warm, variant,
+// seqlock retries, wall latency) into GET /traces and the SSE stream; 0
+// keeps tracing off and the Invoke path allocation-free.
 //
 // With -alerts, a threshold rule engine watches the per-minute stream and
 // emits firing/resolved notifications to the log, the SSE stream, and —
@@ -68,7 +81,9 @@ import (
 	"github.com/pulse-serverless/pulse/internal/attribution"
 	"github.com/pulse-serverless/pulse/internal/cluster"
 	"github.com/pulse-serverless/pulse/internal/core"
+	"github.com/pulse-serverless/pulse/internal/identity"
 	"github.com/pulse-serverless/pulse/internal/metastore"
+	"github.com/pulse-serverless/pulse/internal/provenance"
 	"github.com/pulse-serverless/pulse/internal/runtime"
 	"github.com/pulse-serverless/pulse/internal/telemetry"
 	"github.com/pulse-serverless/pulse/internal/trace"
@@ -134,6 +149,8 @@ func run() error {
 	attribWindow := flag.Int("attribution-window", cluster.DefaultKeepAliveWindow, "fixed-baseline keep-alive window in minutes for attribution")
 	mode := flag.String("mode", "", "runtime serving mode: epoch (lock-free, default), striped, or serial")
 	serial := flag.Bool("serial", false, "shorthand for -mode serial (single-lock benchmark baseline)")
+	provWindow := flag.Int("provenance-window", provenance.DefaultWindow, "per-function decision provenance ring window in minutes for /why (0 disables provenance)")
+	traceSample := flag.Int64("trace-sample", 0, "trace 1 in K invocations into /traces and the SSE stream (0 disables tracing)")
 	alerts := flag.Bool("alerts", false, "evaluate threshold alert rules at the minute barrier (default rules unless -alert-rules)")
 	alertRules := flag.String("alert-rules", "", "alert rule file (one '<name> <metric> <op> <threshold> [for=N] [cooldown=N]' per line); implies -alerts")
 	webhook := flag.String("webhook", "", "POST alert notifications as JSON to this URL (retried with backoff); implies -alerts")
@@ -174,9 +191,10 @@ func run() error {
 
 	// The controller and runtime share one observer chain; with
 	// -attribution the accountant rides alongside the metrics pipeline on
-	// the same stream, and with -alerts the rule engine is attached LAST,
-	// so by the time it closes a minute the accountant has already priced
-	// it (the savings rule reads the accountant's ring).
+	// the same stream, the provenance recorder follows it, and with
+	// -alerts the rule engine is attached LAST, so by the time it closes a
+	// minute the accountant has already priced it (the savings rule reads
+	// the accountant's ring).
 	chain := []telemetry.Observer{tel}
 	var acct *attribution.Accountant
 	if *attrib {
@@ -186,6 +204,18 @@ func run() error {
 			return err
 		}
 		chain = append(chain, acct)
+	}
+	var prov *provenance.Recorder
+	if *provWindow > 0 {
+		if prov, err = provenance.NewRecorder(provenance.RecorderConfig{
+			Catalog:    cat,
+			Assignment: asg,
+			Names:      identity.DefaultNames(nFunctions),
+			Window:     *provWindow,
+		}); err != nil {
+			return err
+		}
+		chain = append(chain, prov)
 	}
 	var engine *alert.Engine
 	if *alerts {
@@ -244,6 +274,15 @@ func run() error {
 		return err
 	}
 
+	// The tracer taps every sampled span into the SSE stream; with no
+	// /stream subscribers a publish is one atomic load.
+	var tracer *provenance.Tracer
+	if *traceSample > 0 {
+		tracer = provenance.NewTracer(provenance.TracerConfig{Stride: *traceSample})
+		tracer.Tap(func(tr provenance.Trace) { stream.Publish(alert.StreamTrace, tr) })
+		log.Printf("pulsed: invocation tracing enabled (1 in %d)", *traceSample)
+	}
+
 	rt, err := runtime.New(runtime.Config{
 		Catalog:    cat,
 		Assignment: asg,
@@ -252,6 +291,7 @@ func run() error {
 		Observer:   obs,
 		Mode:       *mode,
 		Serial:     *serial,
+		Tracer:     tracer,
 	})
 	if err != nil {
 		return err
@@ -267,6 +307,10 @@ func run() error {
 	if acct != nil {
 		api.AttachAttribution(acct)
 		log.Printf("pulsed: attribution enabled (fixed baseline window %d min)", acct.Window())
+	}
+	if prov != nil {
+		api.AttachProvenance(prov)
+		log.Printf("pulsed: decision provenance enabled (/why, ring window %d min)", *provWindow)
 	}
 	api.AttachStream(stream)
 	api.AttachAlerts(engine)

@@ -51,6 +51,21 @@ func TestAttributionFlagsRegistered(t *testing.T) {
 	}
 }
 
+// The provenance and tracing flags must stay wired into the flag surface:
+// -provenance-window gates /why (and is on by default), -trace-sample
+// gates /traces.
+func TestProvenanceFlagsRegistered(t *testing.T) {
+	src, err := os.ReadFile("main.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, flagName := range []string{`"provenance-window"`, `"trace-sample"`} {
+		if !strings.Contains(string(src), flagName) {
+			t.Errorf("main.go does not register the %s flag", flagName)
+		}
+	}
+}
+
 // tickInterval guards the -compress flag: compress 0 used to overflow into
 // a never-firing ticker, so the daemon served traffic but never advanced
 // simulated minutes — a silent hang of the whole control loop.

@@ -12,6 +12,13 @@
 // scaling curve CI tracks as the serving-path perf trajectory. The epoch
 // mode's advantage needs parallelism and contention: expect parity at
 // GOMAXPROCS 1 and a growing lead on the hotspot mix from GOMAXPROCS 4 up.
+//
+// After the matrix, a tracer-delta pair benchmarks epoch mode with the
+// sampled invocation tracer off vs on at -trace-stride (default 1024,
+// 0 skips the measurement) and publishes the throughput overhead into the
+// output's tracer_delta field. The guard is <2% overhead at stride 1024;
+// a breach is reported as a warning, not a failure, because single cells
+// at short durations are noisy.
 package main
 
 import (
@@ -27,6 +34,7 @@ import (
 	pulse "github.com/pulse-serverless/pulse"
 	"github.com/pulse-serverless/pulse/internal/core"
 	"github.com/pulse-serverless/pulse/internal/policy"
+	"github.com/pulse-serverless/pulse/internal/provenance"
 	"github.com/pulse-serverless/pulse/internal/runtime"
 )
 
@@ -38,6 +46,9 @@ type benchFile struct {
 	HostCPUs int                   `json:"host_cpus"`
 	Results  []runtime.LoadResult  `json:"results"`
 	Summary  []runtime.MatrixPoint `json:"summary"`
+	// TracerDelta is the tracer-on vs tracer-off epoch throughput
+	// comparison; absent when -trace-stride is 0.
+	TracerDelta *runtime.TracerDelta `json:"tracer_delta,omitempty"`
 }
 
 func main() {
@@ -87,6 +98,8 @@ func run() error {
 	shards := flag.Int("shards", 0, "PULSE controller shards (0 = one per CPU)")
 	seed := flag.Int64("seed", 1, "worker RNG seed")
 	stepEvery := flag.Duration("step-every", 100*time.Millisecond, "minute-barrier cadence (0 disables stepping)")
+	traceStride := flag.Int64("trace-stride", runtime.DefaultTracerDeltaStride,
+		"sampling period for the tracer-overhead pair after the matrix (0 skips it)")
 	modes := flag.String("modes", strings.Join([]string{runtime.ModeSerial, runtime.ModeStriped, runtime.ModeEpoch}, ","),
 		"comma-separated runtime modes to benchmark")
 	out := flag.String("out", "BENCH_runtime.json", "output file ('-' for stdout only)")
@@ -113,7 +126,7 @@ func run() error {
 	}
 
 	cat := pulse.Catalog()
-	newRuntime := func(fns int, mode string) (*runtime.Runtime, error) {
+	newTracedRuntime := func(fns int, mode string, tracer *provenance.Tracer) (*runtime.Runtime, error) {
 		asg := pulse.UniformAssignment(cat, fns)
 		// Each cell gets a fresh policy: runs must not share state.
 		var p pulse.Policy
@@ -134,7 +147,11 @@ func run() error {
 			Assignment: asg,
 			Policy:     p,
 			Mode:       mode,
+			Tracer:     tracer,
 		})
+	}
+	newRuntime := func(fns int, mode string) (*runtime.Runtime, error) {
+		return newTracedRuntime(fns, mode, nil)
 	}
 
 	var failed int64
@@ -168,6 +185,28 @@ func run() error {
 		HostCPUs: goruntime.NumCPU(),
 		Results:  results,
 		Summary:  runtime.SummarizeMatrix(results),
+	}
+
+	if *traceStride > 0 {
+		delta, err := runtime.RunTracerDelta(runtime.TracerDeltaConfig{
+			Functions:  fnCounts[0],
+			Duration:   *duration,
+			Seed:       *seed,
+			StepEvery:  *stepEvery,
+			Stride:     *traceStride,
+			NewRuntime: newTracedRuntime,
+		})
+		if err != nil {
+			return err
+		}
+		file.TracerDelta = &delta
+		verdict := fmt.Sprintf("within <%.0f%% guard", delta.GuardPct)
+		if !delta.WithinGuard {
+			verdict = fmt.Sprintf("WARNING: exceeds %.0f%% guard", delta.GuardPct)
+		}
+		fmt.Printf("tracer 1/%d on %s: off %9.0f inv/s  on %9.0f inv/s  overhead %+.2f%%  (%d sampled of %d) %s\n",
+			delta.Stride, delta.Mode, delta.OffThroughput, delta.OnThroughput,
+			delta.OverheadPct, delta.Sampled, delta.Attempts, verdict)
 	}
 	for _, p := range file.Summary {
 		if p.SpeedupEpochVsStriped > 0 {

@@ -21,6 +21,9 @@ const (
 	StreamMinute = "minute"
 	// StreamAlert is one alert transition (Notification JSON).
 	StreamAlert = "alert"
+	// StreamTrace is one sampled invocation span (provenance.Trace JSON),
+	// published by the tracer tap when invocation tracing is enabled.
+	StreamTrace = "trace"
 	// StreamDropped is the broadcaster telling a subscriber how many
 	// events its queue has discarded so far ({"dropped":N}).
 	StreamDropped = "dropped"

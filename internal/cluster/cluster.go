@@ -217,6 +217,10 @@ func Run(cfg Config, p Policy) (*Result, error) {
 		eng = newEnginePool(&cfg, p.Name(), shards, counts)
 		defer eng.close()
 	}
+	// Self-observability: time the per-minute accounting scan when a
+	// chained observer consumes self samples (only the serial scan can
+	// carry an observer — see above).
+	timing := telemetry.WantsSelf(cfg.Observer)
 
 	for t := 0; t < tr.Horizon; t++ {
 		var start time.Time
@@ -255,6 +259,10 @@ func Run(cfg Config, p Policy) (*Result, error) {
 			}
 		} else {
 			// Keep-alive accounting for this minute.
+			var scan0 time.Time
+			if timing {
+				scan0 = time.Now()
+			}
 			for fn, vi := range alive {
 				if vi == NoVariant {
 					if cfg.Observer != nil {
@@ -279,6 +287,11 @@ func Run(cfg Config, p Policy) (*Result, error) {
 						MemMB:       mem,
 					})
 				}
+			}
+			if timing {
+				telemetry.ObserveScan(cfg.Observer, telemetry.ScanSample{
+					Minute: t, Shard: -1, Functions: nFn, Seconds: time.Since(scan0).Seconds(),
+				})
 			}
 		}
 		res.PerMinuteKaMMB[t] = kamMB

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"runtime"
+	"time"
 
 	"github.com/pulse-serverless/pulse/internal/cluster"
 	"github.com/pulse-serverless/pulse/internal/identity"
@@ -146,6 +147,10 @@ type Pulse struct {
 	// pool is the shard worker pool; nil when cfg.Shards resolves to 1,
 	// in which case every path runs serially on the calling goroutine.
 	pool *shardPool
+	// selfWanted caches telemetry.WantsSelf(cfg.Observer): whether the
+	// per-minute scans should read the clock and emit scan/flush duration
+	// samples. False keeps the scan paths free of clock reads.
+	selfWanted bool
 	// reqShards is the configured (unresolved) shard count; the effective
 	// count in cfg.Shards is re-resolved against the slot count whenever
 	// registration grows the per-function state.
@@ -213,6 +218,7 @@ func New(cfg Config) (*Pulse, error) {
 	if cfg.Shards < 0 {
 		return nil, fmt.Errorf("core: negative shard count %d", cfg.Shards)
 	}
+	p.selfWanted = telemetry.WantsSelf(cfg.Observer)
 	p.reqShards = cfg.Shards
 	p.repartition()
 	return p, nil
@@ -287,7 +293,14 @@ func (p *Pulse) PeakMinutes() int { return p.peakMinutes }
 func (p *Pulse) KeepAlive(t int) []int {
 	if p.pool != nil {
 		p.pool.dispatch(shardJob{op: opGather, t: t})
+		if p.selfWanted {
+			p.emitScans(t)
+		}
 	} else {
+		var t0 time.Time
+		if p.selfWanted {
+			t0 = time.Now()
+		}
 		for fn := range p.out {
 			v, prob, ok := p.plans[fn].get(t)
 			if !ok {
@@ -295,6 +308,11 @@ func (p *Pulse) KeepAlive(t int) []int {
 			}
 			p.out[fn] = v
 			p.ip[fn] = prob
+		}
+		if p.selfWanted {
+			telemetry.ObserveScan(p.cfg.Observer, telemetry.ScanSample{
+				Minute: t, Shard: -1, Functions: len(p.out), Seconds: time.Since(t0).Seconds(),
+			})
 		}
 	}
 
@@ -379,10 +397,26 @@ func (p *Pulse) ColdVariant(_, fn int) int {
 func (p *Pulse) RecordInvocations(t int, counts []int) {
 	if p.pool != nil {
 		p.pool.dispatch(shardJob{op: opRecord, t: t, counts: counts})
+		if p.selfWanted {
+			p.emitScans(t)
+		}
 		if obs := p.cfg.Observer; obs != nil {
+			var t0 time.Time
+			if p.selfWanted {
+				t0 = time.Now()
+			}
 			p.pool.flush(obs)
+			if p.selfWanted {
+				telemetry.ObserveFlush(obs, telemetry.FlushSample{
+					Minute: t, Seconds: time.Since(t0).Seconds(),
+				})
+			}
 		}
 		return
+	}
+	var t0 time.Time
+	if p.selfWanted {
+		t0 = time.Now()
 	}
 	active := p.reg.ActiveSlice()
 	for fn, c := range counts {
@@ -410,6 +444,21 @@ func (p *Pulse) RecordInvocations(t int, counts []int) {
 				Probs:    probs[1:],
 			})
 		}
+	}
+	if p.selfWanted {
+		telemetry.ObserveScan(p.cfg.Observer, telemetry.ScanSample{
+			Minute: t, Shard: -1, Functions: len(counts), Seconds: time.Since(t0).Seconds(),
+		})
+	}
+}
+
+// emitScans reports each shard's just-completed op duration, in shard
+// order (the coordinator emits so samples stay barrier-serialized).
+func (p *Pulse) emitScans(t int) {
+	for i, s := range p.pool.shards {
+		telemetry.ObserveScan(p.cfg.Observer, telemetry.ScanSample{
+			Minute: t, Shard: i, Functions: s.scanFns, Seconds: s.scanSec,
+		})
 	}
 }
 

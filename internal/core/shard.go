@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"github.com/pulse-serverless/pulse/internal/cluster"
 	"github.com/pulse-serverless/pulse/internal/models"
@@ -77,6 +78,13 @@ type shard struct {
 	observe bool
 	buf     telemetry.Buffer
 
+	// timing mirrors telemetry.WantsSelf(Observer): the worker times each
+	// op into scanSec/scanFns, which the coordinator reads after the
+	// barrier and emits as ScanSamples in shard order.
+	timing  bool
+	scanSec float64
+	scanFns int
+
 	// err records the first internal-invariant violation; the coordinator
 	// re-panics with it at the barrier, matching the serial path.
 	err error
@@ -116,6 +124,7 @@ func newShardPool(cfg Config, nShards int, histories []*History, plans []planRin
 			blend:      cfg.Blend,
 			technique:  cfg.Technique,
 			observe:    cfg.Observer != nil,
+			timing:     telemetry.WantsSelf(cfg.Observer),
 		}
 		pool.shards[i] = s
 		lo = s.hi
@@ -161,11 +170,19 @@ func (pl *shardPool) close() {
 func (s *shard) run(wg *sync.WaitGroup) {
 	for job := range s.jobs {
 		if s.err == nil {
+			var t0 time.Time
+			if s.timing {
+				t0 = time.Now()
+			}
 			switch job.op {
 			case opRecord:
 				s.record(job.t, job.counts)
 			case opGather:
 				s.gather(job.t)
+			}
+			if s.timing {
+				s.scanSec = time.Since(t0).Seconds()
+				s.scanFns = s.hi - s.lo
 			}
 		}
 		wg.Done()

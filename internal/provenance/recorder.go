@@ -1,0 +1,597 @@
+package provenance
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/pulse-serverless/pulse/internal/models"
+	"github.com/pulse-serverless/pulse/internal/telemetry"
+)
+
+// noVariant mirrors cluster.NoVariant without importing the cluster
+// package (keep-alive samples encode "left cold" as variant -1).
+const noVariant = -1
+
+// DefaultWindow is the per-function decision-ring capacity when
+// RecorderConfig leaves Window zero.
+const DefaultWindow = 64
+
+// selfCap bounds the recorder's self-observability minute rings — one day
+// of minutes, matching the attribution accountant's horizon.
+const selfCap = 1440
+
+// Self-series metric names served through /timeseries.
+const (
+	// MetricStepLatencyUs is the minute barrier's hold time, microseconds.
+	MetricStepLatencyUs = "step_latency_us"
+	// MetricSeqlockRetries is the number of invocation fast-path seqlock
+	// retries accumulated during each minute.
+	MetricSeqlockRetries = "seqlock_retries"
+)
+
+// SelfMetrics lists the self-series metric names in serving order.
+func SelfMetrics() []string { return []string{MetricStepLatencyUs, MetricSeqlockRetries} }
+
+// Decision is the provenance of one keep-alive choice: everything
+// Algorithm 1 and Algorithm 2 saw and produced for one function in one
+// minute.
+type Decision struct {
+	Minute int `json:"minute"`
+	// Slot is the dense function slot that held the identity when the
+	// decision was made (slots change when a name re-registers).
+	Slot int `json:"slot"`
+
+	// Chosen is the variant actually kept alive (-1 = left cold) and MemMB
+	// its keep-alive memory.
+	Chosen     int     `json:"chosen_variant"`
+	ChosenName string  `json:"chosen_variant_name,omitempty"`
+	MemMB      float64 `json:"mem_mb"`
+
+	// Planned is the variant the function-centric schedule committed for
+	// this minute — the choice the policy would have made unconstrained.
+	// It equals Chosen except when a peak downgraded the function. Prob is
+	// the history-derived invocation probability that selected it, and
+	// PlannedAt the minute the plan was committed (-1 when no plan covered
+	// this minute — e.g. the fixed baseline, or minute 0).
+	Planned     int     `json:"planned_variant"`
+	PlannedName string  `json:"planned_variant_name,omitempty"`
+	Prob        float64 `json:"invocation_probability"`
+	PlannedAt   int     `json:"planned_at_minute"`
+
+	// Downgraded is set when Algorithm 2 moved the function off its
+	// planned variant during a peak; Ai/Pr/Ip is the utility breakdown
+	// (accuracy impact, priority rank, invocation probability) whose sum
+	// Uv selected it as a victim.
+	Downgraded bool    `json:"downgraded"`
+	Ai         float64 `json:"ai,omitempty"`
+	Pr         float64 `json:"pr,omitempty"`
+	Ip         float64 `json:"ip,omitempty"`
+	Uv         float64 `json:"uv,omitempty"`
+
+	// Peak reports whether the minute sat inside an Algorithm 1 peak
+	// episode; PriorMB/TargetMB are the episode's detector prior and
+	// flatten target.
+	Peak     bool    `json:"peak"`
+	PriorMB  float64 `json:"peak_prior_mb,omitempty"`
+	TargetMB float64 `json:"peak_target_mb,omitempty"`
+
+	// BudgetBeforeMB and BudgetAfterMB are the cluster keep-alive memory
+	// the minute would have consumed unconstrained and what it consumed
+	// after downgrades (equal outside peaks).
+	BudgetBeforeMB float64 `json:"budget_before_mb"`
+	BudgetAfterMB  float64 `json:"budget_after_mb"`
+}
+
+// Explanation is the /why response: one function's recent decisions,
+// newest last.
+type Explanation struct {
+	Function  string     `json:"function"`
+	Slot      int        `json:"slot"`
+	Family    string     `json:"family"`
+	Active    bool       `json:"active"`
+	Window    int        `json:"window"`
+	Decisions []Decision `json:"decisions"`
+}
+
+// Point is one self-series sample.
+type Point struct {
+	Minute int     `json:"minute"`
+	Value  float64 `json:"value"`
+}
+
+// fnProv is one identity's provenance state. It is keyed by name, not
+// slot: when a name deregisters and later re-registers (getting a fresh
+// slot), the same entry — and the same decision ring — carries on, so
+// /why survives churn.
+type fnProv struct {
+	name   string
+	slot   int // current (or last) slot
+	family int
+	active bool
+
+	// ring is the fixed-capacity decision ring; n counts total pushes.
+	ring []Decision
+	n    uint64
+
+	// pend assembles the in-flight minute's decision across the
+	// barrier-serialized sample stream (downgrade → keep-alive → minute).
+	pend    Decision
+	pendSet bool
+	dg      telemetry.DowngradeSample
+	dgSet   bool
+
+	// Plan mirror: the latest committed schedule entry per absolute
+	// minute, planRing-style (index minute % len, stamp checked). Sized
+	// lazily from the first schedule sample's plan length.
+	planMin  []int
+	planVar  []int
+	planProb []float64
+	planAt   []int
+}
+
+// RecorderConfig parameterizes a Recorder.
+type RecorderConfig struct {
+	// Catalog and Assignment describe the initial population (required —
+	// variant names and memories come from the catalog).
+	Catalog    *models.Catalog
+	Assignment models.Assignment
+	// Names gives the initial functions their identities, one per
+	// Assignment entry (required; use the same list the runtime was built
+	// with). Functions registered online are learned from lifecycle
+	// samples.
+	Names []string
+	// Window bounds each function's decision ring (0 selects
+	// DefaultWindow).
+	Window int
+}
+
+// Recorder is the decision provenance recorder: an Observer that sits in
+// the telemetry chain and reconstructs, per function per minute, the full
+// Algorithm 1/2 picture from the barrier-serialized sample stream. Every
+// input it consumes is emitted inside the producers' minute write windows,
+// so its rings are deterministic — identical across the serial, striped,
+// and epoch runtimes (the differential harness pins DeepEqual equality).
+// Invocation samples, the only stream that interleaves, are deliberately
+// ignored.
+type Recorder struct {
+	mu      sync.Mutex
+	cat     *models.Catalog
+	window  int
+	byName  map[string]*fnProv
+	bySlot  []*fnProv
+	entries []*fnProv // unique entries, registration order
+
+	// Algorithm 1 episode state, updated from peak transition samples.
+	inPeak   bool
+	priorMB  float64
+	targetMB float64
+
+	// freedMB accumulates the keep-alive memory the in-flight minute's
+	// downgrades released — the before/after budget delta.
+	freedMB float64
+
+	// Self-observability minute rings fed by runtime step samples.
+	selfMin     [selfCap]int
+	selfStepUs  [selfCap]float64
+	selfRetries [selfCap]float64
+	selfN       int // minutes recorded
+	selfLast    int // latest minute recorded
+}
+
+// NewRecorder builds a recorder seeded with the initial population.
+func NewRecorder(cfg RecorderConfig) (*Recorder, error) {
+	if cfg.Catalog == nil {
+		return nil, fmt.Errorf("provenance: nil catalog")
+	}
+	if err := cfg.Assignment.Validate(cfg.Catalog, len(cfg.Assignment)); err != nil {
+		return nil, err
+	}
+	if len(cfg.Names) != len(cfg.Assignment) {
+		return nil, fmt.Errorf("provenance: %d names for %d functions", len(cfg.Names), len(cfg.Assignment))
+	}
+	w := cfg.Window
+	if w <= 0 {
+		w = DefaultWindow
+	}
+	r := &Recorder{
+		cat:      cfg.Catalog,
+		window:   w,
+		byName:   make(map[string]*fnProv, len(cfg.Names)),
+		bySlot:   make([]*fnProv, len(cfg.Names)),
+		selfLast: -1,
+	}
+	for i, name := range cfg.Names {
+		if name == "" {
+			return nil, fmt.Errorf("provenance: empty name for function %d", i)
+		}
+		if _, dup := r.byName[name]; dup {
+			return nil, fmt.Errorf("provenance: duplicate name %q", name)
+		}
+		e := &fnProv{name: name, slot: i, family: cfg.Assignment[i], active: true}
+		r.byName[name] = e
+		r.bySlot[i] = e
+		r.entries = append(r.entries, e)
+	}
+	return r, nil
+}
+
+// Window returns the per-function decision-ring capacity.
+func (r *Recorder) Window() int { return r.window }
+
+// entryFor returns the entry currently owning slot fn, nil when the slot
+// is unknown or the entry has moved to a newer slot (stale alias after a
+// re-registration). Callers hold r.mu.
+func (r *Recorder) entryFor(fn int) *fnProv {
+	if fn < 0 || fn >= len(r.bySlot) {
+		return nil
+	}
+	e := r.bySlot[fn]
+	if e == nil || e.slot != fn {
+		return nil
+	}
+	return e
+}
+
+// ObserveInvocation implements telemetry.Observer as a deliberate no-op:
+// invocation samples arrive outside every runtime lock and interleave
+// non-deterministically across modes, so consuming them would break the
+// cross-mode DeepEqual guarantee (and put a mutex on the Invoke hot path).
+func (r *Recorder) ObserveInvocation(telemetry.InvocationSample) {}
+
+// ObserveSchedule implements telemetry.Observer: the plan mirror records,
+// for each minute the schedule covers, which variant the optimizer
+// committed from which invocation probability — the unconstrained choice
+// /why reports alongside what actually ran.
+func (r *Recorder) ObserveSchedule(s telemetry.ScheduleSample) {
+	if len(s.Plan) == 0 {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e := r.entryFor(s.Function)
+	if e == nil || !e.active {
+		return
+	}
+	if e.planMin == nil {
+		n := len(s.Plan) + 1
+		e.planMin = make([]int, n)
+		e.planVar = make([]int, n)
+		e.planProb = make([]float64, n)
+		e.planAt = make([]int, n)
+		for i := range e.planMin {
+			e.planMin[i] = -1
+		}
+	}
+	n := len(e.planMin)
+	for i, v := range s.Plan {
+		m := s.Minute + 1 + i
+		idx := m % n
+		e.planMin[idx] = m
+		e.planVar[idx] = v
+		e.planAt[idx] = s.Minute
+		if i < len(s.Probs) {
+			e.planProb[idx] = s.Probs[i]
+		} else {
+			e.planProb[idx] = 0
+		}
+	}
+}
+
+// ObservePeak implements telemetry.Observer: episode transitions set the
+// Algorithm 1 context stamped onto every decision inside the episode.
+func (r *Recorder) ObservePeak(s telemetry.PeakSample) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if s.Enter {
+		r.inPeak = true
+		r.priorMB = s.PriorMB
+		r.targetMB = s.TargetMB
+	} else {
+		r.inPeak = false
+		r.priorMB = 0
+		r.targetMB = 0
+	}
+}
+
+// ObserveDowngrade implements telemetry.Observer: the utility breakdown is
+// stashed for the keep-alive sample that follows in the same minute, and
+// the freed memory feeds the minute's before/after budget delta.
+func (r *Recorder) ObserveDowngrade(s telemetry.DowngradeSample) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e := r.entryFor(s.Function)
+	if e == nil || !e.active {
+		return
+	}
+	e.dg = s
+	e.dgSet = true
+	fam := &r.cat.Families[e.family]
+	var freed float64
+	if s.FromVariant >= 0 && s.FromVariant < fam.NumVariants() {
+		freed = fam.Variants[s.FromVariant].MemoryMB
+	}
+	if s.ToVariant >= 0 && s.ToVariant < fam.NumVariants() {
+		freed -= fam.Variants[s.ToVariant].MemoryMB
+	}
+	r.freedMB += freed
+}
+
+// ObserveKeepAlive implements telemetry.Observer: the decision record is
+// assembled — chosen variant from the sample, unconstrained variant and
+// probability from the plan mirror (or the downgrade stash), peak context
+// from episode state — and parked until the minute rollup closes it.
+func (r *Recorder) ObserveKeepAlive(s telemetry.KeepAliveSample) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e := r.entryFor(s.Function)
+	if e == nil || !e.active {
+		return
+	}
+	d := Decision{
+		Minute:    s.Minute,
+		Slot:      s.Function,
+		Chosen:    s.Variant,
+		MemMB:     s.MemMB,
+		Planned:   noVariant,
+		PlannedAt: -1,
+	}
+	fam := &r.cat.Families[e.family]
+	if s.Variant >= 0 && s.Variant < fam.NumVariants() {
+		d.ChosenName = fam.Variants[s.Variant].Name
+	}
+	if n := len(e.planMin); n > 0 {
+		if idx := s.Minute % n; e.planMin[idx] == s.Minute {
+			d.Prob = e.planProb[idx]
+			d.PlannedAt = e.planAt[idx]
+			d.Planned = e.planVar[idx]
+		}
+	}
+	if e.dgSet && e.dg.Minute == s.Minute {
+		d.Downgraded = true
+		d.Planned = e.dg.FromVariant
+		d.Ai = e.dg.Ai
+		d.Pr = e.dg.Pr
+		d.Ip = e.dg.Ip
+		d.Uv = e.dg.Uv()
+	}
+	e.dgSet = false
+	if d.Planned == noVariant && !d.Downgraded {
+		// No plan covered this minute (minute 0, or a baseline policy
+		// without schedules): unconstrained and chosen coincide.
+		d.Planned = s.Variant
+	}
+	if d.Planned >= 0 && d.Planned < fam.NumVariants() {
+		d.PlannedName = fam.Variants[d.Planned].Name
+	}
+	if r.inPeak {
+		d.Peak = true
+		d.PriorMB = r.priorMB
+		d.TargetMB = r.targetMB
+	}
+	e.pend = d
+	e.pendSet = true
+}
+
+// ObserveMinute implements telemetry.Observer: the rollup closes the
+// minute — every parked decision gets the cluster-wide budget columns and
+// is pushed into its function's ring.
+func (r *Recorder) ObserveMinute(s telemetry.MinuteSample) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	before := s.KeepAliveMB + r.freedMB
+	for _, e := range r.entries {
+		if !e.pendSet || e.pend.Minute != s.Minute {
+			continue
+		}
+		e.pend.BudgetBeforeMB = before
+		e.pend.BudgetAfterMB = s.KeepAliveMB
+		if e.ring == nil {
+			e.ring = make([]Decision, r.window)
+		}
+		e.ring[e.n%uint64(r.window)] = e.pend
+		e.n++
+		e.pendSet = false
+	}
+	r.freedMB = 0
+}
+
+// ObserveRegister implements telemetry.LifecycleObserver: a brand-new name
+// gets a fresh entry; a returning name reclaims its old entry (and its
+// decision ring) at the new slot — the identity keying that makes /why
+// survive churn.
+func (r *Recorder) ObserveRegister(s telemetry.RegisterSample) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for len(r.bySlot) <= s.Function {
+		r.bySlot = append(r.bySlot, nil)
+	}
+	e := r.byName[s.Name]
+	if e == nil {
+		e = &fnProv{name: s.Name}
+		r.byName[s.Name] = e
+		r.entries = append(r.entries, e)
+	}
+	e.slot = s.Function
+	e.family = s.Family
+	e.active = true
+	e.pendSet = false
+	e.dgSet = false
+	// The plan mirror belongs to the previous incarnation's schedule
+	// stream; drop it so stale plans cannot explain new decisions.
+	e.planMin = nil
+	e.planVar = nil
+	e.planProb = nil
+	e.planAt = nil
+	r.bySlot[s.Function] = e
+}
+
+// ObserveDeregister implements telemetry.LifecycleObserver: the entry is
+// deactivated (its ring is retained for /why) and later samples against
+// the retired slot are ignored.
+func (r *Recorder) ObserveDeregister(s telemetry.DeregisterSample) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e := r.entryFor(s.Function)
+	if e == nil {
+		return
+	}
+	e.active = false
+	e.pendSet = false
+	e.dgSet = false
+}
+
+// ObserveStep implements telemetry.SelfObserver: runtime minute-barrier
+// samples feed the step-latency and seqlock-retry self series. Values are
+// wall-clock and mode-dependent, so they live outside the decision rings
+// the differential harness compares.
+func (r *Recorder) ObserveStep(s telemetry.StepSample) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	idx := s.Minute % selfCap
+	if idx < 0 {
+		idx += selfCap
+	}
+	r.selfMin[idx] = s.Minute
+	r.selfStepUs[idx] = s.Seconds * 1e6
+	r.selfRetries[idx] = float64(s.SeqlockRetries)
+	if r.selfN < selfCap {
+		r.selfN++
+	}
+	if s.Minute > r.selfLast {
+		r.selfLast = s.Minute
+	}
+}
+
+// ObserveScan implements telemetry.SelfObserver (scan histograms are the
+// metric registry's concern; the recorder keeps nothing).
+func (r *Recorder) ObserveScan(telemetry.ScanSample) {}
+
+// ObserveFlush implements telemetry.SelfObserver.
+func (r *Recorder) ObserveFlush(telemetry.FlushSample) {}
+
+// SelfSeries returns the last window minutes of a self metric
+// (MetricStepLatencyUs or MetricSeqlockRetries), oldest first. Unknown
+// metrics return ok=false.
+func (r *Recorder) SelfSeries(metric string, window int) (pts []Point, ok bool) {
+	switch metric {
+	case MetricStepLatencyUs, MetricSeqlockRetries:
+	default:
+		return nil, false
+	}
+	if window <= 0 || window > selfCap {
+		window = selfCap
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.selfLast < 0 {
+		return []Point{}, true
+	}
+	first := r.selfLast - window + 1
+	if first < 0 {
+		first = 0
+	}
+	pts = make([]Point, 0, r.selfLast-first+1)
+	for m := first; m <= r.selfLast; m++ {
+		idx := m % selfCap
+		if r.selfMin[idx] != m {
+			continue
+		}
+		v := r.selfStepUs[idx]
+		if metric == MetricSeqlockRetries {
+			v = r.selfRetries[idx]
+		}
+		pts = append(pts, Point{Minute: m, Value: v})
+	}
+	return pts, true
+}
+
+// lastDecisions appends up to n of e's most recent decisions, oldest
+// first. Callers hold r.mu.
+func (e *fnProv) lastDecisions(n int) []Decision {
+	have := e.n
+	if have > uint64(len(e.ring)) {
+		have = uint64(len(e.ring))
+	}
+	if n > 0 && uint64(n) < have {
+		have = uint64(n)
+	}
+	out := make([]Decision, 0, have)
+	for i := e.n - have; i < e.n; i++ {
+		out = append(out, e.ring[i%uint64(len(e.ring))])
+	}
+	return out
+}
+
+// Explain returns the last n decisions for a function name (n <= 0 returns
+// the whole ring). Deregistered functions remain explainable.
+func (r *Recorder) Explain(name string, n int) (Explanation, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e := r.byName[name]
+	if e == nil {
+		return Explanation{}, fmt.Errorf("provenance: unknown function %q", name)
+	}
+	ex := Explanation{
+		Function: e.name,
+		Slot:     e.slot,
+		Family:   r.cat.Families[e.family].Name,
+		Active:   e.active,
+		Window:   r.window,
+	}
+	if e.ring == nil {
+		ex.Decisions = []Decision{}
+		return ex, nil
+	}
+	ex.Decisions = e.lastDecisions(n)
+	return ex, nil
+}
+
+// ExplainMinute returns a function's decision for one specific minute, if
+// it is still inside the ring.
+func (r *Recorder) ExplainMinute(name string, minute int) (Explanation, error) {
+	ex, err := r.Explain(name, 0)
+	if err != nil {
+		return Explanation{}, err
+	}
+	for _, d := range ex.Decisions {
+		if d.Minute == minute {
+			ex.Decisions = []Decision{d}
+			return ex, nil
+		}
+	}
+	return Explanation{}, fmt.Errorf("provenance: no recorded decision for %q at minute %d (ring keeps the last %d)", name, minute, ex.Window)
+}
+
+// Names returns every identity the recorder knows, registration order.
+func (r *Recorder) Names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, len(r.entries))
+	for i, e := range r.entries {
+		out[i] = e.name
+	}
+	return out
+}
+
+// Rings returns a deep copy of every function's decision ring, oldest
+// first, keyed by name — the snapshot the differential harness DeepEquals
+// across runtime modes.
+func (r *Recorder) Rings() map[string][]Decision {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string][]Decision, len(r.entries))
+	for _, e := range r.entries {
+		if e.ring == nil {
+			out[e.name] = []Decision{}
+			continue
+		}
+		out[e.name] = e.lastDecisions(0)
+	}
+	return out
+}
+
+var (
+	_ telemetry.Observer          = (*Recorder)(nil)
+	_ telemetry.LifecycleObserver = (*Recorder)(nil)
+	_ telemetry.SelfObserver      = (*Recorder)(nil)
+)

@@ -11,6 +11,7 @@ import (
 	"github.com/pulse-serverless/pulse/internal/alert"
 	"github.com/pulse-serverless/pulse/internal/attribution"
 	"github.com/pulse-serverless/pulse/internal/cluster"
+	"github.com/pulse-serverless/pulse/internal/provenance"
 	"github.com/pulse-serverless/pulse/internal/telemetry"
 )
 
@@ -29,15 +30,19 @@ import (
 //	GET  /attribution      per-function counterfactual savings vs shadow baselines (requires attribution)
 //	GET  /timeseries       per-minute attribution series for one metric (requires attribution)
 //	GET  /top              ranking by savings, downgrades, cold-start risk; text or ?format=json (requires attribution)
+//	GET  /why              decision provenance: why a function's variant was chosen (requires provenance)
+//	GET  /traces           sampled invocation spans with serving-path cost (requires tracing)
 //	GET  /stream           live Server-Sent Events: decisions, minute rollups, alerts (requires streaming)
 //	GET  /dashboard        embedded single-page live ops dashboard (requires streaming)
-//	GET  /healthz          daemon health JSON: uptime, population, minute, alert status
+//	GET  /healthz          daemon health JSON: uptime, mode, population, minute, alert status
 type API struct {
 	rt         *Runtime
 	tel        *telemetry.Telemetry
 	acct       *attribution.Accountant
 	stream     *alert.Broadcaster
 	alerts     *alert.Engine
+	prov       *provenance.Recorder
+	tracer     *provenance.Tracer
 	reg        *telemetry.Registry
 	mux        *http.ServeMux
 	registered map[string]bool // paths wired into the mux (multi-verb paths appear once)
@@ -68,6 +73,8 @@ func Endpoints() []Endpoint {
 		{http.MethodGet, "/attribution", "per-function counterfactual savings vs shadow baselines (requires attribution)"},
 		{http.MethodGet, "/timeseries", "attribution series for one metric (?metric=&window=&res=; requires attribution)"},
 		{http.MethodGet, "/top", "ranking by savings, downgrades, cold-start risk; text or ?format=json (requires attribution)"},
+		{http.MethodGet, "/why", "decision provenance for one function (?fn=<name>&minute=M&n=N; requires provenance)"},
+		{http.MethodGet, "/traces", "sampled invocation spans: minute, variant, stripe, seqlock retries, latency (requires tracing)"},
 		{http.MethodGet, "/stream", "live Server-Sent Events: decision log, minute rollups, alert transitions (requires streaming)"},
 		{http.MethodGet, "/dashboard", "embedded single-page live ops dashboard (requires streaming)"},
 		{http.MethodGet, "/healthz", "daemon health JSON: uptime, go version, population, minute, alert-engine status"},
@@ -97,7 +104,7 @@ func NewInstrumentedAPI(rt *Runtime, tel *telemetry.Telemetry) (*API, error) {
 	if err := registerStatsMetrics(reg, rt); err != nil {
 		return nil, err
 	}
-	a := &API{rt: rt, tel: tel, reg: reg, mux: http.NewServeMux(), started: time.Now()}
+	a := &API{rt: rt, tel: tel, tracer: rt.Tracer(), reg: reg, mux: http.NewServeMux(), started: time.Now()}
 	// One handler per path; a path serving several verbs (GET and POST
 	// /functions) dispatches on the method inside its handler, so it appears
 	// once here and once in the mux, but once per verb in Endpoints().
@@ -112,6 +119,8 @@ func NewInstrumentedAPI(rt *Runtime, tel *telemetry.Telemetry) (*API, error) {
 		"/attribution":      a.handleAttribution,
 		"/timeseries":       a.handleTimeseries,
 		"/top":              a.handleTop,
+		"/why":              a.handleWhy,
+		"/traces":           a.handleTraces,
 		"/stream":           a.handleStream,
 		"/dashboard":        a.handleDashboard,
 		"/healthz":          a.handleHealthz,
@@ -166,6 +175,20 @@ func registerStatsMetrics(reg *telemetry.Registry, rt *Runtime) error {
 		if err != nil {
 			return err
 		}
+	}
+	// Hot-path self-observability counters live on the runtime as atomics
+	// (they are bumped on the invocation path); expose them as scrape-time
+	// funcs so /metrics carries them without double registration against a
+	// shared Telemetry registry.
+	if err := reg.NewCounterFunc("pulse_seqlock_retries_total",
+		"Invoke fast-path seqlock retries (epoch mode only).",
+		func() float64 { return float64(rt.SeqlockRetries()) }); err != nil {
+		return err
+	}
+	if err := reg.NewCounterFunc("pulse_stripe_contention_total",
+		"Invoke stripe-lock acquisitions that found the stripe held.",
+		func() float64 { return float64(rt.StripeContention()) }); err != nil {
+		return err
 	}
 	return nil
 }

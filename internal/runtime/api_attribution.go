@@ -7,6 +7,7 @@ import (
 	"strconv"
 
 	"github.com/pulse-serverless/pulse/internal/attribution"
+	"github.com/pulse-serverless/pulse/internal/provenance"
 )
 
 // AttachAttribution connects a counterfactual attribution accountant to
@@ -49,20 +50,28 @@ type timeseriesResponse struct {
 	Points     []attribution.Point `json:"points"`
 }
 
+// selfMetric reports whether name is one of the provenance recorder's
+// runtime self-observability series (step_latency_us, seqlock_retries).
+func selfMetric(name string) bool {
+	for _, m := range provenance.SelfMetrics() {
+		if m == name {
+			return true
+		}
+	}
+	return false
+}
+
 // handleTimeseries serves one metric's trailing series. Query parameters:
-// metric (required; see attribution.MetricNames), window (trailing minutes
-// — or hours with res=hour — default 60), res (minute or hour).
+// metric (required; see attribution.MetricNames plus the provenance
+// self-metrics step_latency_us and seqlock_retries), window (trailing
+// minutes — or hours with res=hour — default 60), res (minute or hour;
+// self-metrics are minute-only).
 func (a *API) handleTimeseries(w http.ResponseWriter, r *http.Request) {
-	if !a.attributionEnabled(w, r) {
+	if r.Method != http.MethodGet {
+		writeJSON(w, http.StatusMethodNotAllowed, apiError{"GET required"})
 		return
 	}
 	name := r.URL.Query().Get("metric")
-	metric, err := attribution.ParseMetric(name)
-	if err != nil {
-		writeJSON(w, http.StatusBadRequest,
-			apiError{fmt.Sprintf("unknown metric %q (one of %v)", name, attribution.MetricNames())})
-		return
-	}
 	window := 60
 	if s := r.URL.Query().Get("window"); s != "" {
 		n, err := strconv.Atoi(s)
@@ -83,6 +92,40 @@ func (a *API) handleTimeseries(w http.ResponseWriter, r *http.Request) {
 		hourly = true
 	default:
 		writeJSON(w, http.StatusBadRequest, apiError{fmt.Sprintf("bad res %q (minute or hour)", res)})
+		return
+	}
+	// The runtime self-metrics come from the provenance recorder, not the
+	// attribution accountant, so they are served before (and independently
+	// of) the attribution gate.
+	if selfMetric(name) {
+		if a.prov == nil {
+			writeJSON(w, http.StatusNotFound, apiError{"provenance not enabled"})
+			return
+		}
+		if hourly {
+			writeJSON(w, http.StatusBadRequest,
+				apiError{fmt.Sprintf("metric %q is minute-only (res=minute)", name)})
+			return
+		}
+		series, _ := a.prov.SelfSeries(name, window)
+		points := make([]attribution.Point, 0, len(series))
+		for _, p := range series {
+			points = append(points, attribution.Point{Minute: p.Minute, Value: p.Value})
+		}
+		writeJSON(w, http.StatusOK, timeseriesResponse{
+			Metric: name, Window: window, Resolution: res, Points: points,
+		})
+		return
+	}
+	if a.acct == nil {
+		writeJSON(w, http.StatusNotFound, apiError{"attribution not enabled"})
+		return
+	}
+	metric, err := attribution.ParseMetric(name)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest,
+			apiError{fmt.Sprintf("unknown metric %q (one of %v plus %v)",
+				name, attribution.MetricNames(), provenance.SelfMetrics())})
 		return
 	}
 	points := a.acct.Series(metric, window, hourly)

@@ -12,7 +12,9 @@ import (
 
 	"github.com/pulse-serverless/pulse/internal/alert"
 	"github.com/pulse-serverless/pulse/internal/attribution"
+	"github.com/pulse-serverless/pulse/internal/identity"
 	"github.com/pulse-serverless/pulse/internal/policy"
+	"github.com/pulse-serverless/pulse/internal/provenance"
 	"github.com/pulse-serverless/pulse/internal/telemetry"
 )
 
@@ -212,7 +214,8 @@ func TestEndpointsTableMatchesMux(t *testing.T) {
 		}
 		rec := httptest.NewRecorder()
 		api.ServeHTTP(rec, req)
-		if rec.Code == http.StatusNotFound && ep.Path != "/events" && ep.Path != "/decisions" {
+		gated := map[string]bool{"/events": true, "/decisions": true, "/why": true, "/traces": true}
+		if rec.Code == http.StatusNotFound && !gated[ep.Path] {
 			t.Errorf("%s %s = 404: endpoint listed but not served", ep.Method, ep.Path)
 		}
 		if rec.Code == http.StatusMethodNotAllowed {
@@ -243,6 +246,23 @@ func TestEndpointsTableMatchesMux(t *testing.T) {
 		tapi.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, path, nil))
 		if rec.Code != http.StatusOK {
 			t.Errorf("GET %s with telemetry = %d, want 200", path, rec.Code)
+		}
+	}
+	// Likewise /why and /traces: gated on their pipelines, served once the
+	// recorder and tracer are attached.
+	prov, err := provenance.NewRecorder(provenance.RecorderConfig{
+		Catalog: cat, Assignment: asg, Names: identity.DefaultNames(len(asg)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tapi.AttachProvenance(prov)
+	tapi.AttachTracer(provenance.NewTracer(provenance.TracerConfig{}))
+	for _, target := range []string{"/why?fn=fn-0", "/traces"} {
+		rec := httptest.NewRecorder()
+		tapi.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, target, nil))
+		if rec.Code != http.StatusOK {
+			t.Errorf("GET %s with provenance attached = %d, want 200", target, rec.Code)
 		}
 	}
 }

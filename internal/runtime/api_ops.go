@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"github.com/pulse-serverless/pulse/internal/alert"
+	"github.com/pulse-serverless/pulse/internal/provenance"
 )
 
 // AttachStream connects the live-event broadcaster to the API, enabling
@@ -52,14 +53,22 @@ type healthzResponse struct {
 	Status    string  `json:"status"`
 	GoVersion string  `json:"goVersion"`
 	UptimeSec float64 `json:"uptimeSec"`
+	// Mode is the runtime's serving architecture: "epoch", "striped", or
+	// "serial".
+	Mode string `json:"mode"`
 	// Minute is the current simulated minute.
 	Minute int `json:"minute"`
 	// Functions counts every slot ever issued; Active excludes tombstones.
 	Functions int `json:"functions"`
 	Active    int `json:"active"`
-	// Telemetry and Attribution report which optional pipelines are wired.
+	// Telemetry, Attribution, and Provenance report which optional
+	// pipelines are wired.
 	Telemetry   bool `json:"telemetry"`
 	Attribution bool `json:"attribution"`
+	Provenance  bool `json:"provenance"`
+	// Tracer is the sampled-invocation tracer's status (all zeros when no
+	// tracer is attached).
+	Tracer provenance.TracerStats `json:"tracer"`
 	// Stream is the broadcaster's fan-out counters (zeros when disabled).
 	Stream alert.BroadcastStats `json:"stream"`
 	// Alerts is the rule engine's status (enabled false when disabled).
@@ -83,11 +92,14 @@ func (a *API) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Status:      "ok",
 		GoVersion:   goruntime.Version(),
 		UptimeSec:   time.Since(a.started).Seconds(),
+		Mode:        a.rt.Mode(),
 		Minute:      a.rt.Stats().Minute,
 		Functions:   n,
 		Active:      active,
 		Telemetry:   a.tel != nil,
 		Attribution: a.acct != nil,
+		Provenance:  a.prov != nil,
+		Tracer:      a.tracer.Stats(),
 		Stream:      a.stream.Stats(),
 		Alerts:      a.alerts.Status(),
 	})

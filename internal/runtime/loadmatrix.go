@@ -5,6 +5,8 @@ import (
 	goruntime "runtime"
 	"sort"
 	"time"
+
+	"github.com/pulse-serverless/pulse/internal/provenance"
 )
 
 // MatrixConfig configures a serving-path benchmark matrix: the cross
@@ -135,6 +137,144 @@ func RunMatrix(cfg MatrixConfig) ([]LoadResult, error) {
 		}
 	}
 	return results, nil
+}
+
+// TracerOverheadGuardPct is the published budget for sampled invocation
+// tracing: at the default 1-in-1024 stride, the tracer may cost at most
+// this percentage of epoch-mode throughput. The bench matrix reports the
+// measured delta against it (advisory — single 2s cells are too noisy for
+// a hard CI gate).
+const TracerOverheadGuardPct = 2.0
+
+// DefaultTracerDeltaStride is the sampling period the tracer-overhead
+// measurement uses unless configured otherwise; it matches the stride the
+// guard is quoted for.
+const DefaultTracerDeltaStride = 1024
+
+// TracerDeltaConfig configures the tracer-overhead measurement: one run
+// shape, benchmarked twice back to back — once with a tracer attached but
+// disabled (the pinned one-atomic-load carry cost) and once sampling at
+// Stride — so the delta isolates what turning sampling on costs.
+type TracerDeltaConfig struct {
+	// Functions, Mode, Mix, Workers fix the single shape under test.
+	// Defaults: 12 functions, ModeEpoch (the guard's mode), MixHotspot,
+	// workers = 2×GOMAXPROCS.
+	Functions int
+	Mode      string
+	Mix       string
+	Workers   int
+	// Duration, Seed, StepEvery are passed to both cells' LoadConfig.
+	// Duration is required.
+	Duration  time.Duration
+	Seed      int64
+	StepEvery time.Duration
+	// Stride is the 1-in-K sampling period for the tracer-on cell.
+	// Defaults to DefaultTracerDeltaStride.
+	Stride int64
+	// NewRuntime constructs the runtime under test with the given tracer
+	// attached. Required.
+	NewRuntime func(functions int, mode string, tracer *provenance.Tracer) (*Runtime, error)
+}
+
+// TracerDelta is the published tracer-on vs tracer-off comparison:
+// throughput for both cells, the overhead percentage, the sampling volume
+// that bought it, and whether the measurement landed inside
+// TracerOverheadGuardPct.
+type TracerDelta struct {
+	Mode          string  `json:"mode"`
+	Stride        int64   `json:"stride"`
+	OffThroughput float64 `json:"throughput_off_inv_per_sec"`
+	OnThroughput  float64 `json:"throughput_on_inv_per_sec"`
+	OverheadPct   float64 `json:"overhead_pct"`
+	Attempts      uint64  `json:"attempts"`
+	Sampled       uint64  `json:"sampled"`
+	GuardPct      float64 `json:"guard_pct"`
+	WithinGuard   bool    `json:"within_guard"`
+	// Off and On carry the two full cell results for drill-down.
+	Off LoadResult `json:"off"`
+	On  LoadResult `json:"on"`
+}
+
+// RunTracerDelta benchmarks the configured shape tracer-off then tracer-on
+// and returns the throughput delta. A negative OverheadPct means the on
+// cell measured faster — ordinary noise at short durations, and always
+// within the guard.
+func RunTracerDelta(cfg TracerDeltaConfig) (TracerDelta, error) {
+	if cfg.NewRuntime == nil {
+		return TracerDelta{}, fmt.Errorf("runtime: tracer delta needs a NewRuntime constructor")
+	}
+	if cfg.Duration <= 0 {
+		return TracerDelta{}, fmt.Errorf("runtime: non-positive tracer-delta cell duration %v", cfg.Duration)
+	}
+	if cfg.Stride < 0 {
+		return TracerDelta{}, fmt.Errorf("runtime: negative tracer-delta stride %d", cfg.Stride)
+	}
+	if cfg.Stride == 0 {
+		cfg.Stride = DefaultTracerDeltaStride
+	}
+	if cfg.Functions <= 0 {
+		cfg.Functions = 12
+	}
+	if cfg.Mode == "" {
+		cfg.Mode = ModeEpoch
+	}
+	switch cfg.Mode {
+	case ModeSerial, ModeStriped, ModeEpoch:
+	default:
+		return TracerDelta{}, fmt.Errorf("runtime: unknown mode %q in tracer delta", cfg.Mode)
+	}
+	if cfg.Mix == "" {
+		cfg.Mix = MixHotspot
+	}
+	if cfg.Workers == 0 {
+		cfg.Workers = 2 * goruntime.GOMAXPROCS(0)
+	}
+
+	cell := func(tracer *provenance.Tracer) (LoadResult, error) {
+		rt, err := cfg.NewRuntime(cfg.Functions, cfg.Mode, tracer)
+		if err != nil {
+			return LoadResult{}, fmt.Errorf("runtime: tracer-delta cell (%d fns, %s): %w", cfg.Functions, cfg.Mode, err)
+		}
+		res, err := RunLoad(rt, LoadConfig{
+			Workers:   cfg.Workers,
+			Duration:  cfg.Duration,
+			Mix:       cfg.Mix,
+			Seed:      cfg.Seed,
+			StepEvery: cfg.StepEvery,
+		})
+		rt.Close()
+		return res, err
+	}
+
+	// Off is a tracer attached with sampling disabled, not a nil tracer:
+	// the carry cost is part of every deployment and must not be billed to
+	// sampling.
+	off, err := cell(provenance.NewTracer(provenance.TracerConfig{}))
+	if err != nil {
+		return TracerDelta{}, err
+	}
+	onTracer := provenance.NewTracer(provenance.TracerConfig{Stride: cfg.Stride})
+	on, err := cell(onTracer)
+	if err != nil {
+		return TracerDelta{}, err
+	}
+
+	d := TracerDelta{
+		Mode:          cfg.Mode,
+		Stride:        cfg.Stride,
+		OffThroughput: off.Throughput,
+		OnThroughput:  on.Throughput,
+		GuardPct:      TracerOverheadGuardPct,
+		Off:           off,
+		On:            on,
+	}
+	st := onTracer.Stats()
+	d.Attempts, d.Sampled = st.Attempts, st.Sampled
+	if off.Throughput > 0 {
+		d.OverheadPct = (off.Throughput - on.Throughput) / off.Throughput * 100
+	}
+	d.WithinGuard = d.OverheadPct < TracerOverheadGuardPct
+	return d, nil
 }
 
 // SummarizeMatrix groups raw matrix results by run shape and computes the

@@ -4,7 +4,98 @@ import (
 	goruntime "runtime"
 	"testing"
 	"time"
+
+	"github.com/pulse-serverless/pulse/internal/policy"
+	"github.com/pulse-serverless/pulse/internal/provenance"
 )
+
+// newTracedLoadRuntime is newLoadRuntime with a tracer attached — the
+// constructor shape RunTracerDelta needs.
+func newTracedLoadRuntime(t *testing.T, mode string, tracer *provenance.Tracer) *Runtime {
+	t.Helper()
+	cat, asg := testSetup(t)
+	p, err := policy.NewFixed(cat, asg, 10, policy.QualityHighest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := New(Config{
+		Catalog:    cat,
+		Assignment: asg,
+		Policy:     p,
+		Clock:      NewManualClock(time.Unix(0, 0)),
+		Mode:       mode,
+		Tracer:     tracer,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestRunTracerDeltaValidation(t *testing.T) {
+	mk := func(fns int, mode string, tr *provenance.Tracer) (*Runtime, error) {
+		return newTracedLoadRuntime(t, mode, tr), nil
+	}
+	if _, err := RunTracerDelta(TracerDeltaConfig{Duration: time.Millisecond}); err == nil {
+		t.Error("tracer delta without a constructor accepted")
+	}
+	if _, err := RunTracerDelta(TracerDeltaConfig{NewRuntime: mk}); err == nil {
+		t.Error("zero cell duration accepted")
+	}
+	if _, err := RunTracerDelta(TracerDeltaConfig{NewRuntime: mk, Duration: time.Millisecond, Stride: -1}); err == nil {
+		t.Error("negative stride accepted")
+	}
+	if _, err := RunTracerDelta(TracerDeltaConfig{NewRuntime: mk, Duration: time.Millisecond, Mode: "nope"}); err == nil {
+		t.Error("unknown mode accepted")
+	}
+}
+
+// TestRunTracerDeltaSmoke runs the off/on pair with a dense stride and
+// checks the delta actually measured sampling: both cells served traffic,
+// the on-cell tracer counted every attempt, and the published fields are
+// internally consistent.
+func TestRunTracerDeltaSmoke(t *testing.T) {
+	var tracers []*provenance.Tracer
+	d, err := RunTracerDelta(TracerDeltaConfig{
+		Functions: 3,
+		Duration:  10 * time.Millisecond,
+		Seed:      1,
+		StepEvery: 5 * time.Millisecond,
+		Stride:    2,
+		NewRuntime: func(fns int, mode string, tr *provenance.Tracer) (*Runtime, error) {
+			if fns != 3 {
+				t.Errorf("cell asked for %d functions, want 3", fns)
+			}
+			tracers = append(tracers, tr)
+			return newTracedLoadRuntime(t, mode, tr), nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tracers) != 2 || tracers[0] == nil || tracers[1] == nil {
+		t.Fatalf("delta built %d runtimes, want an off and an on cell with tracers attached", len(tracers))
+	}
+	if st := tracers[0].Stats(); st.Enabled || st.Attempts != 0 {
+		t.Errorf("off cell's tracer sampled: %+v", st)
+	}
+	if d.Mode != ModeEpoch || d.Stride != 2 || d.GuardPct != TracerOverheadGuardPct {
+		t.Errorf("delta shape %+v, want epoch stride 2 with the published guard", d)
+	}
+	if d.Off.Invocations == 0 || d.On.Invocations == 0 || d.Off.Errors != 0 || d.On.Errors != 0 {
+		t.Errorf("cells did not serve cleanly: off %+v on %+v", d.Off, d.On)
+	}
+	if d.OffThroughput != d.Off.Throughput || d.OnThroughput != d.On.Throughput {
+		t.Errorf("published throughputs diverge from cell results: %+v", d)
+	}
+	if d.Attempts != uint64(d.On.Invocations) || d.Sampled != d.Attempts/2 {
+		t.Errorf("on cell attempts %d sampled %d, want every one of %d invocations counted and half sampled",
+			d.Attempts, d.Sampled, d.On.Invocations)
+	}
+	if d.WithinGuard != (d.OverheadPct < TracerOverheadGuardPct) {
+		t.Errorf("guard verdict inconsistent: %+v", d)
+	}
+}
 
 func TestRunMatrixValidation(t *testing.T) {
 	mk := func(fns int, mode string) (*Runtime, error) { return newLoadRuntime(t, mode), nil }

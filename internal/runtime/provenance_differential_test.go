@@ -1,0 +1,266 @@
+package runtime
+
+// Provenance differential harness: the decision provenance recorder
+// consumes only barrier-serialized samples, so its per-function decision
+// rings must be reflect.DeepEqual across the serial, striped, and epoch
+// runtimes — under sequential and per-function-goroutine replay, with and
+// without churn. The sampled tracer's recorded-trace *count* is a pure
+// function of the Invoke attempt count, so it must also agree across
+// modes (contents legitimately differ under parallel interleaving). CI's
+// 'Differential|Sharded' -race regex picks this suite up.
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"github.com/pulse-serverless/pulse/internal/core"
+	"github.com/pulse-serverless/pulse/internal/identity"
+	"github.com/pulse-serverless/pulse/internal/models"
+	"github.com/pulse-serverless/pulse/internal/provenance"
+	"github.com/pulse-serverless/pulse/internal/telemetry"
+)
+
+// provenanceStride is the 1-in-K sampling period the differential replays
+// run with; deliberately not a divisor of anything round.
+const provenanceStride = 7
+
+// TestDifferentialProvenanceRings replays the azure-like workload through
+// the PULSE controller in every runtime mode with a shared provenance
+// recorder observing both layers (the pulsed deployment shape) and a
+// stride-sampling tracer on the Invoke path. The serial sequential replay
+// is ground truth: every other mode must produce DeepEqual decision rings
+// and the identical sampled-trace count.
+func TestDifferentialProvenanceRings(t *testing.T) {
+	cat := models.PaperCatalog()
+	wl := runtimeWorkloads(t)[0]
+	asg := make(models.Assignment, len(wl.tr.Functions))
+	for i := range asg {
+		asg[i] = i % len(cat.Families)
+	}
+	names := identity.DefaultNames(len(asg))
+
+	run := func(mode string, parallel bool) (map[string][]provenance.Decision, provenance.TracerStats) {
+		rec, err := provenance.NewRecorder(provenance.RecorderConfig{
+			Catalog: cat, Assignment: asg, Names: names, Window: 32,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tracer := provenance.NewTracer(provenance.TracerConfig{Stride: provenanceStride})
+		p, err := core.New(core.Config{Catalog: cat, Assignment: asg, Observer: rec})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := New(Config{
+			Catalog:    cat,
+			Assignment: asg,
+			Policy:     p,
+			Clock:      NewManualClock(time.Unix(0, 0)),
+			Observer:   rec,
+			Mode:       mode,
+			Tracer:     tracer,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer r.Close()
+		replayCapture(t, r, wl.tr, parallel)
+		return rec.Rings(), tracer.Stats()
+	}
+
+	serialRings, serialTracer := run(ModeSerial, false)
+
+	// The ground truth must be non-trivial, or DeepEqual proves nothing.
+	decisions, planned := 0, 0
+	for _, ring := range serialRings {
+		decisions += len(ring)
+		for _, d := range ring {
+			if d.PlannedAt >= 0 && d.Prob > 0 {
+				planned++
+			}
+		}
+	}
+	if decisions == 0 || planned == 0 {
+		t.Fatalf("serial replay recorded %d decisions (%d plan-backed); the workload exercises nothing", decisions, planned)
+	}
+	if serialTracer.Sampled == 0 || serialTracer.Sampled != serialTracer.Attempts/provenanceStride {
+		t.Fatalf("serial tracer %+v: want floor(attempts/%d) sampled", serialTracer, provenanceStride)
+	}
+
+	for _, cmp := range []struct {
+		name     string
+		mode     string
+		parallel bool
+	}{
+		{"striped-parallel", ModeStriped, true},
+		{"epoch-parallel", ModeEpoch, true},
+		{"striped-sequential", ModeStriped, false},
+		{"epoch-sequential", ModeEpoch, false},
+	} {
+		rings, tr := run(cmp.mode, cmp.parallel)
+		if !reflect.DeepEqual(serialRings, rings) {
+			for name := range serialRings {
+				if !reflect.DeepEqual(serialRings[name], rings[name]) {
+					t.Errorf("%s: decision ring for %q diverges:\nserial: %+v\n%s: %+v",
+						cmp.name, name, serialRings[name], cmp.name, rings[name])
+					break
+				}
+			}
+		}
+		if tr.Attempts != serialTracer.Attempts || tr.Sampled != serialTracer.Sampled {
+			t.Errorf("%s: tracer counts diverge: %d/%d attempts, %d/%d sampled",
+				cmp.name, tr.Attempts, serialTracer.Attempts, tr.Sampled, serialTracer.Sampled)
+		}
+	}
+}
+
+// TestDifferentialProvenanceChurn repeats the ring-equality proof under
+// online registration and deregistration: identity-keyed rings must carry
+// decisions across a name's re-registration identically in every mode.
+func TestDifferentialProvenanceChurn(t *testing.T) {
+	cat := models.PaperCatalog()
+	tr := churnRuntimeWorkload(t)
+	policies, names, initAsg := churnRuntimePolicies(t, cat, tr)
+	mkPolicy := policies["pulse"]
+
+	run := func(mode string, parallel bool) (map[string][]provenance.Decision, provenance.TracerStats) {
+		rec, err := provenance.NewRecorder(provenance.RecorderConfig{
+			Catalog: cat, Assignment: initAsg, Names: names, Window: 32,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tracer := provenance.NewTracer(provenance.TracerConfig{Stride: provenanceStride})
+		r, err := New(Config{
+			Catalog:    cat,
+			Assignment: initAsg,
+			Names:      names,
+			Policy:     mkPolicy(rec),
+			Clock:      NewManualClock(time.Unix(0, 0)),
+			Observer:   rec,
+			Mode:       mode,
+			Tracer:     tracer,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer r.Close()
+		replayChurn(t, r, tr, parallel)
+		return rec.Rings(), tracer.Stats()
+	}
+
+	serialRings, serialTracer := run(ModeSerial, false)
+	if len(serialRings) <= len(names) {
+		t.Fatalf("churn replay tracked %d identities from %d initial: no arrivals exercised", len(serialRings), len(names))
+	}
+	for _, cmp := range []struct {
+		name     string
+		mode     string
+		parallel bool
+	}{
+		{"striped-parallel", ModeStriped, true},
+		{"epoch-parallel", ModeEpoch, true},
+	} {
+		rings, trc := run(cmp.mode, cmp.parallel)
+		if !reflect.DeepEqual(serialRings, rings) {
+			t.Errorf("%s: churn decision rings diverge (%d vs %d identities)", cmp.name, len(serialRings), len(rings))
+		}
+		if trc.Attempts != serialTracer.Attempts || trc.Sampled != serialTracer.Sampled {
+			t.Errorf("%s: tracer counts diverge under churn: %d/%d attempts, %d/%d sampled",
+				cmp.name, trc.Attempts, serialTracer.Attempts, trc.Sampled, serialTracer.Sampled)
+		}
+	}
+}
+
+// TestInvokeTracerDisabledZeroAllocs pins the cost of *carrying* a tracer:
+// with sampling disabled (stride 0), Invoke must stay allocation-free in
+// every mode — the disabled check is one atomic load. Run by the CI alloc
+// job.
+func TestInvokeTracerDisabledZeroAllocs(t *testing.T) {
+	cat, asg := testSetup(t)
+	for _, mode := range []string{ModeSerial, ModeStriped, ModeEpoch} {
+		t.Run(mode, func(t *testing.T) {
+			pol := &parityPolicy{cat: cat, asg: asg}
+			tracer := provenance.NewTracer(provenance.TracerConfig{})
+			r, err := New(Config{
+				Catalog:    cat,
+				Assignment: asg,
+				Policy:     pol,
+				Clock:      NewManualClock(time.Unix(0, 0)),
+				Mode:       mode,
+				Tracer:     tracer,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer r.Close()
+			if _, err := r.Invoke(0); err != nil { // warm the path
+				t.Fatal(err)
+			}
+			if allocs := testing.AllocsPerRun(1000, func() {
+				if _, err := r.Invoke(0); err != nil {
+					t.Fatal(err)
+				}
+			}); allocs != 0 {
+				t.Errorf("%s Invoke with disabled tracer allocates %v/op, want 0", mode, allocs)
+			}
+			if st := tracer.Stats(); st.Attempts != 0 {
+				t.Errorf("disabled tracer counted %d attempts", st.Attempts)
+			}
+		})
+	}
+}
+
+// TestStepProvenanceIdleMinuteZeroAllocs pins provenance recording on idle
+// minutes: once each function's ring exists, a whole Step — harvest,
+// policy, keep-alive samples into the recorder, minute rollup, step
+// self-sample — allocates nothing, in every mode. Run by the CI alloc job.
+func TestStepProvenanceIdleMinuteZeroAllocs(t *testing.T) {
+	cat, asg := testSetup(t)
+	names := identity.DefaultNames(len(asg))
+	for _, mode := range []string{ModeSerial, ModeStriped, ModeEpoch} {
+		t.Run(mode, func(t *testing.T) {
+			rec, err := provenance.NewRecorder(provenance.RecorderConfig{
+				Catalog: cat, Assignment: asg, Names: names, Window: 16,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !telemetry.WantsSelf(rec) {
+				t.Fatal("recorder does not register as a self observer")
+			}
+			pol := &parityPolicy{cat: cat, asg: asg}
+			r, err := New(Config{
+				Catalog:    cat,
+				Assignment: asg,
+				Policy:     pol,
+				Clock:      NewManualClock(time.Unix(0, 0)),
+				Observer:   rec,
+				Mode:       mode,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer r.Close()
+			// Warm: the first decisions allocate each function's ring (and
+			// the policy its buffer); steady state must then be flat.
+			for i := 0; i < 3; i++ {
+				if err := r.Step(); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if allocs := testing.AllocsPerRun(500, func() {
+				if err := r.Step(); err != nil {
+					t.Fatal(err)
+				}
+			}); allocs != 0 {
+				t.Errorf("%s idle-minute Step with recorder attached allocates %v/op, want 0", mode, allocs)
+			}
+			ex, err := rec.Explain(names[0], 1)
+			if err != nil || len(ex.Decisions) != 1 {
+				t.Fatalf("recorder captured nothing: %+v, %v", ex, err)
+			}
+		})
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"github.com/pulse-serverless/pulse/internal/cluster"
 	"github.com/pulse-serverless/pulse/internal/identity"
 	"github.com/pulse-serverless/pulse/internal/models"
+	"github.com/pulse-serverless/pulse/internal/provenance"
 	"github.com/pulse-serverless/pulse/internal/telemetry"
 )
 
@@ -86,6 +87,12 @@ type Config struct {
 	// freely (implementations must be concurrency-safe, see
 	// telemetry.Observer).
 	Observer telemetry.Observer
+	// Tracer, when non-nil, samples 1-in-K invocations into span-shaped
+	// trace records (see provenance.Tracer). With sampling disabled the
+	// Invoke fast path pays exactly one atomic load and allocates nothing
+	// (pinned by TestInvokeTracerDisabledZeroAllocs); a nil Tracer pays a
+	// nil check.
+	Tracer *provenance.Tracer
 	// Mode selects the serving-path architecture: ModeEpoch (default),
 	// ModeStriped, or ModeSerial. The three modes are behaviourally
 	// identical — proven by the differential harness (differential_test.go,
@@ -186,10 +193,23 @@ type fnState struct {
 // (every Invoke takes the barrier exclusively) survive as reference modes;
 // the differential harness proves all three agree exactly.
 type Runtime struct {
-	cfg   Config
-	clock Clock
-	obs   telemetry.Observer // nil when uninstrumented
-	mode  string
+	cfg    Config
+	clock  Clock
+	obs    telemetry.Observer // nil when uninstrumented
+	mode   string
+	tracer *provenance.Tracer // nil when untraced
+	// selfWanted caches telemetry.WantsSelf(obs): whether Step should read
+	// the clock and emit StepSamples.
+	selfWanted bool
+
+	// Self-observability counters, bumped on the invocation path only in
+	// their rare branches (a seqlock retry, a contended stripe) so the
+	// uncontended fast path stays untouched. lastRetries/lastWait are
+	// writer-owned cursors for per-minute deltas.
+	seqRetries  atomic.Uint64
+	stripeWait  atomic.Uint64
+	lastRetries uint64
+	lastWait    uint64
 
 	// barrier serializes writers against each other and against the
 	// read-only accessor surface (Minute, NumFunctions, lookups — all
@@ -275,13 +295,15 @@ func New(cfg Config) (*Runtime, error) {
 	cfg.Assignment = append(models.Assignment(nil), cfg.Assignment...)
 	cfg.Names = append([]string(nil), cfg.Names...)
 	r := &Runtime{
-		cfg:       cfg,
-		clock:     cfg.Clock,
-		obs:       cfg.Observer,
-		mode:      mode,
-		fns:       make([]*fnState, len(cfg.Assignment)),
-		countsBuf: make([]int, len(cfg.Assignment)),
-		reg:       reg,
+		cfg:        cfg,
+		clock:      cfg.Clock,
+		obs:        cfg.Observer,
+		mode:       mode,
+		tracer:     cfg.Tracer,
+		selfWanted: telemetry.WantsSelf(cfg.Observer),
+		fns:        make([]*fnState, len(cfg.Assignment)),
+		countsBuf:  make([]int, len(cfg.Assignment)),
+		reg:        reg,
 	}
 	for i := range r.fns {
 		r.fns[i] = &fnState{
@@ -534,25 +556,40 @@ func (r *Runtime) serveLocked(st *fnState, fn, minute int) (Invocation, error) {
 // opened (or completed) in between — release and retry, so a counted
 // invocation is guaranteed to have executed entirely inside one stable
 // epoch, i.e. entirely inside one minute. The retry loop allocates
-// nothing (pinned by TestEpochInvokeZeroAllocs).
-func (r *Runtime) invokeEpoch(fn int) (Invocation, error) {
+// nothing (pinned by TestEpochInvokeZeroAllocs). It reports how many
+// times it retried (for sampled traces); retries and contended stripe
+// acquisitions also feed the self-observability counters, paid only on
+// their rare branches.
+func (r *Runtime) invokeEpoch(fn int) (Invocation, int, error) {
+	retries := 0
 	for {
 		e := r.seq.Load()
 		if e&1 != 0 {
+			retries++
 			goruntime.Gosched()
 			continue
 		}
 		if r.closed.Load() {
-			return Invocation{}, ErrClosed
+			if retries > 0 {
+				r.seqRetries.Add(uint64(retries))
+			}
+			return Invocation{}, retries, ErrClosed
 		}
 		fns := *r.fnsA.Load()
 		if fn < 0 || fn >= len(fns) {
-			return Invocation{}, fmt.Errorf("%w %d", ErrUnknownFunction, fn)
+			if retries > 0 {
+				r.seqRetries.Add(uint64(retries))
+			}
+			return Invocation{}, retries, fmt.Errorf("%w %d", ErrUnknownFunction, fn)
 		}
 		st := fns[fn]
-		st.mu.Lock()
+		if !st.mu.TryLock() {
+			r.stripeWait.Add(1)
+			st.mu.Lock()
+		}
 		if r.seq.Load() != e {
 			st.mu.Unlock()
+			retries++
 			goruntime.Gosched()
 			continue
 		}
@@ -562,7 +599,10 @@ func (r *Runtime) invokeEpoch(fn int) (Invocation, error) {
 		// this body.
 		inv, err := r.serveLocked(st, fn, int(r.minuteA.Load()))
 		st.mu.Unlock()
-		return inv, err
+		if retries > 0 {
+			r.seqRetries.Add(uint64(retries))
+		}
+		return inv, retries, err
 	}
 }
 
@@ -579,7 +619,10 @@ func (r *Runtime) invokeBarrier(fn int) (Invocation, error) {
 		return Invocation{}, fmt.Errorf("%w %d", ErrUnknownFunction, fn)
 	}
 	st := r.fns[fn]
-	st.mu.Lock()
+	if !st.mu.TryLock() {
+		r.stripeWait.Add(1)
+		st.mu.Lock()
+	}
 	inv, err := r.serveLocked(st, fn, r.minute)
 	st.mu.Unlock()
 	r.unlockShared()
@@ -602,14 +645,39 @@ func (r *Runtime) invokeBarrier(fn int) (Invocation, error) {
 // Deregister calls.
 func (r *Runtime) Invoke(fn int) (Invocation, error) {
 	r.ensureStarted()
+	// Tracer sampling is decided up front, before the outcome is known, so
+	// the number of recorded traces depends only on how many Invoke calls
+	// arrived — identical across modes by construction. With sampling
+	// disabled Sample is a single atomic load.
+	sampled := r.tracer.Sample()
+	var t0 time.Time
+	if sampled {
+		t0 = time.Now()
+	}
 	var (
-		inv Invocation
-		err error
+		inv     Invocation
+		retries int
+		err     error
 	)
 	if r.mode == ModeEpoch {
-		inv, err = r.invokeEpoch(fn)
+		inv, retries, err = r.invokeEpoch(fn)
 	} else {
 		inv, err = r.invokeBarrier(fn)
+	}
+	if sampled {
+		tr := provenance.Trace{
+			Minute:         inv.Minute,
+			Function:       fn,
+			Stripe:         fn,
+			Variant:        inv.Variant,
+			Cold:           inv.Cold,
+			SeqlockRetries: retries,
+			LatencyUs:      float64(time.Since(t0)) / float64(time.Microsecond),
+		}
+		if err != nil {
+			tr.Error = err.Error()
+		}
+		r.tracer.Record(tr)
 	}
 	if err != nil {
 		return Invocation{}, err
@@ -652,6 +720,13 @@ func (r *Runtime) Step() error {
 		return ErrClosed
 	}
 	r.startLocked()
+	// Self-observability: time the barrier hold when (and only when) a
+	// chained observer consumes self samples — WantsSelf is cached at
+	// construction, so uninstrumented runtimes never read the clock here.
+	var t0 time.Time
+	if r.selfWanted {
+		t0 = time.Now()
+	}
 	// Open the window manually: the harvest loop below is the drain — each
 	// stripe lock acquisition waits out that stripe's last in-flight
 	// invocation, and once seq is odd no new body can start.
@@ -667,9 +742,36 @@ func (r *Runtime) Step() error {
 	r.minute++
 	r.minuteA.Store(int64(r.minute))
 	r.applyDecisionsLocked(r.cfg.Policy.KeepAlive(r.minute))
+	if r.selfWanted {
+		// Emitted inside the write window, after the minute's keep-alive
+		// and minute samples, reporting the minute that just closed and
+		// the hot-path counter deltas accumulated during it.
+		retries, wait := r.seqRetries.Load(), r.stripeWait.Load()
+		telemetry.ObserveStep(r.obs, telemetry.StepSample{
+			Minute:           r.minute - 1,
+			Seconds:          time.Since(t0).Seconds(),
+			SeqlockRetries:   retries - r.lastRetries,
+			StripeContention: wait - r.lastWait,
+		})
+		r.lastRetries, r.lastWait = retries, wait
+	}
 	r.endWrite()
 	return nil
 }
+
+// SeqlockRetries returns the cumulative number of epoch-mode Invoke
+// fast-path retries (seqlock re-check failures and odd-seq spins) — 0 in
+// the striped and serial modes, which never retry.
+func (r *Runtime) SeqlockRetries() uint64 { return r.seqRetries.Load() }
+
+// StripeContention returns the cumulative number of Invoke stripe-lock
+// acquisitions that found the stripe already held — 0 in serial mode,
+// whose exclusive barrier admits one invocation at a time.
+func (r *Runtime) StripeContention() uint64 { return r.stripeWait.Load() }
+
+// Tracer returns the sampled invocation tracer attached at construction
+// (nil when untraced).
+func (r *Runtime) Tracer() *provenance.Tracer { return r.tracer }
 
 // Minute returns the current simulated minute.
 func (r *Runtime) Minute() int {

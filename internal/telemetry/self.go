@@ -1,0 +1,167 @@
+package telemetry
+
+import "strconv"
+
+// Self-observability: the system watching its own hot paths. Step, scan,
+// and flush samples describe what the *engine* cost — minute-barrier
+// latency, per-shard scan duration, observer-flush duration — rather than
+// what the policy decided. Like lifecycle events they are an optional
+// observer extension: producers emit them behind their minute barriers
+// (never per invocation), type-asserting at the emission site, so existing
+// observers keep compiling and the invocation fast path is untouched.
+//
+// Wall-clock durations differ run to run and mode to mode, so the
+// differential Recorder deliberately does NOT implement SelfObserver —
+// its retained streams stay deterministic and DeepEqual-comparable.
+
+// StepSample reports one runtime minute-barrier advance. Seconds is the
+// wall time the barrier was held; SeqlockRetries and StripeContention are
+// the *deltas* accumulated on the invocation path since the previous step
+// (zero in serial mode, where neither mechanism exists).
+type StepSample struct {
+	Minute           int
+	Seconds          float64
+	SeqlockRetries   uint64
+	StripeContention uint64
+}
+
+// ScanSample reports one shard's slice of a per-minute controller scan
+// (gather or record). Shard is -1 for a serial (unsharded) scan; Functions
+// is the number of slots the shard touched.
+type ScanSample struct {
+	Minute    int
+	Shard     int
+	Functions int
+	Seconds   float64
+}
+
+// FlushSample reports the duration of one observer flush — the post-scan
+// drain that replays sharded workers' buffered samples in serial order.
+type FlushSample struct {
+	Minute  int
+	Seconds float64
+}
+
+// SelfObserver is the optional extension an Observer can implement to
+// receive engine self-observability samples.
+type SelfObserver interface {
+	ObserveStep(StepSample)
+	ObserveScan(ScanSample)
+	ObserveFlush(FlushSample)
+}
+
+// WantsSelf reports whether obs (or, for a fan-out, any of its children)
+// actually consumes self samples. Producers use it to skip the clock reads
+// that feed duration samples when nobody is listening.
+func WantsSelf(obs Observer) bool {
+	switch o := obs.(type) {
+	case nil:
+		return false
+	case Nop:
+		return false
+	case multi:
+		for _, c := range o {
+			if WantsSelf(c) {
+				return true
+			}
+		}
+		return false
+	}
+	_, ok := obs.(SelfObserver)
+	return ok
+}
+
+// ObserveStep forwards a step sample to obs if (and only if) it implements
+// SelfObserver — the nil-safe emission helper producers use.
+func ObserveStep(obs Observer, s StepSample) {
+	if so, ok := obs.(SelfObserver); ok {
+		so.ObserveStep(s)
+	}
+}
+
+// ObserveScan forwards a scan sample like ObserveStep.
+func ObserveScan(obs Observer, s ScanSample) {
+	if so, ok := obs.(SelfObserver); ok {
+		so.ObserveScan(s)
+	}
+}
+
+// ObserveFlush forwards a flush sample like ObserveStep.
+func ObserveFlush(obs Observer, s FlushSample) {
+	if so, ok := obs.(SelfObserver); ok {
+		so.ObserveFlush(s)
+	}
+}
+
+// ObserveStep implements SelfObserver.
+func (Nop) ObserveStep(StepSample) {}
+
+// ObserveScan implements SelfObserver.
+func (Nop) ObserveScan(ScanSample) {}
+
+// ObserveFlush implements SelfObserver.
+func (Nop) ObserveFlush(FlushSample) {}
+
+// ObserveStep implements SelfObserver: the fan-out forwards to the
+// children that understand self samples and skips the rest.
+func (m multi) ObserveStep(s StepSample) {
+	for _, o := range m {
+		if so, ok := o.(SelfObserver); ok {
+			so.ObserveStep(s)
+		}
+	}
+}
+
+// ObserveScan implements SelfObserver.
+func (m multi) ObserveScan(s ScanSample) {
+	for _, o := range m {
+		if so, ok := o.(SelfObserver); ok {
+			so.ObserveScan(s)
+		}
+	}
+}
+
+// ObserveFlush implements SelfObserver.
+func (m multi) ObserveFlush(s FlushSample) {
+	for _, o := range m {
+		if so, ok := o.(SelfObserver); ok {
+			so.ObserveFlush(s)
+		}
+	}
+}
+
+// ObserveStep implements SelfObserver: the barrier-hold duration feeds the
+// step-duration histogram.
+func (t *Telemetry) ObserveStep(s StepSample) {
+	t.stepDur.Observe(s.Seconds)
+}
+
+// ObserveScan implements SelfObserver: scan duration feeds the per-shard
+// scan histogram (shard "-1" is the serial scan).
+func (t *Telemetry) ObserveScan(s ScanSample) {
+	t.mu.Lock()
+	h := t.scanCache[s.Shard]
+	if h == nil {
+		h = t.scanDur.With(strconv.Itoa(s.Shard))
+		t.scanCache[s.Shard] = h
+	}
+	t.mu.Unlock()
+	h.Observe(s.Seconds)
+}
+
+// ObserveFlush implements SelfObserver.
+func (t *Telemetry) ObserveFlush(s FlushSample) {
+	t.flushDur.Observe(s.Seconds)
+}
+
+// DefEngineDurationBuckets spans engine hot-path durations: sub-microsecond
+// idle scans up to second-long million-slot sweeps.
+func DefEngineDurationBuckets() []float64 {
+	return []float64{1e-6, 5e-6, 1e-5, 5e-5, 1e-4, 5e-4, 1e-3, 5e-3, 1e-2, 5e-2, 0.1, 0.5, 1}
+}
+
+var (
+	_ SelfObserver = Nop{}
+	_ SelfObserver = (*Telemetry)(nil)
+	_ SelfObserver = multi(nil)
+)

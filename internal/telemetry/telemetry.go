@@ -36,15 +36,19 @@ type Telemetry struct {
 	peakActive  *Gauge
 	registers   *Counter
 	deregisters *Counter
+	stepDur     *Histogram
+	scanDur     *HistogramVec // {shard}
+	flushDur    *Histogram
 
-	mu       sync.Mutex
-	invCache map[invKey]*Counter
-	svcCache map[int]*Histogram
-	kaCache  map[kaKey]*Gauge
-	kaLast   map[int]kaKey // variant each function last kept alive
-	dgCache  map[int]*Counter
-	schCache map[int]*Counter
-	fnLabel  map[int]string // strconv.Itoa cache
+	mu        sync.Mutex
+	invCache  map[invKey]*Counter
+	svcCache  map[int]*Histogram
+	kaCache   map[kaKey]*Gauge
+	kaLast    map[int]kaKey // variant each function last kept alive
+	dgCache   map[int]*Counter
+	schCache  map[int]*Counter
+	scanCache map[int]*Histogram
+	fnLabel   map[int]string // strconv.Itoa cache
 }
 
 type invKey struct {
@@ -65,15 +69,16 @@ func New(cfg Config) (*Telemetry, error) {
 		return nil, err
 	}
 	t := &Telemetry{
-		reg:      NewRegistry(),
-		log:      log,
-		invCache: make(map[invKey]*Counter),
-		svcCache: make(map[int]*Histogram),
-		kaCache:  make(map[kaKey]*Gauge),
-		kaLast:   make(map[int]kaKey),
-		dgCache:  make(map[int]*Counter),
-		schCache: make(map[int]*Counter),
-		fnLabel:  make(map[int]string),
+		reg:       NewRegistry(),
+		log:       log,
+		invCache:  make(map[invKey]*Counter),
+		svcCache:  make(map[int]*Histogram),
+		kaCache:   make(map[kaKey]*Gauge),
+		kaLast:    make(map[int]kaKey),
+		dgCache:   make(map[int]*Counter),
+		schCache:  make(map[int]*Counter),
+		scanCache: make(map[int]*Histogram),
+		fnLabel:   make(map[int]string),
 	}
 	if t.invocations, err = t.reg.NewCounterVec("pulse_function_invocations_total",
 		"Invocations served, by function, model variant, and start kind.",
@@ -124,6 +129,25 @@ func New(cfg Config) (*Telemetry, error) {
 		return nil, err
 	}
 	t.deregisters = deregVec.With()
+	stepVec, err := t.reg.NewHistogramVec("pulse_step_duration_seconds",
+		"Wall time the runtime minute barrier is held per Step.",
+		DefEngineDurationBuckets())
+	if err != nil {
+		return nil, err
+	}
+	t.stepDur = stepVec.With()
+	if t.scanDur, err = t.reg.NewHistogramVec("pulse_shard_scan_duration_seconds",
+		"Per-minute controller scan duration, by shard (-1 = serial scan).",
+		DefEngineDurationBuckets(), "shard"); err != nil {
+		return nil, err
+	}
+	flushVec, err := t.reg.NewHistogramVec("pulse_observer_flush_duration_seconds",
+		"Duration of the post-scan observer flush replaying sharded samples in serial order.",
+		DefEngineDurationBuckets())
+	if err != nil {
+		return nil, err
+	}
+	t.flushDur = flushVec.With()
 	return t, nil
 }
 
