@@ -3,18 +3,19 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-parallel race stress bench bench-runtime bench-matrix experiments report examples clean verify alloc lint e2e
+.PHONY: all build vet test test-parallel race stress bench bench-runtime bench-matrix bench-scale bench-scale-full experiments report examples clean verify alloc lint e2e
 
 all: build vet test
 
 # Everything CI's test job checks, in one target.
 verify: build vet test
 
-# Zero-allocation assertions for the hot paths (controller idle minute,
-# telemetry buffers/fan-out, attribution accountant and ring store).
-# Mirrors the CI "alloc" job.
+# Zero-allocation assertions for the hot paths (controller idle minute —
+# dense and arena-backed idle-skip, including the million-slot pin —
+# sparse runtime Step, telemetry buffers/fan-out, attribution accountant
+# and ring store). Mirrors the CI "alloc" job.
 alloc:
-	$(GO) test ./... -run 'ZeroAllocs|DoesNotAllocate' -count=1
+	$(GO) test ./... -run 'ZeroAllocs|DoesNotAllocate|NoAllocs' -count=1
 
 build:
 	$(GO) build ./...
@@ -72,6 +73,19 @@ bench-matrix:
 	$(GO) run ./cmd/pulseload -gomaxprocs 1,4 -functions 12,96 -mixes hotspot,zipf -duration 2s -out BENCH_runtime.json
 
 bench-runtime: bench-matrix
+
+# Population-scale benchmark: the 100k-function cell with hard budgets on
+# resting bytes per function and mean idle minute-step latency. Mirrors the
+# CI "bench-scale" job, which uploads the JSON as an artifact. The full
+# {10k, 100k, 1M} sweep published in BENCH_runtime.json comes from
+# bench-scale-full (minutes, not seconds, at the 1M cell).
+bench-scale:
+	$(GO) run ./cmd/pulseload -scale-only -scale 100000 \
+		-scale-max-bytes-per-fn 1024 -scale-max-idle-step-ms 1 \
+		-out BENCH_scale.json
+
+bench-scale-full:
+	$(GO) run ./cmd/pulseload -scale-only -scale 10000,100000,1000000 -out BENCH_scale.json
 
 # Full experiment suite at paper-like scale (hours on a small machine).
 experiments:

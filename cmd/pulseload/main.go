@@ -13,6 +13,14 @@
 // mode's advantage needs parallelism and contention: expect parity at
 // GOMAXPROCS 1 and a growing lead on the hotspot mix from GOMAXPROCS 4 up.
 //
+// With -scale, a population-scale sweep follows (or replaces, with
+// -scale-only, for the CI bench-scale job) the matrix: per population it
+// reports resting heap bytes per function and idle/active minute-step
+// latency into the output's scale section, optionally gated by the
+// -scale-max-bytes-per-fn and -scale-max-idle-step-ms budgets:
+//
+//	pulseload -scale-only -scale 10000,100000,1000000 -scale-active-pct 1
+//
 // After the matrix, a tracer-delta pair benchmarks epoch mode with the
 // sampled invocation tracer off vs on at -trace-stride (default 1024,
 // 0 skips the measurement) and publishes the throughput overhead into the
@@ -41,14 +49,20 @@ import (
 // benchFile is the BENCH_runtime.json schema: raw per-cell results plus the
 // grouped per-shape mode comparison.
 type benchFile struct {
-	Bench    string                `json:"bench"`
-	Policy   string                `json:"policy"`
-	HostCPUs int                   `json:"host_cpus"`
-	Results  []runtime.LoadResult  `json:"results"`
-	Summary  []runtime.MatrixPoint `json:"summary"`
+	Bench    string `json:"bench"`
+	Policy   string `json:"policy"`
+	HostCPUs int    `json:"host_cpus"`
+	// HostNote annotates how the host shapes the numbers (set on 1-CPU
+	// hosts, where the mode speedup ratios reflect serialized parallelism).
+	HostNote string                `json:"host_note,omitempty"`
+	Results  []runtime.LoadResult  `json:"results,omitempty"`
+	Summary  []runtime.MatrixPoint `json:"summary,omitempty"`
 	// TracerDelta is the tracer-on vs tracer-off epoch throughput
 	// comparison; absent when -trace-stride is 0.
 	TracerDelta *runtime.TracerDelta `json:"tracer_delta,omitempty"`
+	// Scale is the population-scale sweep (bytes per function and
+	// idle/active minute-step latency); absent when -scale is empty.
+	Scale []runtime.ScaleResult `json:"scale,omitempty"`
 }
 
 func main() {
@@ -102,6 +116,16 @@ func run() error {
 		"sampling period for the tracer-overhead pair after the matrix (0 skips it)")
 	modes := flag.String("modes", strings.Join([]string{runtime.ModeSerial, runtime.ModeStriped, runtime.ModeEpoch}, ","),
 		"comma-separated runtime modes to benchmark")
+	scale := flag.String("scale", "", "comma-separated populations for the scale sweep (empty skips it)")
+	scaleActivePct := flag.Float64("scale-active-pct", runtime.DefaultScaleActivePct,
+		"percentage of the population invoked per active scale minute")
+	scaleMinutes := flag.Int("scale-minutes", runtime.DefaultScaleMinutes, "timed minute steps per scale phase")
+	scaleMode := flag.String("scale-mode", runtime.ModeEpoch, "serving mode for the scale sweep")
+	scaleOnly := flag.Bool("scale-only", false, "run only the scale sweep, skipping the serving matrix")
+	scaleMaxBytes := flag.Float64("scale-max-bytes-per-fn", 0,
+		"fail if any scale cell exceeds this many resting heap bytes per function (0 disables)")
+	scaleMaxIdleMs := flag.Float64("scale-max-idle-step-ms", 0,
+		"fail if any scale cell's mean idle minute step exceeds this many milliseconds (0 disables)")
 	out := flag.String("out", "BENCH_runtime.json", "output file ('-' for stdout only)")
 	flag.Parse()
 
@@ -118,11 +142,35 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	for _, w := range workerCounts {
+		if w < 0 {
+			return fmt.Errorf("-workers entries must be non-negative (got %d; 0 means 2×GOMAXPROCS)", w)
+		}
+	}
 	var gmps []int
 	if *gomaxprocs != "" {
 		if gmps, err = intList("gomaxprocs", *gomaxprocs); err != nil {
 			return err
 		}
+		for _, g := range gmps {
+			if g <= 0 {
+				return fmt.Errorf("-gomaxprocs entries must be positive (got %d)", g)
+			}
+		}
+	}
+	var scalePops []int
+	if *scale != "" {
+		if scalePops, err = intList("scale", *scale); err != nil {
+			return err
+		}
+		for _, n := range scalePops {
+			if n <= 0 {
+				return fmt.Errorf("-scale entries must be positive (got %d)", n)
+			}
+		}
+	}
+	if *scaleOnly && len(scalePops) == 0 {
+		return fmt.Errorf("-scale-only requires a -scale population list")
 	}
 
 	cat := pulse.Catalog()
@@ -154,6 +202,23 @@ func run() error {
 		return newTracedRuntime(fns, mode, nil)
 	}
 
+	file := benchFile{
+		Bench:    "runtime-serving-matrix",
+		Policy:   *policyName,
+		HostCPUs: goruntime.NumCPU(),
+	}
+	if file.HostCPUs == 1 {
+		file.HostNote = "measured on a 1-CPU host: mode speedup ratios reflect serialized parallelism, and scale latencies have no background-GC overlap"
+	}
+	if *scaleOnly {
+		file.Bench = "runtime-scale"
+		if err := runScaleSweep(&file, scalePops, *scaleActivePct, *scaleMinutes, *scaleMode,
+			*scaleMaxBytes, *scaleMaxIdleMs, newRuntime); err != nil {
+			return err
+		}
+		return writeBenchFile(file, *out)
+	}
+
 	var failed int64
 	results, err := runtime.RunMatrix(runtime.MatrixConfig{
 		GOMAXPROCS: gmps,
@@ -178,14 +243,8 @@ func run() error {
 	if failed > 0 {
 		return fmt.Errorf("%d failed invocations across the matrix", failed)
 	}
-
-	file := benchFile{
-		Bench:    "runtime-serving-matrix",
-		Policy:   *policyName,
-		HostCPUs: goruntime.NumCPU(),
-		Results:  results,
-		Summary:  runtime.SummarizeMatrix(results),
-	}
+	file.Results = results
+	file.Summary = runtime.SummarizeMatrix(results)
 
 	if *traceStride > 0 {
 		delta, err := runtime.RunTracerDelta(runtime.TracerDeltaConfig{
@@ -216,18 +275,63 @@ func run() error {
 		}
 	}
 
+	if len(scalePops) > 0 {
+		if err := runScaleSweep(&file, scalePops, *scaleActivePct, *scaleMinutes, *scaleMode,
+			*scaleMaxBytes, *scaleMaxIdleMs, newRuntime); err != nil {
+			return err
+		}
+	}
+	return writeBenchFile(file, *out)
+}
+
+// runScaleSweep runs the population-scale sweep into file.Scale and applies
+// the optional per-cell budgets: resting bytes per function and mean idle
+// minute-step latency. A budget breach is a hard error — this is what the CI
+// bench-scale job gates on.
+func runScaleSweep(file *benchFile, pops []int, activePct float64, minutes int, mode string,
+	maxBytesPerFn, maxIdleStepMs float64, newRuntime func(int, string) (*runtime.Runtime, error)) error {
+	scaleResults, err := runtime.RunScale(runtime.ScaleConfig{
+		Populations: pops,
+		ActivePct:   activePct,
+		Minutes:     minutes,
+		Mode:        mode,
+		NewRuntime:  newRuntime,
+		Progress: func(res runtime.ScaleResult) {
+			fmt.Printf("scale %-8d %-8s build %6.2fs  %7.0f B/fn  idle step %9.1fµs  active step %9.1fµs (%d slots)\n",
+				res.Functions, res.Mode, res.BuildSeconds, res.BytesPerFunction,
+				res.IdleStepMicros, res.ActiveStepMicros, res.ActiveFunctions)
+		},
+	})
+	if err != nil {
+		return err
+	}
+	file.Scale = scaleResults
+	for _, res := range scaleResults {
+		if maxBytesPerFn > 0 && res.BytesPerFunction > maxBytesPerFn {
+			return fmt.Errorf("scale budget breach at %d functions: %.0f bytes/function exceeds budget %.0f",
+				res.Functions, res.BytesPerFunction, maxBytesPerFn)
+		}
+		if maxIdleStepMs > 0 && res.IdleStepMicros > maxIdleStepMs*1000 {
+			return fmt.Errorf("scale budget breach at %d functions: idle step %.1fµs exceeds budget %.1fms",
+				res.Functions, res.IdleStepMicros, maxIdleStepMs)
+		}
+	}
+	return nil
+}
+
+func writeBenchFile(file benchFile, out string) error {
 	enc, err := json.MarshalIndent(file, "", "  ")
 	if err != nil {
 		return err
 	}
 	enc = append(enc, '\n')
-	if *out == "-" {
+	if out == "-" {
 		_, err = os.Stdout.Write(enc)
 		return err
 	}
-	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+	if err := os.WriteFile(out, enc, 0o644); err != nil {
 		return err
 	}
-	fmt.Printf("wrote %s\n", *out)
+	fmt.Printf("wrote %s\n", out)
 	return nil
 }

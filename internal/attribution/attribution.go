@@ -99,9 +99,19 @@ type fnState struct {
 	neverCold     int
 	invokedMin    int   // minutes with ≥1 invocation (= oracle keep-alive minutes)
 	fixedAliveMin int   // minutes the fixed-high shadow kept alive
-	aliveMin      []int // actual kept-alive minutes, by variant index
-	invByVariant  []int // actual invocations, by variant index
+	aliveMin      []int // actual kept-alive minutes, by variant index (nil once retired)
+	invByVariant  []int // actual invocations, by variant index (nil once retired)
 	downgrades    int
+
+	// Folded per-variant sums, computed once at retirement — in the same
+	// variant order functionReport uses, so reports stay bit-identical —
+	// after which aliveMin and invByVariant are released. This is what
+	// bounds a churning accountant's steady-state heap: a departed slot
+	// keeps only this fixed-size struct, not its per-variant ledgers.
+	foldedKaMBMin float64 // Σ aliveMin[v] × memMB[v]
+	foldedKaCost  float64 // Σ aliveMin[v] × costPerMin[v]
+	foldedAccMin  float64 // Σ aliveMin[v] × accPct[v]
+	foldedAccSum  float64 // Σ invByVariant[v] × accPct[v]
 }
 
 // Accountant is the online counterfactual attribution engine. It
@@ -290,7 +300,9 @@ func (a *Accountant) ObserveKeepAlive(s telemetry.KeepAliveSample) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	a.roll(s.Minute)
-	if s.Function < 0 || s.Function >= len(a.fns) {
+	if s.Function < 0 || s.Function >= len(a.fns) || a.fns[s.Function].retired {
+		// Retired slots are pinned to NoVariant by every well-formed feed;
+		// a contrary sample is foreign and is dropped (the ledger is gone).
 		return
 	}
 	fi := &a.fams[a.famOf[s.Function]]
@@ -310,7 +322,9 @@ func (a *Accountant) ObserveInvocation(s telemetry.InvocationSample) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	a.roll(s.Minute)
-	if s.Function < 0 || s.Function >= len(a.fns) {
+	if s.Function < 0 || s.Function >= len(a.fns) || a.fns[s.Function].retired {
+		// A retired function cannot be invoked; a contrary sample is a
+		// foreign feed and is dropped (the per-variant ledger is gone).
 		return
 	}
 	n := s.Count
@@ -410,7 +424,10 @@ func (a *Accountant) ObserveRegister(s telemetry.RegisterSample) {
 // shadow stops charging from the sample's minute on (a deleted function
 // would not have been kept alive by any baseline either). Retirement is
 // applied before the clock advances so the minute the sample names is the
-// first one the shadow skips.
+// first one the shadow skips. The per-variant ledgers are folded into the
+// fixed-size retired sums and released: a retired slot cannot accumulate
+// further kept-alive minutes or invocations (the policy pins it to
+// NoVariant and the platform refuses to serve it), so the fold is final.
 func (a *Accountant) ObserveDeregister(s telemetry.DeregisterSample) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
@@ -418,7 +435,18 @@ func (a *Accountant) ObserveDeregister(s telemetry.DeregisterSample) {
 		return
 	}
 	f := &a.fns[s.Function]
-	f.retired = true
+	if !f.retired {
+		f.retired = true
+		fi := &a.fams[a.famOf[s.Function]]
+		for v := 0; v < len(fi.memMB); v++ {
+			m := float64(f.aliveMin[v])
+			f.foldedKaMBMin += m * fi.memMB[v]
+			f.foldedKaCost += m * fi.costPerMin[v]
+			f.foldedAccMin += m * fi.accPct[v]
+			f.foldedAccSum += float64(f.invByVariant[v]) * fi.accPct[v]
+		}
+		f.aliveMin, f.invByVariant = nil, nil
+	}
 	f.fixedAlive = false
 	a.roll(s.Minute)
 }

@@ -110,13 +110,23 @@ func (a *Accountant) functionReport(fn int) FunctionReport {
 	}
 
 	// Live policy: kept-alive minutes per variant × that variant's memory,
-	// cost, and accuracy; invocation accuracy weighted per variant.
-	for v := 0; v < len(fi.memMB); v++ {
-		m := float64(f.aliveMin[v])
-		fr.Actual.KeepAliveMBMinutes += m * fi.memMB[v]
-		fr.Actual.KeepAliveCostUSD += m * fi.costPerMin[v]
-		fr.Actual.AccuracyMinutesPct += m * fi.accPct[v]
-		fr.Actual.MeanAccuracyPct += float64(f.invByVariant[v]) * fi.accPct[v]
+	// cost, and accuracy; invocation accuracy weighted per variant. A
+	// retired slot's ledgers were folded (in this same variant order) into
+	// the fixed-size sums at deregistration, so the values — and the float
+	// rounding — are identical either way.
+	if f.retired && f.aliveMin == nil {
+		fr.Actual.KeepAliveMBMinutes = f.foldedKaMBMin
+		fr.Actual.KeepAliveCostUSD = f.foldedKaCost
+		fr.Actual.AccuracyMinutesPct = f.foldedAccMin
+		fr.Actual.MeanAccuracyPct = f.foldedAccSum
+	} else {
+		for v := 0; v < len(fi.memMB); v++ {
+			m := float64(f.aliveMin[v])
+			fr.Actual.KeepAliveMBMinutes += m * fi.memMB[v]
+			fr.Actual.KeepAliveCostUSD += m * fi.costPerMin[v]
+			fr.Actual.AccuracyMinutesPct += m * fi.accPct[v]
+			fr.Actual.MeanAccuracyPct += float64(f.invByVariant[v]) * fi.accPct[v]
+		}
 	}
 	fr.Actual.Invocations = f.invocations
 	fr.Actual.ColdStarts = f.actualCold

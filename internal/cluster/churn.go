@@ -81,6 +81,14 @@ func runChurn(cfg Config, p Policy) (*Result, error) {
 
 	var slots []churnSlot
 	var counts []int
+
+	// Idle-skip (see Run): with no observer attached, an ActiveSetPolicy's
+	// accounting visits only the slots that can hold a decision, and the
+	// record fan-in hands the policy the minute's ascending invoked list.
+	// The tombstone cross-check still runs for every listed slot.
+	asp, sparse := p.(ActiveSetPolicy)
+	sparse = sparse && cfg.Observer == nil
+	var invoked []int32
 	register := func(t, ti int) error {
 		name := tr.Functions[ti].Name
 		fam := cfg.Assignment[ti]
@@ -163,6 +171,57 @@ func runChurn(cfg Config, p Policy) (*Result, error) {
 		// their samples are still emitted (like the runtime's) so observers
 		// see one keep-alive sample per issued slot per minute.
 		var kamMB, costUSD float64
+		if sparse {
+			for _, fn32 := range asp.ActiveSlots() {
+				fn := int(fn32)
+				vi := alive[fn]
+				if vi == NoVariant {
+					continue
+				}
+				s := &slots[fn]
+				if !s.live {
+					return nil, fmt.Errorf("cluster: policy %q kept variant %d alive for deregistered function %d at minute %d",
+						p.Name(), vi, fn, t)
+				}
+				fam := &cfg.Catalog.Families[s.fam]
+				if vi < 0 || vi >= fam.NumVariants() {
+					return nil, fmt.Errorf("cluster: policy %q kept invalid variant %d of family %q alive for function %d at minute %d",
+						p.Name(), vi, fam.Name, fn, t)
+				}
+				mem := fam.Variants[vi].MemoryMB
+				kamMB += mem
+				costUSD += cfg.Cost.KeepAliveUSDPerMinute(mem)
+			}
+			res.PerMinuteKaMMB[t] = kamMB
+			res.PerMinuteCostUSD[t] = costUSD
+			res.KeepAliveCostUSD += costUSD
+
+			invoked = invoked[:0]
+			for fn := range slots {
+				s := &slots[fn]
+				c := 0
+				if s.live {
+					c = tr.Functions[s.traceIdx].Counts[t]
+				}
+				counts[fn] = c
+				if c == 0 {
+					continue
+				}
+				invoked = append(invoked, int32(fn))
+				if err := serveFunction(&cfg, p, res, t, fn, c, alive[fn], s.fam); err != nil {
+					return nil, err
+				}
+			}
+
+			if cfg.MeasureOverhead {
+				start = time.Now()
+			}
+			asp.RecordInvocationsSparse(t, counts, invoked)
+			if cfg.MeasureOverhead {
+				res.PolicyOverheadSec += time.Since(start).Seconds()
+			}
+			continue
+		}
 		for fn, vi := range alive {
 			s := &slots[fn]
 			if vi == NoVariant {

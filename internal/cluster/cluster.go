@@ -73,6 +73,27 @@ type Policy interface {
 	RecordInvocations(t int, counts []int)
 }
 
+// ActiveSetPolicy is a Policy that maintains an incremental index of the
+// slots whose decision can be anything but NoVariant — the "active set".
+// It lets the engine's per-minute accounting and record paths skip idle
+// slots instead of scanning the whole population; results must stay
+// bit-identical because every slot outside the set is guaranteed NoVariant
+// and the set is iterated in ascending slot order (the dense scan order).
+type ActiveSetPolicy interface {
+	Policy
+	// RecordInvocationsSparse is RecordInvocations driven by a pre-built
+	// strictly ascending list of the slots with counts[fn] > 0, so the
+	// policy need not scan the dense counts vector. counts remains the
+	// authoritative per-slot values; the decisions must be identical to a
+	// RecordInvocations call with the same counts.
+	RecordInvocationsSparse(t int, counts []int, invoked []int32)
+	// ActiveSlots returns the current active set, strictly ascending. It is
+	// valid after a KeepAlive call until the next policy call, aliases
+	// policy-owned state, and must not be mutated. Every slot outside the
+	// list decided NoVariant for the minute.
+	ActiveSlots() []int32
+}
+
 // Config assembles a simulation run.
 type Config struct {
 	Trace      *trace.Trace
@@ -222,6 +243,15 @@ func Run(cfg Config, p Policy) (*Result, error) {
 	// carry an observer — see above).
 	timing := telemetry.WantsSelf(cfg.Observer)
 
+	// Idle-skip: when the policy tracks its active set and no observer
+	// wants per-slot samples, the serial accounting loop visits only the
+	// slots that can hold a decision, and the record fan-in hands the
+	// policy a pre-built invoked list. Both iterate ascending, so every
+	// float accumulates in dense-scan order — results are bit-identical.
+	asp, sparse := p.(ActiveSetPolicy)
+	sparse = sparse && cfg.Observer == nil && eng == nil
+	var invoked []int32
+
 	for t := 0; t < tr.Horizon; t++ {
 		var start time.Time
 		if cfg.MeasureOverhead {
@@ -256,6 +286,25 @@ func Run(cfg Config, p Policy) (*Result, error) {
 						costUSD += cfg.Cost.KeepAliveUSDPerMinute(ev.mem)
 					}
 				}
+			}
+		} else if sparse {
+			// Idle-skip accounting: only listed slots can decide anything
+			// but NoVariant, and the list is ascending, so the sums match
+			// the dense loop's bit for bit.
+			for _, fn32 := range asp.ActiveSlots() {
+				fn := int(fn32)
+				vi := alive[fn]
+				if vi == NoVariant {
+					continue
+				}
+				fam := &cfg.Catalog.Families[cfg.Assignment[fn]]
+				if vi < 0 || vi >= fam.NumVariants() {
+					return nil, fmt.Errorf("cluster: policy %q kept invalid variant %d of family %q alive for function %d at minute %d",
+						p.Name(), vi, fam.Name, fn, t)
+				}
+				mem := fam.Variants[vi].MemoryMB
+				kamMB += mem
+				costUSD += cfg.Cost.KeepAliveUSDPerMinute(mem)
 			}
 		} else {
 			// Keep-alive accounting for this minute.
@@ -314,11 +363,15 @@ func Run(cfg Config, p Policy) (*Result, error) {
 				}
 			}
 		} else {
+			invoked = invoked[:0]
 			for fn := 0; fn < nFn; fn++ {
 				c := tr.Functions[fn].Counts[t]
 				counts[fn] = c
 				if c == 0 {
 					continue
+				}
+				if sparse {
+					invoked = append(invoked, int32(fn))
 				}
 				if err := serveFunction(&cfg, p, res, t, fn, c, alive[fn], cfg.Assignment[fn]); err != nil {
 					return nil, err
@@ -329,7 +382,11 @@ func Run(cfg Config, p Policy) (*Result, error) {
 		if cfg.MeasureOverhead {
 			start = time.Now()
 		}
-		p.RecordInvocations(t, counts)
+		if sparse {
+			asp.RecordInvocationsSparse(t, counts, invoked)
+		} else {
+			p.RecordInvocations(t, counts)
+		}
 		if cfg.MeasureOverhead {
 			res.PolicyOverheadSec += time.Since(start).Seconds()
 		}

@@ -1,0 +1,284 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// This file implements the flat inter-arrival history arena: every
+// function's History lives in slot-indexed struct-of-arrays slabs instead
+// of a per-function heap object with two map-backed histograms. The paper's
+// probability estimate only ever divides one gap's count by the total, so
+// the histograms reduce to exact integer counters — small gaps (the common
+// case: a function invoked every few minutes) use byte-width counters in a
+// contiguous slab, while large gaps and saturated counters escape to a
+// sorted per-slot spill list. Counts are identical to the map-backed
+// implementation for every input, so probabilities — and therefore every
+// schedule — stay bit-identical.
+//
+// The arena is not concurrency-safe by itself; it inherits the controller's
+// discipline: shard workers touch only their own slot ranges, and all
+// growth and release happens on the coordinator between minutes.
+
+// histBuckets is the number of byte-width slab counters per slot and
+// history: gaps 0..histBuckets-1 count in the slab, larger gaps spill.
+const histBuckets = 16
+
+// spillGap is one spill entry: count observations of gap minutes.
+type spillGap struct {
+	gap   int
+	count int
+}
+
+// histArena holds n slots of per-function inter-arrival state.
+type histArena struct {
+	localWindow int
+	n           int
+
+	lastInv []int // slot → minute of most recent invocation, -1 before any
+
+	// Full-history (global) counters: uint32 slab + spill.
+	gBuck  []uint32 // n × histBuckets
+	gTotal []int
+	gSpill [][]spillGap // sorted by gap
+
+	// Local sliding-window counters: uint16 slab + spill. The slab is
+	// byte-width because the local window bounds how many distinct minutes
+	// contribute — but Record accepts repeated invocations at one minute,
+	// so saturation is still possible and escapes to the spill.
+	lBuck  []uint16 // n × histBuckets
+	lTotal []int
+	lSpill [][]spillGap
+
+	// queue holds each slot's local-window observations in arrival order,
+	// for aging out; nil for slots with no recent observations.
+	queue [][]timedGap
+}
+
+func newHistArena(localWindow, n int) (*histArena, error) {
+	if localWindow <= 0 {
+		return nil, fmt.Errorf("core: non-positive local window %d", localWindow)
+	}
+	a := &histArena{
+		localWindow: localWindow,
+		n:           n,
+		lastInv:     make([]int, n),
+		gBuck:       make([]uint32, n*histBuckets),
+		gTotal:      make([]int, n),
+		gSpill:      make([][]spillGap, n),
+		lBuck:       make([]uint16, n*histBuckets),
+		lTotal:      make([]int, n),
+		lSpill:      make([][]spillGap, n),
+		queue:       make([][]timedGap, n),
+	}
+	for i := range a.lastInv {
+		a.lastInv[i] = -1
+	}
+	return a, nil
+}
+
+// grow appends one fresh slot.
+func (a *histArena) grow() {
+	a.n++
+	a.lastInv = append(a.lastInv, -1)
+	a.gBuck = append(a.gBuck, make([]uint32, histBuckets)...)
+	a.gTotal = append(a.gTotal, 0)
+	a.gSpill = append(a.gSpill, nil)
+	a.lBuck = append(a.lBuck, make([]uint16, histBuckets)...)
+	a.lTotal = append(a.lTotal, 0)
+	a.lSpill = append(a.lSpill, nil)
+	a.queue = append(a.queue, nil)
+}
+
+// release drops everything slot fn has learned and frees its heap-backed
+// state (spill lists, local queue), leaving only the zeroed slab row — the
+// deregister release rule: a departed slot retains no backing arrays of its
+// own.
+func (a *histArena) release(fn int) {
+	a.lastInv[fn] = -1
+	clear(a.gBuck[fn*histBuckets : (fn+1)*histBuckets])
+	a.gTotal[fn] = 0
+	a.gSpill[fn] = nil
+	clear(a.lBuck[fn*histBuckets : (fn+1)*histBuckets])
+	a.lTotal[fn] = 0
+	a.lSpill[fn] = nil
+	a.queue[fn] = nil
+}
+
+// spillAdd records one observation of gap in a sorted spill list.
+func spillAdd(s []spillGap, gap int) []spillGap {
+	i := sort.Search(len(s), func(i int) bool { return s[i].gap >= gap })
+	if i < len(s) && s[i].gap == gap {
+		s[i].count++
+		return s
+	}
+	s = append(s, spillGap{})
+	copy(s[i+1:], s[i:])
+	s[i] = spillGap{gap: gap, count: 1}
+	return s
+}
+
+// spillCount returns the spill's count for gap.
+func spillCount(s []spillGap, gap int) int {
+	i := sort.Search(len(s), func(i int) bool { return s[i].gap >= gap })
+	if i < len(s) && s[i].gap == gap {
+		return s[i].count
+	}
+	return 0
+}
+
+// spillRemove removes one observation of gap; ok reports whether one was
+// present.
+func spillRemove(s []spillGap, gap int) ([]spillGap, bool) {
+	i := sort.Search(len(s), func(i int) bool { return s[i].gap >= gap })
+	if i >= len(s) || s[i].gap != gap {
+		return s, false
+	}
+	if s[i].count--; s[i].count == 0 {
+		s = append(s[:i], s[i+1:]...)
+	}
+	return s, true
+}
+
+// addGlobal records one observation of gap in slot fn's full history.
+func (a *histArena) addGlobal(fn, gap int) error {
+	if gap < 0 {
+		return fmt.Errorf("stats: negative histogram value %d", gap)
+	}
+	if gap < histBuckets && a.gBuck[fn*histBuckets+gap] < math.MaxUint32 {
+		a.gBuck[fn*histBuckets+gap]++
+	} else {
+		a.gSpill[fn] = spillAdd(a.gSpill[fn], gap)
+	}
+	a.gTotal[fn]++
+	return nil
+}
+
+// addLocal records one observation of gap in slot fn's local window.
+func (a *histArena) addLocal(fn, gap int) error {
+	if gap < 0 {
+		return fmt.Errorf("stats: negative histogram value %d", gap)
+	}
+	if gap < histBuckets && a.lBuck[fn*histBuckets+gap] < math.MaxUint16 {
+		a.lBuck[fn*histBuckets+gap]++
+	} else {
+		a.lSpill[fn] = spillAdd(a.lSpill[fn], gap)
+	}
+	a.lTotal[fn]++
+	return nil
+}
+
+// removeLocal ages one observation of gap out of slot fn's local window.
+func (a *histArena) removeLocal(fn, gap int) error {
+	if gap >= 0 && gap < histBuckets && a.lBuck[fn*histBuckets+gap] > 0 {
+		a.lBuck[fn*histBuckets+gap]--
+	} else {
+		s, ok := spillRemove(a.lSpill[fn], gap)
+		if !ok {
+			return fmt.Errorf("stats: removing absent histogram value %d", gap)
+		}
+		a.lSpill[fn] = s
+	}
+	a.lTotal[fn]--
+	return nil
+}
+
+// globalCount returns slot fn's full-history count for gap.
+func (a *histArena) globalCount(fn, gap int) int {
+	c := 0
+	if gap >= 0 && gap < histBuckets {
+		c = int(a.gBuck[fn*histBuckets+gap])
+	}
+	return c + spillCount(a.gSpill[fn], gap)
+}
+
+// localCount returns slot fn's local-window count for gap.
+func (a *histArena) localCount(fn, gap int) int {
+	c := 0
+	if gap >= 0 && gap < histBuckets {
+		c = int(a.lBuck[fn*histBuckets+gap])
+	}
+	return c + spillCount(a.lSpill[fn], gap)
+}
+
+// globalValues returns slot fn's observed gaps in ascending order.
+func (a *histArena) globalValues(fn int) []int {
+	var out []int
+	for g := 0; g < histBuckets; g++ {
+		// Spilled gaps below histBuckets only exist alongside a saturated
+		// (nonzero) slab counter, so the slab test alone finds them.
+		if a.gBuck[fn*histBuckets+g] > 0 {
+			out = append(out, g)
+		}
+	}
+	for _, s := range a.gSpill[fn] {
+		if s.gap >= histBuckets {
+			out = append(out, s.gap)
+		}
+	}
+	return out
+}
+
+// record is History.Record for slot fn: the inter-arrival gap since the
+// previous invocation enters both histories; local observations older than
+// the window age out.
+func (a *histArena) record(fn, t int) error {
+	if t < 0 {
+		return fmt.Errorf("core: negative minute %d", t)
+	}
+	last := a.lastInv[fn]
+	if last >= 0 {
+		if t < last {
+			return fmt.Errorf("core: time went backwards: %d after %d", t, last)
+		}
+		gap := t - last
+		if err := a.addGlobal(fn, gap); err != nil {
+			return err
+		}
+		if err := a.addLocal(fn, gap); err != nil {
+			return err
+		}
+		a.queue[fn] = append(a.queue[fn], timedGap{minute: t, gap: gap})
+	}
+	a.lastInv[fn] = t
+	a.evictLocal(fn, t)
+	return nil
+}
+
+// evictLocal drops slot fn's local observations recorded before
+// t−localWindow.
+func (a *histArena) evictLocal(fn, t int) {
+	cut := t - a.localWindow
+	q := a.queue[fn]
+	i := 0
+	for ; i < len(q) && q[i].minute < cut; i++ {
+		// Remove cannot fail: every queued gap was added to the histogram.
+		if err := a.removeLocal(fn, q[i].gap); err != nil {
+			panic("core: local histogram out of sync: " + err.Error())
+		}
+	}
+	if i > 0 {
+		a.queue[fn] = q[i:]
+	}
+}
+
+// probability is History.Probability for slot fn. Empty histories
+// contribute zero, exactly like the map-backed histograms' Probability.
+func (a *histArena) probability(fn, gap int, blend HistoryBlend) float64 {
+	var local, global float64
+	if a.lTotal[fn] > 0 {
+		local = float64(a.localCount(fn, gap)) / float64(a.lTotal[fn])
+	}
+	if a.gTotal[fn] > 0 {
+		global = float64(a.globalCount(fn, gap)) / float64(a.gTotal[fn])
+	}
+	switch blend {
+	case BlendLocalOnly:
+		return local
+	case BlendGlobalOnly:
+		return global
+	default:
+		return (local + global) / 2
+	}
+}

@@ -40,79 +40,40 @@ type timedGap struct {
 	gap    int
 }
 
-// History tracks one function's inter-arrival observations over the two
-// periods the paper uses: the full operating history and a sliding local
-// window of the immediate past.
+// History is one function's view into an inter-arrival history arena: the
+// two observation periods the paper uses — the full operating history and a
+// sliding local window of the immediate past — stored in the arena's flat
+// slot-indexed slabs (see arena.go). The controller holds one arena for all
+// of its functions; a standalone History built with NewHistory owns a
+// single-slot arena of its own.
 type History struct {
-	localWindow int
-	global      *stats.IntHistogram
-	local       *stats.IntHistogram
-	localQueue  []timedGap
-	lastInv     int // minute of most recent invocation, -1 before any
+	ar *histArena
+	fn int
 }
 
 // NewHistory creates a history with the given local window length in
 // minutes. Non-positive lengths are rejected.
 func NewHistory(localWindow int) (*History, error) {
-	if localWindow <= 0 {
-		return nil, fmt.Errorf("core: non-positive local window %d", localWindow)
+	ar, err := newHistArena(localWindow, 1)
+	if err != nil {
+		return nil, err
 	}
-	return &History{
-		localWindow: localWindow,
-		global:      stats.NewIntHistogram(),
-		local:       stats.NewIntHistogram(),
-		lastInv:     -1,
-	}, nil
+	return &History{ar: ar}, nil
 }
 
 // LastInvocation returns the minute of the most recent recorded
 // invocation, or -1 before any.
-func (h *History) LastInvocation() int { return h.lastInv }
+func (h *History) LastInvocation() int { return h.ar.lastInv[h.fn] }
 
 // Observations returns the number of inter-arrival observations in the
 // full history.
-func (h *History) Observations() int { return h.global.Total() }
+func (h *History) Observations() int { return h.ar.gTotal[h.fn] }
 
 // Record registers an invocation at minute t (t must not decrease across
 // calls). The inter-arrival gap since the previous invocation, measured in
 // minutes, enters both histories; observations older than the local window
 // age out of the local history.
-func (h *History) Record(t int) error {
-	if t < 0 {
-		return fmt.Errorf("core: negative minute %d", t)
-	}
-	if h.lastInv >= 0 {
-		if t < h.lastInv {
-			return fmt.Errorf("core: time went backwards: %d after %d", t, h.lastInv)
-		}
-		gap := t - h.lastInv
-		if err := h.global.Add(gap); err != nil {
-			return err
-		}
-		if err := h.local.Add(gap); err != nil {
-			return err
-		}
-		h.localQueue = append(h.localQueue, timedGap{minute: t, gap: gap})
-	}
-	h.lastInv = t
-	h.evictLocal(t)
-	return nil
-}
-
-// evictLocal drops local observations recorded before t−localWindow.
-func (h *History) evictLocal(t int) {
-	cut := t - h.localWindow
-	i := 0
-	for ; i < len(h.localQueue) && h.localQueue[i].minute < cut; i++ {
-		// Remove cannot fail: every queued gap was added to the histogram.
-		if err := h.local.Remove(h.localQueue[i].gap); err != nil {
-			panic("core: local histogram out of sync: " + err.Error())
-		}
-	}
-	if i > 0 {
-		h.localQueue = h.localQueue[i:]
-	}
-}
+func (h *History) Record(t int) error { return h.ar.record(h.fn, t) }
 
 // Probability estimates the probability that the function's next
 // inter-arrival equals gap minutes: the average of the empirical
@@ -122,14 +83,7 @@ func (h *History) evictLocal(t int) {
 // observations falls back to half its global estimate — conservative
 // toward cheaper variants.
 func (h *History) Probability(gap int, blend HistoryBlend) float64 {
-	switch blend {
-	case BlendLocalOnly:
-		return h.local.Probability(gap)
-	case BlendGlobalOnly:
-		return h.global.Probability(gap)
-	default:
-		return (h.local.Probability(gap) + h.global.Probability(gap)) / 2
-	}
+	return h.ar.probability(h.fn, gap, blend)
 }
 
 // Probabilities evaluates Probability for every offset 1..window and

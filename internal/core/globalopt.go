@@ -39,6 +39,15 @@ const (
 type Priority struct {
 	counts []float64
 	norm   []float64
+
+	// Incremental min/max bookkeeping so a single model's normalized
+	// priority can be read without the O(N) scan Normalize performs. The
+	// values are exact small integers, so the tracked extrema are
+	// bit-identical to stats.Min/stats.Max over the counts; the counts of
+	// witnesses (minCnt/maxCnt) tell us when a retire invalidates an
+	// extremum and a rare O(N) rescan is needed.
+	minVal, maxVal float64
+	minCnt, maxCnt int
 }
 
 // NewPriority creates the structure "initialized … with zeros for all
@@ -50,6 +59,8 @@ func NewPriority(nModels int) (*Priority, error) {
 	return &Priority{
 		counts: make([]float64, nModels),
 		norm:   make([]float64, nModels),
+		minCnt: nModels,
+		maxCnt: nModels,
 	}, nil
 }
 
@@ -58,8 +69,53 @@ func (p *Priority) Bump(m int) error {
 	if m < 0 || m >= len(p.counts) {
 		return fmt.Errorf("core: priority bump of invalid model %d", m)
 	}
+	old := p.counts[m]
 	p.counts[m]++
+	if old == p.minVal {
+		if p.minCnt--; p.minCnt == 0 {
+			p.rescanMin()
+		}
+	}
+	switch v := old + 1; {
+	case v > p.maxVal:
+		p.maxVal, p.maxCnt = v, 1
+	case v == p.maxVal:
+		p.maxCnt++
+	}
 	return nil
+}
+
+func (p *Priority) rescanMin() {
+	p.minVal, p.minCnt = p.counts[0], 1
+	for _, v := range p.counts[1:] {
+		switch {
+		case v < p.minVal:
+			p.minVal, p.minCnt = v, 1
+		case v == p.minVal:
+			p.minCnt++
+		}
+	}
+}
+
+func (p *Priority) rescanMax() {
+	p.maxVal, p.maxCnt = p.counts[0], 1
+	for _, v := range p.counts[1:] {
+		switch {
+		case v > p.maxVal:
+			p.maxVal, p.maxCnt = v, 1
+		case v == p.maxVal:
+			p.maxCnt++
+		}
+	}
+}
+
+// normAt returns model m's min–max normalized priority — the value
+// Normalize()[m] would compute, without touching the other models.
+func (p *Priority) normAt(m int) float64 {
+	if p.maxVal == p.minVal {
+		return 0
+	}
+	return (p.counts[m] - p.minVal) / (p.maxVal - p.minVal)
 }
 
 // Count returns model m's raw downgrade count.
@@ -82,12 +138,36 @@ func (p *Priority) Normalize() []float64 {
 func (p *Priority) grow() {
 	p.counts = append(p.counts, 0)
 	p.norm = append(p.norm, 0)
+	if p.minVal > 0 {
+		p.minVal, p.minCnt = 0, 1
+	} else {
+		p.minCnt++
+	}
+	if p.maxVal == 0 {
+		p.maxCnt++
+	}
 }
 
 // retire resets a tombstoned slot's count to zero.
 func (p *Priority) retire(m int) {
-	if m >= 0 && m < len(p.counts) {
-		p.counts[m] = 0
+	if m < 0 || m >= len(p.counts) {
+		return
+	}
+	old := p.counts[m]
+	if old == 0 {
+		return
+	}
+	p.counts[m] = 0
+	if old == p.maxVal {
+		p.maxCnt--
+	}
+	if p.minVal > 0 {
+		p.minVal, p.minCnt = 0, 1
+	} else {
+		p.minCnt++
+	}
+	if p.maxCnt == 0 {
+		p.rescanMax()
 	}
 }
 
@@ -287,6 +367,109 @@ func (g *GlobalOptimizer) Flatten(decisions []int, ip []float64, targetKaM float
 		kam -= freed
 
 		// Update the priority structure (line 10).
+		if err := g.priority.Bump(fn); err != nil {
+			return nil, err
+		}
+		applied = append(applied, Downgrade{
+			Function:    fn,
+			FromVariant: from,
+			ToVariant:   to,
+			Ai:          chosen.Ai,
+			Pr:          chosen.Pr,
+			Ip:          chosen.Ip,
+			Uv:          chosen.Uv(),
+		})
+	}
+	return applied, nil
+}
+
+// keptAliveMBSparse is KeptAliveMemoryMB restricted to the active set: the
+// unlisted slots are guaranteed NoVariant, which the dense loop skips
+// anyway, and the list is sorted ascending, so the float sum associates in
+// exactly the dense order.
+func (g *GlobalOptimizer) keptAliveMBSparse(decisions []int, active []int32) float64 {
+	var total float64
+	for _, fn32 := range active {
+		fn := int(fn32)
+		vi := decisions[fn]
+		if vi < 0 {
+			continue
+		}
+		fam := g.catalog.Families[g.assignment[fn]]
+		if vi >= fam.NumVariants() {
+			panic(fmt.Sprintf("core: function %d keeps invalid variant %d", fn, vi))
+		}
+		total += fam.Variants[vi].MemoryMB
+	}
+	return total
+}
+
+// flattenSparse is Flatten restricted to the active set. The candidate
+// gather iterates the sorted active list — the same candidates, in the
+// same order, as the dense loop, because every unlisted slot's decision is
+// NoVariant — and the Pr term comes from the priority structure's
+// incremental normAt instead of a full Normalize pass. Decisions, applied
+// downgrades, and priority updates are bit-identical to Flatten's.
+func (g *GlobalOptimizer) flattenSparse(decisions []int, ip []float64, targetKaM float64, active []int32) ([]Downgrade, error) {
+	kam := g.keptAliveMBSparse(decisions, active)
+	var applied []Downgrade
+	for kam > targetKaM {
+		g.terms = g.terms[:0]
+		for _, fn32 := range active {
+			fn := int(fn32)
+			vi := decisions[fn]
+			if vi < 0 {
+				continue
+			}
+			if vi == 0 && g.step == StepByOne {
+				continue
+			}
+			fam := g.catalog.Families[g.assignment[fn]]
+			ai, err := fam.AccuracyImprovement(vi)
+			if err != nil {
+				return nil, err
+			}
+			pr := g.priority.normAt(fn)
+			if g.disablePriority {
+				pr = 0
+			}
+			g.terms = append(g.terms, UtilityTerms{
+				Function: fn,
+				Variant:  vi,
+				Ai:       ai,
+				Pr:       pr,
+				Ip:       stats.Clamp01(ip[fn]),
+			})
+		}
+		if len(g.terms) == 0 {
+			break
+		}
+		best := 0
+		if g.randomPick != nil {
+			best = g.randomPick.Intn(len(g.terms))
+		} else {
+			for i := 1; i < len(g.terms); i++ {
+				if g.terms[i].Uv() < g.terms[best].Uv() {
+					best = i
+				}
+			}
+		}
+		chosen := g.terms[best]
+		fn := chosen.Function
+		fam := g.catalog.Families[g.assignment[fn]]
+		from := decisions[fn]
+		to := from - 1
+		if g.step == StepEvict || from == 0 {
+			to = -1
+		}
+		decisions[fn] = to
+
+		freed := fam.Variants[from].MemoryMB
+		if to >= 0 {
+			freed -= fam.Variants[to].MemoryMB
+		}
+		kam -= freed
+
 		if err := g.priority.Bump(fn); err != nil {
 			return nil, err
 		}

@@ -8,14 +8,17 @@ import (
 
 // Online function lifecycle for the controller. Slots follow the identity
 // registry's append-only model: registering a function grows every
-// per-function structure (history, plan ring, decision and probability
-// buffers, priority count) by one fresh slot; deregistering tombstones the
-// slot in place. Tombstoned slots behave exactly like never-invoked
-// functions — their plan rings are cleared, so the KeepAlive gather yields
-// NoVariant without any liveness branch in the hot loops, and the global
-// optimizer never sees them as downgrade candidates. That construction is
-// what keeps the static (churn-free) decision path bit-identical to the
-// pre-lifecycle controller.
+// per-function structure (history arena, plan store, decision and
+// probability buffers, priority count) by one fresh slot; deregistering
+// tombstones the slot in place AND releases its heavy backing state — the
+// plan row returns to the free list, the history's spill and local-queue
+// heap storage is dropped, and the slot leaves the active set. What remains
+// is the cheap identity tombstone: a few fixed-width arena cells per slot.
+// Tombstoned slots behave exactly like never-invoked functions — rowless,
+// so the KeepAlive gather yields NoVariant, and the global optimizer never
+// sees them as downgrade candidates. That construction is what keeps the
+// static (churn-free) decision path bit-identical to the pre-lifecycle
+// controller while bounding steady-state heap under churn.
 //
 // Both methods must be called between minutes, under the same external
 // serialization as KeepAlive and RecordInvocations (the cluster engine's
@@ -31,18 +34,15 @@ func (p *Pulse) RegisterFunction(name string, family int) (int, error) {
 	if family < 0 || family >= len(p.cfg.Catalog.Families) {
 		return 0, fmt.Errorf("core: family %d out of range for %q", family, name)
 	}
-	h, err := NewHistory(p.cfg.LocalWindow)
-	if err != nil {
-		return 0, err
-	}
 	slot, err := p.reg.Register(name)
 	if err != nil {
 		return 0, err
 	}
 	p.cfg.Assignment = append(p.cfg.Assignment, family)
 	p.cfg.Names = append(p.cfg.Names, name)
-	p.histories = append(p.histories, h)
-	p.plans = append(p.plans, newPlanRing(p.cfg.Window))
+	p.hist.grow()
+	p.plans.grow()
+	p.active.grow()
 	p.out = append(p.out, cluster.NoVariant)
 	p.ip = append(p.ip, 0)
 	p.global.grow(family)
@@ -51,23 +51,22 @@ func (p *Pulse) RegisterFunction(name string, family int) (int, error) {
 }
 
 // DeregisterFunction implements cluster.DynamicPolicy: the named function's
-// slot is tombstoned — its plan ring cleared, its decision pinned to
-// NoVariant, its history dropped, and its downgrade priority count zeroed.
-// The slot count does not change, so the shard partition stays as is; the
-// workers observe the tombstone through the active flags they alias.
+// slot is tombstoned and its heavy backing state released — the plan row
+// returns to the free list, the slot leaves the active set, its decision is
+// pinned to NoVariant, its history's heap storage (spill lists, local gap
+// queue) is freed, and its downgrade priority count zeroed. The slot count
+// does not change, so the shard partition stays as is; the workers observe
+// the tombstone through the active flags they alias.
 func (p *Pulse) DeregisterFunction(name string) error {
 	slot, err := p.reg.Deregister(name)
 	if err != nil {
 		return err
 	}
-	p.plans[slot].reset()
+	p.active.remove(slot)
+	p.plans.releaseRow(slot)
 	p.out[slot] = cluster.NoVariant
 	p.ip[slot] = 0
-	h, err := NewHistory(p.cfg.LocalWindow)
-	if err != nil {
-		return err
-	}
-	p.histories[slot] = h
+	p.hist.release(slot)
 	p.global.retire(slot)
 	return nil
 }

@@ -63,6 +63,15 @@ type Config struct {
 	// peaks (ablation). The seed keeps runs reproducible.
 	RandomDowngradeSeed int64
 
+	// DisableIdleSkip forces the per-minute paths back to full scans over
+	// every registered slot instead of the incremental active-set index.
+	// Decisions are bit-identical either way (the property the idle-skip
+	// tests assert); this exists as the reference for those tests and as an
+	// escape hatch. Attaching a telemetry.SelfObserver implies the same
+	// full-scan behaviour, because scan samples report per-shard slot
+	// counts that only the dense walk produces.
+	DisableIdleSkip bool
+
 	// Observer, when non-nil, receives every controller decision: the
 	// per-function keep-alive schedules, Algorithm 1 peak enter/exit
 	// transitions, and each Algorithm 2 downgrade with its utility
@@ -87,62 +96,34 @@ func (c *Config) withDefaults() Config {
 	return out
 }
 
-// planRing stores one value per absolute minute over a sliding horizon of
-// window+1 minutes — the furthest ahead a keep-alive plan can reach.
-type planRing struct {
-	minutes  []int
-	variants []int
-	probs    []float64
-}
-
-func newPlanRing(window int) planRing {
-	r := planRing{
-		minutes:  make([]int, window+1),
-		variants: make([]int, window+1),
-		probs:    make([]float64, window+1),
-	}
-	for i := range r.minutes {
-		r.minutes[i] = -1
-	}
-	return r
-}
-
-func (r *planRing) set(minute, variant int, prob float64) {
-	i := minute % len(r.minutes)
-	r.minutes[i] = minute
-	r.variants[i] = variant
-	r.probs[i] = prob
-}
-
-func (r *planRing) get(minute int) (variant int, prob float64, ok bool) {
-	i := minute % len(r.minutes)
-	if r.minutes[i] != minute {
-		return cluster.NoVariant, 0, false
-	}
-	return r.variants[i], r.probs[i], true
-}
-
-// reset forgets every in-flight commitment; gather then yields NoVariant
-// for the slot at every minute.
-func (r *planRing) reset() {
-	for i := range r.minutes {
-		r.minutes[i] = -1
-	}
-}
-
 // Pulse is the full PULSE keep-alive policy (Figure 3): function-centric
 // optimization plans a variant per minute of each function's keep-alive
 // window; when Algorithm 1 detects a keep-alive memory peak, Algorithm 2's
 // utility-driven downgrades flatten it. Pulse implements cluster.Policy.
+//
+// Per-function state lives in flat slot-indexed arenas (histArena,
+// planStore) rather than per-function heap objects, and the per-minute
+// paths iterate the incremental active set — the slots currently holding a
+// plan row — instead of every registered slot, unless
+// Config.DisableIdleSkip or an attached SelfObserver forces the dense
+// reference scans. Both representations and both iteration strategies
+// produce bit-identical decisions.
 type Pulse struct {
-	cfg       Config
-	reg       *identity.Registry
-	histories []*History
-	detector  *PeakDetector
-	global    *GlobalOptimizer
-	plans     []planRing
-	out       []int
-	ip        []float64
+	cfg      Config
+	reg      *identity.Registry
+	hist     *histArena
+	detector *PeakDetector
+	global   *GlobalOptimizer
+	plans    *planStore
+	active   *activeSet
+	out      []int
+	ip       []float64
+
+	// invokedBuf is the reusable ascending list of slots invoked this
+	// minute, rebuilt by RecordInvocations / RecordInvocationsSparse.
+	invokedBuf []int32
+	// idleSkip caches whether the sparse active-set paths are in effect.
+	idleSkip bool
 
 	// pool is the shard worker pool; nil when cfg.Shards resolves to 1,
 	// in which case every path runs serially on the calling goroutine.
@@ -193,18 +174,20 @@ func New(cfg Config) (*Pulse, error) {
 	}
 	cfg.Names = append([]string(nil), names...)
 	p := &Pulse{
-		cfg:       cfg,
-		reg:       reg,
-		histories: make([]*History, n),
-		plans:     make([]planRing, n),
-		out:       make([]int, n),
-		ip:        make([]float64, n),
+		cfg:    cfg,
+		reg:    reg,
+		plans:  newPlanStore(cfg.Window, n),
+		active: newActiveSet(n),
+		out:    make([]int, n),
+		ip:     make([]float64, n),
 	}
-	for i := range p.histories {
-		if p.histories[i], err = NewHistory(cfg.LocalWindow); err != nil {
-			return nil, err
-		}
-		p.plans[i] = newPlanRing(cfg.Window)
+	if p.hist, err = newHistArena(cfg.LocalWindow, n); err != nil {
+		return nil, err
+	}
+	// Slots outside the active set are never rewritten by the sparse
+	// gather, so the decision vector's resting state must be NoVariant.
+	for i := range p.out {
+		p.out[i] = cluster.NoVariant
 	}
 	if p.detector, err = NewPeakDetector(cfg.KaMThreshold, cfg.LocalWindow, cfg.PriorMode); err != nil {
 		return nil, err
@@ -219,6 +202,7 @@ func New(cfg Config) (*Pulse, error) {
 		return nil, fmt.Errorf("core: negative shard count %d", cfg.Shards)
 	}
 	p.selfWanted = telemetry.WantsSelf(cfg.Observer)
+	p.idleSkip = !cfg.DisableIdleSkip && !p.selfWanted
 	p.reqShards = cfg.Shards
 	p.repartition()
 	return p, nil
@@ -243,7 +227,7 @@ func (p *Pulse) repartition() {
 	}
 	p.cfg.Shards = shards
 	if shards > 1 {
-		p.pool = newShardPool(p.cfg, shards, p.histories, p.plans, p.out, p.ip, p.reg.ActiveSlice())
+		p.pool = newShardPool(p.cfg, shards, p.hist, p.plans, p.out, p.ip, p.reg.ActiveSlice())
 		// Safety net for callers that drop the controller without Close:
 		// the workers reference only the shard state, never p, so an
 		// unclosed controller still becomes unreachable and its pool is
@@ -290,19 +274,38 @@ func (p *Pulse) PeakMinutes() int { return p.peakMinutes }
 // keep-alive set from the per-function plans, runs the global optimizer if
 // the minute is a peak, commits the final keep-alive memory to the peak
 // detector, and returns the decisions.
+//
+// The gather first compacts the active set — slots whose plan drained
+// before this minute release their plan row and pin their decision to
+// NoVariant — then evaluates only the remaining active slots; every other
+// slot's decision rests at NoVariant. Under DisableIdleSkip (or a
+// SelfObserver) the gather instead walks every slot, exactly as before the
+// active-set index existed; both walks produce the same decision vector.
 func (p *Pulse) KeepAlive(t int) []int {
-	if p.pool != nil {
+	p.compactActive(t)
+	switch {
+	case p.idleSkip:
+		for _, fn32 := range p.active.list {
+			fn := int(fn32)
+			v, prob, ok := p.plans.get(fn, t)
+			if !ok {
+				v, prob = cluster.NoVariant, 0
+			}
+			p.out[fn] = v
+			p.ip[fn] = prob
+		}
+	case p.pool != nil:
 		p.pool.dispatch(shardJob{op: opGather, t: t})
 		if p.selfWanted {
 			p.emitScans(t)
 		}
-	} else {
+	default:
 		var t0 time.Time
 		if p.selfWanted {
 			t0 = time.Now()
 		}
 		for fn := range p.out {
-			v, prob, ok := p.plans[fn].get(t)
+			v, prob, ok := p.plans.get(fn, t)
 			if !ok {
 				v, prob = cluster.NoVariant, 0
 			}
@@ -317,15 +320,17 @@ func (p *Pulse) KeepAlive(t int) []int {
 	}
 
 	if !p.cfg.DisableGlobalOpt {
-		kam, err := p.global.KeptAliveMemoryMB(p.out)
-		if err != nil {
-			// Plans only ever hold validated variant indices.
-			panic("core: invalid internal plan: " + err.Error())
-		}
+		kam := p.keptAliveMB()
 		if p.detector.IsPeak(kam) {
 			p.peakMinutes++
 			target := p.detector.FlattenTarget()
-			downs, err := p.global.Flatten(p.out, p.ip, target)
+			var downs []Downgrade
+			var err error
+			if p.idleSkip {
+				downs, err = p.global.flattenSparse(p.out, p.ip, target, p.active.list)
+			} else {
+				downs, err = p.global.Flatten(p.out, p.ip, target)
+			}
 			if err != nil {
 				panic("core: flatten failed on validated state: " + err.Error())
 			}
@@ -368,15 +373,54 @@ func (p *Pulse) KeepAlive(t int) []int {
 		}
 	}
 
-	kam, err := p.global.KeptAliveMemoryMB(p.out)
-	if err != nil {
-		panic("core: invalid final decisions: " + err.Error())
-	}
-	if err := p.detector.Record(kam); err != nil {
+	if err := p.detector.Record(p.keptAliveMB()); err != nil {
 		panic("core: detector record: " + err.Error())
 	}
 	return p.out
 }
+
+// keptAliveMB sums the current decision vector's memory, iterating the
+// active set when idle-skip is on (bit-identical: unlisted slots are
+// NoVariant, which the dense sum skips).
+func (p *Pulse) keptAliveMB() float64 {
+	if p.idleSkip {
+		return p.global.keptAliveMBSparse(p.out, p.active.list)
+	}
+	kam, err := p.global.KeptAliveMemoryMB(p.out)
+	if err != nil {
+		// Plans only ever hold validated variant indices.
+		panic("core: invalid internal plan: " + err.Error())
+	}
+	return kam
+}
+
+// compactActive releases the plan row of every active slot whose plan
+// drained before minute t and pins its decision to NoVariant, filtering
+// the sorted active list in place (order preserved). A released row yields
+// exactly what its expired ring cells would have: NoVariant at every
+// future minute.
+func (p *Pulse) compactActive(t int) {
+	kept := p.active.list[:0]
+	for _, fn32 := range p.active.list {
+		fn := int(fn32)
+		if p.plans.expiry[fn] >= t {
+			kept = append(kept, fn32)
+			continue
+		}
+		p.plans.releaseRow(fn)
+		p.active.member[fn] = false
+		p.out[fn] = cluster.NoVariant
+		p.ip[fn] = 0
+	}
+	p.active.list = kept
+}
+
+// ActiveSlots returns the sorted slot indices that may hold a non-NoVariant
+// decision, valid from the return of KeepAlive(t) until the next call into
+// the policy. Every slot not listed is guaranteed NoVariant. The slice
+// aliases controller state: callers must not retain it across minutes. It
+// implements cluster.ActiveSetPolicy.
+func (p *Pulse) ActiveSlots() []int32 { return p.active.list }
 
 // ColdVariant implements cluster.Policy: invocations that arrive cold run
 // the function's standard (highest-quality) model, matching the fixed
@@ -395,8 +439,66 @@ func (p *Pulse) ColdVariant(_, fn int) int {
 // flushed here, in shard order, once the minute barrier is reached — so
 // the audit log sees the exact event sequence a serial controller emits.
 func (p *Pulse) RecordInvocations(t int, counts []int) {
+	p.invokedBuf = p.invokedBuf[:0]
+	active := p.reg.ActiveSlice()
+	for fn, c := range counts {
+		if c == 0 || !active[fn] {
+			continue
+		}
+		p.invokedBuf = append(p.invokedBuf, int32(fn))
+	}
+	p.recordInvoked(t, counts, len(counts))
+}
+
+// RecordInvocationsSparse is the active-set fast path of RecordInvocations:
+// invoked lists, in strictly ascending slot order, the functions with a
+// nonzero count, so the controller touches O(invoked) state instead of
+// scanning the dense counts vector. Decisions and learned state are
+// bit-identical to the dense entry point. It implements
+// cluster.ActiveSetPolicy.
+func (p *Pulse) RecordInvocationsSparse(t int, counts []int, invoked []int32) {
+	p.invokedBuf = p.invokedBuf[:0]
+	active := p.reg.ActiveSlice()
+	prev := int32(-1)
+	for _, fn := range invoked {
+		if fn <= prev || int(fn) >= len(counts) {
+			panic("core: invoked list not strictly ascending within the population")
+		}
+		prev = fn
+		if counts[fn] == 0 || !active[fn] {
+			continue
+		}
+		p.invokedBuf = append(p.invokedBuf, fn)
+	}
+	p.recordInvoked(t, counts, len(p.invokedBuf))
+}
+
+// recordInvoked runs the function-centric optimizer for the slots in
+// p.invokedBuf (ascending): plan rows are acquired and the active set
+// updated on the coordinator, then the history/schedule work runs either
+// on the shard pool or serially. scanFns is the slot count a serial
+// ScanSample reports (the dense population for the dense entry point).
+func (p *Pulse) recordInvoked(t int, counts []int, scanFns int) {
+	invoked := p.invokedBuf
+	added := false
+	for _, fn32 := range invoked {
+		fn := int(fn32)
+		p.plans.ensureRow(fn)
+		p.plans.expiry[fn] = t + p.cfg.Window
+		if p.active.add(fn) {
+			added = true
+		}
+	}
+	if added {
+		p.active.sort()
+	}
+
 	if p.pool != nil {
-		p.pool.dispatch(shardJob{op: opRecord, t: t, counts: counts})
+		if p.idleSkip {
+			p.pool.dispatch(shardJob{op: opRecordSparse, t: t, counts: counts, invoked: invoked})
+		} else {
+			p.pool.dispatch(shardJob{op: opRecord, t: t, counts: counts})
+		}
 		if p.selfWanted {
 			p.emitScans(t)
 		}
@@ -418,15 +520,12 @@ func (p *Pulse) RecordInvocations(t int, counts []int) {
 	if p.selfWanted {
 		t0 = time.Now()
 	}
-	active := p.reg.ActiveSlice()
-	for fn, c := range counts {
-		if c == 0 || !active[fn] {
-			continue
-		}
-		h := p.histories[fn]
-		if err := h.Record(t); err != nil {
+	for _, fn32 := range invoked {
+		fn := int(fn32)
+		if err := p.hist.record(fn, t); err != nil {
 			panic("core: history record: " + err.Error())
 		}
+		h := History{ar: p.hist, fn: fn}
 		fam := p.cfg.Catalog.Families[p.cfg.Assignment[fn]]
 		probs := h.Probabilities(p.cfg.Window, p.cfg.Blend)
 		sched, err := Schedule(probs, p.cfg.Technique, fam.NumVariants())
@@ -434,7 +533,7 @@ func (p *Pulse) RecordInvocations(t int, counts []int) {
 			panic("core: schedule: " + err.Error())
 		}
 		for d := 1; d <= p.cfg.Window; d++ {
-			p.plans[fn].set(t+d, sched[d], probs[d])
+			p.plans.set(fn, t+d, sched[d], probs[d])
 		}
 		if obs := p.cfg.Observer; obs != nil {
 			obs.ObserveSchedule(telemetry.ScheduleSample{
@@ -447,7 +546,7 @@ func (p *Pulse) RecordInvocations(t int, counts []int) {
 	}
 	if p.selfWanted {
 		telemetry.ObserveScan(p.cfg.Observer, telemetry.ScanSample{
-			Minute: t, Shard: -1, Functions: len(counts), Seconds: time.Since(t0).Seconds(),
+			Minute: t, Shard: -1, Functions: scanFns, Seconds: time.Since(t0).Seconds(),
 		})
 	}
 }
@@ -463,11 +562,12 @@ func (p *Pulse) emitScans(t int) {
 }
 
 // History exposes function fn's inter-arrival history (for reports/tests).
+// The returned view reads the controller's history arena directly.
 func (p *Pulse) History(fn int) *History {
-	if fn < 0 || fn >= len(p.histories) {
+	if fn < 0 || fn >= p.hist.n {
 		return nil
 	}
-	return p.histories[fn]
+	return &History{ar: p.hist, fn: fn}
 }
 
 // Detector exposes the peak detector (for reports/tests).
@@ -477,3 +577,5 @@ func (p *Pulse) Detector() *PeakDetector { return p.detector }
 // priority structure — how often its model has been downgraded during
 // peaks.
 func (p *Pulse) PriorityCount(fn int) float64 { return p.global.Priority().Count(fn) }
+
+var _ cluster.ActiveSetPolicy = (*Pulse)(nil)

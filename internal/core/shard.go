@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -39,6 +40,10 @@ const (
 	// invoked functions: history update, probability estimation, and a
 	// fresh keep-alive plan.
 	opRecord shardOp = iota
+	// opRecordSparse is opRecord driven by the coordinator's pre-filtered
+	// invoked list instead of a dense scan of the counts vector; the
+	// worker handles the list's intersection with its own range.
+	opRecordSparse
 	// opGather assembles the minute's candidate decisions from the
 	// shard's plan rings into the merged output vector.
 	opGather
@@ -46,14 +51,17 @@ const (
 
 // shardJob is one minute's unit of work for one shard.
 type shardJob struct {
-	op     shardOp
-	t      int
-	counts []int // engine-owned; read-only until the barrier (opRecord)
+	op      shardOp
+	t       int
+	counts  []int   // engine-owned; read-only until the barrier (opRecord)
+	invoked []int32 // coordinator-owned ascending invoked slots (opRecordSparse)
 }
 
-// shard owns the contiguous function range [lo, hi). The state slices
-// alias the controller's own; the worker only ever touches indices inside
-// its range, and the coordinator only reads them after the barrier.
+// shard owns the contiguous function range [lo, hi). The arenas and state
+// slices alias the controller's own; the worker only ever touches slots
+// inside its range (plan rows are pre-acquired by the coordinator, so a
+// worker never grows or frees arena storage), and the coordinator only
+// reads them after the barrier.
 //
 // A shard never references its *Pulse: workers must not keep the
 // controller reachable, so an unclosed controller can still be finalized.
@@ -61,11 +69,11 @@ type shard struct {
 	lo, hi int
 	jobs   chan shardJob
 
-	histories []*History
-	plans     []planRing
-	out       []int
-	ip        []float64
-	active    []bool // aliases the identity registry's per-slot live flags
+	hist   *histArena
+	plans  *planStore
+	out    []int
+	ip     []float64
+	active []bool // aliases the identity registry's per-slot live flags
 
 	catalog    *models.Catalog
 	assignment models.Assignment
@@ -99,7 +107,7 @@ type shardPool struct {
 
 // newShardPool partitions n functions into nShards contiguous ranges
 // (sizes differing by at most one) and starts one worker per shard.
-func newShardPool(cfg Config, nShards int, histories []*History, plans []planRing, out []int, ip []float64, active []bool) *shardPool {
+func newShardPool(cfg Config, nShards int, hist *histArena, plans *planStore, out []int, ip []float64, active []bool) *shardPool {
 	n := len(out)
 	pool := &shardPool{shards: make([]*shard, nShards)}
 	base, rem := n/nShards, n%nShards
@@ -113,7 +121,7 @@ func newShardPool(cfg Config, nShards int, histories []*History, plans []planRin
 			lo:         lo,
 			hi:         lo + size,
 			jobs:       make(chan shardJob, 1),
-			histories:  histories,
+			hist:       hist,
 			plans:      plans,
 			out:        out,
 			ip:         ip,
@@ -177,6 +185,8 @@ func (s *shard) run(wg *sync.WaitGroup) {
 			switch job.op {
 			case opRecord:
 				s.record(job.t, job.counts)
+			case opRecordSparse:
+				s.recordSparse(job.t, job.counts, job.invoked)
 			case opGather:
 				s.gather(job.t)
 			}
@@ -197,30 +207,57 @@ func (s *shard) record(t int, counts []int) {
 		if c == 0 || !s.active[fn] {
 			continue
 		}
-		h := s.histories[fn]
-		if err := h.Record(t); err != nil {
-			s.err = fmt.Errorf("history record: %w", err)
+		if !s.recordOne(fn, t) {
 			return
-		}
-		fam := s.catalog.Families[s.assignment[fn]]
-		probs := h.Probabilities(s.window, s.blend)
-		sched, err := Schedule(probs, s.technique, fam.NumVariants())
-		if err != nil {
-			s.err = fmt.Errorf("schedule: %w", err)
-			return
-		}
-		for d := 1; d <= s.window; d++ {
-			s.plans[fn].set(t+d, sched[d], probs[d])
-		}
-		if s.observe {
-			s.buf.ObserveSchedule(telemetry.ScheduleSample{
-				Minute:   t,
-				Function: fn,
-				Plan:     sched[1:],
-				Probs:    probs[1:],
-			})
 		}
 	}
+}
+
+// recordSparse is record driven by the coordinator's pre-filtered ascending
+// invoked list: the worker binary-searches for its range's start and walks
+// the list's intersection with [lo, hi). The coordinator already dropped
+// zero-count and inactive slots, so the per-slot work — and therefore every
+// history update and plan write — is exactly record's.
+func (s *shard) recordSparse(t int, _ []int, invoked []int32) {
+	i := sort.Search(len(invoked), func(i int) bool { return int(invoked[i]) >= s.lo })
+	for _, fn32 := range invoked[i:] {
+		fn := int(fn32)
+		if fn >= s.hi {
+			break
+		}
+		if !s.recordOne(fn, t) {
+			return
+		}
+	}
+}
+
+// recordOne runs the function-centric optimizer for one invoked slot; it
+// reports false after staging an error, stopping the shard's minute.
+func (s *shard) recordOne(fn, t int) bool {
+	if err := s.hist.record(fn, t); err != nil {
+		s.err = fmt.Errorf("history record: %w", err)
+		return false
+	}
+	h := History{ar: s.hist, fn: fn}
+	fam := s.catalog.Families[s.assignment[fn]]
+	probs := h.Probabilities(s.window, s.blend)
+	sched, err := Schedule(probs, s.technique, fam.NumVariants())
+	if err != nil {
+		s.err = fmt.Errorf("schedule: %w", err)
+		return false
+	}
+	for d := 1; d <= s.window; d++ {
+		s.plans.set(fn, t+d, sched[d], probs[d])
+	}
+	if s.observe {
+		s.buf.ObserveSchedule(telemetry.ScheduleSample{
+			Minute:   t,
+			Function: fn,
+			Plan:     sched[1:],
+			Probs:    probs[1:],
+		})
+	}
+	return true
 }
 
 // gather is the shard-local half of KeepAlive's candidate assembly: it
@@ -228,7 +265,7 @@ func (s *shard) record(t int, counts []int) {
 // function into the merged vectors.
 func (s *shard) gather(t int) {
 	for fn := s.lo; fn < s.hi; fn++ {
-		v, prob, ok := s.plans[fn].get(t)
+		v, prob, ok := s.plans.get(fn, t)
 		if !ok {
 			v, prob = cluster.NoVariant, 0
 		}

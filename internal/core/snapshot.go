@@ -42,40 +42,50 @@ type HistorySnapshot struct {
 
 // Snapshot captures the history's state.
 func (h *History) Snapshot() HistorySnapshot {
-	s := HistorySnapshot{LastInvocation: h.lastInv}
-	for _, gap := range h.global.Values() {
-		s.Global = append(s.Global, GapCount{Gap: gap, Count: h.global.Count(gap)})
+	s := HistorySnapshot{LastInvocation: h.ar.lastInv[h.fn]}
+	for _, gap := range h.ar.globalValues(h.fn) {
+		s.Global = append(s.Global, GapCount{Gap: gap, Count: h.ar.globalCount(h.fn, gap)})
 	}
-	for _, tg := range h.localQueue {
+	for _, tg := range h.ar.queue[h.fn] {
 		s.LocalQueue = append(s.LocalQueue, TimedGapSnapshot{Minute: tg.minute, Gap: tg.gap})
 	}
 	return s
 }
 
-// restoreHistory rebuilds a History from a snapshot.
+// restoreHistory rebuilds a standalone (single-slot-arena) History from a
+// snapshot.
 func restoreHistory(localWindow int, s HistorySnapshot) (*History, error) {
 	h, err := NewHistory(localWindow)
 	if err != nil {
 		return nil, err
 	}
-	h.lastInv = s.LastInvocation
+	if err := restoreHistoryInto(h.ar, h.fn, s); err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+
+// restoreHistoryInto rebuilds one arena slot's history from a snapshot. The
+// slot must be empty (fresh or released).
+func restoreHistoryInto(ar *histArena, fn int, s HistorySnapshot) error {
+	ar.lastInv[fn] = s.LastInvocation
 	for _, gc := range s.Global {
 		if gc.Count <= 0 {
-			return nil, fmt.Errorf("core: snapshot has non-positive count %d for gap %d", gc.Count, gc.Gap)
+			return fmt.Errorf("core: snapshot has non-positive count %d for gap %d", gc.Count, gc.Gap)
 		}
 		for i := 0; i < gc.Count; i++ {
-			if err := h.global.Add(gc.Gap); err != nil {
-				return nil, fmt.Errorf("core: snapshot gap %d: %w", gc.Gap, err)
+			if err := ar.addGlobal(fn, gc.Gap); err != nil {
+				return fmt.Errorf("core: snapshot gap %d: %w", gc.Gap, err)
 			}
 		}
 	}
 	for _, tg := range s.LocalQueue {
-		if err := h.local.Add(tg.Gap); err != nil {
-			return nil, fmt.Errorf("core: snapshot local gap %d: %w", tg.Gap, err)
+		if err := ar.addLocal(fn, tg.Gap); err != nil {
+			return fmt.Errorf("core: snapshot local gap %d: %w", tg.Gap, err)
 		}
-		h.localQueue = append(h.localQueue, timedGap{minute: tg.Minute, gap: tg.Gap})
+		ar.queue[fn] = append(ar.queue[fn], timedGap{minute: tg.Minute, gap: tg.Gap})
 	}
-	return h, nil
+	return nil
 }
 
 // DetectorSnapshot captures a PeakDetector.
@@ -186,20 +196,23 @@ func (p *Pulse) Snapshot() PulseSnapshot {
 		if !p.reg.Active(fn) {
 			continue
 		}
+		h := History{ar: p.hist, fn: fn}
 		fs := FunctionSnapshot{
 			Name:          p.reg.Name(fn),
 			Family:        p.cfg.Assignment[fn],
-			History:       p.histories[fn].Snapshot(),
+			History:       h.Snapshot(),
 			PriorityCount: p.global.Priority().Count(fn),
 		}
-		ring := &p.plans[fn]
-		for i, minute := range ring.minutes {
-			if minute >= 0 {
-				fs.Plans = append(fs.Plans, PlanEntry{
-					Minute:  minute,
-					Variant: ring.variants[i],
-					Prob:    ring.probs[i],
-				})
+		if p.plans.hasRow(fn) {
+			base := int(p.plans.row[fn]) * p.plans.stride
+			for i := 0; i < p.plans.stride; i++ {
+				if minute := p.plans.minutes[base+i]; minute >= 0 {
+					fs.Plans = append(fs.Plans, PlanEntry{
+						Minute:  minute,
+						Variant: int(p.plans.variants[base+i]),
+						Prob:    p.plans.probs[base+i],
+					})
+				}
 			}
 		}
 		s.Functions = append(s.Functions, fs)
@@ -247,11 +260,9 @@ func Restore(cfg Config, s PulseSnapshot) (*Pulse, error) {
 			return nil, fmt.Errorf("core: snapshot assigns function %q family %d, config assigns %d",
 				name, fs.Family, eff.Assignment[fn])
 		}
-		h, err := restoreHistory(eff.LocalWindow, fs.History)
-		if err != nil {
+		if err := restoreHistoryInto(p.hist, fn, fs.History); err != nil {
 			return nil, fmt.Errorf("core: function %q: %w", name, err)
 		}
-		p.histories[fn] = h
 		fam := eff.Catalog.Families[eff.Assignment[fn]]
 		for _, e := range fs.Plans {
 			if e.Minute < 0 {
@@ -260,7 +271,12 @@ func Restore(cfg Config, s PulseSnapshot) (*Pulse, error) {
 			if e.Variant < 0 || e.Variant >= fam.NumVariants() {
 				return nil, fmt.Errorf("core: function %q plan keeps invalid variant %d", name, e.Variant)
 			}
-			p.plans[fn].set(e.Minute, e.Variant, e.Prob)
+			p.plans.ensureRow(fn)
+			p.plans.set(fn, e.Minute, e.Variant, e.Prob)
+			if e.Minute > p.plans.expiry[fn] {
+				p.plans.expiry[fn] = e.Minute
+			}
+			p.active.add(fn)
 		}
 		if fs.PriorityCount < 0 {
 			return nil, fmt.Errorf("core: snapshot priority count %v for function %q", fs.PriorityCount, name)
@@ -271,6 +287,7 @@ func Restore(cfg Config, s PulseSnapshot) (*Pulse, error) {
 			}
 		}
 	}
+	p.active.sort()
 	if restored != len(byName) {
 		for name := range byName {
 			if _, ok := p.reg.Slot(name); !ok {

@@ -59,13 +59,7 @@ func (r *Runtime) Register(name string, family int) (int, error) {
 	}
 	r.cfg.Assignment = append(r.cfg.Assignment, family)
 	r.cfg.Names = append(r.cfg.Names, name)
-	r.fns = append(r.fns, &fnState{
-		family:  family,
-		name:    name,
-		active:  true,
-		alive:   cluster.NoVariant,
-		coldPod: cluster.NoVariant,
-	})
+	r.addSlot(family, name)
 	fns := r.fns
 	r.fnsA.Store(&fns)
 	r.countsBuf = append(r.countsBuf, 0)

@@ -90,6 +90,11 @@ func RunMatrix(cfg MatrixConfig) ([]LoadResult, error) {
 			return nil, fmt.Errorf("runtime: non-positive GOMAXPROCS %d in matrix", gmp)
 		}
 	}
+	for _, w := range cfg.Workers {
+		if w < 0 {
+			return nil, fmt.Errorf("runtime: negative worker count %d in matrix (0 means 2×GOMAXPROCS)", w)
+		}
+	}
 	for _, mode := range cfg.Modes {
 		switch mode {
 		case ModeSerial, ModeStriped, ModeEpoch:

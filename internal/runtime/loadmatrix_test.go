@@ -111,6 +111,9 @@ func TestRunMatrixValidation(t *testing.T) {
 	if _, err := RunMatrix(MatrixConfig{NewRuntime: mk, Duration: time.Millisecond, GOMAXPROCS: []int{0}}); err == nil {
 		t.Error("non-positive GOMAXPROCS accepted")
 	}
+	if _, err := RunMatrix(MatrixConfig{NewRuntime: mk, Duration: time.Millisecond, Workers: []int{4, -1}}); err == nil {
+		t.Error("negative worker count accepted")
+	}
 }
 
 // TestRunMatrixSmoke runs a tiny 2×1×1×3 matrix and checks the sweep

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	goruntime "runtime"
+	"slices"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -136,12 +137,14 @@ func (s Stats) MeanAccuracyPct() float64 {
 }
 
 // fnState is one function's serving state and counters, guarded by its own
-// lock so invocations of different functions never contend. Stripes are
-// heap-allocated individually and reached through a pointer slice: growing
-// the population appends a pointer, never moves a stripe, so an epoch-mode
-// reader holding yesterday's slice still mutates today's stripe. The
-// struct is padded to a cache line to keep neighbouring stripes' locks off
-// each other's lines under heavy cross-core traffic.
+// lock so invocations of different functions never contend. Stripes live in
+// fixed-size slabs (Runtime.chunks) and are reached through a pointer
+// slice: growing the population appends into the current slab (or starts a
+// new one), never moves a stripe, so an epoch-mode reader holding
+// yesterday's slice still mutates today's stripe — and a million-slot
+// runtime costs one allocation per slab instead of one per function. The
+// struct is padded to two cache lines to keep neighbouring stripes' locks
+// off each other's lines under heavy cross-core traffic.
 type fnState struct {
 	mu sync.Mutex
 
@@ -157,6 +160,15 @@ type fnState struct {
 	// barrier (striped/serial modes).
 	active bool
 
+	// dirtyMark and dirtyNext make the stripe an intrusive node in the
+	// runtime's dirty list — the minute's invoked slots, chained through
+	// their stripes from the atomic dirtyHead. Both fields are written only
+	// under mu (the mark guards double-pushing; the head CAS itself is
+	// lock-free); Step's harvest walk consumes the chain and resets the
+	// mark under the same lock. Idle slots are never touched.
+	dirtyMark bool
+	dirtyNext int32
+
 	// Minute-scoped serving state and cumulative counters, guarded by mu.
 	alive       int // variant kept alive this minute, NoVariant if none
 	coldPod     int // variant cold-started earlier this minute, NoVariant if none
@@ -168,6 +180,11 @@ type fnState struct {
 	accuracySum float64
 	_           [24]byte
 }
+
+// fnChunk is the slab size for fnState storage: slabs are allocated at full
+// capacity and filled by Register, so stripe addresses are stable for the
+// lifetime of the runtime.
+const fnChunk = 1024
 
 // Runtime executes invocations against policy-managed warm containers and
 // advances the policy once per simulated minute.
@@ -228,10 +245,23 @@ type Runtime struct {
 
 	minute    int
 	fns       []*fnState
+	chunks    [][]fnState                // slab storage backing fns
 	fnsA      atomic.Pointer[[]*fnState] // epoch readers' view of fns
 	countsBuf []int                      // reused Step scratch, reported to the policy
 	kaMMB     float64
 	kaCostUSD float64
+
+	// Idle-skip state (sparse == true): the runtime serves an
+	// ActiveSetPolicy with no observer attached, so Step can harvest the
+	// minute's counts from the dirty list instead of scanning every
+	// stripe, hand the policy a pre-built invoked list, and apply
+	// decisions over the union of the previous and current active sets.
+	// All are writer-owned except dirtyHead (pushed by the serving paths).
+	sparse     bool
+	asp        cluster.ActiveSetPolicy
+	dirtyHead  atomic.Int32 // top of the dirty chain; -1 when empty
+	invokedBuf []int32      // reused: this minute's invoked slots, sorted
+	prevAlive  []int32      // active set the last decisions were applied to
 
 	// reg mirrors the policy's identity registry: name → slot for the API,
 	// per-slot live flags. Mutated only under the exclusive barrier
@@ -301,22 +331,42 @@ func New(cfg Config) (*Runtime, error) {
 		mode:       mode,
 		tracer:     cfg.Tracer,
 		selfWanted: telemetry.WantsSelf(cfg.Observer),
-		fns:        make([]*fnState, len(cfg.Assignment)),
+		fns:        make([]*fnState, 0, len(cfg.Assignment)),
 		countsBuf:  make([]int, len(cfg.Assignment)),
 		reg:        reg,
 	}
-	for i := range r.fns {
-		r.fns[i] = &fnState{
-			family:  cfg.Assignment[i],
-			name:    cfg.Names[i],
-			active:  true,
-			alive:   cluster.NoVariant,
-			coldPod: cluster.NoVariant,
-		}
+	r.dirtyHead.Store(-1)
+	// Idle-skip: with no observer (per-slot keep-alive samples need the
+	// dense walk) and a policy that tracks its active set, Step runs
+	// sparsely — see the Step and applyDecisionsLocked comments.
+	if asp, ok := cfg.Policy.(cluster.ActiveSetPolicy); ok && cfg.Observer == nil {
+		r.sparse, r.asp = true, asp
+	}
+	for i := range cfg.Assignment {
+		r.addSlot(cfg.Assignment[i], cfg.Names[i])
 	}
 	fns := r.fns
 	r.fnsA.Store(&fns)
 	return r, nil
+}
+
+// addSlot appends one stripe, placing it in the current slab (or a fresh
+// one when full). Callers must hold the exclusive barrier (or be inside
+// New) and republish fnsA afterwards.
+func (r *Runtime) addSlot(family int, name string) {
+	if k := len(r.chunks); k == 0 || len(r.chunks[k-1]) == cap(r.chunks[k-1]) {
+		r.chunks = append(r.chunks, make([]fnState, 0, fnChunk))
+	}
+	ch := &r.chunks[len(r.chunks)-1]
+	*ch = append(*ch, fnState{
+		family:    family,
+		name:      name,
+		active:    true,
+		dirtyNext: -1,
+		alive:     cluster.NoVariant,
+		coldPod:   cluster.NoVariant,
+	})
+	r.fns = append(r.fns, &(*ch)[len(*ch)-1])
 }
 
 // Mode names the serving-path architecture: "epoch", "striped", or
@@ -404,9 +454,18 @@ func (r *Runtime) startLocked() {
 
 // applyDecisionsLocked requires an open write window (beginWrite): it
 // writes every function's alive variant and the minute's keep-alive cost.
+// In sparse mode only the union of the previous and current active sets is
+// visited — every other slot's decision is NoVariant (the ActiveSetPolicy
+// contract) and its stripe already rests at NoVariant, so the dense walk
+// would write the same values; both unions iterate ascending, keeping the
+// keep-alive memory sum bit-identical to the dense accumulation.
 func (r *Runtime) applyDecisionsLocked(decisions []int) {
 	if len(decisions) != len(r.fns) {
 		panic(fmt.Sprintf("runtime: policy returned %d decisions for %d functions", len(decisions), len(r.fns)))
+	}
+	if r.sparse {
+		r.applyDecisionsSparse(decisions)
+		return
 	}
 	var kam float64
 	for fn, vi := range decisions {
@@ -439,6 +498,49 @@ func (r *Runtime) applyDecisionsLocked(decisions []int) {
 	if r.obs != nil {
 		r.obs.ObserveMinute(telemetry.MinuteSample{Minute: r.minute, KeepAliveMB: kam, CostUSD: cost})
 	}
+}
+
+// applyDecisionsSparse writes the decisions over the ascending merge of the
+// previous minute's applied set and the policy's current active set. Plain
+// stripe writes are safe here: the window is open (seq odd, chain walked),
+// so no invocation body is in flight, and endWrite's release publishes the
+// writes to the fast path's acquire loads. The current active set is copied
+// into prevAlive because it aliases policy state that mutates next minute.
+func (r *Runtime) applyDecisionsSparse(decisions []int) {
+	activeNow := r.asp.ActiveSlots()
+	prev := r.prevAlive
+	var kam float64
+	i, j := 0, 0
+	for i < len(prev) || j < len(activeNow) {
+		var fn int32
+		switch {
+		case j >= len(activeNow) || (i < len(prev) && prev[i] < activeNow[j]):
+			fn = prev[i]
+			i++
+		case i >= len(prev) || activeNow[j] < prev[i]:
+			fn = activeNow[j]
+			j++
+		default:
+			fn = prev[i]
+			i++
+			j++
+		}
+		st := r.fns[fn]
+		vi := decisions[fn]
+		st.alive = vi
+		if vi == cluster.NoVariant {
+			continue
+		}
+		fam := r.cfg.Catalog.Families[st.family]
+		if vi < 0 || vi >= fam.NumVariants() {
+			panic(fmt.Sprintf("runtime: policy kept invalid variant %d for function %d", vi, fn))
+		}
+		kam += fam.Variants[vi].MemoryMB
+	}
+	r.prevAlive = append(r.prevAlive[:0], activeNow...)
+	cost := r.cfg.Cost.KeepAliveUSDPerMinute(kam)
+	r.kaMMB = kam
+	r.kaCostUSD += cost
 }
 
 // Close marks the runtime closed and releases resources owned by its
@@ -551,6 +653,29 @@ func (r *Runtime) serveLocked(st *fnState, fn, minute int) (Invocation, error) {
 	return inv, nil
 }
 
+// markDirty chains stripe fn into the dirty list: the collection of slots
+// that served (or attempted to serve) since the last harvest. Must be
+// called with st.mu held. In epoch mode the call must precede the seqlock
+// re-check: sequential consistency then orders any counted body's push
+// before its re-check load, before the writer's seq flip, before the
+// writer's chain Swap — so every stripe with an in-flight counted body is
+// in the chain the harvest walks (and waits out via its stripe lock). A
+// push whose re-check then fails leaves a count-0 node, which the harvest
+// skips; no undo is needed.
+func (r *Runtime) markDirty(st *fnState, fn int) {
+	if st.dirtyMark {
+		return
+	}
+	st.dirtyMark = true
+	for {
+		h := r.dirtyHead.Load()
+		st.dirtyNext = h
+		if r.dirtyHead.CompareAndSwap(h, int32(fn)) {
+			return
+		}
+	}
+}
+
 // invokeEpoch is the lock-free fast path: load an even seq, take the
 // stripe lock, re-check seq, serve. A failed re-check means a write window
 // opened (or completed) in between — release and retry, so a counted
@@ -587,6 +712,9 @@ func (r *Runtime) invokeEpoch(fn int) (Invocation, int, error) {
 			r.stripeWait.Add(1)
 			st.mu.Lock()
 		}
+		if r.sparse {
+			r.markDirty(st, fn)
+		}
 		if r.seq.Load() != e {
 			st.mu.Unlock()
 			retries++
@@ -622,6 +750,9 @@ func (r *Runtime) invokeBarrier(fn int) (Invocation, error) {
 	if !st.mu.TryLock() {
 		r.stripeWait.Add(1)
 		st.mu.Lock()
+	}
+	if r.sparse {
+		r.markDirty(st, fn)
 	}
 	inv, err := r.serveLocked(st, fn, r.minute)
 	st.mu.Unlock()
@@ -731,14 +862,45 @@ func (r *Runtime) Step() error {
 	// stripe lock acquisition waits out that stripe's last in-flight
 	// invocation, and once seq is odd no new body can start.
 	r.seq.Add(1)
-	for i, st := range r.fns {
-		st.mu.Lock()
-		r.countsBuf[i] = st.count
-		st.count = 0
-		st.coldPod = cluster.NoVariant
-		st.mu.Unlock()
+	if r.sparse {
+		// Sparse harvest: only the stripes on the dirty chain served this
+		// minute, and every stripe with an in-flight counted body is on it
+		// (see markDirty), so walking the chain is both the count harvest
+		// and the drain — idle slots are never touched. countsBuf holds
+		// all zeros between minutes; harvested entries are reset after the
+		// policy call. Pushes racing the odd window land on the fresh
+		// chain with their counts intact and are harvested next minute —
+		// their bodies failed the re-check, so nothing was counted now.
+		r.invokedBuf = r.invokedBuf[:0]
+		for h := r.dirtyHead.Swap(-1); h >= 0; {
+			st := r.fns[h]
+			st.mu.Lock()
+			if st.count > 0 {
+				r.countsBuf[h] = st.count
+				r.invokedBuf = append(r.invokedBuf, h)
+				st.count = 0
+			}
+			st.coldPod = cluster.NoVariant
+			st.dirtyMark = false
+			next := st.dirtyNext
+			st.mu.Unlock()
+			h = next
+		}
+		slices.Sort(r.invokedBuf)
+		r.asp.RecordInvocationsSparse(r.minute, r.countsBuf, r.invokedBuf)
+		for _, fn := range r.invokedBuf {
+			r.countsBuf[fn] = 0
+		}
+	} else {
+		for i, st := range r.fns {
+			st.mu.Lock()
+			r.countsBuf[i] = st.count
+			st.count = 0
+			st.coldPod = cluster.NoVariant
+			st.mu.Unlock()
+		}
+		r.cfg.Policy.RecordInvocations(r.minute, r.countsBuf)
 	}
-	r.cfg.Policy.RecordInvocations(r.minute, r.countsBuf)
 	r.minute++
 	r.minuteA.Store(int64(r.minute))
 	r.applyDecisionsLocked(r.cfg.Policy.KeepAlive(r.minute))

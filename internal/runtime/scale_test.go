@@ -1,0 +1,172 @@
+package runtime
+
+import (
+	"testing"
+	"time"
+
+	"github.com/pulse-serverless/pulse/internal/core"
+	"github.com/pulse-serverless/pulse/internal/models"
+)
+
+// newScaleRuntime builds a PULSE-managed runtime of the given population —
+// the constructor shape RunScale sweeps.
+func newScaleRuntime(t *testing.T) func(fns int, mode string) (*Runtime, error) {
+	t.Helper()
+	cat := models.PaperCatalog()
+	return func(fns int, mode string) (*Runtime, error) {
+		asg := make(models.Assignment, fns)
+		for i := range asg {
+			asg[i] = i % len(cat.Families)
+		}
+		p, err := core.New(core.Config{Catalog: cat, Assignment: asg})
+		if err != nil {
+			return nil, err
+		}
+		return New(Config{
+			Catalog:    cat,
+			Assignment: asg,
+			Policy:     p,
+			Clock:      NewManualClock(time.Unix(0, 0)),
+			Mode:       mode,
+		})
+	}
+}
+
+func TestRunScaleValidation(t *testing.T) {
+	mk := newScaleRuntime(t)
+	if _, err := RunScale(ScaleConfig{}); err == nil {
+		t.Error("scale sweep without a constructor accepted")
+	}
+	if _, err := RunScale(ScaleConfig{NewRuntime: mk, Populations: []int{0}}); err == nil {
+		t.Error("non-positive population accepted")
+	}
+	if _, err := RunScale(ScaleConfig{NewRuntime: mk, Populations: []int{10}, ActivePct: -1}); err == nil {
+		t.Error("negative active percentage accepted")
+	}
+	if _, err := RunScale(ScaleConfig{NewRuntime: mk, Populations: []int{10}, ActivePct: 120}); err == nil {
+		t.Error("active percentage above 100 accepted")
+	}
+	if _, err := RunScale(ScaleConfig{NewRuntime: mk, Populations: []int{10}, Minutes: -3}); err == nil {
+		t.Error("negative minutes accepted")
+	}
+	if _, err := RunScale(ScaleConfig{NewRuntime: mk, Populations: []int{10}, Mode: "nope"}); err == nil {
+		t.Error("unknown mode accepted")
+	}
+}
+
+// TestRunScaleSmoke sweeps two tiny populations and checks every published
+// field is populated and internally consistent.
+func TestRunScaleSmoke(t *testing.T) {
+	var progress int
+	results, err := RunScale(ScaleConfig{
+		Populations: []int{100, 400},
+		ActivePct:   2,
+		Minutes:     2,
+		NewRuntime:  newScaleRuntime(t),
+		Progress:    func(ScaleResult) { progress++ },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 || progress != 2 {
+		t.Fatalf("sweep produced %d results (%d progress calls), want 2", len(results), progress)
+	}
+	for i, n := range []int{100, 400} {
+		r := results[i]
+		if r.Functions != n || r.Mode != ModeEpoch {
+			t.Errorf("cell %d: shape %+v, want %d functions in epoch mode", i, r, n)
+		}
+		if want := n * 2 / 100; r.ActiveFunctions != want {
+			t.Errorf("cell %d: %d active functions, want %d", i, r.ActiveFunctions, want)
+		}
+		if r.HeapBytes == 0 || r.BytesPerFunction <= 0 {
+			t.Errorf("cell %d: no heap measurement: %+v", i, r)
+		}
+		// Warmup + idle phase + active phase.
+		if want := 1 + 2 + 2; r.MinutesStepped != want {
+			t.Errorf("cell %d: stepped %d minutes, want %d", i, r.MinutesStepped, want)
+		}
+		if r.ActiveStepMicros <= 0 {
+			t.Errorf("cell %d: active step latency not measured: %+v", i, r)
+		}
+	}
+}
+
+// TestSparseIdleStepZeroAllocs pins the runtime's sparse minute barrier at
+// zero heap allocations on idle minutes, in every serving mode — both while
+// recently-invoked slots still hold live plans (the barrier touches only
+// the active set) and after the plans drain (the barrier touches nothing).
+// Run by the CI alloc job.
+func TestSparseIdleStepZeroAllocs(t *testing.T) {
+	cat := models.PaperCatalog()
+	const n = 512
+	asg := make(models.Assignment, n)
+	for i := range asg {
+		asg[i] = i % len(cat.Families)
+	}
+	for _, mode := range []string{ModeSerial, ModeStriped, ModeEpoch} {
+		t.Run(mode, func(t *testing.T) {
+			p, err := core.New(core.Config{Catalog: cat, Assignment: asg, Shards: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			r, err := New(Config{
+				Catalog:    cat,
+				Assignment: asg,
+				Policy:     p,
+				Clock:      NewManualClock(time.Unix(0, 0)),
+				Mode:       mode,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer r.Close()
+			if !r.sparse {
+				t.Fatal("sparse path not engaged")
+			}
+			window := p.Config().Window
+
+			// Warm: a few slots invoked over two minutes so plan rows, the
+			// dirty chain, and every staging buffer reach capacity.
+			hot := []int{0, n / 2, n - 1}
+			for m := 0; m < 2; m++ {
+				for _, fn := range hot {
+					if _, err := r.Invoke(fn); err != nil {
+						t.Fatal(err)
+					}
+				}
+				if err := r.Step(); err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			// Phase 1: idle minutes with the hot slots' plans still live.
+			// All runs stay inside the plan window, so no row compaction
+			// (and no free-list growth) can land mid-measurement.
+			if allocs := testing.AllocsPerRun(window-4, func() {
+				if err := r.Step(); err != nil {
+					t.Fatal(err)
+				}
+			}); allocs != 0 {
+				t.Errorf("%s idle Step with resident active set allocates %v/op, want 0", mode, allocs)
+			}
+
+			// Drain: the remaining plan minutes expire and compact (the
+			// one-time free-list growth lands here, unmeasured).
+			for i := 0; i < window+2; i++ {
+				if err := r.Step(); err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			// Phase 2: fully-idle minutes over the drained population.
+			if allocs := testing.AllocsPerRun(300, func() {
+				if err := r.Step(); err != nil {
+					t.Fatal(err)
+				}
+			}); allocs != 0 {
+				t.Errorf("%s fully-idle Step allocates %v/op, want 0", mode, allocs)
+			}
+		})
+	}
+}
