@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-parallel race stress bench bench-runtime bench-matrix bench-scale bench-scale-full experiments report examples clean verify alloc lint e2e
+.PHONY: all build vet test test-parallel race stress bench bench-runtime bench-matrix bench-scale bench-scale-full bench-tournament experiments report examples clean verify alloc lint e2e
 
 all: build vet test
 
@@ -15,7 +15,7 @@ verify: build vet test
 # sparse runtime Step, telemetry buffers/fan-out, attribution accountant
 # and ring store). Mirrors the CI "alloc" job.
 alloc:
-	$(GO) test ./... -run 'ZeroAllocs|DoesNotAllocate|NoAllocs' -count=1
+	$(GO) test ./... -run 'ZeroAllocs|DoesNotAllocate|NoAllocs|NoSteadyStateAllocs' -count=1
 
 build:
 	$(GO) build ./...
@@ -86,6 +86,15 @@ bench-scale:
 
 bench-scale-full:
 	$(GO) run ./cmd/pulseload -scale-only -scale 10000,100000,1000000 -out BENCH_scale.json
+
+# Tournament Observer-chain overhead: epoch mode benchmarked with the
+# baseline accountant vs the full entrant roster (mpc, hawkes, qlearn)
+# riding the attribution feed. The per-entrant throughput delta is checked
+# against the advisory <3%/entrant guard and lands in the tournament_delta
+# field of BENCH_tournament.json.
+bench-tournament:
+	$(GO) run ./cmd/pulseload -tournament-only -tournament-entrants mpc,hawkes,qlearn \
+		-duration 2s -out BENCH_tournament.json
 
 # Full experiment suite at paper-like scale (hours on a small machine).
 experiments:

@@ -8,7 +8,12 @@
 //
 // Experiments: tableI tableII tableIII fig1 fig2 fig4 fig5 fig6a fig6b
 // fig7 fig8 fig9 fig10 fig11 fig12 attribution holtwinters capacity
-// windows tails churn alerts ablations all.
+// windows tails churn alerts tournament ablations all.
+//
+// The tournament experiment races the packaged shadow entrants (MPC,
+// Hawkes, Q-learning) plus the built-in baselines against the live PULSE
+// controller on every trace archetype and under function churn, ranking
+// them by keep-alive cost per workload.
 package main
 
 import (
@@ -80,6 +85,7 @@ func run() error {
 		"tails":       wrap(experiments.ExtensionTailLatency),
 		"churn":       wrap(experiments.ExtensionChurn),
 		"alerts":      wrap(experiments.ExtensionAlerts),
+		"tournament":  wrap(experiments.ExtensionTournament),
 		"ablations": func(o experiments.Options) error {
 			for _, f := range []func(experiments.Options) ([]experiments.SweepPoint, error){
 				experiments.AblationHistoryBlend,

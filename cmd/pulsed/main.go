@@ -17,8 +17,8 @@
 //	GET  /events           decision event log (requires telemetry)
 //	GET  /decisions        Algorithm 1/2 audit: downgrades with Uv = Ai+Pr+Ip, peak episodes
 //	GET  /attribution      per-function counterfactual savings vs shadow baselines (requires attribution)
-//	GET  /timeseries       attribution series for one metric (?metric=&window=&res=; requires attribution)
-//	GET  /top              ranking by savings, downgrades, cold-start risk; text or ?format=json (requires attribution)
+//	GET  /timeseries       attribution series for one metric, incl. savings_vs_<entrant>_usd (?metric=&window=&res=; requires attribution)
+//	GET  /top              function ranking by savings, downgrades, cold-start risk, or ?by=policy tournament standings; text or ?format=json (requires attribution)
 //	GET  /why              decision provenance for one function: Algorithm 1/2 inputs and outputs behind its recent keep-alive choices (?fn=&minute=&n=; requires provenance)
 //	GET  /traces           sampled invocation spans: minute, variant, cold/warm, seqlock retries, latency (requires -trace-sample)
 //	GET  /stream           live Server-Sent Events: decision log, minute rollups, alert transitions, sampled traces
@@ -34,6 +34,14 @@
 // -attribution-window), a never-keep-alive policy, and a hindsight oracle,
 // serving per-function savings through /attribution, /timeseries, and
 // /top.
+//
+// With -tournament LIST (comma-separated roster entrants, e.g.
+// mpc,hawkes,qlearn; implies -attribution), the accountant additionally
+// races the named shadow keep-alive policies on the same sample stream.
+// Standings are served at /top?by=policy, per-entrant ledgers in the
+// /attribution tournament section, and per-minute deltas as
+// savings_vs_<entrant>_usd on /timeseries. An empty, duplicate, or
+// unknown entrant name is a usage error naming the registered entrants.
 //
 // With -provenance-window N (the default is 64; 0 disables), a decision
 // provenance recorder rides the observer chain and retains each function's
@@ -73,6 +81,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -86,6 +95,7 @@ import (
 	"github.com/pulse-serverless/pulse/internal/provenance"
 	"github.com/pulse-serverless/pulse/internal/runtime"
 	"github.com/pulse-serverless/pulse/internal/telemetry"
+	"github.com/pulse-serverless/pulse/internal/tournament/roster"
 	"github.com/pulse-serverless/pulse/internal/trace"
 )
 
@@ -147,6 +157,7 @@ func run() error {
 	eventLog := flag.String("eventlog", "", "append decision events as JSON lines to this file")
 	attrib := flag.Bool("attribution", false, "run counterfactual cost attribution (shadow baselines, /attribution /timeseries /top)")
 	attribWindow := flag.Int("attribution-window", cluster.DefaultKeepAliveWindow, "fixed-baseline keep-alive window in minutes for attribution")
+	tournamentList := flag.String("tournament", "", "comma-separated shadow entrants to race in the policy tournament (registered: "+strings.Join(roster.Names(), ", ")+"); implies -attribution")
 	mode := flag.String("mode", "", "runtime serving mode: epoch (lock-free, default), striped, or serial")
 	serial := flag.Bool("serial", false, "shorthand for -mode serial (single-lock benchmark baseline)")
 	provWindow := flag.Int("provenance-window", provenance.DefaultWindow, "per-function decision provenance ring window in minutes for /why (0 disables provenance)")
@@ -156,6 +167,7 @@ func run() error {
 	webhook := flag.String("webhook", "", "POST alert notifications as JSON to this URL (retried with backoff); implies -alerts")
 	flag.Parse()
 	*alerts = *alerts || *alertRules != "" || *webhook != ""
+	*attrib = *attrib || *tournamentList != ""
 
 	tickEvery, err := tickInterval(*compress)
 	if err != nil {
@@ -197,10 +209,19 @@ func run() error {
 	// the accountant's ring).
 	chain := []telemetry.Observer{tel}
 	var acct *attribution.Accountant
+	var entrantNames []string
 	if *attrib {
-		if acct, err = attribution.New(attribution.Config{
-			Catalog: cat, Assignment: asg, Window: *attribWindow,
-		}); err != nil {
+		acfg := attribution.Config{Catalog: cat, Assignment: asg, Window: *attribWindow}
+		if *tournamentList != "" {
+			// roster.Build rejects empty elements, duplicates, and unknown
+			// names with an error naming the registered entrants — surface
+			// that as the flag's usage error.
+			entrantNames = roster.ParseList(*tournamentList)
+			if acfg.Entrants, err = roster.Build(entrantNames, cat, cluster.DefaultCostModel()); err != nil {
+				return fmt.Errorf("-tournament: %w", err)
+			}
+		}
+		if acct, err = attribution.New(acfg); err != nil {
 			return err
 		}
 		chain = append(chain, acct)
@@ -307,6 +328,9 @@ func run() error {
 	if acct != nil {
 		api.AttachAttribution(acct)
 		log.Printf("pulsed: attribution enabled (fixed baseline window %d min)", acct.Window())
+		if len(entrantNames) > 0 {
+			log.Printf("pulsed: policy tournament racing %s (/top?by=policy)", strings.Join(entrantNames, ", "))
+		}
 	}
 	if prov != nil {
 		api.AttachProvenance(prov)

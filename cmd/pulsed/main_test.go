@@ -51,6 +51,24 @@ func TestAttributionFlagsRegistered(t *testing.T) {
 	}
 }
 
+// The tournament flag must exist, its help text must name the registered
+// entrants, and the doc comment must describe the surface it unlocks.
+func TestTournamentFlagRegistered(t *testing.T) {
+	src, err := os.ReadFile("main.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(src), `"tournament"`) {
+		t.Error("main.go does not register the tournament flag")
+	}
+	doc, _, _ := strings.Cut(string(src), "package main")
+	for _, want := range []string{"-tournament", "by=policy", "savings_vs_<entrant>_usd"} {
+		if !strings.Contains(doc, want) {
+			t.Errorf("doc comment does not mention %q", want)
+		}
+	}
+}
+
 // The provenance and tracing flags must stay wired into the flag surface:
 // -provenance-window gates /why (and is on by default), -trace-sample
 // gates /traces.

@@ -27,6 +27,14 @@
 // output's tracer_delta field. The guard is <2% overhead at stride 1024;
 // a breach is reported as a warning, not a failure, because single cells
 // at short durations are noisy.
+//
+// With -tournament-entrants (a roster list like mpc,hawkes,qlearn), a
+// tournament-delta pair benchmarks epoch mode with the baseline
+// attribution accountant vs the full entrant roster riding the Observer
+// chain, and publishes the per-entrant throughput overhead into the
+// output's tournament_delta field (guard: <3% per entrant, advisory).
+// -tournament-only skips the matrix and runs just that pair — the
+// Makefile bench-tournament target.
 package main
 
 import (
@@ -40,10 +48,13 @@ import (
 	"time"
 
 	pulse "github.com/pulse-serverless/pulse"
+	"github.com/pulse-serverless/pulse/internal/cluster"
 	"github.com/pulse-serverless/pulse/internal/core"
 	"github.com/pulse-serverless/pulse/internal/policy"
 	"github.com/pulse-serverless/pulse/internal/provenance"
 	"github.com/pulse-serverless/pulse/internal/runtime"
+	"github.com/pulse-serverless/pulse/internal/telemetry"
+	"github.com/pulse-serverless/pulse/internal/tournament/roster"
 )
 
 // benchFile is the BENCH_runtime.json schema: raw per-cell results plus the
@@ -60,6 +71,9 @@ type benchFile struct {
 	// TracerDelta is the tracer-on vs tracer-off epoch throughput
 	// comparison; absent when -trace-stride is 0.
 	TracerDelta *runtime.TracerDelta `json:"tracer_delta,omitempty"`
+	// TournamentDelta is the entrant-roster vs baseline-accountant
+	// throughput comparison; absent when -tournament-entrants is empty.
+	TournamentDelta *runtime.TournamentDelta `json:"tournament_delta,omitempty"`
 	// Scale is the population-scale sweep (bytes per function and
 	// idle/active minute-step latency); absent when -scale is empty.
 	Scale []runtime.ScaleResult `json:"scale,omitempty"`
@@ -114,6 +128,10 @@ func run() error {
 	stepEvery := flag.Duration("step-every", 100*time.Millisecond, "minute-barrier cadence (0 disables stepping)")
 	traceStride := flag.Int64("trace-stride", runtime.DefaultTracerDeltaStride,
 		"sampling period for the tracer-overhead pair after the matrix (0 skips it)")
+	tournamentEntrants := flag.String("tournament-entrants", "",
+		"comma-separated tournament entrants for the overhead pair after the matrix (e.g. mpc,hawkes,qlearn; empty skips it)")
+	tournamentOnly := flag.Bool("tournament-only", false,
+		"run only the tournament-overhead pair, skipping the serving matrix")
 	modes := flag.String("modes", strings.Join([]string{runtime.ModeSerial, runtime.ModeStriped, runtime.ModeEpoch}, ","),
 		"comma-separated runtime modes to benchmark")
 	scale := flag.String("scale", "", "comma-separated populations for the scale sweep (empty skips it)")
@@ -172,6 +190,9 @@ func run() error {
 	if *scaleOnly && len(scalePops) == 0 {
 		return fmt.Errorf("-scale-only requires a -scale population list")
 	}
+	if *tournamentOnly && *tournamentEntrants == "" {
+		return fmt.Errorf("-tournament-only requires a -tournament-entrants list")
+	}
 
 	cat := pulse.Catalog()
 	newTracedRuntime := func(fns int, mode string, tracer *provenance.Tracer) (*runtime.Runtime, error) {
@@ -207,8 +228,80 @@ func run() error {
 		Policy:   *policyName,
 		HostCPUs: goruntime.NumCPU(),
 	}
+
+	// runTournament benchmarks the entrant roster's Observer-chain cost:
+	// baseline accountant vs the same accountant racing the named
+	// entrants, attached (like pulsed does) to both the controller and the
+	// runtime.
+	runTournament := func() error {
+		names := roster.ParseList(*tournamentEntrants)
+		cost := cluster.DefaultCostModel()
+		newObserver := func(fns int, extras bool) (telemetry.Observer, error) {
+			asg := pulse.UniformAssignment(cat, fns)
+			acfg := pulse.AttributionConfig{Catalog: cat, Assignment: asg, Cost: cost}
+			if extras {
+				ents, err := roster.Build(names, cat, cost)
+				if err != nil {
+					return nil, err
+				}
+				acfg.Entrants = ents
+			}
+			return pulse.NewAccountant(acfg)
+		}
+		newObservedRuntime := func(fns int, mode string, obs telemetry.Observer) (*runtime.Runtime, error) {
+			asg := pulse.UniformAssignment(cat, fns)
+			var p pulse.Policy
+			var err error
+			switch *policyName {
+			case "pulse":
+				p, err = core.New(core.Config{Catalog: cat, Assignment: asg, Shards: *shards, Observer: obs})
+			case "fixed":
+				p, err = policy.NewFixed(cat, asg, 0, policy.QualityHighest)
+			default:
+				err = fmt.Errorf("unknown policy %q (want pulse or fixed)", *policyName)
+			}
+			if err != nil {
+				return nil, err
+			}
+			return runtime.New(runtime.Config{
+				Catalog:    cat,
+				Assignment: asg,
+				Policy:     p,
+				Mode:       mode,
+				Observer:   obs,
+			})
+		}
+		delta, err := runtime.RunTournamentDelta(runtime.TournamentDeltaConfig{
+			Functions:   fnCounts[0],
+			Duration:    *duration,
+			Seed:        *seed,
+			StepEvery:   *stepEvery,
+			Entrants:    names,
+			NewRuntime:  newObservedRuntime,
+			NewObserver: newObserver,
+		})
+		if err != nil {
+			return err
+		}
+		file.TournamentDelta = &delta
+		verdict := fmt.Sprintf("within <%.0f%%/entrant guard", delta.GuardPctPerEntrant)
+		if !delta.WithinGuard {
+			verdict = fmt.Sprintf("WARNING: exceeds %.0f%%/entrant guard", delta.GuardPctPerEntrant)
+		}
+		fmt.Printf("tournament %s on %s: baseline %9.0f inv/s  loaded %9.0f inv/s  overhead %+.2f%% (%+.2f%%/entrant) %s\n",
+			strings.Join(delta.Entrants, ","), delta.Mode, delta.BaselineThroughput, delta.LoadedThroughput,
+			delta.OverheadPct, delta.OverheadPctPerEntrant, verdict)
+		return nil
+	}
 	if file.HostCPUs == 1 {
 		file.HostNote = "measured on a 1-CPU host: mode speedup ratios reflect serialized parallelism, and scale latencies have no background-GC overlap"
+	}
+	if *tournamentOnly {
+		file.Bench = "runtime-tournament"
+		if err := runTournament(); err != nil {
+			return err
+		}
+		return writeBenchFile(file, *out)
 	}
 	if *scaleOnly {
 		file.Bench = "runtime-scale"
@@ -266,6 +359,11 @@ func run() error {
 		fmt.Printf("tracer 1/%d on %s: off %9.0f inv/s  on %9.0f inv/s  overhead %+.2f%%  (%d sampled of %d) %s\n",
 			delta.Stride, delta.Mode, delta.OffThroughput, delta.OnThroughput,
 			delta.OverheadPct, delta.Sampled, delta.Attempts, verdict)
+	}
+	if *tournamentEntrants != "" {
+		if err := runTournament(); err != nil {
+			return err
+		}
 	}
 	for _, p := range file.Summary {
 		if p.SpeedupEpochVsStriped > 0 {

@@ -3,8 +3,9 @@
 //
 // An Accountant is a telemetry.Observer that watches the same sample
 // stream the metrics pipeline sees — keep-alive decisions, invocations,
-// minute rollups — and runs three lightweight *shadow policies* in-stream
-// against the identical invocation feed:
+// minute rollups — and runs lightweight *shadow policies* in-stream
+// against the identical invocation feed. Three baselines are always
+// raced:
 //
 //   - fixed-high: the OpenWhisk/AWS-style fixed keep-alive of the
 //     highest-quality variant for Config.Window minutes after every
@@ -16,16 +17,21 @@
 //     function is invoked, so every invocation is warm and no idle minute
 //     is ever paid for.
 //
-// The shadows never run containers; they are pure accounting derived from
-// the observed invocation counts, with semantics matched line-for-line to
-// the cluster engine's (an invocation at minute m keeps the fixed
-// baseline's container alive through minute m+window; the first cold
-// invocation of a minute pays the cold start and leaves the container warm
-// for the rest of the minute). Per function and cluster-wide, the
-// Accountant tracks keep-alive MB-minutes, cold starts, delivered accuracy
-// (both invocation-weighted and variant-minutes weighted), and the net
-// savings of the live policy versus each baseline, plus a fixed-capacity
-// windowed time-series of per-minute aggregates.
+// Since the tournament refactor the Accountant is a thin adapter over a
+// tournament.Arena: the three baselines are tournament.ShadowEntrant
+// implementations (entrants 0..2), and Config.Entrants appends further
+// contenders — MPC, Hawkes, Q-learning, or anything satisfying the
+// interface — raced by the same referee with per-entrant per-function
+// ledgers. The shadows never run containers; they are pure accounting
+// derived from the observed invocation counts, with semantics matched
+// line-for-line to the cluster engine's (an invocation at minute m keeps
+// the fixed baseline's container alive through minute m+window; the first
+// cold invocation of a minute pays the cold start and leaves the
+// container warm for the rest of the minute). Per function and
+// cluster-wide, the Accountant tracks keep-alive MB-minutes, cold starts,
+// delivered accuracy (both invocation-weighted and variant-minutes
+// weighted), and the net savings of the live policy versus each baseline,
+// plus a fixed-capacity windowed time-series of per-minute aggregates.
 //
 // Determinism: the Accountant's state is a pure function of the sample
 // stream. Attribution therefore stays on the coordinator — the sharded
@@ -40,14 +46,15 @@ package attribution
 
 import (
 	"fmt"
-	"sync"
 
 	"github.com/pulse-serverless/pulse/internal/cluster"
 	"github.com/pulse-serverless/pulse/internal/models"
 	"github.com/pulse-serverless/pulse/internal/telemetry"
+	"github.com/pulse-serverless/pulse/internal/tournament"
 )
 
-// Baseline names as they appear in reports.
+// Baseline names as they appear in reports. Every Accountant's arena
+// carries these as entrants 0, 1, and 2; Config.Entrants follow.
 const (
 	BaselineFixedHigh = "fixed-high"
 	BaselineNever     = "never"
@@ -68,50 +75,10 @@ type Config struct {
 	// minute resolution (default DefaultSeriesWindow). The hourly rollup
 	// ring holds the same number of buckets, extending the horizon 60×.
 	SeriesWindow int
-}
-
-// famInfo caches the per-variant characteristics of one model family in
-// the form the hot path needs: no catalog traversal per sample.
-type famInfo struct {
-	name       string
-	byName     map[string]int
-	memMB      []float64
-	accPct     []float64
-	costPerMin []float64
-	highest    int
-}
-
-// fnState is one function's attribution state: shadow bookkeeping plus the
-// integer counters everything in a Report is derived from. Keeping counts
-// (minutes per variant, invocations per variant) rather than running float
-// sums makes reports independent of how the feed fragments a minute's
-// invocations into samples — the engine batches warm invocations, the live
-// runtime emits one sample each, and both must account identically.
-type fnState struct {
-	lastInv    int  // minute of the last invocation, -1 before any
-	seenMinute int  // minute of the last invocation sample, -1 before any
-	fixedAlive bool // fixed-high shadow keeps this function alive in the open minute
-	retired    bool // slot deregistered; ledger closed, counters frozen
-
-	invocations   int
-	actualCold    int
-	fixedCold     int
-	neverCold     int
-	invokedMin    int   // minutes with ≥1 invocation (= oracle keep-alive minutes)
-	fixedAliveMin int   // minutes the fixed-high shadow kept alive
-	aliveMin      []int // actual kept-alive minutes, by variant index (nil once retired)
-	invByVariant  []int // actual invocations, by variant index (nil once retired)
-	downgrades    int
-
-	// Folded per-variant sums, computed once at retirement — in the same
-	// variant order functionReport uses, so reports stay bit-identical —
-	// after which aliveMin and invByVariant are released. This is what
-	// bounds a churning accountant's steady-state heap: a departed slot
-	// keeps only this fixed-size struct, not its per-variant ledgers.
-	foldedKaMBMin float64 // Σ aliveMin[v] × memMB[v]
-	foldedKaCost  float64 // Σ aliveMin[v] × costPerMin[v]
-	foldedAccMin  float64 // Σ aliveMin[v] × accPct[v]
-	foldedAccSum  float64 // Σ invByVariant[v] × accPct[v]
+	// Entrants are additional tournament contenders raced alongside the
+	// three baselines (see tournament.Roster for the packaged ones). Names
+	// must be unique and must not collide with the baseline names.
+	Entrants []tournament.ShadowEntrant
 }
 
 // Accountant is the online counterfactual attribution engine. It
@@ -120,25 +87,8 @@ type fnState struct {
 // runtime.Config Observer), alongside any other observer via
 // telemetry.Multi.
 type Accountant struct {
-	mu     sync.Mutex
-	cost   cluster.CostModel
+	arena  *tournament.Arena
 	window int
-
-	fams  []famInfo
-	famOf []int
-	fns   []fnState
-
-	cur   int // open minute, -1 before the first sample
-	store *store
-
-	// Open-minute cluster-wide accumulators, written into the store when
-	// the minute closes. Accumulation happens in function order (the
-	// sample emission order), so the series is deterministic too.
-	minActualKaM, minActualCost float64
-	minFixedKaM, minFixedCost   float64
-	minOracleKaM, minOracleCost float64
-	minActualCold, minFixedCold int
-	minNeverCold, minInv        int
 }
 
 // New builds an Accountant. The catalog and assignment must match the ones
@@ -165,218 +115,79 @@ func New(cfg Config) (*Accountant, error) {
 	if cfg.Window <= 0 {
 		cfg.Window = cluster.DefaultKeepAliveWindow
 	}
-	if cfg.SeriesWindow <= 0 {
-		cfg.SeriesWindow = DefaultSeriesWindow
+	entrants := make([]tournament.ShadowEntrant, 0, 3+len(cfg.Entrants))
+	entrants = append(entrants,
+		tournament.NewFixedWindow(BaselineFixedHigh, cfg.Window),
+		tournament.NewNever(BaselineNever),
+		tournament.NewOracle(BaselineOracle),
+	)
+	entrants = append(entrants, cfg.Entrants...)
+	arena, err := tournament.New(tournament.Config{
+		Catalog:      cfg.Catalog,
+		Assignment:   cfg.Assignment,
+		Cost:         cfg.Cost,
+		SeriesWindow: cfg.SeriesWindow,
+		Entrants:     entrants,
+	})
+	if err != nil {
+		return nil, err
 	}
-	a := &Accountant{
-		cost:   cfg.Cost,
-		window: cfg.Window,
-		fams:   make([]famInfo, len(cfg.Catalog.Families)),
-		famOf:  make([]int, len(cfg.Assignment)),
-		fns:    make([]fnState, len(cfg.Assignment)),
-		cur:    -1,
-		store:  newStore(cfg.SeriesWindow),
-	}
-	for i := range cfg.Catalog.Families {
-		fam := &cfg.Catalog.Families[i]
-		fi := famInfo{
-			name:       fam.Name,
-			byName:     make(map[string]int, fam.NumVariants()),
-			memMB:      make([]float64, fam.NumVariants()),
-			accPct:     make([]float64, fam.NumVariants()),
-			costPerMin: make([]float64, fam.NumVariants()),
-			highest:    fam.NumVariants() - 1,
-		}
-		for vi, v := range fam.Variants {
-			fi.byName[v.Name] = vi
-			fi.memMB[vi] = v.MemoryMB
-			fi.accPct[vi] = v.AccuracyPct
-			fi.costPerMin[vi] = cfg.Cost.KeepAliveUSDPerMinute(v.MemoryMB)
-		}
-		a.fams[i] = fi
-	}
-	for fn := range cfg.Assignment {
-		a.famOf[fn] = cfg.Assignment[fn]
-		nv := cfg.Catalog.Families[cfg.Assignment[fn]].NumVariants()
-		a.fns[fn] = fnState{
-			lastInv:      -1,
-			seenMinute:   -1,
-			aliveMin:     make([]int, nv),
-			invByVariant: make([]int, nv),
-		}
-	}
-	return a, nil
+	return &Accountant{arena: arena, window: cfg.Window}, nil
 }
 
 // Window returns the fixed-high shadow's keep-alive window in minutes.
 func (a *Accountant) Window() int { return a.window }
 
-// roll advances the open minute to m, closing every minute in between.
-// Minutes only move forward; a sample carrying an older minute (possible
-// under live concurrent traffic, where an invocation's sample can be
-// emitted after the tick advanced) is folded into the open minute.
-func (a *Accountant) roll(m int) {
-	if a.cur < 0 {
-		if m < 0 {
-			m = 0
-		}
-		a.open(m)
-		return
-	}
-	for a.cur < m {
-		a.close()
-		a.open(a.cur + 1)
-	}
-}
+// Arena exposes the underlying tournament arena: per-entrant snapshots,
+// entrant-selected time-series, and the memory-retention probes live
+// there.
+func (a *Accountant) Arena() *tournament.Arena { return a.arena }
 
-// open starts minute m: the fixed-high shadow charges keep-alive for every
-// function whose window is still open. Runs in function order.
-func (a *Accountant) open(m int) {
-	a.cur = m
-	for fn := range a.fns {
-		f := &a.fns[fn]
-		alive := !f.retired && f.lastInv >= 0 && m <= f.lastInv+a.window
-		f.fixedAlive = alive
-		if alive {
-			f.fixedAliveMin++
-			fi := &a.fams[a.famOf[fn]]
-			a.minFixedKaM += fi.memMB[fi.highest]
-			a.minFixedCost += fi.costPerMin[fi.highest]
-		}
-	}
-}
-
-// openValues snapshots the open minute's cluster-wide accumulators in
-// store layout — the values close() will push when the minute ends.
-func (a *Accountant) openValues() [numMetrics]float64 {
-	var v [numMetrics]float64
-	v[MetricKaMActualMB] = a.minActualKaM
-	v[MetricKaMFixedMB] = a.minFixedKaM
-	v[MetricKaMOracleMB] = a.minOracleKaM
-	v[MetricCostActualUSD] = a.minActualCost
-	v[MetricCostFixedUSD] = a.minFixedCost
-	v[MetricCostOracleUSD] = a.minOracleCost
-	v[MetricSavingsVsFixedUSD] = a.minFixedCost - a.minActualCost
-	v[MetricColdActual] = float64(a.minActualCold)
-	v[MetricColdFixed] = float64(a.minFixedCold)
-	v[MetricColdNever] = float64(a.minNeverCold)
-	v[MetricInvocations] = float64(a.minInv)
-	return v
-}
-
-// close finalizes the open minute into the time-series store and resets
-// the per-minute accumulators.
-func (a *Accountant) close() {
-	a.store.push(a.cur, a.openValues())
-	a.minActualKaM, a.minActualCost = 0, 0
-	a.minFixedKaM, a.minFixedCost = 0, 0
-	a.minOracleKaM, a.minOracleCost = 0, 0
-	a.minActualCold, a.minFixedCold = 0, 0
-	a.minNeverCold, a.minInv = 0, 0
-}
+// EntrantNames lists every raced policy in report order: the three
+// baselines, then Config.Entrants.
+func (a *Accountant) EntrantNames() []string { return a.arena.EntrantNames() }
 
 // MetricAt returns one cluster-wide metric's value at a single minute:
 // the stored value for a closed minute still inside the series window, or
 // the live accumulators when the minute is the currently open one — what
-// close() would push if the minute ended now. The open-minute path is what
-// lets an alert engine flushing its final minute price it without waiting
-// for a rollup that will never come. Reports false for minutes never seen
-// or already evicted from the ring.
+// the store would receive if the minute ended now. The open-minute path is
+// what lets an alert engine flushing its final minute price it without
+// waiting for a rollup that will never come. Reports false for minutes
+// never seen or already evicted from the ring.
 func (a *Accountant) MetricAt(metric Metric, minute int) (float64, bool) {
-	if metric < 0 || metric >= numMetrics || minute < 0 {
+	sel, ok := metricSelector(metric)
+	if !ok {
 		return 0, false
 	}
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	if minute == a.cur {
-		return a.openValues()[metric], true
+	return a.arena.ValueAt(sel, minute)
+}
+
+// Series returns the trailing time-series for one metric, oldest point
+// first: the last window minutes at minute resolution, or — with hourly
+// set — the last window hours from the rollup ring (gauges averaged,
+// amounts summed; Point.Minute is the hour's first minute). The open
+// minute is not included; it is still accumulating.
+func (a *Accountant) Series(metric Metric, window int, hourly bool) []Point {
+	sel, ok := metricSelector(metric)
+	if !ok {
+		return nil
 	}
-	return a.store.at(metric, minute)
+	return a.arena.Series(sel, window, hourly)
 }
 
 // ObserveKeepAlive implements telemetry.Observer: the live policy's
 // keep-alive decision for one function-minute.
-func (a *Accountant) ObserveKeepAlive(s telemetry.KeepAliveSample) {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	a.roll(s.Minute)
-	if s.Function < 0 || s.Function >= len(a.fns) || a.fns[s.Function].retired {
-		// Retired slots are pinned to NoVariant by every well-formed feed;
-		// a contrary sample is foreign and is dropped (the ledger is gone).
-		return
-	}
-	fi := &a.fams[a.famOf[s.Function]]
-	if s.Variant < 0 || s.Variant >= len(fi.memMB) {
-		return
-	}
-	a.fns[s.Function].aliveMin[s.Variant]++
-	a.minActualKaM += fi.memMB[s.Variant]
-	a.minActualCost += fi.costPerMin[s.Variant]
-}
+func (a *Accountant) ObserveKeepAlive(s telemetry.KeepAliveSample) { a.arena.ObserveKeepAlive(s) }
 
 // ObserveInvocation implements telemetry.Observer: one batch of served
-// invocations. The shadows derive their warm/cold attribution here; the
-// first sample of a function-minute marks the minute invoked (the cold
-// start slot for shadows that are cold, the oracle's keep-alive charge).
-func (a *Accountant) ObserveInvocation(s telemetry.InvocationSample) {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	a.roll(s.Minute)
-	if s.Function < 0 || s.Function >= len(a.fns) || a.fns[s.Function].retired {
-		// A retired function cannot be invoked; a contrary sample is a
-		// foreign feed and is dropped (the per-variant ledger is gone).
-		return
-	}
-	n := s.Count
-	if n <= 0 {
-		n = 1
-	}
-	f := &a.fns[s.Function]
-	fi := &a.fams[a.famOf[s.Function]]
-	first := f.seenMinute != s.Minute
-	if first {
-		if s.Minute > f.seenMinute {
-			f.seenMinute = s.Minute
-		}
-		f.invokedMin++
-		a.minOracleKaM += fi.memMB[fi.highest]
-		a.minOracleCost += fi.costPerMin[fi.highest]
-	}
-	f.invocations += n
-	a.minInv += n
-	vi, ok := fi.byName[s.Variant]
-	if !ok {
-		// A variant name outside the catalog (foreign feed); attribute to
-		// the highest variant rather than dropping the invocations.
-		vi = fi.highest
-	}
-	f.invByVariant[vi] += n
-	if s.Cold {
-		f.actualCold += n
-		a.minActualCold += n
-	}
-	if first && !f.fixedAlive {
-		f.fixedCold++
-		a.minFixedCold++
-	}
-	if first {
-		f.neverCold++
-		a.minNeverCold++
-	}
-	if s.Minute > f.lastInv {
-		f.lastInv = s.Minute
-	}
-}
+// invocations.
+func (a *Accountant) ObserveInvocation(s telemetry.InvocationSample) { a.arena.ObserveInvocation(s) }
 
 // ObserveMinute implements telemetry.Observer. The rollup's payload is
 // recomputed internally (so simulated and live feeds, which price the
 // minute in different float orders, cannot diverge); the sample only
 // advances the clock.
-func (a *Accountant) ObserveMinute(s telemetry.MinuteSample) {
-	a.mu.Lock()
-	a.roll(s.Minute)
-	a.mu.Unlock()
-}
+func (a *Accountant) ObserveMinute(s telemetry.MinuteSample) { a.arena.ObserveMinute(s) }
 
 // ObserveSchedule implements telemetry.Observer (ignored: plans are
 // intent, not cost).
@@ -388,68 +199,15 @@ func (a *Accountant) ObservePeak(telemetry.PeakSample) {}
 
 // ObserveDowngrade implements telemetry.Observer: counts Algorithm 2
 // downgrades per function, the /top "downgrades" ranking.
-func (a *Accountant) ObserveDowngrade(s telemetry.DowngradeSample) {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	a.roll(s.Minute)
-	if s.Function >= 0 && s.Function < len(a.fns) {
-		a.fns[s.Function].downgrades++
-	}
-}
+func (a *Accountant) ObserveDowngrade(s telemetry.DowngradeSample) { a.arena.ObserveDowngrade(s) }
 
 // ObserveRegister implements telemetry.LifecycleObserver: a new function
-// slot opens a fresh ledger. The sample must carry the next dense slot
-// index (lifecycle events are emitted in slot order by both the cluster
-// engine and the live runtime); anything else is a foreign feed and is
-// dropped rather than corrupting the ledgers.
-func (a *Accountant) ObserveRegister(s telemetry.RegisterSample) {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	if s.Family < 0 || s.Family >= len(a.fams) || s.Function != len(a.fns) {
-		return
-	}
-	a.roll(s.Minute)
-	nv := len(a.fams[s.Family].memMB)
-	a.famOf = append(a.famOf, s.Family)
-	a.fns = append(a.fns, fnState{
-		lastInv:      -1,
-		seenMinute:   -1,
-		aliveMin:     make([]int, nv),
-		invByVariant: make([]int, nv),
-	})
-}
+// slot opens a fresh ledger in every account.
+func (a *Accountant) ObserveRegister(s telemetry.RegisterSample) { a.arena.ObserveRegister(s) }
 
 // ObserveDeregister implements telemetry.LifecycleObserver: the slot's
-// ledger is closed — its counters stay in the report, but the fixed-high
-// shadow stops charging from the sample's minute on (a deleted function
-// would not have been kept alive by any baseline either). Retirement is
-// applied before the clock advances so the minute the sample names is the
-// first one the shadow skips. The per-variant ledgers are folded into the
-// fixed-size retired sums and released: a retired slot cannot accumulate
-// further kept-alive minutes or invocations (the policy pins it to
-// NoVariant and the platform refuses to serve it), so the fold is final.
-func (a *Accountant) ObserveDeregister(s telemetry.DeregisterSample) {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	if s.Function < 0 || s.Function >= len(a.fns) {
-		return
-	}
-	f := &a.fns[s.Function]
-	if !f.retired {
-		f.retired = true
-		fi := &a.fams[a.famOf[s.Function]]
-		for v := 0; v < len(fi.memMB); v++ {
-			m := float64(f.aliveMin[v])
-			f.foldedKaMBMin += m * fi.memMB[v]
-			f.foldedKaCost += m * fi.costPerMin[v]
-			f.foldedAccMin += m * fi.accPct[v]
-			f.foldedAccSum += float64(f.invByVariant[v]) * fi.accPct[v]
-		}
-		f.aliveMin, f.invByVariant = nil, nil
-	}
-	f.fixedAlive = false
-	a.roll(s.Minute)
-}
+// ledgers are folded into fixed-size retired sums and released.
+func (a *Accountant) ObserveDeregister(s telemetry.DeregisterSample) { a.arena.ObserveDeregister(s) }
 
 var (
 	_ telemetry.Observer          = (*Accountant)(nil)

@@ -1,45 +1,21 @@
 package attribution
 
-// Report() and Series() snapshot the accountant. Every float in a Report
-// is computed here, at snapshot time, from the integer counters the stream
-// accumulated — in a fixed order (variants within a function, functions
-// within the total) — so two accountants that saw equivalent streams
-// produce bit-identical reports no matter how the feeds fragmented or
-// batched their samples.
+import "github.com/pulse-serverless/pulse/internal/tournament"
+
+// Report() projects the arena's snapshot into the classic three-baseline
+// attribution shape. Every float is computed by the tournament package at
+// snapshot time, from the integer counters the stream accumulated — in a
+// fixed order (variants within a function, functions within the total) —
+// so two accountants that saw equivalent streams produce bit-identical
+// reports no matter how the feeds fragmented or batched their samples.
 
 // Tally is one policy's account of one function (or, in Report.Total, the
 // whole cluster).
-type Tally struct {
-	Invocations int `json:"invocations"`
-	WarmStarts  int `json:"warm_starts"`
-	ColdStarts  int `json:"cold_starts"`
-	// KeepAliveMBMinutes is the keep-alive footprint: MB kept alive summed
-	// over minutes (divide by 1024 for the paper's GB-minutes).
-	KeepAliveMBMinutes float64 `json:"keep_alive_mb_minutes"`
-	KeepAliveCostUSD   float64 `json:"keep_alive_cost_usd"`
-	// MeanAccuracyPct is the invocation-weighted mean accuracy delivered.
-	MeanAccuracyPct float64 `json:"mean_accuracy_pct"`
-	// AccuracyMinutesPct is the keep-alive quality delivered: kept-alive
-	// variant-minutes weighted by each variant's accuracy (percent ×
-	// minutes). Higher means more high-quality capacity was held warm.
-	AccuracyMinutesPct float64 `json:"accuracy_minutes_pct"`
-}
+type Tally = tournament.Tally
 
 // Savings is the live policy's net position versus one shadow baseline.
 // Positive numbers favor the live policy.
-type Savings struct {
-	// KeepAliveCostUSD = baseline cost − actual cost.
-	KeepAliveCostUSD float64 `json:"keep_alive_cost_usd"`
-	// KeepAliveGBMinutes = (baseline − actual) footprint, in GB-minutes.
-	KeepAliveGBMinutes float64 `json:"keep_alive_gb_minutes"`
-	// ColdStartsAvoided = baseline cold starts − actual cold starts
-	// (negative when the live policy incurred more).
-	ColdStartsAvoided int `json:"cold_starts_avoided"`
-	// AccuracyDeltaPct = actual mean accuracy − baseline mean accuracy
-	// (the baselines always serve the highest variant, so this is ≤ 0 and
-	// quantifies the accuracy paid for the savings).
-	AccuracyDeltaPct float64 `json:"accuracy_delta_pct"`
-}
+type Savings = tournament.Savings
 
 // FunctionReport is one function's full attribution: the live account, the
 // three shadow accounts, and the pairwise savings.
@@ -70,147 +46,48 @@ type Report struct {
 	Total FunctionReport `json:"total"`
 }
 
+// Baseline entrant indices inside every Accountant's arena.
+const (
+	entFixedHigh = 0
+	entNever     = 1
+	entOracle    = 2
+
+	// NumBaselines is how many built-in entrants (fixed-high, never,
+	// oracle) lead every Accountant's entrant list; indices at or past it
+	// are tournament extras from Config.Entrants.
+	NumBaselines = 3
+)
+
 // Report computes the attribution snapshot. It allocates (the caller gets
 // an independent copy); the hot observation path never calls it.
 func (a *Accountant) Report() Report {
-	a.mu.Lock()
-	defer a.mu.Unlock()
+	s := a.arena.Snapshot()
 	r := Report{
-		Minute:        a.cur,
+		Minute:        s.Minute,
 		WindowMinutes: a.window,
-		Functions:     make([]FunctionReport, len(a.fns)),
+		Functions:     make([]FunctionReport, len(s.Functions)),
 	}
-	r.Total.Function = -1
-	for fn := range a.fns {
-		fr := a.functionReport(fn)
-		r.Functions[fn] = fr
-		addTally(&r.Total.Actual, fr.Actual)
-		addTally(&r.Total.FixedHigh, fr.FixedHigh)
-		addTally(&r.Total.Never, fr.Never)
-		addTally(&r.Total.Oracle, fr.Oracle)
-		r.Total.Downgrades += fr.Downgrades
+	for i := range s.Functions {
+		r.Functions[i] = toFunctionReport(&s.Functions[i])
 	}
-	finishTally(&r.Total.Actual)
-	finishTally(&r.Total.FixedHigh)
-	finishTally(&r.Total.Never)
-	finishTally(&r.Total.Oracle)
-	finishFunctionReport(&r.Total)
+	r.Total = toFunctionReport(&s.Total)
 	return r
 }
 
-// functionReport derives one function's report from its counters. Called
-// with a.mu held.
-func (a *Accountant) functionReport(fn int) FunctionReport {
-	f := &a.fns[fn]
-	fi := &a.fams[a.famOf[fn]]
-	fr := FunctionReport{
-		Function:   fn,
-		Family:     fi.name,
-		Downgrades: f.downgrades,
+// toFunctionReport projects one arena ledger onto the classic shape:
+// entrants 0..2 are always the fixed-high, never, and oracle baselines.
+func toFunctionReport(fl *tournament.FunctionLedger) FunctionReport {
+	return FunctionReport{
+		Function:     fl.Function,
+		Family:       fl.Family,
+		Downgrades:   fl.Downgrades,
+		ColdStartPct: fl.ColdStartPct,
+		Actual:       fl.Actual,
+		FixedHigh:    fl.Shadows[entFixedHigh],
+		Never:        fl.Shadows[entNever],
+		Oracle:       fl.Shadows[entOracle],
+		VsFixed:      fl.Savings[entFixedHigh],
+		VsNever:      fl.Savings[entNever],
+		VsOracle:     fl.Savings[entOracle],
 	}
-
-	// Live policy: kept-alive minutes per variant × that variant's memory,
-	// cost, and accuracy; invocation accuracy weighted per variant. A
-	// retired slot's ledgers were folded (in this same variant order) into
-	// the fixed-size sums at deregistration, so the values — and the float
-	// rounding — are identical either way.
-	if f.retired && f.aliveMin == nil {
-		fr.Actual.KeepAliveMBMinutes = f.foldedKaMBMin
-		fr.Actual.KeepAliveCostUSD = f.foldedKaCost
-		fr.Actual.AccuracyMinutesPct = f.foldedAccMin
-		fr.Actual.MeanAccuracyPct = f.foldedAccSum
-	} else {
-		for v := 0; v < len(fi.memMB); v++ {
-			m := float64(f.aliveMin[v])
-			fr.Actual.KeepAliveMBMinutes += m * fi.memMB[v]
-			fr.Actual.KeepAliveCostUSD += m * fi.costPerMin[v]
-			fr.Actual.AccuracyMinutesPct += m * fi.accPct[v]
-			fr.Actual.MeanAccuracyPct += float64(f.invByVariant[v]) * fi.accPct[v]
-		}
-	}
-	fr.Actual.Invocations = f.invocations
-	fr.Actual.ColdStarts = f.actualCold
-	fr.Actual.WarmStarts = f.invocations - f.actualCold
-
-	// Shadows all hold the highest-quality variant. Fixed-high keeps it
-	// alive fixedAliveMin minutes; never holds nothing; the oracle holds
-	// it exactly during invoked minutes and never goes cold.
-	hm, hc, ha := fi.memMB[fi.highest], fi.costPerMin[fi.highest], fi.accPct[fi.highest]
-	shadowTally := func(aliveMin, cold int) Tally {
-		m := float64(aliveMin)
-		return Tally{
-			Invocations:        f.invocations,
-			WarmStarts:         f.invocations - cold,
-			ColdStarts:         cold,
-			KeepAliveMBMinutes: m * hm,
-			KeepAliveCostUSD:   m * hc,
-			AccuracyMinutesPct: m * ha,
-			MeanAccuracyPct:    float64(f.invocations) * ha,
-		}
-	}
-	fr.FixedHigh = shadowTally(f.fixedAliveMin, f.fixedCold)
-	fr.Never = shadowTally(0, f.neverCold)
-	fr.Oracle = shadowTally(f.invokedMin, 0)
-
-	finishTally(&fr.Actual)
-	finishTally(&fr.FixedHigh)
-	finishTally(&fr.Never)
-	finishTally(&fr.Oracle)
-	finishFunctionReport(&fr)
-	return fr
-}
-
-// addTally folds src's additive fields into dst. src.MeanAccuracyPct is
-// already a finished mean, so it is re-weighted by invocations back into
-// sum form; finishTally on dst divides it out again.
-func addTally(dst *Tally, src Tally) {
-	dst.Invocations += src.Invocations
-	dst.WarmStarts += src.WarmStarts
-	dst.ColdStarts += src.ColdStarts
-	dst.KeepAliveMBMinutes += src.KeepAliveMBMinutes
-	dst.KeepAliveCostUSD += src.KeepAliveCostUSD
-	dst.AccuracyMinutesPct += src.AccuracyMinutesPct
-	dst.MeanAccuracyPct += src.MeanAccuracyPct * float64(src.Invocations)
-}
-
-// finishTally converts MeanAccuracyPct from its accumulated form into the
-// invocation-weighted mean.
-func finishTally(t *Tally) {
-	if t.Invocations > 0 {
-		t.MeanAccuracyPct /= float64(t.Invocations)
-	}
-}
-
-// finishFunctionReport derives the savings and rate fields from the
-// finished tallies.
-func finishFunctionReport(fr *FunctionReport) {
-	if fr.Actual.Invocations > 0 {
-		fr.ColdStartPct = 100 * float64(fr.Actual.ColdStarts) / float64(fr.Actual.Invocations)
-	}
-	fr.VsFixed = savings(fr.Actual, fr.FixedHigh)
-	fr.VsNever = savings(fr.Actual, fr.Never)
-	fr.VsOracle = savings(fr.Actual, fr.Oracle)
-}
-
-func savings(actual, baseline Tally) Savings {
-	return Savings{
-		KeepAliveCostUSD:   baseline.KeepAliveCostUSD - actual.KeepAliveCostUSD,
-		KeepAliveGBMinutes: (baseline.KeepAliveMBMinutes - actual.KeepAliveMBMinutes) / 1024,
-		ColdStartsAvoided:  baseline.ColdStarts - actual.ColdStarts,
-		AccuracyDeltaPct:   actual.MeanAccuracyPct - baseline.MeanAccuracyPct,
-	}
-}
-
-// Series returns the trailing time-series for one metric, oldest point
-// first: the last window minutes at minute resolution, or — with hourly
-// set — the last window hours from the rollup ring (gauges averaged,
-// amounts summed; Point.Minute is the hour's first minute). The open
-// minute is not included; it is still accumulating.
-func (a *Accountant) Series(metric Metric, window int, hourly bool) []Point {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	if metric < 0 || metric >= numMetrics || a.cur <= 0 {
-		return nil
-	}
-	return a.store.series(metric, a.cur-1, window, hourly, nil)
 }

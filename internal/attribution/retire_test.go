@@ -46,7 +46,7 @@ func TestDeregisterFoldPreservesReport(t *testing.T) {
 	if !reflect.DeepEqual(before.Total, after.Total) {
 		t.Errorf("folding changed the total report")
 	}
-	if f := &acct.fns[1]; f.aliveMin != nil || f.invByVariant != nil {
+	if !acct.Arena().LedgersReleased(1) {
 		t.Error("retired slot still holds per-variant ledgers")
 	}
 

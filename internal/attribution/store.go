@@ -1,12 +1,21 @@
 package attribution
 
-import "fmt"
+import (
+	"fmt"
+
+	"github.com/pulse-serverless/pulse/internal/tournament"
+)
 
 // DefaultSeriesWindow is the minute-resolution retention of the
 // time-series store: one day.
-const DefaultSeriesWindow = 1440
+const DefaultSeriesWindow = tournament.DefaultSeriesWindow
 
-// Metric identifies one per-minute aggregate tracked by the store.
+// Metric identifies one per-minute aggregate tracked by the store. The
+// enum predates the tournament refactor and keeps the classic /timeseries
+// wire names stable; each metric maps onto a tournament selector (shared
+// live account or a baseline entrant's channel). Entrants beyond the
+// baselines are addressed as savings_vs_<entrant>_usd directly against the
+// arena.
 type Metric int
 
 // The tracked metrics. kam_* are point-in-time gauges (MB kept alive
@@ -41,11 +50,28 @@ var metricNames = [numMetrics]string{
 	MetricInvocations:       "invocations",
 }
 
-// gauge metrics average (rather than sum) when rolled up hourly.
-var metricGauge = [numMetrics]bool{
-	MetricKaMActualMB: true,
-	MetricKaMFixedMB:  true,
-	MetricKaMOracleMB: true,
+// metricSelectors maps each classic metric onto its arena address.
+var metricSelectors = [numMetrics]tournament.Selector{
+	MetricKaMActualMB:       tournament.Shared(tournament.ChanKaMMB),
+	MetricKaMFixedMB:        {Entrant: entFixedHigh, Channel: tournament.ChanKaMMB},
+	MetricKaMOracleMB:       {Entrant: entOracle, Channel: tournament.ChanKaMMB},
+	MetricCostActualUSD:     tournament.Shared(tournament.ChanCostUSD),
+	MetricCostFixedUSD:      {Entrant: entFixedHigh, Channel: tournament.ChanCostUSD},
+	MetricCostOracleUSD:     {Entrant: entOracle, Channel: tournament.ChanCostUSD},
+	MetricSavingsVsFixedUSD: {Entrant: entFixedHigh, Channel: tournament.ChanSavingsUSD},
+	MetricColdActual:        tournament.Shared(tournament.ChanCold),
+	MetricColdFixed:         {Entrant: entFixedHigh, Channel: tournament.ChanCold},
+	MetricColdNever:         {Entrant: entNever, Channel: tournament.ChanCold},
+	MetricInvocations:       tournament.Shared(tournament.ChanInvocations),
+}
+
+// metricSelector resolves a metric to its arena selector, reporting false
+// for out-of-range metrics.
+func metricSelector(m Metric) (tournament.Selector, bool) {
+	if m < 0 || m >= numMetrics {
+		return tournament.Selector{}, false
+	}
+	return metricSelectors[m], true
 }
 
 // String returns the wire name used by the /timeseries endpoint.
@@ -76,120 +102,4 @@ func ParseMetric(name string) (Metric, error) {
 }
 
 // Point is one time-series sample.
-type Point struct {
-	Minute int     `json:"minute"`
-	Value  float64 `json:"value"`
-}
-
-// store is a fixed-capacity windowed time-series: a ring of per-minute
-// aggregates (idx = minute % window, with a stamp array to detect stale
-// slots) plus an hourly rollup ring of the same bucket count, extending
-// the queryable horizon 60×. Pushes allocate nothing; all storage is laid
-// out at construction. Callers synchronize externally (the Accountant's
-// mutex).
-type store struct {
-	window int
-	stamps []int                 // minute stored in each slot, -1 when empty
-	vals   [][numMetrics]float64 // per-minute aggregates
-
-	hourStamps []int // hour (minute/60) stored in each rollup slot
-	hourVals   [][numMetrics]float64
-	hourCnt    []int // minutes folded into the open rollup
-}
-
-func newStore(window int) *store {
-	s := &store{
-		window:     window,
-		stamps:     make([]int, window),
-		vals:       make([][numMetrics]float64, window),
-		hourStamps: make([]int, window),
-		hourVals:   make([][numMetrics]float64, window),
-		hourCnt:    make([]int, window),
-	}
-	for i := range s.stamps {
-		s.stamps[i] = -1
-		s.hourStamps[i] = -1
-	}
-	return s
-}
-
-// push records minute m's aggregates, overwriting whatever the slot held a
-// window ago, and folds the minute into its hourly rollup bucket.
-func (s *store) push(m int, v [numMetrics]float64) {
-	if m < 0 {
-		return
-	}
-	i := m % s.window
-	s.stamps[i] = m
-	s.vals[i] = v
-
-	h := m / 60
-	hi := h % s.window
-	if s.hourStamps[hi] != h {
-		s.hourStamps[hi] = h
-		s.hourVals[hi] = [numMetrics]float64{}
-		s.hourCnt[hi] = 0
-	}
-	for k := range v {
-		s.hourVals[hi][k] += v[k]
-	}
-	s.hourCnt[hi]++
-}
-
-// at returns metric's value for one closed minute, reporting false when
-// the slot is empty or has been overwritten by a newer minute.
-func (s *store) at(metric Metric, m int) (float64, bool) {
-	if m < 0 {
-		return 0, false
-	}
-	i := m % s.window
-	if s.stamps[i] != m {
-		return 0, false
-	}
-	return s.vals[i][metric], true
-}
-
-// series appends the most recent points for metric within the trailing
-// window [now-window+1, now] to dst, oldest first. hourly switches to the
-// rollup ring (window then counts hours); gauge metrics report the hourly
-// mean, amounts the hourly sum.
-func (s *store) series(metric Metric, now, window int, hourly bool, dst []Point) []Point {
-	if now < 0 || window <= 0 {
-		return dst
-	}
-	if hourly {
-		nowH := now / 60
-		if window > s.window {
-			window = s.window
-		}
-		for h := nowH - window + 1; h <= nowH; h++ {
-			if h < 0 {
-				continue
-			}
-			hi := h % s.window
-			if s.hourStamps[hi] != h || s.hourCnt[hi] == 0 {
-				continue
-			}
-			v := s.hourVals[hi][metric]
-			if metricGauge[metric] {
-				v /= float64(s.hourCnt[hi])
-			}
-			dst = append(dst, Point{Minute: h * 60, Value: v})
-		}
-		return dst
-	}
-	if window > s.window {
-		window = s.window
-	}
-	for m := now - window + 1; m <= now; m++ {
-		if m < 0 {
-			continue
-		}
-		i := m % s.window
-		if s.stamps[i] != m {
-			continue
-		}
-		dst = append(dst, Point{Minute: m, Value: s.vals[i][metric]})
-	}
-	return dst
-}
+type Point = tournament.Point

@@ -1,93 +1,9 @@
 package attribution
 
-import (
-	"reflect"
-	"testing"
-)
+import "testing"
 
-func pushMinute(s *store, m int, val float64) {
-	var v [numMetrics]float64
-	for k := range v {
-		v[k] = val
-	}
-	s.push(m, v)
-}
-
-func TestStoreMinuteWindowAndEviction(t *testing.T) {
-	s := newStore(4)
-	for m := 0; m < 10; m++ {
-		pushMinute(s, m, float64(m))
-	}
-	// Only minutes 6..9 survive a window of 4.
-	got := s.series(MetricInvocations, 9, 10, false, nil)
-	want := []Point{{6, 6}, {7, 7}, {8, 8}, {9, 9}}
-	if !reflect.DeepEqual(got, want) {
-		t.Errorf("series after eviction = %v, want %v", got, want)
-	}
-	// A narrower window trims from the old end.
-	got = s.series(MetricInvocations, 9, 2, false, nil)
-	if want = []Point{{8, 8}, {9, 9}}; !reflect.DeepEqual(got, want) {
-		t.Errorf("narrow window = %v, want %v", got, want)
-	}
-	// Asking as-of an older now excludes newer minutes still in the ring.
-	got = s.series(MetricInvocations, 8, 2, false, nil)
-	if want = []Point{{7, 7}, {8, 8}}; !reflect.DeepEqual(got, want) {
-		t.Errorf("older now = %v, want %v", got, want)
-	}
-}
-
-func TestStoreSkippedMinutesLeaveGaps(t *testing.T) {
-	s := newStore(8)
-	pushMinute(s, 0, 1)
-	pushMinute(s, 3, 4)
-	got := s.series(MetricColdActual, 3, 8, false, nil)
-	want := []Point{{0, 1}, {3, 4}}
-	if !reflect.DeepEqual(got, want) {
-		t.Errorf("gapped series = %v, want %v", got, want)
-	}
-}
-
-func TestStoreHourlyRollup(t *testing.T) {
-	s := newStore(256)
-	// Two full hours: hour 0 pushes value 2 every minute, hour 1 value 5.
-	for m := 0; m < 120; m++ {
-		val := 2.0
-		if m >= 60 {
-			val = 5.0
-		}
-		pushMinute(s, m, val)
-	}
-	// Gauge metric (kam_actual_mb): hourly mean.
-	got := s.series(MetricKaMActualMB, 119, 2, true, nil)
-	want := []Point{{0, 2}, {60, 5}}
-	if !reflect.DeepEqual(got, want) {
-		t.Errorf("gauge rollup = %v, want %v", got, want)
-	}
-	// Amount metric (invocations): hourly sum.
-	got = s.series(MetricInvocations, 119, 2, true, nil)
-	want = []Point{{0, 120}, {60, 300}}
-	if !reflect.DeepEqual(got, want) {
-		t.Errorf("amount rollup = %v, want %v", got, want)
-	}
-	// A partial hour averages over the minutes actually folded in.
-	pushMinute(s, 120, 9)
-	pushMinute(s, 121, 11)
-	got = s.series(MetricKaMActualMB, 121, 1, true, nil)
-	if want = []Point{{120, 10}}; !reflect.DeepEqual(got, want) {
-		t.Errorf("partial hour = %v, want %v", got, want)
-	}
-}
-
-func TestStorePushDoesNotAllocate(t *testing.T) {
-	s := newStore(64)
-	m := 0
-	if avg := testing.AllocsPerRun(500, func() {
-		pushMinute(s, m, 1)
-		m++
-	}); avg != 0 {
-		t.Errorf("push allocates %v times, want 0", avg)
-	}
-}
+// The store's ring/rollup scenarios moved to the tournament package with
+// the store itself; the Metric enum and its wire names stay here.
 
 func TestParseMetricRoundTrip(t *testing.T) {
 	names := MetricNames()
@@ -108,5 +24,14 @@ func TestParseMetricRoundTrip(t *testing.T) {
 	}
 	if got := Metric(-1).String(); got != "metric(-1)" {
 		t.Errorf("out-of-range String = %q", got)
+	}
+	// Every metric must resolve to an arena selector.
+	for i := Metric(0); i < numMetrics; i++ {
+		if _, ok := metricSelector(i); !ok {
+			t.Errorf("metric %v has no selector", i)
+		}
+	}
+	if _, ok := metricSelector(numMetrics); ok {
+		t.Error("out-of-range metric resolved to a selector")
 	}
 }

@@ -1,0 +1,195 @@
+package attribution
+
+// Tournament-facing behavior of the Accountant: extra entrants ride the
+// same arena without perturbing the classic three-baseline report, their
+// ledgers fold at retirement like the shared ones, and a fully loaded
+// arena (three baselines plus the whole packaged roster — six entrants)
+// still observes an idle steady-state minute without allocating.
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/pulse-serverless/pulse/internal/cluster"
+	"github.com/pulse-serverless/pulse/internal/models"
+	"github.com/pulse-serverless/pulse/internal/telemetry"
+	"github.com/pulse-serverless/pulse/internal/tournament"
+	"github.com/pulse-serverless/pulse/internal/tournament/roster"
+)
+
+// rosterEntrants builds the full packaged roster for the test catalog.
+func rosterEntrants(t *testing.T, cat *models.Catalog) []tournament.ShadowEntrant {
+	t.Helper()
+	ents, err := roster.Build(roster.Names(), cat, cluster.DefaultCostModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ents
+}
+
+// feedSyntheticStream drives a deterministic mixed workload — keep-alive
+// decisions, batched invocations, downgrades, and a mid-run deregister —
+// through the accountant.
+func feedSyntheticStream(acct *Accountant, cat *models.Catalog, asg models.Assignment, minutes int) {
+	for m := 0; m < minutes; m++ {
+		for fn := range asg {
+			fam := cat.Families[asg[fn]]
+			if (fn+m)%4 != 3 {
+				acct.ObserveKeepAlive(telemetry.KeepAliveSample{
+					Minute: m, Function: fn, Variant: (fn + m) % len(fam.Variants),
+				})
+			}
+			if (fn+m)%3 != 0 {
+				acct.ObserveInvocation(telemetry.InvocationSample{
+					Minute: m, Function: fn,
+					Variant: fam.Variants[m%len(fam.Variants)].Name,
+					Cold:    (fn+m)%5 == 0, Count: 1 + (fn+m)%3,
+				})
+			}
+		}
+		if m%7 == 0 {
+			acct.ObserveDowngrade(telemetry.DowngradeSample{Minute: m, Function: m % len(asg)})
+		}
+		if m == minutes/2 {
+			acct.ObserveDeregister(telemetry.DeregisterSample{Minute: m, Function: 1})
+		}
+		acct.ObserveMinute(telemetry.MinuteSample{Minute: m})
+	}
+}
+
+// Adding entrants must not change a single bit of the classic
+// three-baseline report or any classic metric series: the baselines keep
+// their own ledgers and accumulators, and the accounting order within
+// each entrant is independent of how many entrants follow it.
+func TestTournamentExtrasDoNotPerturbClassicReport(t *testing.T) {
+	cat := testCatalog(t)
+	asg := uniform(cat, 5)
+	plain := newAccountant(t, Config{Catalog: cat, Assignment: asg})
+	loaded := newAccountant(t, Config{Catalog: cat, Assignment: asg, Entrants: rosterEntrants(t, cat)})
+
+	const minutes = 90
+	feedSyntheticStream(plain, cat, asg, minutes)
+	feedSyntheticStream(loaded, cat, asg, minutes)
+
+	if p, l := plain.Report(), loaded.Report(); !reflect.DeepEqual(p, l) {
+		t.Errorf("extra entrants perturbed the classic report:\nplain  %+v\nloaded %+v", p, l)
+	}
+	for m := Metric(0); m < numMetrics; m++ {
+		p := plain.Series(m, minutes, false)
+		l := loaded.Series(m, minutes, false)
+		if !reflect.DeepEqual(p, l) {
+			t.Errorf("metric %v series diverged with extras attached", m)
+		}
+		ph := plain.Series(m, 4, true)
+		lh := loaded.Series(m, 4, true)
+		if !reflect.DeepEqual(ph, lh) {
+			t.Errorf("metric %v hourly series diverged with extras attached", m)
+		}
+		pv, pok := plain.MetricAt(m, minutes-1)
+		lv, lok := loaded.MetricAt(m, minutes-1)
+		if pok != lok || pv != lv {
+			t.Errorf("metric %v open-minute value diverged: %v/%v vs %v/%v", m, pv, pok, lv, lok)
+		}
+	}
+
+	names := loaded.EntrantNames()
+	want := append([]string{BaselineFixedHigh, BaselineNever, BaselineOracle}, roster.Names()...)
+	if !reflect.DeepEqual(names, want) {
+		t.Errorf("entrant order = %v, want %v", names, want)
+	}
+	// Every extra entrant has a live savings series once minutes closed.
+	for i := 3; i < len(names); i++ {
+		sel := tournament.Selector{Entrant: i, Channel: tournament.ChanSavingsUSD}
+		if pts := loaded.Arena().Series(sel, minutes, false); len(pts) == 0 {
+			t.Errorf("entrant %s: no savings series", names[i])
+		}
+	}
+}
+
+// Retiring a slot folds every entrant's per-variant ledgers — not just the
+// shared ones — into fixed-size sums with bit-identical snapshot output.
+func TestTournamentEntrantLedgerFoldAtRetire(t *testing.T) {
+	cat := testCatalog(t)
+	asg := uniform(cat, 4)
+	acct := newAccountant(t, Config{Catalog: cat, Assignment: asg, Entrants: rosterEntrants(t, cat)})
+
+	for m := 0; m < 20; m++ {
+		for fn := range asg {
+			fam := cat.Families[asg[fn]]
+			acct.ObserveInvocation(telemetry.InvocationSample{
+				Minute: m, Function: fn,
+				Variant: fam.Variants[(fn+m)%len(fam.Variants)].Name,
+				Cold:    m == 0, Count: 1 + fn,
+			})
+		}
+		acct.ObserveMinute(telemetry.MinuteSample{Minute: m})
+	}
+
+	before := acct.Arena().Snapshot()
+	acct.ObserveDeregister(telemetry.DeregisterSample{Minute: 19, Function: 2})
+	after := acct.Arena().Snapshot()
+	if !reflect.DeepEqual(before.Functions[2], after.Functions[2]) {
+		t.Errorf("folding changed the retired function's ledger:\nbefore %+v\nafter  %+v",
+			before.Functions[2], after.Functions[2])
+	}
+	if !reflect.DeepEqual(before.Total, after.Total) {
+		t.Error("folding changed the total ledger")
+	}
+	if !acct.Arena().LedgersReleased(2) {
+		t.Error("retired slot still holds per-variant ledgers")
+	}
+	if acct.Arena().LedgersReleased(0) {
+		t.Error("live slot reported as released")
+	}
+}
+
+// Entrant name collisions with the baselines (or each other) are
+// configuration errors, not silent shadowing.
+func TestTournamentRejectsDuplicateEntrantNames(t *testing.T) {
+	cat := testCatalog(t)
+	asg := uniform(cat, 2)
+	if _, err := New(Config{Catalog: cat, Assignment: asg, Entrants: []tournament.ShadowEntrant{
+		tournament.NewNever(BaselineNever),
+	}}); err == nil {
+		t.Error("entrant shadowing a baseline name was accepted")
+	}
+	if _, err := New(Config{Catalog: cat, Assignment: asg, Entrants: []tournament.ShadowEntrant{
+		tournament.NewFixedWindow("twin", 5),
+		tournament.NewFixedWindow("twin", 9),
+	}}); err == nil {
+		t.Error("duplicate entrant names were accepted")
+	}
+}
+
+// With the whole roster attached — six entrants — a steady-state minute
+// (keep-alives, a batched and a cold invocation, the barrier) must not
+// allocate: the hot path is integer counters plus preallocated rows, and
+// every packaged entrant's KeepAlive/Record is allocation-free.
+func TestTournamentIdleMinuteSixEntrantsNoSteadyStateAllocs(t *testing.T) {
+	cat := testCatalog(t)
+	asg := models.Assignment{0, 1, 0, 1}
+	a := newAccountant(t, Config{
+		Catalog: cat, Assignment: asg, SeriesWindow: 128,
+		Entrants: rosterEntrants(t, cat),
+	})
+	if got := len(a.EntrantNames()); got != 6 {
+		t.Fatalf("expected 6 entrants, got %d", got)
+	}
+
+	minute := 0
+	observeMinute := func() {
+		for fn := range asg {
+			a.ObserveKeepAlive(telemetry.KeepAliveSample{Minute: minute, Function: fn, Variant: 0, MemMB: 512})
+		}
+		a.ObserveMinute(telemetry.MinuteSample{Minute: minute})
+		a.ObserveInvocation(telemetry.InvocationSample{Minute: minute, Function: 0, Variant: "alpha-lo", Count: 2, AccuracyPct: 60})
+		a.ObserveInvocation(telemetry.InvocationSample{Minute: minute, Function: 1, Variant: "beta-lo", Cold: true, Count: 1, AccuracyPct: 70})
+		minute++
+	}
+	for i := 0; i < 30; i++ { // warm up past the first hour-bucket writes
+		observeMinute()
+	}
+	if avg := testing.AllocsPerRun(200, observeMinute); avg != 0 {
+		t.Errorf("steady-state minute with 6 entrants allocates %v times, want 0", avg)
+	}
+}

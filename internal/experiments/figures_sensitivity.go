@@ -237,6 +237,7 @@ func RunAll(opts Options) error {
 		{"Extension: tail latency", func(o Options) error { _, err := ExtensionTailLatency(o); return err }},
 		{"Extension: function churn", func(o Options) error { _, err := ExtensionChurn(o); return err }},
 		{"Extension: alert replay", func(o Options) error { _, err := ExtensionAlerts(o); return err }},
+		{"Extension: policy tournament", func(o Options) error { _, err := ExtensionTournament(o); return err }},
 		{"Ablation: history blend", func(o Options) error { _, err := AblationHistoryBlend(o); return err }},
 		{"Ablation: priority term", func(o Options) error { _, err := AblationPriorityTerm(o); return err }},
 		{"Ablation: prior KaM", func(o Options) error { _, err := AblationPriorKaM(o); return err }},

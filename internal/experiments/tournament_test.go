@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/pulse-serverless/pulse/internal/attribution"
+	"github.com/pulse-serverless/pulse/internal/tournament/roster"
+)
+
+func TestExtensionTournament(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-scenario tournament experiment")
+	}
+	var sb strings.Builder
+	opts := quickOpts()
+	opts.Out = &sb
+	cells, err := ExtensionTournament(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Every scenario ranks the full field: live + 3 baselines + the roster.
+	field := 1 + attribution.NumBaselines + len(roster.Names())
+	byScenario := map[string][]TournamentCell{}
+	for _, c := range cells {
+		byScenario[c.Scenario] = append(byScenario[c.Scenario], c)
+	}
+	if len(byScenario) < 8 {
+		t.Fatalf("tournament covered %d scenarios, want the 7 archetypes plus churn", len(byScenario))
+	}
+	if _, ok := byScenario["mixed-churn"]; !ok {
+		t.Error("tournament has no churn scenario")
+	}
+	for name, rows := range byScenario {
+		if len(rows) != field {
+			t.Errorf("%s ranked %d policies, want %d", name, len(rows), field)
+		}
+		lives := 0
+		for i, c := range rows {
+			if c.Rank != i+1 {
+				t.Errorf("%s: rank %d at position %d", name, c.Rank, i)
+			}
+			if i > 0 && c.CostUSD < rows[i-1].CostUSD {
+				t.Errorf("%s: ranking not sorted by cost: %v after %v", name, c.CostUSD, rows[i-1].CostUSD)
+			}
+			if c.Live {
+				lives++
+				if c.CostVsLiveUSD != 0 {
+					t.Errorf("%s: live row has nonzero delta %v", name, c.CostVsLiveUSD)
+				}
+			} else if got := c.CostUSD - liveCostOf(rows); !approxEqual(got, c.CostVsLiveUSD) {
+				t.Errorf("%s/%s: delta %v, want %v", name, c.Policy, c.CostVsLiveUSD, got)
+			}
+		}
+		if lives != 1 {
+			t.Errorf("%s has %d live rows, want 1", name, lives)
+		}
+		// The oracle folds hindsight in, so it never prices above the live
+		// policy; never-keep-alive pays zero keep-alive cost by definition.
+		for _, c := range rows {
+			switch c.Policy {
+			case attribution.BaselineOracle:
+				if c.CostVsLiveUSD > 1e-9 {
+					t.Errorf("%s: oracle costs %v more than live", name, c.CostVsLiveUSD)
+				}
+			case attribution.BaselineNever:
+				if c.CostUSD != 0 {
+					t.Errorf("%s: never-keep-alive has keep-alive cost %v", name, c.CostUSD)
+				}
+			}
+		}
+	}
+	out := sb.String()
+	for _, want := range append([]string{"policy tournament", "live *", "mixed-churn"}, roster.Names()...) {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered table lacks %q", want)
+		}
+	}
+}
+
+func liveCostOf(rows []TournamentCell) float64 {
+	for _, c := range rows {
+		if c.Live {
+			return c.CostUSD
+		}
+	}
+	return 0
+}
+
+func approxEqual(a, b float64) bool {
+	d := a - b
+	return d < 1e-9 && d > -1e-9
+}

@@ -1,0 +1,83 @@
+package policy
+
+import (
+	"testing"
+
+	"github.com/pulse-serverless/pulse/internal/cluster"
+)
+
+func TestHawkesExcitesAndDecays(t *testing.T) {
+	h := NewHawkesEntrant("hawkes", HawkesConfig{})
+	h.Register(0, 0, 3)
+
+	// Quiet function: baseline intensity alone never justifies keep-alive.
+	if v := h.KeepAlive(0, 0); v != cluster.NoVariant {
+		t.Fatalf("cold start state keeps variant %d, want none", v)
+	}
+
+	// A burst excites the process: the next minutes are held warm on the
+	// highest variant.
+	h.Record(10, 0, 8)
+	if v := h.KeepAlive(11, 0); v != 2 {
+		t.Fatalf("post-burst keep-alive = %d, want highest (2)", v)
+	}
+
+	// The excitation decays: far enough out, the entrant lets go.
+	held := 0
+	for m := 11; m < 120; m++ {
+		if h.KeepAlive(m, 0) == 2 {
+			held++
+		} else {
+			break
+		}
+	}
+	if held == 0 || held > 60 {
+		t.Errorf("burst held warm for %d minutes, want a finite adaptive window", held)
+	}
+
+	// A bigger burst holds longer than a smaller one.
+	small := NewHawkesEntrant("s", HawkesConfig{})
+	big := NewHawkesEntrant("b", HawkesConfig{})
+	small.Register(0, 0, 2)
+	big.Register(0, 0, 2)
+	small.Record(0, 0, 2)
+	big.Record(0, 0, 40)
+	holdLen := func(h *HawkesEntrant) int {
+		n := 0
+		for m := 1; m < 240 && h.KeepAlive(m, 0) >= 0; m++ {
+			n++
+		}
+		return n
+	}
+	if hs, hb := holdLen(small), holdLen(big); hb <= hs {
+		t.Errorf("self-excitation not monotone in burst size: small %d, big %d", hs, hb)
+	}
+}
+
+func TestHawkesRetireResets(t *testing.T) {
+	h := NewHawkesEntrant("hawkes", HawkesConfig{})
+	h.Register(0, 0, 2)
+	h.Record(5, 0, 50)
+	if h.KeepAlive(6, 0) < 0 {
+		t.Fatal("burst did not excite")
+	}
+	h.Retire(0)
+	if v := h.KeepAlive(6, 0); v != cluster.NoVariant {
+		t.Errorf("retired slot still warm: %d", v)
+	}
+}
+
+func TestHawkesDeterministicReplay(t *testing.T) {
+	a := NewHawkesEntrant("a", HawkesConfig{})
+	b := NewHawkesEntrant("b", HawkesConfig{})
+	a.Register(0, 0, 3)
+	b.Register(0, 0, 3)
+	counts := []int{0, 3, 0, 0, 7, 1, 0, 0, 0, 2}
+	for m, c := range counts {
+		if va, vb := a.KeepAlive(m, 0), b.KeepAlive(m, 0); va != vb {
+			t.Fatalf("minute %d: decisions diverge (%d vs %d)", m, va, vb)
+		}
+		a.Record(m, 0, c)
+		b.Record(m, 0, c)
+	}
+}

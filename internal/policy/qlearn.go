@@ -1,0 +1,232 @@
+package policy
+
+import (
+	"github.com/pulse-serverless/pulse/internal/cluster"
+	"github.com/pulse-serverless/pulse/internal/models"
+)
+
+// QLearnEntrant is a tournament shadow policy that learns a keep-alive
+// rule online with tabular Q-learning. The state is coarse enough to
+// generalize across functions — an idle-time bucket crossed with a
+// recent-rate bucket — and the Q-table is shared by every function, so
+// one function's experience transfers to look-alikes immediately.
+//
+//	state  = idle bucket (7) × EWMA-rate bucket (5)        → 35 states
+//	action = drop | keep lowest variant | keep highest     → 3 actions
+//	reward = −(keep-alive $/min of the held variant)
+//	         −(cold-start penalty when dropped yet invoked)
+//
+// Determinism: action selection at the open of minute m uses history
+// through minute m−1 plus a hash of (m, fn) for ε-exploration — no global
+// RNG — and Q-updates happen only in Record, at the minute barrier, in
+// ascending function order. The learned values are therefore a pure
+// function of the trace, invariant to shard count and serving mode (see
+// DESIGN.md §6.9).
+type QLearnEntrant struct {
+	name string
+	cfg  QLearnConfig
+
+	q [qStates][qActions]float64
+
+	// Per-slot observables and the pending decision to be settled at the
+	// next barrier.
+	fam        []int
+	highest    []int
+	idle       []int     // minutes since last invoked minute (capped)
+	rate       []float64 // EWMA invocations/minute
+	prevState  []int     // state at the last KeepAlive decision, -1 none
+	prevAction []int
+
+	// Per-family keep-alive $/minute of the lowest and highest variant,
+	// precomputed from the catalog.
+	costLow  []float64
+	costHigh []float64
+}
+
+// QLearnConfig parameterizes the learner.
+type QLearnConfig struct {
+	// LearnRate is the Q-update step size in (0, 1].
+	LearnRate float64
+	// Discount is the future-reward discount factor in [0, 1).
+	Discount float64
+	// ExploreEpsilon is the probability of a (deterministic, hash-driven)
+	// exploratory action, in [0, 1).
+	ExploreEpsilon float64
+	// ColdCostMinutes expresses one cold start as this many minutes of
+	// keep-alive for the family's highest variant.
+	ColdCostMinutes float64
+}
+
+// DefaultQLearnConfig returns working defaults.
+func DefaultQLearnConfig() QLearnConfig {
+	return QLearnConfig{LearnRate: 0.1, Discount: 0.9, ExploreEpsilon: 0.05, ColdCostMinutes: 15}
+}
+
+const (
+	qIdleBuckets = 7
+	qRateBuckets = 5
+	qStates      = qIdleBuckets * qRateBuckets
+	qActions     = 3
+
+	actDrop     = 0
+	actKeepLow  = 1
+	actKeepHigh = 2
+
+	qIdleCap  = 10_000 // idle counter cap; far beyond the last bucket edge
+	qRateEWMA = 0.8    // rate ← qRateEWMA·rate + (1−qRateEWMA)·count
+)
+
+// NewQLearnEntrant builds the entrant. The catalog and cost model price
+// the actions; the zero-value config selects DefaultQLearnConfig.
+func NewQLearnEntrant(name string, cat *models.Catalog, cost cluster.CostModel, cfg QLearnConfig) *QLearnEntrant {
+	if cfg == (QLearnConfig{}) {
+		cfg = DefaultQLearnConfig()
+	}
+	if cost.USDPerGBSecond == 0 {
+		cost = cluster.DefaultCostModel()
+	}
+	e := &QLearnEntrant{
+		name:     name,
+		cfg:      cfg,
+		costLow:  make([]float64, len(cat.Families)),
+		costHigh: make([]float64, len(cat.Families)),
+	}
+	for i := range cat.Families {
+		fam := &cat.Families[i]
+		e.costLow[i] = cost.KeepAliveUSDPerMinute(fam.Variants[0].MemoryMB)
+		e.costHigh[i] = cost.KeepAliveUSDPerMinute(fam.Variants[fam.NumVariants()-1].MemoryMB)
+	}
+	return e
+}
+
+// Name implements tournament.ShadowEntrant.
+func (e *QLearnEntrant) Name() string { return e.name }
+
+// Register implements tournament.ShadowEntrant.
+func (e *QLearnEntrant) Register(fn, fam, numVariants int) {
+	e.fam = append(e.fam, fam)
+	e.highest = append(e.highest, numVariants-1)
+	e.idle = append(e.idle, qIdleCap)
+	e.rate = append(e.rate, 0)
+	e.prevState = append(e.prevState, -1)
+	e.prevAction = append(e.prevAction, 0)
+}
+
+// Retire implements tournament.ShadowEntrant: the slot's observables
+// reset; the shared Q-table keeps what the function taught it.
+func (e *QLearnEntrant) Retire(fn int) {
+	e.idle[fn] = qIdleCap
+	e.rate[fn] = 0
+	e.prevState[fn] = -1
+}
+
+// stateOf buckets slot fn's observables into a table row.
+func (e *QLearnEntrant) stateOf(fn int) int {
+	idle := e.idle[fn]
+	var ib int
+	switch {
+	case idle == 0:
+		ib = 0
+	case idle == 1:
+		ib = 1
+	case idle == 2:
+		ib = 2
+	case idle <= 5:
+		ib = 3
+	case idle <= 10:
+		ib = 4
+	case idle <= 30:
+		ib = 5
+	default:
+		ib = 6
+	}
+	r := e.rate[fn]
+	var rb int
+	switch {
+	case r < 0.05:
+		rb = 0
+	case r < 0.5:
+		rb = 1
+	case r < 2:
+		rb = 2
+	case r < 8:
+		rb = 3
+	default:
+		rb = 4
+	}
+	return ib*qRateBuckets + rb
+}
+
+// qhash is a deterministic 64-bit mix of (m, fn) — splitmix64-style — so
+// ε-exploration needs no RNG state and is identical on every replay.
+func qhash(m, fn int) uint64 {
+	z := uint64(m)*0x9E3779B97F4A7C15 + uint64(fn)*0xBF58476D1CE4E5B9
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// KeepAlive implements tournament.ShadowEntrant: pick the ε-greedy action
+// for the open minute and remember it for settlement at the barrier.
+func (e *QLearnEntrant) KeepAlive(m, fn int) int {
+	s := e.stateOf(fn)
+	a := 0
+	if h := qhash(m, fn); float64(h%1_000_000) < e.cfg.ExploreEpsilon*1_000_000 {
+		a = int((h / 1_000_000) % qActions)
+	} else {
+		best := e.q[s][0]
+		for c := 1; c < qActions; c++ {
+			if e.q[s][c] > best {
+				best, a = e.q[s][c], c
+			}
+		}
+	}
+	e.prevState[fn] = s
+	e.prevAction[fn] = a
+	switch a {
+	case actKeepLow:
+		return 0
+	case actKeepHigh:
+		return e.highest[fn]
+	}
+	return cluster.NoVariant
+}
+
+// Record implements tournament.ShadowEntrant: settle the minute's reward
+// and update the table at the barrier.
+func (e *QLearnEntrant) Record(m, fn, count int) {
+	s, a := e.prevState[fn], e.prevAction[fn]
+
+	if count > 0 {
+		e.idle[fn] = 0
+	} else if e.idle[fn] < qIdleCap {
+		e.idle[fn]++
+	}
+	e.rate[fn] = qRateEWMA*e.rate[fn] + (1-qRateEWMA)*float64(count)
+
+	if s < 0 {
+		return // registered mid-minute: no decision to settle
+	}
+	fam := e.fam[fn]
+	var r float64
+	switch a {
+	case actKeepLow:
+		r = -e.costLow[fam]
+	case actKeepHigh:
+		r = -e.costHigh[fam]
+	}
+	if count > 0 && a == actDrop {
+		r -= e.cfg.ColdCostMinutes * e.costHigh[fam]
+	}
+	ns := e.stateOf(fn)
+	best := e.q[ns][0]
+	for c := 1; c < qActions; c++ {
+		if e.q[ns][c] > best {
+			best = e.q[ns][c]
+		}
+	}
+	e.q[s][a] += e.cfg.LearnRate * (r + e.cfg.Discount*best - e.q[s][a])
+	e.prevState[fn] = -1
+}

@@ -1,0 +1,106 @@
+package policy
+
+import (
+	"testing"
+
+	"github.com/pulse-serverless/pulse/internal/cluster"
+	"github.com/pulse-serverless/pulse/internal/models"
+)
+
+func qlearnCatalog(t *testing.T) *models.Catalog {
+	t.Helper()
+	cat := &models.Catalog{Families: []models.Family{
+		{Name: "fam", Task: "test", Variants: []models.Variant{
+			{Name: "lo", AccuracyPct: 60, ExecSec: 0.5, ColdStartSec: 2, MemoryMB: 512},
+			{Name: "hi", AccuracyPct: 90, ExecSec: 1.0, ColdStartSec: 4, MemoryMB: 2048},
+		}},
+	}}
+	if err := cat.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return cat
+}
+
+// A function invoked every minute teaches the table that dropping is
+// expensive: after enough barriers the greedy action for its state keeps
+// a variant warm rather than paying the cold penalty each minute.
+func TestQLearnLearnsToKeepHotFunction(t *testing.T) {
+	cat := qlearnCatalog(t)
+	e := NewQLearnEntrant("qlearn", cat, cluster.DefaultCostModel(), QLearnConfig{})
+	e.Register(0, 0, 2)
+
+	warm := 0
+	const minutes = 400
+	for m := 0; m < minutes; m++ {
+		if e.KeepAlive(m, 0) >= 0 {
+			warm++
+		}
+		e.Record(m, 0, 3)
+	}
+	// Early minutes explore and learn; the run as a whole must be
+	// dominated by keep decisions.
+	if warm < minutes/2 {
+		t.Errorf("hot function kept warm only %d/%d minutes", warm, minutes)
+	}
+
+	// An always-idle function must be dropped most of the time. The
+	// shared table means the hot function's first cold-start penalty
+	// poisons the long-idle state for a while, so convergence is gradual
+	// — require a clear majority, not the full greedy fraction.
+	e.Register(1, 0, 2)
+	drops := 0
+	for m := minutes; m < 2*minutes; m++ {
+		if e.KeepAlive(m, 1) == cluster.NoVariant {
+			drops++
+		}
+		e.Record(m, 1, 0)
+	}
+	if drops < minutes*65/100 {
+		t.Errorf("idle function dropped only %d/%d minutes", drops, minutes)
+	}
+}
+
+func TestQLearnDeterministicReplay(t *testing.T) {
+	cat := qlearnCatalog(t)
+	cost := cluster.DefaultCostModel()
+	a := NewQLearnEntrant("a", cat, cost, QLearnConfig{})
+	b := NewQLearnEntrant("b", cat, cost, QLearnConfig{})
+	a.Register(0, 0, 2)
+	b.Register(0, 0, 2)
+	for m := 0; m < 200; m++ {
+		count := 0
+		if m%3 == 0 {
+			count = 1 + m%4
+		}
+		if va, vb := a.KeepAlive(m, 0), b.KeepAlive(m, 0); va != vb {
+			t.Fatalf("minute %d: decisions diverge (%d vs %d)", m, va, vb)
+		}
+		a.Record(m, 0, count)
+		b.Record(m, 0, count)
+	}
+	if a.q != b.q {
+		t.Error("Q-tables diverged on identical traces")
+	}
+}
+
+func TestQLearnRetireResetsObservables(t *testing.T) {
+	cat := qlearnCatalog(t)
+	e := NewQLearnEntrant("qlearn", cat, cluster.DefaultCostModel(), QLearnConfig{})
+	e.Register(0, 0, 2)
+	for m := 0; m < 50; m++ {
+		e.KeepAlive(m, 0)
+		e.Record(m, 0, 5)
+	}
+	e.Retire(0)
+	if e.idle[0] != qIdleCap || e.rate[0] != 0 || e.prevState[0] != -1 {
+		t.Errorf("retired slot observables not reset: idle=%d rate=%v prev=%d",
+			e.idle[0], e.rate[0], e.prevState[0])
+	}
+	// A Record with no pending decision (fresh registration mid-minute)
+	// must not update the table.
+	q := e.q
+	e.Record(50, 0, 1)
+	if e.q != q {
+		t.Error("barrier without a pending decision mutated the Q-table")
+	}
+}

@@ -47,24 +47,34 @@ func DefaultHWConfig() HWConfig {
 	}
 }
 
+// validate checks the smoothing parameters, shared by NewHoltWinters and
+// the MPC entrant (which grows its forecaster slot by slot instead of
+// sizing it up front).
+func (cfg HWConfig) validate() error {
+	for name, v := range map[string]float64{"alpha": cfg.Alpha, "beta": cfg.Beta, "gamma": cfg.Gamma} {
+		if v <= 0 || v >= 1 {
+			return fmt.Errorf("predict: %s %v outside (0,1)", name, v)
+		}
+	}
+	if cfg.SeasonLength < 2 {
+		return fmt.Errorf("predict: season length %d too short", cfg.SeasonLength)
+	}
+	if cfg.ActivationThreshold <= 0 {
+		return fmt.Errorf("predict: non-positive activation threshold %v", cfg.ActivationThreshold)
+	}
+	if cfg.PostInvocationWindow < 0 {
+		return fmt.Errorf("predict: negative post-invocation window")
+	}
+	return nil
+}
+
 // NewHoltWinters builds the warmer for nFunctions functions.
 func NewHoltWinters(nFunctions int, cfg HWConfig) (*HoltWinters, error) {
 	if nFunctions <= 0 {
 		return nil, fmt.Errorf("predict: need ≥1 function, got %d", nFunctions)
 	}
-	for name, v := range map[string]float64{"alpha": cfg.Alpha, "beta": cfg.Beta, "gamma": cfg.Gamma} {
-		if v <= 0 || v >= 1 {
-			return nil, fmt.Errorf("predict: %s %v outside (0,1)", name, v)
-		}
-	}
-	if cfg.SeasonLength < 2 {
-		return nil, fmt.Errorf("predict: season length %d too short", cfg.SeasonLength)
-	}
-	if cfg.ActivationThreshold <= 0 {
-		return nil, fmt.Errorf("predict: non-positive activation threshold %v", cfg.ActivationThreshold)
-	}
-	if cfg.PostInvocationWindow < 0 {
-		return nil, fmt.Errorf("predict: negative post-invocation window")
+	if err := cfg.validate(); err != nil {
+		return nil, err
 	}
 	hw := &HoltWinters{
 		cfg:     cfg,

@@ -28,8 +28,8 @@ import (
 //	GET  /events           decision event log (requires telemetry)
 //	GET  /decisions        Algorithm 1/2 audit: downgrades with Uv = Ai+Pr+Ip, peak episodes
 //	GET  /attribution      per-function counterfactual savings vs shadow baselines (requires attribution)
-//	GET  /timeseries       per-minute attribution series for one metric (requires attribution)
-//	GET  /top              ranking by savings, downgrades, cold-start risk; text or ?format=json (requires attribution)
+//	GET  /timeseries       per-minute attribution series for one metric, incl. savings_vs_<entrant>_usd (requires attribution)
+//	GET  /top              function ranking, or ?by=policy tournament standings; text or ?format=json (requires attribution)
 //	GET  /why              decision provenance: why a function's variant was chosen (requires provenance)
 //	GET  /traces           sampled invocation spans with serving-path cost (requires tracing)
 //	GET  /stream           live Server-Sent Events: decisions, minute rollups, alerts (requires streaming)
@@ -71,8 +71,8 @@ func Endpoints() []Endpoint {
 		{http.MethodGet, "/events", "decision event log (requires telemetry)"},
 		{http.MethodGet, "/decisions", "Algorithm 1/2 audit: downgrades with Uv = Ai+Pr+Ip, peak episodes"},
 		{http.MethodGet, "/attribution", "per-function counterfactual savings vs shadow baselines (requires attribution)"},
-		{http.MethodGet, "/timeseries", "attribution series for one metric (?metric=&window=&res=; requires attribution)"},
-		{http.MethodGet, "/top", "ranking by savings, downgrades, cold-start risk; text or ?format=json (requires attribution)"},
+		{http.MethodGet, "/timeseries", "attribution series for one metric, incl. savings_vs_<entrant>_usd (?metric=&window=&res=; requires attribution)"},
+		{http.MethodGet, "/top", "ranking by savings, downgrades, cold-start risk — or ?by=policy entrant standings; text or ?format=json (requires attribution)"},
 		{http.MethodGet, "/why", "decision provenance for one function (?fn=<name>&minute=M&n=N; requires provenance)"},
 		{http.MethodGet, "/traces", "sampled invocation spans: minute, variant, stripe, seqlock retries, latency (requires tracing)"},
 		{http.MethodGet, "/stream", "live Server-Sent Events: decision log, minute rollups, alert transitions (requires streaming)"},

@@ -5,9 +5,11 @@ import (
 	"net/http"
 	"sort"
 	"strconv"
+	"strings"
 
 	"github.com/pulse-serverless/pulse/internal/attribution"
 	"github.com/pulse-serverless/pulse/internal/provenance"
+	"github.com/pulse-serverless/pulse/internal/tournament"
 )
 
 // AttachAttribution connects a counterfactual attribution accountant to
@@ -34,12 +36,47 @@ func (a *API) attributionEnabled(w http.ResponseWriter, r *http.Request) bool {
 	return true
 }
 
+// tournamentEntrant is one entrant's cluster-total standing in the
+// /attribution tournament section. Savings is the live policy's savings
+// vs this entrant (shadow cost minus actual cost: positive means live
+// beat it).
+type tournamentEntrant struct {
+	Name    string              `json:"name"`
+	Total   attribution.Tally   `json:"total"`
+	Savings attribution.Savings `json:"savings"`
+}
+
+// tournamentSection extends the /attribution payload with per-entrant
+// cluster totals once tournament extras are attached.
+type tournamentSection struct {
+	Entrants []tournamentEntrant `json:"entrants"`
+}
+
 // handleAttribution serves the full per-function counterfactual report.
+// When tournament entrants beyond the three baselines are attached, the
+// payload gains a "tournament" section with every entrant's cluster
+// totals and the live policy's savings against each.
 func (a *API) handleAttribution(w http.ResponseWriter, r *http.Request) {
 	if !a.attributionEnabled(w, r) {
 		return
 	}
-	writeJSON(w, http.StatusOK, a.acct.Report())
+	resp := struct {
+		attribution.Report
+		Tournament *tournamentSection `json:"tournament,omitempty"`
+	}{Report: a.acct.Report()}
+	if names := a.acct.EntrantNames(); len(names) > attribution.NumBaselines {
+		snap := a.acct.Arena().Snapshot()
+		sec := &tournamentSection{Entrants: make([]tournamentEntrant, len(names))}
+		for i, name := range names {
+			sec.Entrants[i] = tournamentEntrant{
+				Name:    name,
+				Total:   snap.Total.Shadows[i],
+				Savings: snap.Total.Savings[i],
+			}
+		}
+		resp.Tournament = sec
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // timeseriesResponse is the GET /timeseries payload.
@@ -62,10 +99,11 @@ func selfMetric(name string) bool {
 }
 
 // handleTimeseries serves one metric's trailing series. Query parameters:
-// metric (required; see attribution.MetricNames plus the provenance
-// self-metrics step_latency_us and seqlock_retries), window (trailing
-// minutes — or hours with res=hour — default 60), res (minute or hour;
-// self-metrics are minute-only).
+// metric (required; see attribution.MetricNames, savings_vs_<entrant>_usd
+// for any attached tournament entrant, plus the provenance self-metrics
+// step_latency_us and seqlock_retries), window (trailing minutes — or
+// hours with res=hour — default 60), res (minute or hour; self-metrics
+// are minute-only).
 func (a *API) handleTimeseries(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		writeJSON(w, http.StatusMethodNotAllowed, apiError{"GET required"})
@@ -123,9 +161,28 @@ func (a *API) handleTimeseries(w http.ResponseWriter, r *http.Request) {
 	}
 	metric, err := attribution.ParseMetric(name)
 	if err != nil {
+		// Not a classic metric: try the tournament pattern
+		// savings_vs_<entrant>_usd against the attached entrant names
+		// (savings_vs_fixed_usd stays a classic metric above).
+		if ename, ok := entrantSavingsMetric(name); ok {
+			if i, ok := a.acct.Arena().EntrantIndex(ename); ok {
+				points := a.acct.Arena().Series(
+					tournament.Selector{Entrant: i, Channel: tournament.ChanSavingsUSD}, window, hourly)
+				if points == nil {
+					points = []attribution.Point{}
+				}
+				writeJSON(w, http.StatusOK, timeseriesResponse{
+					Metric: name, Window: window, Resolution: res, Points: points,
+				})
+				return
+			}
+		}
 		writeJSON(w, http.StatusBadRequest,
-			apiError{fmt.Sprintf("unknown metric %q (one of %v plus %v)",
-				name, attribution.MetricNames(), provenance.SelfMetrics())})
+			// Brace delimiters, not angle brackets: the JSON encoder
+			// HTML-escapes angle brackets into unicode escape
+			// sequences, garbling the hint.
+			apiError{fmt.Sprintf("unknown metric %q (one of %v, savings_vs_{entrant}_usd for entrants %v, plus %v)",
+				name, attribution.MetricNames(), a.acct.EntrantNames(), provenance.SelfMetrics())})
 		return
 	}
 	points := a.acct.Series(metric, window, hourly)
@@ -135,6 +192,21 @@ func (a *API) handleTimeseries(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, timeseriesResponse{
 		Metric: metric.String(), Window: window, Resolution: res, Points: points,
 	})
+}
+
+// entrantSavingsMetric extracts the entrant name from a
+// savings_vs_<entrant>_usd metric string, reporting whether the string
+// has that shape.
+func entrantSavingsMetric(metric string) (string, bool) {
+	rest, ok := strings.CutPrefix(metric, "savings_vs_")
+	if !ok {
+		return "", false
+	}
+	name, ok := strings.CutSuffix(rest, "_usd")
+	if !ok || name == "" {
+		return "", false
+	}
+	return name, true
 }
 
 // topEntry is one ranked function in the /top JSON payload.
@@ -201,11 +273,64 @@ func topRankings(rep attribution.Report, n int) []topRanking {
 	}
 }
 
-// handleTop renders the attribution summary: cluster totals, then the
-// functions ranked by savings vs the fixed baseline, by downgrades, and by
-// cold-start risk. Query parameters: n caps each ranking (default 10);
-// format=json selects the machine-readable payload the dashboard consumes
-// (default is the human-readable text table).
+// policyRow is one policy — the live one or a shadow entrant — in the
+// /top?by=policy standings. CostVsLiveUSD is the policy's keep-alive cost
+// minus the live policy's (negative: the shadow would have been cheaper).
+// Both the text and JSON renderings are built from the same rows.
+type policyRow struct {
+	Name               string  `json:"name"`
+	Live               bool    `json:"live"`
+	CostUSD            float64 `json:"costUSD"`
+	KeepAliveGBMinutes float64 `json:"keepAliveGBMinutes"`
+	ColdStarts         int     `json:"coldStarts"`
+	CostVsLiveUSD      float64 `json:"costVsLiveUSD"`
+}
+
+// topPolicyResponse is the GET /top?by=policy&format=json payload.
+type topPolicyResponse struct {
+	Minute  int         `json:"minute"`
+	Ranking []policyRow `json:"ranking"`
+}
+
+// policyRanking builds the tournament standings: the live policy plus
+// every entrant, ranked by total keep-alive cost ascending (cheapest
+// policy first) with the name as a deterministic tie-break.
+func policyRanking(names []string, snap tournament.Snapshot) []policyRow {
+	rows := make([]policyRow, 0, len(names)+1)
+	rows = append(rows, policyRow{
+		Name:               "live",
+		Live:               true,
+		CostUSD:            snap.Total.Actual.KeepAliveCostUSD,
+		KeepAliveGBMinutes: snap.Total.Actual.KeepAliveMBMinutes / 1024,
+		ColdStarts:         snap.Total.Actual.ColdStarts,
+	})
+	for i, name := range names {
+		sh := snap.Total.Shadows[i]
+		rows = append(rows, policyRow{
+			Name:               name,
+			CostUSD:            sh.KeepAliveCostUSD,
+			KeepAliveGBMinutes: sh.KeepAliveMBMinutes / 1024,
+			ColdStarts:         sh.ColdStarts,
+			CostVsLiveUSD:      sh.KeepAliveCostUSD - snap.Total.Actual.KeepAliveCostUSD,
+		})
+	}
+	sort.SliceStable(rows, func(i, j int) bool {
+		if rows[i].CostUSD != rows[j].CostUSD {
+			return rows[i].CostUSD < rows[j].CostUSD
+		}
+		return rows[i].Name < rows[j].Name
+	})
+	return rows
+}
+
+// handleTop renders the attribution summary. The default (by=functions)
+// view shows cluster totals, then the functions ranked by savings vs the
+// fixed baseline, by downgrades, and by cold-start risk; by=policy shows
+// the tournament standings — live policy and every shadow entrant ranked
+// by total keep-alive cost. Query parameters: by (functions or policy),
+// n caps each function ranking (default 10); format=json selects the
+// machine-readable payload the dashboard consumes (default is the
+// human-readable text table).
 func (a *API) handleTop(w http.ResponseWriter, r *http.Request) {
 	if !a.attributionEnabled(w, r) {
 		return
@@ -227,6 +352,23 @@ func (a *API) handleTop(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, apiError{fmt.Sprintf("bad format %q (text or json)", format)})
 		return
 	}
+	by := r.URL.Query().Get("by")
+	switch by {
+	case "", "functions":
+	case "policy":
+		snap := a.acct.Arena().Snapshot()
+		rows := policyRanking(a.acct.EntrantNames(), snap)
+		if format == "json" {
+			writeJSON(w, http.StatusOK, topPolicyResponse{Minute: snap.Minute, Ranking: rows})
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		writeTopPolicy(w, snap.Minute, rows)
+		return
+	default:
+		writeJSON(w, http.StatusBadRequest, apiError{fmt.Sprintf("bad by %q (functions or policy)", by)})
+		return
+	}
 	rep := a.acct.Report()
 	if format == "json" {
 		writeJSON(w, http.StatusOK, topResponse{
@@ -239,6 +381,23 @@ func (a *API) handleTop(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	writeTop(w, rep, n)
+}
+
+// writeTopPolicy formats the /top?by=policy standings. Split out like
+// writeTop so tests and pulsed can render without an HTTP round trip.
+func writeTopPolicy(w interface{ Write([]byte) (int, error) }, minute int, rows []policyRow) {
+	p := func(format string, args ...any) { fmt.Fprintf(w, format, args...) }
+	p("PULSE policy tournament — minute %d, %d policies by keep-alive cost\n\n", minute, len(rows))
+	p("  rank policy        cost $      GB-min      cold    Δcost vs live $\n")
+	for i, row := range rows {
+		marker := " "
+		if row.Live {
+			marker = "*"
+		}
+		p("  %-4d %s%-12s %10.4f %11.1f %9d %+18.4f\n",
+			i+1, marker, row.Name, row.CostUSD, row.KeepAliveGBMinutes, row.ColdStarts, row.CostVsLiveUSD)
+	}
+	p("\n  (* = live policy; Δcost < 0 means the shadow would have been cheaper)\n")
 }
 
 // writeTop formats the /top view. Split out so tests (and pulsed's demo

@@ -66,6 +66,11 @@ type healthzResponse struct {
 	Telemetry   bool `json:"telemetry"`
 	Attribution bool `json:"attribution"`
 	Provenance  bool `json:"provenance"`
+	// TournamentEntrants lists the attribution arena's shadow entrants in
+	// accounting order (baselines first), so clients — the dashboard's
+	// metric picker in particular — can discover savings_vs_<entrant>_usd
+	// series. Empty when attribution is off.
+	TournamentEntrants []string `json:"tournamentEntrants,omitempty"`
 	// Tracer is the sampled-invocation tracer's status (all zeros when no
 	// tracer is attached).
 	Tracer provenance.TracerStats `json:"tracer"`
@@ -88,19 +93,24 @@ func (a *API) handleHealthz(w http.ResponseWriter, r *http.Request) {
 			active++
 		}
 	}
+	var entrants []string
+	if a.acct != nil {
+		entrants = a.acct.EntrantNames()
+	}
 	writeJSON(w, http.StatusOK, healthzResponse{
-		Status:      "ok",
-		GoVersion:   goruntime.Version(),
-		UptimeSec:   time.Since(a.started).Seconds(),
-		Mode:        a.rt.Mode(),
-		Minute:      a.rt.Stats().Minute,
-		Functions:   n,
-		Active:      active,
-		Telemetry:   a.tel != nil,
-		Attribution: a.acct != nil,
-		Provenance:  a.prov != nil,
-		Tracer:      a.tracer.Stats(),
-		Stream:      a.stream.Stats(),
-		Alerts:      a.alerts.Status(),
+		Status:             "ok",
+		GoVersion:          goruntime.Version(),
+		UptimeSec:          time.Since(a.started).Seconds(),
+		Mode:               a.rt.Mode(),
+		Minute:             a.rt.Stats().Minute,
+		Functions:          n,
+		Active:             active,
+		Telemetry:          a.tel != nil,
+		Attribution:        a.acct != nil,
+		Provenance:         a.prov != nil,
+		TournamentEntrants: entrants,
+		Tracer:             a.tracer.Stats(),
+		Stream:             a.stream.Stats(),
+		Alerts:             a.alerts.Status(),
 	})
 }

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"github.com/pulse-serverless/pulse/internal/provenance"
+	"github.com/pulse-serverless/pulse/internal/telemetry"
 )
 
 // MatrixConfig configures a serving-path benchmark matrix: the cross
@@ -279,6 +280,139 @@ func RunTracerDelta(cfg TracerDeltaConfig) (TracerDelta, error) {
 		d.OverheadPct = (off.Throughput - on.Throughput) / off.Throughput * 100
 	}
 	d.WithinGuard = d.OverheadPct < TracerOverheadGuardPct
+	return d, nil
+}
+
+// TournamentOverheadGuardPctPerEntrant is the published budget for the
+// shadow-policy tournament: each extra entrant riding the attribution
+// Observer chain may cost at most this percentage of baseline throughput.
+// The bench reports the measured per-entrant delta against it (advisory —
+// single short cells are too noisy for a hard CI gate).
+const TournamentOverheadGuardPctPerEntrant = 3.0
+
+// TournamentDeltaConfig configures the tournament-overhead measurement:
+// one run shape, benchmarked twice back to back — once with the baseline
+// accountant (the three built-in shadows) and once with the full entrant
+// roster attached — so the delta isolates what racing extra policies
+// costs on the serving path.
+type TournamentDeltaConfig struct {
+	// Functions, Mode, Mix, Workers fix the single shape under test.
+	// Defaults: 12 functions, ModeEpoch, MixHotspot, 2×GOMAXPROCS workers.
+	Functions int
+	Mode      string
+	Mix       string
+	Workers   int
+	// Duration, Seed, StepEvery are passed to both cells' LoadConfig.
+	// Duration is required.
+	Duration  time.Duration
+	Seed      int64
+	StepEvery time.Duration
+	// Entrants names the extra entrants the loaded cell races; used for
+	// reporting and for the per-entrant overhead split. Required non-empty.
+	Entrants []string
+	// NewRuntime constructs the runtime under test with the given observer
+	// attached. Required. The observer is built by NewObserver, keeping
+	// this package free of policy/predict imports.
+	NewRuntime func(functions int, mode string, obs telemetry.Observer) (*Runtime, error)
+	// NewObserver builds one cell's observer: extras=false is the baseline
+	// accountant, extras=true carries the entrant roster. Required.
+	NewObserver func(functions int, extras bool) (telemetry.Observer, error)
+}
+
+// TournamentDelta is the published entrants-on vs baseline comparison:
+// throughput for both cells, the total and per-entrant overhead
+// percentages, and whether the per-entrant cost landed inside
+// TournamentOverheadGuardPctPerEntrant.
+type TournamentDelta struct {
+	Mode                  string   `json:"mode"`
+	Entrants              []string `json:"entrants"`
+	BaselineThroughput    float64  `json:"throughput_baseline_inv_per_sec"`
+	LoadedThroughput      float64  `json:"throughput_loaded_inv_per_sec"`
+	OverheadPct           float64  `json:"overhead_pct"`
+	OverheadPctPerEntrant float64  `json:"overhead_pct_per_entrant"`
+	GuardPctPerEntrant    float64  `json:"guard_pct_per_entrant"`
+	WithinGuard           bool     `json:"within_guard"`
+	// Baseline and Loaded carry the two full cell results for drill-down.
+	Baseline LoadResult `json:"baseline"`
+	Loaded   LoadResult `json:"loaded"`
+}
+
+// RunTournamentDelta benchmarks the configured shape with the baseline
+// accountant and again with the entrant roster attached, and returns the
+// throughput delta per entrant. A negative OverheadPct means the loaded
+// cell measured faster — ordinary noise at short durations, and always
+// within the guard.
+func RunTournamentDelta(cfg TournamentDeltaConfig) (TournamentDelta, error) {
+	if cfg.NewRuntime == nil || cfg.NewObserver == nil {
+		return TournamentDelta{}, fmt.Errorf("runtime: tournament delta needs NewRuntime and NewObserver constructors")
+	}
+	if cfg.Duration <= 0 {
+		return TournamentDelta{}, fmt.Errorf("runtime: non-positive tournament-delta cell duration %v", cfg.Duration)
+	}
+	if len(cfg.Entrants) == 0 {
+		return TournamentDelta{}, fmt.Errorf("runtime: tournament delta needs at least one entrant")
+	}
+	if cfg.Functions <= 0 {
+		cfg.Functions = 12
+	}
+	if cfg.Mode == "" {
+		cfg.Mode = ModeEpoch
+	}
+	switch cfg.Mode {
+	case ModeSerial, ModeStriped, ModeEpoch:
+	default:
+		return TournamentDelta{}, fmt.Errorf("runtime: unknown mode %q in tournament delta", cfg.Mode)
+	}
+	if cfg.Mix == "" {
+		cfg.Mix = MixHotspot
+	}
+	if cfg.Workers == 0 {
+		cfg.Workers = 2 * goruntime.GOMAXPROCS(0)
+	}
+
+	cell := func(extras bool) (LoadResult, error) {
+		obs, err := cfg.NewObserver(cfg.Functions, extras)
+		if err != nil {
+			return LoadResult{}, fmt.Errorf("runtime: tournament-delta observer (extras=%v): %w", extras, err)
+		}
+		rt, err := cfg.NewRuntime(cfg.Functions, cfg.Mode, obs)
+		if err != nil {
+			return LoadResult{}, fmt.Errorf("runtime: tournament-delta cell (%d fns, %s): %w", cfg.Functions, cfg.Mode, err)
+		}
+		res, err := RunLoad(rt, LoadConfig{
+			Workers:   cfg.Workers,
+			Duration:  cfg.Duration,
+			Mix:       cfg.Mix,
+			Seed:      cfg.Seed,
+			StepEvery: cfg.StepEvery,
+		})
+		rt.Close()
+		return res, err
+	}
+
+	base, err := cell(false)
+	if err != nil {
+		return TournamentDelta{}, err
+	}
+	loaded, err := cell(true)
+	if err != nil {
+		return TournamentDelta{}, err
+	}
+
+	d := TournamentDelta{
+		Mode:               cfg.Mode,
+		Entrants:           append([]string(nil), cfg.Entrants...),
+		BaselineThroughput: base.Throughput,
+		LoadedThroughput:   loaded.Throughput,
+		GuardPctPerEntrant: TournamentOverheadGuardPctPerEntrant,
+		Baseline:           base,
+		Loaded:             loaded,
+	}
+	if base.Throughput > 0 {
+		d.OverheadPct = (base.Throughput - loaded.Throughput) / base.Throughput * 100
+		d.OverheadPctPerEntrant = d.OverheadPct / float64(len(cfg.Entrants))
+	}
+	d.WithinGuard = d.OverheadPctPerEntrant < TournamentOverheadGuardPctPerEntrant
 	return d, nil
 }
 

@@ -5,8 +5,12 @@ import (
 	"testing"
 	"time"
 
+	"github.com/pulse-serverless/pulse/internal/attribution"
+	"github.com/pulse-serverless/pulse/internal/cluster"
 	"github.com/pulse-serverless/pulse/internal/policy"
 	"github.com/pulse-serverless/pulse/internal/provenance"
+	"github.com/pulse-serverless/pulse/internal/telemetry"
+	"github.com/pulse-serverless/pulse/internal/tournament/roster"
 )
 
 // newTracedLoadRuntime is newLoadRuntime with a tracer attached — the
@@ -93,6 +97,106 @@ func TestRunTracerDeltaSmoke(t *testing.T) {
 			d.Attempts, d.Sampled, d.On.Invocations)
 	}
 	if d.WithinGuard != (d.OverheadPct < TracerOverheadGuardPct) {
+		t.Errorf("guard verdict inconsistent: %+v", d)
+	}
+}
+
+func TestRunTournamentDeltaValidation(t *testing.T) {
+	mkRt := func(fns int, mode string, obs telemetry.Observer) (*Runtime, error) {
+		return newLoadRuntime(t, mode), nil
+	}
+	mkObs := func(fns int, extras bool) (telemetry.Observer, error) {
+		return nil, nil
+	}
+	ok := TournamentDeltaConfig{
+		NewRuntime: mkRt, NewObserver: mkObs,
+		Duration: time.Millisecond, Entrants: []string{"mpc"},
+	}
+	for name, breakIt := range map[string]func(*TournamentDeltaConfig){
+		"no runtime constructor":  func(c *TournamentDeltaConfig) { c.NewRuntime = nil },
+		"no observer constructor": func(c *TournamentDeltaConfig) { c.NewObserver = nil },
+		"zero duration":           func(c *TournamentDeltaConfig) { c.Duration = 0 },
+		"empty entrant list":      func(c *TournamentDeltaConfig) { c.Entrants = nil },
+		"unknown mode":            func(c *TournamentDeltaConfig) { c.Mode = "nope" },
+	} {
+		cfg := ok
+		breakIt(&cfg)
+		if _, err := RunTournamentDelta(cfg); err == nil {
+			t.Errorf("tournament delta with %s accepted", name)
+		}
+	}
+}
+
+// TestRunTournamentDeltaSmoke runs the baseline/loaded pair with a real
+// accountant and the packaged roster, and checks the pair actually
+// differed: the baseline cell carried three entrants, the loaded cell
+// six, and the published overhead split is per entrant.
+func TestRunTournamentDeltaSmoke(t *testing.T) {
+	cat, asg := testSetup(t)
+	cost := cluster.DefaultCostModel()
+	var accts []*attribution.Accountant
+	d, err := RunTournamentDelta(TournamentDeltaConfig{
+		Functions: len(asg),
+		Duration:  10 * time.Millisecond,
+		Seed:      1,
+		StepEvery: 5 * time.Millisecond,
+		Entrants:  roster.Names(),
+		NewObserver: func(fns int, extras bool) (telemetry.Observer, error) {
+			cfg := attribution.Config{Catalog: cat, Assignment: asg, Cost: cost}
+			if extras {
+				ents, err := roster.Build(roster.Names(), cat, cost)
+				if err != nil {
+					return nil, err
+				}
+				cfg.Entrants = ents
+			}
+			a, err := attribution.New(cfg)
+			if err != nil {
+				return nil, err
+			}
+			accts = append(accts, a)
+			return a, nil
+		},
+		NewRuntime: func(fns int, mode string, obs telemetry.Observer) (*Runtime, error) {
+			p, err := policy.NewFixed(cat, asg, 10, policy.QualityHighest)
+			if err != nil {
+				return nil, err
+			}
+			return New(Config{
+				Catalog:    cat,
+				Assignment: asg,
+				Policy:     p,
+				Clock:      NewManualClock(time.Unix(0, 0)),
+				Mode:       mode,
+				Observer:   obs,
+			})
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(accts) != 2 {
+		t.Fatalf("delta built %d accountants, want a baseline and a loaded cell", len(accts))
+	}
+	if n := len(accts[0].EntrantNames()); n != attribution.NumBaselines {
+		t.Errorf("baseline cell carries %d entrants, want the %d built-ins", n, attribution.NumBaselines)
+	}
+	if n := len(accts[1].EntrantNames()); n != attribution.NumBaselines+len(roster.Names()) {
+		t.Errorf("loaded cell carries %d entrants, want %d", n, attribution.NumBaselines+len(roster.Names()))
+	}
+	if d.Mode != ModeEpoch || d.GuardPctPerEntrant != TournamentOverheadGuardPctPerEntrant {
+		t.Errorf("delta shape %+v, want epoch with the published guard", d)
+	}
+	if d.Baseline.Invocations == 0 || d.Loaded.Invocations == 0 || d.Baseline.Errors != 0 || d.Loaded.Errors != 0 {
+		t.Errorf("cells did not serve cleanly: baseline %+v loaded %+v", d.Baseline, d.Loaded)
+	}
+	if d.BaselineThroughput != d.Baseline.Throughput || d.LoadedThroughput != d.Loaded.Throughput {
+		t.Errorf("published throughputs diverge from cell results: %+v", d)
+	}
+	if want := d.OverheadPct / float64(len(roster.Names())); d.OverheadPctPerEntrant != want {
+		t.Errorf("per-entrant overhead %v, want %v across %d entrants", d.OverheadPctPerEntrant, want, len(roster.Names()))
+	}
+	if d.WithinGuard != (d.OverheadPctPerEntrant < TournamentOverheadGuardPctPerEntrant) {
 		t.Errorf("guard verdict inconsistent: %+v", d)
 	}
 }

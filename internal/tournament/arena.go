@@ -1,0 +1,613 @@
+package tournament
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/pulse-serverless/pulse/internal/cluster"
+	"github.com/pulse-serverless/pulse/internal/models"
+	"github.com/pulse-serverless/pulse/internal/telemetry"
+)
+
+// Config parameterizes an Arena.
+type Config struct {
+	Catalog    *models.Catalog
+	Assignment models.Assignment
+	// Cost prices keep-alive memory for the live policy and every entrant;
+	// the zero value selects the AWS-calibrated default.
+	Cost cluster.CostModel
+	// SeriesWindow is how many minutes the time-series store retains at
+	// minute resolution (default DefaultSeriesWindow). The hourly rollup
+	// ring holds the same number of buckets, extending the horizon 60×.
+	SeriesWindow int
+	// Entrants are the raced policies, in ranking/report order. Names must
+	// be unique and non-empty.
+	Entrants []ShadowEntrant
+}
+
+// famInfo caches the per-variant characteristics of one model family in
+// the form the hot path needs: no catalog traversal per sample.
+type famInfo struct {
+	name       string
+	byName     map[string]int
+	memMB      []float64
+	accPct     []float64
+	costPerMin []float64
+	highest    int
+}
+
+// fnShared is one function's shared (live-policy) state: the integer
+// counters the report's Actual tally derives from, plus the open-minute
+// invocation accumulator the barrier feed delivers to entrants. Keeping
+// counts rather than running float sums makes reports independent of how
+// the feed fragments a minute's invocations into samples.
+type fnShared struct {
+	lastInv    int  // minute of the last invocation, -1 before any
+	seenMinute int  // minute of the last invocation sample, -1 before any
+	retired    bool // slot deregistered; ledger closed, counters frozen
+
+	invocations int
+	actualCold  int
+	downgrades  int
+	openCnt     int // invocations folded into the open minute (barrier feed)
+
+	aliveMin     []int // actual kept-alive minutes, by variant index (nil once retired)
+	invByVariant []int // actual invocations, by variant index (nil once retired)
+
+	// Folded per-variant sums, computed once at retirement — in the same
+	// variant order the report uses, so reports stay bit-identical — after
+	// which aliveMin and invByVariant are released. This is what bounds a
+	// churning arena's steady-state heap: a departed slot keeps only
+	// fixed-size state, not its per-variant ledgers.
+	foldedKaMBMin float64
+	foldedKaCost  float64
+	foldedAccMin  float64
+	foldedAccSum  float64
+}
+
+// entLedger is one entrant's account of one function.
+type entLedger struct {
+	aliveMin []int // kept-alive minutes, by variant index (nil once retired)
+	served   []int // invocations served, by variant index (nil once retired)
+	cold     int   // cold function-minutes
+
+	// Folded at retirement, mirroring fnShared's discipline.
+	foldedKaMBMin float64
+	foldedKaCost  float64
+	foldedAccMin  float64
+	foldedAccSum  float64
+}
+
+// entrant is one raced policy plus its arena-side bookkeeping.
+type entrant struct {
+	impl ShadowEntrant
+	hind HindsightEntrant // non-nil when impl has hindsight
+
+	open []int       // variant held in the open minute per fn, NoVariant when none
+	led  []entLedger // per-function account
+
+	// Open-minute cluster-wide accumulators, written into the store when
+	// the minute closes.
+	minKaM  float64
+	minCost float64
+	minCold int
+}
+
+// Arena races N ShadowEntrants in-stream against the live policy. It
+// implements telemetry.Observer and telemetry.LifecycleObserver; the
+// attribution.Accountant is a thin adapter over one Arena carrying the
+// three classic baselines as entrants 0..2.
+//
+// Accounting order is fixed and deterministic: at every minute boundary
+// entrants are visited in registration order and functions in ascending
+// slot order within each entrant, regardless of shard count or runtime
+// serving mode. Per-entrant minute accumulators are independent, so this
+// order also pins the float summation order per entrant.
+type Arena struct {
+	mu   sync.Mutex
+	cost cluster.CostModel
+
+	fams  []famInfo
+	famOf []int
+	fns   []fnShared
+	ents  []entrant
+	names []string
+
+	cur   int // open minute, -1 before the first sample
+	store *store
+
+	// Open-minute shared accumulators (the live policy's account).
+	minActualKaM, minActualCost float64
+	minActualCold, minInv       int
+
+	scratch []float64 // store-row staging, preallocated (zero-alloc pushes)
+}
+
+// New builds an Arena. The catalog and assignment must match the ones
+// driving the policy under observation.
+func New(cfg Config) (*Arena, error) {
+	if cfg.Catalog == nil {
+		return nil, fmt.Errorf("tournament: nil catalog")
+	}
+	if err := cfg.Catalog.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.Assignment.Validate(cfg.Catalog, len(cfg.Assignment)); err != nil {
+		return nil, err
+	}
+	if len(cfg.Assignment) == 0 {
+		return nil, fmt.Errorf("tournament: empty assignment")
+	}
+	if cfg.Cost.USDPerGBSecond == 0 {
+		cfg.Cost = cluster.DefaultCostModel()
+	}
+	if cfg.Cost.USDPerGBSecond < 0 {
+		return nil, fmt.Errorf("tournament: negative cost rate %v", cfg.Cost.USDPerGBSecond)
+	}
+	if cfg.SeriesWindow <= 0 {
+		cfg.SeriesWindow = DefaultSeriesWindow
+	}
+	names := make([]string, len(cfg.Entrants))
+	seen := make(map[string]bool, len(cfg.Entrants))
+	for i, e := range cfg.Entrants {
+		if e == nil {
+			return nil, fmt.Errorf("tournament: nil entrant at index %d", i)
+		}
+		n := e.Name()
+		if n == "" {
+			return nil, fmt.Errorf("tournament: entrant %d has an empty name", i)
+		}
+		if seen[n] {
+			return nil, fmt.Errorf("tournament: duplicate entrant %q", n)
+		}
+		seen[n] = true
+		names[i] = n
+	}
+	a := &Arena{
+		cost:    cfg.Cost,
+		fams:    make([]famInfo, len(cfg.Catalog.Families)),
+		famOf:   make([]int, len(cfg.Assignment)),
+		fns:     make([]fnShared, len(cfg.Assignment)),
+		ents:    make([]entrant, len(cfg.Entrants)),
+		names:   names,
+		cur:     -1,
+		store:   newStore(cfg.SeriesWindow, len(cfg.Entrants)),
+		scratch: make([]float64, rowWidth(len(cfg.Entrants))),
+	}
+	for i := range cfg.Catalog.Families {
+		fam := &cfg.Catalog.Families[i]
+		fi := famInfo{
+			name:       fam.Name,
+			byName:     make(map[string]int, fam.NumVariants()),
+			memMB:      make([]float64, fam.NumVariants()),
+			accPct:     make([]float64, fam.NumVariants()),
+			costPerMin: make([]float64, fam.NumVariants()),
+			highest:    fam.NumVariants() - 1,
+		}
+		for vi, v := range fam.Variants {
+			fi.byName[v.Name] = vi
+			fi.memMB[vi] = v.MemoryMB
+			fi.accPct[vi] = v.AccuracyPct
+			fi.costPerMin[vi] = cfg.Cost.KeepAliveUSDPerMinute(v.MemoryMB)
+		}
+		a.fams[i] = fi
+	}
+	for ei := range cfg.Entrants {
+		e := &a.ents[ei]
+		e.impl = cfg.Entrants[ei]
+		e.hind, _ = cfg.Entrants[ei].(HindsightEntrant)
+		e.open = make([]int, len(cfg.Assignment))
+		e.led = make([]entLedger, len(cfg.Assignment))
+	}
+	for fn := range cfg.Assignment {
+		fam := cfg.Assignment[fn]
+		a.famOf[fn] = fam
+		nv := cfg.Catalog.Families[fam].NumVariants()
+		a.fns[fn] = fnShared{
+			lastInv:      -1,
+			seenMinute:   -1,
+			aliveMin:     make([]int, nv),
+			invByVariant: make([]int, nv),
+		}
+		for ei := range a.ents {
+			e := &a.ents[ei]
+			e.open[fn] = NoVariant
+			e.led[fn] = entLedger{
+				aliveMin: make([]int, nv),
+				served:   make([]int, nv),
+			}
+			e.impl.Register(fn, fam, nv)
+		}
+	}
+	return a, nil
+}
+
+// EntrantNames lists the entrant names in registration (report) order.
+func (a *Arena) EntrantNames() []string {
+	out := make([]string, len(a.names))
+	copy(out, a.names)
+	return out
+}
+
+// EntrantIndex resolves an entrant name to its index.
+func (a *Arena) EntrantIndex(name string) (int, bool) {
+	for i, n := range a.names {
+		if n == name {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// Minute returns the open (still accumulating) minute, -1 before any
+// sample.
+func (a *Arena) Minute() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.cur
+}
+
+// LedgersReleased reports whether slot fn's per-variant ledgers — shared
+// and per-entrant — have been folded and released (true only after
+// retirement). It exists for memory-retention tests.
+func (a *Arena) LedgersReleased(fn int) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if fn < 0 || fn >= len(a.fns) {
+		return false
+	}
+	f := &a.fns[fn]
+	if !f.retired || f.aliveMin != nil || f.invByVariant != nil {
+		return false
+	}
+	for ei := range a.ents {
+		led := &a.ents[ei].led[fn]
+		if led.aliveMin != nil || led.served != nil {
+			return false
+		}
+	}
+	return true
+}
+
+// roll advances the open minute to m, closing every minute in between.
+// Minutes only move forward; a sample carrying an older minute (possible
+// under live concurrent traffic, where an invocation's sample can be
+// emitted after the tick advanced) is folded into the open minute.
+func (a *Arena) roll(m int) {
+	if a.cur < 0 {
+		if m < 0 {
+			m = 0
+		}
+		a.open(m)
+		return
+	}
+	for a.cur < m {
+		a.close()
+		a.open(a.cur + 1)
+	}
+}
+
+// open starts minute m: every entrant, in registration order, is asked
+// which variant it holds warm for every live function in ascending slot
+// order, and is charged keep-alive for each held variant.
+func (a *Arena) open(m int) {
+	a.cur = m
+	for ei := range a.ents {
+		e := &a.ents[ei]
+		for fn := range a.fns {
+			if a.fns[fn].retired {
+				continue
+			}
+			fi := &a.fams[a.famOf[fn]]
+			v := e.impl.KeepAlive(m, fn)
+			if v > fi.highest {
+				v = fi.highest
+			}
+			if v < 0 {
+				v = NoVariant
+			}
+			e.open[fn] = v
+			if v >= 0 {
+				e.led[fn].aliveMin[v]++
+				e.minKaM += fi.memMB[v]
+				e.minCost += fi.costPerMin[v]
+			}
+		}
+	}
+}
+
+// fillRow snapshots the open minute's cluster-wide accumulators into the
+// preallocated scratch row in store layout — the values close() will push
+// when the minute ends. Called with a.mu held.
+func (a *Arena) fillRow() []float64 {
+	row := a.scratch
+	row[0] = a.minActualKaM
+	row[1] = a.minActualCost
+	row[2] = float64(a.minActualCold)
+	row[3] = float64(a.minInv)
+	for ei := range a.ents {
+		e := &a.ents[ei]
+		base := sharedChans + entrantChans*ei
+		row[base] = e.minKaM
+		row[base+1] = e.minCost
+		row[base+2] = float64(e.minCold)
+		row[base+3] = e.minCost - a.minActualCost
+	}
+	return row
+}
+
+// close finalizes the open minute: push the row into the time-series
+// store, deliver the barrier feed — every entrant in registration order
+// receives every live function's invocation count for the minute, in
+// ascending slot order — and reset the per-minute accumulators.
+func (a *Arena) close() {
+	a.store.push(a.cur, a.fillRow())
+	for ei := range a.ents {
+		e := &a.ents[ei]
+		for fn := range a.fns {
+			if a.fns[fn].retired {
+				continue
+			}
+			e.impl.Record(a.cur, fn, a.fns[fn].openCnt)
+		}
+		e.minKaM, e.minCost, e.minCold = 0, 0, 0
+	}
+	for fn := range a.fns {
+		a.fns[fn].openCnt = 0
+	}
+	a.minActualKaM, a.minActualCost = 0, 0
+	a.minActualCold, a.minInv = 0, 0
+}
+
+// ValueAt returns one cluster-wide channel's value at a single minute:
+// the stored value for a closed minute still inside the series window, or
+// the live accumulators when the minute is the currently open one — what
+// close() would push if the minute ended now. Reports false for minutes
+// never seen or already evicted from the ring, and for selectors the
+// arena does not carry.
+func (a *Arena) ValueAt(sel Selector, minute int) (float64, bool) {
+	idx, ok := sel.index(len(a.ents))
+	if !ok || minute < 0 {
+		return 0, false
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if minute == a.cur {
+		return a.fillRow()[idx], true
+	}
+	return a.store.at(idx, minute)
+}
+
+// Series returns the trailing time-series for one selector, oldest point
+// first: the last window minutes at minute resolution, or — with hourly
+// set — the last window hours from the rollup ring (gauges averaged,
+// amounts summed; Point.Minute is the hour's first minute). The open
+// minute is not included; it is still accumulating.
+func (a *Arena) Series(sel Selector, window int, hourly bool) []Point {
+	idx, ok := sel.index(len(a.ents))
+	if !ok {
+		return nil
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.cur <= 0 {
+		return nil
+	}
+	return a.store.series(idx, a.cur-1, window, hourly, nil)
+}
+
+// ObserveKeepAlive implements telemetry.Observer: the live policy's
+// keep-alive decision for one function-minute.
+func (a *Arena) ObserveKeepAlive(s telemetry.KeepAliveSample) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.roll(s.Minute)
+	if s.Function < 0 || s.Function >= len(a.fns) || a.fns[s.Function].retired {
+		// Retired slots are pinned to NoVariant by every well-formed feed;
+		// a contrary sample is foreign and is dropped (the ledger is gone).
+		return
+	}
+	fi := &a.fams[a.famOf[s.Function]]
+	if s.Variant < 0 || s.Variant >= len(fi.memMB) {
+		return
+	}
+	a.fns[s.Function].aliveMin[s.Variant]++
+	a.minActualKaM += fi.memMB[s.Variant]
+	a.minActualCost += fi.costPerMin[s.Variant]
+}
+
+// ObserveInvocation implements telemetry.Observer: one batch of served
+// invocations. Warm/cold attribution for every entrant happens here; the
+// first sample of a function-minute marks the minute invoked (the cold
+// slot for entrants holding nothing, the hindsight entrants' retroactive
+// keep-alive charge). The batch also accumulates into the open minute's
+// barrier count, delivered to entrants at close.
+func (a *Arena) ObserveInvocation(s telemetry.InvocationSample) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.roll(s.Minute)
+	if s.Function < 0 || s.Function >= len(a.fns) || a.fns[s.Function].retired {
+		// A retired function cannot be invoked; a contrary sample is a
+		// foreign feed and is dropped (the per-variant ledger is gone).
+		return
+	}
+	n := s.Count
+	if n <= 0 {
+		n = 1
+	}
+	f := &a.fns[s.Function]
+	fi := &a.fams[a.famOf[s.Function]]
+	first := f.seenMinute != s.Minute
+	if first && s.Minute > f.seenMinute {
+		f.seenMinute = s.Minute
+	}
+	f.invocations += n
+	f.openCnt += n
+	a.minInv += n
+	vi, ok := fi.byName[s.Variant]
+	if !ok {
+		// A variant name outside the catalog (foreign feed); attribute to
+		// the highest variant rather than dropping the invocations.
+		vi = fi.highest
+	}
+	f.invByVariant[vi] += n
+	if s.Cold {
+		f.actualCold += n
+		a.minActualCold += n
+	}
+	for ei := range a.ents {
+		e := &a.ents[ei]
+		if first {
+			if e.hind != nil {
+				// Hindsight: charged on the minute's first batch, never
+				// cached — a stale-minute "first" charges again, exactly
+				// like the pre-refactor oracle.
+				hv := e.hind.HindsightKeepAlive(s.Minute, s.Function)
+				if hv > fi.highest {
+					hv = fi.highest
+				}
+				if hv >= 0 {
+					e.led[s.Function].aliveMin[hv]++
+					e.minKaM += fi.memMB[hv]
+					e.minCost += fi.costPerMin[hv]
+				} else {
+					e.led[s.Function].cold++
+					e.minCold++
+				}
+			} else if e.open[s.Function] < 0 {
+				e.led[s.Function].cold++
+				e.minCold++
+			}
+		}
+		sv := e.open[s.Function]
+		if sv < 0 {
+			sv = fi.highest
+		}
+		e.led[s.Function].served[sv] += n
+	}
+	if s.Minute > f.lastInv {
+		f.lastInv = s.Minute
+	}
+}
+
+// ObserveMinute implements telemetry.Observer. The rollup's payload is
+// recomputed internally (so simulated and live feeds, which price the
+// minute in different float orders, cannot diverge); the sample only
+// advances the clock.
+func (a *Arena) ObserveMinute(s telemetry.MinuteSample) {
+	a.mu.Lock()
+	a.roll(s.Minute)
+	a.mu.Unlock()
+}
+
+// ObserveSchedule implements telemetry.Observer (ignored: plans are
+// intent, not cost).
+func (a *Arena) ObserveSchedule(telemetry.ScheduleSample) {}
+
+// ObservePeak implements telemetry.Observer (ignored: peak episodes are
+// visible through the downgrade counts they cause).
+func (a *Arena) ObservePeak(telemetry.PeakSample) {}
+
+// ObserveDowngrade implements telemetry.Observer: counts Algorithm 2
+// downgrades per function, the /top "downgrades" ranking.
+func (a *Arena) ObserveDowngrade(s telemetry.DowngradeSample) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.roll(s.Minute)
+	if s.Function >= 0 && s.Function < len(a.fns) {
+		a.fns[s.Function].downgrades++
+	}
+}
+
+// ObserveRegister implements telemetry.LifecycleObserver: a new function
+// slot opens a fresh shared ledger plus one ledger per entrant. The
+// sample must carry the next dense slot index (lifecycle events are
+// emitted in slot order by both the cluster engine and the live runtime);
+// anything else is a foreign feed and is dropped rather than corrupting
+// the ledgers.
+//
+// Deliberately, registration does NOT advance the clock: the engine
+// stamps arrivals with the arrival minute t while the live runtime stamps
+// them with the still-open previous minute, so rolling here would give
+// the two feeds different first barriers for the new slot (the engine's
+// would skip the close of t-1 and the minute-t KeepAlive consult). By
+// appending at whatever minute is open and letting the next non-lifecycle
+// sample roll, the slot's first Record and first KeepAlive land on the
+// same minutes in both feeds — stateful entrants (the Q-learner's shared
+// table) diverge permanently on any such off-by-one.
+func (a *Arena) ObserveRegister(s telemetry.RegisterSample) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if s.Family < 0 || s.Family >= len(a.fams) || s.Function != len(a.fns) {
+		return
+	}
+	nv := len(a.fams[s.Family].memMB)
+	a.famOf = append(a.famOf, s.Family)
+	a.fns = append(a.fns, fnShared{
+		lastInv:      -1,
+		seenMinute:   -1,
+		aliveMin:     make([]int, nv),
+		invByVariant: make([]int, nv),
+	})
+	fn := len(a.fns) - 1
+	for ei := range a.ents {
+		e := &a.ents[ei]
+		e.open = append(e.open, NoVariant)
+		e.led = append(e.led, entLedger{
+			aliveMin: make([]int, nv),
+			served:   make([]int, nv),
+		})
+		e.impl.Register(fn, s.Family, nv)
+	}
+}
+
+// ObserveDeregister implements telemetry.LifecycleObserver: the slot's
+// ledgers — shared and per-entrant — are closed. Their counters stay in
+// the report, but every entrant stops being scanned for the slot from the
+// sample's minute on (a deleted function would not have been kept alive
+// by any baseline either). Retirement is applied before the clock
+// advances so the minute the sample names is the first one entrants skip.
+// The per-variant ledgers are folded into the fixed-size retired sums (in
+// variant order, matching the report's loop, so the floats are identical
+// either way) and released: a retired slot cannot accumulate further
+// kept-alive minutes or invocations, so the fold is final.
+func (a *Arena) ObserveDeregister(s telemetry.DeregisterSample) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if s.Function < 0 || s.Function >= len(a.fns) {
+		return
+	}
+	f := &a.fns[s.Function]
+	if !f.retired {
+		f.retired = true
+		fi := &a.fams[a.famOf[s.Function]]
+		for v := 0; v < len(fi.memMB); v++ {
+			m := float64(f.aliveMin[v])
+			f.foldedKaMBMin += m * fi.memMB[v]
+			f.foldedKaCost += m * fi.costPerMin[v]
+			f.foldedAccMin += m * fi.accPct[v]
+			f.foldedAccSum += float64(f.invByVariant[v]) * fi.accPct[v]
+		}
+		f.aliveMin, f.invByVariant = nil, nil
+		for ei := range a.ents {
+			e := &a.ents[ei]
+			led := &e.led[s.Function]
+			for v := 0; v < len(fi.memMB); v++ {
+				m := float64(led.aliveMin[v])
+				led.foldedKaMBMin += m * fi.memMB[v]
+				led.foldedKaCost += m * fi.costPerMin[v]
+				led.foldedAccMin += m * fi.accPct[v]
+				led.foldedAccSum += float64(led.served[v]) * fi.accPct[v]
+			}
+			led.aliveMin, led.served = nil, nil
+			e.open[s.Function] = NoVariant
+			e.impl.Retire(s.Function)
+		}
+	}
+	a.roll(s.Minute)
+}
+
+var (
+	_ telemetry.Observer          = (*Arena)(nil)
+	_ telemetry.LifecycleObserver = (*Arena)(nil)
+)

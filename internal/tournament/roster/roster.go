@@ -1,0 +1,75 @@
+// Package roster names the packaged tournament entrants and builds them
+// from flag-style name lists. It lives below the tournament package so
+// that tournament itself stays free of policy/predict imports (predict
+// reaches back into core, which would cycle through attribution in test
+// binaries); everything that *selects* entrants — pulsed, experiments,
+// benchmarks — goes through here.
+package roster
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/pulse-serverless/pulse/internal/cluster"
+	"github.com/pulse-serverless/pulse/internal/models"
+	"github.com/pulse-serverless/pulse/internal/policy"
+	"github.com/pulse-serverless/pulse/internal/predict"
+	"github.com/pulse-serverless/pulse/internal/tournament"
+)
+
+// Names lists the packaged tournament entrants selectable by name (the
+// pulsed -tournament flag, cmd/experiments -exp tournament), in canonical
+// order. The attribution baselines (fixed-high, never, oracle) are not on
+// the roster: every accountant always carries them.
+func Names() []string {
+	return []string{"mpc", "hawkes", "qlearn"}
+}
+
+// Build resolves a list of roster names into entrant instances. It
+// rejects an empty list, empty elements, duplicates, and unknown names,
+// so flag parsing can surface a usage error naming the registered
+// entrants. The catalog and cost model price the learners' actions.
+func Build(names []string, cat *models.Catalog, cost cluster.CostModel) ([]tournament.ShadowEntrant, error) {
+	if len(names) == 0 {
+		return nil, fmt.Errorf("tournament: empty entrant list (registered entrants: %s)", strings.Join(Names(), ", "))
+	}
+	seen := make(map[string]bool, len(names))
+	out := make([]tournament.ShadowEntrant, 0, len(names))
+	for _, name := range names {
+		if name == "" {
+			return nil, fmt.Errorf("tournament: empty entrant name in list (registered entrants: %s)", strings.Join(Names(), ", "))
+		}
+		if seen[name] {
+			return nil, fmt.Errorf("tournament: duplicate entrant %q", name)
+		}
+		seen[name] = true
+		switch name {
+		case "mpc":
+			e, err := predict.NewMPCEntrant(name, predict.DefaultMPCConfig())
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, e)
+		case "hawkes":
+			out = append(out, policy.NewHawkesEntrant(name, policy.DefaultHawkesConfig()))
+		case "qlearn":
+			out = append(out, policy.NewQLearnEntrant(name, cat, cost, policy.DefaultQLearnConfig()))
+		default:
+			return nil, fmt.Errorf("tournament: unknown entrant %q (registered entrants: %s)", name, strings.Join(Names(), ", "))
+		}
+	}
+	return out, nil
+}
+
+// ParseList splits a comma-separated -tournament flag value, trimming
+// whitespace but preserving empty elements so Build can reject them.
+func ParseList(s string) []string {
+	if strings.TrimSpace(s) == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}

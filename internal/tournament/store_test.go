@@ -1,0 +1,147 @@
+package tournament
+
+import (
+	"reflect"
+	"testing"
+)
+
+// The store scenarios below were ported from the attribution package when
+// its fixed-width store generalized into this one; the shared-invocations
+// offset stands in for any amount channel and the shared-KaM offset for
+// any gauge.
+
+func storeIdx(t *testing.T, s *store, sel Selector, nEntrants int) int {
+	t.Helper()
+	idx, ok := sel.index(nEntrants)
+	if !ok {
+		t.Fatalf("selector %+v unresolvable", sel)
+	}
+	return idx
+}
+
+func pushMinute(s *store, m int, val float64) {
+	row := make([]float64, s.width)
+	for k := range row {
+		row[k] = val
+	}
+	s.push(m, row)
+}
+
+func TestStoreMinuteWindowAndEviction(t *testing.T) {
+	s := newStore(4, 2)
+	inv := storeIdx(t, s, Shared(ChanInvocations), 2)
+	for m := 0; m < 10; m++ {
+		pushMinute(s, m, float64(m))
+	}
+	// Only minutes 6..9 survive a window of 4.
+	got := s.series(inv, 9, 10, false, nil)
+	want := []Point{{6, 6}, {7, 7}, {8, 8}, {9, 9}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("series after eviction = %v, want %v", got, want)
+	}
+	// A narrower window trims from the old end.
+	got = s.series(inv, 9, 2, false, nil)
+	if want = []Point{{8, 8}, {9, 9}}; !reflect.DeepEqual(got, want) {
+		t.Errorf("narrow window = %v, want %v", got, want)
+	}
+	// Asking as-of an older now excludes newer minutes still in the ring.
+	got = s.series(inv, 8, 2, false, nil)
+	if want = []Point{{7, 7}, {8, 8}}; !reflect.DeepEqual(got, want) {
+		t.Errorf("older now = %v, want %v", got, want)
+	}
+}
+
+func TestStoreSkippedMinutesLeaveGaps(t *testing.T) {
+	s := newStore(8, 1)
+	cold := storeIdx(t, s, Shared(ChanCold), 1)
+	pushMinute(s, 0, 1)
+	pushMinute(s, 3, 4)
+	got := s.series(cold, 3, 8, false, nil)
+	want := []Point{{0, 1}, {3, 4}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("gapped series = %v, want %v", got, want)
+	}
+}
+
+func TestStoreHourlyRollup(t *testing.T) {
+	s := newStore(256, 3)
+	kam := storeIdx(t, s, Shared(ChanKaMMB), 3)
+	entKam := storeIdx(t, s, Selector{Entrant: 2, Channel: ChanKaMMB}, 3)
+	inv := storeIdx(t, s, Shared(ChanInvocations), 3)
+	// Two full hours: hour 0 pushes value 2 every minute, hour 1 value 5.
+	for m := 0; m < 120; m++ {
+		val := 2.0
+		if m >= 60 {
+			val = 5.0
+		}
+		pushMinute(s, m, val)
+	}
+	// Gauge channels (shared and per-entrant KaM): hourly mean.
+	want := []Point{{0, 2}, {60, 5}}
+	if got := s.series(kam, 119, 2, true, nil); !reflect.DeepEqual(got, want) {
+		t.Errorf("gauge rollup = %v, want %v", got, want)
+	}
+	if got := s.series(entKam, 119, 2, true, nil); !reflect.DeepEqual(got, want) {
+		t.Errorf("entrant gauge rollup = %v, want %v", got, want)
+	}
+	// Amount channel (invocations): hourly sum.
+	got := s.series(inv, 119, 2, true, nil)
+	want = []Point{{0, 120}, {60, 300}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("amount rollup = %v, want %v", got, want)
+	}
+	// A partial hour averages over the minutes actually folded in.
+	pushMinute(s, 120, 9)
+	pushMinute(s, 121, 11)
+	got = s.series(kam, 121, 1, true, nil)
+	if want = []Point{{120, 10}}; !reflect.DeepEqual(got, want) {
+		t.Errorf("partial hour = %v, want %v", got, want)
+	}
+}
+
+func TestStorePushDoesNotAllocate(t *testing.T) {
+	s := newStore(64, 6)
+	row := make([]float64, s.width)
+	for k := range row {
+		row[k] = 1
+	}
+	m := 0
+	if avg := testing.AllocsPerRun(500, func() {
+		s.push(m, row)
+		m++
+	}); avg != 0 {
+		t.Errorf("push allocates %v times, want 0", avg)
+	}
+}
+
+func TestSelectorIndexRejectsForeignChannels(t *testing.T) {
+	const n = 2
+	bad := []Selector{
+		Shared(ChanSavingsUSD),                 // savings is entrant-only
+		{Entrant: 0, Channel: ChanInvocations}, // invocations is shared-only
+		{Entrant: n, Channel: ChanKaMMB},       // entrant out of range
+		{Entrant: 0, Channel: Channel(99)},     // unknown channel
+		Shared(Channel(99)),                    // unknown shared channel
+	}
+	for _, sel := range bad {
+		if _, ok := sel.index(n); ok {
+			t.Errorf("selector %+v resolved, want rejection", sel)
+		}
+	}
+	good := []Selector{
+		Shared(ChanKaMMB), Shared(ChanCostUSD), Shared(ChanCold), Shared(ChanInvocations),
+		{Entrant: 0, Channel: ChanKaMMB}, {Entrant: 1, Channel: ChanSavingsUSD},
+	}
+	seen := map[int]bool{}
+	for _, sel := range good {
+		idx, ok := sel.index(n)
+		if !ok {
+			t.Errorf("selector %+v rejected, want index", sel)
+			continue
+		}
+		if seen[idx] {
+			t.Errorf("selector %+v collides at offset %d", sel, idx)
+		}
+		seen[idx] = true
+	}
+}
